@@ -1,0 +1,47 @@
+"""Figure 1 — optimization ablation.
+
+Which of the "few generally-useful transformations" carries the claim?
+Each transformation is disabled in turn; the series reports the slowdown
+relative to the full optimizer on four representative workloads.
+"""
+
+from repro import CompileOptions, OptimizerOptions
+
+from .harness import config_o, run_workload, write_table
+from .workloads import ASSOC, DERIV, FIB, VECTOR
+
+WORKLOADS = [FIB, VECTOR, ASSOC, DERIV]
+FEATURES = ["inline", "fold", "algebra", "cse", "dce"]
+
+
+def ablated(feature: str) -> CompileOptions:
+    return CompileOptions(optimizer=OptimizerOptions().without(feature))
+
+
+def test_fig1_ablation(benchmark):
+    def build():
+        rows = []
+        for name, source, expected in WORKLOADS:
+            full = run_workload(source, config_o(), expected).steps
+            row = [name, full]
+            for feature in FEATURES:
+                steps = run_workload(source, ablated(feature), expected).steps
+                row.append(f"{steps / full:.2f}x")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_table(
+        "fig1_ablation.txt",
+        "Figure 1 — slowdown when disabling one transformation (vs full O)",
+        ["program", "full O"] + [f"-{f}" for f in FEATURES],
+        rows,
+    )
+    # Inlining is the linchpin: disabling it must hurt substantially.
+    for row in rows:
+        no_inline = float(row[2].rstrip("x"))
+        assert no_inline >= 1.5, row
+    # Every ablation is a slowdown or neutral (never a speedup > 5%).
+    for row in rows:
+        for cell in row[2:]:
+            assert float(cell.rstrip("x")) >= 0.95, row

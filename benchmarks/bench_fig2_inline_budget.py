@@ -1,0 +1,50 @@
+"""Figure 2 — inlining-budget sweep.
+
+The size budget for multi-use inlining swept over a range; reports
+dynamic instructions and total static code size.  Shape: a knee — small
+budgets leave library calls in place, large budgets stop paying.
+"""
+
+from repro import CompileOptions, OptimizerOptions
+
+from .harness import compiled, run_workload, write_table
+from .workloads import DERIV, FIB, SORT
+
+WORKLOADS = [FIB, SORT, DERIV]
+BUDGETS = [0, 5, 10, 20, 40, 80, 160]
+
+
+def budgeted(budget: int) -> CompileOptions:
+    return CompileOptions(optimizer=OptimizerOptions(max_inline_size=budget))
+
+
+def test_fig2_inline_budget(benchmark):
+    def build():
+        rows = []
+        for budget in BUDGETS:
+            options = budgeted(budget)
+            row = [budget]
+            size_total = 0
+            for name, source, expected in WORKLOADS:
+                result = run_workload(source, options, expected)
+                row.append(result.steps)
+                size_total += compiled(source, options).static_instruction_count()
+            row.append(size_total)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_table(
+        "fig2_inline_budget.txt",
+        "Figure 2 — dynamic instructions vs inline-size budget",
+        ["budget"] + [w[0] for w in WORKLOADS] + ["static size (sum)"],
+        rows,
+    )
+    # Most of the win must arrive by the default budget region.
+    first = rows[0]
+    knee = rows[4]  # budget 40
+    last = rows[-1]
+    for column in range(1, 1 + len(WORKLOADS)):
+        assert knee[column] < first[column], "no speedup by budget 40?"
+        remaining = (knee[column] - last[column]) / knee[column]
+        assert remaining < 0.35, "the knee should be mostly flat after 40"

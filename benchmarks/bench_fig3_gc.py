@@ -1,0 +1,51 @@
+"""Figure 3 — substrate characterization: GC behaviour vs heap size.
+
+Not a paper claim, but a reviewer's due-diligence figure: the
+conservative mark-sweep substrate behaves sanely (collection count
+falls as the heap grows; the mutator's instruction count is unaffected
+because collection happens outside the instruction stream).
+"""
+
+from repro import CompileOptions
+
+from .harness import compiled, config_o, write_table
+from .workloads import SORT
+
+HEAP_SIZES = [1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 18]
+
+
+def test_fig3_gc(benchmark):
+    name, source, expected = SORT
+    program = compiled(source, config_o())
+
+    def build():
+        rows = []
+        for words in HEAP_SIZES:
+            result = program.run(heap_words=words)
+            from repro import decode
+
+            assert decode(result) == expected
+            rows.append(
+                [
+                    words,
+                    result.machine.heap.gc_count,
+                    result.steps,
+                    result.words_allocated,
+                    result.machine.heap.live_words(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_table(
+        "fig3_gc.txt",
+        f"Figure 3 — GC behaviour vs heap size ({name} workload)",
+        ["heap words", "collections", "instructions", "words allocated", "live at end"],
+        rows,
+    )
+    collections = [row[1] for row in rows]
+    assert collections[0] > collections[-1], "bigger heap → fewer GCs"
+    steps = {row[2] for row in rows}
+    assert len(steps) == 1, "instruction counts must not depend on heap size"
+    allocated = {row[3] for row in rows}
+    assert len(allocated) == 1

@@ -1,0 +1,128 @@
+"""Table 1 — per-operation cost under the three configurations.
+
+Two views per operation:
+
+* **dynamic instructions/op** — a 64-iteration accumulate loop calling a
+  one-operation probe, minus the same loop with an identity probe body.
+  Meaningful in every configuration (in U the cost is a real call into
+  the abstract library).
+* **static instructions** — the probe procedure's compiled size under O
+  and B, where the operation is open-coded.
+
+Paper claims checked: O ≈ B (abstract matches hand-coded), U ≫ O.
+"""
+
+from .harness import (
+    compiled,
+    config_b,
+    config_o,
+    config_u,
+    keep_globals,
+    write_table,
+)
+
+# operation name -> (call expression, argument definitions).  Arguments
+# are read out of quoted structure so the optimizer cannot constant-fold
+# the probe body away (the cost measured is the op on runtime values).
+_LIST_ARGS = "(define x '(1 2 3)) (define y (car '(1))) (define z (car '(9)))"
+_VEC_ARGS = (
+    "(define x (make-vector 8 0)) (define y (car '(2))) (define z (car '(9)))"
+)
+_FIX_ARGS = "(define x (car '(6))) (define y (car '(7))) (define z (car '(8)))"
+
+OPS = [
+    ("car", "(car x)", _LIST_ARGS),
+    ("cdr", "(cdr x)", _LIST_ARGS),
+    ("cons", "(cons y z)", _FIX_ARGS),
+    ("pair?", "(pair? x)", _LIST_ARGS),
+    ("null?", "(null? x)", "(define x (cdr '(1))) (define y (car '(1))) (define z y)"),
+    ("vector-ref", "(vector-ref x y)", _VEC_ARGS),
+    ("vector-set!", "(vector-set! x y z)", _VEC_ARGS),
+    ("vector-length", "(vector-length x)", _VEC_ARGS),
+    ("fx +", "(+ y z)", _FIX_ARGS),
+    ("fx -", "(- y z)", _FIX_ARGS),
+    ("fx *", "(* y z)", _FIX_ARGS),
+    ("fx <", "(< y z)", _FIX_ARGS),
+    ("eq?", "(eq? y z)", _FIX_ARGS),
+    (
+        "char->integer",
+        "(char->integer x)",
+        '(define x (string-ref "a" 0)) (define y (car \'(1))) (define z y)',
+    ),
+]
+
+ITERATIONS = 64
+
+
+def _loop_program(call: str, setup: str) -> str:
+    return f"""
+    {setup}
+    (define (probe x y z) {call})
+    (define (bench-loop n acc)
+      (if (= n 0) acc (bench-loop (- n 1) (probe x y z))))
+    (bench-loop {ITERATIONS} 0)
+    """
+
+
+def dynamic_per_op(call: str, setup: str, options) -> float:
+    with_op = compiled(_loop_program(call, setup), options).run().steps
+    baseline = compiled(_loop_program("y", setup), options).run().steps
+    return (with_op - baseline) / ITERATIONS
+
+
+def static_count(call: str, options) -> int:
+    source = f"(define (probe x y z) {call})\n'done"
+    return compiled(source, keep_globals(options)).static_instruction_count("probe")
+
+
+def _rows(safety: bool):
+    rows = []
+    for name, call, setup in OPS:
+        u_dyn = dynamic_per_op(call, setup, config_u(safety))
+        o_dyn = dynamic_per_op(call, setup, config_o(safety))
+        b_dyn = dynamic_per_op(call, setup, config_b(safety))
+        o_stat = static_count(call, config_o(safety))
+        b_stat = static_count(call, config_b(safety))
+        rows.append(
+            [
+                name,
+                f"{u_dyn:.1f}",
+                f"{o_dyn:.1f}",
+                f"{b_dyn:.1f}",
+                o_stat,
+                b_stat,
+                f"{u_dyn / max(o_dyn, 0.5):.1f}x",
+            ]
+        )
+    return rows
+
+
+HEADER = ["operation", "U dyn/op", "O dyn/op", "B dyn/op", "O static", "B static", "U/O"]
+
+
+def test_table1_unsafe(benchmark):
+    rows = benchmark.pedantic(lambda: _rows(safety=False), rounds=1, iterations=1)
+    write_table(
+        "table1_unsafe.txt",
+        "Table 1a — per-operation instruction costs (UNSAFE)",
+        HEADER,
+        rows,
+    )
+    for name, u_dyn, o_dyn, b_dyn, o_stat, b_stat, _ in rows:
+        assert o_stat <= b_stat, (name, o_stat, b_stat)
+        assert float(o_dyn) <= float(b_dyn) + 0.5, name
+        # eq? is a single comparison in every configuration: allow ties.
+        assert float(u_dyn) >= float(o_dyn), name
+
+
+def test_table1_safe(benchmark):
+    rows = benchmark.pedantic(lambda: _rows(safety=True), rounds=1, iterations=1)
+    write_table(
+        "table1_safe.txt",
+        "Table 1b — per-operation instruction costs (SAFE)",
+        HEADER,
+        rows,
+    )
+    for name, u_dyn, o_dyn, b_dyn, o_stat, b_stat, _ in rows:
+        assert o_stat <= b_stat + 1, (name, o_stat, b_stat)
+        assert float(u_dyn) >= float(o_dyn), name

@@ -1,0 +1,74 @@
+"""Table 2 — whole-program dynamic instruction counts.
+
+Eight workload programs under the three configurations.  Claim shape:
+O/B ≈ 1 (abstract matches hand-coded end to end); U/O ≥ 3.
+"""
+
+import pytest
+
+from .harness import config_b, config_o, config_u, ratio, run_workload, write_table
+from .workloads import ALL_WORKLOADS
+
+_ROWS_CACHE: dict = {}
+
+
+def _measure(name, source, expected):
+    if name not in _ROWS_CACHE:
+        unopt = run_workload(source, config_u(), expected)
+        opt = run_workload(source, config_o(), expected)
+        base = run_workload(source, config_b(), expected)
+        _ROWS_CACHE[name] = (unopt, opt, base)
+    return _ROWS_CACHE[name]
+
+
+@pytest.mark.parametrize("name,source,expected", ALL_WORKLOADS, ids=[w[0] for w in ALL_WORKLOADS])
+def test_workload_timed(benchmark, name, source, expected):
+    """Times the optimized configuration's VM run (pytest-benchmark)."""
+    from .harness import compiled
+
+    program = compiled(source, config_o())
+    result = benchmark.pedantic(program.run, rounds=3, iterations=1)
+    from repro import decode
+
+    assert decode(result) == expected
+    _measure(name, source, expected)  # warm the table cache
+
+
+def test_table2(benchmark):
+    def build():
+        rows = []
+        # Every run includes the library bootstrap (symbol interning,
+        # descriptor construction); this row lets readers subtract it.
+        boot_u = run_workload("'ready", config_u()).steps
+        boot_o = run_workload("'ready", config_o()).steps
+        boot_b = run_workload("'ready", config_b()).steps
+        rows.append(
+            ["<bootstrap>", boot_u, boot_o, boot_b,
+             ratio(boot_o, boot_b), ratio(boot_u, boot_o), "-"]
+        )
+        for name, source, expected in ALL_WORKLOADS:
+            unopt, opt, base = _measure(name, source, expected)
+            rows.append(
+                [
+                    name,
+                    unopt.steps,
+                    opt.steps,
+                    base.steps,
+                    ratio(opt.steps, base.steps),
+                    ratio(unopt.steps, opt.steps),
+                    opt.words_allocated,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_table(
+        "table2_programs.txt",
+        "Table 2 — dynamic instruction counts, whole programs (SAFE)",
+        ["program", "U", "O", "B", "O/B", "U/O", "O words alloc"],
+        rows,
+    )
+    for name, unopt, opt, base, ob, uo, _ in rows:
+        assert float(ob) <= 1.3, (name, "optimized vs baseline", ob)
+        if name != "<bootstrap>":
+            assert float(uo) >= 2.0, (name, "unoptimized speedup", uo)

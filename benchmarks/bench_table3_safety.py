@@ -1,0 +1,62 @@
+"""Table 3 — cost of safety checks and of check elimination.
+
+Configurations: O unsafe, O safe, O safe without CSE (so dominating
+checks are not removed), and B safe.  Shape: checks cost something; CSE
+claws a share back; abstract-safe ≈ hand-coded-safe.
+"""
+
+from repro import CompileOptions, OptimizerOptions
+
+from .harness import config_b, config_o, ratio, run_workload, write_table
+from .workloads import ASSOC, DERIV, FIB, SORT, VECTOR
+
+WORKLOADS = [FIB, SORT, VECTOR, ASSOC, DERIV]
+
+
+def safe_no_cse() -> CompileOptions:
+    return CompileOptions(optimizer=OptimizerOptions().without("cse"))
+
+
+def test_table3_safety(benchmark):
+    def build():
+        rows = []
+        for name, source, expected in WORKLOADS:
+            unsafe = run_workload(source, config_o(safety=False), expected).steps
+            safe = run_workload(source, config_o(safety=True), expected).steps
+            no_cse = run_workload(source, safe_no_cse(), expected).steps
+            base_safe = run_workload(source, config_b(safety=True), expected).steps
+            rows.append(
+                [
+                    name,
+                    unsafe,
+                    safe,
+                    no_cse,
+                    base_safe,
+                    ratio(safe, unsafe),
+                    ratio(no_cse, safe),
+                    ratio(safe, base_safe),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_table(
+        "table3_safety.txt",
+        "Table 3 — safety-check cost (dynamic instructions, O unless noted)",
+        [
+            "program",
+            "unsafe",
+            "safe",
+            "safe -cse",
+            "B safe",
+            "safe/unsafe",
+            "-cse/safe",
+            "safe O/B",
+        ],
+        rows,
+    )
+    for row in rows:
+        name, unsafe, safe, no_cse, base_safe = row[:5]
+        assert safe >= unsafe, name            # checks are not free
+        assert no_cse >= safe, name            # CSE never hurts
+        assert float(row[7]) <= 1.3, name      # abstract ≈ hand-coded

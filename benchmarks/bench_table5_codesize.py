@@ -1,0 +1,41 @@
+"""Table 5 — static code size.
+
+Does the abstraction cost code space?  Whole-program static instruction
+counts (after global pruning) for the workloads, under O and B, plus the
+unpruned size of the entire prelude under each configuration.
+"""
+
+from repro import CompileOptions, OptimizerOptions
+
+from .harness import compiled, config_b, config_o, config_u, ratio, write_table
+from .workloads import ALL_WORKLOADS
+
+
+def test_table5_codesize(benchmark):
+    def build():
+        rows = []
+        for name, source, _ in ALL_WORKLOADS:
+            opt = compiled(source, config_o()).static_instruction_count()
+            base = compiled(source, config_b()).static_instruction_count()
+            unopt = compiled(source, config_u()).static_instruction_count()
+            rows.append([name, unopt, opt, base, ratio(opt, base)])
+        # whole-prelude sizes (nothing pruned)
+        keep = OptimizerOptions(prune_globals=False)
+        o_full = compiled(
+            "'x", CompileOptions(optimizer=keep)
+        ).static_instruction_count()
+        b_full = compiled(
+            "'x", CompileOptions(optimizer=keep, prelude="handcoded")
+        ).static_instruction_count()
+        rows.append(["<whole prelude>", "-", o_full, b_full, ratio(o_full, b_full)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_table(
+        "table5_codesize.txt",
+        "Table 5 — static code size (instructions, after pruning)",
+        ["program", "U", "O", "B", "O/B"],
+        rows,
+    )
+    for row in rows[:-1]:
+        assert float(row[4]) <= 1.4, row  # abstraction is not a size blowup

@@ -1,0 +1,90 @@
+"""Shared benchmark harness.
+
+The paper-shape metrics are deterministic (static and dynamic VM
+instruction counts); pytest-benchmark additionally times the VM runs.
+Every table/figure is written to ``benchmarks/results/`` and printed, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation.
+
+Configurations (see EXPERIMENTS.md):
+  U — representation-type prelude, optimizer off
+  O — representation-type prelude, full optimizer
+  B — hand-coded prelude ("traditional"), full optimizer
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import CompileOptions, OptimizerOptions, compile_source, decode
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def config_u(safety: bool = True) -> CompileOptions:
+    return CompileOptions(optimizer=OptimizerOptions.none(), safety=safety)
+
+
+def config_o(safety: bool = True) -> CompileOptions:
+    return CompileOptions(safety=safety)
+
+
+def config_b(safety: bool = True) -> CompileOptions:
+    return CompileOptions.baseline(safety=safety)
+
+
+def keep_globals(options: CompileOptions) -> CompileOptions:
+    optimizer = OptimizerOptions(**options.optimizer.__dict__)
+    optimizer.prune_globals = False
+    return CompileOptions(
+        optimizer=optimizer, prelude=options.prelude, safety=options.safety
+    )
+
+
+_COMPILE_CACHE: dict = {}
+
+
+def compiled(source: str, options: CompileOptions):
+    key = (
+        source,
+        options.prelude,
+        options.safety,
+        tuple(sorted(options.optimizer.__dict__.items())),
+    )
+    hit = _COMPILE_CACHE.get(key)
+    if hit is None:
+        hit = compile_source(source, options)
+        _COMPILE_CACHE[key] = hit
+    return hit
+
+
+def run_workload(source: str, options: CompileOptions, expected=None):
+    """Compile, run, sanity-check, return the RunResult."""
+    result = compiled(source, options).run()
+    if expected is not None:
+        value = decode(result)
+        assert value == expected, f"workload produced {value!r}, wanted {expected!r}"
+    return result
+
+
+def write_table(filename: str, title: str, header: list[str], rows: list[list]):
+    """Format, print, and persist one table."""
+    widths = [
+        max(len(str(cell)) for cell in [header[i]] + [row[i] for row in rows])
+        for i in range(len(header))
+    ]
+
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [title, "=" * len(title), fmt(header), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in rows]
+    text = "\n".join(lines) + "\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+        handle.write(text)
+    print("\n" + text)
+    return text
+
+
+def ratio(a: float, b: float) -> str:
+    return f"{a / b:.2f}" if b else "inf"

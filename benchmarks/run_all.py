@@ -1,0 +1,67 @@
+"""Regenerate every table and figure without pytest.
+
+Run:  python -m benchmarks.run_all        (from the repository root)
+
+Deterministic: all numbers are VM instruction counts, not wall time.
+Writes the formatted tables into benchmarks/results/ and prints them.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def main() -> int:
+    t0 = time.time()
+    from . import (
+        bench_fig1_ablation,
+        bench_fig2_inline_budget,
+        bench_fig3_gc,
+        bench_table1_static_counts,
+        bench_table2_programs,
+        bench_table3_safety,
+        bench_table4_dynamic,
+        bench_table5_codesize,
+    )
+    from .harness import write_table
+    from .workloads import ALL_WORKLOADS
+
+    class _FakeBenchmark:
+        def pedantic(self, fn, rounds=1, iterations=1):
+            return fn()
+
+    fake = _FakeBenchmark()
+
+    print("Table 1 (this is the slowest table: ~90 compiles)…")
+    bench_table1_static_counts.test_table1_unsafe(fake)
+    bench_table1_static_counts.test_table1_safe(fake)
+
+    print("Table 2…")
+    bench_table2_programs.test_table2(fake)
+
+    print("Figure 1…")
+    bench_fig1_ablation.test_fig1_ablation(fake)
+
+    print("Figure 2…")
+    bench_fig2_inline_budget.test_fig2_inline_budget(fake)
+
+    print("Table 3…")
+    bench_table3_safety.test_table3_safety(fake)
+
+    print("Table 4…")
+    bench_table4_dynamic.test_table4_dynamic(fake)
+
+    print("Table 5…")
+    bench_table5_codesize.test_table5_codesize(fake)
+
+    print("Figure 3…")
+    bench_fig3_gc.test_fig3_gc(fake)
+
+    print(f"\nAll tables regenerated in {time.time() - t0:.0f}s "
+          f"(see benchmarks/results/).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

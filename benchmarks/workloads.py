@@ -1,0 +1,161 @@
+"""Benchmark workload programs.
+
+Each workload is (name, scheme source, expected decoded value).  Sizes
+are tuned so a single run executes ~10⁴–10⁶ VM instructions: enough to
+swamp the prelude bootstrap, small enough for a Python interpreter loop.
+"""
+
+FIB = (
+    "fib",
+    """
+    (define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+    (fib 16)
+    """,
+    987,
+)
+
+TAK = (
+    "tak",
+    """
+    (define (tak x y z)
+      (if (not (< y x))
+          z
+          (tak (tak (- x 1) y z)
+               (tak (- y 1) z x)
+               (tak (- z 1) x y))))
+    (tak 12 8 4)
+    """,
+    5,
+)
+
+SORT = (
+    "sort",
+    """
+    ;; 300 pseudo-random numbers via a linear congruential generator
+    (define (randoms n seed acc)
+      (if (= n 0)
+          acc
+          (let ((next (remainder (+ (* seed 1309) 13849) 65536)))
+            (randoms (- n 1) next (cons next acc)))))
+    (define data (randoms 300 42 '()))
+    (define sorted (sort data <))
+    (define (ordered? lst)
+      (cond ((null? lst) #t)
+            ((null? (cdr lst)) #t)
+            ((> (car lst) (cadr lst)) #f)
+            (else (ordered? (cdr lst)))))
+    (if (ordered? sorted) (length sorted) 'broken)
+    """,
+    300,
+)
+
+SIEVE = (
+    "sieve",
+    """
+    (define (sieve limit)
+      (let ((flags (make-vector limit #t)))
+        (let loop ((i 2) (count 0))
+          (if (< i limit)
+              (if (vector-ref flags i)
+                  (begin
+                    (let mark ((j (* i i)))
+                      (when (< j limit)
+                        (vector-set! flags j #f)
+                        (mark (+ j i))))
+                    (loop (+ i 1) (+ count 1)))
+                  (loop (+ i 1) count))
+              count))))
+    (sieve 400)
+    """,
+    78,
+)
+
+STRINGS = (
+    "strings",
+    """
+    (define (string-reverse s)
+      (list->string (reverse (string->list s))))
+    (define base "the quick brown fox jumps over the lazy dog")
+    (let loop ((i 0) (hits 0))
+      (if (= i 40)
+          hits
+          (let ((r (string-reverse base)))
+            (loop (+ i 1)
+                  (if (string=? (string-reverse r) base) (+ hits 1) hits)))))
+    """,
+    40,
+)
+
+ASSOC = (
+    "assoc",
+    """
+    ;; environment-lookup-heavy micro-interpreter style workload
+    (define env
+      (list (cons 'a 1) (cons 'b 2) (cons 'c 3) (cons 'd 4)
+            (cons 'e 5) (cons 'f 6) (cons 'g 7) (cons 'h 8)))
+    (define keys '(h g f e d c b a h d a c))
+    (define (lookup-all keys acc)
+      (if (null? keys)
+          acc
+          (lookup-all (cdr keys) (+ acc (cdr (assq (car keys) env))))))
+    (let loop ((i 0) (total 0))
+      (if (= i 150) total (loop (+ i 1) (+ total (lookup-all keys 0)))))
+    """,
+    150 * (8 + 7 + 6 + 5 + 4 + 3 + 2 + 1 + 8 + 4 + 1 + 3),
+)
+
+VECTOR = (
+    "vector",
+    """
+    (define n 1500)
+    (define v (make-vector n 0))
+    (let fill ((i 0))
+      (when (< i n) (vector-set! v i (* i 3)) (fill (+ i 1))))
+    (let sum ((i 0) (acc 0))
+      (if (= i n) acc (sum (+ i 1) (+ acc (vector-ref v i)))))
+    """,
+    3 * (1499 * 1500 // 2),
+)
+
+DERIV = (
+    "deriv",
+    """
+    (define (constant? e) (number? e))
+    (define (variable? e) (symbol? e))
+    (define (sum? e) (if (pair? e) (eq? (car e) '+) #f))
+    (define (product? e) (if (pair? e) (eq? (car e) '*) #f))
+    (define (make-sum a b)
+      (cond ((eqv? a 0) b) ((eqv? b 0) a)
+            ((if (number? a) (number? b) #f) (+ a b))
+            (else (list '+ a b))))
+    (define (make-product a b)
+      (cond ((eqv? a 0) 0) ((eqv? b 0) 0) ((eqv? a 1) b) ((eqv? b 1) a)
+            ((if (number? a) (number? b) #f) (* a b))
+            (else (list '* a b))))
+    (define (deriv e x)
+      (cond ((constant? e) 0)
+            ((variable? e) (if (eq? e x) 1 0))
+            ((sum? e) (make-sum (deriv (cadr e) x) (deriv (caddr e) x)))
+            ((product? e)
+             (let ((a (cadr e)) (b (caddr e)))
+               (make-sum (make-product a (deriv b x))
+                         (make-product (deriv a x) b))))
+            (else (error "unknown" e))))
+    (define poly '(* (+ (* 3 (* x x)) (+ (* 2 x) 7)) (+ x 1)))
+    (define (evaluate e env)
+      (cond ((constant? e) e)
+            ((variable? e) (cdr (assq e env)))
+            ((sum? e) (+ (evaluate (cadr e) env) (evaluate (caddr e) env)))
+            (else (* (evaluate (cadr e) env) (evaluate (caddr e) env)))))
+    (let loop ((i 0) (acc 0))
+      (if (= i 25)
+          acc
+          (loop (+ i 1)
+                (+ acc (evaluate (deriv (deriv poly 'x) 'x)
+                                 (list (cons 'x i)))))))
+    """,
+    # f = (3x²+2x+7)(x+1) = 3x³+5x²+9x+7, so f'' = 18x + 10.
+    sum(18 * i + 10 for i in range(25)),
+)
+
+ALL_WORKLOADS = [FIB, TAK, SORT, SIEVE, STRINGS, ASSOC, VECTOR, DERIV]

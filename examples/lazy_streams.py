@@ -1,0 +1,81 @@
+"""Lazy streams and memoization — library-extras showcase.
+
+Promises (`delay`/`force`), `case-lambda`, and hash tables are all
+*library extras* (src/repro/runtime/scm/extras_scm.py): none of them
+required touching the compiler, which is the paper's externality thesis
+applied to language features rather than data types.
+
+Run:  python examples/lazy_streams.py
+"""
+
+from repro import decode, run_source
+
+PROGRAM = """
+;;; ---- infinite streams via promises ---------------------------------
+(define-syntax stream-cons
+  (syntax-rules ()
+    ((_ head tail) (cons head (delay tail)))))
+
+(define (stream-car s) (car s))
+(define (stream-cdr s) (force (cdr s)))
+
+(define (stream-take s n)
+  (if (zero? n)
+      '()
+      (cons (stream-car s) (stream-take (stream-cdr s) (- n 1)))))
+
+(define (stream-filter pred s)
+  (if (pred (stream-car s))
+      (stream-cons (stream-car s) (stream-filter pred (stream-cdr s)))
+      (stream-filter pred (stream-cdr s))))
+
+(define (integers-from n) (stream-cons n (integers-from (+ n 1))))
+
+;;; the sieve of Eratosthenes, on an infinite stream
+(define (sieve s)
+  (stream-cons
+   (stream-car s)
+   (sieve (stream-filter
+           (lambda (n) (not (= (remainder n (stream-car s)) 0)))
+           (stream-cdr s)))))
+
+(define primes (sieve (integers-from 2)))
+(display "first 15 primes: ")
+(display (stream-take primes 15))
+(newline)
+
+;;; ---- memoization with a hash table -----------------------------------
+(define fib-cache (make-hash-table))
+
+(define (fib n)
+  (if (< n 2)
+      n
+      (if (hash-table-contains? fib-cache n)
+          (hash-table-ref fib-cache n)
+          (let ((value (+ (fib (- n 1)) (fib (- n 2)))))
+            (hash-table-set! fib-cache n value)
+            value))))
+
+(display "fib(60) via memoization: ")
+(display (fib 60))
+(newline)
+(display "cache entries: ")
+(display (hash-table-count fib-cache))
+(newline)
+
+;;; ---- case-lambda: one name, several arities ---------------------------
+(define range
+  (case-lambda
+    ((end) (iota end))
+    ((start end) (iota (- end start) start))
+    ((start end step) (iota (quotient (- end start) step) start step))))
+
+(display "(range 5)        = ") (display (range 5)) (newline)
+(display "(range 3 8)      = ") (display (range 3 8)) (newline)
+(display "(range 0 20 5)   = ") (display (range 0 20 5)) (newline)
+'done
+"""
+
+result = run_source(PROGRAM, heap_words=1 << 19)
+print(result.output, end="")
+print(f"\n[{result.steps} VM instructions, {result.gc_count} GCs]")

@@ -1,0 +1,103 @@
+"""The classic capstone: a metacircular Scheme evaluator, running on the
+reproduction's own Scheme, whose data types are all library-defined.
+
+Three language layers are in play:
+
+  Python  →  hosts the compiler + VM
+  Scheme  →  compiled by the reproduction (types from the rep library)
+  mini-Scheme →  interpreted by the evaluator below, its environments
+                 built out of pairs, its programs parsed by the
+                 library-level `read`
+
+Run:  python examples/metacircular.py
+"""
+
+from repro import decode, run_source
+
+EVALUATOR = r"""
+;;; A small metacircular evaluator: lambda, if, quote, define, begin,
+;;; numeric/list primitives; environments are alists of frames.
+
+(define (env-lookup name env)
+  (if (null? env)
+      (error "unbound variable" name)
+      (let ((hit (assq name (car env))))
+        (if (eq? hit #f)
+            (env-lookup name (cdr env))
+            (cdr hit)))))
+
+(define (env-define! name value env)
+  (set-car! env (cons (cons name value) (car env)))
+  value)
+
+(define (env-extend names values env)
+  (cons (map cons names values) env))
+
+(define (self-evaluating? e)
+  (if (number? e) #t (if (string? e) #t (boolean? e))))
+
+(define (meta-eval e env)
+  (cond ((self-evaluating? e) e)
+        ((symbol? e) (env-lookup e env))
+        ((eq? (car e) 'quote) (cadr e))
+        ((eq? (car e) 'if)
+         (if (meta-eval (cadr e) env)
+             (meta-eval (caddr e) env)
+             (meta-eval (cadddr e) env)))
+        ((eq? (car e) 'lambda)
+         (list 'closure (cadr e) (cddr e) env))
+        ((eq? (car e) 'define)
+         (env-define! (cadr e) (meta-eval (caddr e) env) env))
+        ((eq? (car e) 'begin) (meta-eval-sequence (cdr e) env))
+        (else
+         (meta-apply (meta-eval (car e) env)
+                     (map (lambda (arg) (meta-eval arg env)) (cdr e))))))
+
+(define (meta-eval-sequence body env)
+  (if (null? (cdr body))
+      (meta-eval (car body) env)
+      (begin (meta-eval (car body) env)
+             (meta-eval-sequence (cdr body) env))))
+
+(define (meta-apply f args)
+  (cond ((procedure? f) (%apply f args))      ; host primitive
+        ((eq? (car f) 'closure)
+         (meta-eval-sequence (caddr f)
+                             (env-extend (cadr f) args (cadddr f))))
+        (else (error "not applicable" f))))
+
+;;; the global environment exposes host primitives to the mini language
+(define the-global-env
+  (env-extend
+   '(+ - * < = cons car cdr null? list display newline)
+   (list + - * < = cons car cdr null? list display newline)
+   '()))
+
+;;; read the program from input and evaluate each form
+(define (meta-load)
+  (let loop ((result #f))
+    (let ((form (read)))
+      (if (eof-object? form)
+          result
+          (loop (meta-eval form the-global-env))))))
+
+(meta-load)
+"""
+
+MINI_PROGRAM = """
+(define fact
+  (lambda (n) (if (< n 2) 1 (* n (fact (- n 1))))))
+
+(define map2
+  (lambda (f lst)
+    (if (null? lst) (quote ()) (cons (f (car lst)) (map2 f (cdr lst))))))
+
+(display (map2 fact (quote (1 2 3 4 5))))
+(newline)
+(fact 10)
+"""
+
+result = run_source(EVALUATOR, input_text=MINI_PROGRAM)
+print("mini-Scheme program output:", result.output, end="")
+print("final value:", decode(result))
+print(f"[{result.steps} VM instructions — an interpreter on an interpreter]")

@@ -1,0 +1,63 @@
+"""Quickstart: compile and run Scheme on the SchemeXerox-style stack.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CompileOptions, OptimizerOptions, compile_source, decode, run_source
+
+# ----------------------------------------------------------------------
+# 1. Run a program.  Every data type it uses — pairs, fixnums, strings —
+#    is defined by *library code*, not by the compiler.
+# ----------------------------------------------------------------------
+
+program = """
+(define (squares n)
+  (let loop ((i 1) (acc '()))
+    (if (> i n) (reverse acc) (loop (+ i 1) (cons (* i i) acc)))))
+
+(display "the first squares: ")
+(display (squares 7))
+(newline)
+(fold-left + 0 (squares 7))
+"""
+
+result = run_source(program)
+print(result.output, end="")
+print("final value:", decode(result))
+print(f"executed {result.steps} VM instructions, "
+      f"{result.words_allocated} words allocated, {result.gc_count} GCs")
+
+# ----------------------------------------------------------------------
+# 2. The paper's point, in one screen: `car` is library code built from
+#    machine primitives, yet compiles to a single load instruction.
+# ----------------------------------------------------------------------
+
+compiled = compile_source(
+    "(define (first p) (car p))\n(first '(1 2))",
+    CompileOptions(optimizer=OptimizerOptions(prune_globals=False), safety=False),
+)
+print("\n`(car p)` with the optimizer on (unsafe mode):")
+print(compiled.disassemble("first"))
+
+unopt_options = OptimizerOptions.none()
+unopt_options.prune_globals = False
+unopt = compile_source(
+    "(define (first p) (car p))\n(first '(1 2))",
+    CompileOptions(optimizer=unopt_options, safety=False),
+)
+print("\nThe same, optimizer off — a real call into the abstract library:")
+print(unopt.disassemble("first"))
+
+# ----------------------------------------------------------------------
+# 3. Configurations compared on a tiny benchmark.
+# ----------------------------------------------------------------------
+
+fib = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 15)"
+print("\nfib(15) under the three configurations of EXPERIMENTS.md:")
+for label, options in [
+    ("O  rep-types + optimizer", CompileOptions()),
+    ("B  hand-coded baseline  ", CompileOptions.baseline()),
+    ("U  optimizer off        ", CompileOptions.unoptimized()),
+]:
+    run = run_source(fib, options)
+    print(f"  {label}: value={decode(run)}  instructions={run.steps}")

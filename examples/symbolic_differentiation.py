@@ -1,0 +1,86 @@
+"""A realistic symbolic workload: differentiation of expressions.
+
+This is the kind of list-heavy symbolic program the Scheme literature
+benchmarks with (cf. the Gabriel `deriv` benchmark) — pairs and symbols
+exercised hard, all of them library-defined representations.
+
+Run:  python examples/symbolic_differentiation.py
+"""
+
+from repro import CompileOptions, decode, run_source
+
+PROGRAM = """
+;; d/dx over expressions built from +, *, variables, and constants.
+(define (constant? e) (number? e))
+(define (variable? e) (symbol? e))
+(define (sum? e) (if (pair? e) (eq? (car e) '+) #f))
+(define (product? e) (if (pair? e) (eq? (car e) '*) #f))
+(define (operands e) (cdr e))
+
+(define (make-sum a b)
+  (cond ((eqv? a 0) b)
+        ((eqv? b 0) a)
+        ((if (number? a) (number? b) #f) (+ a b))
+        (else (list '+ a b))))
+
+(define (make-product a b)
+  (cond ((eqv? a 0) 0)
+        ((eqv? b 0) 0)
+        ((eqv? a 1) b)
+        ((eqv? b 1) a)
+        ((if (number? a) (number? b) #f) (* a b))
+        (else (list '* a b))))
+
+(define (deriv e x)
+  (cond ((constant? e) 0)
+        ((variable? e) (if (eq? e x) 1 0))
+        ((sum? e)
+         (make-sum (deriv (car (operands e)) x)
+                   (deriv (cadr (operands e)) x)))
+        ((product? e)
+         (let ((a (car (operands e))) (b (cadr (operands e))))
+           (make-sum (make-product a (deriv b x))
+                     (make-product (deriv a x) b))))
+        (else (error "unknown expression" e))))
+
+;; evaluate an expression at an environment (alist)
+(define (evaluate e env)
+  (cond ((constant? e) e)
+        ((variable? e) (cdr (assq e env)))
+        ((sum? e) (+ (evaluate (car (operands e)) env)
+                     (evaluate (cadr (operands e)) env)))
+        ((product? e) (* (evaluate (car (operands e)) env)
+                         (evaluate (cadr (operands e)) env)))
+        (else (error "unknown expression" e))))
+
+;; (3x^2 + 2x + 7) * (x + 1), differentiated repeatedly
+(define poly
+  '(* (+ (* 3 (* x x)) (+ (* 2 x) 7)) (+ x 1)))
+
+(define d1 (deriv poly 'x))
+(define d2 (deriv d1 'x))
+(define d3 (deriv d2 'x))
+
+(display "f      = ") (display poly) (newline)
+(display "f'     = ") (display d1) (newline)
+(display "f''    = ") (display d2) (newline)
+(display "f'''   = ") (display d3) (newline)
+(display "f'(5)  = ") (display (evaluate d1 (list (cons 'x 5)))) (newline)
+
+;; a stress loop: differentiate a growing expression
+(define (iterate-deriv e n)
+  (if (= n 0) e (iterate-deriv (deriv e 'x) (- n 1))))
+
+(evaluate (iterate-deriv poly 3) (list (cons 'x 2)))
+"""
+
+for label, options in [
+    ("optimized ", CompileOptions()),
+    ("unoptimized", CompileOptions.unoptimized()),
+]:
+    result = run_source(PROGRAM, options)
+    if label.startswith("optimized"):
+        print(result.output, end="")
+        print("f'''(2) =", decode(result))
+    print(f"[{label}: {result.steps:>8} instructions, "
+          f"{result.words_allocated:>6} words allocated]")

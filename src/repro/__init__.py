@@ -1,0 +1,59 @@
+"""repro — a reproduction of "First-Class Data-Type Representations in
+SchemeXerox" (Adams, Curtis & Spreitzer, PLDI 1993).
+
+A Scheme compiler whose knowledge of data representation lives almost
+entirely in library code (first-class representation types), a
+register-VM substrate with instruction-count statistics, and the
+general-purpose optimizer that makes the abstract code as fast as the
+hand-coded baseline.
+
+Quick start::
+
+    from repro import run_source, decode
+    print(decode(run_source("(let loop ((i 0) (s 0)) "
+                            "  (if (= i 10) s (loop (+ i 1) (+ s i))))")))
+"""
+
+from .api import (
+    Closure,
+    CompiledProgram,
+    CompileOptions,
+    Record,
+    RunResult,
+    compile_source,
+    decode,
+    decode_word,
+    run_source,
+)
+from .errors import (
+    CompileError,
+    ExpandError,
+    HeapExhausted,
+    ReaderError,
+    ReproError,
+    SchemeError,
+    VMError,
+)
+from .opt import OptimizerOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Closure",
+    "CompileError",
+    "CompileOptions",
+    "CompiledProgram",
+    "ExpandError",
+    "HeapExhausted",
+    "OptimizerOptions",
+    "ReaderError",
+    "Record",
+    "ReproError",
+    "RunResult",
+    "SchemeError",
+    "VMError",
+    "compile_source",
+    "decode",
+    "decode_word",
+    "run_source",
+]

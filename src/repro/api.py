@@ -1,0 +1,328 @@
+"""The public API: compile and run Scheme programs.
+
+Typical use::
+
+    from repro import run_source, decode
+    result = run_source("(+ 1 2)")
+    assert decode(result) == 3
+
+Configurations mirror the paper's evaluation:
+
+* ``CompileOptions()`` — representation-type prelude, full optimizer
+  ("O" in EXPERIMENTS.md);
+* ``CompileOptions(optimizer=OptimizerOptions.none())`` — optimizer off
+  ("U");
+* ``CompileOptions(prelude="handcoded")`` — hand-coded baseline ("B").
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, replace
+
+from .backend import convert_assignments_program, generate_code
+from .errors import ReproError
+from .expand import Expander
+from .ir import GlobalSet, Program, iter_tree, pretty_program
+from .opt import OptimizerOptions, optimize_program
+from .runtime import prelude_source
+from .sexpr import read_all
+from .vm import Machine, RunResult, isa
+
+sys.setrecursionlimit(200_000)
+
+
+@dataclass
+class CompileOptions:
+    """Everything that selects a compiler configuration."""
+
+    optimizer: OptimizerOptions = field(default_factory=OptimizerOptions)
+    #: "reptype" (the paper's approach), "handcoded" (baseline), or
+    #: "none" (no prelude: programs restricted to machine primitives)
+    prelude: str = "reptype"
+    safety: bool = True
+    #: additional library source compiled between prelude and program
+    extra_prelude: str = ""
+
+    @classmethod
+    def unoptimized(cls, **kwargs) -> "CompileOptions":
+        return cls(optimizer=OptimizerOptions.none(), **kwargs)
+
+    @classmethod
+    def baseline(cls, **kwargs) -> "CompileOptions":
+        return cls(prelude="handcoded", **kwargs)
+
+
+class CompiledProgram:
+    """The result of compilation: runnable, inspectable."""
+
+    def __init__(
+        self,
+        vm_program: isa.VMProgram,
+        ir_program: Program,
+        stages: dict[str, str] | None = None,
+    ):
+        self.vm_program = vm_program
+        self.ir_program = ir_program
+        self.stages = stages or {}
+
+    def run(
+        self,
+        heap_words: int = 1 << 20,
+        max_steps: int | None = None,
+        count_instructions: bool = True,
+        input_text: str = "",
+    ) -> RunResult:
+        machine = Machine(
+            self.vm_program,
+            heap_words=heap_words,
+            max_steps=max_steps,
+            count_instructions=count_instructions,
+            input_text=input_text,
+        )
+        result = machine.run()
+        result.machine = machine  # type: ignore[attr-defined]
+        return result
+
+    def disassemble(self, name: str | None = None) -> str:
+        if name is not None:
+            return isa.disassemble(self.vm_program.code_named(name))
+        return "\n\n".join(
+            isa.disassemble(code) for code in self.vm_program.code_objects
+        )
+
+    def static_instruction_count(self, name: str | None = None) -> int:
+        return self.vm_program.static_instruction_count(name)
+
+
+# ----------------------------------------------------------------------
+# expansion cache: the prelude parses and expands once per configuration
+# ----------------------------------------------------------------------
+
+_EXPANDER_CACHE: dict[tuple, tuple] = {}
+
+
+def _expander_for(options: CompileOptions) -> tuple[list, Expander]:
+    key = (options.prelude, options.safety, options.extra_prelude)
+    cached = _EXPANDER_CACHE.get(key)
+    if cached is None:
+        expander = Expander()
+        source = prelude_source(options.prelude, options.safety)
+        if options.extra_prelude:
+            source = source + "\n" + options.extra_prelude
+        forms = expander.expand_program(read_all(source, filename="<prelude>"))
+        cached = (forms.forms, expander)
+        _EXPANDER_CACHE[key] = cached
+    prelude_forms, prototype = cached
+    clone = Expander()
+    clone.global_env = prototype.global_env  # prelude macros/keywords
+    clone.global_names = list(prototype.global_names)
+    clone._defined = set(prototype._defined)
+    clone._literal_cache = dict(prototype._literal_cache)
+    clone._hoist_counter = prototype._hoist_counter
+    return list(prelude_forms), clone
+
+
+# Optimized-prelude cache: the prelude reaches its optimization fixpoint
+# once per configuration; later compiles freeze it and optimize only the
+# user's forms (sound because the optimizer's analyses still see the
+# whole program, and because we fall back to a full optimization when
+# the user program assigns any name the prelude defines).
+_OPTIMIZED_PRELUDE_CACHE: dict[tuple, tuple] = {}
+
+
+def _optimizer_key(options: CompileOptions) -> tuple:
+    return (
+        options.prelude,
+        options.safety,
+        options.extra_prelude,
+        tuple(sorted(options.optimizer.__dict__.items())),
+    )
+
+
+def _optimized_prelude(
+    options: CompileOptions, raw_forms: list, global_names: list[str]
+) -> tuple[list, set[str]]:
+    key = _optimizer_key(options)
+    cached = _OPTIMIZED_PRELUDE_CACHE.get(key)
+    if cached is None:
+        from .opt import OptimizerOptions as _Opts
+
+        prelude_options = _Opts(**options.optimizer.__dict__)
+        prelude_options.prune_globals = False  # the user may need anything
+        optimized = optimize_program(
+            Program(list(raw_forms), list(global_names)), prelude_options
+        )
+        defined = {
+            form.name for form in optimized.forms if isinstance(form, GlobalSet)
+        }
+        cached = (optimized.forms, defined)
+        _OPTIMIZED_PRELUDE_CACHE[key] = cached
+    return cached
+
+
+def _assigned_globals(forms: list) -> set[str]:
+    out: set[str] = set()
+    for form in forms:
+        for node in iter_tree(form):
+            if isinstance(node, GlobalSet):
+                out.add(node.name)
+    return out
+
+
+def compile_source(
+    source: str,
+    options: CompileOptions | None = None,
+    explain: bool = False,
+) -> CompiledProgram:
+    """Compile Scheme source (with the configured prelude) to VM code."""
+    options = options or CompileOptions()
+    prelude_forms, expander = _expander_for(options)
+    user_program = expander.expand_program(read_all(source))
+    stages: dict[str, str] = {}
+    if explain:
+        stages["expanded"] = pretty_program(Program(user_program.forms, []))
+    opt_prelude, prelude_defined = _optimized_prelude(
+        options, prelude_forms, expander.global_names
+    )
+    if _assigned_globals(user_program.forms) & prelude_defined:
+        # The user redefines or mutates prelude names: whole-program path.
+        program = Program(
+            prelude_forms + user_program.forms, expander.global_names
+        )
+        program = optimize_program(program, options.optimizer)
+    else:
+        program = Program(
+            list(opt_prelude) + user_program.forms, expander.global_names
+        )
+        program = optimize_program(
+            program, options.optimizer, frozen_prefix=len(opt_prelude)
+        )
+    if explain:
+        stages["optimized"] = pretty_program(program)
+    program = convert_assignments_program(program)
+    vm_program = generate_code(program)
+    compiled = CompiledProgram(vm_program, program, stages)
+    if explain:
+        stages["assembly"] = compiled.disassemble()
+    return compiled
+
+
+def run_source(
+    source: str,
+    options: CompileOptions | None = None,
+    heap_words: int = 1 << 20,
+    max_steps: int | None = None,
+    input_text: str = "",
+) -> RunResult:
+    """Compile and run; returns the VM's :class:`RunResult`."""
+    compiled = compile_source(source, options)
+    return compiled.run(
+        heap_words=heap_words, max_steps=max_steps, input_text=input_text
+    )
+
+
+# ----------------------------------------------------------------------
+# decoding results (test/bench harness side)
+# ----------------------------------------------------------------------
+#
+# The decoder mirrors the DEFAULT prelude's tag scheme.  It is harness
+# knowledge, not compiler knowledge: programs built with a different
+# prelude should be checked through their printed output instead.
+
+from .sexpr import EOF, NIL, UNSPECIFIED, Char, Symbol, cons as _cons
+
+
+class Closure:
+    """Opaque decoded closure value."""
+
+    def __repr__(self) -> str:
+        return "#<procedure>"
+
+
+class Record:
+    """Decoded record: the descriptor word plus raw field words."""
+
+    def __init__(self, fields: list):
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return f"#<record {len(self.fields)} fields>"
+
+
+def decode(result: RunResult, word: int | None = None):
+    """Decode a result word into Python data (default tag scheme)."""
+    machine: Machine = result.machine  # type: ignore[attr-defined]
+    if word is None:
+        word = result.value
+    return decode_word(machine, word)
+
+
+def decode_word(machine: Machine, word: int, depth: int = 0):
+    if depth > 200:
+        return "..."
+    tag = word & 7
+    if tag == 0:
+        from .prims import signed
+
+        return signed(word) >> 3
+    heap = machine.heap
+    if tag == 6:
+        kind = (word >> 3) & 31
+        payload = word >> 8
+        if kind == 0:
+            return False
+        if kind == 1:
+            return True
+        if kind == 2:
+            return NIL
+        if kind == 3:
+            return UNSPECIFIED
+        if kind == 4:
+            return EOF
+        if kind == 5:
+            return Char(payload)
+        return ("immediate", kind, payload)
+    base = word & ~7
+    if tag == 1:
+        return _cons(
+            decode_word(machine, heap.load(base + 8), depth + 1),
+            decode_word(machine, heap.load(base + 16), depth + 1),
+        )
+    if tag == 2:
+        length = decode_word(machine, heap.load(base + 8), depth + 1)
+        return [
+            decode_word(machine, heap.load(base + 16 + 8 * i), depth + 1)
+            for i in range(length)
+        ]
+    if tag == 3:
+        length = decode_word(machine, heap.load(base + 8), depth + 1)
+        chars = []
+        for i in range(length):
+            char_word = heap.load(base + 16 + 8 * i)
+            chars.append(chr(char_word >> 8))
+        return "".join(chars)
+    if tag == 4:
+        name = decode_word(machine, heap.load(base + 8), depth + 1)
+        return Symbol(name)
+    if tag == 5:
+        nwords = heap.load(base >> 3 << 3) if False else heap.mem[base >> 3]
+        fields = [heap.load(base + 8 * (i + 1)) for i in range(nwords)]
+        return Record(fields)
+    if tag == 7:
+        return Closure()
+    raise ReproError(f"cannot decode word {word:#x}")
+
+
+__all__ = [
+    "CompileOptions",
+    "CompiledProgram",
+    "Closure",
+    "OptimizerOptions",
+    "Record",
+    "RunResult",
+    "compile_source",
+    "decode",
+    "decode_word",
+    "run_source",
+]

@@ -1,0 +1,13 @@
+"""Backend: assignment conversion, closure conversion, code generation."""
+
+from .assignconv import convert_assignments, convert_assignments_program
+from .codegen import CodeGenerator, generate_code
+from .peephole import peephole
+
+__all__ = [
+    "CodeGenerator",
+    "convert_assignments",
+    "convert_assignments_program",
+    "generate_code",
+    "peephole",
+]

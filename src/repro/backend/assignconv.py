@@ -1,0 +1,128 @@
+"""Assignment conversion: ``set!``-able locals become heap cells.
+
+After this pass no :class:`LocalSet` remains, so every local variable is
+an immutable value — which is what lets closure conversion capture free
+variables by value.
+
+Cells use the compiler-owned tag 7 (shared with closures: the GC only
+needs to know it is a pointer, and cells are never type-tested).  The
+cell operations are expressed with the ordinary machine primitives:
+
+* make:   ``(%alloc 1 7)`` then ``(%store c 1 v)``
+* read:   ``(%load c 1)``
+* write:  ``(%store c 1 v)``
+
+(displacement 1 because the pointer is ``base|7`` and the single field
+lives at byte ``base+8``).
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    Const,
+    Fix,
+    Lambda,
+    Let,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    make_seq,
+    map_children,
+)
+
+_CELL_TAG = 7
+_CELL_DISP = 8 - _CELL_TAG
+
+
+def _make_cell(value: Node) -> Node:
+    cell = LocalVar("cell")
+    return Let(
+        [(cell, Prim("%alloc", [Const(1), Const(_CELL_TAG)]))],
+        make_seq(
+            [
+                Prim("%store", [Var(cell), Const(_CELL_DISP), value]),
+                Var(cell),
+            ]
+        ),
+    )
+
+
+def _cell_ref(cell_var: LocalVar) -> Node:
+    return Prim("%load", [Var(cell_var), Const(_CELL_DISP)])
+
+
+def _cell_set(cell_var: LocalVar, value: Node) -> Node:
+    return Prim("%store", [Var(cell_var), Const(_CELL_DISP), value])
+
+
+def convert_assignments_program(program: Program) -> Program:
+    return Program(
+        [convert_assignments(form) for form in program.forms], program.globals
+    )
+
+
+def convert_assignments(node: Node) -> Node:
+    return _convert(node, {})
+
+
+def _convert(node: Node, boxes: dict[LocalVar, LocalVar]) -> Node:
+    if isinstance(node, Var):
+        box = boxes.get(node.var)
+        if box is not None:
+            return _cell_ref(box)
+        return node
+    if isinstance(node, LocalSet):
+        value = _convert(node.value, boxes)
+        box = boxes.get(node.var)
+        if box is None:
+            raise AssertionError(f"set! of unboxed variable {node.var}")
+        return _cell_set(box, value)
+    if isinstance(node, Lambda):
+        assigned = [p for p in _all_params(node) if p.assigned]
+        if not assigned:
+            return Lambda(
+                node.params,
+                node.rest,
+                _convert(node.body, boxes),
+                node.name,
+            )
+        inner = dict(boxes)
+        bindings = []
+        for param in assigned:
+            box = LocalVar(param.name + "$box")
+            box.boxed = True
+            inner[param] = box
+            bindings.append((box, _make_cell(Var(param))))
+        body = Let(bindings, _convert(node.body, inner))
+        return Lambda(node.params, node.rest, body, node.name)
+    if isinstance(node, Let):
+        new_bindings = []
+        inner = dict(boxes)
+        for var, init in node.bindings:
+            converted = _convert(init, boxes)
+            if var.assigned:
+                box = LocalVar(var.name + "$box")
+                box.boxed = True
+                inner[var] = box
+                new_bindings.append((box, _make_cell(converted)))
+            else:
+                new_bindings.append((var, converted))
+        return Let(new_bindings, _convert(node.body, inner))
+    if isinstance(node, Fix):
+        # letrec fixing guarantees fix-bound variables are unassigned.
+        return Fix(
+            [(var, _convert(lam, boxes)) for var, lam in node.bindings],
+            _convert(node.body, boxes),
+        )
+    return map_children(node, lambda child: _convert(child, boxes))
+
+
+def _all_params(node: Lambda) -> list[LocalVar]:
+    params = list(node.params)
+    if node.rest is not None:
+        params.append(node.rest)
+    return params

@@ -1,0 +1,654 @@
+"""Code generation: core IR → register-machine code.
+
+Direct recursive generation (the IR is already simple enough that no
+separate A-normalisation is needed): every expression is compiled to a
+fresh virtual register, ``if`` tests fuse comparison primitives into
+conditional branches, tail calls become TAILCALL/TAILL, and calls whose
+operator is an immutable top-level procedure become direct calls.
+
+Closure conversion happens here too: nested lambdas become CLOSURE
+instructions capturing their free variables by value (assignment
+conversion already boxed anything mutable), and mutually-recursive
+``fix`` bindings are allocated first and back-patched.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+from ..ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    census_program,
+    free_vars,
+)
+from ..prims import signed
+from ..vm import isa
+from .peephole import peephole
+
+
+class Label:
+    """A forward-patchable branch target."""
+
+    __slots__ = ("position",)
+
+    def __init__(self):
+        self.position: int | None = None
+
+
+# Negated fused branches: test op -> opcode jumping when the test FAILS.
+_NEGATED_BRANCH = {
+    "%eq": isa.JNE,
+    "%neq": isa.JEQ,
+    "%lt": isa.JGE,
+    "%le": isa.JGT,
+    "%ult": isa.JUGE,
+    "%ule": isa.JUGT,
+}
+
+_BIN_OPS = {
+    "%add": (isa.ADD, isa.ADDI),
+    "%sub": (isa.SUB, isa.SUBI),
+    "%mul": (isa.MUL, isa.MULI),
+    "%div": (isa.DIV, None),
+    "%mod": (isa.MOD, None),
+    "%and": (isa.AND, isa.ANDI),
+    "%or": (isa.OR, isa.ORI),
+    "%xor": (isa.XOR, isa.XORI),
+    "%lsl": (isa.SHL, isa.SHLI),
+    "%lsr": (isa.SHR, isa.SHRI),
+    "%asr": (isa.SAR, isa.SARI),
+}
+
+# test op with constant RIGHT operand -> negated immediate branch
+_IMM_NEGATED_RIGHT = {
+    "%eq": isa.JNEI,
+    "%neq": isa.JEQI,
+    "%lt": isa.JGEI,
+    "%le": isa.JGTI,
+}
+# test op with constant LEFT operand -> negated immediate branch on the
+# remaining register operand
+_IMM_NEGATED_LEFT = {
+    "%eq": isa.JNEI,
+    "%neq": isa.JEQI,
+    "%lt": isa.JLEI,
+    "%le": isa.JLTI,
+}
+
+_CMP_OPS = {
+    "%eq": (isa.CMPEQ, isa.CMPEQI),
+    "%neq": (isa.CMPNE, isa.CMPNEI),
+    "%lt": (isa.CMPLT, isa.CMPLTI),
+    "%le": (isa.CMPLE, isa.CMPLEI),
+    "%ult": (isa.CMPULT, None),
+    "%ule": (isa.CMPULE, None),
+}
+
+
+class CodeGenerator:
+    """Compiles a whole IR program to a :class:`VMProgram`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.codes: list[isa.CodeObject] = []
+        self.global_index: dict[str, int] = {}
+        self._collect_globals()
+        census = census_program(program)
+        self.immutable = {
+            name for name, info in census.globals.items() if info.assignments == 1
+        }
+        #: name -> code id, for direct calls to top-level procedures
+        self.direct: dict[str, int] = {}
+
+    def _collect_globals(self) -> None:
+        for name in self.program.globals:
+            self.global_index.setdefault(name, len(self.global_index))
+        stack = list(self.program.forms)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (GlobalRef, GlobalSet)):
+                self.global_index.setdefault(node.name, len(self.global_index))
+            stack.extend(node.children())
+
+    def generate(self) -> isa.VMProgram:
+        main = isa.CodeObject("%main", 0, False, 0)
+        self.codes.append(main)
+        # Pre-assign code ids for immutable top-level procedures so calls
+        # anywhere (including forward references) can be direct.
+        pending: list[tuple[str, Lambda]] = []
+        for form in self.program.forms:
+            if (
+                isinstance(form, GlobalSet)
+                and isinstance(form.value, Lambda)
+                and form.name in self.immutable
+            ):
+                code = isa.CodeObject(
+                    form.value.name or form.name,
+                    len(form.value.params),
+                    form.value.rest is not None,
+                    0,  # top-level: free variables are only globals
+                )
+                self.codes.append(code)
+                self.direct[form.name] = len(self.codes) - 1
+                pending.append((form.name, form.value))
+        # Compile the top-level procedures' bodies.
+        for name, lam in pending:
+            if free_vars(lam):
+                raise CompileError(
+                    f"top-level procedure {name} has free local variables"
+                )
+            self._compile_lambda_into(self.codes[self.direct[name]], lam)
+        # Compile the main sequence.
+        fn = FnCompiler(self, main, {}, closure_reg=None)
+        last_reg = None
+        for form in self.program.forms:
+            if isinstance(form, GlobalSet):
+                if form.name in self.direct and isinstance(form.value, Lambda):
+                    value_reg = fn.fresh()
+                    fn.emit(isa.CLOSURE, value_reg, self.direct[form.name], [])
+                else:
+                    value_reg = fn.compile_expr(form.value)
+                fn.emit(isa.GST, value_reg, self.global_index[form.name])
+                last_reg = value_reg
+            else:
+                last_reg = fn.compile_expr(form)
+        if last_reg is None:
+            last_reg = fn.fresh()
+            fn.emit(isa.LDC, last_reg, 0)
+        fn.emit(isa.HALT, last_reg)
+        fn.finish()
+        global_names = [None] * len(self.global_index)
+        for name, index in self.global_index.items():
+            global_names[index] = name
+        return isa.VMProgram(self.codes, global_names)
+
+    # ------------------------------------------------------------------
+
+    def compile_lambda(self, lam: Lambda) -> tuple[int, list[LocalVar]]:
+        """Compile a (nested) lambda; returns (code_id, ordered frees)."""
+        frees = sorted(free_vars(lam), key=lambda v: v.uid)
+        code = isa.CodeObject(
+            lam.name or "lambda",
+            len(lam.params),
+            lam.rest is not None,
+            len(frees),
+        )
+        self.codes.append(code)
+        code_id = len(self.codes) - 1
+        self._compile_lambda_into(code, lam, frees)
+        return code_id, frees
+
+    def _compile_lambda_into(
+        self,
+        code: isa.CodeObject,
+        lam: Lambda,
+        frees: list[LocalVar] | None = None,
+    ) -> None:
+        frees = frees or []
+        regmap: dict[LocalVar, int] = {}
+        next_reg = 0
+        for param in lam.params:
+            regmap[param] = next_reg
+            next_reg += 1
+        if lam.rest is not None:
+            regmap[lam.rest] = next_reg
+            next_reg += 1
+        closure_reg = None
+        if frees:
+            closure_reg = next_reg
+            next_reg += 1
+        fn = FnCompiler(self, code, regmap, closure_reg, next_reg)
+        # Prologue: load every captured variable into a register (the
+        # loads then dominate all uses).
+        for i, var in enumerate(frees):
+            reg = fn.fresh()
+            fn.emit(isa.LD, reg, closure_reg, 9 + 8 * i)
+            regmap[var] = reg
+        fn.compile_tail(lam.body)
+        fn.finish()
+
+
+class FnCompiler:
+    """Compiles one procedure body."""
+
+    def __init__(
+        self,
+        gen: CodeGenerator,
+        code: isa.CodeObject,
+        regmap: dict[LocalVar, int],
+        closure_reg: int | None,
+        next_reg: int | None = None,
+    ):
+        self.gen = gen
+        self.code = code
+        self.regmap = regmap
+        self.closure_reg = closure_reg
+        self.next_reg = next_reg if next_reg is not None else 0
+        self.instructions = code.instructions
+
+    # ------------------------------------------------------------------
+    # emission plumbing
+    # ------------------------------------------------------------------
+
+    def fresh(self) -> int:
+        reg = self.next_reg
+        self.next_reg += 1
+        return reg
+
+    def emit(self, *parts) -> list:
+        ins = list(parts)
+        self.instructions.append(ins)
+        return ins
+
+    def new_label(self) -> Label:
+        return Label()
+
+    def bind(self, label: Label) -> None:
+        label.position = len(self.instructions)
+
+    def finish(self) -> None:
+        for ins in self.instructions:
+            for i, operand in enumerate(ins):
+                if isinstance(operand, Label):
+                    assert operand.position is not None, "unbound label"
+                    ins[i] = operand.position
+        self.code.nregs = self.next_reg
+        peephole(self.code)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def compile_expr(self, node: Node) -> int:
+        """Compile for value; returns the result register."""
+        if isinstance(node, Const):
+            reg = self.fresh()
+            self.emit(isa.LDC, reg, node.value)
+            return reg
+        if isinstance(node, Var):
+            reg = self.regmap.get(node.var)
+            if reg is None:
+                raise CompileError(f"unbound variable {node.var} in codegen")
+            return reg
+        if isinstance(node, GlobalRef):
+            reg = self.fresh()
+            self.emit(isa.GLD, reg, self._global(node.name))
+            return reg
+        if isinstance(node, GlobalSet):
+            value = self.compile_expr(node.value)
+            self.emit(isa.GST, value, self._global(node.name))
+            return value
+        if isinstance(node, LocalSet):
+            raise CompileError("LocalSet survived assignment conversion")
+        if isinstance(node, Seq):
+            for expr in node.exprs[:-1]:
+                self.compile_effect(expr)
+            return self.compile_expr(node.exprs[-1])
+        if isinstance(node, Let):
+            for var, init in node.bindings:
+                self.regmap[var] = self.compile_expr(init)
+            return self.compile_expr(node.body)
+        if isinstance(node, Fix):
+            self._compile_fix(node)
+            return self.compile_expr(node.body)
+        if isinstance(node, Letrec):
+            raise CompileError("Letrec survived letrec fixing")
+        if isinstance(node, If):
+            false_label = self.new_label()
+            join = self.new_label()
+            dest = self.fresh()
+            self.compile_test(node.test, false_label)
+            then_reg = self.compile_expr(node.then)
+            self.emit(isa.MOV, dest, then_reg)
+            self.emit(isa.JMP, join)
+            self.bind(false_label)
+            else_reg = self.compile_expr(node.els)
+            self.emit(isa.MOV, dest, else_reg)
+            self.bind(join)
+            return dest
+        if isinstance(node, Lambda):
+            code_id, frees = self.gen.compile_lambda(node)
+            dest = self.fresh()
+            self.emit(
+                isa.CLOSURE, dest, code_id, [self._var_reg(v) for v in frees]
+            )
+            return dest
+        if isinstance(node, Call):
+            return self._compile_call(node, tail=False)
+        if isinstance(node, Prim):
+            return self._compile_prim(node, want_value=True)
+        raise CompileError(f"codegen: unknown node {type(node).__name__}")
+
+    def compile_effect(self, node: Node) -> None:
+        """Compile for side effect only."""
+        if isinstance(node, (Const, Var, GlobalRef)):
+            if isinstance(node, GlobalRef):
+                # Preserve the undefined-global check.
+                self.compile_expr(node)
+            return
+        if isinstance(node, Seq):
+            for expr in node.exprs:
+                self.compile_effect(expr)
+            return
+        if isinstance(node, Let):
+            for var, init in node.bindings:
+                self.regmap[var] = self.compile_expr(init)
+            self.compile_effect(node.body)
+            return
+        if isinstance(node, If):
+            false_label = self.new_label()
+            join = self.new_label()
+            self.compile_test(node.test, false_label)
+            self.compile_effect(node.then)
+            self.emit(isa.JMP, join)
+            self.bind(false_label)
+            self.compile_effect(node.els)
+            self.bind(join)
+            return
+        if isinstance(node, Prim):
+            self._compile_prim(node, want_value=False)
+            return
+        self.compile_expr(node)
+
+    def compile_tail(self, node: Node) -> None:
+        """Compile in tail position: ends with RET or a tail call."""
+        if isinstance(node, Seq):
+            for expr in node.exprs[:-1]:
+                self.compile_effect(expr)
+            self.compile_tail(node.exprs[-1])
+            return
+        if isinstance(node, Let):
+            for var, init in node.bindings:
+                self.regmap[var] = self.compile_expr(init)
+            self.compile_tail(node.body)
+            return
+        if isinstance(node, Fix):
+            self._compile_fix(node)
+            self.compile_tail(node.body)
+            return
+        if isinstance(node, If):
+            false_label = self.new_label()
+            self.compile_test(node.test, false_label)
+            self.compile_tail(node.then)
+            self.bind(false_label)
+            self.compile_tail(node.els)
+            return
+        if isinstance(node, Call):
+            self._compile_call(node, tail=True)
+            return
+        if isinstance(node, Prim) and node.op == "%apply":
+            fn_reg = self.compile_expr(node.args[0])
+            list_reg = self.compile_expr(node.args[1])
+            self.emit(isa.TAILAPPLY, fn_reg, list_reg)
+            return
+        if isinstance(node, Prim) and node.op == "%fail":
+            self._compile_prim(node, want_value=False)
+            return
+        reg = self.compile_expr(node)
+        self.emit(isa.RET, reg)
+
+    # ------------------------------------------------------------------
+    # tests and branches
+    # ------------------------------------------------------------------
+
+    def compile_test(self, test: Node, false_label: Label) -> None:
+        """Emit code that jumps to ``false_label`` when the test word is
+        zero, fusing comparison primitives into conditional branches."""
+        if isinstance(test, Prim) and test.op in _NEGATED_BRANCH:
+            left, right = test.args
+            # Immediate forms (jump taken when the test FAILS):
+            #   (%eq a K)  fails when a != K           -> JNEI
+            #   (%lt a K)  fails when a >= K           -> JGEI
+            #   (%lt K b)  fails when K >= b, b <= K   -> JLEI
+            #   (%le a K)  fails when a > K            -> JGTI
+            #   (%le K b)  fails when b < K            -> JLTI
+            if isinstance(right, Const) and test.op in _IMM_NEGATED_RIGHT:
+                left_reg = self.compile_expr(left)
+                self.emit(
+                    _IMM_NEGATED_RIGHT[test.op], left_reg, right.value, false_label
+                )
+                return
+            if isinstance(left, Const) and test.op in _IMM_NEGATED_LEFT:
+                right_reg = self.compile_expr(right)
+                self.emit(
+                    _IMM_NEGATED_LEFT[test.op], right_reg, left.value, false_label
+                )
+                return
+            left_reg = self.compile_expr(left)
+            right_reg = self.compile_expr(right)
+            self.emit(_NEGATED_BRANCH[test.op], left_reg, right_reg, false_label)
+            return
+        if isinstance(test, Prim) and test.op == "%nz":
+            reg = self.compile_expr(test.args[0])
+            self.emit(isa.JF, reg, false_label)
+            return
+        reg = self.compile_expr(test)
+        self.emit(isa.JF, reg, false_label)
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    def _compile_call(self, node: Call, tail: bool) -> int | None:
+        fn = node.fn
+        direct_id = None
+        if isinstance(fn, GlobalRef):
+            direct_id = self.gen.direct.get(fn.name)
+        if direct_id is not None:
+            callee = self.gen.codes[direct_id]
+            bad_arity = (
+                len(node.args) != callee.nparams
+                if not callee.has_rest
+                else len(node.args) < callee.nparams
+            )
+            if bad_arity:
+                raise CompileError(
+                    f"call to {fn.name} with {len(node.args)} argument(s); "
+                    f"it expects {'at least ' if callee.has_rest else ''}"
+                    f"{callee.nparams}"
+                )
+            arg_regs = [self.compile_expr(arg) for arg in node.args]
+            if tail:
+                self.emit(isa.TAILL, direct_id, arg_regs)
+                return None
+            dest = self.fresh()
+            self.emit(isa.CALLL, dest, direct_id, arg_regs)
+            return dest
+        fn_reg = self.compile_expr(fn)
+        arg_regs = [self.compile_expr(arg) for arg in node.args]
+        if tail:
+            self.emit(isa.TAILCALL, fn_reg, arg_regs)
+            return None
+        dest = self.fresh()
+        self.emit(isa.CALL, dest, fn_reg, arg_regs)
+        return dest
+
+    # ------------------------------------------------------------------
+    # fix (mutually recursive closures)
+    # ------------------------------------------------------------------
+
+    def _compile_fix(self, node: Fix) -> None:
+        fix_vars = {var for var, _ in node.bindings}
+        compiled: list[tuple[LocalVar, int, list[LocalVar]]] = []
+        for var, lam in node.bindings:
+            code_id, frees = self.gen.compile_lambda(lam)
+            compiled.append((var, code_id, frees))
+        zero_reg: int | None = None
+        # First pass: allocate all closures, with holes for siblings.
+        for var, code_id, frees in compiled:
+            free_regs = []
+            for free in frees:
+                if free in fix_vars and free not in self.regmap:
+                    if zero_reg is None:
+                        zero_reg = self.fresh()
+                        self.emit(isa.LDC, zero_reg, 0)
+                    free_regs.append(zero_reg)
+                else:
+                    free_regs.append(self._var_reg(free))
+            dest = self.fresh()
+            self.emit(isa.CLOSURE, dest, code_id, free_regs)
+            self.regmap[var] = dest
+        # Second pass: patch sibling references.
+        for var, code_id, frees in compiled:
+            closure_reg = self.regmap[var]
+            for i, free in enumerate(frees):
+                if free in fix_vars:
+                    self.emit(
+                        isa.ST, closure_reg, 9 + 8 * i, self.regmap[free]
+                    )
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    def _compile_prim(self, node: Prim, want_value: bool) -> int:
+        op = node.op
+        if op in _BIN_OPS:
+            return self._binary(node, *_BIN_OPS[op])
+        if op in _CMP_OPS:
+            return self._binary(node, *_CMP_OPS[op])
+        if op == "%nz":
+            src = self.compile_expr(node.args[0])
+            dest = self.fresh()
+            self.emit(isa.CMPNZ, dest, src)
+            return dest
+        if op == "%not":
+            src = self.compile_expr(node.args[0])
+            dest = self.fresh()
+            self.emit(isa.NOT, dest, src)
+            return dest
+        if op == "%load":
+            return self._compile_load(node)
+        if op == "%store":
+            self._compile_store(node)
+            return self._unit(want_value)
+        if op == "%alloc":
+            return self._compile_alloc(node)
+        if op == "%putc":
+            reg = self.compile_expr(node.args[0])
+            self.emit(isa.PUTC, reg)
+            return self._unit(want_value)
+        if op == "%getc":
+            dest = self.fresh()
+            self.emit(isa.GETC, dest)
+            return dest
+        if op == "%peekc":
+            dest = self.fresh()
+            self.emit(isa.PEEKC, dest)
+            return dest
+        if op == "%fail":
+            reg = self.compile_expr(node.args[0])
+            self.emit(isa.FAIL, reg)
+            return self._unit(want_value)
+        if op == "%apply":
+            fn_reg = self.compile_expr(node.args[0])
+            list_reg = self.compile_expr(node.args[1])
+            dest = self.fresh()
+            self.emit(isa.APPLY, dest, fn_reg, list_reg)
+            return dest
+        if op == "%callec":
+            fn_reg = self.compile_expr(node.args[0])
+            dest = self.fresh()
+            self.emit(isa.CALLEC, dest, fn_reg)
+            return dest
+        if op == "%register-pointer-rep":
+            reg = self.compile_expr(node.args[0])
+            self.emit(isa.REGPTR, reg)
+            return self._unit(want_value)
+        if op == "%register-pair-rep":
+            regs = [self.compile_expr(arg) for arg in node.args]
+            self.emit(isa.REGPAIR, *regs)
+            return self._unit(want_value)
+        if op == "%register-nil":
+            reg = self.compile_expr(node.args[0])
+            self.emit(isa.REGNIL, reg)
+            return self._unit(want_value)
+        if op == "%register-false":
+            reg = self.compile_expr(node.args[0])
+            self.emit(isa.REGFALSE, reg)
+            return self._unit(want_value)
+        raise CompileError(f"codegen: unknown primitive {op}")
+
+    def _unit(self, want_value: bool) -> int:
+        if not want_value:
+            return -1
+        reg = self.fresh()
+        self.emit(isa.LDC, reg, 0)
+        return reg
+
+    def _binary(self, node: Prim, opcode: int, imm_opcode: int | None) -> int:
+        left, right = node.args
+        left_reg = self.compile_expr(left)
+        dest = self.fresh()
+        if imm_opcode is not None and isinstance(right, Const):
+            self.emit(imm_opcode, dest, left_reg, right.value)
+            return dest
+        right_reg = self.compile_expr(right)
+        self.emit(opcode, dest, left_reg, right_reg)
+        return dest
+
+    def _compile_load(self, node: Prim) -> int:
+        base, disp = node.args
+        base_reg = self.compile_expr(base)
+        dest = self.fresh()
+        if isinstance(disp, Const):
+            self.emit(isa.LD, dest, base_reg, signed(disp.value))
+            return dest
+        disp_reg = self.compile_expr(disp)
+        address = self.fresh()
+        self.emit(isa.ADD, address, base_reg, disp_reg)
+        self.emit(isa.LD, dest, address, 0)
+        return dest
+
+    def _compile_store(self, node: Prim) -> None:
+        base, disp, value = node.args
+        base_reg = self.compile_expr(base)
+        if isinstance(disp, Const):
+            value_reg = self.compile_expr(value)
+            self.emit(isa.ST, base_reg, signed(disp.value), value_reg)
+            return
+        disp_reg = self.compile_expr(disp)
+        address = self.fresh()
+        self.emit(isa.ADD, address, base_reg, disp_reg)
+        value_reg = self.compile_expr(value)
+        self.emit(isa.ST, address, 0, value_reg)
+
+    def _compile_alloc(self, node: Prim) -> int:
+        nwords, tag = node.args
+        dest = self.fresh()
+        if isinstance(nwords, Const) and isinstance(tag, Const):
+            self.emit(isa.ALLOCI, dest, nwords.value, tag.value & 7)
+            return dest
+        nwords_reg = self.compile_expr(nwords)
+        tag_reg = self.compile_expr(tag)
+        self.emit(isa.ALLOC, dest, nwords_reg, tag_reg)
+        return dest
+
+    # ------------------------------------------------------------------
+
+    def _var_reg(self, var: LocalVar) -> int:
+        reg = self.regmap.get(var)
+        if reg is None:
+            raise CompileError(f"variable {var} not in scope during codegen")
+        return reg
+
+    def _global(self, name: str) -> int:
+        return self.gen.global_index[name]
+
+
+def generate_code(program: Program) -> isa.VMProgram:
+    return CodeGenerator(program).generate()

@@ -1,0 +1,186 @@
+"""Peephole cleanup over emitted code.
+
+Two rewrites, both bookkeeping-only (no representation knowledge):
+
+* ``OP …→t ; MOV d, t`` where ``t`` is used nowhere else and the MOV is
+  not a branch target: retarget OP to ``d`` and drop the MOV.  This
+  removes the join-move the straightforward if-compilation introduces.
+* ``JMP L`` where ``L`` is the next instruction: dropped.
+
+Branch targets are remapped after deletions.
+"""
+
+from __future__ import annotations
+
+from ..vm import isa
+
+_REG_BINARY = {
+    isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD,
+    isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR,
+    isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPULT, isa.CMPULE,
+}
+_IMM_BINARY = {
+    isa.ADDI, isa.SUBI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI,
+    isa.SHLI, isa.SHRI, isa.SARI,
+    isa.CMPEQI, isa.CMPNEI, isa.CMPLTI, isa.CMPLEI,
+}
+_FUSED_BRANCHES = {
+    isa.JEQ, isa.JNE, isa.JLT, isa.JGE, isa.JLE, isa.JGT,
+    isa.JULT, isa.JUGE, isa.JULE, isa.JUGT,
+}
+
+_IMM_BRANCHES = {isa.JEQI, isa.JNEI, isa.JLTI, isa.JGEI, isa.JLEI, isa.JGTI}
+
+# operand index holding the branch target, per opcode
+_TARGET_INDEX = {
+    isa.JMP: 1,
+    isa.JT: 2,
+    isa.JF: 2,
+    **{op: 3 for op in _IMM_BRANCHES},
+    **{op: 3 for op in _FUSED_BRANCHES},
+}
+
+
+def branch_target_index(op: int) -> int | None:
+    return _TARGET_INDEX.get(op)
+
+
+def dest_position(ins: list) -> int | None:
+    """Operand index of the destination register, if the op writes one."""
+    op = ins[0]
+    if op in (
+        isa.LDC, isa.MOV, isa.NOT, isa.CMPNZ, isa.LD,
+        isa.ALLOC, isa.ALLOCI, isa.GLD, isa.CLOSURE,
+        isa.CALL, isa.CALLL, isa.APPLY, isa.GETC, isa.PEEKC, isa.CALLEC,
+    ):
+        return 1
+    if op in _REG_BINARY or op in _IMM_BINARY:
+        return 1
+    return None
+
+
+def source_registers(ins: list) -> list[int]:
+    """Register numbers this instruction reads."""
+    op = ins[0]
+    if op in (isa.LDC, isa.ALLOCI, isa.GLD, isa.JMP, isa.GETC, isa.PEEKC):
+        return []
+    if op in (isa.MOV, isa.NOT, isa.CMPNZ):
+        return [ins[2]]
+    if op in _REG_BINARY:
+        return [ins[2], ins[3]]
+    if op in _IMM_BINARY:
+        return [ins[2]]
+    if op in (isa.JT, isa.JF) or op in _IMM_BRANCHES:
+        return [ins[1]]
+    if op in _FUSED_BRANCHES:
+        return [ins[1], ins[2]]
+    if op == isa.LD:
+        return [ins[2]]
+    if op == isa.ST:
+        return [ins[1], ins[3]]
+    if op == isa.ALLOC:
+        return [ins[2], ins[3]]
+    if op == isa.GST:
+        return [ins[1]]
+    if op == isa.CLOSURE:
+        return list(ins[3])
+    if op == isa.CALL:
+        return [ins[2]] + list(ins[3])
+    if op == isa.CALLL:
+        return list(ins[3])
+    if op == isa.TAILCALL:
+        return [ins[1]] + list(ins[2])
+    if op == isa.TAILL:
+        return list(ins[2])
+    if op in (isa.RET, isa.REGPTR, isa.REGNIL, isa.REGFALSE, isa.PUTC, isa.FAIL, isa.HALT):
+        return [ins[1]]
+    if op == isa.APPLY:
+        return [ins[2], ins[3]]
+    if op == isa.CALLEC:
+        return [ins[2]]
+    if op == isa.TAILAPPLY:
+        return [ins[1], ins[2]]
+    if op == isa.REGPAIR:
+        return [ins[1], ins[2], ins[3]]
+    raise ValueError(f"unknown opcode {op}")
+
+
+def peephole(code: isa.CodeObject) -> None:
+    """Apply the rewrites in place (iterates to a fixpoint)."""
+    while _fuse_moves(code) or _drop_trivial_jumps(code):
+        pass
+
+
+def _branch_targets(instructions: list[list]) -> set[int]:
+    targets = set()
+    for ins in instructions:
+        index = branch_target_index(ins[0])
+        if index is not None:
+            targets.add(ins[index])
+    return targets
+
+
+def _fuse_moves(code: isa.CodeObject) -> bool:
+    instructions = code.instructions
+    targets = _branch_targets(instructions)
+    reads: dict[int, int] = {}
+    writes: dict[int, int] = {}
+    for ins in instructions:
+        position = dest_position(ins)
+        if position is not None:
+            reg = ins[position]
+            writes[reg] = writes.get(reg, 0) + 1
+        for reg in source_registers(ins):
+            reads[reg] = reads.get(reg, 0) + 1
+    changed = False
+    drop: set[int] = set()
+    for i in range(len(instructions) - 1):
+        if i in drop or (i + 1) in drop or (i + 1) in targets:
+            continue
+        mov = instructions[i + 1]
+        if mov[0] != isa.MOV:
+            continue
+        prev = instructions[i]
+        position = dest_position(prev)
+        if position is None:
+            continue
+        temp = prev[position]
+        if mov[2] != temp or mov[1] == temp:
+            continue
+        if reads.get(temp, 0) != 1 or writes.get(temp, 0) != 1:
+            continue
+        prev[position] = mov[1]
+        drop.add(i + 1)
+        changed = True
+    if changed:
+        _delete(code, drop)
+    return changed
+
+
+def _drop_trivial_jumps(code: isa.CodeObject) -> bool:
+    instructions = code.instructions
+    drop = {
+        i
+        for i, ins in enumerate(instructions)
+        if ins[0] == isa.JMP and ins[1] == i + 1
+    }
+    if not drop:
+        return False
+    _delete(code, drop)
+    return True
+
+
+def _delete(code: isa.CodeObject, drop: set[int]) -> None:
+    instructions = code.instructions
+    mapping: list[int] = []
+    new_position = 0
+    for i in range(len(instructions) + 1):
+        mapping.append(new_position)
+        if i < len(instructions) and i not in drop:
+            new_position += 1
+    kept = [ins for i, ins in enumerate(instructions) if i not in drop]
+    for ins in kept:
+        index = branch_target_index(ins[0])
+        if index is not None:
+            ins[index] = mapping[ins[index]]
+    code.instructions = kept

@@ -1,0 +1,5 @@
+"""Hand-coded baseline configuration (traditional comparator)."""
+
+from .prelude import handcoded_core_source
+
+__all__ = ["handcoded_core_source"]

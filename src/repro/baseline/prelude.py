@@ -1,0 +1,297 @@
+"""The hand-coded baseline prelude — the paper's traditional comparator.
+
+Every primitive operation is written out the way a compiler with
+built-in representation knowledge would emit it: explicit tags, explicit
+displacements, and the safety variant chosen textually (by this Python
+assembler) rather than left to the optimizer.  This is the "more
+contorted, traditional technique" the abstract alludes to.
+
+The abstract machinery of ``reptypes`` is still included afterwards
+(the first-class reflect layer is shared between configurations), but
+none of the operations below go through it.
+"""
+
+from __future__ import annotations
+
+from ..runtime.scm import reptypes_scm
+
+_UNSAFE_OPS = r"""
+;;;; Hand-coded data-type operations (UNSAFE variant).
+
+(define (not x) (if (%eq x (%raw 6)) %sx-true %sx-false))
+(define (boolean? x)
+  (if (%eq x (%raw 6)) %sx-true (if (%eq x (%raw 14)) %sx-true %sx-false)))
+(define (eq? a b) (if (%eq a b) %sx-true %sx-false))
+(define (eqv? a b) (if (%eq a b) %sx-true %sx-false))
+(define (%sx-eqv? a b) (if (%eq a b) %sx-true %sx-false))
+(define (eof-object? x) (if (%eq x (%raw 38)) %sx-true %sx-false))
+
+(define (fixnum? x) (if (%eq (%and x (%raw 7)) (%raw 0)) %sx-true %sx-false))
+(define (integer? x) (if (%eq (%and x (%raw 7)) (%raw 0)) %sx-true %sx-false))
+(define (number? x) (if (%eq (%and x (%raw 7)) (%raw 0)) %sx-true %sx-false))
+
+(define (+ a b) (%add a b))
+(define (- a b) (%sub a b))
+(define (* a b) (%mul (%asr a (%raw 3)) b))
+(define (quotient a b) (%lsl (%div a b) (%raw 3)))
+(define (remainder a b) (%mod a b))
+(define (modulo a b)
+  (let ((r (%mod a b)))
+    (if (%eq r (%raw 0)) r (if (%lt (%xor a b) (%raw 0)) (%add r b) r))))
+
+(define (= a b) (if (%eq a b) %sx-true %sx-false))
+(define (< a b) (if (%lt a b) %sx-true %sx-false))
+(define (<= a b) (if (%le a b) %sx-true %sx-false))
+(define (> a b) (if (%lt b a) %sx-true %sx-false))
+(define (>= a b) (if (%le b a) %sx-true %sx-false))
+(define (zero? n) (if (%eq n (%raw 0)) %sx-true %sx-false))
+(define (negative? n) (if (%lt n (%raw 0)) %sx-true %sx-false))
+(define (positive? n) (if (%lt (%raw 0) n) %sx-true %sx-false))
+
+(define (fx+ a b) (%add a b))
+(define (fx- a b) (%sub a b))
+(define (fx* a b) (%mul (%asr a (%raw 3)) b))
+(define (fx< a b) (if (%lt a b) %sx-true %sx-false))
+(define (fx= a b) (if (%eq a b) %sx-true %sx-false))
+
+(define (%sx-char p) (%or (%lsl p (%raw 8)) (%raw 46)))
+(define (char? x) (if (%eq (%and x (%raw 255)) (%raw 46)) %sx-true %sx-false))
+(define (%char-check c) %sx-unspecified)
+(define (char->integer c) (%lsl (%lsr c (%raw 8)) (%raw 3)))
+(define (integer->char n) (%or (%lsl (%asr n (%raw 3)) (%raw 8)) (%raw 46)))
+(define (char=? a b) (if (%eq a b) %sx-true %sx-false))
+(define (char<? a b) (if (%ult a b) %sx-true %sx-false))
+(define (char<=? a b) (if (%ule a b) %sx-true %sx-false))
+(define (char>? a b) (if (%ult b a) %sx-true %sx-false))
+(define (char>=? a b) (if (%ule b a) %sx-true %sx-false))
+
+(define (pair? x) (if (%eq (%and x (%raw 7)) (%raw 1)) %sx-true %sx-false))
+(define (cons a b)
+  (let ((p (%alloc (%raw 2) (%raw 1))))
+    (begin (%store p (%raw 7) a) (%store p (%raw 15) b) p)))
+(define (car p) (%load p (%raw 7)))
+(define (cdr p) (%load p (%raw 15)))
+(define (set-car! p v) (begin (%store p (%raw 7) v) %sx-unspecified))
+(define (set-cdr! p v) (begin (%store p (%raw 15) v) %sx-unspecified))
+(define (null? x) (if (%eq x (%raw 22)) %sx-true %sx-false))
+(define (%sx-cons a b) (cons a b))
+
+(define (vector? x) (if (%eq (%and x (%raw 7)) (%raw 2)) %sx-true %sx-false))
+(define (vector-length v) (%load v (%raw 6)))
+(define (vector-ref v i) (%load v (%add (%and i (%raw -8)) (%raw 14))))
+(define (vector-set! v i x)
+  (begin (%store v (%add (%and i (%raw -8)) (%raw 14)) x) %sx-unspecified))
+
+(define (string? x) (if (%eq (%and x (%raw 7)) (%raw 3)) %sx-true %sx-false))
+(define (string-length s) (%load s (%raw 5)))
+(define (string-ref s i) (%load s (%add (%and i (%raw -8)) (%raw 13))))
+(define (string-set! s i c)
+  (begin (%store s (%add (%and i (%raw -8)) (%raw 13)) c) %sx-unspecified))
+
+(define (symbol? x) (if (%eq (%and x (%raw 7)) (%raw 4)) %sx-true %sx-false))
+(define (%make-symbol-object s)
+  (let ((p (%alloc (%raw 1) (%raw 4))))
+    (begin (%store p (%raw 4) s) p)))
+(define (symbol->string s) (%load s (%raw 4)))
+
+(define (procedure? x) (if (%eq (%and x (%raw 7)) (%raw 7)) %sx-true %sx-false))
+"""
+
+_SAFE_OPS = r"""
+;;;; Hand-coded data-type operations (SAFE variant: explicit checks).
+
+(define (not x) (if (%eq x (%raw 6)) %sx-true %sx-false))
+(define (boolean? x)
+  (if (%eq x (%raw 6)) %sx-true (if (%eq x (%raw 14)) %sx-true %sx-false)))
+(define (eq? a b) (if (%eq a b) %sx-true %sx-false))
+(define (eqv? a b) (if (%eq a b) %sx-true %sx-false))
+(define (%sx-eqv? a b) (if (%eq a b) %sx-true %sx-false))
+(define (eof-object? x) (if (%eq x (%raw 38)) %sx-true %sx-false))
+
+(define (fixnum? x) (if (%eq (%and x (%raw 7)) (%raw 0)) %sx-true %sx-false))
+(define (integer? x) (if (%eq (%and x (%raw 7)) (%raw 0)) %sx-true %sx-false))
+(define (number? x) (if (%eq (%and x (%raw 7)) (%raw 0)) %sx-true %sx-false))
+
+(define (%fx2 a b)
+  (if (%eq (%and (%or a b) (%raw 7)) (%raw 0)) %sx-unspecified (%fail (%raw 8))))
+
+(define (+ a b) (begin (%fx2 a b) (%add a b)))
+(define (- a b) (begin (%fx2 a b) (%sub a b)))
+(define (* a b) (begin (%fx2 a b) (%mul (%asr a (%raw 3)) b)))
+(define (quotient a b) (begin (%fx2 a b) (%lsl (%div a b) (%raw 3))))
+(define (remainder a b) (begin (%fx2 a b) (%mod a b)))
+(define (modulo a b)
+  (begin (%fx2 a b)
+    (let ((r (%mod a b)))
+      (if (%eq r (%raw 0)) r (if (%lt (%xor a b) (%raw 0)) (%add r b) r)))))
+
+(define (= a b) (begin (%fx2 a b) (if (%eq a b) %sx-true %sx-false)))
+(define (< a b) (begin (%fx2 a b) (if (%lt a b) %sx-true %sx-false)))
+(define (<= a b) (begin (%fx2 a b) (if (%le a b) %sx-true %sx-false)))
+(define (> a b) (begin (%fx2 a b) (if (%lt b a) %sx-true %sx-false)))
+(define (>= a b) (begin (%fx2 a b) (if (%le b a) %sx-true %sx-false)))
+(define (zero? n)
+  (begin (%fx2 n n) (if (%eq n (%raw 0)) %sx-true %sx-false)))
+(define (negative? n)
+  (begin (%fx2 n n) (if (%lt n (%raw 0)) %sx-true %sx-false)))
+(define (positive? n)
+  (begin (%fx2 n n) (if (%lt (%raw 0) n) %sx-true %sx-false)))
+
+(define (fx+ a b) (+ a b))
+(define (fx- a b) (- a b))
+(define (fx* a b) (* a b))
+(define (fx< a b) (< a b))
+(define (fx= a b) (= a b))
+
+(define (%sx-char p) (%or (%lsl p (%raw 8)) (%raw 46)))
+(define (char? x) (if (%eq (%and x (%raw 255)) (%raw 46)) %sx-true %sx-false))
+(define (%char-check c)
+  (if (%eq (%and c (%raw 255)) (%raw 46)) %sx-unspecified (%fail (%raw 11))))
+(define (char->integer c)
+  (begin (%char-check c) (%lsl (%lsr c (%raw 8)) (%raw 3))))
+(define (integer->char n)
+  (if (%eq (%and n (%raw 7)) (%raw 0))
+      (%or (%lsl (%asr n (%raw 3)) (%raw 8)) (%raw 46))
+      (%fail (%raw 8))))
+(define (char=? a b)
+  (begin (%char-check a) (%char-check b)
+         (if (%eq a b) %sx-true %sx-false)))
+(define (char<? a b)
+  (begin (%char-check a) (%char-check b)
+         (if (%ult a b) %sx-true %sx-false)))
+(define (char<=? a b)
+  (begin (%char-check a) (%char-check b)
+         (if (%ule a b) %sx-true %sx-false)))
+(define (char>? a b) (char<? b a))
+(define (char>=? a b) (char<=? b a))
+
+(define (pair? x) (if (%eq (%and x (%raw 7)) (%raw 1)) %sx-true %sx-false))
+(define (cons a b)
+  (let ((p (%alloc (%raw 2) (%raw 1))))
+    (begin (%store p (%raw 7) a) (%store p (%raw 15) b) p)))
+(define (car p)
+  (if (%eq (%and p (%raw 7)) (%raw 1)) (%load p (%raw 7)) (%fail (%raw 5))))
+(define (cdr p)
+  (if (%eq (%and p (%raw 7)) (%raw 1)) (%load p (%raw 15)) (%fail (%raw 5))))
+(define (set-car! p v)
+  (if (%eq (%and p (%raw 7)) (%raw 1))
+      (begin (%store p (%raw 7) v) %sx-unspecified)
+      (%fail (%raw 5))))
+(define (set-cdr! p v)
+  (if (%eq (%and p (%raw 7)) (%raw 1))
+      (begin (%store p (%raw 15) v) %sx-unspecified)
+      (%fail (%raw 5))))
+(define (null? x) (if (%eq x (%raw 22)) %sx-true %sx-false))
+(define (%sx-cons a b) (cons a b))
+
+(define (vector? x) (if (%eq (%and x (%raw 7)) (%raw 2)) %sx-true %sx-false))
+(define (vector-length v)
+  (if (%eq (%and v (%raw 7)) (%raw 2)) (%load v (%raw 6)) (%fail (%raw 6))))
+(define (%vcheck v i)
+  (begin
+    (if (%eq (%and v (%raw 7)) (%raw 2)) %sx-unspecified (%fail (%raw 6)))
+    (if (%eq (%and i (%raw 7)) (%raw 0)) %sx-unspecified (%fail (%raw 8)))
+    (if (%ult i (%load v (%raw 6))) %sx-unspecified (%fail (%raw 2)))))
+(define (vector-ref v i)
+  (begin (%vcheck v i) (%load v (%add (%and i (%raw -8)) (%raw 14)))))
+(define (vector-set! v i x)
+  (begin (%vcheck v i)
+         (%store v (%add (%and i (%raw -8)) (%raw 14)) x)
+         %sx-unspecified))
+
+(define (string? x) (if (%eq (%and x (%raw 7)) (%raw 3)) %sx-true %sx-false))
+(define (string-length s)
+  (if (%eq (%and s (%raw 7)) (%raw 3)) (%load s (%raw 5)) (%fail (%raw 7))))
+(define (%scheck s i)
+  (begin
+    (if (%eq (%and s (%raw 7)) (%raw 3)) %sx-unspecified (%fail (%raw 7)))
+    (if (%eq (%and i (%raw 7)) (%raw 0)) %sx-unspecified (%fail (%raw 8)))
+    (if (%ult i (%load s (%raw 5))) %sx-unspecified (%fail (%raw 2)))))
+(define (string-ref s i)
+  (begin (%scheck s i) (%load s (%add (%and i (%raw -8)) (%raw 13)))))
+(define (string-set! s i c)
+  (begin (%scheck s i) (%char-check c)
+         (%store s (%add (%and i (%raw -8)) (%raw 13)) c)
+         %sx-unspecified))
+
+(define (symbol? x) (if (%eq (%and x (%raw 7)) (%raw 4)) %sx-true %sx-false))
+(define (%make-symbol-object s)
+  (let ((p (%alloc (%raw 1) (%raw 4))))
+    (begin (%store p (%raw 4) s) p)))
+(define (symbol->string s)
+  (if (%eq (%and s (%raw 7)) (%raw 4)) (%load s (%raw 4)) (%fail (%raw 14))))
+
+(define (procedure? x) (if (%eq (%and x (%raw 7)) (%raw 7)) %sx-true %sx-false))
+"""
+
+# Operations shared between the two variants (allocation-side helpers
+# that the expander's literal lowering and the library need).
+_SHARED_TAIL = r"""
+(define (%fx-check a)
+  (if (%nz %safety)
+      (if (%eq (%and a (%raw 7)) (%raw 0)) %sx-unspecified (%fail (%raw 8)))
+      %sx-unspecified))
+
+(define (%sx-vector-alloc-raw nraw)
+  (let ((v (%alloc (%add nraw (%raw 1)) (%raw 2))))
+    (begin (%store v (%raw 6) (%lsl nraw (%raw 3))) v)))
+(define (%sx-vector-init! v iraw x)
+  (%store v (%add (%lsl iraw (%raw 3)) (%raw 14)) x))
+(define (%vector-fill-from! v iraw nraw fill)
+  (if (%ult iraw nraw)
+      (begin (%sx-vector-init! v iraw fill)
+             (%vector-fill-from! v (%add iraw (%raw 1)) nraw fill))
+      v))
+(define (make-vector n . opt)
+  (begin
+    (%fx-check n)
+    (if (%lt n (%raw 0)) (%fail (%raw 2)) %sx-unspecified)
+    (let ((fill (if (null? opt) %sx-unspecified (car opt)))
+          (nraw (%asr n (%raw 3))))
+      (%vector-fill-from! (%sx-vector-alloc-raw nraw) (%raw 0) nraw fill))))
+
+(define (%sx-string-alloc-raw nraw)
+  (let ((s (%alloc (%add nraw (%raw 1)) (%raw 3))))
+    (begin (%store s (%raw 5) (%lsl nraw (%raw 3))) s)))
+(define (%sx-string-init! s iraw coderaw)
+  (%store s (%add (%lsl iraw (%raw 3)) (%raw 13))
+          (%or (%lsl coderaw (%raw 8)) (%raw 46))))
+(define (%string-fill-from! s iraw nraw fill)
+  (if (%ult iraw nraw)
+      (begin (%store s (%add (%lsl iraw (%raw 3)) (%raw 13)) fill)
+             (%string-fill-from! s (%add iraw (%raw 1)) nraw fill))
+      s))
+(define (make-string n . opt)
+  (begin
+    (%fx-check n)
+    (if (%lt n (%raw 0)) (%fail (%raw 2)) %sx-unspecified)
+    (let ((fill (if (null? opt) (%sx-char (%raw 32)) (car opt)))
+          (nraw (%asr n (%raw 3))))
+      (begin (%char-check fill)
+             (%string-fill-from! (%sx-string-alloc-raw nraw) (%raw 0) nraw fill)))))
+"""
+
+_REGISTRATION = r"""
+(%register-pointer-rep (%raw 1))
+(%register-pointer-rep (%raw 2))
+(%register-pointer-rep (%raw 3))
+(%register-pointer-rep (%raw 4))
+(%register-pointer-rep (%raw 5))
+(%register-pair-rep (%raw 1) (%raw 7) (%raw 15))
+(%register-nil %sx-nil)
+(%register-false %sx-false)
+"""
+
+
+def handcoded_core_source(safety: bool) -> str:
+    """The hand-coded replacement for reptypes+types, variant chosen
+    textually by ``safety`` (compiler-knowledge style)."""
+    ops = _SAFE_OPS if safety else _UNSAFE_OPS
+    return "\n".join(
+        [
+            reptypes_scm.SOURCE,  # machinery kept for the reflect layer
+            _REGISTRATION,
+            ops,
+            _SHARED_TAIL,
+        ]
+    )

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Usage (after ``python setup.py develop``):
+
+    python -m repro.cli run program.scm
+    python -m repro.cli run -e '(+ 1 2)'
+    python -m repro.cli disassemble -e '(define (f x) (car x))' --name f
+    python -m repro.cli stats -e '(fib 10)' --config baseline
+    python -m repro.cli repl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    CompileOptions,
+    OptimizerOptions,
+    ReproError,
+    compile_source,
+    decode,
+    run_source,
+)
+from .sexpr import to_write
+
+
+def _options(namespace: argparse.Namespace) -> CompileOptions:
+    config = namespace.config
+    if config == "optimized":
+        options = CompileOptions()
+    elif config == "baseline":
+        options = CompileOptions.baseline()
+    elif config == "unoptimized":
+        options = CompileOptions.unoptimized()
+    else:
+        raise SystemExit(f"unknown --config {config}")
+    options.safety = not namespace.unsafe
+    if namespace.keep_globals:
+        options.optimizer.prune_globals = False
+    return options
+
+
+def _source(namespace: argparse.Namespace) -> str:
+    if namespace.expression is not None:
+        return namespace.expression
+    if namespace.file is None:
+        raise SystemExit("provide a FILE or -e EXPRESSION")
+    with open(namespace.file) as handle:
+        return handle.read()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", nargs="?", help="Scheme source file")
+    parser.add_argument("-e", "--expression", help="inline program text")
+    parser.add_argument(
+        "--config",
+        choices=["optimized", "baseline", "unoptimized"],
+        default="optimized",
+    )
+    parser.add_argument("--unsafe", action="store_true", help="omit type checks")
+    parser.add_argument(
+        "--keep-globals",
+        action="store_true",
+        help="do not prune unreferenced top-level definitions",
+    )
+    parser.add_argument(
+        "--input",
+        default="",
+        help="text made available to the program's (read-char)/(read)",
+    )
+
+
+def cmd_run(namespace: argparse.Namespace) -> int:
+    result = run_source(
+        _source(namespace), _options(namespace), input_text=namespace.input
+    )
+    sys.stdout.write(result.output)
+    value = decode(result)
+    print(f"=> {to_write(value)}")
+    if namespace.stats:
+        print(
+            f";; {result.steps} instructions, {result.words_allocated} words "
+            f"allocated, {result.gc_count} GCs",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_disassemble(namespace: argparse.Namespace) -> int:
+    compiled = compile_source(_source(namespace), _options(namespace))
+    print(compiled.disassemble(namespace.name))
+    return 0
+
+
+def cmd_stats(namespace: argparse.Namespace) -> int:
+    compiled = compile_source(_source(namespace), _options(namespace))
+    result = compiled.run()
+    print(f"value:        {to_write(decode(result))}")
+    print(f"instructions: {result.steps}")
+    print(f"allocated:    {result.words_allocated} words")
+    print(f"collections:  {result.gc_count}")
+    print(f"code size:    {compiled.static_instruction_count()} instructions")
+    print("by opcode:")
+    for name, count in sorted(
+        result.opcode_counts.items(), key=lambda item: -item[1]
+    ):
+        print(f"  {name:10s} {count}")
+    return 0
+
+
+def cmd_repl(namespace: argparse.Namespace) -> int:
+    print("repro Scheme — whole-program compiles per input; :q to quit")
+    history: list[str] = []
+    options = _options(namespace)
+    while True:
+        try:
+            line = input("> ")
+        except EOFError:
+            return 0
+        if line.strip() in (":q", ":quit", "(exit)"):
+            return 0
+        if not line.strip():
+            continue
+        program = "\n".join(history + [line])
+        try:
+            result = run_source(program, options)
+        except ReproError as error:
+            print(f"error: {error}")
+            continue
+        sys.stdout.write(result.output)
+        print(f"=> {to_write(decode(result))}")
+        # Definitions persist; expressions do not accumulate output twice.
+        stripped = line.lstrip()
+        if stripped.startswith("(define") or stripped.startswith("(define-syntax"):
+            history.append(line)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="compile and run a program")
+    _add_common(run_parser)
+    run_parser.add_argument("--stats", action="store_true")
+    run_parser.set_defaults(fn=cmd_run)
+
+    dis_parser = subparsers.add_parser("disassemble", help="show generated code")
+    _add_common(dis_parser)
+    dis_parser.add_argument("--name", help="one procedure (default: everything)")
+    dis_parser.set_defaults(fn=cmd_disassemble)
+
+    stats_parser = subparsers.add_parser("stats", help="run and report counters")
+    _add_common(stats_parser)
+    stats_parser.set_defaults(fn=cmd_stats)
+
+    repl_parser = subparsers.add_parser("repl", help="interactive loop")
+    _add_common(repl_parser)
+    repl_parser.set_defaults(fn=cmd_repl)
+
+    namespace = parser.parse_args(argv)
+    try:
+        return namespace.fn(namespace)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro compiler and runtime.
+
+Every error raised by the system derives from :class:`ReproError`, so callers
+can catch one type.  The subclasses mirror the pipeline stages: reading,
+expansion, compilation proper, and VM execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro system."""
+
+
+class ReaderError(ReproError):
+    """A lexical or syntactic error in S-expression input.
+
+    Carries the source position (1-based line and column) where the
+    problem was detected.
+    """
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ExpandError(ReproError):
+    """A malformed special form or macro use found during expansion."""
+
+    def __init__(self, message: str, form: object = None):
+        if form is not None:
+            from .sexpr.writer import to_write
+
+            text = to_write(form)
+            if len(text) > 120:
+                text = text[:117] + "..."
+            message = f"{message}: {text}"
+        super().__init__(message)
+        self.form = form
+
+
+class CompileError(ReproError):
+    """An error in a later compiler stage (optimizer, backend)."""
+
+
+class VMError(ReproError):
+    """A runtime error raised by the virtual machine."""
+
+
+class SchemeError(VMError):
+    """An error signalled by compiled Scheme code itself (``error`` / ``%error``)."""
+
+    def __init__(self, message: str, irritant: int | None = None):
+        super().__init__(message if irritant is None else f"{message}: {irritant:#x}")
+        self.scheme_message = message
+        self.irritant = irritant
+
+
+class HeapExhausted(VMError):
+    """The VM heap is full even after garbage collection."""

@@ -1,0 +1,17 @@
+"""Expansion from full Scheme source to the core IR."""
+
+from .environment import CoreForm, LocalBinding, MacroBinding, SyntacticEnv
+from .expander import Expander, expand_program
+from .quasiquote import expand_quasiquote
+from .syntax_rules import SyntaxRules
+
+__all__ = [
+    "CoreForm",
+    "Expander",
+    "LocalBinding",
+    "MacroBinding",
+    "SyntacticEnv",
+    "SyntaxRules",
+    "expand_program",
+    "expand_quasiquote",
+]

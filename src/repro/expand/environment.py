@@ -1,0 +1,124 @@
+"""Syntactic environments for the expander.
+
+A denotation says what a symbol *means* at a use site: a core special
+form, a local variable, a macro, or (by default) a top-level variable.
+Because denotations are looked up through lexical scope, core forms and
+macros can be shadowed by local bindings, as Scheme requires:
+
+    (let ((if list)) (if 1 2 3))   ; => (1 2 3)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import LocalVar
+from ..sexpr import Symbol
+
+
+class CoreForm:
+    """Denotation of a built-in special form (``lambda``, ``if``, …)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"#<core {self.name}>"
+
+
+class LocalBinding:
+    """Denotation of a lexical variable."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var: LocalVar):
+        self.var = var
+
+    def __repr__(self) -> str:
+        return f"#<local {self.var}>"
+
+
+class MacroBinding:
+    """Denotation of a ``syntax-rules`` macro."""
+
+    __slots__ = ("transformer",)
+
+    def __init__(self, transformer):
+        self.transformer = transformer
+
+    def __repr__(self) -> str:
+        return "#<macro>"
+
+
+Denotation = object
+
+
+CORE_FORMS = [
+    "quote",
+    "quasiquote",
+    "unquote",
+    "unquote-splicing",
+    "lambda",
+    "if",
+    "set!",
+    "define",
+    "define-syntax",
+    "let-syntax",
+    "letrec-syntax",
+    "syntax-rules",
+    "begin",
+    "let",
+    "let*",
+    "letrec",
+    "letrec*",
+    "cond",
+    "case",
+    "and",
+    "or",
+    "when",
+    "unless",
+    "do",
+    "else",
+    "=>",
+    "%raw",
+]
+
+
+class SyntacticEnv:
+    """A frame of the lexical environment used during expansion."""
+
+    __slots__ = ("parent", "table")
+
+    def __init__(self, parent: Optional["SyntacticEnv"] = None):
+        self.parent = parent
+        self.table: dict[Symbol, Denotation] = {}
+
+    @classmethod
+    def initial(cls) -> "SyntacticEnv":
+        """The top-level environment with every core form bound."""
+        env = cls()
+        for name in CORE_FORMS:
+            env.table[Symbol(name)] = CoreForm(name)
+        return env
+
+    def lookup(self, symbol: Symbol) -> Optional[Denotation]:
+        env: Optional[SyntacticEnv] = self
+        while env is not None:
+            denotation = env.table.get(symbol)
+            if denotation is not None:
+                return denotation
+            env = env.parent
+        return None
+
+    def bind(self, symbol: Symbol, denotation: Denotation) -> None:
+        self.table[symbol] = denotation
+
+    def child(self) -> "SyntacticEnv":
+        return SyntacticEnv(self)
+
+    def is_bound_locally(self, symbol: Symbol) -> bool:
+        """True when ``symbol`` denotes anything other than a global
+        variable in this environment."""
+        return self.lookup(symbol) is not None

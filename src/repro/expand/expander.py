@@ -1,0 +1,843 @@
+"""Expansion: full Scheme source → core IR.
+
+The expander resolves lexical scope (producing :class:`LocalVar`-resolved
+IR), rewrites every derived form (``let*``, ``cond``, ``case``, ``do``,
+named ``let``, ``and``/``or``, quasiquote, user macros) into the core
+language, and lowers datum literals.
+
+Literal lowering is where the paper's externality shows up first: the
+expander does **not** know how ``#t`` or ``5`` or ``"abc"`` are
+represented.  It emits references to library-defined globals
+(``%sx-true``, ``%sx-fixnum``, …); with the optimizer on these collapse
+to immediate constants, and with it off they are ordinary calls.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExpandError
+from ..ir import (
+    Call,
+    Const,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    make_seq,
+)
+from ..prims import is_prim_name, spec, wrap
+from ..sexpr import EOF, NIL, UNSPECIFIED, Char, Pair, Symbol, to_list, to_write
+from .environment import CoreForm, LocalBinding, MacroBinding, SyntacticEnv
+from .quasiquote import expand_quasiquote
+from .syntax_rules import SyntaxRules
+
+_FIXNUM_BITS = 61
+_FIXNUM_MAX = (1 << (_FIXNUM_BITS - 1)) - 1
+_FIXNUM_MIN = -(1 << (_FIXNUM_BITS - 1))
+
+_SYM_DEFINE = Symbol("define")
+_SYM_DEFINE_SYNTAX = Symbol("define-syntax")
+_SYM_BEGIN = Symbol("begin")
+_SYM_ELSE = Symbol("else")
+_SYM_ARROW = Symbol("=>")
+
+
+class Expander:
+    """Expands a sequence of top-level forms into a :class:`Program`."""
+
+    def __init__(self):
+        self.global_env = SyntacticEnv.initial()
+        self.global_names: list[str] = []
+        self._defined: set[str] = set()
+        self._pending: list[Node] = []
+        self._literal_cache: dict[tuple[str, str], str] = {}
+        self._hoist_counter = 0
+
+    # ------------------------------------------------------------------
+    # program structure
+    # ------------------------------------------------------------------
+
+    def expand_program(self, forms: list[object]) -> Program:
+        out: list[Node] = []
+        for form in forms:
+            out.extend(self.expand_toplevel(form))
+        return Program(out, list(self.global_names))
+
+    def expand_toplevel(self, form: object) -> list[Node]:
+        form = self._expand_head_macros(form, self.global_env)
+        if isinstance(form, Pair) and isinstance(form.car, Symbol):
+            denotation = self.global_env.lookup(form.car)
+            if isinstance(denotation, CoreForm):
+                if denotation.name == "define":
+                    return self._toplevel_define(form)
+                if denotation.name == "define-syntax":
+                    self._define_syntax(form, self.global_env)
+                    return []
+                if denotation.name == "begin":
+                    out: list[Node] = []
+                    for sub in _cdr_list(form, "begin"):
+                        out.extend(self.expand_toplevel(sub))
+                    return out
+        node = self.expand(form, self.global_env)
+        return self._flush_pending(node)
+
+    def _toplevel_define(self, form: object) -> list[Node]:
+        name, expr = self._parse_define(form, self.global_env)
+        node = GlobalSet(name.name, expr)
+        self._note_global(name.name)
+        return self._flush_pending(node)
+
+    def _note_global(self, name: str) -> None:
+        if name not in self._defined:
+            self._defined.add(name)
+            self.global_names.append(name)
+
+    def _flush_pending(self, node: Node) -> list[Node]:
+        out = self._pending + [node]
+        self._pending = []
+        return out
+
+    def _parse_define(self, form: Pair, env: SyntacticEnv) -> tuple[Symbol, Node]:
+        """Return (name, expanded expression) for a define form."""
+        rest = form.cdr
+        if not isinstance(rest, Pair):
+            raise ExpandError("malformed define", form)
+        target = rest.car
+        if isinstance(target, Symbol):
+            if rest.cdr is NIL:
+                return target, GlobalRef("%sx-unspecified")
+            if not isinstance(rest.cdr, Pair) or rest.cdr.cdr is not NIL:
+                raise ExpandError("malformed define", form)
+            value = self.expand(rest.cdr.car, env)
+            if isinstance(value, Lambda) and not value.name:
+                value.name = target.name
+            return target, value
+        if isinstance(target, Pair) and isinstance(target.car, Symbol):
+            # (define (f . formals) body...) sugar.
+            name = target.car
+            lam = self._make_lambda(target.cdr, rest.cdr, env, name.name)
+            return name, lam
+        raise ExpandError("malformed define", form)
+
+    # ------------------------------------------------------------------
+    # expression expansion
+    # ------------------------------------------------------------------
+
+    def expand(self, datum: object, env: SyntacticEnv) -> Node:
+        if isinstance(datum, Symbol):
+            return self._expand_symbol(datum, env)
+        if isinstance(datum, bool):
+            return GlobalRef("%sx-true" if datum else "%sx-false")
+        if isinstance(datum, int):
+            return self._fixnum_literal(datum)
+        if isinstance(datum, Char):
+            return Call(GlobalRef("%sx-char"), [Const(datum.code)])
+        if isinstance(datum, str):
+            return self.lower_literal(datum)
+        if isinstance(datum, list):
+            return self.lower_literal(datum)
+        if datum is UNSPECIFIED:
+            return GlobalRef("%sx-unspecified")
+        if datum is EOF:
+            return GlobalRef("%sx-eof")
+        if datum is NIL:
+            raise ExpandError("empty application ()")
+        if isinstance(datum, Pair):
+            return self._expand_pair(datum, env)
+        raise ExpandError(f"cannot expand datum of type {type(datum).__name__}", datum)
+
+    def _expand_symbol(self, symbol: Symbol, env: SyntacticEnv) -> Node:
+        denotation = env.lookup(symbol)
+        if denotation is None:
+            if is_prim_name(symbol.name):
+                raise ExpandError(
+                    f"machine primitive {symbol.name} used as a value"
+                )
+            return GlobalRef(symbol.name)
+        if isinstance(denotation, LocalBinding):
+            return Var(denotation.var)
+        raise ExpandError(f"bad use of syntactic keyword {symbol.name}")
+
+    def _expand_pair(self, form: Pair, env: SyntacticEnv) -> Node:
+        head = form.car
+        if isinstance(head, Symbol):
+            denotation = env.lookup(head)
+            if isinstance(denotation, CoreForm):
+                return self._expand_core(denotation.name, form, env)
+            if isinstance(denotation, MacroBinding):
+                return self.expand(denotation.transformer.expand(form), env)
+            if denotation is None and is_prim_name(head.name):
+                return self._expand_prim(head.name, form, env)
+        fn = self.expand(head, env)
+        args = [self.expand(arg, env) for arg in _cdr_list(form, "application")]
+        return Call(fn, args)
+
+    def _expand_prim(self, op: str, form: Pair, env: SyntacticEnv) -> Node:
+        args = [self.expand(arg, env) for arg in _cdr_list(form, op)]
+        expected = spec(op).arity
+        if len(args) != expected:
+            raise ExpandError(
+                f"{op} expects {expected} argument(s), got {len(args)}", form
+            )
+        return Prim(op, args)
+
+    def _expand_head_macros(self, form: object, env: SyntacticEnv) -> object:
+        """Repeatedly expand macros in operator position (used when
+        scanning for defines, so macro-generated defines work)."""
+        for _ in range(1000):
+            if not (isinstance(form, Pair) and isinstance(form.car, Symbol)):
+                return form
+            denotation = env.lookup(form.car)
+            if not isinstance(denotation, MacroBinding):
+                return form
+            form = denotation.transformer.expand(form)
+        raise ExpandError("macro expansion did not terminate", form)
+
+    # ------------------------------------------------------------------
+    # core forms
+    # ------------------------------------------------------------------
+
+    def _expand_core(self, name: str, form: Pair, env: SyntacticEnv) -> Node:
+        method = getattr(self, f"_core_{name.replace('!', 'bang').replace('*', 'star').replace('-', '_')}", None)
+        if name == "%raw":
+            method = self._core_raw
+        elif name == "set!":
+            method = self._core_set
+        elif name == "let*":
+            method = self._core_letstar
+        elif name == "letrec*":
+            method = self._core_letrec
+        elif name == "define-syntax":
+            raise ExpandError("define-syntax is only allowed at top level or body start", form)
+        elif name == "let-syntax" or name == "letrec-syntax":
+            method = self._core_let_syntax
+        elif name in ("unquote", "unquote-splicing"):
+            raise ExpandError(f"{name} outside quasiquote", form)
+        elif name in ("else", "=>", "syntax-rules"):
+            raise ExpandError(f"bad use of syntactic keyword {name}", form)
+        if method is None:
+            raise ExpandError(f"unimplemented core form {name}", form)
+        return method(form, env)
+
+    def _core_quote(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "quote")
+        if len(args) != 1:
+            raise ExpandError("quote expects one datum", form)
+        return self.lower_literal(args[0])
+
+    def _core_quasiquote(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "quasiquote")
+        if len(args) != 1:
+            raise ExpandError("quasiquote expects one datum", form)
+        return self.expand(expand_quasiquote(args[0]), env)
+
+    def _core_if(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "if")
+        if len(args) not in (2, 3):
+            raise ExpandError("if expects 2 or 3 subforms", form)
+        test = self._scheme_test(self.expand(args[0], env))
+        then = self.expand(args[1], env)
+        els = (
+            self.expand(args[2], env)
+            if len(args) == 3
+            else GlobalRef("%sx-unspecified")
+        )
+        return If(test, then, els)
+
+    def _scheme_test(self, node: Node) -> Node:
+        """Turn a Scheme value into a raw truth word.
+
+        A direct comparison-primitive application already yields a raw
+        0/1 word and is used as-is (the low-level prelude relies on
+        this); any other expression is compared against the library's
+        false object.
+        """
+        if isinstance(node, Prim) and spec(node.op).comparison:
+            return node
+        return Prim("%neq", [node, GlobalRef("%sx-false")])
+
+    def _core_lambda(self, form: Pair, env: SyntacticEnv) -> Node:
+        rest = form.cdr
+        if not isinstance(rest, Pair):
+            raise ExpandError("malformed lambda", form)
+        return self._make_lambda(rest.car, rest.cdr, env, "")
+
+    def _make_lambda(
+        self, formals: object, body: object, env: SyntacticEnv, name: str
+    ) -> Lambda:
+        params: list[LocalVar] = []
+        rest_var: LocalVar | None = None
+        child = env.child()
+        seen: set[Symbol] = set()
+
+        def bind(symbol: object) -> LocalVar:
+            if not isinstance(symbol, Symbol):
+                raise ExpandError("formal parameter must be an identifier", formals)
+            if symbol in seen:
+                raise ExpandError(f"duplicate parameter {symbol.name}")
+            seen.add(symbol)
+            var = LocalVar(symbol.name)
+            child.bind(symbol, LocalBinding(var))
+            return var
+
+        node = formals
+        if isinstance(node, Symbol):
+            rest_var = bind(node)
+        else:
+            while isinstance(node, Pair):
+                params.append(bind(node.car))
+                node = node.cdr
+            if node is not NIL:
+                rest_var = bind(node)
+        body_node = self._expand_body(body, child, where="lambda")
+        return Lambda(params, rest_var, body_node, name)
+
+    def _core_begin(self, form: Pair, env: SyntacticEnv) -> Node:
+        exprs = _cdr_list(form, "begin")
+        if not exprs:
+            raise ExpandError("empty begin expression", form)
+        return make_seq([self.expand(expr, env) for expr in exprs])
+
+    def _core_set(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "set!")
+        if len(args) != 2 or not isinstance(args[0], Symbol):
+            raise ExpandError("malformed set!", form)
+        target, value_form = args
+        value = self.expand(value_form, env)
+        denotation = env.lookup(target)
+        if denotation is None:
+            if is_prim_name(target.name):
+                raise ExpandError(f"cannot set! machine primitive {target.name}")
+            return GlobalSet(target.name, value)
+        if isinstance(denotation, LocalBinding):
+            denotation.var.assigned = True
+            return LocalSet(denotation.var, value)
+        raise ExpandError(f"cannot set! syntactic keyword {target.name}")
+
+    def _core_let(self, form: Pair, env: SyntacticEnv) -> Node:
+        rest = form.cdr
+        if not isinstance(rest, Pair):
+            raise ExpandError("malformed let", form)
+        if isinstance(rest.car, Symbol):
+            return self._named_let(rest.car, rest.cdr, env)
+        names, inits = self._parse_bindings(rest.car, "let")
+        init_nodes = [self.expand(init, env) for init in inits]
+        child = env.child()
+        variables = []
+        for symbol in names:
+            var = LocalVar(symbol.name)
+            child.bind(symbol, LocalBinding(var))
+            variables.append(var)
+        body = self._expand_body(rest.cdr, child, where="let")
+        return Let(list(zip(variables, init_nodes)), body)
+
+    def _named_let(self, name: Symbol, rest: object, env: SyntacticEnv) -> Node:
+        if not isinstance(rest, Pair):
+            raise ExpandError("malformed named let")
+        names, inits = self._parse_bindings(rest.car, "named let")
+        init_nodes = [self.expand(init, env) for init in inits]
+        loop_env = env.child()
+        loop_var = LocalVar(name.name)
+        loop_env.bind(name, LocalBinding(loop_var))
+        lambda_env = loop_env.child()
+        params = []
+        for symbol in names:
+            var = LocalVar(symbol.name)
+            lambda_env.bind(symbol, LocalBinding(var))
+            params.append(var)
+        body = self._expand_body(rest.cdr, lambda_env, where="named let")
+        lam = Lambda(params, None, body, name.name)
+        return Letrec([(loop_var, lam)], Call(Var(loop_var), init_nodes))
+
+    def _core_letstar(self, form: Pair, env: SyntacticEnv) -> Node:
+        rest = form.cdr
+        if not isinstance(rest, Pair):
+            raise ExpandError("malformed let*", form)
+        names, inits = self._parse_bindings(rest.car, "let*")
+        child = env
+        bindings: list[tuple[LocalVar, Node]] = []
+        for symbol, init in zip(names, inits):
+            init_node = self.expand(init, child)
+            child = child.child()
+            var = LocalVar(symbol.name)
+            child.bind(symbol, LocalBinding(var))
+            bindings.append((var, init_node))
+        body = self._expand_body(rest.cdr, child, where="let*")
+        for var, init_node in reversed(bindings):
+            body = Let([(var, init_node)], body)
+        return body
+
+    def _core_letrec(self, form: Pair, env: SyntacticEnv) -> Node:
+        rest = form.cdr
+        if not isinstance(rest, Pair):
+            raise ExpandError("malformed letrec", form)
+        names, inits = self._parse_bindings(rest.car, "letrec")
+        child = env.child()
+        variables = []
+        for symbol in names:
+            var = LocalVar(symbol.name)
+            child.bind(symbol, LocalBinding(var))
+            variables.append(var)
+        init_nodes = []
+        for symbol, init in zip(names, inits):
+            node = self.expand(init, child)
+            if isinstance(node, Lambda) and not node.name:
+                node.name = symbol.name
+            init_nodes.append(node)
+        body = self._expand_body(rest.cdr, child, where="letrec")
+        if not variables:
+            return body
+        return Letrec(list(zip(variables, init_nodes)), body)
+
+    def _parse_bindings(
+        self, bindings_form: object, what: str
+    ) -> tuple[list[Symbol], list[object]]:
+        names: list[Symbol] = []
+        inits: list[object] = []
+        node = bindings_form
+        while isinstance(node, Pair):
+            binding = node.car
+            if (
+                not isinstance(binding, Pair)
+                or not isinstance(binding.car, Symbol)
+                or not isinstance(binding.cdr, Pair)
+                or binding.cdr.cdr is not NIL
+            ):
+                raise ExpandError(f"malformed {what} binding", binding)
+            names.append(binding.car)
+            inits.append(binding.cdr.car)
+            node = node.cdr
+        if node is not NIL:
+            raise ExpandError(f"malformed {what} binding list", bindings_form)
+        return names, inits
+
+    def _core_and(self, form: Pair, env: SyntacticEnv) -> Node:
+        exprs = _cdr_list(form, "and")
+        if not exprs:
+            return GlobalRef("%sx-true")
+        nodes = [self.expand(expr, env) for expr in exprs]
+        result = nodes[-1]
+        for node in reversed(nodes[:-1]):
+            result = If(self._scheme_test(node), result, GlobalRef("%sx-false"))
+        return result
+
+    def _core_or(self, form: Pair, env: SyntacticEnv) -> Node:
+        exprs = _cdr_list(form, "or")
+        if not exprs:
+            return GlobalRef("%sx-false")
+        nodes = [self.expand(expr, env) for expr in exprs]
+        result = nodes[-1]
+        for node in reversed(nodes[:-1]):
+            temp = LocalVar("or-tmp")
+            result = Let(
+                [(temp, node)],
+                If(self._scheme_test(Var(temp)), Var(temp), result),
+            )
+        return result
+
+    def _core_when(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "when")
+        if len(args) < 2:
+            raise ExpandError("malformed when", form)
+        test = self._scheme_test(self.expand(args[0], env))
+        body = make_seq([self.expand(expr, env) for expr in args[1:]])
+        return If(test, body, GlobalRef("%sx-unspecified"))
+
+    def _core_unless(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "unless")
+        if len(args) < 2:
+            raise ExpandError("malformed unless", form)
+        test = self._scheme_test(self.expand(args[0], env))
+        body = make_seq([self.expand(expr, env) for expr in args[1:]])
+        return If(test, GlobalRef("%sx-unspecified"), body)
+
+    def _core_cond(self, form: Pair, env: SyntacticEnv) -> Node:
+        clauses = _cdr_list(form, "cond")
+        return self._expand_cond_clauses(clauses, env, form)
+
+    def _expand_cond_clauses(
+        self, clauses: list[object], env: SyntacticEnv, origin: Pair
+    ) -> Node:
+        if not clauses:
+            return GlobalRef("%sx-unspecified")
+        clause = clauses[0]
+        if not isinstance(clause, Pair):
+            raise ExpandError("malformed cond clause", clause)
+        parts = _improper_guard(clause, "cond clause")
+        head = parts[0]
+        if isinstance(head, Symbol) and env.lookup(head) is not None and isinstance(env.lookup(head), CoreForm) and env.lookup(head).name == "else":
+            if len(clauses) != 1:
+                raise ExpandError("else clause must be last in cond", origin)
+            if len(parts) < 2:
+                raise ExpandError("empty else clause", clause)
+            return make_seq([self.expand(expr, env) for expr in parts[1:]])
+        test_node = self.expand(head, env)
+        rest = self._expand_cond_clauses(clauses[1:], env, origin)
+        if len(parts) == 1:
+            temp = LocalVar("cond-tmp")
+            return Let(
+                [(temp, test_node)],
+                If(self._scheme_test(Var(temp)), Var(temp), rest),
+            )
+        if len(parts) >= 2 and isinstance(parts[1], Symbol) and isinstance(env.lookup(parts[1]), CoreForm) and env.lookup(parts[1]).name == "=>":
+            if len(parts) != 3:
+                raise ExpandError("malformed => clause", clause)
+            receiver = self.expand(parts[2], env)
+            temp = LocalVar("cond-tmp")
+            return Let(
+                [(temp, test_node)],
+                If(
+                    self._scheme_test(Var(temp)),
+                    Call(receiver, [Var(temp)]),
+                    rest,
+                ),
+            )
+        body = make_seq([self.expand(expr, env) for expr in parts[1:]])
+        return If(self._scheme_test(test_node), body, rest)
+
+    def _core_case(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "case")
+        if len(args) < 2:
+            raise ExpandError("malformed case", form)
+        key = self.expand(args[0], env)
+        key_var = LocalVar("case-key")
+        result: Node = GlobalRef("%sx-unspecified")
+        clauses = args[1:]
+        for index, clause in enumerate(reversed(clauses)):
+            is_last = index == 0
+            if not isinstance(clause, Pair):
+                raise ExpandError("malformed case clause", clause)
+            parts = _improper_guard(clause, "case clause")
+            head = parts[0]
+            body = make_seq([self.expand(expr, env) for expr in parts[1:]]) if len(parts) > 1 else GlobalRef("%sx-unspecified")
+            denotation = env.lookup(head) if isinstance(head, Symbol) else None
+            if isinstance(denotation, CoreForm) and denotation.name == "else":
+                if not is_last:
+                    raise ExpandError("else clause must be last in case", form)
+                result = body
+                continue
+            test: Node | None = None
+            for datum in _as_list(head, "case datum list"):
+                compare = Call(
+                    GlobalRef("%sx-eqv?"), [Var(key_var), self.lower_literal(datum)]
+                )
+                compare_test = self._scheme_test(compare)
+                test = compare_test if test is None else _or_tests(test, compare_test)
+            if test is None:
+                continue  # empty datum list never matches
+            result = If(test, body, result)
+        return Let([(key_var, key)], result)
+
+    def _core_do(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "do")
+        if len(args) < 2:
+            raise ExpandError("malformed do", form)
+        spec_forms = _as_list(args[0], "do bindings")
+        names: list[Symbol] = []
+        inits: list[object] = []
+        steps: list[object | None] = []
+        for spec_form in spec_forms:
+            parts = _as_list(spec_form, "do binding")
+            if len(parts) == 2:
+                name, init = parts
+                step = None
+            elif len(parts) == 3:
+                name, init, step = parts
+            else:
+                raise ExpandError("malformed do binding", spec_form)
+            if not isinstance(name, Symbol):
+                raise ExpandError("do variable must be an identifier", spec_form)
+            names.append(name)
+            inits.append(init)
+            steps.append(step)
+        test_clause = _as_list(args[1], "do test clause")
+        if not test_clause:
+            raise ExpandError("do needs a test clause", form)
+        init_nodes = [self.expand(init, env) for init in inits]
+        loop_env = env.child()
+        loop_var = LocalVar("do-loop")
+        params = []
+        for name in names:
+            var = LocalVar(name.name)
+            loop_env.bind(name, LocalBinding(var))
+            params.append(var)
+        test = self._scheme_test(self.expand(test_clause[0], loop_env))
+        result = (
+            make_seq([self.expand(expr, loop_env) for expr in test_clause[1:]])
+            if len(test_clause) > 1
+            else GlobalRef("%sx-unspecified")
+        )
+        step_nodes = [
+            Var(param) if step is None else self.expand(step, loop_env)
+            for param, step in zip(params, steps)
+        ]
+        body_exprs = [self.expand(expr, loop_env) for expr in args[2:]]
+        recur = Call(Var(loop_var), step_nodes)
+        loop_body = If(test, result, make_seq(body_exprs + [recur]))
+        lam = Lambda(params, None, loop_body, "do-loop")
+        return Letrec([(loop_var, lam)], Call(Var(loop_var), init_nodes))
+
+    def _core_let_syntax(self, form: Pair, env: SyntacticEnv) -> Node:
+        rest = form.cdr
+        if not isinstance(rest, Pair):
+            raise ExpandError("malformed let-syntax", form)
+        child = env.child()
+        for binding in _as_list(rest.car, "let-syntax bindings"):
+            parts = _as_list(binding, "let-syntax binding")
+            if len(parts) != 2 or not isinstance(parts[0], Symbol):
+                raise ExpandError("malformed let-syntax binding", binding)
+            transformer = SyntaxRules.parse(parts[1], parts[0].name)
+            child.bind(parts[0], MacroBinding(transformer))
+        return self._expand_body(rest.cdr, child, where="let-syntax")
+
+    def _define_syntax(self, form: Pair, env: SyntacticEnv) -> None:
+        args = _cdr_list(form, "define-syntax")
+        if len(args) != 2 or not isinstance(args[0], Symbol):
+            raise ExpandError("malformed define-syntax", form)
+        transformer = SyntaxRules.parse(args[1], args[0].name)
+        env.bind(args[0], MacroBinding(transformer))
+
+    def _core_raw(self, form: Pair, env: SyntacticEnv) -> Node:
+        args = _cdr_list(form, "%raw")
+        if len(args) != 1 or not isinstance(args[0], int) or isinstance(args[0], bool):
+            raise ExpandError("%raw expects one integer literal", form)
+        return Const(wrap(args[0]))
+
+    def _core_define(self, form: Pair, env: SyntacticEnv) -> Node:
+        raise ExpandError(
+            "define is only allowed at top level or at the start of a body", form
+        )
+
+    # ------------------------------------------------------------------
+    # bodies with internal definitions
+    # ------------------------------------------------------------------
+
+    def _expand_body(self, body: object, env: SyntacticEnv, where: str) -> Node:
+        forms = _as_list(body, f"{where} body")
+        if not forms:
+            raise ExpandError(f"empty {where} body")
+        child = env.child()
+        definitions: list[tuple[Symbol, object]] = []
+        index = 0
+        while index < len(forms):
+            form = self._expand_head_macros(forms[index], child)
+            forms[index] = form
+            if isinstance(form, Pair) and isinstance(form.car, Symbol):
+                denotation = child.lookup(form.car)
+                if isinstance(denotation, CoreForm) and denotation.name == "define":
+                    definitions.append(self._parse_body_define(form))
+                    index += 1
+                    continue
+                if isinstance(denotation, CoreForm) and denotation.name == "define-syntax":
+                    self._define_syntax(form, child)
+                    forms[index] = None
+                    index += 1
+                    continue
+                if isinstance(denotation, CoreForm) and denotation.name == "begin":
+                    sub = [
+                        self._expand_head_macros(item, child)
+                        for item in _cdr_list(form, "begin")
+                    ]
+                    if not sub:
+                        # (begin) — macro recursion base case: drop it.
+                        forms[index : index + 1] = []
+                        continue
+                    if all(_is_definition(item, child) for item in sub):
+                        forms[index : index + 1] = sub
+                        continue
+            break
+        rest = [form for form in forms[index:] if form is not None]
+        if not rest:
+            raise ExpandError(f"{where} body has no expressions")
+        if not definitions:
+            return make_seq([self.expand(expr, child) for expr in rest])
+        variables = []
+        for name, _ in definitions:
+            var = LocalVar(name.name)
+            child.bind(name, LocalBinding(var))
+            variables.append(var)
+        init_nodes = []
+        for (name, value_form), var in zip(definitions, variables):
+            node = self._expand_definition_value(name, value_form, child)
+            init_nodes.append(node)
+        body_node = make_seq([self.expand(expr, child) for expr in rest])
+        return Letrec(list(zip(variables, init_nodes)), body_node)
+
+    def _parse_body_define(self, form: Pair) -> tuple[Symbol, object]:
+        rest = form.cdr
+        if not isinstance(rest, Pair):
+            raise ExpandError("malformed define", form)
+        target = rest.car
+        if isinstance(target, Symbol):
+            if rest.cdr is NIL:
+                return target, UNSPECIFIED
+            if not isinstance(rest.cdr, Pair) or rest.cdr.cdr is not NIL:
+                raise ExpandError("malformed define", form)
+            return target, rest.cdr.car
+        if isinstance(target, Pair) and isinstance(target.car, Symbol):
+            return target.car, ("lambda-sugar", target.cdr, rest.cdr)
+        raise ExpandError("malformed define", form)
+
+    def _expand_definition_value(
+        self, name: Symbol, value_form: object, env: SyntacticEnv
+    ) -> Node:
+        if isinstance(value_form, tuple) and value_form[0] == "lambda-sugar":
+            _, formals, body = value_form
+            return self._make_lambda(formals, body, env, name.name)
+        if value_form is UNSPECIFIED:
+            return GlobalRef("%sx-unspecified")
+        node = self.expand(value_form, env)
+        if isinstance(node, Lambda) and not node.name:
+            node.name = name.name
+        return node
+
+    # ------------------------------------------------------------------
+    # literal lowering
+    # ------------------------------------------------------------------
+
+    def _fixnum_literal(self, value: int) -> Node:
+        if not (_FIXNUM_MIN <= value <= _FIXNUM_MAX):
+            raise ExpandError(f"integer literal {value} exceeds the fixnum range")
+        return Call(GlobalRef("%sx-fixnum"), [Const(wrap(value))])
+
+    def lower_literal(self, datum: object) -> Node:
+        """Lower a quoted datum.  Structured data (strings, symbols,
+        pairs, vectors) is hoisted to a top-level definition so it is
+        constructed once; small immediates are lowered inline."""
+        if isinstance(datum, bool):
+            return GlobalRef("%sx-true" if datum else "%sx-false")
+        if isinstance(datum, int):
+            return self._fixnum_literal(datum)
+        if isinstance(datum, Char):
+            return Call(GlobalRef("%sx-char"), [Const(datum.code)])
+        if datum is NIL:
+            return GlobalRef("%sx-nil")
+        if datum is UNSPECIFIED:
+            return GlobalRef("%sx-unspecified")
+        if datum is EOF:
+            return GlobalRef("%sx-eof")
+        kind = type(datum).__name__
+        key = (kind, to_write(datum))
+        cached = self._literal_cache.get(key)
+        if cached is not None:
+            return GlobalRef(cached)
+        expr = self._quoted_expr(datum)
+        name = f"%lit:{self._hoist_counter}"
+        self._hoist_counter += 1
+        self._literal_cache[key] = name
+        self._pending.append(GlobalSet(name, expr))
+        self._note_global(name)
+        return GlobalRef(name)
+
+    def _quoted_expr(self, datum: object) -> Node:
+        """Build the constructor expression for a quoted datum, inline."""
+        if isinstance(datum, bool):
+            return GlobalRef("%sx-true" if datum else "%sx-false")
+        if isinstance(datum, int):
+            return self._fixnum_literal(datum)
+        if isinstance(datum, Char):
+            return Call(GlobalRef("%sx-char"), [Const(datum.code)])
+        if datum is NIL:
+            return GlobalRef("%sx-nil")
+        if datum is UNSPECIFIED:
+            return GlobalRef("%sx-unspecified")
+        if datum is EOF:
+            return GlobalRef("%sx-eof")
+        if isinstance(datum, str):
+            return self._string_expr(datum)
+        if isinstance(datum, Symbol):
+            return Call(
+                GlobalRef("%sx-intern-literal"), [self._string_expr(datum.name)]
+            )
+        if isinstance(datum, Pair):
+            return Call(
+                GlobalRef("%sx-cons"),
+                [self._quoted_expr(datum.car), self._quoted_expr(datum.cdr)],
+            )
+        if isinstance(datum, list):
+            var = LocalVar("qvec")
+            steps: list[Node] = [
+                Call(
+                    GlobalRef("%sx-vector-init!"),
+                    [Var(var), Const(i), self._quoted_expr(item)],
+                )
+                for i, item in enumerate(datum)
+            ]
+            return Let(
+                [(var, Call(GlobalRef("%sx-vector-alloc-raw"), [Const(len(datum))]))],
+                make_seq(steps + [Var(var)]),
+            )
+        raise ExpandError(f"cannot quote datum of type {type(datum).__name__}", datum)
+
+    def _string_expr(self, text: str) -> Node:
+        var = LocalVar("qstr")
+        steps: list[Node] = [
+            Call(
+                GlobalRef("%sx-string-init!"),
+                [Var(var), Const(i), Const(ord(ch))],
+            )
+            for i, ch in enumerate(text)
+        ]
+        return Let(
+            [(var, Call(GlobalRef("%sx-string-alloc-raw"), [Const(len(text))]))],
+            make_seq(steps + [Var(var)]),
+        )
+
+
+# ----------------------------------------------------------------------
+# small helpers
+# ----------------------------------------------------------------------
+
+
+def _cdr_list(form: Pair, what: str) -> list[object]:
+    try:
+        return to_list(form.cdr)
+    except ValueError:
+        raise ExpandError(f"malformed {what} (improper argument list)", form) from None
+
+
+def _as_list(datum: object, what: str) -> list[object]:
+    if datum is NIL:
+        return []
+    if not isinstance(datum, Pair):
+        raise ExpandError(f"malformed {what}", datum)
+    try:
+        return to_list(datum)
+    except ValueError:
+        raise ExpandError(f"malformed {what} (improper list)", datum) from None
+
+
+def _improper_guard(clause: Pair, what: str) -> list[object]:
+    try:
+        return to_list(clause)
+    except ValueError:
+        raise ExpandError(f"malformed {what}", clause) from None
+
+
+def _is_definition(form: object, env: SyntacticEnv) -> bool:
+    if not (isinstance(form, Pair) and isinstance(form.car, Symbol)):
+        return False
+    denotation = env.lookup(form.car)
+    return isinstance(denotation, CoreForm) and denotation.name in (
+        "define",
+        "define-syntax",
+        "begin",
+    )
+
+
+def _or_tests(left: Node, right: Node) -> Node:
+    """Combine two raw truth words with a short-circuit or."""
+    return If(left, Const(1), right)
+
+
+def expand_program(forms: list[object]) -> Program:
+    """Convenience: expand a list of top-level datums into a Program."""
+    return Expander().expand_program(forms)

@@ -1,0 +1,75 @@
+"""Quasiquotation, as a source-to-source rewrite.
+
+``(quasiquote d)`` is rewritten into calls to the library constructors
+``%sx-cons``, ``%sx-append``, and ``%sx-list->vector`` (shadow-proof
+aliases the prelude defines next to ``cons``/``append``), with nested
+quasiquote levels handled per R5RS.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExpandError
+from ..sexpr import NIL, Pair, Symbol, from_list
+
+_QUASIQUOTE = Symbol("quasiquote")
+_UNQUOTE = Symbol("unquote")
+_UNQUOTE_SPLICING = Symbol("unquote-splicing")
+_QUOTE = Symbol("quote")
+_CONS = Symbol("%sx-cons")
+_APPEND = Symbol("%sx-append")
+_LIST_TO_VECTOR = Symbol("%sx-list->vector")
+
+
+def expand_quasiquote(datum: object, depth: int = 1) -> object:
+    """Rewrite the body of a quasiquote form into ordinary source."""
+    if isinstance(datum, Pair):
+        head = datum.car
+        if head is _UNQUOTE:
+            inner = _single_argument(datum)
+            if depth == 1:
+                return inner
+            return _build_tagged(_UNQUOTE, expand_quasiquote(inner, depth - 1))
+        if head is _QUASIQUOTE:
+            inner = _single_argument(datum)
+            return _build_tagged(_QUASIQUOTE, expand_quasiquote(inner, depth + 1))
+        if head is _UNQUOTE_SPLICING:
+            raise ExpandError("unquote-splicing outside of a list", datum)
+        return _expand_pair(datum, depth)
+    if isinstance(datum, list):
+        listed = expand_quasiquote(from_list(datum), depth)
+        return from_list([_LIST_TO_VECTOR, listed])
+    return from_list([_QUOTE, datum])
+
+
+def _expand_pair(datum: Pair, depth: int) -> object:
+    car = datum.car
+    if isinstance(car, Pair) and car.car is _UNQUOTE_SPLICING:
+        spliced = _single_argument(car)
+        if depth == 1:
+            rest = expand_quasiquote(datum.cdr, depth)
+            return from_list([_APPEND, spliced, rest])
+        new_car = _build_tagged(
+            _UNQUOTE_SPLICING, expand_quasiquote(spliced, depth - 1)
+        )
+        rest = expand_quasiquote(datum.cdr, depth)
+        return from_list([_CONS, new_car, rest])
+    return from_list(
+        [_CONS, expand_quasiquote(car, depth), expand_quasiquote(datum.cdr, depth)]
+    )
+
+
+def _single_argument(form: Pair) -> object:
+    if not isinstance(form.cdr, Pair) or form.cdr.cdr is not NIL:
+        raise ExpandError("malformed unquote", form)
+    return form.cdr.car
+
+
+def _build_tagged(tag: Symbol, inner: object) -> object:
+    """Rebuild ``(tag inner)`` as constructed data (for nested levels)."""
+    return from_list(
+        [
+            _CONS,
+            from_list([_QUOTE, tag]),
+            from_list([_CONS, inner, from_list([_QUOTE, NIL])]),
+        ]
+    )

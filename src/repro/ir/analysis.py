@@ -1,0 +1,207 @@
+"""Static analyses over the core IR.
+
+Everything here is purely syntactic: free variables, expression size,
+effect classification, and a reference/assignment census used by the
+inliner and dead-code eliminator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import prims
+from .nodes import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+)
+
+
+def free_vars(node: Node) -> set[LocalVar]:
+    """The set of local variables occurring free in ``node``."""
+    out: set[LocalVar] = set()
+    _free_into(node, out)
+    return out
+
+
+def _free_into(node: Node, out: set[LocalVar]) -> None:
+    if isinstance(node, Var):
+        out.add(node.var)
+    elif isinstance(node, LocalSet):
+        out.add(node.var)
+        _free_into(node.value, out)
+    elif isinstance(node, Lambda):
+        inner: set[LocalVar] = set()
+        _free_into(node.body, inner)
+        inner.difference_update(node.params)
+        if node.rest is not None:
+            inner.discard(node.rest)
+        out.update(inner)
+    elif isinstance(node, Let):
+        for _, expr in node.bindings:
+            _free_into(expr, out)
+        inner = set()
+        _free_into(node.body, inner)
+        inner.difference_update(var for var, _ in node.bindings)
+        out.update(inner)
+    elif isinstance(node, (Letrec, Fix)):
+        inner = set()
+        for _, expr in node.bindings:
+            _free_into(expr, inner)
+        _free_into(node.body, inner)
+        inner.difference_update(var for var, _ in node.bindings)
+        out.update(inner)
+    else:
+        for child in node.children():
+            _free_into(child, out)
+
+
+def node_size(node: Node) -> int:
+    """A size measure used for inlining budgets (roughly: node count)."""
+    size = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        size += 1
+        stack.extend(current.children())
+    return size
+
+
+def is_pure(node: Node) -> bool:
+    """True when evaluating ``node`` has no observable effect and cannot
+    fail, so it may be deleted or duplicated.
+
+    Calls are never pure (they may not terminate); loads are treated as
+    pure for *deletion* purposes by the DCE pass, which asks
+    :func:`is_removable` instead.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (Call, LocalSet, GlobalSet, Letrec)):
+            return False
+        if isinstance(current, GlobalRef):
+            # Reading an unbound global faults; treated as effect-free
+            # only after the census proves the global is defined, which
+            # the optimizer handles separately.  Be conservative here.
+            return False
+        if isinstance(current, Prim):
+            spec = prims.lookup(current.op)
+            if spec is None or not spec.pure:
+                return False
+        if isinstance(current, Lambda):
+            continue  # a lambda's body does not run at evaluation time
+        stack.extend(current.children())
+    return True
+
+
+def is_removable(node: Node, known_globals: set[str] | None = None) -> bool:
+    """True when an unused evaluation of ``node`` may be deleted.
+
+    Loads and reads of globals known to be defined are removable even
+    though they are not pure (their value cannot be observed if unused).
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (Call, LocalSet, GlobalSet, Letrec)):
+            return False
+        if isinstance(current, GlobalRef):
+            if known_globals is not None and current.name not in known_globals:
+                return False
+        if isinstance(current, Prim):
+            spec = prims.lookup(current.op)
+            if spec is None or not spec.removable:
+                return False
+        if isinstance(current, Lambda):
+            continue
+        stack.extend(current.children())
+    return True
+
+
+@dataclass
+class VarInfo:
+    """Census data for one local variable."""
+
+    references: int = 0
+    assignments: int = 0
+
+
+@dataclass
+class GlobalInfo:
+    """Census data for one top-level variable."""
+
+    references: int = 0
+    #: number of GlobalSet forms targeting the name (defines included)
+    assignments: int = 0
+    #: the unique defining expression, when assignments == 1
+    definition: Node | None = None
+
+
+@dataclass
+class Census:
+    locals: dict[LocalVar, VarInfo] = field(default_factory=dict)
+    globals: dict[str, GlobalInfo] = field(default_factory=dict)
+
+    def local(self, var: LocalVar) -> VarInfo:
+        info = self.locals.get(var)
+        if info is None:
+            info = VarInfo()
+            self.locals[var] = info
+        return info
+
+    def global_(self, name: str) -> GlobalInfo:
+        info = self.globals.get(name)
+        if info is None:
+            info = GlobalInfo()
+            self.globals[name] = info
+        return info
+
+
+def census_node(node: Node, census: Census) -> None:
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            census.local(current.var).references += 1
+        elif isinstance(current, LocalSet):
+            census.local(current.var).assignments += 1
+            current.var.assigned = True
+        elif isinstance(current, GlobalRef):
+            census.global_(current.name).references += 1
+        elif isinstance(current, GlobalSet):
+            info = census.global_(current.name)
+            info.assignments += 1
+            info.definition = current.value if info.assignments == 1 else None
+        stack.extend(current.children())
+
+
+def census_program(program: Program) -> Census:
+    """Count references and assignments across a whole program."""
+    census = Census()
+    for form in program.forms:
+        census_node(form, census)
+    return census
+
+
+def mark_assigned(node: Node) -> None:
+    """Set the ``assigned`` flag on every local targeted by a LocalSet."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, LocalSet):
+            current.var.assigned = True
+        stack.extend(current.children())

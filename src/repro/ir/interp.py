@@ -1,0 +1,334 @@
+"""A reference interpreter for the core IR.
+
+Direct, slow, obviously-correct semantics for the language the optimizer
+transforms — used for differential testing: a program evaluated here
+must agree with (a) the same program after any optimizer pipeline, and
+(b) the compiled program on the VM.
+
+The interpreter shares the VM's word-level semantics for primitives
+(via :mod:`repro.prims.fold`) and models the heap as the VM does, so
+results are bit-identical words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import prims
+from ..errors import SchemeError, VMError
+from ..prims import FoldCannot, fold, wrap
+from ..vm.heap import Heap
+from ..vm.machine import FAIL_MESSAGES
+from ..vm.registry import TypeRegistry
+from .nodes import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+)
+
+_CLOSURE_TAG = 7
+
+
+class _Box:
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+
+class _EscapeInvoked(Exception):
+    """Internal: an escape continuation was called."""
+
+    def __init__(self, token: object, value: int):
+        super().__init__("escape")
+        self.token = token
+        self.value = value
+
+
+class _Escape:
+    """An escape-continuation value in the closure table."""
+
+    __slots__ = ("token", "word")
+
+    def __init__(self, token: object, word: int):
+        self.token = token
+        self.word = word
+
+
+class _Closure:
+    """An interpreter-level closure.
+
+    It also owns a heap word (an empty tag-7 block) so that tag tests,
+    ``eq?``, and GC behave exactly as compiled code expects.
+    """
+
+    __slots__ = ("lam", "env", "word")
+
+    def __init__(self, lam: Lambda, env: dict, word: int):
+        self.lam = lam
+        self.env = env
+        self.word = word
+
+
+@dataclass
+class InterpResult:
+    value: int
+    output: str
+
+
+class Interpreter:
+    """Evaluates a whole program; returns the final word."""
+
+    def __init__(
+        self,
+        heap_words: int = 1 << 20,
+        max_calls: int = 2_000_000,
+        input_text: str = "",
+    ):
+        self.heap = Heap(heap_words)
+        self.heap.register_pointer_tag(_CLOSURE_TAG)
+        self.registry = TypeRegistry()
+        self.globals: dict[str, int] = {}
+        self.output: list[str] = []
+        self.input_codes = [ord(ch) for ch in input_text]
+        self.input_pos = 0
+        #: heap word -> _Closure (procedure values are heap-allocated)
+        self.closures: dict[int, _Closure] = {}
+        self.calls = 0
+        self.max_calls = max_calls
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: Program) -> InterpResult:
+        value = 0
+        try:
+            for form in program.forms:
+                value = self.eval(form, {})
+        except _EscapeInvoked:
+            raise SchemeError(
+                "escape continuation invoked after its extent ended"
+            ) from None
+        return InterpResult(value, "".join(self.output))
+
+    def eval(self, node: Node, env: dict) -> int:
+        while True:  # trampoline for tail calls
+            if isinstance(node, Const):
+                return node.value
+            if isinstance(node, Var):
+                slot = env[node.var]
+                return slot.value if isinstance(slot, _Box) else slot
+            if isinstance(node, GlobalRef):
+                if node.name not in self.globals:
+                    raise VMError(f"undefined global variable {node.name!r}")
+                return self.globals[node.name]
+            if isinstance(node, GlobalSet):
+                value = self.eval(node.value, env)
+                self.globals[node.name] = value
+                return value
+            if isinstance(node, LocalSet):
+                value = self.eval(node.value, env)
+                slot = env[node.var]
+                if isinstance(slot, _Box):
+                    slot.value = value
+                else:
+                    env[node.var] = value
+                return 0
+            if isinstance(node, If):
+                test = self.eval(node.test, env)
+                node = node.then if test != 0 else node.els
+                continue
+            if isinstance(node, Seq):
+                for expr in node.exprs[:-1]:
+                    self.eval(expr, env)
+                node = node.exprs[-1]
+                continue
+            if isinstance(node, Let):
+                values = [(var, self.eval(init, env)) for var, init in node.bindings]
+                env = dict(env)
+                for var, value in values:
+                    env[var] = _Box(value) if var.assigned else value
+                node = node.body
+                continue
+            if isinstance(node, (Letrec, Fix)):
+                env = dict(env)
+                for var, _ in node.bindings:
+                    env[var] = _Box(0)
+                for var, init in node.bindings:
+                    value = self.eval(init, env)
+                    slot = env[var]
+                    assert isinstance(slot, _Box)
+                    slot.value = value
+                node = node.body
+                continue
+            if isinstance(node, Lambda):
+                return self._make_closure(node, env)
+            if isinstance(node, Call):
+                fn_word = self.eval(node.fn, env)
+                args = [self.eval(arg, env) for arg in node.args]
+                node, env = self._enter(fn_word, args)
+                continue
+            if isinstance(node, Prim):
+                result = self._prim(node, env)
+                if isinstance(result, tuple):  # tail re-entry from %apply
+                    node, env = result
+                    continue
+                return result
+            raise TypeError(f"interp: unknown node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _make_closure(self, lam: Lambda, env: dict) -> int:
+        word = self.heap.allocate(1, _CLOSURE_TAG, self._roots)
+        self.closures[word] = _Closure(lam, env, word)
+        return word
+
+    def _roots(self):
+        # Conservative enough for tests: every closure environment value
+        # plus globals.  (Boxes hold words.)
+        out = list(self.globals.values())
+        # Closure blocks are pinned (the interpreter's closure table maps
+        # their words), together with everything their environments hold.
+        out.extend(self.closures.keys())
+        for closure in self.closures.values():
+            if isinstance(closure, _Escape):
+                continue
+            for slot in closure.env.values():
+                out.append(slot.value if isinstance(slot, _Box) else slot)
+        return out
+
+    def _enter(self, fn_word: int, args: list[int]) -> tuple[Node, dict]:
+        self.calls += 1
+        if self.calls > self.max_calls:
+            raise VMError("interpreter call budget exceeded")
+        closure = self.closures.get(fn_word)
+        if closure is None:
+            raise SchemeError(FAIL_MESSAGES[12], fn_word)
+        if isinstance(closure, _Escape):
+            if len(args) != 1:
+                raise SchemeError("arity mismatch calling an escape continuation")
+            raise _EscapeInvoked(closure.token, args[0])
+        lam = closure.lam
+        env = dict(closure.env)
+        n = len(lam.params)
+        if lam.rest is None:
+            if len(args) != n:
+                raise SchemeError(
+                    f"arity mismatch calling {lam.name or 'lambda'!r}: "
+                    f"expected {n} arguments, got {len(args)}"
+                )
+        else:
+            if len(args) < n:
+                raise SchemeError(
+                    f"arity mismatch calling {lam.name or 'lambda'!r}"
+                )
+        for param, value in zip(lam.params, args):
+            env[param] = _Box(value) if param.assigned else value
+        if lam.rest is not None:
+            rest = self._build_list(args[n:])
+            env[lam.rest] = _Box(rest) if lam.rest.assigned else rest
+        return lam.body, env
+
+    def _build_list(self, words: list[int]) -> int:
+        registry = self.registry
+        registry.require_pairs("a rest-argument list")
+        result = registry.nil_word
+        for word in reversed(words):
+            pair = self.heap.allocate(
+                registry.pair_words, registry.pair_tag, self._roots
+            )
+            self.heap.store(wrap(pair + registry.car_disp), word)
+            self.heap.store(wrap(pair + registry.cdr_disp), result)
+            result = pair
+        return result
+
+    def _unpack_list(self, word: int) -> list[int]:
+        registry = self.registry
+        registry.require_pairs("apply")
+        out = []
+        while word != registry.nil_word:
+            if word & 7 != registry.pair_tag:
+                raise SchemeError(FAIL_MESSAGES[13], word)
+            out.append(self.heap.load(wrap(word + registry.car_disp)))
+            word = self.heap.load(wrap(word + registry.cdr_disp))
+            if len(out) > 1_000_000:
+                raise VMError("apply list too long")
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _prim(self, node: Prim, env: dict):
+        op = node.op
+        args = [self.eval(arg, env) for arg in node.args]
+        spec = prims.spec(op)
+        if spec.fold is not None:
+            try:
+                return spec.fold(*args)
+            except FoldCannot as error:
+                raise SchemeError(str(error))
+        if op == "%load":
+            return self.heap.load(wrap(args[0] + fold.signed(args[1])))
+        if op == "%store":
+            self.heap.store(wrap(args[0] + fold.signed(args[1])), args[2])
+            return 0
+        if op == "%alloc":
+            return self.heap.allocate(args[0], args[1] & 7, self._roots)
+        if op == "%putc":
+            self.output.append(chr(args[0] & 0x10FFFF))
+            return 0
+        if op == "%getc":
+            if self.input_pos < len(self.input_codes):
+                self.input_pos += 1
+                return self.input_codes[self.input_pos - 1]
+            return prims.WORD_MASK
+        if op == "%peekc":
+            if self.input_pos < len(self.input_codes):
+                return self.input_codes[self.input_pos]
+            return prims.WORD_MASK
+        if op == "%fail":
+            message = FAIL_MESSAGES.get(args[0], f"runtime failure {args[0]}")
+            raise SchemeError(message)
+        if op == "%apply":
+            return self._enter(args[0], self._unpack_list(args[1]))
+        if op == "%callec":
+            token = object()
+            word = self.heap.allocate(1, _CLOSURE_TAG, self._roots)
+            self.closures[word] = _Escape(token, word)
+            try:
+                body, body_env = self._enter(args[0], [word])
+                return self.eval(body, body_env)
+            except _EscapeInvoked as escape:
+                if escape.token is token:
+                    return escape.value
+                raise
+        if op == "%register-pointer-rep":
+            self.heap.register_pointer_tag(args[0])
+            return 0
+        if op == "%register-pair-rep":
+            self.registry.register_pair(
+                args[0], fold.signed(args[1]), fold.signed(args[2])
+            )
+            return 0
+        if op == "%register-nil":
+            self.registry.register_nil(args[0])
+            return 0
+        if op == "%register-false":
+            self.registry.register_false(args[0])
+            return 0
+        raise TypeError(f"interp: unknown primitive {op}")
+
+
+def interpret_program(program: Program, **kwargs) -> InterpResult:
+    return Interpreter(**kwargs).run(program)

@@ -1,0 +1,299 @@
+"""The core intermediate representation.
+
+The expander lowers full Scheme to this tiny direct-style language.  It is
+the *whole* language the rest of the compiler understands:
+
+* raw machine-word constants (:class:`Const`)
+* local variables (:class:`Var` referring to a :class:`LocalVar` binding)
+* global variables (:class:`GlobalRef` / :class:`GlobalSet`)
+* ``lambda``, application, ``if``, ``let``, ``letrec``, ``set!``, ``begin``
+* machine primitives (:class:`Prim`) — the only "built-in operations"
+
+Everything a Scheme programmer would call a data type (pairs, booleans,
+vectors, strings, characters, fixnums…) is *absent* here; those are defined
+by library code, which is the point of the paper.
+
+All locals are resolved: a :class:`LocalVar` is created once at its binding
+site and shared by every reference, so identity comparison replaces name
+lookup and alpha-conversion is a matter of allocating new ``LocalVar``
+objects during copying.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class LocalVar:
+    """A resolved local variable binding."""
+
+    __slots__ = ("name", "uid", "assigned", "boxed")
+    _counter = [0]
+
+    def __init__(self, name: str):
+        LocalVar._counter[0] += 1
+        self.name = name
+        self.uid = LocalVar._counter[0]
+        # True when some LocalSet targets this variable (filled by census
+        # or set eagerly by the expander).
+        self.assigned = False
+        # True once assignment conversion has rewritten the variable to
+        # hold a heap cell.
+        self.boxed = False
+
+    def __repr__(self) -> str:
+        return f"{self.name}.{self.uid}"
+
+
+class Node:
+    """Base class of every IR node."""
+
+    __slots__ = ()
+
+    def children(self) -> Iterator["Node"]:
+        """Iterate over direct sub-expressions."""
+        return iter(())
+
+    def __repr__(self) -> str:
+        from .pretty import pretty
+
+        text = pretty(self)
+        return text if len(text) <= 200 else text[:197] + "..."
+
+
+class Const(Node):
+    """A raw 64-bit machine word (already encoded; not a Scheme datum)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value & 0xFFFFFFFFFFFFFFFF
+
+
+class Var(Node):
+    """A reference to a local variable."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var: LocalVar):
+        self.var = var
+
+
+class GlobalRef(Node):
+    """A reference to a top-level variable, by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class GlobalSet(Node):
+    """Assignment to a top-level variable (also used for ``define``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Node):
+        self.name = name
+        self.value = value
+
+    def children(self):
+        yield self.value
+
+
+class LocalSet(Node):
+    """``set!`` on a local variable (removed by assignment conversion)."""
+
+    __slots__ = ("var", "value")
+
+    def __init__(self, var: LocalVar, value: Node):
+        self.var = var
+        self.value = value
+
+    def children(self):
+        yield self.value
+
+
+class If(Node):
+    """Two-armed conditional.
+
+    The test is a machine word: zero is false, anything else is true.  The
+    *library* arranges for Scheme ``#f`` to be the only value whose word
+    equals the false word; the expander wraps Scheme tests in the
+    ``%false?`` comparison, so by the time code reaches the backend the
+    test is a raw word truth test.
+    """
+
+    __slots__ = ("test", "then", "els")
+
+    def __init__(self, test: Node, then: Node, els: Node):
+        self.test = test
+        self.then = then
+        self.els = els
+
+    def children(self):
+        yield self.test
+        yield self.then
+        yield self.els
+
+
+class Seq(Node):
+    """``begin``: evaluate every expression, yield the last."""
+
+    __slots__ = ("exprs",)
+
+    def __init__(self, exprs: list[Node]):
+        assert exprs, "Seq requires at least one expression"
+        self.exprs = exprs
+
+    def children(self):
+        return iter(self.exprs)
+
+
+class Let(Node):
+    """Parallel ``let``."""
+
+    __slots__ = ("bindings", "body")
+
+    def __init__(self, bindings: list[tuple[LocalVar, Node]], body: Node):
+        self.bindings = bindings
+        self.body = body
+
+    def children(self):
+        for _, expr in self.bindings:
+            yield expr
+        yield self.body
+
+
+class Letrec(Node):
+    """``letrec*`` as produced by the expander (fixed by a later pass)."""
+
+    __slots__ = ("bindings", "body")
+
+    def __init__(self, bindings: list[tuple[LocalVar, Node]], body: Node):
+        self.bindings = bindings
+        self.body = body
+
+    def children(self):
+        for _, expr in self.bindings:
+            yield expr
+        yield self.body
+
+
+class Fix(Node):
+    """``letrec`` restricted to lambda right-hand sides (backend-ready)."""
+
+    __slots__ = ("bindings", "body")
+
+    def __init__(self, bindings: list[tuple[LocalVar, "Lambda"]], body: Node):
+        self.bindings = bindings
+        self.body = body
+
+    def children(self):
+        for _, expr in self.bindings:
+            yield expr
+        yield self.body
+
+
+class Lambda(Node):
+    """A procedure.
+
+    ``rest`` is the rest-parameter for variadic procedures; when present
+    the caller's extra arguments are collected into a library-defined list
+    (the VM consults the runtime type registry for the pair representation).
+    """
+
+    __slots__ = ("params", "rest", "body", "name")
+
+    def __init__(
+        self,
+        params: list[LocalVar],
+        rest: Optional[LocalVar],
+        body: Node,
+        name: str = "",
+    ):
+        self.params = params
+        self.rest = rest
+        self.body = body
+        self.name = name
+
+    def children(self):
+        yield self.body
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+class Call(Node):
+    """Procedure application."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Node, args: list[Node]):
+        self.fn = fn
+        self.args = args
+
+    def children(self):
+        yield self.fn
+        yield from self.args
+
+
+class Prim(Node):
+    """Application of a machine primitive (``%add``, ``%load``, …)."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, args: list[Node]):
+        self.op = op
+        self.args = args
+
+    def children(self):
+        return iter(self.args)
+
+
+class Program:
+    """A whole program: an ordered list of top-level forms.
+
+    ``define`` becomes :class:`GlobalSet`; other top-level expressions
+    appear as bare nodes evaluated for effect.  ``globals`` lists every
+    top-level name in first-definition order (the backend assigns global
+    slots from it).
+    """
+
+    __slots__ = ("forms", "globals")
+
+    def __init__(self, forms: list[Node], global_names: list[str]):
+        self.forms = forms
+        self.globals = global_names
+
+    def __repr__(self) -> str:
+        return f"<Program {len(self.forms)} forms, {len(self.globals)} globals>"
+
+
+def iter_tree(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every descendant, preorder, iteratively."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(current.children())
+
+
+def iter_program(program: Program) -> Iterator[Node]:
+    for form in program.forms:
+        yield from iter_tree(form)
+
+
+def make_seq(exprs: Iterable[Node]) -> Node:
+    """Build a Seq, flattening nested Seqs and dropping all but one expr
+    when there is only one."""
+    flat: list[Node] = []
+    for expr in exprs:
+        if isinstance(expr, Seq):
+            flat.extend(expr.exprs)
+        else:
+            flat.append(expr)
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(flat)

@@ -1,0 +1,121 @@
+"""A human-readable S-expression rendering of the core IR.
+
+Used by ``Compiler.explain`` (the examples print it), by node reprs, and
+by tests asserting on optimized shapes.
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+)
+
+
+def pretty(node: Node, indent: int = 0) -> str:
+    """Render a node as indented pseudo-Scheme."""
+    return _pp(node, indent)
+
+
+def pretty_program(program: Program) -> str:
+    return "\n".join(_pp(form, 0) for form in program.forms)
+
+
+def _atom(node: Node) -> str | None:
+    if isinstance(node, Const):
+        value = node.value
+        # Show small negative words in signed form for readability.
+        if value >= (1 << 63):
+            return str(value - (1 << 64))
+        return str(value)
+    if isinstance(node, Var):
+        return f"{node.var.name}.{node.var.uid}"
+    if isinstance(node, GlobalRef):
+        return node.name
+    return None
+
+
+def _pp(node: Node, indent: int) -> str:
+    pad = "  " * indent
+    atom = _atom(node)
+    if atom is not None:
+        return pad + atom
+    compact = _compact(node)
+    if compact is not None and len(compact) + len(pad) <= 78:
+        return pad + compact
+    if isinstance(node, GlobalSet):
+        return f"{pad}(define {node.name}\n{_pp(node.value, indent + 1)})"
+    if isinstance(node, LocalSet):
+        return f"{pad}(set! {node.var.name}.{node.var.uid}\n{_pp(node.value, indent + 1)})"
+    if isinstance(node, If):
+        return (
+            f"{pad}(if {_inline(node.test)}\n"
+            f"{_pp(node.then, indent + 1)}\n"
+            f"{_pp(node.els, indent + 1)})"
+        )
+    if isinstance(node, Seq):
+        inner = "\n".join(_pp(expr, indent + 1) for expr in node.exprs)
+        return f"{pad}(begin\n{inner})"
+    if isinstance(node, (Let, Letrec, Fix)):
+        keyword = {Let: "let", Letrec: "letrec", Fix: "fix"}[type(node)]
+        bindings = "\n".join(
+            f"{pad}  ({var.name}.{var.uid} {_inline(expr)})"
+            for var, expr in node.bindings
+        )
+        return f"{pad}({keyword} (\n{bindings})\n{_pp(node.body, indent + 1)})"
+    if isinstance(node, Lambda):
+        params = " ".join(f"{p.name}.{p.uid}" for p in node.params)
+        if node.rest is not None:
+            params += f" . {node.rest.name}.{node.rest.uid}"
+        return f"{pad}(lambda ({params})\n{_pp(node.body, indent + 1)})"
+    if isinstance(node, Call):
+        parts = "\n".join(_pp(arg, indent + 1) for arg in [node.fn] + node.args)
+        return f"{pad}(call\n{parts})"
+    if isinstance(node, Prim):
+        parts = "\n".join(_pp(arg, indent + 1) for arg in node.args)
+        return f"{pad}({node.op}\n{parts})"
+    return pad + f"#<{type(node).__name__}>"
+
+
+def _inline(node: Node) -> str:
+    """Single-line rendering (used inside binding lists and if tests)."""
+    atom = _atom(node)
+    if atom is not None:
+        return atom
+    compact = _compact(node)
+    if compact is not None:
+        return compact
+    return _pp(node, 0).replace("\n", " ")
+
+
+def _compact(node: Node) -> str | None:
+    """Try to render a node on one line; None when clearly too large."""
+    atom = _atom(node)
+    if atom is not None:
+        return atom
+    if isinstance(node, Prim):
+        return "(" + " ".join([node.op] + [_inline(arg) for arg in node.args]) + ")"
+    if isinstance(node, Call):
+        return "(call " + " ".join(_inline(arg) for arg in [node.fn] + node.args) + ")"
+    if isinstance(node, If):
+        return (
+            f"(if {_inline(node.test)} {_inline(node.then)} {_inline(node.els)})"
+        )
+    if isinstance(node, LocalSet):
+        return f"(set! {node.var.name}.{node.var.uid} {_inline(node.value)})"
+    if isinstance(node, Seq) and len(node.exprs) <= 3:
+        return "(begin " + " ".join(_inline(expr) for expr in node.exprs) + ")"
+    return None

@@ -1,0 +1,153 @@
+"""Structural transformation helpers for the core IR.
+
+The central tool is :func:`copy_node`, a deep copier that renames every
+binding it passes (alpha conversion) and substitutes expressions for free
+variables.  The inliner uses it to instantiate a lambda body per call
+site; optimizer passes use :func:`map_children` for single-level rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..errors import CompileError
+from .nodes import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Seq,
+    Var,
+)
+
+
+def copy_node(node: Node, substitution: Mapping[LocalVar, Node] | None = None) -> Node:
+    """Return a deep copy of ``node``.
+
+    Every binding occurrence in the copy gets a fresh :class:`LocalVar`,
+    so the result shares no binding identity with the original (safe to
+    splice anywhere).  Free occurrences of variables in ``substitution``
+    are replaced by a *copy* of the mapped expression — callers must
+    ensure mapped expressions are safe to duplicate (the inliner maps
+    only to ``Var``/``Const`` nodes or binds non-trivial arguments with a
+    ``Let`` first).
+    """
+    subst: dict[LocalVar, Node] = dict(substitution or {})
+    return _copy(node, subst)
+
+
+def _copy(node: Node, subst: dict[LocalVar, Node]) -> Node:
+    if isinstance(node, Const):
+        return Const(node.value)
+    if isinstance(node, Var):
+        replacement = subst.get(node.var)
+        if replacement is None:
+            return Var(node.var)
+        return _copy(replacement, {})
+    if isinstance(node, GlobalRef):
+        return GlobalRef(node.name)
+    if isinstance(node, GlobalSet):
+        return GlobalSet(node.name, _copy(node.value, subst))
+    if isinstance(node, LocalSet):
+        target = subst.get(node.var)
+        if target is None:
+            new_var = node.var
+        elif isinstance(target, Var):
+            new_var = target.var
+        else:
+            raise CompileError(
+                f"cannot substitute a non-variable for assigned variable {node.var}"
+            )
+        return LocalSet(new_var, _copy(node.value, subst))
+    if isinstance(node, If):
+        return If(
+            _copy(node.test, subst), _copy(node.then, subst), _copy(node.els, subst)
+        )
+    if isinstance(node, Seq):
+        return Seq([_copy(expr, subst) for expr in node.exprs])
+    if isinstance(node, Let):
+        new_bindings = []
+        inner = dict(subst)
+        for var, expr in node.bindings:
+            copied = _copy(expr, subst)
+            fresh = _fresh(var)
+            inner[var] = Var(fresh)
+            new_bindings.append((fresh, copied))
+        return Let(new_bindings, _copy(node.body, inner))
+    if isinstance(node, (Letrec, Fix)):
+        inner = dict(subst)
+        fresh_vars = []
+        for var, _ in node.bindings:
+            fresh = _fresh(var)
+            inner[var] = Var(fresh)
+            fresh_vars.append(fresh)
+        new_bindings = [
+            (fresh, _copy(expr, inner))
+            for fresh, (_, expr) in zip(fresh_vars, node.bindings)
+        ]
+        cls = Letrec if isinstance(node, Letrec) else Fix
+        return cls(new_bindings, _copy(node.body, inner))  # type: ignore[arg-type]
+    if isinstance(node, Lambda):
+        inner = dict(subst)
+        new_params = []
+        for param in node.params:
+            fresh = _fresh(param)
+            inner[param] = Var(fresh)
+            new_params.append(fresh)
+        new_rest = None
+        if node.rest is not None:
+            new_rest = _fresh(node.rest)
+            inner[node.rest] = Var(new_rest)
+        return Lambda(new_params, new_rest, _copy(node.body, inner), node.name)
+    if isinstance(node, Call):
+        return Call(_copy(node.fn, subst), [_copy(arg, subst) for arg in node.args])
+    if isinstance(node, Prim):
+        return Prim(node.op, [_copy(arg, subst) for arg in node.args])
+    raise CompileError(f"copy_node: unknown node {type(node).__name__}")
+
+
+def _fresh(var: LocalVar) -> LocalVar:
+    fresh = LocalVar(var.name)
+    fresh.assigned = var.assigned
+    fresh.boxed = var.boxed
+    return fresh
+
+
+def map_children(node: Node, fn: Callable[[Node], Node]) -> Node:
+    """Rebuild ``node`` with ``fn`` applied to each direct child.
+
+    Binding structure is preserved (no renaming); passes that use this
+    must keep variable identity intact.
+    """
+    if isinstance(node, (Const, Var, GlobalRef)):
+        return node
+    if isinstance(node, GlobalSet):
+        return GlobalSet(node.name, fn(node.value))
+    if isinstance(node, LocalSet):
+        return LocalSet(node.var, fn(node.value))
+    if isinstance(node, If):
+        return If(fn(node.test), fn(node.then), fn(node.els))
+    if isinstance(node, Seq):
+        return Seq([fn(expr) for expr in node.exprs])
+    if isinstance(node, Let):
+        return Let([(var, fn(expr)) for var, expr in node.bindings], fn(node.body))
+    if isinstance(node, Letrec):
+        return Letrec([(var, fn(expr)) for var, expr in node.bindings], fn(node.body))
+    if isinstance(node, Fix):
+        return Fix([(var, fn(expr)) for var, expr in node.bindings], fn(node.body))
+    if isinstance(node, Lambda):
+        return Lambda(node.params, node.rest, fn(node.body), node.name)
+    if isinstance(node, Call):
+        return Call(fn(node.fn), [fn(arg) for arg in node.args])
+    if isinstance(node, Prim):
+        return Prim(node.op, [fn(arg) for arg in node.args])
+    raise CompileError(f"map_children: unknown node {type(node).__name__}")

@@ -1,0 +1,169 @@
+"""IR well-formedness checking.
+
+Used by tests (and by the optimizer pipeline when
+``OptimizerOptions.validate`` is on) to catch pass bugs at their source:
+scoping violations, primitive arity errors, stray ``Letrec``/``LocalSet``
+nodes after the passes that are supposed to eliminate them, and binding
+duplication (the same ``LocalVar`` bound at two sites — a broken copy).
+"""
+
+from __future__ import annotations
+
+from .. import prims
+from ..errors import CompileError
+from .nodes import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+)
+
+
+class ValidationError(CompileError):
+    pass
+
+
+def validate_program(
+    program: Program,
+    allow_letrec: bool = False,
+    allow_localset: bool = True,
+) -> None:
+    """Raise :class:`ValidationError` on the first problem found."""
+    seen_bindings: set[int] = set()
+    for index, form in enumerate(program.forms):
+        _validate(
+            form,
+            scope=frozenset(),
+            seen=seen_bindings,
+            allow_letrec=allow_letrec,
+            allow_localset=allow_localset,
+            where=f"top-level form {index}",
+        )
+
+
+def _bind(var: LocalVar, seen: set[int], where: str) -> None:
+    if var.uid in seen:
+        raise ValidationError(
+            f"{where}: variable {var} is bound at two different sites "
+            "(a transform copied a binder without renaming)"
+        )
+    seen.add(var.uid)
+
+
+def _validate(
+    node: Node,
+    scope: frozenset,
+    seen: set[int],
+    allow_letrec: bool,
+    allow_localset: bool,
+    where: str,
+) -> None:
+    if isinstance(node, Const):
+        if not (0 <= node.value < (1 << 64)):
+            raise ValidationError(f"{where}: constant out of word range")
+        return
+    if isinstance(node, Var):
+        if node.var not in scope:
+            raise ValidationError(f"{where}: unbound variable {node.var}")
+        return
+    if isinstance(node, GlobalRef):
+        return
+    if isinstance(node, GlobalSet):
+        _validate(node.value, scope, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, LocalSet):
+        if not allow_localset:
+            raise ValidationError(
+                f"{where}: LocalSet survived assignment conversion"
+            )
+        if node.var not in scope:
+            raise ValidationError(f"{where}: set! of out-of-scope {node.var}")
+        if not node.var.assigned:
+            raise ValidationError(
+                f"{where}: set! of variable {node.var} not marked assigned"
+            )
+        _validate(node.value, scope, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, If):
+        for child in (node.test, node.then, node.els):
+            _validate(child, scope, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, Seq):
+        if not node.exprs:
+            raise ValidationError(f"{where}: empty Seq")
+        for child in node.exprs:
+            _validate(child, scope, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, Let):
+        for var, init in node.bindings:
+            _validate(init, scope, seen, allow_letrec, allow_localset, where)
+        inner = scope
+        for var, _ in node.bindings:
+            _bind(var, seen, where)
+            inner = inner | {var}
+        _validate(node.body, inner, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, Letrec):
+        if not allow_letrec:
+            raise ValidationError(f"{where}: Letrec survived letrec fixing")
+        inner = scope
+        for var, _ in node.bindings:
+            _bind(var, seen, where)
+            inner = inner | {var}
+        for _, init in node.bindings:
+            _validate(init, inner, seen, allow_letrec, allow_localset, where)
+        _validate(node.body, inner, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, Fix):
+        inner = scope
+        for var, lam in node.bindings:
+            _bind(var, seen, where)
+            inner = inner | {var}
+            if not isinstance(lam, Lambda):
+                raise ValidationError(f"{where}: non-lambda in Fix binding")
+            if var.assigned:
+                raise ValidationError(f"{where}: assigned Fix variable {var}")
+        for _, lam in node.bindings:
+            _validate(lam, inner, seen, allow_letrec, allow_localset, where)
+        _validate(node.body, inner, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, Lambda):
+        inner = scope
+        for param in node.params:
+            _bind(param, seen, where)
+            inner = inner | {param}
+        if node.rest is not None:
+            _bind(node.rest, seen, where)
+            inner = inner | {node.rest}
+        _validate(node.body, inner, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, Call):
+        _validate(node.fn, scope, seen, allow_letrec, allow_localset, where)
+        for arg in node.args:
+            _validate(arg, scope, seen, allow_letrec, allow_localset, where)
+        return
+    if isinstance(node, Prim):
+        spec = prims.lookup(node.op)
+        if spec is None:
+            raise ValidationError(f"{where}: unknown primitive {node.op}")
+        if len(node.args) != spec.arity:
+            raise ValidationError(
+                f"{where}: {node.op} applied to {len(node.args)} arguments "
+                f"(arity {spec.arity})"
+            )
+        for arg in node.args:
+            _validate(arg, scope, seen, allow_letrec, allow_localset, where)
+        return
+    raise ValidationError(f"{where}: unknown node {type(node).__name__}")

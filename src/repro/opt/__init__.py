@@ -1,0 +1,22 @@
+"""The optimizer: the paper's 'few generally-useful transformations'."""
+
+from .algebra import branch_test, simplify_prim
+from .cse import cse_program
+from .dce import dce_program, prune_globals
+from .letrec import fix_letrec, fix_letrec_program
+from .pipeline import optimize_program
+from .simplify import GlobalFacts, OptimizerOptions, Simplifier
+
+__all__ = [
+    "GlobalFacts",
+    "OptimizerOptions",
+    "Simplifier",
+    "branch_test",
+    "cse_program",
+    "dce_program",
+    "fix_letrec",
+    "fix_letrec_program",
+    "optimize_program",
+    "prune_globals",
+    "simplify_prim",
+]

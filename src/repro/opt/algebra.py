@@ -1,0 +1,283 @@
+"""Algebraic simplification of machine-primitive applications.
+
+These rewrites are what lets abstractly-written representation code
+collapse: shift/mask chains produced by inlining tag arithmetic reduce to
+the single instruction a hand coder would have written.
+
+All rules are strictly semantics-preserving over 64-bit words.  Rules
+only fire when discarded operands are duplicable/droppable (constants and
+variable references), so effects and evaluation order are preserved.
+"""
+
+from __future__ import annotations
+
+from ..ir import Const, If, Node, Prim, Var
+from ..prims import WORD_MASK, wrap
+
+_ALL_ONES = WORD_MASK
+
+
+def _is_trivial(node: Node) -> bool:
+    """May this node be dropped or duplicated freely?"""
+    return isinstance(node, (Const, Var))
+
+
+def _same_var(a: Node, b: Node) -> bool:
+    return (
+        isinstance(a, Var)
+        and isinstance(b, Var)
+        and a.var is b.var
+        and not a.var.assigned
+    )
+
+
+def _const(node: Node) -> int | None:
+    return node.value if isinstance(node, Const) else None
+
+
+def simplify_prim(op: str, args: list[Node]) -> Node | None:
+    """Try to simplify ``(op args...)``; None when no rule applies.
+
+    Constant folding proper happens in the simplifier before this is
+    called, so at least one argument is a non-constant here.
+    """
+    if op == "%add":
+        return _simplify_add(args)
+    if op == "%sub":
+        return _simplify_sub(args)
+    if op == "%mul":
+        return _simplify_mul(args)
+    if op == "%and":
+        return _simplify_and(args)
+    if op == "%or":
+        return _simplify_or(args)
+    if op == "%xor":
+        return _simplify_xor(args)
+    if op in ("%lsl", "%lsr", "%asr"):
+        return _simplify_shift(op, args)
+    if op in ("%eq", "%neq", "%le", "%ule"):
+        return _simplify_compare(op, args)
+    if op == "%nz":
+        return _simplify_nz(args)
+    return None
+
+
+def _simplify_add(args: list[Node]) -> Node | None:
+    a, b = args
+    if _const(a) == 0 and _is_trivial(a):
+        return b
+    if _const(b) == 0:
+        return a
+    # Reassociate (x + c1) + c2 -> x + (c1+c2); likewise with %sub inside.
+    cb = _const(b)
+    if cb is not None:
+        inner = _peel_add_const(a)
+        if inner is not None:
+            base, c1 = inner
+            return _add_const(base, wrap(c1 + cb))
+    ca = _const(a)
+    if ca is not None:
+        inner = _peel_add_const(b)
+        if inner is not None:
+            base, c1 = inner
+            return _add_const(base, wrap(c1 + ca))
+    return None
+
+
+def _simplify_sub(args: list[Node]) -> Node | None:
+    a, b = args
+    if _const(b) == 0:
+        return a
+    if _same_var(a, b):
+        return Const(0)
+    cb = _const(b)
+    if cb is not None:
+        # x - c -> x + (-c), which reassociates with other constants.
+        return _simplify_add([a, Const(wrap(-cb))]) or Prim(
+            "%add", [a, Const(wrap(-cb))]
+        )
+    return None
+
+
+def _peel_add_const(node: Node) -> tuple[Node, int] | None:
+    """Match ``(%add base c)`` / ``(%add c base)`` returning (base, c)."""
+    if isinstance(node, Prim) and node.op == "%add":
+        left, right = node.args
+        if isinstance(right, Const):
+            return left, right.value
+        if isinstance(left, Const):
+            return right, left.value
+    return None
+
+
+def _add_const(base: Node, constant: int) -> Node:
+    if constant == 0:
+        return base
+    return Prim("%add", [base, Const(constant)])
+
+
+def _simplify_mul(args: list[Node]) -> Node | None:
+    a, b = args
+    for x, y in ((a, b), (b, a)):
+        c = _const(x)
+        if c == 1:
+            return y
+        if c == 0 and _is_trivial(y):
+            return Const(0)
+    return None
+
+
+def _simplify_and(args: list[Node]) -> Node | None:
+    a, b = args
+    for x, y in ((a, b), (b, a)):
+        c = _const(x)
+        if c == 0 and _is_trivial(y):
+            return Const(0)
+        if c == _ALL_ONES:
+            return y
+    if _same_var(a, b):
+        return a
+    # (x & c1) & c2 -> x & (c1 & c2)
+    cb = _const(b)
+    if cb is not None and isinstance(a, Prim) and a.op == "%and":
+        inner_c = _const(a.args[1])
+        if inner_c is not None:
+            return Prim("%and", [a.args[0], Const(inner_c & cb)])
+    # ((x | c) & m) -> (x & m) when c contributes no bits under the mask
+    # (tag tests over or-combined operands where one side is constant).
+    if cb is not None and isinstance(a, Prim) and a.op == "%or":
+        left, right = a.args
+        inner_c = _const(right)
+        if inner_c is not None and inner_c & cb == 0:
+            return Prim("%and", [left, Const(cb)])
+        inner_c = _const(left)
+        if inner_c is not None and inner_c & cb == 0:
+            return Prim("%and", [right, Const(cb)])
+    return None
+
+
+def _simplify_or(args: list[Node]) -> Node | None:
+    a, b = args
+    for x, y in ((a, b), (b, a)):
+        c = _const(x)
+        if c == 0:
+            return y
+        if c == _ALL_ONES and _is_trivial(y):
+            return Const(_ALL_ONES)
+    if _same_var(a, b):
+        return a
+    return None
+
+
+def _simplify_xor(args: list[Node]) -> Node | None:
+    a, b = args
+    for x, y in ((a, b), (b, a)):
+        if _const(x) == 0:
+            return y
+    if _same_var(a, b):
+        return Const(0)
+    return None
+
+
+def _simplify_shift(op: str, args: list[Node]) -> Node | None:
+    a, b = args
+    shift = _const(b)
+    if shift is None:
+        return None
+    shift &= 63
+    if shift == 0:
+        return a
+    if isinstance(a, Prim):
+        # (lsl (lsl x m) n) -> (lsl x (m+n)); same for lsr.
+        if a.op == op and op in ("%lsl", "%lsr"):
+            inner = _const(a.args[1])
+            if inner is not None:
+                total = (inner & 63) + shift
+                if total >= 64:
+                    return Const(0)
+                return Prim(op, [a.args[0], Const(total)])
+        # (lsl (asr x n) n) and (lsl (lsr x n) n) -> (and x ~(2^n-1)):
+        # retag-after-untag, the hot pattern in fixnum/vector code.  For
+        # asr this is exact because the top bits shifted back in are
+        # discarded by the left shift.
+        if op == "%lsl" and a.op in ("%asr", "%lsr"):
+            inner = _const(a.args[1])
+            if inner is not None and (inner & 63) == shift:
+                mask = wrap(_ALL_ONES << shift)
+                return Prim("%and", [a.args[0], Const(mask)])
+    return None
+
+
+def _simplify_compare(op: str, args: list[Node]) -> Node | None:
+    a, b = args
+    if _same_var(a, b):
+        return Const(1 if op in ("%eq", "%le", "%ule") else 0)
+    if op == "%neq" and _const(b) == 0:
+        return Prim("%nz", [a])
+    if op == "%neq" and _const(a) == 0:
+        return Prim("%nz", [b])
+    return None
+
+
+def _simplify_nz(args: list[Node]) -> Node | None:
+    (a,) = args
+    # (%nz cmp) is the identity on comparison results.
+    if isinstance(a, Prim):
+        from ..prims import spec
+
+        if spec(a.op).comparison:
+            return a
+    return None
+
+
+def branch_test(test: Node) -> tuple[Node, bool]:
+    """Normalise an If test; returns (new_test, swapped).
+
+    ``swapped`` means the branches must be exchanged.  Handles
+    ``(%eq e 0)`` → not-e, ``(%nz e)`` → e, and tests that are
+    two-constant Ifs (``(if c 1 0)`` → c).
+    """
+    swapped = False
+    changed = True
+    while changed:
+        changed = False
+        if isinstance(test, Prim) and test.op == "%nz":
+            test = test.args[0]
+            changed = True
+            continue
+        if isinstance(test, Prim) and test.op == "%eq":
+            left, right = test.args
+            if _const(right) == 0:
+                test = left
+                swapped = not swapped
+                changed = True
+                continue
+            if _const(left) == 0:
+                test = right
+                swapped = not swapped
+                changed = True
+                continue
+        if isinstance(test, Prim) and test.op == "%neq":
+            left, right = test.args
+            if _const(right) == 0:
+                test = left
+                changed = True
+                continue
+            if _const(left) == 0:
+                test = right
+                changed = True
+                continue
+        if isinstance(test, If):
+            then_c = _const(test.then)
+            else_c = _const(test.els)
+            if then_c is not None and else_c is not None:
+                if then_c != 0 and else_c == 0:
+                    test = test.test
+                    changed = True
+                    continue
+                if then_c == 0 and else_c != 0:
+                    test = test.test
+                    swapped = not swapped
+                    changed = True
+                    continue
+    return test, swapped

@@ -1,0 +1,299 @@
+"""Common-subexpression and dominating-check elimination.
+
+Two related transformations share one walk:
+
+* **available expressions** — a ``let``-bound pure (or read-only)
+  expression makes later syntactically-identical inits reuse the bound
+  variable.  Read-only entries are invalidated by stores, allocations,
+  calls, and I/O.
+* **dominating checks** — inside the arms of ``(if T …)`` with a pure
+  test ``T``, the truth value of ``T`` is a known fact; identical nested
+  tests fold to constants.  This is what removes the repeated tag checks
+  of safe-mode accessors, e.g. ``(if (pair? x) (car x) …)``.
+"""
+
+from __future__ import annotations
+
+from .. import prims
+from ..ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    make_seq,
+)
+
+_CLOBBER_EFFECTS = {
+    prims.Effect.WRITE,
+    prims.Effect.ALLOC,
+    prims.Effect.IO,
+    prims.Effect.CONTROL,
+}
+
+Key = tuple
+
+
+class _State:
+    """Walk state: available expressions and known test facts."""
+
+    __slots__ = ("available", "facts")
+
+    def __init__(self, available: dict, facts: dict):
+        self.available = available
+        self.facts = facts
+
+    def child(self) -> "_State":
+        return _State(dict(self.available), dict(self.facts))
+
+    def clobber_reads(self) -> None:
+        self.available = {
+            key: var for key, var in self.available.items() if not key_reads(key)
+        }
+
+
+def key_of(node: Node, immutable_globals: set[str]) -> Key | None:
+    """A structural key for pure/read-only expressions; None otherwise."""
+    if isinstance(node, Const):
+        return ("const", node.value)
+    if isinstance(node, Var):
+        if node.var.assigned:
+            return None
+        return ("var", node.var.uid)
+    if isinstance(node, GlobalRef):
+        if node.name not in immutable_globals:
+            return None
+        return ("global", node.name)
+    if isinstance(node, Prim):
+        spec = prims.lookup(node.op)
+        if spec is None or spec.effect not in (prims.Effect.PURE, prims.Effect.READ):
+            return None
+        child_keys = []
+        for arg in node.args:
+            child_key = key_of(arg, immutable_globals)
+            if child_key is None:
+                return None
+            child_keys.append(child_key)
+        return ("prim", node.op, tuple(child_keys))
+    if isinstance(node, If):
+        test = key_of(node.test, immutable_globals)
+        then = key_of(node.then, immutable_globals)
+        els = key_of(node.els, immutable_globals)
+        if None in (test, then, els):
+            return None
+        return ("if", test, then, els)
+    return None
+
+
+def key_reads(key: Key) -> bool:
+    if key[0] == "prim":
+        if prims.spec(key[1]).effect is prims.Effect.READ:
+            return True
+        return any(key_reads(child) for child in key[2])
+    if key[0] == "if":
+        return any(key_reads(part) for part in key[1:])
+    return False
+
+
+class CSE:
+    def __init__(self, immutable_globals: set[str]):
+        self.immutable = immutable_globals
+        self.changed = False
+
+    def run(self, program: Program, start: int = 0) -> Program:
+        forms = list(program.forms[:start])
+        for form in program.forms[start:]:
+            state = _State({}, {})
+            new_form, _ = self.walk(form, state)
+            forms.append(new_form)
+        return Program(forms, program.globals)
+
+    # The walk returns (node, clobbered) where clobbered means the
+    # subtree may have invalidated read-only availability.
+    def walk(self, node: Node, state: _State) -> tuple[Node, bool]:
+        if isinstance(node, (Const, Var, GlobalRef)):
+            return node, False
+        if isinstance(node, GlobalSet):
+            value, clobbered = self.walk(node.value, state)
+            return GlobalSet(node.name, value), True
+        if isinstance(node, LocalSet):
+            value, clobbered = self.walk(node.value, state)
+            return LocalSet(node.var, value), clobbered
+        if isinstance(node, Prim):
+            return self._walk_prim(node, state)
+        if isinstance(node, If):
+            return self._walk_if(node, state)
+        if isinstance(node, Seq):
+            clobbered = False
+            exprs = []
+            for expr in node.exprs:
+                new_expr, c = self.walk(expr, state)
+                exprs.append(new_expr)
+                clobbered |= c
+            return make_seq(exprs), clobbered
+        if isinstance(node, Let):
+            return self._walk_let(node, state)
+        if isinstance(node, (Letrec, Fix)):
+            cls = type(node)
+            clobbered = False
+            bindings = []
+            for var, expr in node.bindings:
+                new_expr, c = self.walk(expr, state)
+                bindings.append((var, new_expr))
+                clobbered |= c
+            body, c = self.walk(node.body, state)
+            return cls(bindings, body), clobbered | c
+        if isinstance(node, Lambda):
+            # A lambda body runs later, under unknown heap state: fresh
+            # read availability, but pure facts from enclosing scope
+            # still hold (its free variables are immutable bindings).
+            inner = _State(
+                {k: v for k, v in state.available.items() if not key_reads(k)},
+                dict(state.facts),
+            )
+            body, _ = self.walk(node.body, inner)
+            return Lambda(node.params, node.rest, body, node.name), False
+        if isinstance(node, Call):
+            fn, c1 = self.walk(node.fn, state)
+            clobbered = c1
+            args = []
+            for arg in node.args:
+                new_arg, c = self.walk(arg, state)
+                args.append(new_arg)
+                clobbered |= c
+            state.clobber_reads()
+            return Call(fn, args), True
+        raise TypeError(f"cse: unknown node {type(node).__name__}")
+
+    def _walk_prim(self, node: Prim, state: _State) -> tuple[Node, bool]:
+        clobbered = False
+        args = []
+        for arg in node.args:
+            new_arg, c = self.walk(arg, state)
+            args.append(new_arg)
+            clobbered |= c
+        new_node = Prim(node.op, args)
+        spec = prims.spec(node.op)
+        if spec.effect in _CLOBBER_EFFECTS:
+            state.clobber_reads()
+            return new_node, True
+        key = key_of(new_node, self.immutable)
+        if key is not None:
+            hit = state.available.get(key)
+            if hit is not None:
+                self.changed = True
+                return Var(hit), clobbered
+            fact = state.facts.get(key)
+            if fact is not None and not key_reads(key):
+                self.changed = True
+                return Const(fact), clobbered
+        return new_node, clobbered
+
+    def _walk_if(self, node: If, state: _State) -> tuple[Node, bool]:
+        test, c1 = self.walk(node.test, state)
+        test_key = key_of(test, self.immutable)
+        if test_key is not None and not key_reads(test_key):
+            fact = state.facts.get(test_key)
+            if fact is not None:
+                self.changed = True
+                branch = node.then if fact != 0 else node.els
+                return self.walk(branch, state)
+        then_state = state.child()
+        else_state = state.child()
+        if test_key is not None and not key_reads(test_key):
+            # Comparison prims yield exactly 0 or 1; remember both sides.
+            if isinstance(test, Prim) and prims.spec(test.op).comparison:
+                then_state.facts[test_key] = 1
+                negated = _negate_key(test_key)
+                if negated is not None:
+                    then_state.facts[negated] = 0
+                    else_state.facts[negated] = 1
+            else_state.facts[test_key] = 0
+        then, c2 = self.walk(node.then, then_state)
+        els, c3 = self.walk(node.els, else_state)
+        clobbered = c1 | c2 | c3
+        if c2 or c3:
+            state.clobber_reads()
+        # When one arm cannot return (it fails), reaching the code after
+        # the If proves the other arm was taken: its facts persist.
+        # This is what eliminates repeated safety checks in straight-line
+        # code -- (%fx-check n) dominating later (%fx-check n).
+        if diverges(els) and not diverges(then):
+            state.facts.update(then_state.facts)
+        elif diverges(then) and not diverges(els):
+            state.facts.update(else_state.facts)
+        return If(test, then, els), clobbered
+
+    def _walk_let(self, node: Let, state: _State) -> tuple[Node, bool]:
+        clobbered = False
+        bindings = []
+        new_keys: list[tuple[Key, object]] = []
+        for var, init in node.bindings:
+            new_init, c = self.walk(init, state)
+            clobbered |= c
+            key = key_of(new_init, self.immutable)
+            if key is not None and not var.assigned:
+                hit = state.available.get(key)
+                if hit is not None:
+                    self.changed = True
+                    new_init = Var(hit)
+                elif key[0] in ("prim", "if"):
+                    # Record after all parallel inits are processed.
+                    new_keys.append((key, var))
+            bindings.append((var, new_init))
+        # Entries are valid only while their variable is in scope: the
+        # Let body.  They are removed afterwards (the walk of an init
+        # expression containing a nested Let must not leak its vars).
+        added = []
+        for key, var in new_keys:
+            if key not in state.available:
+                state.available[key] = var
+                added.append(key)
+        body, c = self.walk(node.body, state)
+        for key in added:
+            state.available.pop(key, None)
+        return Let(bindings, body), clobbered | c
+
+
+def diverges(node: Node) -> bool:
+    """Conservatively: does evaluating this node never return normally?"""
+    if isinstance(node, Prim):
+        if node.op == "%fail":
+            return True
+        return any(diverges(arg) for arg in node.args)
+    if isinstance(node, Seq):
+        return any(diverges(expr) for expr in node.exprs)
+    if isinstance(node, Let):
+        return any(diverges(init) for _, init in node.bindings) or diverges(node.body)
+    if isinstance(node, If):
+        return diverges(node.test) or (diverges(node.then) and diverges(node.els))
+    return False
+
+
+def _negate_key(key: Key) -> Key | None:
+    """The key of the logically-negated comparison, when expressible."""
+    if key[0] != "prim":
+        return None
+    opposites = {"%eq": "%neq", "%neq": "%eq", "%lt": None, "%le": None}
+    opposite = opposites.get(key[1])
+    if opposite is None:
+        return None
+    return ("prim", opposite, key[2])
+
+
+def cse_program(
+    program: Program, immutable_globals: set[str], start: int = 0
+) -> tuple[Program, bool]:
+    cse = CSE(immutable_globals)
+    result = cse.run(program, start=start)
+    return result, cse.changed

@@ -1,0 +1,209 @@
+"""Dead-code elimination: unused local bindings and unreferenced
+top-level definitions.
+
+Works bottom-up, returning the set of locals each rewritten subtree still
+uses, so dropping one binding can cascade within a single pass.
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    census_program,
+    is_removable,
+    make_seq,
+)
+
+
+class DeadCodeEliminator:
+    def __init__(self, defined_globals: set[str]):
+        self.defined = defined_globals
+        self.changed = False
+
+    def run(self, program: Program, start: int = 0) -> Program:
+        forms = list(program.forms[:start])
+        for form in program.forms[start:]:
+            new_form, _ = self.walk(form)
+            forms.append(new_form)
+        return Program(forms, program.globals)
+
+    def walk(self, node: Node) -> tuple[Node, set[LocalVar]]:
+        if isinstance(node, Const):
+            return node, set()
+        if isinstance(node, Var):
+            return node, {node.var}
+        if isinstance(node, GlobalRef):
+            return node, set()
+        if isinstance(node, GlobalSet):
+            value, used = self.walk(node.value)
+            return GlobalSet(node.name, value), used
+        if isinstance(node, LocalSet):
+            value, used = self.walk(node.value)
+            return LocalSet(node.var, value), used | {node.var}
+        if isinstance(node, If):
+            test, u1 = self.walk(node.test)
+            then, u2 = self.walk(node.then)
+            els, u3 = self.walk(node.els)
+            return If(test, then, els), u1 | u2 | u3
+        if isinstance(node, Seq):
+            return self._walk_seq(node)
+        if isinstance(node, Let):
+            return self._walk_let(node)
+        if isinstance(node, Fix):
+            return self._walk_fix(node)
+        if isinstance(node, Letrec):
+            used: set[LocalVar] = set()
+            bindings = []
+            for var, expr in node.bindings:
+                new_expr, u = self.walk(expr)
+                bindings.append((var, new_expr))
+                used |= u
+            body, u = self.walk(node.body)
+            used |= u
+            used -= {var for var, _ in node.bindings}
+            return Letrec(bindings, body), used
+        if isinstance(node, Lambda):
+            body, used = self.walk(node.body)
+            used -= set(node.params)
+            if node.rest is not None:
+                used.discard(node.rest)
+            return Lambda(node.params, node.rest, body, node.name), used
+        if isinstance(node, Call):
+            fn, used = self.walk(node.fn)
+            args = []
+            for arg in node.args:
+                new_arg, u = self.walk(arg)
+                args.append(new_arg)
+                used |= u
+            return Call(fn, args), used
+        if isinstance(node, Prim):
+            used = set()
+            args = []
+            for arg in node.args:
+                new_arg, u = self.walk(arg)
+                args.append(new_arg)
+                used |= u
+            return Prim(node.op, args), used
+        raise TypeError(f"dce: unknown node {type(node).__name__}")
+
+    def _walk_seq(self, node: Seq) -> tuple[Node, set[LocalVar]]:
+        exprs: list[Node] = []
+        used: set[LocalVar] = set()
+        walked = [self.walk(expr) for expr in node.exprs]
+        for new_expr, u in walked[:-1]:
+            if is_removable(new_expr, self.defined):
+                self.changed = True
+                continue
+            exprs.append(new_expr)
+            used |= u
+        final, u = walked[-1]
+        exprs.append(final)
+        used |= u
+        return make_seq(exprs), used
+
+    def _walk_let(self, node: Let) -> tuple[Node, set[LocalVar]]:
+        body, used = self.walk(node.body)
+        kept: list[tuple[LocalVar, Node]] = []
+        dropped_effects: list[Node] = []
+        for var, init in node.bindings:
+            new_init, init_used = self.walk(init)
+            if var not in used and not var.assigned:
+                if is_removable(new_init, self.defined):
+                    self.changed = True
+                    continue
+                # Keep the effect but not the binding.
+                dropped_effects.append(new_init)
+                used |= init_used
+                self.changed = True
+                continue
+            kept.append((var, new_init))
+            used |= init_used
+        result: Node = body if not kept else Let(kept, body)
+        if dropped_effects:
+            # Bindings evaluate before the body; effects must too.  When
+            # some bindings are kept this conservatively moves the
+            # dropped effects before them, which is safe because Let is
+            # parallel (no binding is visible to a sibling init).
+            result = make_seq(dropped_effects + [result])
+        return result, used
+
+    def _walk_fix(self, node: Fix) -> tuple[Node, set[LocalVar]]:
+        body, body_used = self.walk(node.body)
+        walked = {var: self.walk(lam) for var, lam in node.bindings}
+        # Keep exactly the lambdas reachable from the body.
+        needed: set[LocalVar] = set()
+        frontier = [var for var, _ in node.bindings if var in body_used]
+        while frontier:
+            var = frontier.pop()
+            if var in needed:
+                continue
+            needed.add(var)
+            _, lam_used = walked[var]
+            frontier.extend(
+                other for other, _ in node.bindings if other in lam_used
+            )
+        bindings = []
+        used = set(body_used)
+        for var, _ in node.bindings:
+            if var not in needed:
+                self.changed = True
+                continue
+            new_lam, lam_used = walked[var]
+            assert isinstance(new_lam, Lambda)
+            bindings.append((var, new_lam))
+            used |= lam_used
+        used -= {var for var, _ in node.bindings}
+        if not bindings:
+            return body, used
+        return Fix(bindings, body), used
+
+
+def dce_program(
+    program: Program, defined_globals: set[str], start: int = 0
+) -> tuple[Program, bool]:
+    eliminator = DeadCodeEliminator(defined_globals)
+    result = eliminator.run(program, start=start)
+    return result, eliminator.changed
+
+
+def prune_globals(program: Program, keep: set[str] | None = None) -> Program:
+    """Iteratively delete top-level definitions nobody references."""
+    keep = keep or set()
+    forms = list(program.forms)
+    while True:
+        census = census_program(Program(forms, program.globals))
+        defined = {n for n, i in census.globals.items() if i.assignments >= 1}
+        removed = False
+        new_forms = []
+        for form in forms:
+            if (
+                isinstance(form, GlobalSet)
+                and form.name not in keep
+                and census.globals[form.name].references == 0
+                and census.globals[form.name].assignments == 1
+                and is_removable(form.value, defined)
+            ):
+                removed = True
+                continue
+            new_forms.append(form)
+        forms = new_forms
+        if not removed:
+            break
+    live = {form.name for form in forms if isinstance(form, GlobalSet)}
+    globals_order = [name for name in program.globals if name in live]
+    return Program(forms, globals_order)

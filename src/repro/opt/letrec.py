@@ -1,0 +1,91 @@
+"""Fixing letrec (Waddell/Ghuloum-Dybvig style, simplified).
+
+``Letrec`` nodes from the expander are partitioned into:
+
+* **unreferenced** bindings — kept only for their init's effect;
+* **simple** bindings — inits that are pure and do not reference any of
+  the letrec-bound variables: become an ordinary ``Let``;
+* **lambda** bindings (unassigned) — become a :class:`Fix`, the form the
+  inliner and backend understand;
+* **complex** bindings — bound to a placeholder and initialised with
+  ``set!`` in order (letrec* semantics); assignment conversion later
+  boxes them.
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    Const,
+    Fix,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    Node,
+    Program,
+    Seq,
+    free_vars,
+    is_pure,
+    make_seq,
+    map_children,
+)
+from ..ir.nodes import LocalVar
+
+
+def fix_letrec_program(program: Program) -> Program:
+    return Program([fix_letrec(form) for form in program.forms], program.globals)
+
+
+def fix_letrec(node: Node) -> Node:
+    node = map_children(node, fix_letrec)
+    if not isinstance(node, Letrec):
+        return node
+    return _fix_one(node)
+
+
+def _fix_one(node: Letrec) -> Node:
+    bound = {var for var, _ in node.bindings}
+    body_free = free_vars(node.body)
+    init_free = [free_vars(init) for _, init in node.bindings]
+    referenced: set[LocalVar] = set()
+    for var in bound:
+        if var in body_free or any(var in fv for fv in init_free):
+            referenced.add(var)
+
+    simple: list[tuple[LocalVar, Node]] = []
+    lambdas: list[tuple[LocalVar, Lambda]] = []
+    complex_: list[tuple[LocalVar, Node]] = []
+    effects: list[Node] = []
+
+    for (var, init), fv in zip(node.bindings, init_free):
+        if var not in referenced:
+            if not is_pure(init):
+                # Evaluated in binding order together with the complex
+                # initialisations below.
+                complex_.append((var, init))
+            continue
+        if isinstance(init, Lambda) and not var.assigned:
+            lambdas.append((var, init))
+        elif is_pure(init) and not (fv & bound):
+            simple.append((var, init))
+        else:
+            complex_.append((var, init))
+
+    body: Node = node.body
+    if complex_:
+        assignments: list[Node] = []
+        for var, init in complex_:
+            if var in referenced:
+                var.assigned = True
+                assignments.append(LocalSet(var, init))
+            else:
+                assignments.append(init)
+        body = make_seq(assignments + [body])
+    if lambdas:
+        body = Fix(lambdas, body)
+    outer_bindings = simple + [
+        (var, Const(0)) for var, _ in complex_ if var in referenced
+    ]
+    if outer_bindings:
+        body = Let(outer_bindings, body)
+    return body

@@ -1,0 +1,78 @@
+"""The optimizer pipeline: letrec fixing, then rounds of
+simplify → CSE → DCE, then global pruning."""
+
+from __future__ import annotations
+
+from ..ir import Program, census_program
+from .cse import cse_program
+from .dce import dce_program, prune_globals
+from .letrec import fix_letrec_program
+from .simplify import GlobalFacts, OptimizerOptions, Simplifier
+
+
+def optimize_program(
+    program: Program,
+    options: OptimizerOptions | None = None,
+    frozen_prefix: int = 0,
+) -> Program:
+    """Run the whole optimizer.  With :meth:`OptimizerOptions.none`
+    this is (almost) the identity — only letrec fixing and global
+    pruning run, both required for the backend.
+
+    ``frozen_prefix`` marks the first N top-level forms as already
+    optimized (an incrementally-reused prelude): analyses still see the
+    whole program, but rewriting is confined to the suffix.  The caller
+    guarantees the suffix does not assign any name the prefix defines.
+    """
+    options = options or OptimizerOptions()
+
+    def check(stage: str) -> None:
+        if options.validate:
+            from ..ir.validate import validate_program
+
+            validate_program(program, allow_letrec=False)
+
+    program = _fix_suffix(program, frozen_prefix)
+    check("letrec")
+    for _ in range(max(1, options.rounds)):
+        changed = False
+        census = census_program(program)
+        facts = GlobalFacts(program, census)
+        # CSE runs before simplify: binding-level reuse must be recorded
+        # before single-use forwarding dissolves the bindings.  Redundancy
+        # *created* by this round's inlining is caught next round.
+        if options.cse:
+            program, cse_changed = cse_program(
+                program, facts.immutable, start=frozen_prefix
+            )
+            changed |= cse_changed
+            check("cse")
+        if options.fold or options.inline or options.algebra or options.dce:
+            simplifier = Simplifier(options, facts)
+            program = simplifier.run(program, start=frozen_prefix)
+            changed |= simplifier.changed
+            check("simplify")
+        if options.dce:
+            defined = {
+                name
+                for name, info in census_program(program).globals.items()
+                if info.assignments >= 1
+            }
+            program, dce_changed = dce_program(
+                program, defined, start=frozen_prefix
+            )
+            changed |= dce_changed
+            check("dce")
+        if not changed:
+            break
+    if options.prune_globals:
+        program = prune_globals(program)
+    return program
+
+
+def _fix_suffix(program: Program, frozen_prefix: int) -> Program:
+    if frozen_prefix == 0:
+        return fix_letrec_program(program)
+    fixed = Program(program.forms[frozen_prefix:], program.globals)
+    fixed = fix_letrec_program(fixed)
+    return Program(program.forms[:frozen_prefix] + fixed.forms, program.globals)

@@ -1,0 +1,584 @@
+"""The main optimizing pass: fold + propagate + beta + inline + branch
+simplification, in one environment-carrying walk.
+
+This pass embodies the paper's claim: it contains *no knowledge of data
+representations* — only generally-useful transformations — yet applied to
+the representation-type prelude it reduces ``(car x)`` to a single load.
+
+Transformations (each independently switchable for the ablation bench):
+
+* constant folding of machine primitives (exact VM semantics);
+* algebraic simplification (see :mod:`repro.opt.algebra`);
+* copy/constant propagation through ``let`` of constants, variables, and
+  immutable globals;
+* beta reduction: ``((lambda (x...) body) a...)`` → ``let``;
+* inlining of known procedures — locally ``let``/``fix``-bound lambdas
+  and top-level procedures defined once — guarded by a size budget, a
+  recursion (SCC) check, and a depth bound;
+* branch simplification: known tests, test normalisation, distribution
+  of primitives over two-constant ``if`` arms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import prims
+from ..ir import (
+    Call,
+    Census,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    census_program,
+    free_vars,
+    make_seq,
+    node_size,
+)
+from ..ir.transform import copy_node
+from ..prims import FoldCannot
+from .algebra import branch_test, simplify_prim
+
+
+@dataclass
+class OptimizerOptions:
+    """Switches and budgets for the optimizer pipeline."""
+
+    inline: bool = True
+    fold: bool = True
+    algebra: bool = True
+    cse: bool = True
+    dce: bool = True
+    #: max body size (IR nodes) for multi-use inlining
+    max_inline_size: int = 100
+    #: max nesting of inline expansions within one walk
+    max_inline_depth: int = 30
+    #: optimization rounds (simplify → cse → dce)
+    rounds: int = 4
+    #: drop unreferenced top-level definitions at the end
+    prune_globals: bool = True
+    #: run the IR well-formedness checker after every pass (debugging)
+    validate: bool = False
+
+    @classmethod
+    def none(cls) -> "OptimizerOptions":
+        """Everything off: the 'unoptimized' configuration of the paper."""
+        return cls(
+            inline=False,
+            fold=False,
+            algebra=False,
+            cse=False,
+            dce=False,
+            rounds=1,
+            prune_globals=True,
+        )
+
+    def without(self, feature: str) -> "OptimizerOptions":
+        """A copy with one transformation disabled (ablation benches)."""
+        options = OptimizerOptions(**self.__dict__)
+        if not hasattr(options, feature):
+            raise ValueError(f"unknown optimizer feature {feature!r}")
+        setattr(options, feature, False)
+        return options
+
+
+class GlobalFacts:
+    """Per-round knowledge about top-level variables."""
+
+    def __init__(self, program: Program, census: Census):
+        self.census = census
+        self.defined: set[str] = {
+            name for name, info in census.globals.items() if info.assignments >= 1
+        }
+        #: names defined exactly once (safe to treat as immutable)
+        self.immutable: set[str] = {
+            name for name, info in census.globals.items() if info.assignments == 1
+        }
+        self.constants: dict[str, int] = {}
+        self.lambdas: dict[str, Lambda] = {}
+        for form in program.forms:
+            if isinstance(form, GlobalSet) and form.name in self.immutable:
+                if isinstance(form.value, Const):
+                    self.constants[form.name] = form.value.value
+                elif isinstance(form.value, Lambda):
+                    self.lambdas[form.name] = form.value
+        self.non_inlinable = self._recursive_globals()
+
+    def _recursive_globals(self) -> set[str]:
+        """Globals whose known-lambda definitions sit on a reference
+        cycle; inlining them would unroll recursion indefinitely."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.lambdas)
+        for name, lam in self.lambdas.items():
+            for target in _referenced_globals(lam):
+                if target in self.lambdas:
+                    graph.add_edge(name, target)
+        out: set[str] = set()
+        for scc in nx.strongly_connected_components(graph):
+            if len(scc) > 1:
+                out.update(scc)
+            else:
+                (only,) = scc
+                if graph.has_edge(only, only):
+                    out.add(only)
+        return out
+
+
+def _referenced_globals(node: Node) -> set[str]:
+    out: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, GlobalRef):
+            out.add(current.name)
+        stack.extend(current.children())
+    return out
+
+
+class Simplifier:
+    """One simplify pass over a program."""
+
+    def __init__(self, options: OptimizerOptions, facts: GlobalFacts):
+        self.options = options
+        self.facts = facts
+        self.changed = False
+        # substitution environment: LocalVar -> replacement node template
+        self.subst: dict[LocalVar, Node] = {}
+        # known local procedures: LocalVar -> (Lambda, inlinable)
+        self.local_lambdas: dict[LocalVar, Lambda] = {}
+        self.inline_stack: list[object] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: Program, start: int = 0) -> Program:
+        forms = program.forms[:start] + [
+            self.simplify_top(form) for form in program.forms[start:]
+        ]
+        return Program(forms, program.globals)
+
+    def simplify_top(self, form: Node) -> Node:
+        if isinstance(form, GlobalSet):
+            value = self.simplify(form.value)
+            # Later forms in the same round benefit immediately.
+            if form.name in self.facts.immutable:
+                if isinstance(value, Const):
+                    self.facts.constants[form.name] = value.value
+                elif isinstance(value, Lambda):
+                    self.facts.lambdas.setdefault(form.name, value)
+            return GlobalSet(form.name, value)
+        return self.simplify(form)
+
+    # ------------------------------------------------------------------
+
+    def simplify(self, node: Node) -> Node:
+        if isinstance(node, Const):
+            return node
+        if isinstance(node, Var):
+            replacement = self.subst.get(node.var)
+            if replacement is None:
+                return node
+            self.changed = True
+            return self.simplify(_instantiate(replacement))
+        if isinstance(node, GlobalRef):
+            if self.options.fold and node.name in self.facts.constants:
+                self.changed = True
+                return Const(self.facts.constants[node.name])
+            return node
+        if isinstance(node, GlobalSet):
+            return GlobalSet(node.name, self.simplify(node.value))
+        if isinstance(node, LocalSet):
+            return LocalSet(node.var, self.simplify(node.value))
+        if isinstance(node, Prim):
+            return self._simplify_prim_node(node)
+        if isinstance(node, If):
+            return self._simplify_if(node)
+        if isinstance(node, Seq):
+            return self._simplify_seq(node)
+        if isinstance(node, Let):
+            return self._simplify_let(node)
+        if isinstance(node, Fix):
+            return self._simplify_fix(node)
+        if isinstance(node, Letrec):
+            # letrec fixing runs before optimization; tolerate stragglers.
+            return Letrec(
+                [(var, self.simplify(expr)) for var, expr in node.bindings],
+                self.simplify(node.body),
+            )
+        if isinstance(node, Lambda):
+            body = self.simplify(node.body)
+            return Lambda(node.params, node.rest, body, node.name)
+        if isinstance(node, Call):
+            return self._simplify_call(node)
+        raise TypeError(f"simplify: unknown node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    def _simplify_prim_node(self, node: Prim) -> Node:
+        args = [self.simplify(arg) for arg in node.args]
+        if self.options.fold:
+            hoisted = self._hoist_block_arg(node.op, args)
+            if hoisted is not None:
+                self.changed = True
+                return self.simplify(hoisted)
+        return self._rebuild_prim(node.op, args)
+
+    def _hoist_block_arg(self, op: str, args: list[Node]) -> Node | None:
+        """Float a Seq/Let argument out of a primitive application:
+        ``(%op c (begin es… v))`` → ``(begin es… (%op c v))`` — the step
+        that exposes an inlined predicate's result to branch folding.
+        Only fires when every argument before the block is trivially
+        movable (constants and variables)."""
+        def movable(node: Node) -> bool:
+            # Reads of assigned variables are ordered w.r.t. set!s and
+            # must not swap with the block's statements.
+            return isinstance(node, Const) or (
+                isinstance(node, Var) and not node.var.assigned
+            )
+
+        for i, arg in enumerate(args):
+            if isinstance(arg, (Seq, Let)):
+                if not all(movable(a) for a in args[:i]):
+                    return None
+                if isinstance(arg, Seq):
+                    new_args = list(args)
+                    new_args[i] = arg.exprs[-1]
+                    return make_seq(arg.exprs[:-1] + [Prim(op, new_args)])
+                new_args = list(args)
+                new_args[i] = arg.body
+                return Let(arg.bindings, Prim(op, new_args))
+            if not movable(arg):
+                return None
+        return None
+
+    def _rebuild_prim(self, op: str, args: list[Node]) -> Node:
+        spec = prims.spec(op)
+        if self.options.fold and spec.fold is not None and all(
+            isinstance(arg, Const) for arg in args
+        ):
+            try:
+                value = spec.fold(*[arg.value for arg in args])
+            except FoldCannot:
+                pass
+            else:
+                self.changed = True
+                return Const(value)
+        if self.options.algebra:
+            rewritten = simplify_prim(op, args)
+            if rewritten is not None:
+                self.changed = True
+                if isinstance(rewritten, Prim):
+                    return self._rebuild_prim(rewritten.op, rewritten.args)
+                return self.simplify(rewritten) if not isinstance(
+                    rewritten, (Const, Var)
+                ) else rewritten
+            distributed = self._distribute_over_if(op, args, spec)
+            if distributed is not None:
+                self.changed = True
+                return distributed
+        return Prim(op, args)
+
+    def _distribute_over_if(
+        self, op: str, args: list[Node], spec: prims.PrimSpec
+    ) -> Node | None:
+        """(%op k.. (if c K1 K2) k..) with constant everything else
+        becomes (if c (%op.. K1..) (%op.. K2..)) — the step that turns an
+        inlined boolean-returning predicate back into a branch."""
+        if not spec.pure:
+            return None
+        if_index = None
+        for i, arg in enumerate(args):
+            if isinstance(arg, If):
+                if (
+                    isinstance(arg.then, Const)
+                    and isinstance(arg.els, Const)
+                    and if_index is None
+                ):
+                    if_index = i
+                else:
+                    return None
+            elif not isinstance(arg, Const):
+                return None
+        if if_index is None:
+            return None
+        branch = args[if_index]
+        then_args = list(args)
+        then_args[if_index] = branch.then
+        else_args = list(args)
+        else_args[if_index] = branch.els
+        return If(
+            branch.test,
+            self._rebuild_prim(op, then_args),
+            self._rebuild_prim(op, else_args),
+        )
+
+    # ------------------------------------------------------------------
+    # conditionals
+    # ------------------------------------------------------------------
+
+    def _simplify_if(self, node: If) -> Node:
+        test = self.simplify(node.test)
+        if self.options.fold and isinstance(test, Seq):
+            self.changed = True
+            return self.simplify(
+                make_seq(test.exprs[:-1] + [If(test.exprs[-1], node.then, node.els)])
+            )
+        if self.options.fold and isinstance(test, Let):
+            self.changed = True
+            return self.simplify(
+                Let(test.bindings, If(test.body, node.then, node.els))
+            )
+        then, els = node.then, node.els
+        if self.options.algebra or self.options.fold:
+            test, swapped = branch_test(test)
+            if swapped:
+                then, els = els, then
+        if isinstance(test, Const) and self.options.fold:
+            self.changed = True
+            return self.simplify(then if test.value != 0 else els)
+        then_node = self.simplify(then)
+        else_node = self.simplify(els)
+        if (
+            self.options.fold
+            and isinstance(then_node, Const)
+            and isinstance(else_node, Const)
+            and then_node.value == else_node.value
+            and _droppable(test)
+        ):
+            self.changed = True
+            return then_node
+        return If(test, then_node, else_node)
+
+    # ------------------------------------------------------------------
+    # sequencing and binding
+    # ------------------------------------------------------------------
+
+    def _simplify_seq(self, node: Seq) -> Node:
+        exprs: list[Node] = []
+        simplified = [self.simplify(expr) for expr in node.exprs]
+        for expr in simplified[:-1]:
+            if isinstance(expr, Seq):
+                exprs.extend(expr.exprs)
+            else:
+                exprs.append(expr)
+        exprs.append(simplified[-1])
+        if self.options.dce:
+            kept = [
+                expr
+                for expr in exprs[:-1]
+                if not _droppable_with_globals(expr, self.facts.defined)
+            ]
+            if len(kept) != len(exprs) - 1:
+                self.changed = True
+            exprs = kept + [exprs[-1]]
+        return make_seq(exprs)
+
+    def _simplify_let(self, node: Let) -> Node:
+        kept: list[tuple[LocalVar, Node]] = []
+        for var, init in node.bindings:
+            init = self.simplify(init)
+            if not var.assigned and self._propagatable(init):
+                self.subst[var] = init
+                self.changed = True
+                continue
+            if isinstance(init, Lambda) and not var.assigned:
+                self.local_lambdas[var] = init
+            kept.append((var, init))
+        body = self.simplify(node.body)
+        if not kept:
+            return body
+        if (
+            isinstance(body, Var)
+            and len(kept) == 1
+            and body.var is kept[0][0]
+            and not kept[0][0].assigned
+        ):
+            self.changed = True
+            return kept[0][1]
+        # Forward single-use pure bindings into the body (outside any
+        # lambda), so e.g. (let ((t (%add a 16))) (%add t 16)) exposes
+        # reassociation.  Pure inits may move freely.
+        if self.options.fold:
+            remaining: list[tuple[LocalVar, Node]] = []
+            for var, init in kept:
+                if (
+                    not var.assigned
+                    and _is_pure(init)
+                    # Reads of assigned variables are ordered with
+                    # respect to their set!s: they must not move.
+                    and not _references_assigned(init)
+                    and _count_direct_uses(body, var) == 1
+                ):
+                    body = _substitute_once(body, var, init)
+                    self.changed = True
+                else:
+                    remaining.append((var, init))
+            kept = remaining
+            # Exposed redexes are picked up by the next round.
+            if not kept:
+                return body
+        return Let(kept, body)
+
+    def _propagatable(self, init: Node) -> bool:
+        if not self.options.fold:
+            return False
+        if isinstance(init, Const):
+            return True
+        if isinstance(init, Var) and not init.var.assigned:
+            return True
+        if isinstance(init, GlobalRef) and init.name in self.facts.immutable:
+            return True
+        return False
+
+    def _simplify_fix(self, node: Fix) -> Node:
+        fix_vars = {var for var, _ in node.bindings}
+        bindings: list[tuple[LocalVar, Lambda]] = []
+        for var, lam in node.bindings:
+            new_lam = self.simplify(lam)
+            assert isinstance(new_lam, Lambda)
+            if not (free_vars(new_lam) & fix_vars):
+                # Non-recursive: eligible for inlining at call sites.
+                self.local_lambdas[var] = new_lam
+            bindings.append((var, new_lam))
+        body = self.simplify(node.body)
+        return Fix(bindings, body)
+
+    # ------------------------------------------------------------------
+    # calls, beta, inlining
+    # ------------------------------------------------------------------
+
+    def _simplify_call(self, node: Call) -> Node:
+        fn = self.simplify(node.fn)
+        args = [self.simplify(arg) for arg in node.args]
+        if isinstance(fn, Lambda) and fn.rest is None and len(fn.params) == len(args):
+            self.changed = True
+            return self.simplify(Let(list(zip(fn.params, args)), fn.body))
+        if self.options.inline:
+            inlined = self._try_inline(fn, args)
+            if inlined is not None:
+                self.changed = True
+                return inlined
+        return Call(fn, args)
+
+    def _try_inline(self, fn: Node, args: list[Node]) -> Node | None:
+        lam: Lambda | None = None
+        key: object = None
+        single_use = False
+        census = self.facts.census
+        if isinstance(fn, Var):
+            lam = self.local_lambdas.get(fn.var)
+            key = fn.var
+            if lam is not None:
+                info = census.locals.get(fn.var)
+                single_use = info is not None and info.references == 1
+        elif isinstance(fn, GlobalRef):
+            if fn.name in self.facts.non_inlinable:
+                return None
+            lam = self.facts.lambdas.get(fn.name)
+            key = fn.name
+            info = census.globals.get(fn.name)
+            single_use = info is not None and info.references == 1
+        if lam is None:
+            return None
+        if lam.rest is not None or len(lam.params) != len(args):
+            return None
+        if key in self.inline_stack:
+            return None
+        if len(self.inline_stack) >= self.options.max_inline_depth:
+            return None
+        if node_size(lam.body) > self.options.max_inline_size and not single_use:
+            return None
+        fresh = copy_node(lam)
+        assert isinstance(fresh, Lambda)
+        self.inline_stack.append(key)
+        try:
+            result = self.simplify(Let(list(zip(fresh.params, args)), fresh.body))
+        finally:
+            self.inline_stack.pop()
+        return result
+
+
+def _is_pure(node: Node) -> bool:
+    from ..ir import is_pure
+
+    return is_pure(node)
+
+
+def _references_assigned(node: Node) -> bool:
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var) and current.var.assigned:
+            return True
+        stack.extend(current.children())
+    return False
+
+
+def _count_direct_uses(node: Node, var: LocalVar) -> int:
+    """Occurrences of ``var`` outside lambda bodies (capped at 2).
+
+    Any occurrence under a lambda counts as 2, blocking forwarding: a
+    forwarded init would otherwise be re-evaluated per call.
+    """
+    count = 0
+    stack = [node]
+    while stack and count < 2:
+        current = stack.pop()
+        if isinstance(current, Var) and current.var is var:
+            count += 1
+        elif isinstance(current, LocalSet) and current.var is var:
+            return 2
+        elif isinstance(current, (Lambda, Fix)):
+            if var in free_vars(current):
+                return 2
+        else:
+            stack.extend(current.children())
+    return count
+
+
+def _substitute_once(node: Node, var: LocalVar, init: Node) -> Node:
+    """Replace the single direct occurrence of ``var`` with ``init``."""
+    from ..ir import map_children
+
+    if isinstance(node, Var) and node.var is var:
+        return init
+    if isinstance(node, (Lambda, Fix)):
+        return node
+    return map_children(node, lambda child: _substitute_once(child, var, init))
+
+
+def _instantiate(template: Node) -> Node:
+    if isinstance(template, Const):
+        return Const(template.value)
+    if isinstance(template, Var):
+        return Var(template.var)
+    if isinstance(template, GlobalRef):
+        return GlobalRef(template.name)
+    raise TypeError(f"non-template substitution {type(template).__name__}")
+
+
+def _droppable(node: Node) -> bool:
+    from ..ir import is_removable
+
+    return is_removable(node)
+
+
+def _droppable_with_globals(node: Node, defined: set[str]) -> bool:
+    from ..ir import is_removable
+
+    return is_removable(node, defined)

@@ -1,0 +1,18 @@
+"""Machine primitives: the compiler's only built-in operations."""
+
+from .fold import WORD_BITS, WORD_MASK, FoldCannot, signed, wrap
+from .table import Effect, PrimSpec, all_prims, is_prim_name, lookup, spec
+
+__all__ = [
+    "Effect",
+    "FoldCannot",
+    "PrimSpec",
+    "WORD_BITS",
+    "WORD_MASK",
+    "all_prims",
+    "is_prim_name",
+    "lookup",
+    "signed",
+    "spec",
+    "wrap",
+]

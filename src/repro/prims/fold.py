@@ -1,0 +1,123 @@
+"""Compile-time evaluation of machine primitives.
+
+These functions implement exactly the VM's semantics over raw 64-bit
+words, so constant folding is a faithful partial execution of the target
+machine.  All inputs and outputs are Python ints in ``[0, 2**64)``.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+SIGN_BIT = 1 << (WORD_BITS - 1)
+
+
+class FoldCannot(Exception):
+    """Raised when a fold would be unsound (e.g. division by zero)."""
+
+
+def wrap(value: int) -> int:
+    """Truncate a Python int to an unsigned 64-bit word."""
+    return value & WORD_MASK
+
+
+def signed(word: int) -> int:
+    """Interpret an unsigned word as two's-complement signed."""
+    word &= WORD_MASK
+    return word - (1 << WORD_BITS) if word & SIGN_BIT else word
+
+
+def fold_add(a: int, b: int) -> int:
+    return wrap(a + b)
+
+
+def fold_sub(a: int, b: int) -> int:
+    return wrap(a - b)
+
+
+def fold_mul(a: int, b: int) -> int:
+    return wrap(signed(a) * signed(b))
+
+
+def fold_div(a: int, b: int) -> int:
+    if b == 0:
+        raise FoldCannot("division by zero")
+    quotient = abs(signed(a)) // abs(signed(b))
+    if (signed(a) < 0) != (signed(b) < 0):
+        quotient = -quotient
+    return wrap(quotient)
+
+
+def fold_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise FoldCannot("modulo by zero")
+    # Truncated remainder: sign follows the dividend (C semantics).
+    remainder = abs(signed(a)) % abs(signed(b))
+    if signed(a) < 0:
+        remainder = -remainder
+    return wrap(remainder)
+
+
+def fold_and(a: int, b: int) -> int:
+    return a & b
+
+
+def fold_or(a: int, b: int) -> int:
+    return a | b
+
+
+def fold_xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def fold_not(a: int) -> int:
+    return wrap(~a)
+
+
+def _shift_amount(b: int) -> int:
+    # Hardware-style: only the low 6 bits of the shift count matter.
+    return b & (WORD_BITS - 1)
+
+
+def fold_lsl(a: int, b: int) -> int:
+    return wrap(a << _shift_amount(b))
+
+
+def fold_lsr(a: int, b: int) -> int:
+    return (a & WORD_MASK) >> _shift_amount(b)
+
+
+def fold_asr(a: int, b: int) -> int:
+    return wrap(signed(a) >> _shift_amount(b))
+
+
+def _bool(value: bool) -> int:
+    return 1 if value else 0
+
+
+def fold_eq(a: int, b: int) -> int:
+    return _bool(wrap(a) == wrap(b))
+
+
+def fold_neq(a: int, b: int) -> int:
+    return _bool(wrap(a) != wrap(b))
+
+
+def fold_lt(a: int, b: int) -> int:
+    return _bool(signed(a) < signed(b))
+
+
+def fold_le(a: int, b: int) -> int:
+    return _bool(signed(a) <= signed(b))
+
+
+def fold_ult(a: int, b: int) -> int:
+    return _bool(wrap(a) < wrap(b))
+
+
+def fold_ule(a: int, b: int) -> int:
+    return _bool(wrap(a) <= wrap(b))
+
+
+def fold_nz(a: int) -> int:
+    return _bool(wrap(a) != 0)

@@ -1,0 +1,155 @@
+"""The machine-primitive table.
+
+These primitives are the compiler's entire built-in vocabulary for
+computing with data.  They correspond one-for-one with what a simple RISC
+target offers: 64-bit integer arithmetic, bit operations, comparisons,
+word-aligned loads and stores, allocation, and a few runtime escapes.
+
+Notably *absent*: ``car``, ``cons``, ``vector-ref``, type predicates,
+boxing/unboxing of fixnums… all of that is library code built from these.
+
+Effects drive the optimizer:
+
+``PURE``
+    No effect; foldable when arguments are constants; freely removable,
+    reorderable, and CSE-able.
+``READ``
+    Reads the heap.  Removable when unused, CSE-able until the next
+    write/alloc/call.
+``WRITE`` / ``ALLOC`` / ``IO`` / ``CONTROL``
+    Observable effects; never removed or duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from . import fold as foldmod
+
+
+class Effect(Enum):
+    PURE = "pure"
+    READ = "read"
+    WRITE = "write"
+    ALLOC = "alloc"
+    IO = "io"
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class PrimSpec:
+    """Static description of one machine primitive."""
+
+    name: str
+    arity: int
+    effect: Effect
+    #: constant-fold function over raw 64-bit ints; raises
+    #: :class:`~repro.prims.fold.FoldCannot` when the fold is invalid
+    #: (e.g. division by zero).
+    fold: Optional[Callable[..., int]] = None
+    #: comparison primitives produce a raw 0/1 word and can be fused
+    #: directly into conditional branches by the backend.
+    comparison: bool = False
+
+    @property
+    def pure(self) -> bool:
+        return self.effect is Effect.PURE
+
+    @property
+    def removable(self) -> bool:
+        """May an unused application of this primitive be deleted?"""
+        return self.effect in (Effect.PURE, Effect.READ)
+
+
+_TABLE: dict[str, PrimSpec] = {}
+
+
+def _define(
+    name: str,
+    arity: int,
+    effect: Effect,
+    fold: Optional[Callable[..., int]] = None,
+    comparison: bool = False,
+) -> None:
+    _TABLE[name] = PrimSpec(name, arity, effect, fold, comparison)
+
+
+# --- arithmetic (64-bit wrap-around; div/mod are signed, truncating) ----
+_define("%add", 2, Effect.PURE, foldmod.fold_add)
+_define("%sub", 2, Effect.PURE, foldmod.fold_sub)
+_define("%mul", 2, Effect.PURE, foldmod.fold_mul)
+_define("%div", 2, Effect.PURE, foldmod.fold_div)
+_define("%mod", 2, Effect.PURE, foldmod.fold_mod)
+
+# --- bit operations -----------------------------------------------------
+_define("%and", 2, Effect.PURE, foldmod.fold_and)
+_define("%or", 2, Effect.PURE, foldmod.fold_or)
+_define("%xor", 2, Effect.PURE, foldmod.fold_xor)
+_define("%not", 1, Effect.PURE, foldmod.fold_not)
+_define("%lsl", 2, Effect.PURE, foldmod.fold_lsl)
+_define("%lsr", 2, Effect.PURE, foldmod.fold_lsr)
+_define("%asr", 2, Effect.PURE, foldmod.fold_asr)
+
+# --- comparisons (raw 0/1 results; fusable into branches) ---------------
+_define("%eq", 2, Effect.PURE, foldmod.fold_eq, comparison=True)
+_define("%neq", 2, Effect.PURE, foldmod.fold_neq, comparison=True)
+_define("%lt", 2, Effect.PURE, foldmod.fold_lt, comparison=True)
+_define("%le", 2, Effect.PURE, foldmod.fold_le, comparison=True)
+_define("%ult", 2, Effect.PURE, foldmod.fold_ult, comparison=True)
+_define("%ule", 2, Effect.PURE, foldmod.fold_ule, comparison=True)
+_define("%nz", 1, Effect.PURE, foldmod.fold_nz, comparison=True)
+
+# --- memory -------------------------------------------------------------
+# (%load ptr disp): read the word at byte address ptr+disp (8-aligned).
+_define("%load", 2, Effect.READ)
+# (%store ptr disp value): write value; result is the raw word 0.
+_define("%store", 3, Effect.WRITE)
+# (%alloc nwords tag): allocate nwords payload words (plus a header the
+# substrate owns), returning base|tag.  Fields start zeroed.
+_define("%alloc", 2, Effect.ALLOC)
+
+# --- runtime registry (library tells the substrate about its reps) ------
+# (%register-pointer-rep tag): mark a low-tag as "heap pointer" for GC.
+_define("%register-pointer-rep", 1, Effect.IO)
+# (%register-pair-rep tag car-disp cdr-disp): pair layout, used by the VM
+# only to build rest-argument lists and unpack %apply lists.
+_define("%register-pair-rep", 3, Effect.IO)
+# (%register-nil word): the empty-list word, for the same two purposes.
+_define("%register-nil", 1, Effect.IO)
+# (%register-false word): the false word, used by VM diagnostics only.
+_define("%register-false", 1, Effect.IO)
+
+# --- I/O and control ----------------------------------------------------
+# (%putc rawcode): append the character to the program's output.
+_define("%putc", 1, Effect.IO)
+# (%getc): consume and return the next input character code, or the
+# all-ones word at end of input.
+_define("%getc", 0, Effect.IO)
+# (%peekc): like %getc but does not consume.
+_define("%peekc", 0, Effect.IO)
+# (%fail code): signal a runtime error; does not return.
+_define("%fail", 1, Effect.CONTROL)
+# (%apply f arglist): tail-agnostic full application of f to a list.
+_define("%apply", 2, Effect.CONTROL)
+# (%callec f): call f with an escape continuation (upward-only call/cc).
+_define("%callec", 1, Effect.CONTROL)
+
+
+def lookup(name: str) -> Optional[PrimSpec]:
+    """The spec for ``name``, or None when it is not a primitive."""
+    return _TABLE.get(name)
+
+
+def spec(name: str) -> PrimSpec:
+    """The spec for ``name``; raises KeyError for unknown primitives."""
+    return _TABLE[name]
+
+
+def is_prim_name(name: str) -> bool:
+    return name in _TABLE
+
+
+def all_prims() -> dict[str, PrimSpec]:
+    return dict(_TABLE)

@@ -1,0 +1,37 @@
+"""Python mirror of the representation scheme (harness support)."""
+
+from .model import (
+    ALL_MODELS,
+    EOF_WORD,
+    FALSE_WORD,
+    NIL_WORD,
+    TRUE_WORD,
+    UNSPECIFIED_WORD,
+    RepTypeModel,
+    char_word,
+    classify_word,
+    field_displacement,
+    fixnum_value,
+    fixnum_word,
+    immediate_kind,
+    immediate_payload,
+    immediate_word,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "EOF_WORD",
+    "FALSE_WORD",
+    "NIL_WORD",
+    "TRUE_WORD",
+    "UNSPECIFIED_WORD",
+    "RepTypeModel",
+    "char_word",
+    "classify_word",
+    "field_displacement",
+    "fixnum_value",
+    "fixnum_word",
+    "immediate_kind",
+    "immediate_payload",
+    "immediate_word",
+]

@@ -1,0 +1,147 @@
+"""A Python mirror of the default prelude's representation scheme.
+
+This module is *documentation and harness support*: the authoritative
+definitions live in Scheme source (``repro/runtime/scm``).  The mirror
+lets Python-side tools (the decoder, tests, benchmark tables) compute
+the same words the library computes, and asserts the two views agree.
+
+Nothing in the compiler imports this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..prims import WORD_MASK, signed, wrap
+
+TAG_BITS = 3
+TAG_MASK = 7
+
+TAG_FIXNUM = 0
+TAG_PAIR = 1
+TAG_VECTOR = 2
+TAG_STRING = 3
+TAG_SYMBOL = 4
+TAG_RECORD = 5
+TAG_IMMEDIATE = 6
+TAG_CLOSURE = 7
+
+IMM_KIND_FALSE = 0
+IMM_KIND_TRUE = 1
+IMM_KIND_NIL = 2
+IMM_KIND_UNSPECIFIED = 3
+IMM_KIND_EOF = 4
+IMM_KIND_CHAR = 5
+
+POINTER_TAGS = frozenset(
+    {TAG_PAIR, TAG_VECTOR, TAG_STRING, TAG_SYMBOL, TAG_RECORD, TAG_CLOSURE}
+)
+
+
+def fixnum_word(value: int) -> int:
+    """The word for a fixnum: value << 3 (so +/-/compare work on words)."""
+    if not (-(2**60) <= value < 2**60):
+        raise ValueError(f"{value} outside the 61-bit fixnum range")
+    return wrap(value << TAG_BITS)
+
+
+def fixnum_value(word: int) -> int:
+    if word & TAG_MASK != TAG_FIXNUM:
+        raise ValueError(f"{word:#x} is not a fixnum word")
+    return signed(word) >> TAG_BITS
+
+
+def immediate_word(kind: int, payload: int = 0) -> int:
+    """(payload << 8) | (kind << 3) | 6 — matching %imm-word."""
+    if not (0 <= kind < 32):
+        raise ValueError(f"bad immediate kind {kind}")
+    return wrap((payload << 8) | (kind << TAG_BITS) | TAG_IMMEDIATE)
+
+
+FALSE_WORD = immediate_word(IMM_KIND_FALSE)
+TRUE_WORD = immediate_word(IMM_KIND_TRUE)
+NIL_WORD = immediate_word(IMM_KIND_NIL)
+UNSPECIFIED_WORD = immediate_word(IMM_KIND_UNSPECIFIED)
+EOF_WORD = immediate_word(IMM_KIND_EOF)
+
+
+def char_word(code: int) -> int:
+    return immediate_word(IMM_KIND_CHAR, code)
+
+
+def immediate_kind(word: int) -> int:
+    if word & TAG_MASK != TAG_IMMEDIATE:
+        raise ValueError(f"{word:#x} is not an immediate word")
+    return (word >> TAG_BITS) & 31
+
+
+def immediate_payload(word: int) -> int:
+    return (word & WORD_MASK) >> 8
+
+
+def field_displacement(tag: int, index: int) -> int:
+    """Byte displacement of field ``index`` from a tag-``tag`` pointer:
+    8*(index+1) - tag, exactly the library's %field-disp."""
+    return 8 * (index + 1) - tag
+
+
+# The displacements the library registers with the substrate:
+PAIR_CAR_DISP = field_displacement(TAG_PAIR, 0)   # 7
+PAIR_CDR_DISP = field_displacement(TAG_PAIR, 1)   # 15
+
+
+@dataclass(frozen=True)
+class RepTypeModel:
+    """Static description of one representation type (harness view)."""
+
+    name: str
+    kind: str  # "fixnum" | "immediate" | "pointer" | "record" | "procedure"
+    tag: int
+    field_count: int | None = None
+
+    def is_instance_word(self, word: int) -> bool:
+        if self.kind == "immediate":
+            return (
+                word & TAG_MASK == TAG_IMMEDIATE
+                and immediate_kind(word) == self.tag
+            )
+        return word & TAG_MASK == self.tag
+
+
+FIXNUM = RepTypeModel("fixnum", "fixnum", TAG_FIXNUM, 0)
+PAIR = RepTypeModel("pair", "pointer", TAG_PAIR, 2)
+VECTOR = RepTypeModel("vector", "pointer", TAG_VECTOR, None)
+STRING = RepTypeModel("string", "pointer", TAG_STRING, None)
+SYMBOL = RepTypeModel("symbol", "pointer", TAG_SYMBOL, 1)
+RECORD = RepTypeModel("record", "record", TAG_RECORD, None)
+BOOLEAN = RepTypeModel("boolean", "immediate", IMM_KIND_FALSE, 0)
+CHAR = RepTypeModel("char", "immediate", IMM_KIND_CHAR, 0)
+PROCEDURE = RepTypeModel("procedure", "procedure", TAG_CLOSURE, None)
+
+ALL_MODELS = (FIXNUM, PAIR, VECTOR, STRING, SYMBOL, RECORD, BOOLEAN, CHAR, PROCEDURE)
+
+
+def classify_word(word: int) -> str:
+    """Name of the representation a word belongs to (by tag alone)."""
+    tag = word & TAG_MASK
+    names = {
+        TAG_FIXNUM: "fixnum",
+        TAG_PAIR: "pair",
+        TAG_VECTOR: "vector",
+        TAG_STRING: "string",
+        TAG_SYMBOL: "symbol",
+        TAG_RECORD: "record",
+        TAG_CLOSURE: "procedure",
+    }
+    if tag == TAG_IMMEDIATE:
+        kind = immediate_kind(word)
+        kind_names = {
+            IMM_KIND_FALSE: "boolean",
+            IMM_KIND_TRUE: "boolean",
+            IMM_KIND_NIL: "empty-list",
+            IMM_KIND_UNSPECIFIED: "unspecified",
+            IMM_KIND_EOF: "eof",
+            IMM_KIND_CHAR: "char",
+        }
+        return kind_names.get(kind, f"immediate-{kind}")
+    return names[tag]

@@ -1,0 +1,5 @@
+"""Runtime prelude sources."""
+
+from .prelude import PRELUDE_NAMES, prelude_source
+
+__all__ = ["PRELUDE_NAMES", "prelude_source"]

@@ -1,0 +1,62 @@
+"""Assembles the runtime prelude source.
+
+Two preludes ship:
+
+* **reptype** — the paper's approach: all data types defined through the
+  abstract representation-type machinery (``scm/reptypes_scm.py`` et
+  al.), relying on the general-purpose optimizer for efficiency.
+* **handcoded** — the traditional comparator: the same operations with
+  their final machine-level bodies written out by hand (and the
+  safety-check variant chosen *textually*, the way a compiler with
+  built-in knowledge would) — see :mod:`repro.baseline.prelude`.
+
+Both share the library/printer/reflect layers, which are ordinary
+Scheme.
+"""
+
+from __future__ import annotations
+
+from .scm import (
+    extras_scm,
+    library_scm,
+    printer_scm,
+    reader_scm,
+    reflect_scm,
+    reptypes_scm,
+    types_scm,
+)
+
+PRELUDE_NAMES = ("reptype", "handcoded", "none")
+
+
+def prelude_source(kind: str = "reptype", safety: bool = True) -> str:
+    """The full prelude text for one configuration."""
+    if kind == "none":
+        return ""
+    safety_define = f"(define %safety (%raw {1 if safety else 0}))\n"
+    if kind == "reptype":
+        parts = [
+            safety_define,
+            reptypes_scm.SOURCE,
+            types_scm.SOURCE,
+            library_scm.SOURCE,
+            printer_scm.SOURCE,
+            reflect_scm.SOURCE,
+            extras_scm.SOURCE,
+            reader_scm.SOURCE,
+        ]
+    elif kind == "handcoded":
+        from ..baseline.prelude import handcoded_core_source
+
+        parts = [
+            safety_define,
+            handcoded_core_source(safety),
+            library_scm.SOURCE,
+            printer_scm.SOURCE,
+            reflect_scm.SOURCE,
+            extras_scm.SOURCE,
+            reader_scm.SOURCE,
+        ]
+    else:
+        raise ValueError(f"unknown prelude kind {kind!r}")
+    return "\n".join(parts)

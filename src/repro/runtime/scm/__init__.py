@@ -1,0 +1,1 @@
+"""Scheme source fragments for the runtime prelude."""

@@ -1,0 +1,343 @@
+"""Library extras: derived features built with plain Scheme + macros.
+
+Everything here is deliberately implemented *on top of* the public
+library — more evidence that the language grows by user code, not by
+compiler extension: `case-lambda` is a macro over rest-arguments,
+promises are closures over a mutable cell, hash tables are vectors of
+association lists.
+"""
+
+SOURCE = r"""
+;;;; ===================================================================
+;;;; case-lambda (R5RS+ style), as a macro over rest arguments
+;;;; ===================================================================
+
+(define (%arity-matches? formals-count has-rest n)
+  (if (%eq has-rest %sx-false)
+      (= formals-count n)
+      (<= formals-count n)))
+
+(define-syntax case-lambda
+  (syntax-rules ()
+    ((_ (formals body ...) ...)
+     (let ((clauses
+            (list (%case-lambda-clause formals (lambda formals body ...)) ...)))
+       (lambda args
+         (%case-lambda-dispatch clauses args))))))
+
+(define-syntax %case-lambda-clause
+  (syntax-rules ()
+    ((_ (a ...) proc) (cons (length '(a ...)) (cons #f proc)))
+    ((_ (a . rest) proc) (cons (%count-fixed (a . rest)) (cons #t proc)))
+    ((_ args proc) (cons 0 (cons #t proc)))))
+
+(define-syntax %count-fixed
+  (syntax-rules ()
+    ((_ (a . rest)) (+ 1 (%count-fixed rest)))
+    ((_ a) 0)))
+
+(define (%case-lambda-dispatch clauses args)
+  (let ((n (length args)))
+    (let loop ((node clauses))
+      (if (null? node)
+          (error "case-lambda: no matching clause for arity" n)
+          (let ((clause (car node)))
+            (if (%arity-matches? (car clause) (cadr clause) n)
+                (%apply (cddr clause) args)
+                (loop (cdr node))))))))
+
+;;;; ===================================================================
+;;;; Promises: delay / force with memoization
+;;;; ===================================================================
+
+(define %promise-rep (make-record-rep 'promise '(done value thunk)))
+(define %make-promise-record (rep-constructor %promise-rep))
+(define promise? (rep-predicate %promise-rep))
+(define %promise-done (rep-accessor %promise-rep 0))
+(define %promise-value (rep-accessor %promise-rep 1))
+(define %promise-thunk (rep-accessor %promise-rep 2))
+(define %promise-set-done! (rep-mutator %promise-rep 0))
+(define %promise-set-value! (rep-mutator %promise-rep 1))
+(define %promise-set-thunk! (rep-mutator %promise-rep 2))
+
+(define (make-promise thunk)
+  (%make-promise-record #f #f thunk))
+
+(define-syntax delay
+  (syntax-rules ()
+    ((_ expr) (make-promise (lambda () expr)))))
+
+(define (force p)
+  (if (promise? p)
+      (if (%promise-done p)
+          (%promise-value p)
+          (let ((value ((%promise-thunk p))))
+            (if (%promise-done p)     ; the thunk may have forced p
+                (%promise-value p)
+                (begin
+                  (%promise-set-done! p #t)
+                  (%promise-set-value! p value)
+                  (%promise-set-thunk! p #f)
+                  value))))
+      p))
+
+;;;; ===================================================================
+;;;; Escape continuations (upward-only call/cc)
+;;;;
+;;;; The substrate provides %callec: f receives a procedure that, when
+;;;; invoked with one value, abandons the computation between here and
+;;;; the invocation and returns that value from the %callec form.  It
+;;;; is valid only during the dynamic extent of the call (no re-entry).
+;;;; ===================================================================
+
+(define (call-with-escape-continuation f) (%callec f))
+(define (call/cc f) (%callec f))
+(define (call-with-current-continuation f) (%callec f))
+
+;;;; ===================================================================
+;;;; More list utilities
+;;;; ===================================================================
+
+(define (iota n . opt)
+  (let ((start (if (null? opt) 0 (car opt)))
+        (step (if (if (pair? opt) (pair? (cdr opt)) #f) (cadr opt) 1)))
+    (let loop ((i (- n 1)) (acc '()))
+      (if (< i 0)
+          acc
+          (loop (- i 1) (cons (+ start (* i step)) acc))))))
+
+(define (list-copy lst)
+  (if (pair? lst)
+      (cons (car lst) (list-copy (cdr lst)))
+      lst))
+
+(define (list-index pred lst)
+  (let loop ((node lst) (i 0))
+    (cond ((null? node) #f)
+          ((pred (car node)) i)
+          (else (loop (cdr node) (+ i 1))))))
+
+(define (take lst n)
+  (if (zero? n)
+      '()
+      (cons (car lst) (take (cdr lst) (- n 1)))))
+
+(define (drop lst n) (list-tail lst n))
+
+(define (delete x lst)
+  (filter (lambda (item) (not (equal? item x))) lst))
+
+(define (remove-duplicates lst)
+  (let loop ((node lst) (seen '()) (acc '()))
+    (cond ((null? node) (reverse acc))
+          ((member (car node) seen) (loop (cdr node) seen acc))
+          (else (loop (cdr node)
+                      (cons (car node) seen)
+                      (cons (car node) acc))))))
+
+(define (count pred lst)
+  (fold-left (lambda (acc item) (if (pred item) (+ acc 1) acc)) 0 lst))
+
+(define (any pred lst)
+  (cond ((null? lst) #f)
+        ((pred (car lst)) #t)
+        (else (any pred (cdr lst)))))
+
+(define (every pred lst)
+  (cond ((null? lst) #t)
+        ((pred (car lst)) (every pred (cdr lst)))
+        (else #f)))
+
+(define (append! a b) (append a b))   ; persistent implementation
+
+(define (assq-del key alist)
+  (filter (lambda (entry) (not (eq? (car entry) key))) alist))
+
+;;;; ===================================================================
+;;;; More character and string utilities
+;;;; ===================================================================
+
+(define (char-alphabetic? c)
+  (let ((n (char->integer c)))
+    (if (if (<= 65 n) (<= n 90) #f)
+        #t
+        (if (<= 97 n) (<= n 122) #f))))
+
+(define (char-numeric? c)
+  (let ((n (char->integer c)))
+    (if (<= 48 n) (<= n 57) #f)))
+
+(define (char-whitespace? c)
+  (let ((n (char->integer c)))
+    (if (= n 32) #t (if (<= 9 n) (<= n 13) #f))))
+
+(define (char-upcase c)
+  (let ((n (char->integer c)))
+    (if (if (<= 97 n) (<= n 122) #f)
+        (integer->char (- n 32))
+        c)))
+
+(define (char-downcase c)
+  (let ((n (char->integer c)))
+    (if (if (<= 65 n) (<= n 90) #f)
+        (integer->char (+ n 32))
+        c)))
+
+(define (string-upcase s)
+  (list->string (map char-upcase (string->list s))))
+
+(define (string-downcase s)
+  (list->string (map char-downcase (string->list s))))
+
+(define (string-index s c)
+  (let ((n (string-length s)))
+    (let loop ((i 0))
+      (cond ((= i n) #f)
+            ((char=? (string-ref s i) c) i)
+            (else (loop (+ i 1)))))))
+
+(define (string-contains? haystack needle)
+  (let ((hn (string-length haystack)) (nn (string-length needle)))
+    (let loop ((start 0))
+      (cond ((< (- hn start) nn) #f)
+            ((string=? (substring haystack start (+ start nn)) needle) start)
+            (else (loop (+ start 1)))))))
+
+(define (string-join parts separator)
+  (cond ((null? parts) "")
+        ((null? (cdr parts)) (car parts))
+        (else (string-append (car parts)
+                             separator
+                             (string-join (cdr parts) separator)))))
+
+(define (string-split s c)
+  (let ((n (string-length s)))
+    (let loop ((i 0) (start 0) (acc '()))
+      (cond ((= i n) (reverse (cons (substring s start n) acc)))
+            ((char=? (string-ref s i) c)
+             (loop (+ i 1) (+ i 1) (cons (substring s start i) acc)))
+            (else (loop (+ i 1) start acc))))))
+
+;;;; ===================================================================
+;;;; Hash tables: vectors of association lists, string/eq keys
+;;;; ===================================================================
+
+(define %hash-rep (make-record-rep 'hash-table '(buckets size)))
+(define %make-hash-record (rep-constructor %hash-rep))
+(define hash-table? (rep-predicate %hash-rep))
+(define %hash-buckets (rep-accessor %hash-rep 0))
+(define %hash-size (rep-accessor %hash-rep 1))
+(define %hash-set-size! (rep-mutator %hash-rep 1))
+
+(define (make-hash-table . opt)
+  (let ((nbuckets (if (null? opt) 32 (car opt))))
+    (%make-hash-record (make-vector nbuckets '()) 0)))
+
+(define (%hash-key key)
+  (cond ((fixnum? key) (abs key))
+        ((char? key) (char->integer key))
+        ((symbol? key) (%string-hash (symbol->string key)))
+        ((string? key) (%string-hash key))
+        ((eq? key #t) 1)
+        ((eq? key #f) 0)
+        ((null? key) 2)
+        (else (error "unhashable key" key))))
+
+(define (%string-hash s)
+  (let ((n (string-length s)))
+    (let loop ((i 0) (h 5381))
+      (if (= i n)
+          (abs h)
+          (loop (+ i 1)
+                (remainder (+ (* h 33) (char->integer (string-ref s i)))
+                           1000003))))))
+
+(define (%hash-bucket table key)
+  (remainder (%hash-key key) (vector-length (%hash-buckets table))))
+
+(define (%hash-entry table key)
+  (let ((bucket (vector-ref (%hash-buckets table) (%hash-bucket table key))))
+    (let loop ((node bucket))
+      (cond ((null? node) #f)
+            ((equal? (caar node) key) (car node))
+            (else (loop (cdr node)))))))
+
+(define (hash-table-set! table key value)
+  (let ((entry (%hash-entry table key)))
+    (if (eq? entry #f)
+        (let ((index (%hash-bucket table key))
+              (buckets (%hash-buckets table)))
+          (vector-set! buckets index
+                       (cons (cons key value) (vector-ref buckets index)))
+          (%hash-set-size! table (+ (%hash-size table) 1)))
+        (set-cdr! entry value))
+    #!unspecific))
+
+(define (hash-table-ref table key . default)
+  (let ((entry (%hash-entry table key)))
+    (cond ((pair? entry) (cdr entry))
+          ((pair? default) (car default))
+          (else (error "key not found" key)))))
+
+(define (hash-table-contains? table key)
+  (pair? (%hash-entry table key)))
+
+(define (hash-table-count table) (%hash-size table))
+
+(define (hash-table-delete! table key)
+  (when (hash-table-contains? table key)
+    (let ((index (%hash-bucket table key))
+          (buckets (%hash-buckets table)))
+      (vector-set! buckets index
+                   (filter (lambda (entry) (not (equal? (car entry) key)))
+                           (vector-ref buckets index)))
+      (%hash-set-size! table (- (%hash-size table) 1))))
+  #!unspecific)
+
+(define (hash-table-keys table)
+  (let ((buckets (%hash-buckets table)))
+    (let loop ((i 0) (acc '()))
+      (if (= i (vector-length buckets))
+          acc
+          (loop (+ i 1)
+                (append (map car (vector-ref buckets i)) acc))))))
+
+;;;; ===================================================================
+;;;; define-record-type (SRFI-9 style), over make-record-rep
+;;;; ===================================================================
+
+(define (record-field-accessor rep field-name)
+  (rep-accessor rep (rep-field-index rep field-name)))
+
+(define (record-field-mutator rep field-name)
+  (rep-mutator rep (rep-field-index rep field-name)))
+
+(define-syntax define-record-type
+  (syntax-rules ()
+    ((_ type (ctor ctor-field ...) pred clause ...)
+     (begin
+       (define type (make-record-rep 'type '(ctor-field ...)))
+       (define ctor (rep-constructor type))
+       (define pred (rep-predicate type))
+       (%define-record-clauses type clause ...)))))
+
+(define-syntax %define-record-clauses
+  (syntax-rules ()
+    ((_ type) (begin))
+    ((_ type (field accessor) rest ...)
+     (begin
+       (define accessor (record-field-accessor type 'field))
+       (%define-record-clauses type rest ...)))
+    ((_ type (field accessor mutator) rest ...)
+     (begin
+       (define accessor (record-field-accessor type 'field))
+       (define mutator (record-field-mutator type 'field))
+       (%define-record-clauses type rest ...)))))
+
+(define (hash-table->alist table)
+  (let ((buckets (%hash-buckets table)))
+    (let loop ((i 0) (acc '()))
+      (if (= i (vector-length buckets))
+          acc
+          (loop (+ i 1) (append (vector-ref buckets i) acc))))))
+"""

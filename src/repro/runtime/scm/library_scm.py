@@ -1,0 +1,438 @@
+"""The standard library: lists, strings, higher-order procedures,
+interning, apply, and error signalling — ordinary Scheme over the types
+layer."""
+
+SOURCE = r"""
+;;;; ===================================================================
+;;;; Pairs and lists
+;;;; ===================================================================
+
+(define (caar x) (car (car x)))
+(define (cadr x) (car (cdr x)))
+(define (cdar x) (cdr (car x)))
+(define (cddr x) (cdr (cdr x)))
+(define (caddr x) (car (cddr x)))
+(define (cdddr x) (cdr (cddr x)))
+(define (cadddr x) (car (cdddr x)))
+
+(define (list . items) items)
+
+(define (length lst)
+  (let loop ((node lst) (n 0))
+    (if (null? node)
+        n
+        (loop (cdr node) (+ n 1)))))
+
+(define (list? x)
+  (if (null? x)
+      #t
+      (if (pair? x)
+          (list? (cdr x))
+          #f)))
+
+(define (list-tail lst k)
+  (if (zero? k)
+      lst
+      (list-tail (cdr lst) (- k 1))))
+
+(define (list-ref lst k) (car (list-tail lst k)))
+
+(define (last-pair lst)
+  (if (pair? (cdr lst))
+      (last-pair (cdr lst))
+      lst))
+
+(define (append2 a b)
+  (if (null? a)
+      b
+      (cons (car a) (append2 (cdr a) b))))
+
+(define (append . lists)
+  (if (null? lists)
+      '()
+      (if (null? (cdr lists))
+          (car lists)
+          (append2 (car lists) (apply append (cdr lists))))))
+
+(define (%sx-append a b) (append2 a b))
+
+(define (reverse lst)
+  (let loop ((node lst) (acc '()))
+    (if (null? node)
+        acc
+        (loop (cdr node) (cons (car node) acc)))))
+
+(define (memq x lst)
+  (if (null? lst)
+      #f
+      (if (eq? x (car lst))
+          lst
+          (memq x (cdr lst)))))
+
+(define (memv x lst)
+  (if (null? lst)
+      #f
+      (if (eqv? x (car lst))
+          lst
+          (memv x (cdr lst)))))
+
+(define (member x lst)
+  (if (null? lst)
+      #f
+      (if (equal? x (car lst))
+          lst
+          (member x (cdr lst)))))
+
+(define (assq key alist)
+  (if (null? alist)
+      #f
+      (if (eq? key (caar alist))
+          (car alist)
+          (assq key (cdr alist)))))
+
+(define (assv key alist)
+  (if (null? alist)
+      #f
+      (if (eqv? key (caar alist))
+          (car alist)
+          (assv key (cdr alist)))))
+
+(define (assoc key alist)
+  (if (null? alist)
+      #f
+      (if (equal? key (caar alist))
+          (car alist)
+          (assoc key (cdr alist)))))
+
+;;;; ===================================================================
+;;;; Higher-order procedures
+;;;; ===================================================================
+
+(define (map1 f lst)
+  (if (null? lst)
+      '()
+      (cons (f (car lst)) (map1 f (cdr lst)))))
+
+(define (map2 f a b)
+  (if (null? a)
+      '()
+      (if (null? b)
+          '()
+          (cons (f (car a) (car b)) (map2 f (cdr a) (cdr b))))))
+
+(define (map f lst . more)
+  (if (null? more)
+      (map1 f lst)
+      (map2 f lst (car more))))
+
+(define (for-each1 f lst)
+  (if (null? lst)
+      #!unspecific
+      (begin (f (car lst)) (for-each1 f (cdr lst)))))
+
+(define (for-each f lst . more)
+  (if (null? more)
+      (for-each1 f lst)
+      (if (null? lst)
+          #!unspecific
+          (begin (f (car lst) (car (car more)))
+                 (for-each f (cdr lst) (cdr (car more)))))))
+
+(define (filter keep? lst)
+  (if (null? lst)
+      '()
+      (if (keep? (car lst))
+          (cons (car lst) (filter keep? (cdr lst)))
+          (filter keep? (cdr lst)))))
+
+(define (fold-left f acc lst)
+  (if (null? lst)
+      acc
+      (fold-left f (f acc (car lst)) (cdr lst))))
+
+(define (fold-right f acc lst)
+  (if (null? lst)
+      acc
+      (f (car lst) (fold-right f acc (cdr lst)))))
+
+(define (reduce f init lst)
+  (if (null? lst)
+      init
+      (fold-left f (car lst) (cdr lst))))
+
+;;;; ===================================================================
+;;;; apply
+;;;; ===================================================================
+
+(define (%spread->list spread)
+  (if (null? (cdr spread))
+      (car spread)
+      (cons (car spread) (%spread->list (cdr spread)))))
+
+(define (apply f . spread)
+  (if (null? spread)
+      (%fail (%raw 4))
+      (%apply f (%spread->list spread))))
+
+;;;; ===================================================================
+;;;; Numeric utilities
+;;;; ===================================================================
+
+(define (abs n) (if (< n 0) (- 0 n) n))
+(define (min a b) (if (< a b) a b))
+(define (max a b) (if (< a b) b a))
+(define (even? n) (= (remainder n 2) 0))
+(define (odd? n) (not (even? n)))
+(define (1+ n) (+ n 1))
+(define (-1+ n) (- n 1))
+
+(define (expt base power)
+  (let loop ((result 1) (b base) (p power))
+    (if (zero? p)
+        result
+        (if (even? p)
+            (loop result (* b b) (quotient p 2))
+            (loop (* result b) b (- p 1))))))
+
+(define (gcd a b)
+  (let loop ((x (abs a)) (y (abs b)))
+    (if (zero? y)
+        x
+        (loop y (remainder x y)))))
+
+(define (number->string n)
+  (if (zero? n)
+      "0"
+      (let ((negative (< n 0)))
+        (let loop ((m (abs n)) (digits '()))
+          (if (zero? m)
+              (list->string (if negative (cons #\- digits) digits))
+              (loop (quotient m 10)
+                    (cons (integer->char (+ 48 (remainder m 10))) digits)))))))
+
+(define (string->number s)
+  (let ((n (string-length s)))
+    (if (zero? n)
+        #f
+        (let ((negative (char=? (string-ref s 0) #\-)))
+          (let loop ((i (if negative 1 0)) (acc 0) (any #f))
+            (if (= i n)
+                (if any (if negative (- 0 acc) acc) #f)
+                (let ((c (char->integer (string-ref s i))))
+                  (if (< c 48)
+                      #f
+                      (if (< 57 c)
+                          #f
+                          (loop (+ i 1) (+ (* acc 10) (- c 48)) #t))))))))))
+
+;;;; ===================================================================
+;;;; Strings
+;;;; ===================================================================
+
+(define (string->list s)
+  (let ((n (string-length s)))
+    (let loop ((i (- n 1)) (acc '()))
+      (if (< i 0)
+          acc
+          (loop (- i 1) (cons (string-ref s i) acc))))))
+
+(define (list->string chars)
+  (let ((s (make-string (length chars))))
+    (let loop ((i 0) (node chars))
+      (if (null? node)
+          s
+          (begin (string-set! s i (car node))
+                 (loop (+ i 1) (cdr node)))))))
+
+(define (string . chars) (list->string chars))
+
+(define (substring s start end)
+  (let ((out (make-string (- end start))))
+    (let loop ((i start))
+      (if (< i end)
+          (begin (string-set! out (- i start) (string-ref s i))
+                 (loop (+ i 1)))
+          out))))
+
+(define (string-copy s) (substring s 0 (string-length s)))
+
+(define (string-append2 a b)
+  (let ((la (string-length a)) (lb (string-length b)))
+    (let ((out (make-string (+ la lb))))
+      (let loop ((i 0))
+        (if (< i la)
+            (begin (string-set! out i (string-ref a i)) (loop (+ i 1)))
+            (let loop2 ((j 0))
+              (if (< j lb)
+                  (begin (string-set! out (+ la j) (string-ref b j))
+                         (loop2 (+ j 1)))
+                  out)))))))
+
+(define (string-append . parts)
+  (fold-left string-append2 "" parts))
+
+(define (string=? a b)
+  (let ((la (string-length a)) (lb (string-length b)))
+    (if (= la lb)
+        (let loop ((i 0))
+          (if (= i la)
+              #t
+              (if (char=? (string-ref a i) (string-ref b i))
+                  (loop (+ i 1))
+                  #f)))
+        #f)))
+
+(define (string<? a b)
+  (let ((la (string-length a)) (lb (string-length b)))
+    (let loop ((i 0))
+      (if (= i la)
+          (< la lb)
+          (if (= i lb)
+              #f
+              (let ((ca (string-ref a i)) (cb (string-ref b i)))
+                (if (char<? ca cb)
+                    #t
+                    (if (char<? cb ca)
+                        #f
+                        (loop (+ i 1))))))))))
+
+(define (string-fill! s c)
+  (let ((n (string-length s)))
+    (let loop ((i 0))
+      (if (< i n)
+          (begin (string-set! s i c) (loop (+ i 1)))
+          #!unspecific))))
+
+;;;; ===================================================================
+;;;; Vectors (library level)
+;;;; ===================================================================
+
+(define (vector . items) (list->vector items))
+
+(define (list->vector items)
+  (let ((v (make-vector (length items))))
+    (let loop ((i 0) (node items))
+      (if (null? node)
+          v
+          (begin (vector-set! v i (car node))
+                 (loop (+ i 1) (cdr node)))))))
+
+(define (%sx-list->vector items) (list->vector items))
+
+(define (vector->list v)
+  (let ((n (vector-length v)))
+    (let loop ((i (- n 1)) (acc '()))
+      (if (< i 0)
+          acc
+          (loop (- i 1) (cons (vector-ref v i) acc))))))
+
+(define (vector-fill! v x)
+  (let ((n (vector-length v)))
+    (let loop ((i 0))
+      (if (< i n)
+          (begin (vector-set! v i x) (loop (+ i 1)))
+          #!unspecific))))
+
+(define (vector-map f v)
+  (let ((n (vector-length v)))
+    (let ((out (make-vector n)))
+      (let loop ((i 0))
+        (if (< i n)
+            (begin (vector-set! out i (f (vector-ref v i)))
+                   (loop (+ i 1)))
+            out)))))
+
+(define (vector-for-each f v)
+  (let ((n (vector-length v)))
+    (let loop ((i 0))
+      (if (< i n)
+          (begin (f (vector-ref v i)) (loop (+ i 1)))
+          #!unspecific))))
+
+;;;; ===================================================================
+;;;; Symbol interning.  The intern table is ordinary library state.
+;;;; ===================================================================
+
+(define *symbol-table* '())
+
+(define (string->symbol str)
+  (let loop ((node *symbol-table*))
+    (if (null? node)
+        (let ((sym (%make-symbol-object (string-copy str))))
+          (begin (set! *symbol-table* (cons sym *symbol-table*))
+                 sym))
+        (if (string=? (symbol->string (car node)) str)
+            (car node)
+            (loop (cdr node))))))
+
+(define (%sx-intern-literal str) (string->symbol str))
+
+;;;; ===================================================================
+;;;; equal?
+;;;; ===================================================================
+
+(define (equal? a b)
+  (if (eq? a b)
+      #t
+      (if (pair? a)
+          (if (pair? b)
+              (if (equal? (car a) (car b))
+                  (equal? (cdr a) (cdr b))
+                  #f)
+              #f)
+          (if (string? a)
+              (if (string? b) (string=? a b) #f)
+              (if (vector? a)
+                  (if (vector? b) (%vector-equal? a b) #f)
+                  #f)))))
+
+(define (%vector-equal? a b)
+  (let ((n (vector-length a)))
+    (if (= n (vector-length b))
+        (let loop ((i 0))
+          (if (= i n)
+              #t
+              (if (equal? (vector-ref a i) (vector-ref b i))
+                  (loop (+ i 1))
+                  #f)))
+        #f)))
+
+;;;; ===================================================================
+;;;; Association-list utilities used by the benchmarks
+;;;; ===================================================================
+
+(define (alist-update key value alist)
+  (cons (cons key value) alist))
+
+(define (alist-lookup key alist default)
+  (let ((hit (assq key alist)))
+    (if (eq? hit #f) default (cdr hit))))
+
+;;;; ===================================================================
+;;;; Sorting (merge sort; used by examples and benchmarks)
+;;;; ===================================================================
+
+(define (sort lst less?)
+  (if (null? lst)
+      '()
+      (if (null? (cdr lst))
+          lst
+          (let ((halves (%split lst '() '())))
+            (%merge (sort (car halves) less?)
+                    (sort (cdr halves) less?)
+                    less?)))))
+
+(define (%split lst a b)
+  (if (null? lst)
+      (cons a b)
+      (%split (cdr lst) (cons (car lst) b) a)))
+
+(define (%merge a b less?)
+  (if (null? a)
+      b
+      (if (null? b)
+          a
+          (if (less? (car b) (car a))
+              (cons (car b) (%merge a (cdr b) less?))
+              (cons (car a) (%merge (cdr a) b less?))))))
+"""

@@ -1,0 +1,120 @@
+"""display/write, implemented with the single ``%putc`` escape."""
+
+SOURCE = r"""
+;;;; ===================================================================
+;;;; Output.  %putc is the only I/O primitive; everything else --
+;;;; including number formatting and datum quoting -- is library code.
+;;;; ===================================================================
+
+(define (newline) (begin (%putc (%raw 10)) #!unspecific))
+
+(define (write-char c)
+  (begin (%char-check c)
+         (%putc (%imm-payload c))
+         #!unspecific))
+
+(define (%put-string s)
+  (let ((n (string-length s)))
+    (let loop ((i 0))
+      (if (< i n)
+          (begin (write-char (string-ref s i)) (loop (+ i 1)))
+          #!unspecific))))
+
+(define (display x)
+  (begin (%print x #f) #!unspecific))
+
+(define (write x)
+  (begin (%print x #t) #!unspecific))
+
+(define (%print x quoting)
+  (if (fixnum? x) (%put-string (number->string x))
+  (if (null? x) (%put-string "()")
+  (if (eq? x #t) (%put-string "#t")
+  (if (eq? x #f) (%put-string "#f")
+  (if (char? x) (if quoting (%print-char x) (write-char x))
+  (if (string? x) (if quoting (%print-quoted-string x) (%put-string x))
+  (if (symbol? x) (%put-string (symbol->string x))
+  (if (pair? x) (%print-list x quoting)
+  (if (vector? x) (%print-vector x quoting)
+  (if (procedure? x) (%put-string "#<procedure>")
+  (if (eq? x #!unspecific) (%put-string "#<unspecified>")
+  (if (eq? x #!eof) (%put-string "#<eof>")
+      (%print-record x quoting))))))))))))))
+
+(define (%print-char c)
+  (begin
+    (%put-string "#\\")
+    (let ((code (char->integer c)))
+      (if (= code 32) (%put-string "space")
+          (if (= code 10) (%put-string "newline")
+              (if (= code 9) (%put-string "tab")
+                  (write-char c)))))))
+
+(define (%print-quoted-string s)
+  (begin
+    (write-char #\")
+    (let ((n (string-length s)))
+      (let loop ((i 0))
+        (if (< i n)
+            (let ((c (string-ref s i)))
+              (begin
+                (if (char=? c #\")
+                    (%put-string "\\\"")
+                    (if (char=? c #\\)
+                        (%put-string "\\\\")
+                        (if (char=? c #\newline)
+                            (%put-string "\\n")
+                            (write-char c))))
+                (loop (+ i 1))))
+            #!unspecific)))
+    (write-char #\")))
+
+(define (%print-list x quoting)
+  (begin
+    (write-char #\()
+    (%print (car x) quoting)
+    (let loop ((node (cdr x)))
+      (if (pair? node)
+          (begin (write-char #\space)
+                 (%print (car node) quoting)
+                 (loop (cdr node)))
+          (if (null? node)
+              #!unspecific
+              (begin (%put-string " . ")
+                     (%print node quoting)))))
+    (write-char #\))))
+
+(define (%print-vector v quoting)
+  (begin
+    (%put-string "#(")
+    (let ((n (vector-length v)))
+      (let loop ((i 0))
+        (if (< i n)
+            (begin
+              (if (< 0 i) (write-char #\space) #!unspecific)
+              (%print (vector-ref v i) quoting)
+              (loop (+ i 1)))
+            #!unspecific)))
+    (write-char #\))))
+
+;; Records print with their representation-type name (reflect layer
+;; patches %print-record once descriptors exist).
+(define (%print-record x quoting)
+  (%put-string "#<record>"))
+
+;;;; ===================================================================
+;;;; Error signalling
+;;;; ===================================================================
+
+(define (error message . irritants)
+  (begin
+    (%put-string "error: ")
+    (if (string? message) (%put-string message) (%print message #t))
+    (for-each1 (lambda (x) (begin (write-char #\space) (%print x #t)))
+               irritants)
+    (newline)
+    (%fail (%raw 3))))
+
+(define (assertion-check ok what)
+  (if ok #t (error "assertion failed:" what)))
+"""

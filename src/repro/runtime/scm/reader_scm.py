@@ -1,0 +1,147 @@
+"""An S-expression reader written in the Scheme dialect itself.
+
+Input arrives through the two machine escapes ``%getc``/``%peekc``; the
+whole datum grammar — lists, dotted pairs, quote shorthands, strings,
+characters, booleans, vectors, numbers, symbols, comments — is parsed by
+library code, exercising characters, strings, and symbol interning hard.
+"""
+
+SOURCE = r"""
+;;;; ===================================================================
+;;;; Character input
+;;;; ===================================================================
+
+(define (read-char)
+  (let ((c (%getc)))
+    (if (%eq c (%not (%raw 0))) #!eof (%sx-char c))))
+
+(define (peek-char)
+  (let ((c (%peekc)))
+    (if (%eq c (%not (%raw 0))) #!eof (%sx-char c))))
+
+;;;; ===================================================================
+;;;; read
+;;;; ===================================================================
+
+(define %dot-symbol (string->symbol "."))
+
+(define (%delimiter? c)
+  (if (eof-object? c)
+      #t
+      (if (char-whitespace? c)
+          #t
+          (if (char=? c #\()
+              #t
+              (if (char=? c #\))
+                  #t
+                  (if (char=? c #\") #t (char=? c #\;)))))))
+
+(define (%skip-atmosphere)
+  (let ((c (peek-char)))
+    (cond ((eof-object? c) #!unspecific)
+          ((char-whitespace? c) (read-char) (%skip-atmosphere))
+          ((char=? c #\;) (%skip-line) (%skip-atmosphere))
+          (else #!unspecific))))
+
+(define (%skip-line)
+  (let ((c (read-char)))
+    (cond ((eof-object? c) #!unspecific)
+          ((char=? c #\newline) #!unspecific)
+          (else (%skip-line)))))
+
+(define (%read-token acc)
+  (let ((c (peek-char)))
+    (if (%delimiter? c)
+        (list->string (reverse acc))
+        (begin (read-char) (%read-token (cons c acc))))))
+
+(define (%read-atom)
+  (let ((token (%read-token '())))
+    (let ((n (string->number token)))
+      (if (eq? n #f)
+          (string->symbol token)
+          n))))
+
+(define (%read-string acc)
+  (let ((c (read-char)))
+    (cond ((eof-object? c) (error "unterminated string literal"))
+          ((char=? c #\") (list->string (reverse acc)))
+          ((char=? c #\\)
+           (let ((escape (read-char)))
+             (when (eof-object? escape) (error "unterminated escape"))
+             (%read-string
+              (cons (cond ((char=? escape #\n) #\newline)
+                          ((char=? escape #\t) #\tab)
+                          (else escape))
+                    acc))))
+          (else (%read-string (cons c acc))))))
+
+(define (%read-char-literal)
+  (let ((first (read-char)))
+    (when (eof-object? first) (error "unterminated character literal"))
+    (let ((next (peek-char)))
+      (if (if (char-alphabetic? first) (not (%delimiter? next)) #f)
+          (let ((name (string-append (string first) (%read-token '()))))
+            (cond ((string=? name "space") #\space)
+                  ((string=? name "newline") #\newline)
+                  ((string=? name "tab") #\tab)
+                  (else (error "unknown character name" name))))
+          first))))
+
+(define (%read-hash)
+  (let ((c (read-char)))
+    (cond ((eof-object? c) (error "unterminated # syntax"))
+          ((char=? c #\t) #t)
+          ((char=? c #\f) #f)
+          ((char=? c #\\) (%read-char-literal))
+          ((char=? c #\() (list->vector (%read-list)))
+          (else (error "unsupported # syntax" c)))))
+
+(define (%read-list)
+  (%skip-atmosphere)
+  (let ((c (peek-char)))
+    (cond ((eof-object? c) (error "unterminated list"))
+          ((char=? c #\)) (read-char) '())
+          (else
+           (let ((head (read)))
+             (if (eq? head %dot-symbol)
+                 (let ((tail (read)))
+                   (%skip-atmosphere)
+                   (let ((closer (read-char)))
+                     (if (eqv? closer #\))
+                         tail
+                         (error "malformed dotted list"))))
+                 (cons head (%read-list))))))))
+
+(define (read)
+  (%skip-atmosphere)
+  (let ((c (peek-char)))
+    (cond ((eof-object? c) #!eof)
+          ((char=? c #\() (begin (read-char) (%read-list)))
+          ((char=? c #\)) (error "unexpected )"))
+          ((char=? c #\') (begin (read-char) (list 'quote (read))))
+          ((char=? c #\`) (begin (read-char) (list 'quasiquote (read))))
+          ((char=? c #\,)
+           (read-char)
+           (if (eqv? (peek-char) #\@)
+               (begin (read-char) (list 'unquote-splicing (read)))
+               (list 'unquote (read))))
+          ((char=? c #\") (begin (read-char) (%read-string '())))
+          ((char=? c #\#) (begin (read-char) (%read-hash)))
+          (else (%read-atom)))))
+
+(define (read-line)
+  (let loop ((acc '()))
+    (let ((c (read-char)))
+      (cond ((eof-object? c)
+             (if (null? acc) #!eof (list->string (reverse acc))))
+            ((char=? c #\newline) (list->string (reverse acc)))
+            (else (loop (cons c acc)))))))
+
+(define (read-all)
+  (let loop ((acc '()))
+    (let ((datum (read)))
+      (if (eof-object? datum)
+          (reverse acc)
+          (loop (cons datum acc))))))
+"""

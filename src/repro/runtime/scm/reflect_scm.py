@@ -1,0 +1,297 @@
+"""The first-class layer: representation-type descriptors, reflection,
+and runtime creation of new data types.
+
+A descriptor is itself a record (tag 5) whose meta-descriptor closes the
+loop.  ``rep-of`` maps any value to its descriptor; ``rep-accessor`` of
+a built-in type returns the very same procedure the prelude defined
+(``(eq? (rep-accessor pair-rep 0) car)`` holds), which is the paper's
+point: the optimized operations and the reflective objects are one
+system.
+"""
+
+SOURCE = r"""
+;;;; ===================================================================
+;;;; Records: pointer tag 5, field 0 = descriptor.
+;;;; ===================================================================
+
+(define (record? x)
+  (if (%eq (%and x (%raw 7)) (%raw 5)) %sx-true %sx-false))
+
+(define (%record-alloc desc nraw)
+  (let ((r (%alloc (%add nraw (%raw 1)) (%raw 5))))
+    (begin (%store r (%raw 3) desc)
+           r)))
+
+(define (%record-desc r) (%load r (%raw 3)))
+
+;; Field i of a record lives at machine field i+1 (after the descriptor).
+(define (record-rep-accessor desc i)
+  (let ((disp (%field-disp (%raw 5) (%add (%fx-raw i) (%raw 1)))))
+    (lambda (r)
+      (if (%nz %safety)
+          (if (%eq (%and r (%raw 7)) (%raw 5))
+              (if (%eq (%load r (%raw 3)) desc)
+                  (%load r disp)
+                  (%fail (%raw 1)))
+              (%fail (%raw 1)))
+          (%load r disp)))))
+
+(define (record-rep-mutator desc i)
+  (let ((disp (%field-disp (%raw 5) (%add (%fx-raw i) (%raw 1)))))
+    (lambda (r v)
+      (if (%nz %safety)
+          (if (%eq (%and r (%raw 7)) (%raw 5))
+              (if (%eq (%load r (%raw 3)) desc)
+                  (begin (%store r disp v) %sx-unspecified)
+                  (%fail (%raw 1)))
+              (%fail (%raw 1)))
+          (begin (%store r disp v) %sx-unspecified)))))
+
+(define (record-rep-predicate desc)
+  (lambda (x)
+    (if (%eq (%and x (%raw 7)) (%raw 5))
+        (if (%eq (%load x (%raw 3)) desc) %sx-true %sx-false)
+        %sx-false)))
+
+(define (%record-init-from-list! r fields)
+  (let loop ((i (%raw 1)) (node fields))
+    (if (null? node)
+        r
+        (begin (%store r (%field-disp (%raw 5) i) (car node))
+               (loop (%add i (%raw 1)) (cdr node))))))
+
+(define (record-rep-constructor desc nfields)
+  (lambda fields
+    (if (= (length fields) nfields)
+        (%record-init-from-list! (%record-alloc desc (%fx-raw nfields)) fields)
+        (%fail (%raw 4)))))
+
+;;;; ===================================================================
+;;;; Representation-type descriptors.
+;;;;
+;;;; Descriptor fields: 0 name (symbol), 1 kind (symbol: pointer /
+;;;; immediate / record / fixnum / procedure), 2 tag-or-kind (fixnum),
+;;;; 3 field count (fixnum or #f), 4 constructor, 5 predicate,
+;;;; 6 accessors (vector), 7 mutators (vector).
+;;;; ===================================================================
+
+;; Bootstrap the meta-descriptor: a record describing descriptors,
+;; described by itself.
+(define %rep-meta
+  (let ((m (%record-alloc (%raw 0) (%raw 8))))
+    (begin (%store m (%raw 3) m)   ; self-describing
+           m)))
+
+(define rep-name (record-rep-accessor %rep-meta 0))
+(define rep-kind (record-rep-accessor %rep-meta 1))
+(define rep-tag (record-rep-accessor %rep-meta 2))
+(define rep-field-count (record-rep-accessor %rep-meta 3))
+(define rep-constructor (record-rep-accessor %rep-meta 4))
+(define rep-predicate (record-rep-accessor %rep-meta 5))
+(define %rep-accessors (record-rep-accessor %rep-meta 6))
+(define %rep-mutators (record-rep-accessor %rep-meta 7))
+
+(define %rep-set-name! (record-rep-mutator %rep-meta 0))
+(define %rep-set-kind! (record-rep-mutator %rep-meta 1))
+(define %rep-set-tag! (record-rep-mutator %rep-meta 2))
+(define %rep-set-field-count! (record-rep-mutator %rep-meta 3))
+(define %rep-set-constructor! (record-rep-mutator %rep-meta 4))
+(define %rep-set-predicate! (record-rep-mutator %rep-meta 5))
+(define %rep-set-accessors! (record-rep-mutator %rep-meta 6))
+(define %rep-set-mutators! (record-rep-mutator %rep-meta 7))
+
+(define (%make-rep name kind tag nfields ctor pred accessors mutators)
+  (let ((r (%record-alloc %rep-meta (%raw 8))))
+    (begin
+      (%rep-set-name! r name)
+      (%rep-set-kind! r kind)
+      (%rep-set-tag! r tag)
+      (%rep-set-field-count! r nfields)
+      (%rep-set-constructor! r ctor)
+      (%rep-set-predicate! r pred)
+      (%rep-set-accessors! r accessors)
+      (%rep-set-mutators! r mutators)
+      r)))
+
+;; Finish the meta-descriptor's own fields.
+(%rep-set-name! %rep-meta 'representation-type)
+(%rep-set-kind! %rep-meta 'record)
+(%rep-set-tag! %rep-meta 5)
+(%rep-set-field-count! %rep-meta 8)
+(%rep-set-constructor! %rep-meta (record-rep-constructor %rep-meta 8))
+(%rep-set-predicate! %rep-meta (record-rep-predicate %rep-meta))
+(%rep-set-accessors! %rep-meta
+  (vector rep-name rep-kind rep-tag rep-field-count
+          rep-constructor rep-predicate %rep-accessors %rep-mutators))
+(%rep-set-mutators! %rep-meta
+  (vector %rep-set-name! %rep-set-kind! %rep-set-tag!
+          %rep-set-field-count! %rep-set-constructor! %rep-set-predicate!
+          %rep-set-accessors! %rep-set-mutators!))
+
+(define (rep-accessor rep i) (vector-ref (%rep-accessors rep) i))
+(define (rep-mutator rep i) (vector-ref (%rep-mutators rep) i))
+
+;;;; ===================================================================
+;;;; Descriptors for every built-in type.  Note: the procedures stored
+;;;; here ARE the optimized ones defined earlier — the static fast path
+;;;; and the reflective objects coincide.
+;;;; ===================================================================
+
+(define pair-rep
+  (%make-rep 'pair 'pointer 1 2 cons pair?
+             (vector car cdr) (vector set-car! set-cdr!)))
+
+(define vector-rep
+  (%make-rep 'vector 'pointer 2 #f make-vector vector?
+             (vector vector-length) (vector)))
+
+(define string-rep
+  (%make-rep 'string 'pointer 3 #f make-string string?
+             (vector string-length) (vector)))
+
+(define symbol-rep
+  (%make-rep 'symbol 'pointer 4 1 string->symbol symbol?
+             (vector symbol->string) (vector)))
+
+(define fixnum-rep
+  (%make-rep 'fixnum 'fixnum 0 0 #f fixnum? (vector) (vector)))
+
+(define procedure-rep
+  (%make-rep 'procedure 'procedure 7 #f #f procedure? (vector) (vector)))
+
+(define boolean-rep
+  (%make-rep 'boolean 'immediate 0 0 #f boolean? (vector) (vector)))
+
+(define char-rep
+  (%make-rep 'char 'immediate 5 0 integer->char char?
+             (vector char->integer) (vector)))
+
+(define null-rep
+  (%make-rep 'empty-list 'immediate 2 0 #f null? (vector) (vector)))
+
+(define unspecified-rep
+  (%make-rep 'unspecified 'immediate 3 0 #f
+             (lambda (x) (eq? x #!unspecific)) (vector) (vector)))
+
+(define eof-rep
+  (%make-rep 'eof 'immediate 4 0 #f eof-object? (vector) (vector)))
+
+;;;; ===================================================================
+;;;; rep-of: map any value to its descriptor.
+;;;; ===================================================================
+
+(define *pointer-reps*
+  (vector fixnum-rep pair-rep vector-rep string-rep symbol-rep
+          #f #f procedure-rep))
+
+(define *immediate-reps*
+  (let ((v (make-vector 32 #f)))
+    (begin
+      (vector-set! v 0 boolean-rep)
+      (vector-set! v 1 boolean-rep)
+      (vector-set! v 2 null-rep)
+      (vector-set! v 3 unspecified-rep)
+      (vector-set! v 4 eof-rep)
+      (vector-set! v 5 char-rep)
+      v)))
+
+(define (tag-of x) (%sx-fixnum (%and x (%raw 7))))
+
+(define (%imm-kind-of x) (%sx-fixnum (%and (%lsr x (%raw 3)) (%raw 31))))
+
+(define (rep-of x)
+  (let ((tag (tag-of x)))
+    (if (= tag 5)
+        (%record-desc x)
+        (if (= tag 6)
+            (vector-ref *immediate-reps* (%imm-kind-of x))
+            (vector-ref *pointer-reps* tag)))))
+
+(define (rep-type? x) ((record-rep-predicate %rep-meta) x))
+
+;;;; ===================================================================
+;;;; Creating new representation types at run time (first-class use).
+;;;; ===================================================================
+
+;; Field names of runtime-created record types, for reflection and for
+;; the define-record-type macro (a side table keyed by descriptor).
+(define *rep-field-names* '())
+
+(define (rep-field-names rep)
+  (let ((hit (assq rep *rep-field-names*)))
+    (if (eq? hit #f) #f (cdr hit))))
+
+(define (rep-field-index rep field-name)
+  (let ((names (rep-field-names rep)))
+    (if (eq? names #f)
+        (error "representation has no named fields" rep)
+        (let ((index (list-index (lambda (n) (eq? n field-name)) names)))
+          (if (eq? index #f)
+              (error "no such field" field-name)
+              index)))))
+
+(define (make-record-rep name field-names)
+  (let ((nfields (length field-names)))
+    (let ((rep (%make-rep name 'record 5 nfields #f #f #f #f)))
+      (begin
+        (set! *rep-field-names*
+              (cons (cons rep field-names) *rep-field-names*))
+        (%rep-set-constructor! rep (record-rep-constructor rep nfields))
+        (%rep-set-predicate! rep (record-rep-predicate rep))
+        (%rep-set-accessors!
+         rep
+         (let ((v (make-vector nfields)))
+           (let loop ((i 0))
+             (if (< i nfields)
+                 (begin (vector-set! v i (record-rep-accessor rep i))
+                        (loop (+ i 1)))
+                 v))))
+        (%rep-set-mutators!
+         rep
+         (let ((v (make-vector nfields)))
+           (let loop ((i 0))
+             (if (< i nfields)
+                 (begin (vector-set! v i (record-rep-mutator rep i))
+                        (loop (+ i 1)))
+                 v))))
+        rep))))
+
+(define *next-immediate-kind* 6)
+
+(define (make-immediate-rep name)
+  (if (< *next-immediate-kind* 32)
+      (let ((kind *next-immediate-kind*))
+        (begin
+          (set! *next-immediate-kind* (+ kind 1))
+          (let ((kraw (%fx-raw kind)))
+            (let ((rep (%make-rep name 'immediate kind 0
+                                  (lambda (payload)
+                                    ((%imm-constructor kraw) (%fx-raw payload)))
+                                  (%imm-predicate kraw)
+                                  (vector (lambda (x) (%sx-fixnum (%imm-payload x))))
+                                  (vector))))
+              (begin (vector-set! *immediate-reps* kind rep)
+                     rep)))))
+      (error "out of immediate kinds")))
+
+;; Patch the printer: records display with their type name, and values
+;; of runtime-created immediate types display through their descriptor.
+(define (%print-record x quoting)
+  (if (record? x)
+      (let ((desc (%record-desc x)))
+        (begin
+          (%put-string "#<")
+          (if (rep-type? desc)
+              (%print (rep-name desc) #f)
+              (%put-string "record"))
+          (%put-string ">")))
+      (let ((rep (rep-of x)))
+        (if (rep-type? rep)
+            (begin
+              (%put-string "#<")
+              (%print (rep-name rep) #f)
+              (%put-string " ")
+              (%print ((rep-accessor rep 0) x) quoting)
+              (%put-string ">"))
+            (%put-string "#<unknown>")))))
+"""

@@ -1,0 +1,141 @@
+"""The representation-type machinery, in the Scheme dialect itself.
+
+This file is the reproduction's heart: everything the compiler would
+traditionally know about data representation is *defined here*, as
+ordinary procedural code over the machine primitives.  ``(%raw n)`` is a
+raw machine-word literal; everything else follows the conventions at the
+top of the source.
+
+Conventions (enforced by discipline, tested by the suite):
+
+* Procedures whose names start with ``%`` traffic in raw words.
+* A raw 0/1 truth value may only be tested with a *direct* comparison
+  primitive in ``if`` position — never stored and re-tested with Scheme
+  truth (the expander compares general tests against ``%sx-false``).
+* Public procedures take and return tagged Scheme values.
+"""
+
+SOURCE = r"""
+;;;; ===================================================================
+;;;; Representation types, layer 0: raw word formats.
+;;;;
+;;;; The tag assignment (3 low bits) chosen by THIS FILE:
+;;;;   0 fixnum  (value << 3: +,-,comparisons work directly on words)
+;;;;   1 pair    2 vector    3 string    4 symbol    5 record
+;;;;   6 immediate (low byte = kind<<3 | 6; payload in bits 8+)
+;;;;   7 closure/cell (the only compiler-owned layout)
+;;;; ===================================================================
+
+;;; --- fixnums -------------------------------------------------------
+;;; The compiler lowers the literal `5` to (%sx-fixnum 5): even integer
+;;; literals get their representation from here.
+
+(define (%sx-fixnum raw) (%lsl raw (%raw 3)))
+(define (%fx-raw n) (%asr n (%raw 3)))
+
+;;; --- immediates ------------------------------------------------------
+;;; Immediate kinds used by the prelude: 0 #f, 1 #t, 2 (), 3 unspecified,
+;;; 4 eof, 5 character.  Kinds 6..31 are available to user code through
+;;; make-immediate-rep (reflect layer).
+
+(define (%imm-word kind payload)
+  (%or (%lsl payload (%raw 8))
+       (%or (%lsl kind (%raw 3)) (%raw 6))))
+
+(define %sx-false (%imm-word (%raw 0) (%raw 0)))
+(define %sx-true (%imm-word (%raw 1) (%raw 0)))
+(define %sx-nil (%imm-word (%raw 2) (%raw 0)))
+(define %sx-unspecified (%imm-word (%raw 3) (%raw 0)))
+(define %sx-eof (%imm-word (%raw 4) (%raw 0)))
+
+(define (%imm-constructor kind)
+  (lambda (payload) (%imm-word kind payload)))
+
+(define (%imm-payload x) (%lsr x (%raw 8)))
+
+(define (%imm-low-byte kind) (%or (%lsl kind (%raw 3)) (%raw 6)))
+
+(define (%imm-predicate kind)
+  (lambda (x)
+    (if (%eq (%and x (%raw 255)) (%imm-low-byte kind))
+        %sx-true
+        %sx-false)))
+
+;;; --- pointer types ---------------------------------------------------
+;;; A heap block's field i lives at byte displacement 8*(i+1) - tag from
+;;; the tagged pointer (displacement 0 is the substrate's header).
+
+(define (%field-disp tag i)
+  (%sub (%mul (%add i (%raw 1)) (%raw 8)) tag))
+
+(define (%pointer-predicate tag)
+  (lambda (x)
+    (if (%eq (%and x (%raw 7)) tag) %sx-true %sx-false)))
+
+(define (%pointer-accessor tag i)
+  (lambda (x) (%load x (%field-disp tag i))))
+
+(define (%pointer-checked-accessor tag i failcode)
+  (lambda (x)
+    (if (%eq (%and x (%raw 7)) tag)
+        (%load x (%field-disp tag i))
+        (%fail failcode))))
+
+(define (%pointer-mutator tag i)
+  (lambda (x v)
+    (begin (%store x (%field-disp tag i) v) %sx-unspecified)))
+
+(define (%pointer-checked-mutator tag i failcode)
+  (lambda (x v)
+    (if (%eq (%and x (%raw 7)) tag)
+        (begin (%store x (%field-disp tag i) v) %sx-unspecified)
+        (%fail failcode))))
+
+;;; Fixed-arity constructors (1..4 fields).  A traditional compiler
+;;; builds these into its code generator; here they are closures
+;;; returned by ordinary procedures.
+
+(define (%pointer-constructor-1 tag)
+  (lambda (a)
+    (let ((p (%alloc (%raw 1) tag)))
+      (begin (%store p (%field-disp tag (%raw 0)) a)
+             p))))
+
+(define (%pointer-constructor-2 tag)
+  (lambda (a b)
+    (let ((p (%alloc (%raw 2) tag)))
+      (begin (%store p (%field-disp tag (%raw 0)) a)
+             (%store p (%field-disp tag (%raw 1)) b)
+             p))))
+
+(define (%pointer-constructor-3 tag)
+  (lambda (a b c)
+    (let ((p (%alloc (%raw 3) tag)))
+      (begin (%store p (%field-disp tag (%raw 0)) a)
+             (%store p (%field-disp tag (%raw 1)) b)
+             (%store p (%field-disp tag (%raw 2)) c)
+             p))))
+
+(define (%pointer-constructor-4 tag)
+  (lambda (a b c d)
+    (let ((p (%alloc (%raw 4) tag)))
+      (begin (%store p (%field-disp tag (%raw 0)) a)
+             (%store p (%field-disp tag (%raw 1)) b)
+             (%store p (%field-disp tag (%raw 2)) c)
+             (%store p (%field-disp tag (%raw 3)) d)
+             p))))
+
+;;; Safety-selected operation makers.  %safety is a compile-time
+;;; constant supplied by the prelude assembler; with optimization the
+;;; selection folds away entirely.
+
+(define (%maybe-checked-accessor tag i failcode)
+  (if (%nz %safety)
+      (%pointer-checked-accessor tag i failcode)
+      (%pointer-accessor tag i)))
+
+(define (%maybe-checked-mutator tag i failcode)
+  (if (%nz %safety)
+      (%pointer-checked-mutator tag i failcode)
+      (%pointer-mutator tag i)))
+"""

@@ -1,0 +1,264 @@
+"""The concrete Scheme data types, built entirely on the rep machinery.
+
+Nothing here is known to the compiler: booleans, fixnums, characters,
+pairs, vectors, strings, and symbols are all library definitions.  The
+``%register-…`` calls at the top tell the *substrate* (GC, rest-argument
+builder) which low tags are heap pointers and what a pair looks like —
+runtime registration by library code, not compiler knowledge.
+"""
+
+SOURCE = r"""
+;;;; ===================================================================
+;;;; Substrate registration (must precede any runtime allocation that
+;;;; could provoke a collection).
+;;;; ===================================================================
+
+(%register-pointer-rep (%raw 1))   ; pairs
+(%register-pointer-rep (%raw 2))   ; vectors
+(%register-pointer-rep (%raw 3))   ; strings
+(%register-pointer-rep (%raw 4))   ; symbols
+(%register-pointer-rep (%raw 5))   ; records
+(%register-pair-rep (%raw 1) (%raw 7) (%raw 15))
+(%register-nil %sx-nil)
+(%register-false %sx-false)
+
+;;;; ===================================================================
+;;;; Booleans and identity
+;;;; ===================================================================
+
+(define (not x) (if (%eq x %sx-false) %sx-true %sx-false))
+
+(define (boolean? x)
+  (if (%eq x %sx-false) %sx-true
+      (if (%eq x %sx-true) %sx-true %sx-false)))
+
+(define (eq? a b) (if (%eq a b) %sx-true %sx-false))
+
+;; All immediates (fixnums, chars, booleans) are single words, so eqv?
+;; coincides with eq? in this representation scheme.
+(define (eqv? a b) (if (%eq a b) %sx-true %sx-false))
+(define (%sx-eqv? a b) (if (%eq a b) %sx-true %sx-false))
+
+(define (eof-object? x) (if (%eq x %sx-eof) %sx-true %sx-false))
+
+;;;; ===================================================================
+;;;; Fixnums (61-bit; arithmetic wraps — see DESIGN.md)
+;;;; ===================================================================
+
+(define (fixnum? x)
+  (if (%eq (%and x (%raw 7)) (%raw 0)) %sx-true %sx-false))
+
+(define (integer? x) (fixnum? x))
+(define (number? x) (fixnum? x))
+
+(define (%fx-check a)
+  (if (%nz %safety)
+      (if (%eq (%and a (%raw 7)) (%raw 0))
+          %sx-unspecified
+          (%fail (%raw 8)))
+      %sx-unspecified))
+
+;; Both operands checked at once: the tag bits of (or a b) are zero
+;; exactly when both are fixnum-tagged.
+(define (%fx-check2 a b)
+  (if (%nz %safety)
+      (if (%eq (%and (%or a b) (%raw 7)) (%raw 0))
+          %sx-unspecified
+          (%fail (%raw 8)))
+      %sx-unspecified))
+
+(define (+ a b) (begin (%fx-check2 a b) (%add a b)))
+(define (- a b) (begin (%fx-check2 a b) (%sub a b)))
+(define (* a b) (begin (%fx-check2 a b) (%mul (%asr a (%raw 3)) b)))
+
+;; Words are fixnums scaled by 8, and truncated division/remainder
+;; commute with that scaling, so quotient needs one retag and remainder
+;; none at all.
+(define (quotient a b)
+  (begin (%fx-check2 a b) (%lsl (%div a b) (%raw 3))))
+(define (remainder a b)
+  (begin (%fx-check2 a b) (%mod a b)))
+(define (modulo a b)
+  (begin
+    (%fx-check2 a b)
+    (let ((r (%mod a b)))
+      (if (%eq r (%raw 0))
+          r
+          (if (%lt (%xor a b) (%raw 0)) (%add r b) r)))))
+
+(define (= a b) (begin (%fx-check2 a b) (if (%eq a b) %sx-true %sx-false)))
+(define (< a b) (begin (%fx-check2 a b) (if (%lt a b) %sx-true %sx-false)))
+(define (<= a b) (begin (%fx-check2 a b) (if (%le a b) %sx-true %sx-false)))
+(define (> a b) (begin (%fx-check2 a b) (if (%lt b a) %sx-true %sx-false)))
+(define (>= a b) (begin (%fx-check2 a b) (if (%le b a) %sx-true %sx-false)))
+
+(define (zero? n) (begin (%fx-check n) (if (%eq n (%raw 0)) %sx-true %sx-false)))
+(define (negative? n) (begin (%fx-check n) (if (%lt n (%raw 0)) %sx-true %sx-false)))
+(define (positive? n) (begin (%fx-check n) (if (%lt (%raw 0) n) %sx-true %sx-false)))
+
+;; The fx- names are aliases exercised by the benchmarks.
+(define (fx+ a b) (+ a b))
+(define (fx- a b) (- a b))
+(define (fx* a b) (* a b))
+(define (fx< a b) (< a b))
+(define (fx= a b) (= a b))
+
+;;;; ===================================================================
+;;;; Characters (immediate kind 5)
+;;;; ===================================================================
+
+(define %sx-char (%imm-constructor (%raw 5)))
+(define char? (%imm-predicate (%raw 5)))
+
+(define (%char-check c)
+  (if (%nz %safety)
+      (if (%eq (%and c (%raw 255)) (%raw 46))   ; (5<<3)|6
+          %sx-unspecified
+          (%fail (%raw 11)))
+      %sx-unspecified))
+
+(define (char->integer c)
+  (begin (%char-check c) (%sx-fixnum (%imm-payload c))))
+(define (integer->char n)
+  (begin (%fx-check n) (%sx-char (%fx-raw n))))
+
+;; One immediate kind means same-kind words compare monotonically.
+(define (char=? a b) (begin (%char-check a) (%char-check b) (if (%eq a b) %sx-true %sx-false)))
+(define (char<? a b) (begin (%char-check a) (%char-check b) (if (%ult a b) %sx-true %sx-false)))
+(define (char<=? a b) (begin (%char-check a) (%char-check b) (if (%ule a b) %sx-true %sx-false)))
+(define (char>? a b) (char<? b a))
+(define (char>=? a b) (char<=? b a))
+
+;;;; ===================================================================
+;;;; Pairs (pointer tag 1, fields: car, cdr)
+;;;; ===================================================================
+
+(define pair? (%pointer-predicate (%raw 1)))
+(define cons (%pointer-constructor-2 (%raw 1)))
+(define car (%maybe-checked-accessor (%raw 1) (%raw 0) (%raw 5)))
+(define cdr (%maybe-checked-accessor (%raw 1) (%raw 1) (%raw 5)))
+(define set-car! (%maybe-checked-mutator (%raw 1) (%raw 0) (%raw 5)))
+(define set-cdr! (%maybe-checked-mutator (%raw 1) (%raw 1) (%raw 5)))
+
+(define (null? x) (if (%eq x %sx-nil) %sx-true %sx-false))
+
+(define (%sx-cons a b) (cons a b))
+
+;;;; ===================================================================
+;;;; Vectors (pointer tag 2; field 0 = length fixnum, elements follow)
+;;;; ===================================================================
+
+(define vector? (%pointer-predicate (%raw 2)))
+
+(define (%sx-vector-alloc-raw nraw)
+  (let ((v (%alloc (%add nraw (%raw 1)) (%raw 2))))
+    (begin (%store v (%raw 6) (%sx-fixnum nraw))
+           v)))
+
+(define (%sx-vector-init! v iraw x)
+  (%store v (%field-disp (%raw 2) (%add iraw (%raw 1))) x))
+
+(define vector-length (%maybe-checked-accessor (%raw 2) (%raw 0) (%raw 6)))
+
+;; Bounds check: a tagged non-negative fixnum index compares unsigned
+;; against the tagged length in one instruction; the tag test on the
+;; index keeps non-fixnums out.
+(define (%vector-check v i)
+  (if (%nz %safety)
+      (begin
+        (if (%eq (%and v (%raw 7)) (%raw 2)) %sx-unspecified (%fail (%raw 6)))
+        (if (%eq (%and i (%raw 7)) (%raw 0)) %sx-unspecified (%fail (%raw 8)))
+        (if (%ult i (%load v (%raw 6))) %sx-unspecified (%fail (%raw 2))))
+      %sx-unspecified))
+
+(define (vector-ref v i)
+  (begin (%vector-check v i)
+         (%load v (%add (%and i (%raw -8)) (%raw 14)))))
+
+(define (vector-set! v i x)
+  (begin (%vector-check v i)
+         (%store v (%add (%and i (%raw -8)) (%raw 14)) x)
+         %sx-unspecified))
+
+(define (%vector-fill-from! v iraw nraw fill)
+  (if (%ult iraw nraw)
+      (begin (%sx-vector-init! v iraw fill)
+             (%vector-fill-from! v (%add iraw (%raw 1)) nraw fill))
+      v))
+
+(define (make-vector n . opt)
+  (begin
+    (%fx-check n)
+    (if (%lt n (%raw 0)) (%fail (%raw 2)) %sx-unspecified)
+    (let ((fill (if (null? opt) %sx-unspecified (car opt)))
+          (nraw (%fx-raw n)))
+      (%vector-fill-from! (%sx-vector-alloc-raw nraw) (%raw 0) nraw fill))))
+
+;;;; ===================================================================
+;;;; Strings (pointer tag 3; field 0 = length fixnum, char words follow)
+;;;; ===================================================================
+
+(define string? (%pointer-predicate (%raw 3)))
+
+(define (%sx-string-alloc-raw nraw)
+  (let ((s (%alloc (%add nraw (%raw 1)) (%raw 3))))
+    (begin (%store s (%raw 5) (%sx-fixnum nraw))
+           s)))
+
+(define (%sx-string-init! s iraw coderaw)
+  (%store s (%field-disp (%raw 3) (%add iraw (%raw 1)))
+          (%or (%lsl coderaw (%raw 8)) (%raw 46))))
+
+(define string-length (%maybe-checked-accessor (%raw 3) (%raw 0) (%raw 7)))
+
+(define (%string-check s i)
+  (if (%nz %safety)
+      (begin
+        (if (%eq (%and s (%raw 7)) (%raw 3)) %sx-unspecified (%fail (%raw 7)))
+        (if (%eq (%and i (%raw 7)) (%raw 0)) %sx-unspecified (%fail (%raw 8)))
+        (if (%ult i (%load s (%raw 5))) %sx-unspecified (%fail (%raw 2))))
+      %sx-unspecified))
+
+(define (string-ref s i)
+  (begin (%string-check s i)
+         (%load s (%add (%and i (%raw -8)) (%raw 13)))))
+
+(define (string-set! s i c)
+  (begin (%string-check s i)
+         (%char-check c)
+         (%store s (%add (%and i (%raw -8)) (%raw 13)) c)
+         %sx-unspecified))
+
+(define (%string-fill-from! s iraw nraw fill)
+  (if (%ult iraw nraw)
+      (begin (%store s (%add (%lsl iraw (%raw 3)) (%raw 13)) fill)
+             (%string-fill-from! s (%add iraw (%raw 1)) nraw fill))
+      s))
+
+(define (make-string n . opt)
+  (begin
+    (%fx-check n)
+    (if (%lt n (%raw 0)) (%fail (%raw 2)) %sx-unspecified)
+    (let ((fill (if (null? opt) (%sx-char (%raw 32)) (car opt)))
+          (nraw (%fx-raw n)))
+      (begin (%char-check fill)
+             (%string-fill-from! (%sx-string-alloc-raw nraw) (%raw 0) nraw fill)))))
+
+;;;; ===================================================================
+;;;; Symbols (pointer tag 4; field 0 = name string); interning lives in
+;;;; the library layer, which has string=?.
+;;;; ===================================================================
+
+(define symbol? (%pointer-predicate (%raw 4)))
+(define %make-symbol-object (%pointer-constructor-1 (%raw 4)))
+(define symbol->string (%maybe-checked-accessor (%raw 4) (%raw 0) (%raw 14)))
+
+;;;; ===================================================================
+;;;; Procedures
+;;;; ===================================================================
+
+;; Tag 7 is the compiler's closure tag.  (Assignment-conversion cells
+;; share it but never escape to user code.)
+(define (procedure? x)
+  (if (%eq (%and x (%raw 7)) (%raw 7)) %sx-true %sx-false))
+"""

@@ -1,0 +1,38 @@
+"""S-expression data model, reader, and writer."""
+
+from .datum import (
+    EOF,
+    NIL,
+    UNSPECIFIED,
+    Char,
+    Pair,
+    Symbol,
+    cons,
+    from_list,
+    gensym,
+    is_list,
+    list_length,
+    to_list,
+)
+from .reader import Reader, read, read_all
+from .writer import to_display, to_write
+
+__all__ = [
+    "EOF",
+    "NIL",
+    "UNSPECIFIED",
+    "Char",
+    "Pair",
+    "Reader",
+    "Symbol",
+    "cons",
+    "from_list",
+    "gensym",
+    "is_list",
+    "list_length",
+    "read",
+    "read_all",
+    "to_display",
+    "to_list",
+    "to_write",
+]

@@ -1,0 +1,215 @@
+"""The Scheme datum model used by the reader, expander, and writer.
+
+These objects represent *source-level* data: what the reader produces and
+what quoted constants look like before they are lowered to the VM's tagged
+word representation.  The mapping is:
+
+==================  =============================================
+Scheme datum        Python representation
+==================  =============================================
+fixnum              ``int``
+boolean             ``bool``
+string literal      ``str`` (runtime strings live in the VM heap)
+symbol              :class:`Symbol` (interned)
+character           :class:`Char`
+empty list          :data:`NIL`
+pair                :class:`Pair`
+vector literal      ``list``
+eof object          :data:`EOF`
+unspecified         :data:`UNSPECIFIED`
+==================  =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Symbol:
+    """An interned Scheme symbol.
+
+    Two symbols with the same name are the same object, so ``is``
+    comparison is both correct and fast.
+    """
+
+    __slots__ = ("name",)
+    _table: dict[str, "Symbol"] = {}
+
+    def __new__(cls, name: str) -> "Symbol":
+        sym = cls._table.get(name)
+        if sym is None:
+            sym = object.__new__(cls)
+            sym.name = name
+            cls._table[name] = sym
+        return sym
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __reduce__(self):
+        # Keep interning across pickling (used by test helpers).
+        return (Symbol, (self.name,))
+
+
+_GENSYM_COUNTER = [0]
+
+
+def gensym(prefix: str = "g") -> Symbol:
+    """Return a fresh symbol whose name cannot clash with read symbols.
+
+    The ``%`` in the generated name is outside the reader's symbol
+    alphabet for user code, guaranteeing freshness.
+    """
+    _GENSYM_COUNTER[0] += 1
+    return Symbol(f"{prefix}%{_GENSYM_COUNTER[0]}")
+
+
+class Char:
+    """A Scheme character, identified by its Unicode code point."""
+
+    __slots__ = ("code",)
+    _cache: dict[int, "Char"] = {}
+
+    def __new__(cls, code: int) -> "Char":
+        ch = cls._cache.get(code)
+        if ch is None:
+            ch = object.__new__(cls)
+            ch.code = code
+            cls._cache[code] = ch
+        return ch
+
+    def __repr__(self) -> str:
+        return f"#\\{chr(self.code)}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Char) and other.code == self.code
+
+    def __hash__(self) -> int:
+        return hash(("char", self.code))
+
+
+class _Singleton:
+    """Base for the unique datum objects (``()``, eof, unspecified)."""
+
+    __slots__ = ()
+    _text = "#<singleton>"
+
+    def __repr__(self) -> str:
+        return self._text
+
+
+class _Nil(_Singleton):
+    _text = "()"
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+class _Eof(_Singleton):
+    _text = "#<eof>"
+
+
+class _Unspecified(_Singleton):
+    _text = "#<unspecified>"
+
+
+NIL = _Nil()
+EOF = _Eof()
+UNSPECIFIED = _Unspecified()
+
+
+class Pair:
+    """A mutable cons cell."""
+
+    __slots__ = ("car", "cdr")
+
+    def __init__(self, car: object, cdr: object):
+        self.car = car
+        self.cdr = cdr
+
+    def __repr__(self) -> str:
+        from .writer import to_write
+
+        return to_write(self)
+
+    def __eq__(self, other: object) -> bool:
+        # Structural equality, used heavily by tests; guards against cycles
+        # by bounding depth via iteration on the spine.
+        if not isinstance(other, Pair):
+            return NotImplemented
+        a: object = self
+        b: object = other
+        for _ in range(1_000_000):
+            if isinstance(a, Pair) and isinstance(b, Pair):
+                if a.car != b.car:
+                    return False
+                a, b = a.cdr, b.cdr
+            else:
+                return a == b
+        raise RecursionError("cyclic or enormous pair structure in ==")
+
+    def __hash__(self) -> int:  # pragma: no cover - pairs are not dict keys
+        raise TypeError("pairs are unhashable")
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate the elements of a proper list (raises on improper tail)."""
+        node: object = self
+        while isinstance(node, Pair):
+            yield node.car
+            node = node.cdr
+        if node is not NIL:
+            raise ValueError("improper list")
+
+
+def cons(car: object, cdr: object) -> Pair:
+    return Pair(car, cdr)
+
+
+def from_list(items: Iterable[object], tail: object = NIL) -> object:
+    """Build a Scheme list out of a Python iterable (optionally improper)."""
+    result = tail
+    for item in reversed(list(items)):
+        result = Pair(item, result)
+    return result
+
+
+def to_list(datum: object) -> list[object]:
+    """Return the elements of a proper Scheme list as a Python list."""
+    out: list[object] = []
+    node = datum
+    while isinstance(node, Pair):
+        out.append(node.car)
+        node = node.cdr
+    if node is not NIL:
+        raise ValueError("improper list passed to to_list")
+    return out
+
+
+def is_list(datum: object) -> bool:
+    """True when ``datum`` is a proper (finite, nil-terminated) list."""
+    slow = datum
+    fast = datum
+    while isinstance(fast, Pair):
+        fast = fast.cdr
+        if not isinstance(fast, Pair):
+            break
+        fast = fast.cdr
+        slow = slow.cdr  # type: ignore[union-attr]
+        if fast is slow:
+            return False
+    return fast is NIL
+
+
+def list_length(datum: object) -> int:
+    """Length of a proper list (raises ValueError for improper lists)."""
+    n = 0
+    node = datum
+    while isinstance(node, Pair):
+        n += 1
+        node = node.cdr
+    if node is not NIL:
+        raise ValueError("improper list")
+    return n

@@ -1,0 +1,351 @@
+"""The S-expression reader (lexer + parser).
+
+Supports the Scheme lexical syntax needed by the prelude and the test
+programs:
+
+* lists, improper lists, and vector literals ``#( ... )``
+* ``quote`` / ``quasiquote`` / ``unquote`` / ``unquote-splicing`` shorthands
+* line comments ``;``, block comments ``#| ... |#`` (nesting), and datum
+  comments ``#;``
+* booleans ``#t``/``#f`` (and ``#true``/``#false``)
+* characters ``#\\a``, named characters (``#\\newline`` etc.), ``#\\xHH``
+* strings with the usual escapes
+* exact integers in decimal and with ``#x``/``#o``/``#b``/``#d`` radix
+  prefixes
+"""
+
+from __future__ import annotations
+
+from ..errors import ReaderError
+from .datum import NIL, Char, Pair, Symbol, from_list
+
+_DELIMITERS = set('()";\' `,')
+_NAMED_CHARS = {
+    "altmode": 27,
+    "backspace": 8,
+    "delete": 127,
+    "escape": 27,
+    "linefeed": 10,
+    "newline": 10,
+    "null": 0,
+    "nul": 0,
+    "page": 12,
+    "return": 13,
+    "rubout": 127,
+    "space": 32,
+    "tab": 9,
+}
+_STRING_ESCAPES = {
+    "a": "\a",
+    "b": "\b",
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    '"': '"',
+    "\\": "\\",
+}
+
+_DOT = object()
+_CLOSE = object()
+
+
+class Reader:
+    """A pull-style reader over a source string."""
+
+    def __init__(self, text: str, filename: str = "<string>"):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+
+    def read(self) -> object:
+        """Read one datum; return :data:`datum.EOF`-like None at end of input."""
+        datum = self._read_datum(allow_eof=True)
+        if datum is _CLOSE:
+            self._error("unexpected ')'")
+        if datum is _DOT:
+            self._error("unexpected '.'")
+        return datum
+
+    def read_all(self) -> list[object]:
+        """Read every datum in the input."""
+        out = []
+        while True:
+            datum = self.read()
+            if datum is None:
+                return out
+            out.append(datum)
+
+    # ------------------------------------------------------------------
+    # character-level helpers
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> None:
+        raise ReaderError(message, self.line, self.column)
+
+    def _peek(self) -> str:
+        if self.pos >= len(self.text):
+            return ""
+        return self.text[self.pos]
+
+    def _next(self) -> str:
+        ch = self._peek()
+        if ch:
+            self.pos += 1
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        return ch
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n\f":
+                self._next()
+            elif ch == ";":
+                while self._peek() not in ("", "\n"):
+                    self._next()
+            elif ch == "#" and self._peek2() == "|":
+                self._skip_block_comment()
+            elif ch == "#" and self._peek2() == ";":
+                self._next()
+                self._next()
+                # Datum comment: read and discard the next datum.
+                discarded = self._read_datum(allow_eof=False)
+                if discarded in (_DOT, _CLOSE):
+                    self._error("bad datum comment")
+            else:
+                return
+
+    def _peek2(self) -> str:
+        if self.pos + 1 >= len(self.text):
+            return ""
+        return self.text[self.pos + 1]
+
+    def _skip_block_comment(self) -> None:
+        self._next()  # '#'
+        self._next()  # '|'
+        depth = 1
+        while depth:
+            ch = self._next()
+            if not ch:
+                self._error("unterminated block comment")
+            if ch == "|" and self._peek() == "#":
+                self._next()
+                depth -= 1
+            elif ch == "#" and self._peek() == "|":
+                self._next()
+                depth += 1
+
+    # ------------------------------------------------------------------
+    # datum-level parsing
+    # ------------------------------------------------------------------
+
+    def _read_datum(self, allow_eof: bool) -> object:
+        self._skip_whitespace_and_comments()
+        ch = self._peek()
+        if not ch:
+            if allow_eof:
+                return None
+            self._error("unexpected end of input")
+        if ch == "(" or ch == "[":
+            return self._read_list(")" if ch == "(" else "]")
+        if ch == ")" or ch == "]":
+            self._next()
+            return _CLOSE
+        if ch == "'":
+            self._next()
+            return self._shorthand("quote")
+        if ch == "`":
+            self._next()
+            return self._shorthand("quasiquote")
+        if ch == ",":
+            self._next()
+            if self._peek() == "@":
+                self._next()
+                return self._shorthand("unquote-splicing")
+            return self._shorthand("unquote")
+        if ch == '"':
+            return self._read_string()
+        if ch == "#":
+            return self._read_hash()
+        return self._read_atom()
+
+    def _shorthand(self, name: str) -> object:
+        inner = self._read_datum(allow_eof=False)
+        if inner in (_DOT, _CLOSE):
+            self._error(f"bad {name} shorthand")
+        return from_list([Symbol(name), inner])
+
+    def _read_list(self, closer: str) -> object:
+        self._next()  # opening bracket
+        items: list[object] = []
+        tail: object = NIL
+        while True:
+            self._skip_whitespace_and_comments()
+            if not self._peek():
+                self._error("unterminated list")
+            datum = self._read_datum(allow_eof=False)
+            if datum is _CLOSE:
+                break
+            if datum is _DOT:
+                if not items:
+                    self._error("dot at start of list")
+                tail = self._read_datum(allow_eof=False)
+                if tail in (_DOT, _CLOSE):
+                    self._error("bad dotted tail")
+                end = self._read_datum(allow_eof=False)
+                if end is not _CLOSE:
+                    self._error("more than one datum after dot")
+                break
+            items.append(datum)
+        return from_list(items, tail)
+
+    def _read_string(self) -> str:
+        self._next()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._next()
+            if not ch:
+                self._error("unterminated string literal")
+            if ch == '"':
+                return "".join(chars)
+            if ch == "\\":
+                esc = self._next()
+                if not esc:
+                    self._error("unterminated string escape")
+                if esc == "x":
+                    digits = []
+                    while self._peek() != ";":
+                        digit = self._next()
+                        if not digit:
+                            self._error("unterminated \\x escape")
+                        digits.append(digit)
+                    self._next()  # ';'
+                    try:
+                        chars.append(chr(int("".join(digits), 16)))
+                    except ValueError:
+                        self._error("bad \\x escape")
+                elif esc == "\n":
+                    # Line continuation: skip leading whitespace on next line.
+                    while self._peek() in " \t":
+                        self._next()
+                elif esc in _STRING_ESCAPES:
+                    chars.append(_STRING_ESCAPES[esc])
+                else:
+                    self._error(f"unknown string escape \\{esc}")
+            else:
+                chars.append(ch)
+
+    def _read_hash(self) -> object:
+        self._next()  # '#'
+        ch = self._peek()
+        if ch == "(":
+            listed = self._read_list(")")
+            try:
+                return list(listed) if listed is not NIL else []
+            except ValueError:
+                self._error("dotted vector literal")
+        if ch == "\\":
+            self._next()
+            return self._read_character()
+        if ch in "txbodfTXBODF" or ch == "!":
+            token = self._read_token()
+            return self._parse_hash_token(token)
+        self._error(f"unknown # syntax: #{ch!r}")
+        raise AssertionError("unreachable")
+
+    def _parse_hash_token(self, token: str) -> object:
+        lowered = token.lower()
+        if lowered in ("t", "true"):
+            return True
+        if lowered in ("f", "false"):
+            return False
+        if lowered == "!eof":
+            from .datum import EOF
+
+            return EOF
+        if lowered in ("!unspecific", "!unspecified", "!default"):
+            from .datum import UNSPECIFIED
+
+            return UNSPECIFIED
+        radixes = {"x": 16, "o": 8, "b": 2, "d": 10}
+        if lowered and lowered[0] in radixes:
+            try:
+                return int(token[1:], radixes[lowered[0]])
+            except ValueError:
+                self._error(f"bad radix literal #{token}")
+        self._error(f"unknown # token: #{token}")
+        raise AssertionError("unreachable")
+
+    def _read_character(self) -> Char:
+        first = self._next()
+        if not first:
+            self._error("unterminated character literal")
+        # A named character continues with letters; a single char stands alone.
+        if first.isalpha() or first == "x":
+            rest: list[str] = []
+            while (peeked := self._peek()) and peeked not in _DELIMITERS and not peeked.isspace() and peeked not in ")]([":
+                rest.append(self._next())
+            if rest:
+                name = (first + "".join(rest)).lower()
+                if name in _NAMED_CHARS:
+                    return Char(_NAMED_CHARS[name])
+                if name.startswith("x"):
+                    try:
+                        return Char(int(name[1:], 16))
+                    except ValueError:
+                        self._error(f"bad character literal #\\{name}")
+                self._error(f"unknown character name #\\{name}")
+        return Char(ord(first))
+
+    def _read_token(self) -> str:
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch.isspace() or ch in _DELIMITERS or ch in "()[]":
+                return "".join(chars)
+            chars.append(self._next())
+
+    def _read_atom(self) -> object:
+        start_line, start_col = self.line, self.column
+        token = self._read_token()
+        if not token:
+            raise ReaderError("empty token", start_line, start_col)
+        if token == ".":
+            return _DOT
+        number = _parse_number(token)
+        if number is not None:
+            return number
+        return Symbol(token)
+
+
+def _parse_number(token: str) -> int | None:
+    body = token
+    sign = 1
+    if body and body[0] in "+-":
+        sign = -1 if body[0] == "-" else 1
+        body = body[1:]
+    if body and all(c in "0123456789" for c in body):
+        return sign * int(body)
+    return None
+
+
+def read(text: str) -> object:
+    """Read a single datum from ``text`` (None when the text is empty)."""
+    return Reader(text).read()
+
+
+def read_all(text: str, filename: str = "<string>") -> list[object]:
+    """Read every datum in ``text``."""
+    return Reader(text, filename).read_all()

@@ -1,0 +1,129 @@
+"""Printing Scheme data, in both ``write`` (read-back) and ``display`` styles."""
+
+from __future__ import annotations
+
+from .datum import EOF, NIL, UNSPECIFIED, Char, Pair, Symbol
+
+_CHAR_NAMES = {
+    0: "null",
+    8: "backspace",
+    9: "tab",
+    10: "newline",
+    12: "page",
+    13: "return",
+    27: "escape",
+    32: "space",
+    127: "delete",
+}
+
+_STRING_UNESCAPES = {
+    "\a": "\\a",
+    "\b": "\\b",
+    "\t": "\\t",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\f": "\\f",
+    "\v": "\\v",
+    '"': '\\"',
+    "\\": "\\\\",
+}
+
+
+def to_write(datum: object) -> str:
+    """Render ``datum`` the way ``write`` would: read-back notation."""
+    return _render(datum, display=False)
+
+def to_display(datum: object) -> str:
+    """Render ``datum`` the way ``display`` would: human notation."""
+    return _render(datum, display=True)
+
+
+def _render(datum: object, display: bool) -> str:
+    parts: list[str] = []
+    _render_into(datum, display, parts, depth=0)
+    return "".join(parts)
+
+
+def _render_into(datum: object, display: bool, out: list[str], depth: int) -> None:
+    if depth > 2000:
+        raise RecursionError("datum too deep to print")
+    if datum is True:
+        out.append("#t")
+    elif datum is False:
+        out.append("#f")
+    elif datum is NIL:
+        out.append("()")
+    elif datum is EOF:
+        out.append("#<eof>")
+    elif datum is UNSPECIFIED:
+        out.append("#<unspecified>")
+    elif isinstance(datum, int):
+        out.append(str(datum))
+    elif isinstance(datum, Symbol):
+        out.append(datum.name)
+    elif isinstance(datum, Char):
+        if display:
+            out.append(chr(datum.code))
+        elif datum.code in _CHAR_NAMES:
+            out.append("#\\" + _CHAR_NAMES[datum.code])
+        elif datum.code < 32:
+            out.append(f"#\\x{datum.code:x}")
+        else:
+            out.append("#\\" + chr(datum.code))
+    elif isinstance(datum, str):
+        if display:
+            out.append(datum)
+        else:
+            out.append('"')
+            for ch in datum:
+                out.append(_STRING_UNESCAPES.get(ch, ch))
+            out.append('"')
+    elif isinstance(datum, list):
+        out.append("#(")
+        for i, item in enumerate(datum):
+            if i:
+                out.append(" ")
+            _render_into(item, display, out, depth + 1)
+        out.append(")")
+    elif isinstance(datum, Pair):
+        shorthand = _quote_shorthand(datum)
+        if shorthand is not None:
+            prefix, inner = shorthand
+            out.append(prefix)
+            _render_into(inner, display, out, depth + 1)
+            return
+        out.append("(")
+        node: object = datum
+        first = True
+        while isinstance(node, Pair):
+            if not first:
+                out.append(" ")
+            first = False
+            _render_into(node.car, display, out, depth + 1)
+            node = node.cdr
+        if node is not NIL:
+            out.append(" . ")
+            _render_into(node, display, out, depth + 1)
+        out.append(")")
+    else:
+        out.append(f"#<python:{datum!r}>")
+
+
+_SHORTHANDS = {
+    "quote": "'",
+    "quasiquote": "`",
+    "unquote": ",",
+    "unquote-splicing": ",@",
+}
+
+
+def _quote_shorthand(pair: Pair) -> tuple[str, object] | None:
+    head = pair.car
+    if (
+        isinstance(head, Symbol)
+        and head.name in _SHORTHANDS
+        and isinstance(pair.cdr, Pair)
+        and pair.cdr.cdr is NIL
+    ):
+        return _SHORTHANDS[head.name], pair.cdr.car
+    return None

@@ -1,0 +1,15 @@
+"""The virtual machine substrate."""
+
+from . import isa
+from .heap import Heap
+from .machine import FAIL_MESSAGES, Machine, RunResult
+from .registry import TypeRegistry
+
+__all__ = [
+    "FAIL_MESSAGES",
+    "Heap",
+    "Machine",
+    "RunResult",
+    "TypeRegistry",
+    "isa",
+]

@@ -1,0 +1,193 @@
+"""The target instruction set: a three-address register machine.
+
+This plays the role of the paper's machine code.  Instructions are
+Python lists ``[opcode, operand…]`` (lists, not tuples, so the assembler
+can backpatch branch targets).  Registers are per-frame and virtual
+(no spilling); the calling convention places arguments in ``r0…rN-1``,
+the rest-argument list (if the callee is variadic) in ``rN``, and the
+callee's own closure (when it has captured variables) in the next slot.
+
+Everything the compiler emits for *data* is expressible in LDC/arith/
+bit/LD/ST/ALLOC — the machine has no idea what a pair or a fixnum is.
+The only representation knowledge in the VM is (a) the closure/cell
+layout, which the compiler owns, and (b) whatever the *library registers
+at run time* (pair layout and nil for rest-lists and apply, via the
+``%register-…`` primitives).
+"""
+
+from __future__ import annotations
+
+_NAMES: list[str] = []
+
+
+def _op(name: str) -> int:
+    _NAMES.append(name)
+    return len(_NAMES) - 1
+
+
+# --- constants and moves ------------------------------------------------
+LDC = _op("LDC")          # d, imm        d := imm (64-bit word)
+MOV = _op("MOV")          # d, s
+
+# --- arithmetic (64-bit wrap; DIV/MOD signed truncating) ------------------
+ADD = _op("ADD")          # d, s1, s2
+SUB = _op("SUB")
+MUL = _op("MUL")
+DIV = _op("DIV")
+MOD = _op("MOD")
+
+# --- bit operations -------------------------------------------------------
+AND = _op("AND")
+OR = _op("OR")
+XOR = _op("XOR")
+NOT = _op("NOT")          # d, s
+SHL = _op("SHL")
+SHR = _op("SHR")
+SAR = _op("SAR")
+
+# --- immediate-operand forms (the assembler picks these when the second
+# --- operand is a small constant; real ISAs have them, and instruction
+# --- counts shouldn't charge abstraction for materialising constants) ----
+ADDI = _op("ADDI")        # d, s, imm
+SUBI = _op("SUBI")
+MULI = _op("MULI")
+ANDI = _op("ANDI")
+ORI = _op("ORI")
+XORI = _op("XORI")
+SHLI = _op("SHLI")
+SHRI = _op("SHRI")
+SARI = _op("SARI")
+
+# --- comparisons to a register (raw 0/1) ----------------------------------
+CMPEQ = _op("CMPEQ")      # d, s1, s2
+CMPNE = _op("CMPNE")
+CMPLT = _op("CMPLT")
+CMPLE = _op("CMPLE")
+CMPULT = _op("CMPULT")
+CMPULE = _op("CMPULE")
+CMPNZ = _op("CMPNZ")      # d, s
+CMPEQI = _op("CMPEQI")    # d, s, imm
+CMPNEI = _op("CMPNEI")
+CMPLTI = _op("CMPLTI")
+CMPLEI = _op("CMPLEI")
+
+# --- control flow ----------------------------------------------------------
+JMP = _op("JMP")          # target
+JT = _op("JT")            # s, target      jump when s != 0
+JF = _op("JF")            # s, target      jump when s == 0
+JEQ = _op("JEQ")          # s1, s2, target
+JNE = _op("JNE")
+JLT = _op("JLT")
+JGE = _op("JGE")
+JLE = _op("JLE")
+JGT = _op("JGT")
+JULT = _op("JULT")
+JUGE = _op("JUGE")
+JULE = _op("JULE")
+JUGT = _op("JUGT")
+JEQI = _op("JEQI")        # s, imm, target
+JNEI = _op("JNEI")
+JLTI = _op("JLTI")        # s, imm, target (signed)
+JGEI = _op("JGEI")
+JLEI = _op("JLEI")
+JGTI = _op("JGTI")
+
+# --- memory ----------------------------------------------------------------
+LD = _op("LD")            # d, s, disp     d := mem[(s + disp) >> 3]
+ST = _op("ST")            # s, disp, v     mem[(s + disp) >> 3] := v
+ALLOC = _op("ALLOC")      # d, s_nwords, s_tag   allocate (regs) payload words
+ALLOCI = _op("ALLOCI")    # d, nwords, tag       immediate form
+
+# --- globals -----------------------------------------------------------------
+GLD = _op("GLD")          # d, index       (checks definedness)
+GST = _op("GST")          # s, index
+
+# --- procedures --------------------------------------------------------------
+CLOSURE = _op("CLOSURE")  # d, code_id, [free regs]
+CALL = _op("CALL")        # d, f, [arg regs]
+CALLL = _op("CALLL")      # d, code_id, [arg regs]   direct call
+TAILCALL = _op("TAILCALL")  # f, [arg regs]
+TAILL = _op("TAILL")      # code_id, [arg regs]
+RET = _op("RET")          # s
+CALLEC = _op("CALLEC")    # d, f           call f with an escape continuation
+APPLY = _op("APPLY")      # d, f, lst
+TAILAPPLY = _op("TAILAPPLY")  # f, lst
+
+# --- runtime registry, I/O, termination ---------------------------------------
+REGPTR = _op("REGPTR")    # s              register a pointer tag
+REGPAIR = _op("REGPAIR")  # tag, cardisp, cddisp  (regs)
+REGNIL = _op("REGNIL")    # s
+REGFALSE = _op("REGFALSE")  # s
+PUTC = _op("PUTC")        # s              raw character code
+GETC = _op("GETC")        # d              next input char code or ~0
+PEEKC = _op("PEEKC")      # d              like GETC without consuming
+FAIL = _op("FAIL")        # s              raw error code
+HALT = _op("HALT")        # s
+
+OPCODE_NAMES = tuple(_NAMES)
+NUM_OPCODES = len(_NAMES)
+
+
+class CodeObject:
+    """One compiled procedure (or the top-level main)."""
+
+    __slots__ = ("name", "nparams", "has_rest", "nfree", "nregs", "instructions")
+
+    def __init__(self, name: str, nparams: int, has_rest: bool, nfree: int):
+        self.name = name
+        self.nparams = nparams
+        self.has_rest = has_rest
+        self.nfree = nfree
+        self.nregs = 0
+        self.instructions: list[list] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<code {self.name!r} params={self.nparams}"
+            f"{'+rest' if self.has_rest else ''} free={self.nfree}"
+            f" regs={self.nregs} len={len(self.instructions)}>"
+        )
+
+
+class VMProgram:
+    """A fully compiled program: code objects plus the global table."""
+
+    __slots__ = ("code_objects", "global_names", "main_id")
+
+    def __init__(self, code_objects: list[CodeObject], global_names: list[str]):
+        self.code_objects = code_objects
+        self.global_names = global_names
+        self.main_id = 0
+
+    def static_instruction_count(self, name: str | None = None) -> int:
+        """Total emitted instructions (optionally for one code object)."""
+        if name is None:
+            return sum(len(code.instructions) for code in self.code_objects)
+        for code in self.code_objects:
+            if code.name == name:
+                return len(code.instructions)
+        raise KeyError(name)
+
+    def code_named(self, name: str) -> CodeObject:
+        for code in self.code_objects:
+            if code.name == name:
+                return code
+        raise KeyError(name)
+
+
+def format_instruction(ins: list) -> str:
+    op = ins[0]
+    parts = [OPCODE_NAMES[op]]
+    for operand in ins[1:]:
+        if isinstance(operand, list):
+            parts.append("[" + " ".join(f"r{r}" for r in operand) + "]")
+        else:
+            parts.append(str(operand))
+    return " ".join(parts)
+
+
+def disassemble(code: CodeObject) -> str:
+    lines = [repr(code)]
+    for i, ins in enumerate(code.instructions):
+        lines.append(f"  {i:4d}: {format_instruction(ins)}")
+    return "\n".join(lines)

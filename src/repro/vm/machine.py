@@ -1,0 +1,547 @@
+"""The virtual machine: executes :class:`~repro.vm.isa.VMProgram`.
+
+A straightforward register-machine interpreter with deterministic
+instruction-count statistics — the reproduction's stand-in for the
+paper's machine-code measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchemeError, VMError
+from ..prims import WORD_MASK, signed, wrap
+from . import isa
+from .heap import Heap
+from .registry import TypeRegistry
+
+# Error codes for %fail, shared by convention with the prelude sources
+# (src/repro/runtime/scm/*): the library passes these raw codes.
+FAIL_MESSAGES = {
+    1: "type check failed",
+    2: "index out of range",
+    3: "error signalled",
+    4: "arity mismatch",
+    5: "car/cdr of non-pair",
+    6: "vector operation on non-vector",
+    7: "string operation on non-string",
+    8: "arithmetic on non-fixnum",
+    9: "fixnum overflow",
+    10: "division by zero",
+    11: "char operation on non-char",
+    12: "not a procedure",
+    13: "improper argument list",
+    14: "symbol operation on non-symbol",
+}
+
+_CLOSURE_TAG = 7
+# code-id sentinel marking a closure as an escape continuation; its one
+# "free variable" slot holds the frame depth to unwind to.
+_ESCAPE_CODE = (1 << 32) - 1
+
+
+@dataclass
+class RunResult:
+    """Outcome of one VM run."""
+
+    value: int
+    output: str
+    steps: int
+    opcode_counts: dict[str, int]
+    gc_count: int
+    words_allocated: int
+    #: synthetic conses performed by the substrate for rest-args/apply
+    rest_conses: int = 0
+
+    def count(self, opcode_name: str) -> int:
+        return self.opcode_counts.get(opcode_name, 0)
+
+
+class Machine:
+    def __init__(
+        self,
+        program: isa.VMProgram,
+        heap_words: int = 1 << 20,
+        max_steps: int | None = None,
+        count_instructions: bool = True,
+        input_text: str = "",
+    ):
+        self.program = program
+        self.codes = program.code_objects
+        self.heap = Heap(heap_words)
+        self.heap.register_pointer_tag(_CLOSURE_TAG)  # compiler-owned layout
+        self.registry = TypeRegistry()
+        self.globals = [0] * len(program.global_names)
+        self.global_defined = bytearray(len(program.global_names))
+        self.output: list[str] = []
+        self.input_codes = [ord(ch) for ch in input_text]
+        self.input_pos = 0
+        self.max_steps = max_steps
+        self.count_instructions = count_instructions
+        self.counts = [0] * isa.NUM_OPCODES
+        self.steps = 0
+        self.rest_conses = 0
+        # frame stack: entries are [code, regs, pc, dest_reg]
+        self.frames: list[list] = []
+        # transient roots protected across allocations inside the VM
+        self._scratch_roots: list[int] = []
+
+    # ------------------------------------------------------------------
+    # GC plumbing
+    # ------------------------------------------------------------------
+
+    def _roots(self):
+        out = []
+        for frame in self.frames:
+            out.extend(frame[1])
+        for i, value in enumerate(self.globals):
+            if self.global_defined[i]:
+                out.append(value)
+        out.extend(self._scratch_roots)
+        return out
+
+    def _alloc(self, nwords: int, tag: int) -> int:
+        return self.heap.allocate(nwords, tag, self._roots)
+
+    # ------------------------------------------------------------------
+    # procedure invocation
+    # ------------------------------------------------------------------
+
+    def _closure_code_id(self, word: int) -> int:
+        if word & 7 != _CLOSURE_TAG:
+            raise SchemeError(FAIL_MESSAGES[12], word)
+        return self.heap.load((word & ~7) + 8)
+
+    def _closure_free(self, word: int, index: int) -> int:
+        return self.heap.load((word & ~7) + 16 + 8 * index)
+
+    def _make_regs(self, code: isa.CodeObject, args: list[int], closure: int) -> list[int]:
+        regs = [0] * code.nregs
+        n = code.nparams
+        if code.has_rest:
+            if len(args) < n:
+                raise SchemeError(
+                    f"arity mismatch calling {code.name!r}: "
+                    f"expected at least {n} arguments, got {len(args)}"
+                )
+            regs[:n] = args[:n]
+            regs[n] = self._build_rest(args[n:])
+            slot = n + 1
+        else:
+            if len(args) != n:
+                raise SchemeError(
+                    f"arity mismatch calling {code.name!r}: "
+                    f"expected {n} arguments, got {len(args)}"
+                )
+            regs[:n] = args
+            slot = n
+        if code.nfree:
+            regs[slot] = closure
+        return regs
+
+    def _build_rest(self, extra: list[int]) -> int:
+        registry = self.registry
+        registry.require_pairs("a rest-argument list")
+        result = registry.nil_word
+        tag = registry.pair_tag
+        car_disp = registry.car_disp
+        cdr_disp = registry.cdr_disp
+        nwords = registry.pair_words
+        # Protect the extras and the partial list across allocations.
+        self._scratch_roots = list(extra)
+        try:
+            for word in reversed(extra):
+                self._scratch_roots.append(result)
+                pair = self._alloc(nwords, tag)
+                self._scratch_roots.pop()
+                self.heap.store(wrap(pair + car_disp), word)
+                self.heap.store(wrap(pair + cdr_disp), result)
+                result = pair
+                self.rest_conses += 1
+        finally:
+            self._scratch_roots = []
+        return result
+
+    def _unpack_list(self, word: int) -> list[int]:
+        registry = self.registry
+        registry.require_pairs("apply")
+        out = []
+        seen = 0
+        while word != registry.nil_word:
+            if word & 7 != registry.pair_tag:
+                raise SchemeError(FAIL_MESSAGES[13], word)
+            out.append(self.heap.load(wrap(word + registry.car_disp)))
+            word = self.heap.load(wrap(word + registry.cdr_disp))
+            seen += 1
+            if seen > 10_000_000:
+                raise VMError("apply argument list is cyclic or too long")
+        return out
+
+    def _unwind(self, escape_word: int, args: list[int]):
+        """Invoke an escape continuation: discard frames down to its
+        capture depth and return to the %callec call site."""
+        if len(args) != 1:
+            raise SchemeError(
+                f"arity mismatch calling an escape continuation: "
+                f"expected 1 argument, got {len(args)}"
+            )
+        depth = self.heap.load((escape_word & ~7) + 16) >> 3
+        if depth < 1 or depth > len(self.frames):
+            raise SchemeError(
+                "escape continuation invoked after its extent ended"
+            )
+        del self.frames[depth:]
+        code, regs, pc, dest = self.frames.pop()
+        regs[dest] = args[0]
+        return code, regs, pc
+
+    # ------------------------------------------------------------------
+    # the interpreter loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        main = self.codes[self.program.main_id]
+        code = main
+        regs = [0] * main.nregs
+        pc = 0
+        instructions = code.instructions
+        counts = self.counts
+        counting = self.count_instructions
+        heap = self.heap
+        result_value = 0
+
+        while True:
+            ins = instructions[pc]
+            pc += 1
+            op = ins[0]
+            if counting:
+                counts[op] += 1
+                self.steps += 1
+                if self.max_steps is not None and self.steps > self.max_steps:
+                    raise VMError(f"execution exceeded {self.max_steps} steps")
+
+            if op == isa.LD:
+                address = wrap(regs[ins[2]] + ins[3])
+                regs[ins[1]] = heap.load(address)
+            elif op == isa.ST:
+                address = wrap(regs[ins[1]] + ins[2])
+                heap.store(address, regs[ins[3]])
+            elif op == isa.LDC:
+                regs[ins[1]] = ins[2]
+            elif op == isa.MOV:
+                regs[ins[1]] = regs[ins[2]]
+            elif op == isa.ADD:
+                regs[ins[1]] = (regs[ins[2]] + regs[ins[3]]) & WORD_MASK
+            elif op == isa.ADDI:
+                regs[ins[1]] = (regs[ins[2]] + ins[3]) & WORD_MASK
+            elif op == isa.SUB:
+                regs[ins[1]] = (regs[ins[2]] - regs[ins[3]]) & WORD_MASK
+            elif op == isa.SUBI:
+                regs[ins[1]] = (regs[ins[2]] - ins[3]) & WORD_MASK
+            elif op == isa.MUL:
+                regs[ins[1]] = (signed(regs[ins[2]]) * signed(regs[ins[3]])) & WORD_MASK
+            elif op == isa.MULI:
+                regs[ins[1]] = (signed(regs[ins[2]]) * signed(ins[3])) & WORD_MASK
+            elif op == isa.DIV:
+                regs[ins[1]] = self._div(regs[ins[2]], regs[ins[3]])
+            elif op == isa.MOD:
+                regs[ins[1]] = self._mod(regs[ins[2]], regs[ins[3]])
+            elif op == isa.AND:
+                regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
+            elif op == isa.ANDI:
+                regs[ins[1]] = regs[ins[2]] & ins[3]
+            elif op == isa.OR:
+                regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
+            elif op == isa.ORI:
+                regs[ins[1]] = regs[ins[2]] | ins[3]
+            elif op == isa.XOR:
+                regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
+            elif op == isa.XORI:
+                regs[ins[1]] = regs[ins[2]] ^ ins[3]
+            elif op == isa.NOT:
+                regs[ins[1]] = (~regs[ins[2]]) & WORD_MASK
+            elif op == isa.SHL:
+                regs[ins[1]] = (regs[ins[2]] << (regs[ins[3]] & 63)) & WORD_MASK
+            elif op == isa.SHLI:
+                regs[ins[1]] = (regs[ins[2]] << (ins[3] & 63)) & WORD_MASK
+            elif op == isa.SHR:
+                regs[ins[1]] = regs[ins[2]] >> (regs[ins[3]] & 63)
+            elif op == isa.SHRI:
+                regs[ins[1]] = regs[ins[2]] >> (ins[3] & 63)
+            elif op == isa.SAR:
+                regs[ins[1]] = (signed(regs[ins[2]]) >> (regs[ins[3]] & 63)) & WORD_MASK
+            elif op == isa.SARI:
+                regs[ins[1]] = (signed(regs[ins[2]]) >> (ins[3] & 63)) & WORD_MASK
+            elif op == isa.CMPEQ:
+                regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
+            elif op == isa.CMPEQI:
+                regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
+            elif op == isa.CMPNE:
+                regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
+            elif op == isa.CMPNEI:
+                regs[ins[1]] = 1 if regs[ins[2]] != ins[3] else 0
+            elif op == isa.CMPLT:
+                regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(regs[ins[3]]) else 0
+            elif op == isa.CMPLTI:
+                regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(ins[3]) else 0
+            elif op == isa.CMPLE:
+                regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(regs[ins[3]]) else 0
+            elif op == isa.CMPLEI:
+                regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(ins[3]) else 0
+            elif op == isa.CMPULT:
+                regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
+            elif op == isa.CMPULE:
+                regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
+            elif op == isa.CMPNZ:
+                regs[ins[1]] = 1 if regs[ins[2]] != 0 else 0
+            elif op == isa.JMP:
+                pc = ins[1]
+            elif op == isa.JT:
+                if regs[ins[1]] != 0:
+                    pc = ins[2]
+            elif op == isa.JF:
+                if regs[ins[1]] == 0:
+                    pc = ins[2]
+            elif op == isa.JEQ:
+                if regs[ins[1]] == regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JNE:
+                if regs[ins[1]] != regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JEQI:
+                if regs[ins[1]] == ins[2]:
+                    pc = ins[3]
+            elif op == isa.JNEI:
+                if regs[ins[1]] != ins[2]:
+                    pc = ins[3]
+            elif op == isa.JLTI:
+                if signed(regs[ins[1]]) < signed(ins[2]):
+                    pc = ins[3]
+            elif op == isa.JGEI:
+                if signed(regs[ins[1]]) >= signed(ins[2]):
+                    pc = ins[3]
+            elif op == isa.JLEI:
+                if signed(regs[ins[1]]) <= signed(ins[2]):
+                    pc = ins[3]
+            elif op == isa.JGTI:
+                if signed(regs[ins[1]]) > signed(ins[2]):
+                    pc = ins[3]
+            elif op == isa.JLT:
+                if signed(regs[ins[1]]) < signed(regs[ins[2]]):
+                    pc = ins[3]
+            elif op == isa.JGE:
+                if signed(regs[ins[1]]) >= signed(regs[ins[2]]):
+                    pc = ins[3]
+            elif op == isa.JLE:
+                if signed(regs[ins[1]]) <= signed(regs[ins[2]]):
+                    pc = ins[3]
+            elif op == isa.JGT:
+                if signed(regs[ins[1]]) > signed(regs[ins[2]]):
+                    pc = ins[3]
+            elif op == isa.JULT:
+                if regs[ins[1]] < regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JUGE:
+                if regs[ins[1]] >= regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JULE:
+                if regs[ins[1]] <= regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JUGT:
+                if regs[ins[1]] > regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.ALLOC:
+                self.frames.append([code, regs, pc, -1])
+                regs[ins[1]] = self._alloc(regs[ins[2]], regs[ins[3]] & 7)
+                self.frames.pop()
+            elif op == isa.ALLOCI:
+                self.frames.append([code, regs, pc, -1])
+                regs[ins[1]] = self._alloc(ins[2], ins[3])
+                self.frames.pop()
+            elif op == isa.GLD:
+                index = ins[2]
+                if not self.global_defined[index]:
+                    raise VMError(
+                        f"undefined global variable "
+                        f"{self.program.global_names[index]!r}"
+                    )
+                regs[ins[1]] = self.globals[index]
+            elif op == isa.GST:
+                index = ins[2]
+                self.globals[index] = regs[ins[1]]
+                self.global_defined[index] = 1
+            elif op == isa.CLOSURE:
+                free_regs = ins[3]
+                self.frames.append([code, regs, pc, -1])
+                pointer = self._alloc(1 + len(free_regs), _CLOSURE_TAG)
+                self.frames.pop()
+                base = pointer & ~7
+                heap.store(base + 8, ins[2])
+                for i, reg in enumerate(free_regs):
+                    heap.store(base + 16 + 8 * i, regs[reg])
+                regs[ins[1]] = pointer
+            elif op == isa.CALL or op == isa.CALLL:
+                if op == isa.CALL:
+                    closure = regs[ins[2]]
+                    code_id = self._closure_code_id(closure)
+                    if code_id == _ESCAPE_CODE:
+                        args = [regs[r] for r in ins[3]]
+                        code, regs, pc = self._unwind(closure, args)
+                        instructions = code.instructions
+                        continue
+                else:
+                    closure = 0
+                    code_id = ins[2]
+                args = [regs[r] for r in ins[3]]
+                callee = self.codes[code_id]
+                self.frames.append([code, regs, pc, ins[1]])
+                if len(self.frames) > 8000:
+                    raise VMError("call stack overflow (deep non-tail recursion)")
+                code = callee
+                self._scratch_roots = [closure]
+                regs = self._make_regs(callee, args, closure)
+                self._scratch_roots = []
+                instructions = code.instructions
+                pc = 0
+            elif op == isa.TAILCALL or op == isa.TAILL:
+                if op == isa.TAILCALL:
+                    closure = regs[ins[1]]
+                    code_id = self._closure_code_id(closure)
+                    if code_id == _ESCAPE_CODE:
+                        args = [regs[r] for r in ins[2]]
+                        code, regs, pc = self._unwind(closure, args)
+                        instructions = code.instructions
+                        continue
+                else:
+                    closure = 0
+                    code_id = ins[1]
+                args = [regs[r] for r in ins[2]]
+                callee = self.codes[code_id]
+                code = callee
+                self._scratch_roots = [closure] + args
+                self.frames.append([code, regs, pc, -1])
+                new_regs = self._make_regs(callee, args, closure)
+                self.frames.pop()
+                self._scratch_roots = []
+                regs = new_regs
+                instructions = code.instructions
+                pc = 0
+            elif op == isa.RET:
+                value = regs[ins[1]]
+                if not self.frames:
+                    return self._result(value)
+                code, regs, pc, dest = self.frames.pop()
+                instructions = code.instructions
+                regs[dest] = value
+            elif op == isa.CALLEC:
+                closure = regs[ins[2]]
+                code_id = self._closure_code_id(closure)
+                if code_id == _ESCAPE_CODE:
+                    raise SchemeError(FAIL_MESSAGES[12], closure)
+                callee = self.codes[code_id]
+                self.frames.append([code, regs, pc, ins[1]])
+                if len(self.frames) > 8000:
+                    raise VMError("call stack overflow (deep non-tail recursion)")
+                depth = len(self.frames)
+                self._scratch_roots = [closure]
+                escape = self._alloc(2, _CLOSURE_TAG)
+                base = escape & ~7
+                heap.store(base + 8, _ESCAPE_CODE)
+                heap.store(base + 16, depth << 3)  # fixnum-tagged: GC-inert
+                code = callee
+                new_regs = self._make_regs(callee, [escape], closure)
+                self._scratch_roots = []
+                regs = new_regs
+                instructions = code.instructions
+                pc = 0
+            elif op == isa.APPLY or op == isa.TAILAPPLY:
+                tail = op == isa.TAILAPPLY
+                freg = ins[2] if not tail else ins[1]
+                lreg = ins[3] if not tail else ins[2]
+                closure = regs[freg]
+                code_id = self._closure_code_id(closure)
+                args = self._unpack_list(regs[lreg])
+                if code_id == _ESCAPE_CODE:
+                    code, regs, pc = self._unwind(closure, args)
+                    instructions = code.instructions
+                    continue
+                callee = self.codes[code_id]
+                if not tail:
+                    self.frames.append([code, regs, pc, ins[1]])
+                    if len(self.frames) > 8000:
+                        raise VMError("call stack overflow (deep non-tail recursion)")
+                code = callee
+                self._scratch_roots = [closure] + args
+                self.frames.append([code, regs, pc, -1])
+                new_regs = self._make_regs(callee, args, closure)
+                self.frames.pop()
+                self._scratch_roots = []
+                regs = new_regs
+                instructions = code.instructions
+                pc = 0
+            elif op == isa.PUTC:
+                self.output.append(chr(regs[ins[1]] & 0x10FFFF))
+            elif op == isa.GETC:
+                if self.input_pos < len(self.input_codes):
+                    regs[ins[1]] = self.input_codes[self.input_pos]
+                    self.input_pos += 1
+                else:
+                    regs[ins[1]] = WORD_MASK
+            elif op == isa.PEEKC:
+                if self.input_pos < len(self.input_codes):
+                    regs[ins[1]] = self.input_codes[self.input_pos]
+                else:
+                    regs[ins[1]] = WORD_MASK
+            elif op == isa.REGPTR:
+                heap.register_pointer_tag(regs[ins[1]])
+            elif op == isa.REGPAIR:
+                self.registry.register_pair(
+                    regs[ins[1]], signed(regs[ins[2]]), signed(regs[ins[3]])
+                )
+            elif op == isa.REGNIL:
+                self.registry.register_nil(regs[ins[1]])
+            elif op == isa.REGFALSE:
+                self.registry.register_false(regs[ins[1]])
+            elif op == isa.FAIL:
+                fail_code = regs[ins[1]]
+                message = FAIL_MESSAGES.get(fail_code, f"runtime failure {fail_code}")
+                raise SchemeError(message)
+            elif op == isa.HALT:
+                return self._result(regs[ins[1]])
+            else:
+                raise VMError(f"unknown opcode {op}")
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _div(a: int, b: int) -> int:
+        if b == 0:
+            raise SchemeError(FAIL_MESSAGES[10])
+        quotient = abs(signed(a)) // abs(signed(b))
+        if (signed(a) < 0) != (signed(b) < 0):
+            quotient = -quotient
+        return wrap(quotient)
+
+    @staticmethod
+    def _mod(a: int, b: int) -> int:
+        if b == 0:
+            raise SchemeError(FAIL_MESSAGES[10])
+        remainder = abs(signed(a)) % abs(signed(b))
+        if signed(a) < 0:
+            remainder = -remainder
+        return wrap(remainder)
+
+    def _result(self, value: int) -> RunResult:
+        named = {}
+        for opcode, count in enumerate(self.counts):
+            if count:
+                named[isa.OPCODE_NAMES[opcode]] = count
+        return RunResult(
+            value=value,
+            output="".join(self.output),
+            steps=self.steps,
+            opcode_counts=named,
+            gc_count=self.heap.gc_count,
+            words_allocated=self.heap.words_allocated,
+            rest_conses=self.rest_conses,
+        )

@@ -1,0 +1,54 @@
+"""The runtime type registry.
+
+The compiler knows nothing about pairs — but two substrate services
+need them at run time: collecting rest-arguments into a list, and
+unpacking the list handed to ``apply``.  The *library* therefore
+registers its pair representation (tag and field displacements) and its
+nil value during bootstrap, via the ``%register-…`` primitives.  The GC
+likewise learns which low tags denote heap pointers from
+``%register-pointer-rep``.
+"""
+
+from __future__ import annotations
+
+from ..errors import VMError
+
+
+class TypeRegistry:
+    def __init__(self):
+        self.pair_tag: int | None = None
+        self.car_disp: int | None = None
+        self.cdr_disp: int | None = None
+        self.pair_words: int | None = None
+        self.nil_word: int | None = None
+        self.false_word: int | None = None
+
+    def register_pair(self, tag: int, car_disp: int, cdr_disp: int) -> None:
+        if not (0 <= tag <= 7):
+            raise VMError(f"bad pair tag {tag}")
+        for disp in (car_disp, cdr_disp):
+            if (disp + tag) % 8 != 0 or disp + tag <= 0:
+                raise VMError(f"bad pair field displacement {disp} for tag {tag}")
+        self.pair_tag = tag
+        self.car_disp = car_disp
+        self.cdr_disp = cdr_disp
+        car_index = (car_disp + tag) // 8 - 1
+        cdr_index = (cdr_disp + tag) // 8 - 1
+        self.pair_words = max(car_index, cdr_index) + 1
+
+    def register_nil(self, word: int) -> None:
+        self.nil_word = word
+
+    def register_false(self, word: int) -> None:
+        self.false_word = word
+
+    @property
+    def pairs_ready(self) -> bool:
+        return self.pair_tag is not None and self.nil_word is not None
+
+    def require_pairs(self, why: str) -> None:
+        if not self.pairs_ready:
+            raise VMError(
+                f"{why} needs the pair representation, but the library has "
+                "not registered one (%register-pair-rep / %register-nil)"
+            )

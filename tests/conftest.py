@@ -1,0 +1,38 @@
+"""Shared fixtures: run helpers over the compiler configurations.
+
+Most semantics tests run under the *unoptimized* configuration (fast
+compiles; the optimizer's semantic transparency is covered separately by
+the cross-configuration tests).
+"""
+
+import pytest
+
+from repro import CompileOptions, decode, run_source
+
+UNOPT = CompileOptions.unoptimized()
+OPT = CompileOptions()
+BASE = CompileOptions.baseline()
+UNSAFE = CompileOptions(safety=False)
+
+
+def run_unopt(source, **kwargs):
+    return run_source(source, UNOPT, **kwargs)
+
+
+def evaluate(source, options=UNOPT, **kwargs):
+    """Run and decode the final value."""
+    return decode(run_source(source, options, **kwargs))
+
+
+def output_of(source, options=UNOPT, **kwargs):
+    return run_source(source, options, **kwargs).output
+
+
+@pytest.fixture(params=["unopt", "opt", "baseline", "unsafe"], scope="module")
+def any_config(request):
+    return {
+        "unopt": UNOPT,
+        "opt": OPT,
+        "baseline": BASE,
+        "unsafe": UNSAFE,
+    }[request.param]

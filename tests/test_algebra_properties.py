@@ -1,0 +1,93 @@
+"""Property tests: every algebraic rewrite is semantics-preserving.
+
+Random primitive expression trees over a few variables are evaluated
+directly (via the exact fold semantics) before and after
+``simplify_prim`` / the full simplifier; results must be bit-identical
+for all variable assignments tried.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import prims
+from repro.ir import Const, If, LocalVar, Node, Prim, Var
+from repro.opt.algebra import branch_test, simplify_prim
+
+_VARS = [LocalVar("a"), LocalVar("b"), LocalVar("c")]
+
+_PURE_BINARY = ["%add", "%sub", "%mul", "%and", "%or", "%xor",
+                "%lsl", "%lsr", "%asr", "%eq", "%neq", "%lt", "%le",
+                "%ult", "%ule"]
+
+words = st.integers(min_value=0, max_value=2**64 - 1)
+small = st.sampled_from([0, 1, 2, 3, 7, 8, 16, 255, 2**63, 2**64 - 1, 2**64 - 8])
+
+
+@st.composite
+def _prim_trees(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Const(draw(small))
+        return Var(draw(st.sampled_from(_VARS)))
+    op = draw(st.sampled_from(_PURE_BINARY + ["%not", "%nz"]))
+    spec = prims.spec(op)
+    args = [draw(_prim_trees(depth=depth - 1)) for _ in range(spec.arity)]
+    return Prim(op, args)
+
+
+def evaluate(node: Node, env: dict) -> int:
+    if isinstance(node, Const):
+        return node.value
+    if isinstance(node, Var):
+        return env[node.var]
+    if isinstance(node, Prim):
+        spec = prims.spec(node.op)
+        return spec.fold(*[evaluate(arg, env) for arg in node.args])
+    if isinstance(node, If):
+        if evaluate(node.test, env) != 0:
+            return evaluate(node.then, env)
+        return evaluate(node.els, env)
+    raise TypeError(type(node).__name__)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_prim_trees(), words, words, words)
+def test_simplify_prim_preserves_semantics(tree, a, b, c):
+    if not isinstance(tree, Prim):
+        return
+    env = dict(zip(_VARS, (a, b, c)))
+    rewritten = simplify_prim(tree.op, tree.args)
+    if rewritten is None:
+        return
+    assert evaluate(rewritten, env) == evaluate(tree, env), (
+        f"{tree!r} -> {rewritten!r}"
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(_prim_trees(), words, words, words)
+def test_branch_test_preserves_truthiness(tree, a, b, c):
+    env = dict(zip(_VARS, (a, b, c)))
+    new_test, swapped = branch_test(tree)
+    original = evaluate(tree, env) != 0
+    rewritten = evaluate(new_test, env) != 0
+    if swapped:
+        rewritten = not rewritten
+    assert rewritten == original
+
+
+@settings(max_examples=150, deadline=None)
+@given(_prim_trees(depth=4), words, words, words)
+def test_full_simplifier_preserves_pure_trees(tree, a, b, c):
+    """Run the whole Simplifier on a pure tree and compare value."""
+    from repro.ir import Census, Program
+    from repro.opt.simplify import GlobalFacts, OptimizerOptions, Simplifier
+
+    program = Program([], [])
+    facts = GlobalFacts(program, Census())
+    simplifier = Simplifier(OptimizerOptions(), facts)
+    simplified = simplifier.simplify(tree)
+    env = dict(zip(_VARS, (a, b, c)))
+    assert evaluate(simplified, env) == evaluate(tree, env), (
+        f"{tree!r} -> {simplified!r}"
+    )

@@ -1,0 +1,110 @@
+"""Tests for the public API: options, explain stages, decoding, caching."""
+
+import pytest
+
+from repro import (
+    CompileOptions,
+    OptimizerOptions,
+    Closure,
+    Record,
+    ReaderError,
+    SchemeError,
+    compile_source,
+    decode,
+    run_source,
+)
+from repro.sexpr import NIL, Char, Symbol, cons
+
+from .conftest import UNOPT
+
+
+def test_compile_options_factories():
+    assert CompileOptions().prelude == "reptype"
+    assert CompileOptions.baseline().prelude == "handcoded"
+    assert CompileOptions.unoptimized().optimizer.inline is False
+    assert CompileOptions().safety is True
+
+
+def test_explain_produces_stages():
+    compiled = compile_source("(+ 1 2)", UNOPT, explain=True)
+    assert set(compiled.stages) == {"expanded", "optimized", "assembly"}
+    assert "%sx-fixnum" in compiled.stages["expanded"]
+    assert "LDC" in compiled.stages["assembly"]
+
+
+def test_decode_all_types():
+    assert decode(run_source("5", UNOPT)) == 5
+    assert decode(run_source("#t", UNOPT)) is True
+    assert decode(run_source("'()", UNOPT)) is NIL
+    assert decode(run_source("#\\z", UNOPT)) == Char(ord("z"))
+    assert decode(run_source("'(1 . 2)", UNOPT)) == cons(1, 2)
+    assert decode(run_source("'hello", UNOPT)) is Symbol("hello")
+    assert decode(run_source('"txt"', UNOPT)) == "txt"
+    assert decode(run_source("#(1 2)", UNOPT)) == [1, 2]
+    assert isinstance(decode(run_source("car", UNOPT)), Closure)
+    assert isinstance(decode(run_source("pair-rep", UNOPT)), Record)
+
+
+def test_decode_nested_structures():
+    value = decode(run_source("(list (vector 1 \"a\") 'sym)", UNOPT))
+    assert value.car == [1, "a"]
+    assert value.cdr.car is Symbol("sym")
+
+
+def test_run_result_statistics():
+    result = run_source("(cons 1 2)", UNOPT)
+    assert result.steps > 0
+    assert result.words_allocated > 0
+    allocs = result.count("ALLOC") + result.count("ALLOCI")
+    assert allocs >= 1
+    assert result.count("NOPE") == 0
+
+
+def test_reader_errors_propagate():
+    with pytest.raises(ReaderError):
+        run_source("(unbalanced", UNOPT)
+
+
+def test_runtime_error_reaches_python():
+    with pytest.raises(SchemeError):
+        run_source("(vector-ref (vector) 0)", UNOPT)
+
+
+def test_max_steps_limit():
+    from repro import VMError
+
+    with pytest.raises(VMError, match="exceeded"):
+        run_source("(define (f) (f)) (f)", UNOPT, max_steps=10_000)
+
+
+def test_extra_prelude_defines_library():
+    options = CompileOptions.unoptimized()
+    options.extra_prelude = "(define (triple x) (* 3 x))"
+    assert decode(run_source("(triple 14)", options)) == 42
+
+
+def test_prelude_cache_isolated_between_programs():
+    # Two programs in sequence must not leak state (fresh VM each run).
+    assert decode(run_source("(define q 1) q", UNOPT)) == 1
+    with pytest.raises(Exception):
+        run_source("q", UNOPT)  # q undefined in a fresh program
+
+
+def test_compiled_program_reusable():
+    compiled = compile_source("(+ 1 2)", UNOPT)
+    first = compiled.run()
+    second = compiled.run()
+    assert first.value == second.value
+    assert first.steps == second.steps  # fully deterministic
+
+
+def test_optimizer_options_roundtrip():
+    options = OptimizerOptions(max_inline_size=7)
+    copy = options.without("cse")
+    assert copy.max_inline_size == 7 and copy.cse is False
+
+
+def test_disassemble_whole_program():
+    compiled = compile_source("(+ 1 2)", UNOPT)
+    text = compiled.disassemble()
+    assert "%main" in text

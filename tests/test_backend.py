@@ -1,0 +1,232 @@
+"""Unit tests for the backend passes: assignment conversion, peephole,
+and code generation details."""
+
+import pytest
+
+from repro.backend.assignconv import convert_assignments
+from repro.backend.peephole import peephole
+from repro.errors import CompileError
+from repro.ir import (
+    Call,
+    Const,
+    GlobalSet,
+    Lambda,
+    Let,
+    LocalSet,
+    LocalVar,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    iter_tree,
+)
+from repro.vm import isa
+
+
+# ----------------------------------------------------------------------
+# assignment conversion
+# ----------------------------------------------------------------------
+
+
+def test_unassigned_code_untouched():
+    x = LocalVar("x")
+    node = Lambda([x], None, Var(x), "f")
+    converted = convert_assignments(node)
+    assert isinstance(converted.body, Var)
+
+
+def test_assigned_param_becomes_cell():
+    x = LocalVar("x")
+    x.assigned = True
+    node = Lambda([x], None, Seq([LocalSet(x, Const(1)), Var(x)]), "f")
+    converted = convert_assignments(node)
+    # body: Let((box, make-cell(x))) with stores/loads inside
+    assert isinstance(converted.body, Let)
+    ops = [n.op for n in iter_tree(converted.body) if isinstance(n, Prim)]
+    assert "%alloc" in ops
+    assert ops.count("%store") >= 2  # init + set!
+    assert "%load" in ops  # the read
+    sets = [n for n in iter_tree(converted) if isinstance(n, LocalSet)]
+    assert not sets
+
+
+def test_assigned_let_binding_becomes_cell():
+    x = LocalVar("x")
+    x.assigned = True
+    node = Let([(x, Const(5))], Seq([LocalSet(x, Const(6)), Var(x)]))
+    converted = convert_assignments(node)
+    sets = [n for n in iter_tree(converted) if isinstance(n, LocalSet)]
+    assert not sets
+    allocs = [n for n in iter_tree(converted) if isinstance(n, Prim) and n.op == "%alloc"]
+    assert len(allocs) == 1
+    # cells use the compiler-owned tag 7
+    assert allocs[0].args[1].value == 7
+
+
+def test_assigned_rest_param_boxed():
+    r = LocalVar("r")
+    r.assigned = True
+    node = Lambda([], r, Seq([LocalSet(r, Const(0)), Var(r)]), "f")
+    converted = convert_assignments(node)
+    assert isinstance(converted.body, Let)
+
+
+# ----------------------------------------------------------------------
+# peephole
+# ----------------------------------------------------------------------
+
+
+def make_code(instructions, nparams=0):
+    code = isa.CodeObject("t", nparams, False, 0)
+    code.instructions = [list(ins) for ins in instructions]
+    code.nregs = 32
+    return code
+
+
+def test_mov_fusion():
+    code = make_code(
+        [
+            [isa.ADD, 5, 0, 1],
+            [isa.MOV, 2, 5],
+            [isa.RET, 2],
+        ]
+    )
+    peephole(code)
+    assert code.instructions == [[isa.ADD, 2, 0, 1], [isa.RET, 2]]
+
+
+def test_mov_not_fused_when_temp_reused():
+    code = make_code(
+        [
+            [isa.ADD, 5, 0, 1],
+            [isa.MOV, 2, 5],
+            [isa.ADD, 3, 5, 2],
+            [isa.RET, 3],
+        ]
+    )
+    peephole(code)
+    assert code.instructions[0] == [isa.ADD, 5, 0, 1]  # untouched
+
+
+def test_mov_not_fused_into_branch_target():
+    # instruction 1 is a jump target: the MOV must survive
+    code = make_code(
+        [
+            [isa.ADD, 5, 0, 1],
+            [isa.MOV, 2, 5],
+            [isa.JMP, 1],
+        ]
+    )
+    peephole(code)
+    assert any(ins[0] == isa.MOV for ins in code.instructions)
+
+
+def test_trivial_jump_removed_and_targets_remapped():
+    code = make_code(
+        [
+            [isa.JMP, 1],       # trivial: falls through anyway
+            [isa.LDC, 0, 1],
+            [isa.JMP, 1],       # backward jump, must be remapped to 0
+        ]
+    )
+    peephole(code)
+    assert code.instructions[0] == [isa.LDC, 0, 1]
+    assert code.instructions[1] == [isa.JMP, 0]
+
+
+# ----------------------------------------------------------------------
+# code generation details (through the full pipeline, no prelude)
+# ----------------------------------------------------------------------
+
+
+def compile_bare(source, optimize=False):
+    """Compile machine-primitive-only source without any prelude."""
+    from repro import CompileOptions, OptimizerOptions, compile_source
+
+    options = CompileOptions(
+        optimizer=OptimizerOptions() if optimize else OptimizerOptions.none(),
+        prelude="none",
+    )
+    options.optimizer.prune_globals = False
+    return compile_source(source, options)
+
+
+def run_bare(source, **kwargs):
+    from repro.vm import Machine
+
+    compiled = compile_bare(source)
+    return Machine(compiled.vm_program, **kwargs).run()
+
+
+def test_bare_arithmetic():
+    assert run_bare("(%add (%raw 2) (%raw 3))").value == 5
+
+
+def test_bare_if_and_compare_fusion():
+    compiled = compile_bare("(define (f a b) (if (%lt a b) (%raw 1) (%raw 2)))")
+    code = compiled.vm_program.code_named("f")
+    assert any(ins[0] == isa.JGE for ins in code.instructions)
+
+
+def test_eq_const_test_uses_jnei():
+    compiled = compile_bare("(define (f a) (if (%eq a (%raw 5)) (%raw 1) (%raw 2)))")
+    code = compiled.vm_program.code_named("f")
+    assert any(ins[0] == isa.JNEI for ins in code.instructions)
+
+
+def test_tail_call_in_tail_position_only():
+    compiled = compile_bare(
+        "(define (f a) (f a)) (define (g a) (%add (g a) (%raw 1)))"
+    )
+    f_code = compiled.vm_program.code_named("f")
+    assert any(ins[0] == isa.TAILL for ins in f_code.instructions)
+    g_code = compiled.vm_program.code_named("g")
+    assert any(ins[0] == isa.CALLL for ins in g_code.instructions)
+    assert not any(ins[0] == isa.TAILL for ins in g_code.instructions)
+
+
+def test_direct_call_requires_arity_match():
+    with pytest.raises(CompileError, match="argument"):
+        compile_bare("(define (f a) a) (f (%raw 1) (%raw 2))")
+
+
+def test_mutated_global_not_directly_called():
+    compiled = compile_bare(
+        "(define (f a) a) (set! f (%raw 0)) (define (g) (f (%raw 1)))"
+    )
+    g_code = compiled.vm_program.code_named("g")
+    assert any(ins[0] in (isa.CALL, isa.TAILCALL) for ins in g_code.instructions)
+
+
+def test_closure_capture_emits_closure_instruction():
+    compiled = compile_bare("(define (f a) (lambda () a))")
+    f_code = compiled.vm_program.code_named("f")
+    closures = [ins for ins in f_code.instructions if ins[0] == isa.CLOSURE]
+    assert len(closures) == 1
+    assert closures[0][3] == [0]  # captures register of a
+
+
+def test_mutual_fix_closures_are_patched():
+    source = """
+    (define (outer seed)
+      (letrec ((even? (lambda (n) (if (%eq n (%raw 0)) seed (odd? (%sub n (%raw 1))))))
+               (odd? (lambda (n) (if (%eq n (%raw 0)) (%raw 0) (even? (%sub n (%raw 1)))))))
+        (even? seed)))
+    (outer (%raw 6))
+    """
+    result = run_bare(source)
+    assert result.value == 6
+
+
+def test_global_indexes_are_stable():
+    compiled = compile_bare("(define a (%raw 1)) (define b (%raw 2)) a")
+    names = compiled.vm_program.global_names
+    assert names.index("a") < names.index("b")
+
+
+def test_static_instruction_count_api():
+    compiled = compile_bare("(define (f a) (%add a a)) (f (%raw 1))")
+    assert compiled.static_instruction_count("f") == 2
+    assert compiled.static_instruction_count() > 2
+    with pytest.raises(KeyError):
+        compiled.static_instruction_count("nope")

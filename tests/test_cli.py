@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_expression(capsys):
+    assert main(["run", "-e", "(+ 20 22)", "--config", "unoptimized"]) == 0
+    out = capsys.readouterr().out
+    assert "=> 42" in out
+
+
+def test_run_with_output_and_stats(capsys):
+    code = main(
+        ["run", "-e", '(display "hey")', "--config", "unoptimized", "--stats"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.out.startswith("hey")
+    assert "instructions" in captured.err
+
+
+def test_run_file(tmp_path, capsys):
+    path = tmp_path / "program.scm"
+    path.write_text("(define (double x) (* 2 x)) (double 21)")
+    assert main(["run", str(path), "--config", "unoptimized"]) == 0
+    assert "=> 42" in capsys.readouterr().out
+
+
+def test_run_list_result_is_written(capsys):
+    main(["run", "-e", "(list 1 2)", "--config", "unoptimized"])
+    assert "=> (1 2)" in capsys.readouterr().out
+
+
+def test_disassemble(capsys):
+    code = main(
+        [
+            "disassemble",
+            "-e",
+            "(define (f x) (car x))\n(f '(1))",
+            "--unsafe",
+            "--keep-globals",
+            "--name",
+            "f",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "LD" in out and "RET" in out
+
+
+def test_stats_reports_counters(capsys):
+    assert main(["stats", "-e", "(+ 1 2)", "--config", "unoptimized"]) == 0
+    out = capsys.readouterr().out
+    assert "instructions:" in out
+    assert "by opcode:" in out
+
+
+def test_error_exit_code(capsys):
+    assert main(["run", "-e", "(car 5)", "--config", "unoptimized"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_missing_source_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_baseline_config(capsys):
+    assert main(["run", "-e", "(* 6 7)", "--config", "baseline"]) == 0
+    assert "=> 42" in capsys.readouterr().out
+
+
+def test_run_with_input_text(capsys):
+    code = main(
+        [
+            "run",
+            "-e",
+            "(list (read) (read))",
+            "--config",
+            "unoptimized",
+            "--input",
+            "11 (a b)",
+        ]
+    )
+    assert code == 0
+    assert "=> (11 (a b))" in capsys.readouterr().out
+
+
+def test_repl_session(capsys, monkeypatch):
+    lines = iter(["(define x 20)", "(+ x 22)", "(car 5)", ":q"])
+    monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+    assert main(["repl", "--config", "unoptimized"]) == 0
+    out = capsys.readouterr().out
+    assert "=> 42" in out
+    assert "error:" in out  # the (car 5) failure is reported, not fatal
+
+
+def test_repl_eof_exits(capsys, monkeypatch):
+    def raise_eof(prompt=""):
+        raise EOFError
+
+    monkeypatch.setattr("builtins.input", raise_eof)
+    assert main(["repl", "--config", "unoptimized"]) == 0

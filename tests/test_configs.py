@@ -1,0 +1,136 @@
+"""Cross-configuration tests: the optimizer and the baseline prelude
+must be semantically transparent.
+
+This is the reproduction's soundness backstop for the paper's claim —
+"O" (abstract + optimizer), "B" (hand-coded), and "U" (optimizer off)
+must compute identical values and identical output, differing only in
+instruction counts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CompileOptions, OptimizerOptions, decode, run_source
+
+from .conftest import BASE, OPT, UNOPT, UNSAFE
+
+PROGRAMS = [
+    "(+ 1 2)",
+    "(let loop ((i 0) (s 0)) (if (= i 50) s (loop (+ i 1) (+ s i))))",
+    "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)",
+    "(length (reverse (append '(1 2 3) '(4 5))))",
+    "(sort '(5 3 9 1 7 2) <)",
+    "(map (lambda (x) (* x x)) '(1 2 3 4))",
+    '(string-append "abc" (number->string 42))',
+    "(let ((v (make-vector 10 0)))"
+    "  (let loop ((i 0)) (if (= i 10) (vector-ref v 7)"
+    "    (begin (vector-set! v i (* i i)) (loop (+ i 1))))))",
+    "(assq 'c '((a 1) (b 2) (c 3)))",
+    "(equal? '(1 (2 #(3 \"x\"))) '(1 (2 #(3 \"x\"))))",
+    "(apply + 1 '(2))",
+    "((lambda (a . r) (cons a (length r))) 1 2 3 4)",
+    "(do ((i 0 (+ i 1)) (s 1 (* s 2))) ((= i 8) s))",
+    "(rep-name (rep-of (cons 1 2)))",
+    "(char->integer (string-ref (symbol->string 'hey) 1))",
+    "(modulo -17 5)",
+    "(expt 3 7)",
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_all_configurations_agree(source):
+    reference = None
+    for options in (UNOPT, OPT, BASE, UNSAFE):
+        result = run_source(source, options)
+        value = decode(result)
+        if reference is None:
+            reference = value
+        else:
+            assert value == reference, f"config mismatch on {source!r}"
+
+
+@pytest.mark.parametrize("source", PROGRAMS[:6])
+def test_optimized_executes_fewer_instructions(source):
+    unopt = run_source(source, UNOPT).steps
+    opt = run_source(source, OPT).steps
+    assert opt < unopt
+
+
+def test_output_identical_across_configs():
+    source = "(display (sort '(3 1 2) <)) (newline) (write \"q\")"
+    outputs = {run_source(source, o).output for o in (UNOPT, OPT, BASE, UNSAFE)}
+    assert outputs == {'(1 2 3)\n"q"'}
+
+
+# ----------------------------------------------------------------------
+# ablations still compute correct results
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "feature", ["inline", "fold", "algebra", "cse", "dce"]
+)
+def test_each_ablation_is_sound(feature):
+    options = CompileOptions(optimizer=OptimizerOptions().without(feature))
+    source = PROGRAMS[2]
+    assert decode(run_source(source, options)) == 144
+
+
+# ----------------------------------------------------------------------
+# property: random arithmetic expressions agree across configs and with
+# a Python evaluator
+# ----------------------------------------------------------------------
+
+_INTS = st.integers(min_value=-100, max_value=100)
+
+
+def _exprs(depth):
+    if depth == 0:
+        return _INTS.map(lambda n: (str(n), n))
+    sub = _exprs(depth - 1)
+
+    def combine(op, a, b):
+        text = f"({op} {a[0]} {b[0]})"
+        if op == "+":
+            return (text, a[1] + b[1])
+        if op == "-":
+            return (text, a[1] - b[1])
+        if op == "*":
+            return (text, a[1] * b[1])
+        if op == "min":
+            return (text, min(a[1], b[1]))
+        return (text, max(a[1], b[1]))
+
+    return st.one_of(
+        sub,
+        st.tuples(st.sampled_from(["+", "-", "*", "min", "max"]), sub, sub).map(
+            lambda t: combine(*t)
+        ),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(_exprs(3))
+def test_random_arithmetic_matches_python(expr):
+    text, expected = expr
+    assert decode(run_source(text, UNOPT)) == expected
+    assert decode(run_source(text, OPT)) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=12))
+def test_sort_property(values):
+    from repro.sexpr import from_list
+
+    listed = "(list " + " ".join(str(v) for v in values) + ")"
+    result = decode(run_source(f"(sort {listed} <)", UNOPT))
+    assert result == from_list(sorted(values))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=15))
+def test_string_round_trip_property(text):
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    result = run_source(f'(display "{escaped}")', UNOPT)
+    assert result.output == text

@@ -1,0 +1,231 @@
+"""Integration tests for control flow, closures, assignment, and the
+derived forms, end-to-end through the VM."""
+
+import pytest
+
+from repro.sexpr import NIL, Symbol, from_list
+
+from .conftest import evaluate
+
+
+# ----------------------------------------------------------------------
+# closures and scoping
+# ----------------------------------------------------------------------
+
+
+def test_closure_captures_value():
+    assert evaluate("(((lambda (x) (lambda (y) (+ x y))) 10) 5)") == 15
+
+
+def test_closure_captures_are_per_instance():
+    source = """
+    (define (make-adder n) (lambda (x) (+ x n)))
+    (define add3 (make-adder 3))
+    (define add10 (make-adder 10))
+    (list (add3 1) (add10 1))
+    """
+    assert evaluate(source) == from_list([4, 11])
+
+
+def test_closures_share_mutable_variable():
+    source = """
+    (define (make-counter)
+      (let ((n 0))
+        (cons (lambda () (set! n (+ n 1)) n)
+              (lambda () n))))
+    (define c (make-counter))
+    (define bump (car c))
+    (define peek (cdr c))
+    (bump) (bump)
+    (peek)
+    """
+    assert evaluate(source) == 2
+
+
+def test_set_on_captured_parameter():
+    source = """
+    (define (f x)
+      (let ((get (lambda () x)))
+        (set! x 99)
+        (get)))
+    (f 1)
+    """
+    assert evaluate(source) == 99
+
+
+def test_deep_lexical_nesting():
+    source = """
+    (define (f a)
+      (lambda (b)
+        (lambda (c)
+          (lambda (d) (+ (+ a b) (+ c d))))))
+    ((((f 1) 2) 3) 4)
+    """
+    assert evaluate(source) == 10
+
+
+# ----------------------------------------------------------------------
+# recursion
+# ----------------------------------------------------------------------
+
+
+def test_letrec_mutual_recursion():
+    source = """
+    (letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1)))))
+             (odd? (lambda (n) (if (= n 0) #f (even? (- n 1))))))
+      (list (even? 10) (odd? 10)))
+    """
+    assert evaluate(source) == from_list([True, False])
+
+
+def test_named_let_loop():
+    assert (
+        evaluate("(let loop ((i 0) (acc 1)) (if (= i 5) acc (loop (+ i 1) (* acc 2))))")
+        == 32
+    )
+
+
+def test_do_loop():
+    assert evaluate("(do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i 5) s))") == 10
+
+
+def test_proper_tail_calls_run_in_constant_stack():
+    source = """
+    (define (count n) (if (= n 0) 'done (count (- n 1))))
+    (count 200000)
+    """
+    assert evaluate(source) == Symbol("done")
+
+
+def test_mutual_tail_recursion_constant_stack():
+    source = """
+    (define (ping n) (if (= n 0) 'ping (pong (- n 1))))
+    (define (pong n) (if (= n 0) 'pong (ping (- n 1))))
+    (ping 100001)
+    """
+    assert evaluate(source) == Symbol("pong")
+
+
+def test_ackermann_small():
+    source = """
+    (define (ack m n)
+      (cond ((= m 0) (+ n 1))
+            ((= n 0) (ack (- m 1) 1))
+            (else (ack (- m 1) (ack m (- n 1))))))
+    (ack 2 3)
+    """
+    assert evaluate(source) == 9
+
+
+# ----------------------------------------------------------------------
+# derived forms end-to-end
+# ----------------------------------------------------------------------
+
+
+def test_cond_arrow_end_to_end():
+    assert (
+        evaluate("(cond ((assq 'b '((a 1) (b 2))) => cadr) (else 'nope))") == 2
+    )
+
+
+def test_case_end_to_end():
+    source = "(case (* 2 3) ((2 3 5 7) 'prime) ((1 4 6 8 9) 'composite))"
+    assert evaluate(source) == Symbol("composite")
+
+
+def test_and_or_values():
+    assert evaluate("(and 1 2 'c)") == Symbol("c")
+    assert evaluate("(and 1 #f 'c)") is False
+    assert evaluate("(or #f #f 3)") == 3
+    assert evaluate("(or #f)") is False
+    assert evaluate("(and)") is True
+
+
+def test_when_unless():
+    assert evaluate("(when (< 1 2) 'yes)") == Symbol("yes")
+    assert evaluate("(unless (< 1 2) 'yes)") is not Symbol("yes")
+
+
+def test_quasiquote_end_to_end():
+    assert evaluate("`(1 ,(+ 1 1) ,@(list 3 4))") == from_list([1, 2, 3, 4])
+    assert evaluate("`#(a ,(+ 1 1))") == [Symbol("a"), 2]
+    assert evaluate("(let ((x 5)) `(a . ,x))").cdr == 5
+
+
+def test_user_macro_end_to_end():
+    source = """
+    (define-syntax while
+      (syntax-rules ()
+        ((_ test body ...)
+         (let loop ()
+           (when test body ... (loop))))))
+    (define i 0)
+    (define acc '())
+    (while (< i 3)
+      (set! acc (cons i acc))
+      (set! i (+ i 1)))
+    acc
+    """
+    assert evaluate(source) == from_list([2, 1, 0])
+
+
+def test_shadowing_of_library_procedures():
+    assert evaluate("(let ((car cdr)) (car '(1 2)))") == from_list([2])
+    assert evaluate("(define (car x) 'mine) (car '(1 2))") == Symbol("mine")
+
+
+def test_internal_defines_end_to_end():
+    source = """
+    (define (f n)
+      (define (square x) (* x x))
+      (define four (square 2))
+      (+ n four))
+    (f 10)
+    """
+    assert evaluate(source) == 14
+
+
+def test_begin_sequencing_order():
+    source = """
+    (define trace '())
+    (define (note x) (set! trace (cons x trace)) x)
+    (begin (note 1) (note 2) (note 3))
+    (reverse trace)
+    """
+    assert evaluate(source) == from_list([1, 2, 3])
+
+
+def test_argument_evaluation_is_left_to_right():
+    source = """
+    (define trace '())
+    (define (note x) (set! trace (cons x trace)) x)
+    ((lambda (a b c) (reverse trace)) (note 1) (note 2) (note 3))
+    """
+    assert evaluate(source) == from_list([1, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# top-level semantics
+# ----------------------------------------------------------------------
+
+
+def test_toplevel_redefinition_wins():
+    assert evaluate("(define x 1) (define x 2) x") == 2
+
+
+def test_toplevel_forward_reference_in_lambda():
+    assert evaluate("(define (f) (g)) (define (g) 7) (f)") == 7
+
+
+def test_set_on_global():
+    assert evaluate("(define x 1) (set! x 41) (+ x 1)") == 42
+
+
+def test_empty_program_runs():
+    # Value is whatever the prelude's last form produced; it must run.
+    from repro import run_source
+
+    from .conftest import UNOPT
+
+    result = run_source("", UNOPT)
+    assert result.steps > 0

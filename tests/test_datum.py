@@ -1,0 +1,103 @@
+"""Unit tests for the datum model."""
+
+import pytest
+
+from repro.sexpr import (
+    NIL,
+    Char,
+    Pair,
+    Symbol,
+    cons,
+    from_list,
+    gensym,
+    is_list,
+    list_length,
+    to_list,
+)
+
+
+def test_symbols_are_interned():
+    assert Symbol("foo") is Symbol("foo")
+    assert Symbol("foo") is not Symbol("bar")
+
+
+def test_symbol_repr_is_name():
+    assert repr(Symbol("lambda")) == "lambda"
+
+
+def test_gensym_produces_fresh_names():
+    names = {gensym("t").name for _ in range(100)}
+    assert len(names) == 100
+    assert all("%" in name for name in names)
+
+
+def test_chars_are_cached_and_compare_by_code():
+    assert Char(97) is Char(97)
+    assert Char(97) == Char(97)
+    assert Char(97) != Char(98)
+    assert hash(Char(97)) == hash(Char(97))
+
+
+def test_nil_is_iterable_and_empty():
+    assert list(NIL) == []
+    assert len(NIL) == 0
+
+
+def test_cons_and_to_list_round_trip():
+    lst = from_list([1, 2, 3])
+    assert to_list(lst) == [1, 2, 3]
+    assert lst.car == 1
+    assert lst.cdr.car == 2
+
+
+def test_from_list_with_improper_tail():
+    improper = from_list([1, 2], tail=3)
+    assert improper.car == 1
+    assert improper.cdr.car == 2
+    assert improper.cdr.cdr == 3
+
+
+def test_to_list_rejects_improper():
+    with pytest.raises(ValueError):
+        to_list(from_list([1], tail=2))
+
+
+def test_pair_structural_equality():
+    assert from_list([1, [2], "x"]) == from_list([1, [2], "x"])
+    assert from_list([1, 2]) != from_list([1, 3])
+    assert from_list([1, 2]) != from_list([1, 2, 3])
+    assert cons(1, 2) == cons(1, 2)
+    assert cons(1, 2) != cons(1, 3)
+
+
+def test_pair_iteration_raises_on_improper():
+    with pytest.raises(ValueError):
+        list(cons(1, 2))
+
+
+def test_is_list_handles_cycles():
+    proper = from_list([1, 2, 3])
+    assert is_list(proper)
+    assert not is_list(cons(1, 2))
+    cyclic = cons(1, NIL)
+    cyclic.cdr = cyclic
+    assert not is_list(cyclic)
+
+
+def test_list_length():
+    assert list_length(NIL) == 0
+    assert list_length(from_list([1, 2, 3])) == 3
+    with pytest.raises(ValueError):
+        list_length(cons(1, 2))
+
+
+def test_pairs_are_unhashable():
+    with pytest.raises(TypeError):
+        hash(cons(1, 2))
+
+
+def test_pairs_are_mutable():
+    p = cons(1, 2)
+    p.car = 10
+    p.cdr = 20
+    assert p == cons(10, 20)

@@ -1,0 +1,92 @@
+"""Tests for SRFI-9-style define-record-type (a macro over the
+first-class representation-type API)."""
+
+import pytest
+
+from repro import SchemeError
+from repro.sexpr import Symbol, from_list
+
+from .conftest import evaluate
+
+POINT = """
+(define-record-type point
+  (make-point x y)
+  point?
+  (x point-x set-point-x!)
+  (y point-y))
+"""
+
+
+def test_construct_and_access():
+    assert evaluate(POINT + "(point-x (make-point 1 2))") == 1
+    assert evaluate(POINT + "(point-y (make-point 1 2))") == 2
+
+
+def test_predicate():
+    assert evaluate(POINT + "(point? (make-point 1 2))") is True
+    assert evaluate(POINT + "(point? (cons 1 2))") is False
+
+
+def test_mutator():
+    assert (
+        evaluate(POINT + "(let ((p (make-point 1 2))) (set-point-x! p 9) (point-x p))")
+        == 9
+    )
+
+
+def test_accessor_without_mutator_is_read_only():
+    # point-y has no mutator clause; the name simply isn't defined.
+    with pytest.raises(Exception):
+        evaluate(POINT + "(set-point-y! (make-point 1 2) 5)")
+
+
+def test_reflection_integration():
+    assert evaluate(POINT + "(rep-name (rep-of (make-point 1 2)))") == Symbol(
+        "point"
+    )
+    assert evaluate(POINT + "(rep-field-names point)") == from_list(
+        [Symbol("x"), Symbol("y")]
+    )
+    assert evaluate(POINT + "(eq? (rep-accessor point 0) point-x)") is True
+
+
+def test_zero_field_record():
+    source = "(define-record-type unit (make-unit) unit?) (unit? (make-unit))"
+    assert evaluate(source) is True
+
+
+def test_type_check_on_accessor():
+    with pytest.raises(SchemeError, match="type check"):
+        evaluate(POINT + "(point-x '(1 2))")
+
+
+def test_two_types_do_not_confuse():
+    source = POINT + """
+    (define-record-type size (make-size w h) size? (w size-w) (h size-h))
+    (list (point? (make-size 1 2)) (size? (make-point 1 2))
+          (size-w (make-size 10 20)))
+    """
+    assert evaluate(source) == from_list([False, False, 10])
+
+
+def test_display_uses_type_name():
+    from .conftest import output_of
+
+    assert output_of(POINT + "(display (make-point 1 2))") == "#<point>"
+
+
+def test_define_record_type_inside_a_body():
+    source = """
+    (define (make-pair-summary a b)
+      (define-record-type pr (mk x y) pr? (x getx) (y gety))
+      (let ((p (mk a b)))
+        (+ (getx p) (gety p))))
+    (make-pair-summary 20 22)
+    """
+    assert evaluate(source) == 42
+
+
+def test_works_under_all_configs(any_config):
+    assert (
+        evaluate(POINT + "(point-y (make-point 7 8))", options=any_config) == 8
+    )

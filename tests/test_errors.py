@@ -1,0 +1,105 @@
+"""Failure-injection tests: every runtime error class is reachable and
+carries a useful message."""
+
+import pytest
+
+from repro import SchemeError, VMError, run_source
+
+from .conftest import UNOPT, evaluate
+
+
+@pytest.mark.parametrize(
+    "source,pattern",
+    [
+        ("(car 5)", "non-pair"),
+        ("(cdr #t)", "non-pair"),
+        ("(set-car! 'x 1)", "non-pair"),
+        ("(vector-ref '(1) 0)", "non-vector"),
+        ("(vector-ref (vector 1) 5)", "index out of range"),
+        ("(vector-ref (vector 1) -2)", "index out of range"),
+        ("(string-ref \"a\" 1)", "index out of range"),
+        ("(string-ref 'a 0)", "non-string"),
+        ("(string-length 5)", "non-string"),
+        ("(+ 'a 1)", "non-fixnum"),
+        ("(* #\\a 2)", "non-fixnum"),
+        ("(< \"a\" 1)", "non-fixnum"),
+        ("(quotient 1 0)", "division by zero"),
+        ("(remainder 1 0)", "division by zero"),
+        ("(char->integer 9)", "non-char"),
+        ("(integer->char #\\a)", "non-fixnum"),
+        ("(symbol->string \"s\")", "non-symbol"),
+        ("((car (list 1)) 2)", "not a procedure"),
+        ("(apply 5 '())", "not a procedure"),
+        ("(apply car '(1 . 2))", "improper argument list"),
+        ("((lambda (x) x))", "arity"),
+        ("((lambda (x) x) 1 2)", "arity"),
+        ("(error \"user message\")", "error signalled"),
+    ],
+)
+def test_scheme_error_messages(source, pattern):
+    with pytest.raises(SchemeError, match=pattern):
+        evaluate(source)
+
+
+def test_undefined_global_names_the_variable():
+    with pytest.raises(VMError, match="no-such-variable"):
+        evaluate("(no-such-variable)")
+
+
+def test_forward_reference_to_mutable_global_checked():
+    # g is assigned twice, so calls go through the global cell, and a
+    # call before the first definition is reported.
+    with pytest.raises(VMError, match="undefined global"):
+        evaluate("(define (f) (g)) (f) (define (g) 1) (set! g (lambda () 2))")
+
+
+def test_forward_reference_to_immutable_procedure_links_directly():
+    # Documented: single-assignment top-level procedures are linked
+    # eagerly (direct calls), so a call textually before the define
+    # still reaches the procedure — matching whole-program compilers.
+    assert evaluate("(define (f) (g)) (define r (f)) (define (g) 7) r") == 7
+
+
+def test_deep_non_tail_recursion_overflows():
+    with pytest.raises(VMError, match="stack overflow"):
+        evaluate("(define (f n) (+ 1 (f n))) (f 0)")
+
+
+def test_user_level_bad_load_is_caught():
+    with pytest.raises(VMError, match="unaligned|bounds"):
+        evaluate("(%load (%raw 12345) (%raw 1))")
+
+
+def test_out_of_bounds_load_is_caught():
+    with pytest.raises(VMError, match="bounds"):
+        evaluate("(%load (%raw 88888888888) (%raw 0))")
+
+
+def test_error_output_precedes_failure():
+    from repro import compile_source
+    from repro.vm import Machine
+
+    compiled = compile_source('(error "custom failure" 42)', UNOPT)
+    machine = Machine(compiled.vm_program)
+    with pytest.raises(SchemeError):
+        machine.run()
+    assert "custom failure" in "".join(machine.output)
+    assert "42" in "".join(machine.output)
+
+
+def test_unsafe_mode_skips_checks():
+    # In unsafe mode a type error is undefined behaviour, not a check:
+    # (car 8) loads from address 8+7... which is at least not a crash of
+    # the host — the VM still validates raw addresses.
+    from repro import CompileOptions
+
+    options = CompileOptions.unoptimized(safety=False)
+    result = run_source("(car (cons 1 2))", options)
+    assert result.value == 8  # fixnum 1
+
+
+def test_errors_are_repro_errors():
+    from repro import ReproError
+
+    with pytest.raises(ReproError):
+        evaluate("(car 5)")

@@ -1,0 +1,124 @@
+"""Tests for escape continuations (upward-only call/cc)."""
+
+import pytest
+
+from repro import SchemeError, decode, run_source
+from repro.sexpr import Symbol, from_list
+
+from .conftest import OPT, UNOPT, evaluate
+
+
+def test_normal_return_without_escape():
+    assert evaluate("(call/cc (lambda (k) 42))") == 42
+
+
+def test_escape_returns_value():
+    assert evaluate("(call/cc (lambda (k) (k 7) 99))") == 7
+
+
+def test_escape_skips_pending_work():
+    source = """
+    (define trace '())
+    (define (note x) (set! trace (cons x trace)) x)
+    (call/cc (lambda (k) (note 'before) (k 0) (note 'after)))
+    (reverse trace)
+    """
+    assert evaluate(source) == from_list([Symbol("before")])
+
+
+def test_escape_from_deep_recursion():
+    source = """
+    (define (product lst)
+      (call/cc
+       (lambda (bail)
+         (let loop ((node lst))
+           (cond ((null? node) 1)
+                 ((zero? (car node)) (bail 0))      ; shortcut
+                 (else (* (car node) (loop (cdr node)))))))))
+    (list (product '(1 2 3 4)) (product '(1 2 0 4)))
+    """
+    assert evaluate(source) == from_list([24, 0])
+
+
+def test_escape_through_higher_order_calls():
+    source = """
+    (call/cc
+     (lambda (k)
+       (for-each1 (lambda (x) (when (= x 3) (k x))) '(1 2 3 4))
+       'not-found))
+    """
+    assert evaluate(source) == 3
+
+
+def test_nested_escapes_choose_the_right_frame():
+    source = """
+    (call/cc
+     (lambda (outer)
+       (+ 100 (call/cc (lambda (inner) (inner 1) 50)))))
+    """
+    assert evaluate(source) == 101
+
+
+def test_nested_escape_to_outer():
+    source = """
+    (call/cc
+     (lambda (outer)
+       (+ 100 (call/cc (lambda (inner) (outer 1) 50)))))
+    """
+    assert evaluate(source) == 1
+
+
+def test_escape_continuation_is_a_procedure():
+    assert evaluate("(call/cc (lambda (k) (procedure? k)))") is True
+
+
+def test_escape_via_apply():
+    assert evaluate("(call/cc (lambda (k) (apply k '(5)) 9))") == 5
+
+
+def test_exception_handling_idiom():
+    source = """
+    (define (try thunk handler)
+      (call/cc
+       (lambda (k)
+         (let ((raise (lambda (condition) (k (handler condition)))))
+           (thunk raise)))))
+    (try (lambda (raise) (+ 1 (raise 'boom)))
+         (lambda (c) (list 'caught c)))
+    """
+    assert evaluate(source) == from_list([Symbol("caught"), Symbol("boom")])
+
+
+def test_expired_escape_rejected():
+    source = """
+    (define saved #f)
+    (call/cc (lambda (k) (set! saved k)))
+    (define (f) (f))   ; make sure nothing re-enters by accident
+    (saved 1)
+    """
+    with pytest.raises(SchemeError, match="extent|not a procedure"):
+        evaluate(source)
+
+
+def test_escape_wrong_arity():
+    with pytest.raises(SchemeError, match="arity"):
+        evaluate("(call/cc (lambda (k) (k 1 2)))")
+
+
+def test_escape_under_optimizer():
+    source = "(call/cc (lambda (k) (* 2 (k 21))))"
+    assert decode(run_source(source, OPT)) == 21
+    assert decode(run_source(source, UNOPT)) == 21
+
+
+def test_escape_value_survives_gc():
+    source = """
+    (call/cc
+     (lambda (k)
+       (let loop ((i 0))
+         (if (= i 2000)
+             (k (list 1 2 3))
+             (begin (cons i i) (loop (+ i 1)))))))
+    """
+    value = decode(run_source(source, UNOPT, heap_words=1 << 13))
+    assert value == from_list([1, 2, 3])

@@ -1,0 +1,36 @@
+"""Every example script must run to completion and produce its
+advertised output (runnable documentation stays runnable)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = [
+    ("quickstart.py", ["the first squares", "LD 1 0 7", "fib(15)"]),
+    ("custom_reptype.py", ["#<point>", "celsius", "(eq? (rep-accessor pair-rep 0) car) = #t"]),
+    ("compiler_tour.py", ["generated machine code", "LD", "SAFE mode"]),
+    ("symbolic_differentiation.py", ["f'", "optimized"]),
+    ("alternative_tagging.py", ["(0 1 4 9 16 25 36 49 64 81)", "LD 1 0 15"]),
+    ("metacircular.py", ["(1 2 6 24 120)", "3628800"]),
+    ("lazy_streams.py", ["first 15 primes", "fib(60) via memoization: 1548008755920"]),
+]
+
+
+@pytest.mark.parametrize("script,expectations", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expectations):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for expectation in expectations:
+        assert expectation in proc.stdout, (
+            f"{script}: missing {expectation!r} in output:\n{proc.stdout[-2000:]}"
+        )

@@ -1,0 +1,419 @@
+"""Unit tests for core-form expansion and literal lowering."""
+
+import pytest
+
+from repro.errors import ExpandError
+from repro.expand import expand_program
+from repro.ir import (
+    Call,
+    Const,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    Prim,
+    Seq,
+    Var,
+)
+from repro.sexpr import read_all
+
+
+def expand_one(source):
+    """Expand source and return the last top-level form."""
+    program = expand_program(read_all(source))
+    assert program.forms
+    return program.forms[-1]
+
+
+def expand_all(source):
+    return expand_program(read_all(source))
+
+
+# ----------------------------------------------------------------------
+# variables, lambda, application
+# ----------------------------------------------------------------------
+
+
+def test_unbound_symbol_is_global_ref():
+    node = expand_one("foo")
+    assert isinstance(node, GlobalRef) and node.name == "foo"
+
+
+def test_lambda_params_resolve_to_same_var():
+    node = expand_one("(lambda (x) x)")
+    assert isinstance(node, Lambda)
+    body = node.body
+    assert isinstance(body, Var)
+    assert body.var is node.params[0]
+
+
+def test_lambda_shadowing():
+    node = expand_one("(lambda (x) (lambda (x) x))")
+    inner = node.body
+    assert isinstance(inner, Lambda)
+    assert inner.body.var is inner.params[0]
+    assert inner.body.var is not node.params[0]
+
+
+def test_variadic_lambda_forms():
+    all_rest = expand_one("(lambda args args)")
+    assert all_rest.params == [] and all_rest.rest is not None
+    mixed = expand_one("(lambda (a b . r) r)")
+    assert len(mixed.params) == 2 and mixed.rest is not None
+    assert mixed.body.var is mixed.rest
+
+
+def test_duplicate_params_rejected():
+    with pytest.raises(ExpandError):
+        expand_one("(lambda (x x) x)")
+
+
+def test_application():
+    node = expand_one("(f 1)")
+    assert isinstance(node, Call)
+    assert isinstance(node.fn, GlobalRef) and node.fn.name == "f"
+    assert len(node.args) == 1
+
+
+def test_empty_application_is_error():
+    with pytest.raises(ExpandError):
+        expand_one("()")
+
+
+# ----------------------------------------------------------------------
+# core forms can be shadowed
+# ----------------------------------------------------------------------
+
+
+def test_core_form_shadowed_by_local():
+    node = expand_one("(lambda (if) (if 1 2 3))")
+    assert isinstance(node.body, Call)
+    assert isinstance(node.body.fn, Var)
+
+
+def test_let_shadowing_of_macro_keyword():
+    node = expand_one("(let ((else 1)) else)")
+    assert isinstance(node, Let)
+    assert isinstance(node.body, Var)
+
+
+# ----------------------------------------------------------------------
+# define / set!
+# ----------------------------------------------------------------------
+
+
+def test_toplevel_define_variants():
+    program = expand_all("(define x 1) (define (f a) a) (define (g . r) r)")
+    assert program.globals == ["x", "f", "g"]
+    assert all(isinstance(form, GlobalSet) for form in program.forms)
+    f_def = program.forms[1].value
+    assert isinstance(f_def, Lambda) and f_def.name == "f"
+
+
+def test_set_on_local_marks_assigned():
+    node = expand_one("(lambda (x) (set! x 1))")
+    assert isinstance(node.body, LocalSet)
+    assert node.params[0].assigned
+
+
+def test_set_on_global():
+    node = expand_one("(set! g 5)")
+    assert isinstance(node, GlobalSet) and node.name == "g"
+
+
+def test_set_on_keyword_is_error():
+    with pytest.raises(ExpandError):
+        expand_one("(set! lambda 1)")
+
+
+def test_internal_defines_become_letrec():
+    node = expand_one("(lambda () (define a 1) (define (b) a) (b))")
+    body = node.body
+    assert isinstance(body, Letrec)
+    assert len(body.bindings) == 2
+    # (b)'s reference to a resolves to the letrec binding
+    b_lambda = body.bindings[1][1]
+    assert isinstance(b_lambda, Lambda)
+    assert b_lambda.body.var is body.bindings[0][0]
+
+
+def test_define_in_expression_position_is_error():
+    with pytest.raises(ExpandError):
+        expand_one("(lambda () (+ 1 2) (define x 3) x)")
+
+
+# ----------------------------------------------------------------------
+# let family
+# ----------------------------------------------------------------------
+
+
+def test_let_is_parallel():
+    # The init of y must not see the x binding.
+    node = expand_one("(lambda (x) (let ((x 1) (y x)) y))")
+    let = node.body
+    assert isinstance(let, Let)
+    y_init = let.bindings[1][1]
+    assert y_init.var is node.params[0]
+
+
+def test_let_star_is_sequential():
+    node = expand_one("(let* ((x 1) (y x)) y)")
+    assert isinstance(node, Let)
+    inner = node.body
+    assert isinstance(inner, Let)
+    assert inner.bindings[0][1].var is node.bindings[0][0]
+
+
+def test_letrec_sees_itself():
+    node = expand_one("(letrec ((f (lambda () (f)))) f)")
+    assert isinstance(node, Letrec)
+    lam = node.bindings[0][1]
+    assert lam.body.fn.var is node.bindings[0][0]
+
+
+def test_named_let_is_letrec_call():
+    node = expand_one("(let loop ((i 0)) (loop i))")
+    assert isinstance(node, Letrec)
+    assert isinstance(node.body, Call)
+    assert node.body.fn.var is node.bindings[0][0]
+
+
+def test_malformed_let_binding():
+    with pytest.raises(ExpandError):
+        expand_one("(let ((x)) x)")
+    with pytest.raises(ExpandError):
+        expand_one("(let (x 1) x)")
+
+
+# ----------------------------------------------------------------------
+# conditionals and booleans
+# ----------------------------------------------------------------------
+
+
+def test_if_wraps_test_against_false():
+    node = expand_one("(if x 1 2)")
+    assert isinstance(node, If)
+    assert isinstance(node.test, Prim) and node.test.op == "%neq"
+    assert isinstance(node.test.args[1], GlobalRef)
+    assert node.test.args[1].name == "%sx-false"
+
+
+def test_if_of_comparison_prim_is_raw():
+    node = expand_one("(if (%lt (%raw 1) (%raw 2)) 1 2)")
+    assert isinstance(node.test, Prim) and node.test.op == "%lt"
+
+
+def test_if_without_else_uses_unspecified():
+    node = expand_one("(if x 1)")
+    assert isinstance(node.els, GlobalRef)
+    assert node.els.name == "%sx-unspecified"
+
+
+def test_and_or_expansion():
+    node = expand_one("(and a b)")
+    assert isinstance(node, If)
+    false_branch = node.els
+    assert isinstance(false_branch, GlobalRef) and false_branch.name == "%sx-false"
+    node = expand_one("(or a b)")
+    assert isinstance(node, Let)
+    assert isinstance(node.body, If)
+
+
+def test_empty_and_or():
+    assert expand_one("(and)").name == "%sx-true"
+    assert expand_one("(or)").name == "%sx-false"
+
+
+def test_cond_with_else_and_arrow():
+    node = expand_one("(cond ((f) => g) (else 9))")
+    assert isinstance(node, Let)
+    assert isinstance(node.body, If)
+    taken = node.body.then
+    assert isinstance(taken, Call)
+    assert isinstance(taken.fn, GlobalRef) and taken.fn.name == "g"
+
+
+def test_cond_test_only_clause_yields_test_value():
+    node = expand_one("(cond (x) (else 1))")
+    assert isinstance(node, Let)
+    assert isinstance(node.body.then, Var)
+
+
+def test_case_expands_to_eqv_chain():
+    node = expand_one("(case x ((1 2) 'a) (else 'b))")
+    assert isinstance(node, Let)
+    assert isinstance(node.body, If)
+
+
+def test_when_unless():
+    node = expand_one("(when x 1)")
+    assert isinstance(node, If)
+    assert node.els.name == "%sx-unspecified"
+    node = expand_one("(unless x 1)")
+    assert node.then.name == "%sx-unspecified"
+
+
+def test_do_loop_shape():
+    node = expand_one("(do ((i 0 (+ i 1))) ((= i 3) i))")
+    assert isinstance(node, Letrec)
+    lam = node.bindings[0][1]
+    assert isinstance(lam, Lambda)
+    assert isinstance(lam.body, If)
+
+
+# ----------------------------------------------------------------------
+# literals
+# ----------------------------------------------------------------------
+
+
+def test_fixnum_literal_lowering():
+    node = expand_one("42")
+    assert isinstance(node, Call)
+    assert node.fn.name == "%sx-fixnum"
+    assert isinstance(node.args[0], Const) and node.args[0].value == 42
+
+
+def test_negative_fixnum_literal_wraps():
+    node = expand_one("-1")
+    assert node.args[0].value == (1 << 64) - 1
+
+
+def test_fixnum_literal_range_check():
+    with pytest.raises(ExpandError):
+        expand_one(str(1 << 62))
+
+
+def test_boolean_and_nil_literals():
+    assert expand_one("#t").name == "%sx-true"
+    assert expand_one("#f").name == "%sx-false"
+    assert expand_one("'()").name == "%sx-nil"
+
+
+def test_char_literal():
+    node = expand_one("#\\A")
+    assert node.fn.name == "%sx-char"
+    assert node.args[0].value == 65
+
+
+def test_string_literal_is_hoisted():
+    program = expand_all('(f "xy")')
+    assert any(name.startswith("%lit:") for name in program.globals)
+    define = program.forms[0]
+    assert isinstance(define, GlobalSet)
+    assert isinstance(define.value, Let)
+
+
+def test_identical_literals_share_one_definition():
+    program = expand_all("(f 'sym) (g 'sym)")
+    lit_globals = [name for name in program.globals if name.startswith("%lit:")]
+    assert len(lit_globals) == 1
+
+
+def test_quoted_list_uses_library_cons():
+    program = expand_all("'(1 2)")
+    define = program.forms[0]
+    assert isinstance(define.value, Call)
+    assert define.value.fn.name == "%sx-cons"
+
+
+def test_quoted_vector_literal():
+    program = expand_all("'#(1 2)")
+    define = program.forms[0]
+    assert isinstance(define.value, Let)
+
+
+def test_raw_literal():
+    node = expand_one("(%raw 7)")
+    assert isinstance(node, Const) and node.value == 7
+    node = expand_one("(%raw -1)")
+    assert node.value == (1 << 64) - 1
+
+
+# ----------------------------------------------------------------------
+# machine primitives
+# ----------------------------------------------------------------------
+
+
+def test_prim_application():
+    node = expand_one("(%add (%raw 1) (%raw 2))")
+    assert isinstance(node, Prim) and node.op == "%add"
+
+
+def test_prim_arity_checked():
+    with pytest.raises(ExpandError):
+        expand_one("(%add (%raw 1))")
+
+
+def test_prim_as_value_is_error():
+    with pytest.raises(ExpandError):
+        expand_one("(f %add)")
+
+
+def test_prim_shadowable_by_local():
+    node = expand_one("(lambda (%add) (%add 1 2 3))")
+    assert isinstance(node.body, Call)
+
+
+# ----------------------------------------------------------------------
+# quasiquote
+# ----------------------------------------------------------------------
+
+
+def test_quasiquote_constant():
+    node = expand_one("`(1 2)")
+    assert isinstance(node, Call)
+    assert node.fn.name == "%sx-cons"
+
+
+def test_quasiquote_unquote():
+    node = expand_one("`(a ,b)")
+    assert isinstance(node, Call)
+    # cadr position should be a direct global reference to b
+    inner = node.args[1]
+    assert isinstance(inner, Call)
+    assert isinstance(inner.args[0], GlobalRef) and inner.args[0].name == "b"
+
+
+def test_quasiquote_splicing_uses_append():
+    node = expand_one("`(,@xs 1)")
+    assert node.fn.name == "%sx-append"
+
+
+def test_nested_quasiquote_preserves_level():
+    node = expand_one("``(,a)")
+    # outer quasiquote of an inner quasiquote form: builds a list whose
+    # head is the symbol quasiquote
+    assert isinstance(node, Call)
+
+
+def test_unquote_outside_quasiquote_is_error():
+    with pytest.raises(ExpandError):
+        expand_one(",x")
+
+
+# ----------------------------------------------------------------------
+# begin and sequencing
+# ----------------------------------------------------------------------
+
+
+def test_begin_expression():
+    node = expand_one("(lambda () (begin 1 2))")
+    assert isinstance(node.body, Seq)
+    assert len(node.body.exprs) == 2
+
+
+def test_toplevel_begin_splices():
+    program = expand_all("(begin (define a 1) (define b 2))")
+    assert program.globals == ["a", "b"]
+
+
+def test_empty_begin_expression_is_error():
+    with pytest.raises(ExpandError):
+        expand_one("(lambda () (begin))")
+
+
+def test_empty_toplevel_begin_is_allowed():
+    assert expand_all("(begin)").forms == []

@@ -1,0 +1,127 @@
+"""GC stress and failure-injection tests: small heaps, fragmentation,
+survival of every kind of heap object, and exhaustion behaviour."""
+
+import pytest
+
+from repro import HeapExhausted, decode, run_source
+from repro.sexpr import Symbol, from_list
+
+from .conftest import OPT, UNOPT
+
+
+def run_small(source, heap_words=1 << 13, options=UNOPT):
+    return run_source(source, options, heap_words=heap_words)
+
+
+def test_garbage_loop_in_tiny_heap():
+    result = run_small(
+        """(let loop ((i 0))
+             (if (= i 5000) 'ok (begin (cons i i) (loop (+ i 1)))))"""
+    )
+    assert decode(result) == Symbol("ok")
+    assert result.machine.heap.gc_count >= 2
+
+
+def test_live_list_survives_many_collections():
+    result = run_small(
+        """(define keep (list 'a 'b 'c))
+           (let loop ((i 0))
+             (if (= i 4000) keep (begin (make-vector 4 0) (loop (+ i 1)))))"""
+    )
+    assert decode(result) == from_list([Symbol("a"), Symbol("b"), Symbol("c")])
+
+
+def test_every_heap_type_survives_gc():
+    source = """
+    (define the-pair (cons 1 2))
+    (define the-vec (vector 1 2 3))
+    (define the-str "persist")
+    (define the-sym 'persistent-symbol)
+    (define the-closure (let ((n 41)) (lambda () (+ n 1))))
+    (define the-record ((rep-constructor (make-record-rep 'box '(v))) 9))
+    (let churn ((i 0))
+      (when (< i 3000) (cons i (make-vector 2 i)) (churn (+ i 1))))
+    (list (car the-pair)
+          (vector-ref the-vec 2)
+          (string-length the-str)
+          (symbol? the-sym)
+          (the-closure)
+          ((rep-accessor (rep-of the-record) 0) the-record))
+    """
+    result = run_small(source, heap_words=1 << 14)
+    assert decode(result) == from_list([1, 3, 7, True, 42, 9])
+
+
+def test_deep_structure_survives():
+    # a 500-deep nested list must be fully traced
+    result = run_small(
+        """(define (nest n) (if (= n 0) '() (list (nest (- n 1)))))
+           (define deep (nest 500))
+           (let churn ((i 0))
+             (if (= i 2000) 'done (begin (cons i i) (churn (+ i 1)))))
+           (define (depth x) (if (null? x) 0 (+ 1 (depth (car x)))))
+           (depth deep)""",
+        heap_words=1 << 14,
+    )
+    assert decode(result) == 500
+
+
+def test_mutated_structures_keep_new_references():
+    source = """
+    (define holder (vector #f))
+    (vector-set! holder 0 (list 1 2 3))
+    (let churn ((i 0))
+      (when (< i 3000) (cons i i) (churn (+ i 1))))
+    (length (vector-ref holder 0))
+    """
+    assert decode(run_small(source, heap_words=1 << 14)) == 3
+
+
+def test_cyclic_data_is_collected_and_survives():
+    source = """
+    (define (make-cycle)
+      (let ((p (list 1 2)))
+        (set-cdr! (cdr p) p)    ; cycle
+        p))
+    (define keep (make-cycle))
+    (let churn ((i 0))
+      (when (< i 3000) (make-cycle) (churn (+ i 1))))   ; garbage cycles
+    (car (cdr (cdr (cdr keep))))
+    """
+    assert decode(run_small(source, heap_words=1 << 14)) == 2
+
+
+def test_heap_exhaustion_raises_cleanly():
+    with pytest.raises(HeapExhausted):
+        run_small(
+            """(let loop ((acc '()) (i 0))
+                 (if (= i 100000) acc (loop (cons i acc) (+ i 1))))""",
+            heap_words=1 << 12,
+        )
+
+
+def test_allocation_stats_accumulate():
+    result = run_source("(make-vector 100 0)", UNOPT)
+    assert result.words_allocated >= 101
+
+
+def test_optimized_config_same_behaviour_under_pressure():
+    source = """
+    (define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
+    (let loop ((i 0) (keep (build 50)))
+      (if (= i 300)
+          (length keep)
+          (begin (build 40) (loop (+ i 1) keep))))
+    """
+    for options in (UNOPT, OPT):
+        assert decode(run_source(source, options, heap_words=1 << 14)) == 50
+
+
+def test_interned_symbols_survive_collection():
+    source = """
+    (define s1 (string->symbol "long-lived-name"))
+    (let churn ((i 0))
+      (when (< i 3000) (cons i i) (churn (+ i 1))))
+    (eq? s1 (string->symbol "long-lived-name"))
+    """
+    assert decode(run_small(source, heap_words=1 << 14)) is True

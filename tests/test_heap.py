@@ -1,0 +1,154 @@
+"""Unit tests for the heap and its conservative mark-sweep collector."""
+
+import pytest
+
+from repro.errors import HeapExhausted, VMError
+from repro.vm.heap import Heap
+
+
+def make_heap(words=256):
+    heap = Heap(words)
+    heap.register_pointer_tag(1)
+    return heap
+
+
+def no_roots():
+    return []
+
+
+def test_allocate_returns_tagged_pointer():
+    heap = make_heap()
+    p = heap.allocate(2, 1, no_roots)
+    assert p & 7 == 1
+    base = p & ~7
+    assert heap.mem[base >> 3] == 2  # header = payload size
+
+
+def test_fields_are_zeroed_and_addressable():
+    heap = make_heap()
+    p = heap.allocate(2, 1, no_roots)
+    assert heap.load((p & ~7) + 8) == 0
+    heap.store((p & ~7) + 8, 42)
+    assert heap.load((p & ~7) + 8) == 42
+
+
+def test_field_displacement_arithmetic():
+    # The displacement the library computes: field i at 8*(i+1) - tag.
+    heap = make_heap()
+    p = heap.allocate(2, 1, no_roots)
+    heap.store(p + 7, 11)
+    heap.store(p + 15, 22)
+    assert heap.load(p + 7) == 11
+    assert heap.load(p + 15) == 22
+
+
+def test_unaligned_access_rejected():
+    heap = make_heap()
+    p = heap.allocate(1, 1, no_roots)
+    with pytest.raises(VMError):
+        heap.load(p)  # tagged pointer itself is unaligned
+    with pytest.raises(VMError):
+        heap.store(p + 1, 0)
+
+
+def test_out_of_bounds_rejected():
+    heap = make_heap()
+    with pytest.raises(VMError):
+        heap.load(heap.size_words * 8 + 8)
+
+
+def test_gc_reclaims_unreachable_blocks():
+    heap = make_heap(128)
+    for _ in range(5):
+        heap.allocate(4, 1, no_roots)
+    live_before = heap.live_words()
+    reclaimed = heap.collect([])
+    assert reclaimed == live_before
+    assert heap.live_words() == 0
+
+
+def test_gc_keeps_rooted_blocks():
+    heap = make_heap(128)
+    keep = heap.allocate(4, 1, no_roots)
+    drop = heap.allocate(4, 1, no_roots)
+    heap.collect([keep])
+    assert (keep & ~7) >> 3 in heap.blocks
+    assert (drop & ~7) >> 3 not in heap.blocks
+
+
+def test_gc_traces_through_fields():
+    heap = make_heap(128)
+    inner = heap.allocate(1, 1, no_roots)
+    outer = heap.allocate(1, 1, no_roots)
+    heap.store((outer & ~7) + 8, inner)
+    heap.collect([outer])
+    assert (inner & ~7) >> 3 in heap.blocks
+
+
+def test_gc_handles_cycles():
+    heap = make_heap(128)
+    a = heap.allocate(1, 1, no_roots)
+    b = heap.allocate(1, 1, no_roots)
+    heap.store((a & ~7) + 8, b)
+    heap.store((b & ~7) + 8, a)
+    heap.collect([a])
+    assert len(heap.blocks) == 2
+    heap.collect([])
+    assert len(heap.blocks) == 0
+
+
+def test_unregistered_tags_are_not_pointers():
+    heap = make_heap(128)
+    block = heap.allocate(1, 1, no_roots)
+    fake = (block & ~7) | 2  # tag 2 never registered here
+    heap.collect([fake])
+    assert len(heap.blocks) == 0
+
+
+def test_conservative_nonpointer_roots_are_ignored():
+    heap = make_heap(128)
+    heap.allocate(1, 1, no_roots)
+    heap.collect([12345 * 8, 7, 0])  # random words, none block bases
+    assert len(heap.blocks) == 0
+
+
+def test_allocation_triggers_gc_via_roots_callback():
+    heap = make_heap(64)
+    roots: list[int] = []
+    keep = heap.allocate(8, 1, lambda: roots)
+    roots.append(keep)
+    # Fill the heap with garbage; allocation should collect and succeed.
+    for _ in range(30):
+        heap.allocate(8, 1, lambda: roots)
+    assert heap.gc_count >= 1
+    assert (keep & ~7) >> 3 in heap.blocks
+
+
+def test_heap_exhaustion_raises():
+    heap = make_heap(64)
+    keep = []
+    with pytest.raises(HeapExhausted):
+        for _ in range(100):
+            keep.append(heap.allocate(8, 1, lambda: keep))
+
+
+def test_free_list_reuse_after_gc():
+    heap = make_heap(64)
+    first = heap.allocate(8, 1, no_roots)
+    heap.collect([])
+    second = heap.allocate(8, 1, no_roots)
+    assert first == second  # same space reused
+
+
+def test_bad_sizes_and_tags():
+    heap = make_heap()
+    with pytest.raises(VMError):
+        heap.allocate(-1, 1, no_roots)
+    with pytest.raises(VMError):
+        heap.register_pointer_tag(9)
+
+
+def test_allocation_stats():
+    heap = make_heap()
+    heap.allocate(3, 1, no_roots)
+    assert heap.words_allocated == 4  # payload + header

@@ -1,0 +1,92 @@
+"""The incremental (frozen-prelude) compile path must be equivalent to
+whole-program optimization."""
+
+import pytest
+
+from repro import CompileOptions, OptimizerOptions, compile_source, decode
+from repro.api import _assigned_globals
+from repro.expand import Expander
+from repro.ir import Program
+from repro.opt import optimize_program
+from repro.runtime import prelude_source
+from repro.sexpr import read_all
+
+PROGRAMS = [
+    "(+ 1 2)",
+    "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)",
+    "(sort '(9 8 1 4) <)",
+    "(display (map (lambda (x) (* 2 x)) '(1 2 3)))",
+    "(call/cc (lambda (k) (k 'escaped)))",
+    "(let loop ((i 0) (v (make-vector 5 0)))"
+    "  (if (= i 5) (vector->list v)"
+    "      (begin (vector-set! v i (* i i)) (loop (+ i 1) v))))",
+]
+
+
+def full_path_compile(source, options):
+    """Whole-program optimization, bypassing the prelude cache."""
+    from repro.backend import convert_assignments_program, generate_code
+
+    expander = Expander()
+    text = prelude_source(options.prelude, options.safety) + "\n" + source
+    expanded = expander.expand_program(read_all(text))
+    program = Program(expanded.forms, expander.global_names)
+    program = optimize_program(program, options.optimizer)
+    program = convert_assignments_program(program)
+    return generate_code(program)
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_incremental_equals_full(source):
+    options = CompileOptions()
+    incremental = compile_source(source, options)
+    full = full_path_compile(source, options)
+    from repro.vm import Machine
+
+    result_a = incremental.run()
+    result_b = Machine(full).run()
+    assert result_a.output == result_b.output
+    # Same dynamic instruction count: the generated code is equivalent.
+    assert result_a.steps == result_b.steps
+
+
+def test_redefinition_forces_full_path():
+    # Redefining a prelude name must fall back to whole-program
+    # optimization and produce the redefined behaviour.
+    source = "(define (length x) 'overridden) (length '(1 2 3))"
+    value = decode(compile_source(source).run())
+    from repro.sexpr import Symbol
+
+    assert value == Symbol("overridden")
+
+
+def test_set_of_prelude_name_forces_full_path():
+    source = """
+    (define old-car car)
+    (set! car (lambda (p) 'hijacked))
+    (list (car '(1 2)) (old-car '(1 2)))
+    """
+    value = decode(compile_source(source).run())
+    from repro.sexpr import Symbol, from_list
+
+    assert value == from_list([Symbol("hijacked"), 1])
+
+
+def test_assigned_globals_helper():
+    expander = Expander()
+    program = expander.expand_program(
+        read_all("(define a 1) (set! b 2) (lambda () (set! c 3))")
+    )
+    assert {"a", "b", "c"} <= _assigned_globals(program.forms)
+
+
+def test_incremental_cache_reused():
+    from repro.api import _OPTIMIZED_PRELUDE_CACHE, _optimizer_key
+
+    options = CompileOptions()
+    compile_source("(+ 1 2)", options)
+    key = _optimizer_key(options)
+    assert key in _OPTIMIZED_PRELUDE_CACHE
+    before = id(_OPTIMIZED_PRELUDE_CACHE[key])
+    compile_source("(+ 3 4)", options)
+    assert id(_OPTIMIZED_PRELUDE_CACHE[key]) == before

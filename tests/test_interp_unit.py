@@ -1,0 +1,142 @@
+"""Direct unit tests for the reference IR interpreter."""
+
+import pytest
+
+from repro.errors import SchemeError, VMError
+from repro.ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    LocalSet,
+    LocalVar,
+    Prim,
+    Program,
+    Seq,
+    Var,
+)
+from repro.ir.interp import Interpreter, interpret_program
+
+
+def run(*forms, **kwargs):
+    return interpret_program(Program(list(forms), []), **kwargs)
+
+
+def test_constants_and_prims():
+    assert run(Prim("%add", [Const(2), Const(3)])).value == 5
+    assert run(Prim("%lsl", [Const(1), Const(4)])).value == 16
+
+
+def test_let_and_var():
+    x = LocalVar("x")
+    assert run(Let([(x, Const(7))], Var(x))).value == 7
+
+
+def test_if_uses_raw_truth():
+    assert run(If(Const(0), Const(1), Const(2))).value == 2
+    assert run(If(Const(99), Const(1), Const(2))).value == 1
+
+
+def test_globals():
+    assert run(GlobalSet("g", Const(5)), GlobalRef("g")).value == 5
+    with pytest.raises(VMError, match="undefined"):
+        run(GlobalRef("nope"))
+
+
+def test_lambda_call_and_closure():
+    x = LocalVar("x")
+    y = LocalVar("y")
+    add_x = Lambda([y], None, Prim("%add", [Var(x), Var(y)]), "addx")
+    program = Let([(x, Const(10))], Call(add_x, [Const(4)]))
+    assert run(program).value == 14
+
+
+def test_assigned_variables_are_boxed():
+    x = LocalVar("x")
+    x.assigned = True
+    program = Let(
+        [(x, Const(1))],
+        Seq([LocalSet(x, Const(42)), Var(x)]),
+    )
+    assert run(program).value == 42
+
+
+def test_closure_shares_assigned_variable():
+    n = LocalVar("n")
+    n.assigned = True
+    bump = Lambda([], None, LocalSet(n, Prim("%add", [Var(n), Const(1)])), "bump")
+    f = LocalVar("f")
+    program = Let(
+        [(n, Const(0))],
+        Let([(f, bump)], Seq([Call(Var(f), []), Call(Var(f), []), Var(n)])),
+    )
+    assert run(program).value == 2
+
+
+def test_fix_recursion():
+    loop = LocalVar("loop")
+    i = LocalVar("i")
+    body = If(
+        Prim("%eq", [Var(i), Const(0)]),
+        Const(123),
+        Call(Var(loop), [Prim("%sub", [Var(i), Const(1)])]),
+    )
+    program = Fix([(loop, Lambda([i], None, body, "loop"))], Call(Var(loop), [Const(10)]))
+    assert run(program).value == 123
+
+
+def test_arity_errors():
+    lam = Lambda([LocalVar("a")], None, Const(1), "f")
+    with pytest.raises(SchemeError, match="arity"):
+        run(Call(lam, []))
+
+
+def test_calling_non_closure():
+    with pytest.raises(SchemeError, match="not a procedure"):
+        run(Call(Const(42), []))
+
+
+def test_heap_ops():
+    p = LocalVar("p")
+    program = Let(
+        [(p, Prim("%alloc", [Const(2), Const(1)]))],
+        Seq(
+            [
+                Prim("%store", [Var(p), Const(7), Const(11)]),
+                Prim("%load", [Var(p), Const(7)]),
+            ]
+        ),
+    )
+    assert run(program).value == 11
+
+
+def test_output_and_fail():
+    assert run(Seq([Prim("%putc", [Const(65)]), Const(0)])).output == "A"
+    with pytest.raises(SchemeError, match="type check"):
+        run(Prim("%fail", [Const(1)]))
+
+
+def test_input_escapes():
+    result = interpret_program(
+        Program([Prim("%getc", [])], []), input_text="Q"
+    )
+    assert result.value == ord("Q")
+    result = interpret_program(Program([Prim("%getc", [])], []))
+    assert result.value == (1 << 64) - 1
+
+
+def test_call_budget_guard():
+    loop = LocalVar("loop")
+    lam = Lambda([], None, Call(Var(loop), []), "loop")
+    program = Fix([(loop, lam)], Call(Var(loop), []))
+    with pytest.raises(VMError, match="budget"):
+        run(program, max_calls=1000)
+
+
+def test_division_by_zero():
+    with pytest.raises(SchemeError, match="division"):
+        run(Prim("%div", [Const(1), Const(0)]))

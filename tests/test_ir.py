@@ -1,0 +1,173 @@
+"""Unit tests for IR analyses and transforms."""
+
+from repro.ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    census_program,
+    copy_node,
+    free_vars,
+    is_pure,
+    is_removable,
+    iter_tree,
+    make_seq,
+    node_size,
+    pretty,
+)
+
+
+def lam(params, body):
+    return Lambda(params, None, body, "")
+
+
+def test_free_vars_basic():
+    x, y = LocalVar("x"), LocalVar("y")
+    assert free_vars(Var(x)) == {x}
+    assert free_vars(Prim("%add", [Var(x), Var(y)])) == {x, y}
+    assert free_vars(Const(1)) == set()
+
+
+def test_free_vars_lambda_binds_params():
+    x, y = LocalVar("x"), LocalVar("y")
+    node = lam([x], Prim("%add", [Var(x), Var(y)]))
+    assert free_vars(node) == {y}
+
+
+def test_free_vars_rest_param_bound():
+    r = LocalVar("r")
+    node = Lambda([], r, Var(r), "")
+    assert free_vars(node) == set()
+
+
+def test_free_vars_let():
+    x, y = LocalVar("x"), LocalVar("y")
+    node = Let([(x, Var(y))], Var(x))
+    assert free_vars(node) == {y}
+
+
+def test_free_vars_let_init_not_in_scope():
+    x = LocalVar("x")
+    node = Let([(x, Var(x))], Const(1))  # init's x is free (parallel let)
+    assert free_vars(node) == {x}
+
+
+def test_free_vars_fix_scopes_bindings_in_inits():
+    f = LocalVar("f")
+    node = Fix([(f, lam([], Call(Var(f), [])))], Call(Var(f), []))
+    assert free_vars(node) == set()
+
+
+def test_free_vars_localset():
+    x = LocalVar("x")
+    assert free_vars(LocalSet(x, Const(1))) == {x}
+
+
+def test_node_size():
+    assert node_size(Const(1)) == 1
+    assert node_size(Prim("%add", [Const(1), Const(2)])) == 3
+
+
+def test_is_pure():
+    x = LocalVar("x")
+    assert is_pure(Prim("%add", [Var(x), Const(1)]))
+    assert not is_pure(Prim("%store", [Var(x), Const(0), Const(1)]))
+    assert not is_pure(Call(Var(x), []))
+    assert not is_pure(GlobalRef("g"))
+    assert is_pure(lam([x], Call(Var(x), [])))  # body does not run
+
+
+def test_is_removable():
+    x = LocalVar("x")
+    assert is_removable(Prim("%load", [Var(x), Const(0)]))
+    assert not is_removable(Prim("%alloc", [Const(1), Const(7)]))
+    assert is_removable(GlobalRef("g"), {"g"})
+    assert not is_removable(GlobalRef("g"), set())
+
+
+def test_census_counts():
+    x = LocalVar("x")
+    program = Program(
+        [
+            GlobalSet("f", lam([x], Seq([Var(x), Var(x), GlobalRef("g")]))),
+            GlobalSet("g", Const(1)),
+            GlobalSet("g", Const(2)),
+        ],
+        ["f", "g"],
+    )
+    census = census_program(program)
+    assert census.locals[x].references == 2
+    assert census.globals["g"].references == 1
+    assert census.globals["g"].assignments == 2
+    assert census.globals["g"].definition is None  # multiple assignments
+    assert census.globals["f"].assignments == 1
+    assert isinstance(census.globals["f"].definition, Lambda)
+
+
+def test_copy_node_renames_bindings():
+    x = LocalVar("x")
+    node = lam([x], Var(x))
+    copied = copy_node(node)
+    assert copied.params[0] is not x
+    assert copied.body.var is copied.params[0]
+
+
+def test_copy_node_substitutes_free_vars():
+    x, y = LocalVar("x"), LocalVar("y")
+    node = Prim("%add", [Var(x), Var(x)])
+    copied = copy_node(node, {x: Var(y)})
+    assert all(arg.var is y for arg in copied.args)
+
+
+def test_copy_node_preserves_shadowing():
+    x, y = LocalVar("x"), LocalVar("y")
+    node = Let([(x, Var(x))], Var(x))  # init's x is the outer one
+    copied = copy_node(node, {x: Var(y)})
+    assert copied.bindings[0][1].var is y  # init substituted
+    assert copied.body.var is copied.bindings[0][0]  # body sees new binding
+
+
+def test_copy_of_fix_is_consistent():
+    f = LocalVar("f")
+    node = Fix([(f, lam([], Call(Var(f), [])))], Var(f))
+    copied = copy_node(node)
+    new_f = copied.bindings[0][0]
+    assert new_f is not f
+    assert copied.body.var is new_f
+    assert copied.bindings[0][1].body.fn.var is new_f
+
+
+def test_iter_tree_visits_everything():
+    x = LocalVar("x")
+    node = Let([(x, Const(1))], Prim("%add", [Var(x), Const(2)]))
+    kinds = [type(n).__name__ for n in iter_tree(node)]
+    assert sorted(kinds) == ["Const", "Const", "Let", "Prim", "Var"]
+
+
+def test_make_seq_flattens():
+    node = make_seq([Seq([Const(1), Const(2)]), Const(3)])
+    assert isinstance(node, Seq)
+    assert len(node.exprs) == 3
+    assert make_seq([Const(5)]).value == 5
+
+
+def test_pretty_renders_signed_constants():
+    text = pretty(Const((1 << 64) - 8))
+    assert text == "-8"
+
+
+def test_pretty_structures():
+    x = LocalVar("x")
+    text = pretty(lam([x], If(Prim("%nz", [Var(x)]), Const(1), Const(0))))
+    assert "lambda" in text and "%nz" in text

@@ -1,0 +1,378 @@
+"""Unit tests for the VM, using hand-assembled programs."""
+
+import pytest
+
+from repro.errors import SchemeError, VMError
+from repro.vm import Machine, isa
+
+
+def program(main_instructions, extra_codes=(), nregs=16, global_names=()):
+    main = isa.CodeObject("%main", 0, False, 0)
+    main.nregs = nregs
+    main.instructions = [list(ins) for ins in main_instructions]
+    return isa.VMProgram([main, *extra_codes], list(global_names))
+
+
+def run(main_instructions, **kwargs):
+    return Machine(program(main_instructions), **kwargs).run()
+
+
+def fn(name, nparams, instructions, has_rest=False, nfree=0, nregs=16):
+    code = isa.CodeObject(name, nparams, has_rest, nfree)
+    code.nregs = nregs
+    code.instructions = [list(ins) for ins in instructions]
+    return code
+
+
+# ----------------------------------------------------------------------
+# arithmetic / data movement
+# ----------------------------------------------------------------------
+
+
+def test_ldc_halt():
+    assert run([(isa.LDC, 0, 42), (isa.HALT, 0)]).value == 42
+
+
+def test_arith_ops():
+    result = run(
+        [
+            (isa.LDC, 0, 10),
+            (isa.LDC, 1, 3),
+            (isa.ADD, 2, 0, 1),
+            (isa.MUL, 3, 2, 1),
+            (isa.SUBI, 4, 3, 9),
+            (isa.HALT, 4),
+        ]
+    )
+    assert result.value == 30
+
+
+def test_wraparound():
+    result = run(
+        [
+            (isa.LDC, 0, 2**64 - 1),
+            (isa.ADDI, 1, 0, 1),
+            (isa.HALT, 1),
+        ]
+    )
+    assert result.value == 0
+
+
+def test_signed_compare_and_shift():
+    result = run(
+        [
+            (isa.LDC, 0, 2**64 - 8),  # -8
+            (isa.SARI, 1, 0, 3),      # -1
+            (isa.LDC, 2, 0),
+            (isa.CMPLT, 3, 1, 2),     # -1 < 0
+            (isa.HALT, 3),
+        ]
+    )
+    assert result.value == 1
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(SchemeError):
+        run([(isa.LDC, 0, 1), (isa.LDC, 1, 0), (isa.DIV, 2, 0, 1), (isa.HALT, 2)])
+
+
+# ----------------------------------------------------------------------
+# control flow
+# ----------------------------------------------------------------------
+
+
+def test_branches():
+    result = run(
+        [
+            (isa.LDC, 0, 5),
+            (isa.JEQI, 0, 5, 3),
+            (isa.LDC, 1, 0),
+            (isa.LDC, 1, 99),
+            (isa.HALT, 1),
+        ]
+    )
+    assert result.value == 99
+
+
+def test_loop_counts_instructions():
+    # sum 0..9 with a JLT loop
+    result = run(
+        [
+            (isa.LDC, 0, 0),   # i
+            (isa.LDC, 1, 0),   # sum
+            (isa.LDC, 2, 10),
+            (isa.ADD, 1, 1, 0),     # 3
+            (isa.ADDI, 0, 0, 1),
+            (isa.JLT, 0, 2, 3),
+            (isa.HALT, 1),
+        ]
+    )
+    assert result.value == 45
+    assert result.steps == 3 + 10 * 3 + 1
+    assert result.opcode_counts["ADD"] == 10
+
+
+def test_max_steps_guard():
+    with pytest.raises(VMError):
+        run([(isa.JMP, 0)], max_steps=100)
+
+
+# ----------------------------------------------------------------------
+# memory
+# ----------------------------------------------------------------------
+
+
+def test_alloc_store_load():
+    result = run(
+        [
+            (isa.ALLOCI, 0, 2, 1),
+            (isa.LDC, 1, 77),
+            (isa.ST, 0, 7, 1),
+            (isa.LD, 2, 0, 7),
+            (isa.HALT, 2),
+        ]
+    )
+    assert result.value == 77
+
+
+def test_dynamic_alloc_tag():
+    result = run(
+        [
+            (isa.LDC, 0, 1),
+            (isa.LDC, 1, 3),   # tag 3
+            (isa.ALLOC, 2, 0, 1),
+            (isa.ANDI, 3, 2, 7),
+            (isa.HALT, 3),
+        ]
+    )
+    assert result.value == 3
+
+
+# ----------------------------------------------------------------------
+# globals
+# ----------------------------------------------------------------------
+
+
+def test_global_store_load():
+    vm_program = program(
+        [
+            (isa.LDC, 0, 5),
+            (isa.GST, 0, 0),
+            (isa.GLD, 1, 0),
+            (isa.HALT, 1),
+        ],
+        global_names=["x"],
+    )
+    assert Machine(vm_program).run().value == 5
+
+
+def test_undefined_global_fails():
+    vm_program = program([(isa.GLD, 0, 0), (isa.HALT, 0)], global_names=["x"])
+    with pytest.raises(VMError, match="undefined global.*'x'"):
+        Machine(vm_program).run()
+
+
+# ----------------------------------------------------------------------
+# procedures
+# ----------------------------------------------------------------------
+
+
+def test_direct_call_and_return():
+    double = fn("double", 1, [(isa.ADD, 1, 0, 0), (isa.RET, 1)])
+    vm_program = program(
+        [(isa.LDC, 0, 21), (isa.CALLL, 1, 1, [0]), (isa.HALT, 1)],
+        extra_codes=[double],
+    )
+    assert Machine(vm_program).run().value == 42
+
+
+def test_closure_call_with_captured_variable():
+    # callee: r0 = arg, r1 = closure, r2 = loaded free var
+    adder = fn(
+        "adder",
+        1,
+        [(isa.LD, 2, 1, 9), (isa.ADD, 3, 0, 2), (isa.RET, 3)],
+        nfree=1,
+    )
+    vm_program = program(
+        [
+            (isa.LDC, 0, 100),
+            (isa.CLOSURE, 1, 1, [0]),
+            (isa.LDC, 2, 7),
+            (isa.CALL, 3, 1, [2]),
+            (isa.HALT, 3),
+        ],
+        extra_codes=[adder],
+    )
+    assert Machine(vm_program).run().value == 107
+
+
+def test_arity_mismatch_raises():
+    double = fn("double", 1, [(isa.RET, 0)])
+    vm_program = program(
+        [(isa.CALLL, 0, 1, []), (isa.HALT, 0)], extra_codes=[double]
+    )
+    with pytest.raises(SchemeError, match="arity"):
+        Machine(vm_program).run()
+
+
+def test_calling_non_closure_raises():
+    vm_program = program(
+        [(isa.LDC, 0, 42), (isa.CALL, 1, 0, []), (isa.HALT, 1)]
+    )
+    with pytest.raises(SchemeError, match="not a procedure"):
+        Machine(vm_program).run()
+
+
+def test_tail_call_does_not_grow_stack():
+    # loop(n): if n == 0 ret 0 else tailcall loop(n-1)
+    loop = fn(
+        "loop",
+        1,
+        [
+            (isa.JNEI, 0, 0, 2),
+            (isa.RET, 0),
+            (isa.SUBI, 1, 0, 1),
+            (isa.TAILL, 1, [1]),
+        ],
+    )
+    vm_program = program(
+        [(isa.LDC, 0, 100000), (isa.CALLL, 1, 1, [0]), (isa.HALT, 1)],
+        extra_codes=[loop],
+    )
+    result = Machine(vm_program).run()
+    assert result.value == 0
+
+
+def test_deep_non_tail_recursion_overflows():
+    # f(n): if n == 0 ret 0 else 0 + f(n-1)  (non-tail)
+    f = fn(
+        "f",
+        1,
+        [
+            (isa.JNEI, 0, 0, 2),
+            (isa.RET, 0),
+            (isa.SUBI, 1, 0, 1),
+            (isa.CALLL, 2, 1, [1]),
+            (isa.RET, 2),
+        ],
+    )
+    vm_program = program(
+        [(isa.LDC, 0, 100000), (isa.CALLL, 1, 1, [0]), (isa.HALT, 1)],
+        extra_codes=[f],
+    )
+    with pytest.raises(VMError, match="stack overflow"):
+        Machine(vm_program).run()
+
+
+# ----------------------------------------------------------------------
+# rest arguments and apply (need the registered pair rep)
+# ----------------------------------------------------------------------
+
+
+def _register_pairs_prefix():
+    return [
+        (isa.LDC, 10, 1),
+        (isa.REGPTR, 10),
+        (isa.LDC, 11, 7),
+        (isa.LDC, 12, 15),
+        (isa.REGPAIR, 10, 11, 12),
+        (isa.LDC, 13, 22),
+        (isa.REGNIL, 13),
+    ]
+
+
+def test_rest_arguments_build_a_list():
+    # variadic f(a . rest) returns rest's first element's car
+    f = fn(
+        "f",
+        1,
+        [(isa.LD, 2, 1, 7), (isa.RET, 2)],  # car of rest list
+        has_rest=True,
+    )
+    vm_program = program(
+        _register_pairs_prefix()
+        + [
+            (isa.LDC, 0, 1),
+            (isa.LDC, 1, 2),
+            (isa.LDC, 2, 3),
+            (isa.CALLL, 3, 1, [0, 1, 2]),
+            (isa.HALT, 3),
+        ],
+        extra_codes=[f],
+    )
+    result = Machine(vm_program).run()
+    assert result.value == 2
+    assert result.rest_conses == 2
+
+
+def test_empty_rest_is_nil():
+    f = fn("f", 0, [(isa.RET, 0)], has_rest=True)
+    vm_program = program(
+        _register_pairs_prefix() + [(isa.CALLL, 0, 1, []), (isa.HALT, 0)],
+        extra_codes=[f],
+    )
+    assert Machine(vm_program).run().value == 22
+
+
+def test_rest_without_registration_raises():
+    f = fn("f", 0, [(isa.RET, 0)], has_rest=True)
+    vm_program = program(
+        [(isa.CALLL, 0, 1, []), (isa.HALT, 0)], extra_codes=[f]
+    )
+    with pytest.raises(VMError, match="pair representation"):
+        Machine(vm_program).run()
+
+
+def test_apply_unpacks_list():
+    add = fn("add", 2, [(isa.ADD, 2, 0, 1), (isa.RET, 2)])
+    # build (30 . (12 . nil)) by hand, then APPLY
+    vm_program = program(
+        _register_pairs_prefix()
+        + [
+            (isa.ALLOCI, 0, 2, 1),   # second pair
+            (isa.LDC, 1, 12),
+            (isa.ST, 0, 7, 1),
+            (isa.LDC, 2, 22),
+            (isa.ST, 0, 15, 2),
+            (isa.ALLOCI, 3, 2, 1),   # first pair
+            (isa.LDC, 4, 30),
+            (isa.ST, 3, 7, 4),
+            (isa.ST, 3, 15, 0),
+            (isa.CLOSURE, 5, 1, []),
+            (isa.APPLY, 6, 5, 3),
+            (isa.HALT, 6),
+        ],
+        extra_codes=[add],
+    )
+    assert Machine(vm_program).run().value == 42
+
+
+# ----------------------------------------------------------------------
+# I/O and failure
+# ----------------------------------------------------------------------
+
+
+def test_putc_appends_output():
+    result = run(
+        [
+            (isa.LDC, 0, ord("h")),
+            (isa.PUTC, 0),
+            (isa.LDC, 0, ord("i")),
+            (isa.PUTC, 0),
+            (isa.LDC, 1, 0),
+            (isa.HALT, 1),
+        ]
+    )
+    assert result.output == "hi"
+
+
+def test_fail_raises_scheme_error_with_message():
+    with pytest.raises(SchemeError, match="type check failed"):
+        run([(isa.LDC, 0, 1), (isa.FAIL, 0)])
+
+
+def test_disassemble_format():
+    code = fn("f", 1, [(isa.ADDI, 1, 0, 5), (isa.RET, 1)])
+    text = isa.disassemble(code)
+    assert "ADDI 1 0 5" in text and "RET" in text

@@ -1,0 +1,480 @@
+"""Unit tests for the optimizer passes.
+
+These assert the *shapes* the paper relies on: abstract representation
+code collapsing to single machine operations.
+"""
+
+import pytest
+
+from repro.expand import expand_program
+from repro.ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Prim,
+    Var,
+    iter_tree,
+    pretty,
+)
+from repro.opt import OptimizerOptions, optimize_program
+from repro.sexpr import read_all
+
+
+def optimize(source, **kwargs):
+    kwargs.setdefault("prune_globals", False)
+    program = expand_program(read_all(source))
+    return optimize_program(program, OptimizerOptions(**kwargs))
+
+
+def body_of(program, name):
+    for form in program.forms:
+        if isinstance(form, GlobalSet) and form.name == name:
+            assert isinstance(form.value, Lambda), pretty(form.value)
+            return form.value.body
+    raise AssertionError(f"no definition of {name}")
+
+
+def defn_of(program, name):
+    for form in program.forms:
+        if isinstance(form, GlobalSet) and form.name == name:
+            return form.value
+    raise AssertionError(f"no definition of {name}")
+
+
+MICRO_PRELUDE = """
+(define (%sx-fixnum raw) (%lsl raw (%raw 3)))
+(define %sx-false (%or (%lsl (%raw 0) (%raw 8)) (%raw 6)))
+(define %sx-true (%or (%lsl (%raw 1) (%raw 8)) (%raw 6)))
+(define %sx-unspecified (%or (%lsl (%raw 3) (%raw 8)) (%raw 6)))
+"""
+
+
+# ----------------------------------------------------------------------
+# constant folding and propagation
+# ----------------------------------------------------------------------
+
+
+def test_fold_fixnum_literal():
+    program = optimize(MICRO_PRELUDE + "(define (f) 5)")
+    body = body_of(program, "f")
+    assert isinstance(body, Const) and body.value == 40
+
+
+def test_fold_arith_chain():
+    program = optimize(MICRO_PRELUDE + "(define (f) (%add (%raw 1) (%mul (%raw 3) (%raw 4))))")
+    assert body_of(program, "f").value == 13
+
+
+def test_global_constant_propagation():
+    program = optimize(MICRO_PRELUDE + "(define k (%raw 10)) (define (f) k)")
+    assert body_of(program, "f").value == 10
+
+
+def test_mutated_global_not_propagated():
+    program = optimize(
+        MICRO_PRELUDE + "(define k (%raw 10)) (define (f) k) (set! k (%raw 11))"
+    )
+    body = body_of(program, "f")
+    assert not isinstance(body, Const)
+
+
+def test_division_by_zero_not_folded():
+    program = optimize(MICRO_PRELUDE + "(define (f) (%div (%raw 1) (%raw 0)))")
+    body = body_of(program, "f")
+    assert isinstance(body, Prim) and body.op == "%div"
+
+
+def test_let_constant_propagates():
+    program = optimize(MICRO_PRELUDE + "(define (f x) (let ((a (%raw 7))) (%add x a)))")
+    body = body_of(program, "f")
+    assert isinstance(body, Prim)
+    assert isinstance(body.args[1], Const) and body.args[1].value == 7
+
+
+def test_assigned_local_not_propagated():
+    program = optimize(
+        MICRO_PRELUDE
+        + "(define (f x) (let ((a (%raw 7))) (set! a x) (%add x a)))"
+    )
+    body = body_of(program, "f")
+    assert isinstance(body, Let)
+
+
+# ----------------------------------------------------------------------
+# inlining and beta
+# ----------------------------------------------------------------------
+
+
+def test_toplevel_procedure_inlined():
+    program = optimize(
+        MICRO_PRELUDE
+        + "(define (add2 a) (%add a (%raw 2))) (define (g a) (add2 (add2 a)))"
+    )
+    body = body_of(program, "g")
+    assert isinstance(body, Prim) and body.op == "%add"
+    assert body.args[1].value == 4
+
+
+def test_recursive_procedure_not_inlined():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (loop n) (if (%eq n (%raw 0)) (%raw 1) (loop (%sub n (%raw 1)))))
+            (define (g) (loop (%raw 5)))"""
+    )
+    body = body_of(program, "g")
+    assert isinstance(body, Call)
+
+
+def test_mutually_recursive_not_inlined():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (even? n) (if (%eq n (%raw 0)) %sx-true (odd? (%sub n (%raw 1)))))
+            (define (odd? n) (if (%eq n (%raw 0)) %sx-false (even? (%sub n (%raw 1)))))
+            (define (g) (even? (%raw 4)))"""
+    )
+    assert isinstance(body_of(program, "g"), Call)
+
+
+def test_local_lambda_inlined():
+    program = optimize(
+        MICRO_PRELUDE + "(define (f x) (let ((g (lambda (y) (%add y (%raw 1))))) (g x)))"
+    )
+    body = body_of(program, "f")
+    assert isinstance(body, Prim) and body.op == "%add"
+
+
+def test_beta_reduction_of_direct_lambda_call():
+    program = optimize(MICRO_PRELUDE + "(define (f x) ((lambda (y) (%add y y)) x))")
+    body = body_of(program, "f")
+    assert isinstance(body, Prim)
+
+
+def test_inline_size_budget_respected():
+    # A body that cannot fold smaller: 40 loads at distinct offsets.
+    chain = "(%raw 0)"
+    for i in range(40):
+        chain = f"(%add {chain} (%load x (%raw {i * 8})))"
+    # Two call sites: the single-use exemption must not apply.
+    source = MICRO_PRELUDE + (
+        f"(define (big x) {chain})"
+        "(define (g a) (big a))"
+        "(define (h a) (big a))"
+    )
+    program = optimize(source, max_inline_size=10)
+    assert isinstance(body_of(program, "g"), Call)
+    assert isinstance(body_of(program, "h"), Call)
+
+
+def test_single_use_inlined_despite_size():
+    chain = "(%raw 0)"
+    for i in range(40):
+        chain = f"(%add {chain} (%load x (%raw {i * 8})))"
+    source = MICRO_PRELUDE + f"(define (big x) {chain}) (define (g a) (big a))"
+    program = optimize(source, max_inline_size=10)
+    body = body_of(program, "g")
+    assert isinstance(body, Prim)  # inlined: body is the %add chain
+
+
+def test_closure_factory_specializes():
+    # The paper's central pattern: a factory over constants yields a
+    # closure whose body folds completely.
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (%ptr-accessor tag i)
+              (lambda (x) (%load x (%sub (%mul (%add i (%raw 1)) (%raw 8)) tag))))
+            (define car (%ptr-accessor (%raw 1) (%raw 0)))"""
+    )
+    car = defn_of(program, "car")
+    assert isinstance(car, Lambda)
+    assert isinstance(car.body, Prim) and car.body.op == "%load"
+    assert car.body.args[1].value == 7
+
+
+def test_call_of_specialized_accessor_open_codes():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (%ptr-accessor tag i)
+              (lambda (x) (%load x (%sub (%mul (%add i (%raw 1)) (%raw 8)) tag))))
+            (define car (%ptr-accessor (%raw 1) (%raw 0)))
+            (define (first x) (car x))"""
+    )
+    body = body_of(program, "first")
+    assert isinstance(body, Prim) and body.op == "%load"
+
+
+# ----------------------------------------------------------------------
+# branch simplification
+# ----------------------------------------------------------------------
+
+
+def test_if_of_constant_folds():
+    program = optimize(MICRO_PRELUDE + "(define (f) (if (%eq (%raw 1) (%raw 1)) (%raw 5) (%raw 6)))")
+    assert body_of(program, "f").value == 5
+
+
+def test_predicate_in_test_position_becomes_branch():
+    # (if (pair? x) a b) where pair? returns #t/#f must compile to a
+    # single tag-compare branch, with the booleans gone.
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (pair? x) (if (%eq (%and x (%raw 7)) (%raw 1)) %sx-true %sx-false))
+            (define (f x) (if (pair? x) (%raw 1) (%raw 2)))"""
+    )
+    body = body_of(program, "f")
+    assert isinstance(body, If)
+    assert isinstance(body.test, Prim) and body.test.op == "%eq"
+    assert isinstance(body.then, Const) and body.then.value == 1
+
+
+def test_same_constant_branches_collapse():
+    program = optimize(MICRO_PRELUDE + "(define (f x) (if (%eq x (%raw 0)) (%raw 7) (%raw 7)))")
+    body = body_of(program, "f")
+    assert isinstance(body, Const) and body.value == 7
+
+
+def test_nz_of_comparison_dropped():
+    program = optimize(MICRO_PRELUDE + "(define (f x) (if (%nz (%lt x (%raw 5))) (%raw 1) (%raw 0)))")
+    body = body_of(program, "f")
+    assert isinstance(body.test, Prim) and body.test.op == "%lt"
+
+
+# ----------------------------------------------------------------------
+# algebraic simplification
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        ("(%add x (%raw 0))", "x"),
+        ("(%mul x (%raw 1))", "x"),
+        ("(%and x (%raw -1))", "x"),
+        ("(%or x (%raw 0))", "x"),
+        ("(%xor x x)", "0"),
+        ("(%sub x x)", "0"),
+        ("(%lsl x (%raw 0))", "x"),
+    ],
+)
+def test_identity_rules(expr, expected):
+    program = optimize(MICRO_PRELUDE + f"(define (f x) {expr})")
+    body = body_of(program, "f")
+    if expected == "x":
+        assert isinstance(body, Var)
+    else:
+        assert isinstance(body, Const) and body.value == int(expected)
+
+
+def test_shift_reassociation():
+    program = optimize(MICRO_PRELUDE + "(define (f x) (%lsl (%lsl x (%raw 2)) (%raw 3)))")
+    body = body_of(program, "f")
+    assert body.op == "%lsl" and body.args[1].value == 5
+
+
+def test_untag_retag_becomes_mask():
+    program = optimize(MICRO_PRELUDE + "(define (f x) (%lsl (%asr x (%raw 3)) (%raw 3)))")
+    body = body_of(program, "f")
+    assert body.op == "%and"
+    assert body.args[1].value == (2**64 - 8)
+
+
+def test_add_chain_reassociates_through_let():
+    program = optimize(
+        MICRO_PRELUDE
+        + "(define (g a) (let ((t (%add a (%raw 16)))) (%add t (%raw 16))))"
+    )
+    body = body_of(program, "g")
+    assert isinstance(body, Prim) and body.op == "%add"
+    assert body.args[1].value == 32
+
+
+# ----------------------------------------------------------------------
+# CSE and check elimination
+# ----------------------------------------------------------------------
+
+
+def test_dominating_check_elimination():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (safe-car x)
+              (if (%eq (%and x (%raw 7)) (%raw 1)) (%load x (%raw 7)) (%fail (%raw 1))))
+            (define (f x)
+              (if (%eq (%and x (%raw 7)) (%raw 1)) (safe-car x) (%raw 0)))"""
+    )
+    body = body_of(program, "f")
+    assert isinstance(body, If)
+    # the inner check must be gone: then-branch is the bare load
+    assert isinstance(body.then, Prim) and body.then.op == "%load"
+    fails = [n for n in iter_tree(body) if isinstance(n, Prim) and n.op == "%fail"]
+    assert not fails
+
+
+def test_available_expression_reuse():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (f x)
+              (let ((a (%and x (%raw 7))))
+                (let ((b (%and x (%raw 7))))
+                  (%add a b))))"""
+    )
+    body = body_of(program, "f")
+    ands = [n for n in iter_tree(body) if isinstance(n, Prim) and n.op == "%and"]
+    assert len(ands) == 1
+
+
+def test_load_not_reused_across_store():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (f x v)
+              (let ((a (%load x (%raw 7))))
+                (begin
+                  (%store x (%raw 7) v)
+                  (let ((b (%load x (%raw 7))))
+                    (%add a b)))))"""
+    )
+    body = body_of(program, "f")
+    loads = [n for n in iter_tree(body) if isinstance(n, Prim) and n.op == "%load"]
+    assert len(loads) == 2
+
+
+def test_load_reused_without_store():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (f x)
+              (let ((a (%load x (%raw 7))))
+                (let ((b (%load x (%raw 7))))
+                  (%add a b))))"""
+    )
+    body = body_of(program, "f")
+    loads = [n for n in iter_tree(body) if isinstance(n, Prim) and n.op == "%load"]
+    assert len(loads) == 1
+
+
+# ----------------------------------------------------------------------
+# dead-code elimination
+# ----------------------------------------------------------------------
+
+
+def test_unused_pure_binding_dropped():
+    program = optimize(MICRO_PRELUDE + "(define (f x) (let ((u (%add x (%raw 1)))) x))")
+    body = body_of(program, "f")
+    assert isinstance(body, Var)
+
+
+def test_unused_effectful_binding_keeps_effect():
+    program = optimize(
+        MICRO_PRELUDE + "(define (f x v) (let ((u (%store x (%raw 7) v))) x))"
+    )
+    body = body_of(program, "f")
+    stores = [n for n in iter_tree(body) if isinstance(n, Prim) and n.op == "%store"]
+    assert len(stores) == 1
+
+
+def test_unused_fix_binding_dropped():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (f x)
+              (letrec ((unused (lambda (n) (unused n))))
+                x))"""
+    )
+    body = body_of(program, "f")
+    assert isinstance(body, Var)
+
+
+def test_prune_unreferenced_globals():
+    program = expand_program(
+        read_all(MICRO_PRELUDE + "(define (unused) (%raw 1)) (%raw 42)")
+    )
+    optimized = optimize_program(program, OptimizerOptions())
+    names = [form.name for form in optimized.forms if isinstance(form, GlobalSet)]
+    assert "unused" not in names
+    assert "%sx-fixnum" not in names  # prelude pruned too
+
+
+# ----------------------------------------------------------------------
+# letrec fixing
+# ----------------------------------------------------------------------
+
+
+def test_letrec_of_lambdas_becomes_fix():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (f n)
+              (letrec ((loop (lambda (i) (if (%eq i n) i (loop (%add i (%raw 1)))))))
+                (loop (%raw 0))))""",
+        inline=False,
+    )
+    body = body_of(program, "f")
+    assert isinstance(body, Fix)
+
+
+def test_letrec_complex_init_uses_boxes_later():
+    source = MICRO_PRELUDE + """
+        (define (g) (%raw 5))
+        (define (f) (letrec ((a (g)) (b (lambda () a))) (b)))
+    """
+    program = optimize(source, inline=False)
+    body = body_of(program, "f")
+    # complex init became a set!-style initialisation under a let
+    assert isinstance(body, Let)
+
+
+# ----------------------------------------------------------------------
+# the "optimizer off" configuration
+# ----------------------------------------------------------------------
+
+
+def test_none_options_preserve_calls():
+    program = expand_program(
+        read_all(MICRO_PRELUDE + "(define (f) 5) (define (g) (f))")
+    )
+    options = OptimizerOptions.none()
+    options.prune_globals = False
+    optimized = optimize_program(program, options)
+    body = body_of(optimized, "g")
+    assert isinstance(body, Call)
+    body = body_of(optimized, "f")
+    assert isinstance(body, Call)  # %sx-fixnum call not folded
+
+
+def test_forwarding_does_not_move_reads_of_assigned_vars():
+    # Regression: (let ((tmp p)) (set! p q) (set! q tmp)) must read p
+    # *before* the assignments (the classic swap macro).
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (f p q)
+              (begin
+                (let ((tmp p)) (begin (set! p q) (set! q tmp)))
+                (if (%eq p (%raw 2)) (%eq q (%raw 1)) (%raw 0))))"""
+    )
+    body = body_of(program, "f")
+    # the read of p must still be bound before the first set!
+    text = pretty(body)
+    first_set = text.index("set!")
+    assert "tmp" in text[:first_set] or "(let" in text[:first_set], text
+
+
+def test_hoist_does_not_reorder_assigned_reads():
+    program = optimize(
+        MICRO_PRELUDE
+        + """(define (f p)
+              (%add p (begin (set! p (%raw 5)) (%raw 1))))"""
+    )
+    body = body_of(program, "f")
+    # %add's first operand is the *old* p: the hoist must not have put
+    # the set! first with a direct read of p afterwards.
+    assert not (
+        isinstance(body, type(body))
+        and pretty(body).startswith("(begin (set!")
+    ), pretty(body)
+
+
+def test_without_returns_modified_copy():
+    options = OptimizerOptions()
+    ablated = options.without("inline")
+    assert ablated.inline is False and options.inline is True
+    with pytest.raises(ValueError):
+        options.without("nonsense")

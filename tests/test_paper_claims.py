@@ -1,0 +1,155 @@
+"""The paper's claims, as executable assertions.
+
+These are the reproduction's acceptance tests: the abstract
+representation-type code, after the general-purpose optimizer, must
+match the hand-coded baseline (per-operation static instruction counts
+and whole-program dynamic counts), and must beat the unoptimized
+configuration by a wide margin.
+"""
+
+import pytest
+
+from repro import CompileOptions, OptimizerOptions, compile_source, decode, run_source
+from repro.vm import isa
+
+from .conftest import BASE, OPT, UNOPT
+
+
+def keep_all(base: CompileOptions) -> CompileOptions:
+    """A copy of a configuration with global pruning off, so probe
+    procedures survive even when nothing calls them."""
+    optimizer = OptimizerOptions(**base.optimizer.__dict__)
+    optimizer.prune_globals = False
+    return CompileOptions(
+        optimizer=optimizer, prelude=base.prelude, safety=base.safety
+    )
+
+
+UNSAFE_OPT = keep_all(CompileOptions(safety=False))
+UNSAFE_BASE = keep_all(CompileOptions.baseline(safety=False))
+SAFE_OPT = keep_all(OPT)
+SAFE_BASE = keep_all(BASE)
+
+
+def wrapped(op_call):
+    """A one-operation procedure, so static counts isolate the op."""
+    return f"(define (probe x y z) {op_call})\n'done"
+
+
+def static_count(op_call, options):
+    compiled = compile_source(wrapped(op_call), options)
+    return compiled.static_instruction_count("probe")
+
+
+OPS = [
+    "(car x)",
+    "(cdr x)",
+    "(cons x y)",
+    "(pair? x)",
+    "(null? x)",
+    "(vector-ref x y)",
+    "(vector-set! x y z)",
+    "(vector-length x)",
+    "(+ x y)",
+    "(- x y)",
+    "(* x y)",
+    "(< x y)",
+    "(eq? x y)",
+    "(char->integer x)",
+]
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_unsafe_abstract_matches_handcoded_exactly(op):
+    """Headline claim: with checks off, the rep-type code compiles to
+    exactly as few instructions as the hand-written version."""
+    abstract = static_count(op, UNSAFE_OPT)
+    handcoded = static_count(op, UNSAFE_BASE)
+    assert abstract <= handcoded, (op, abstract, handcoded)
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_safe_abstract_is_no_worse_than_handcoded(op):
+    abstract = static_count(op, SAFE_OPT)
+    handcoded = static_count(op, SAFE_BASE)
+    assert abstract <= handcoded + 1, (op, abstract, handcoded)
+
+
+@pytest.mark.parametrize("op", ["(car x)", "(cdr x)", "(vector-length x)"])
+def test_unsafe_accessors_are_single_loads(op):
+    compiled = compile_source(wrapped(op), UNSAFE_OPT)
+    code = compiled.vm_program.code_named("probe")
+    body_ops = [ins[0] for ins in code.instructions]
+    # exactly: LD, RET
+    assert body_ops == [isa.LD, isa.RET], compiled.disassemble("probe")
+
+
+def test_unsafe_fixnum_add_is_single_add():
+    compiled = compile_source(wrapped("(+ x y)"), UNSAFE_OPT)
+    code = compiled.vm_program.code_named("probe")
+    assert [ins[0] for ins in code.instructions] == [isa.ADD, isa.RET]
+
+
+def test_unoptimized_abstract_is_much_larger_dynamically():
+    source = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 14)"
+    unopt = run_source(source, UNOPT).steps
+    opt = run_source(source, OPT).steps
+    assert unopt / opt > 3.0
+
+
+def test_optimized_within_factor_of_baseline_dynamically():
+    source = """
+    (define (build n) (if (= n 0) '() (cons n (build (- n 1)))))
+    (define (total lst) (if (null? lst) 0 (+ (car lst) (total (cdr lst)))))
+    (total (build 200))
+    """
+    opt = run_source(source, OPT).steps
+    base = run_source(source, BASE).steps
+    assert opt <= base * 1.25
+    assert base <= opt * 1.25
+
+
+def test_dominating_check_eliminated_in_safe_mode():
+    """(if (pair? x) (car x) …): the car must not re-check."""
+    source = """
+    (define (first-or-zero x) (if (pair? x) (car x) 0))
+    (first-or-zero '(9))
+    """
+    compiled = compile_source(source, SAFE_OPT)
+    code = compiled.vm_program.code_named("first-or-zero")
+    fails = [ins for ins in code.instructions if ins[0] == isa.FAIL]
+    assert not fails, compiled.disassemble("first-or-zero")
+    assert decode(compiled.run()) == 9
+
+
+def test_repeated_arith_checks_collapse():
+    source = "(define (poly x) (+ (* x x) (+ x 1)))\n(poly 5)"
+    compiled = compile_source(source, SAFE_OPT)
+    code = compiled.vm_program.code_named("poly")
+    checks = [ins for ins in code.instructions if ins[0] == isa.FAIL]
+    # One check for x (deduplicated across the three operations) plus one
+    # for the outer sum of computed values, same as hand-written code.
+    assert len(checks) <= 2, compiled.disassemble("poly")
+    base_code = compile_source(source, SAFE_BASE).vm_program.code_named("poly")
+    base_checks = [ins for ins in base_code.instructions if ins[0] == isa.FAIL]
+    assert len(checks) <= len(base_checks)
+
+
+def test_literal_encodings_fold_to_constants():
+    compiled = compile_source("(define (k) 41)\n(k)", SAFE_OPT)
+    code = compiled.vm_program.code_named("k")
+    assert [ins[0] for ins in code.instructions] == [isa.LDC, isa.RET]
+    assert code.instructions[0][2] == 41 * 8  # the library's tagging
+
+
+def test_boolean_literals_fold():
+    compiled = compile_source("(define (t) #t)\n(t)", SAFE_OPT)
+    code = compiled.vm_program.code_named("t")
+    assert code.instructions[0][0] == isa.LDC
+    assert code.instructions[0][2] == 14  # (1<<3)|6 per the library
+
+
+def test_static_code_size_shrinks_with_pruning():
+    full = compile_source("'x", SAFE_OPT).static_instruction_count()
+    pruned = compile_source("'x", OPT).static_instruction_count()
+    assert pruned < full

@@ -1,0 +1,116 @@
+"""Static checks over the prelude sources themselves.
+
+* Both preludes (representation-type and hand-coded) must define the
+  same public vocabulary — otherwise configuration comparisons are
+  apples to oranges.
+* Every procedure documented in docs/LANGUAGE.md's lists must actually
+  be defined.
+"""
+
+import os
+
+import pytest
+
+from repro.expand import Expander
+from repro.ir import GlobalSet
+from repro.runtime import prelude_source
+from repro.sexpr import read_all
+
+
+def defined_names(kind: str, safety: bool = True) -> set[str]:
+    expander = Expander()
+    program = expander.expand_program(read_all(prelude_source(kind, safety)))
+    return {form.name for form in program.forms if isinstance(form, GlobalSet)}
+
+
+REPTYPE = defined_names("reptype")
+HANDCODED = defined_names("handcoded")
+
+
+def is_public(name: str) -> bool:
+    return not name.startswith("%")
+
+
+def test_public_vocabulary_identical():
+    reptype_public = {n for n in REPTYPE if is_public(n)}
+    handcoded_public = {n for n in HANDCODED if is_public(n)}
+    assert reptype_public == handcoded_public, (
+        reptype_public ^ handcoded_public
+    )
+
+
+def test_safety_variants_define_same_public_names():
+    # Internal helpers may differ (the hand-coded prelude selects its
+    # safety variant textually); the public vocabulary must not.
+    def public(names):
+        return {n for n in names if is_public(n)}
+
+    assert public(defined_names("reptype", safety=False)) == public(REPTYPE)
+    assert public(defined_names("handcoded", safety=False)) == public(HANDCODED)
+
+
+def test_expander_support_names_present():
+    # Names the expander's literal lowering emits must exist.
+    required = {
+        "%sx-fixnum", "%sx-char", "%sx-true", "%sx-false", "%sx-nil",
+        "%sx-unspecified", "%sx-eof", "%sx-cons", "%sx-append",
+        "%sx-list->vector", "%sx-intern-literal", "%sx-string-alloc-raw",
+        "%sx-string-init!", "%sx-vector-alloc-raw", "%sx-vector-init!",
+        "%sx-eqv?",
+    }
+    assert required <= REPTYPE
+    assert required <= HANDCODED
+
+
+DOCUMENTED_PROCEDURES = """
+eq? eqv? equal? not boolean? eof-object?
++ - * quotient remainder modulo = < <= > >= zero? negative? positive?
+abs min max even? odd? expt gcd 1+ -1+ number->string string->number
+fixnum? integer? number? fx+ fx- fx* fx< fx=
+char? char->integer integer->char char=? char<? char<=? char>? char>=?
+char-alphabetic? char-numeric? char-whitespace? char-upcase char-downcase
+cons car cdr set-car! set-cdr! pair? null? caar cadr cdar cddr caddr
+cdddr cadddr list length list? list-tail list-ref last-pair append
+reverse memq memv member assq assv assoc map for-each filter fold-left
+fold-right reduce sort iota list-copy list-index take drop delete
+remove-duplicates count any every append! assq-del
+vector? make-vector vector vector-length vector-ref vector-set!
+vector->list list->vector vector-fill! vector-map vector-for-each
+string? make-string string string-length string-ref string-set!
+string->list list->string substring string-copy string-append string=?
+string<? string-fill! string-upcase string-downcase string-index
+string-contains? string-join string-split
+symbol? symbol->string string->symbol
+procedure? apply call/cc call-with-current-continuation
+call-with-escape-continuation delay force make-promise promise?
+make-hash-table hash-table? hash-table-set! hash-table-ref
+hash-table-contains? hash-table-delete! hash-table-count
+hash-table-keys hash-table->alist
+display write newline write-char read-char peek-char read-line read
+read-all error
+rep-of rep-name rep-kind rep-tag rep-field-count rep-constructor
+rep-predicate rep-accessor rep-mutator rep-type? tag-of record?
+make-record-rep make-immediate-rep rep-field-names rep-field-index
+record-field-accessor record-field-mutator
+pair-rep vector-rep string-rep symbol-rep fixnum-rep char-rep
+boolean-rep null-rep unspecified-rep eof-rep procedure-rep
+""".split()
+
+# `delay` and `case-lambda` are macros, not globals:
+_MACROS = {"delay", "case-lambda", "define-record-type"}
+
+
+@pytest.mark.parametrize("name", sorted(set(DOCUMENTED_PROCEDURES) - _MACROS))
+def test_documented_name_is_defined(name):
+    assert name in REPTYPE, f"{name} documented but not defined (reptype)"
+    assert name in HANDCODED, f"{name} documented but not defined (handcoded)"
+
+
+def test_language_doc_exists_and_mentions_key_sections():
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "docs", "LANGUAGE.md"
+    )
+    with open(path) as handle:
+        text = handle.read()
+    for heading in ("Machine primitives", "Representation types", "syntax-rules"):
+        assert heading in text

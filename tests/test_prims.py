@@ -1,0 +1,122 @@
+"""Unit and property tests for the machine-primitive fold semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import prims
+from repro.prims import FoldCannot, fold, signed, wrap
+
+words = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def test_table_contents():
+    table = prims.all_prims()
+    assert "%add" in table and "%load" in table
+    assert table["%add"].pure
+    assert table["%add"].fold is not None
+    assert not table["%store"].pure
+    assert table["%load"].removable
+    assert not table["%store"].removable
+    assert table["%eq"].comparison
+    assert not table["%add"].comparison
+
+
+def test_lookup_and_spec():
+    assert prims.lookup("%nope") is None
+    assert prims.spec("%add").arity == 2
+    with pytest.raises(KeyError):
+        prims.spec("%nope")
+    assert prims.is_prim_name("%mul")
+    assert not prims.is_prim_name("car")
+
+
+def test_wrap_and_signed():
+    assert wrap(-1) == 2**64 - 1
+    assert signed(2**64 - 1) == -1
+    assert signed(5) == 5
+    assert wrap(2**64 + 3) == 3
+    assert signed(2**63) == -(2**63)
+
+
+@given(words, words)
+def test_add_sub_inverse(a, b):
+    assert fold.fold_sub(fold.fold_add(a, b), b) == a
+
+
+@given(words)
+def test_not_involution(a):
+    assert fold.fold_not(fold.fold_not(a)) == a
+
+
+@given(words, words)
+def test_xor_self_inverse(a, b):
+    assert fold.fold_xor(fold.fold_xor(a, b), b) == a
+
+
+@given(words)
+def test_shift_identity(a):
+    assert fold.fold_lsl(a, 0) == a
+    assert fold.fold_lsr(a, 0) == a
+    assert fold.fold_asr(a, 0) == a
+
+
+@given(words, st.integers(min_value=0, max_value=63))
+def test_lsr_then_lsl_masks(a, n):
+    masked = fold.fold_lsl(fold.fold_lsr(a, n), n)
+    assert masked == (a & wrap(~((1 << n) - 1)))
+
+
+@given(st.integers(min_value=-(2**60), max_value=2**60), st.integers(min_value=0, max_value=3))
+def test_asr_is_arithmetic(value, n):
+    assert signed(fold.fold_asr(wrap(value), n)) == value >> n
+
+
+def test_shift_amount_wraps_at_64():
+    assert fold.fold_lsl(1, 64) == 1  # hardware-style: count & 63
+    assert fold.fold_lsl(1, 65) == 2
+
+
+@given(words, words)
+def test_comparisons_are_boolean(a, b):
+    for fn in (fold.fold_eq, fold.fold_neq, fold.fold_lt, fold.fold_le,
+               fold.fold_ult, fold.fold_ule):
+        assert fn(a, b) in (0, 1)
+    assert fold.fold_eq(a, b) ^ fold.fold_neq(a, b) == 1
+
+
+@given(words, words)
+def test_signed_comparison_matches_python(a, b):
+    assert fold.fold_lt(a, b) == (1 if signed(a) < signed(b) else 0)
+    assert fold.fold_ult(a, b) == (1 if a < b else 0)
+
+
+def test_division_semantics_truncate_toward_zero():
+    assert signed(fold.fold_div(wrap(7), wrap(2))) == 3
+    assert signed(fold.fold_div(wrap(-7), wrap(2))) == -3
+    assert signed(fold.fold_div(wrap(7), wrap(-2))) == -3
+    assert signed(fold.fold_mod(wrap(7), wrap(2))) == 1
+    assert signed(fold.fold_mod(wrap(-7), wrap(2))) == -1
+    assert signed(fold.fold_mod(wrap(7), wrap(-2))) == 1
+
+
+def test_division_by_zero_raises_foldcannot():
+    with pytest.raises(FoldCannot):
+        fold.fold_div(1, 0)
+    with pytest.raises(FoldCannot):
+        fold.fold_mod(1, 0)
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31),
+       st.integers(min_value=-(2**31), max_value=2**31))
+def test_mul_matches_python_in_range(a, b):
+    assert signed(fold.fold_mul(wrap(a), wrap(b))) == a * b
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31),
+       st.integers(min_value=-(2**31), max_value=2**31).filter(lambda x: x != 0))
+def test_div_mod_identity(a, b):
+    q = signed(fold.fold_div(wrap(a), wrap(b)))
+    r = signed(fold.fold_mod(wrap(a), wrap(b)))
+    assert q * b + r == a
+    assert abs(r) < abs(b)

@@ -1,0 +1,168 @@
+"""Unit tests for the S-expression reader."""
+
+import pytest
+
+from repro.errors import ReaderError
+from repro.sexpr import EOF, NIL, UNSPECIFIED, Char, Symbol, cons, from_list, read, read_all
+
+
+def sym(name):
+    return Symbol(name)
+
+
+# ----------------------------------------------------------------------
+# atoms
+# ----------------------------------------------------------------------
+
+
+def test_read_fixnums():
+    assert read("42") == 42
+    assert read("-7") == -7
+    assert read("+13") == 13
+    assert read("0") == 0
+
+
+def test_read_radix_literals():
+    assert read("#x10") == 16
+    assert read("#b101") == 5
+    assert read("#o17") == 15
+    assert read("#d99") == 99
+    assert read("#xff") == 255
+
+
+def test_read_booleans():
+    assert read("#t") is True
+    assert read("#f") is False
+    assert read("#true") is True
+    assert read("#false") is False
+
+
+def test_read_symbols():
+    assert read("foo") is sym("foo")
+    assert read("set!") is sym("set!")
+    assert read("+") is sym("+")
+    assert read("-") is sym("-")
+    assert read("...") is sym("...")
+    assert read("list->vector") is sym("list->vector")
+    assert read("1+") is sym("1+")
+
+
+def test_read_characters():
+    assert read("#\\a") == Char(ord("a"))
+    assert read("#\\A") == Char(ord("A"))
+    assert read("#\\space") == Char(32)
+    assert read("#\\newline") == Char(10)
+    assert read("#\\tab") == Char(9)
+    assert read("#\\(") == Char(ord("("))
+    assert read("#\\x41") == Char(65)
+    assert read("#\\0") == Char(ord("0"))
+
+
+def test_read_eof_and_unspecified_literals():
+    assert read("#!eof") is EOF
+    assert read("#!unspecific") is UNSPECIFIED
+
+
+def test_read_strings():
+    assert read('"hello"') == "hello"
+    assert read('""') == ""
+    assert read(r'"a\nb"') == "a\nb"
+    assert read(r'"a\"b"') == 'a"b'
+    assert read(r'"back\\slash"') == "back\\slash"
+    assert read(r'"\x41;"') == "A"
+
+
+# ----------------------------------------------------------------------
+# compound data
+# ----------------------------------------------------------------------
+
+
+def test_read_lists():
+    assert read("()") is NIL
+    assert read("(1 2 3)") == from_list([1, 2, 3])
+    assert read("(a (b c) d)") == from_list(
+        [sym("a"), from_list([sym("b"), sym("c")]), sym("d")]
+    )
+    assert read("[1 2]") == from_list([1, 2])
+
+
+def test_read_dotted_pairs():
+    assert read("(1 . 2)") == cons(1, 2)
+    assert read("(1 2 . 3)") == from_list([1, 2], tail=3)
+
+
+def test_read_vectors():
+    assert read("#(1 2 3)") == [1, 2, 3]
+    assert read("#()") == []
+    assert read("#(#(1) 2)") == [[1], 2]
+
+
+def test_read_quote_shorthands():
+    assert read("'x") == from_list([sym("quote"), sym("x")])
+    assert read("`x") == from_list([sym("quasiquote"), sym("x")])
+    assert read(",x") == from_list([sym("unquote"), sym("x")])
+    assert read(",@x") == from_list([sym("unquote-splicing"), sym("x")])
+    assert read("''x") == from_list(
+        [sym("quote"), from_list([sym("quote"), sym("x")])]
+    )
+
+
+# ----------------------------------------------------------------------
+# comments and whitespace
+# ----------------------------------------------------------------------
+
+
+def test_line_comments():
+    assert read_all("; nothing\n1 ; one\n2") == [1, 2]
+
+
+def test_block_comments_nest():
+    assert read_all("#| outer #| inner |# still outer |# 5") == [5]
+
+
+def test_datum_comments():
+    assert read_all("(1 #;2 3)") == [from_list([1, 3])]
+    assert read_all("#;(a b) 7") == [7]
+
+
+def test_read_all_multiple():
+    assert read_all("1 2 (3)") == [1, 2, from_list([3])]
+    assert read_all("") == []
+    assert read_all("   ; just a comment") == []
+
+
+# ----------------------------------------------------------------------
+# errors
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "(1 2",
+        ")",
+        "(1 . 2 3)",
+        "(. 2)",
+        '"unterminated',
+        "#\\",
+        "#q",
+        "#xZZ",
+        "(1 . )",
+        "#|x",
+        r'"\q"',
+    ],
+)
+def test_reader_errors(bad):
+    with pytest.raises(ReaderError):
+        read_all(bad)
+
+
+def test_reader_error_has_position():
+    with pytest.raises(ReaderError) as excinfo:
+        read_all("(a\n   ")
+    assert excinfo.value.line >= 1
+    assert "line" in str(excinfo.value)
+
+
+def test_read_empty_returns_none():
+    assert read("") is None

@@ -1,0 +1,214 @@
+"""Integration tests for the first-class layer: representation-type
+descriptors, reflection, and runtime-created types.
+
+These pin down the paper's "first-class" half: the same representation
+objects the optimizer exploits statically are ordinary runtime values.
+"""
+
+import pytest
+
+from repro import SchemeError
+from repro.sexpr import Symbol
+
+from .conftest import evaluate, output_of
+
+
+# ----------------------------------------------------------------------
+# descriptors of built-in types
+# ----------------------------------------------------------------------
+
+
+def test_rep_names():
+    assert evaluate("(rep-name pair-rep)") == Symbol("pair")
+    assert evaluate("(rep-name fixnum-rep)") == Symbol("fixnum")
+    assert evaluate("(rep-name char-rep)") == Symbol("char")
+
+
+def test_rep_kinds_and_tags():
+    assert evaluate("(rep-kind pair-rep)") == Symbol("pointer")
+    assert evaluate("(rep-tag pair-rep)") == 1
+    assert evaluate("(rep-kind char-rep)") == Symbol("immediate")
+    assert evaluate("(rep-field-count pair-rep)") == 2
+
+
+def test_reflective_ops_are_the_optimized_ops():
+    # The stored accessor IS car — one system, not two.
+    assert evaluate("(eq? (rep-accessor pair-rep 0) car)") is True
+    assert evaluate("(eq? (rep-accessor pair-rep 1) cdr)") is True
+    assert evaluate("(eq? (rep-mutator pair-rep 0) set-car!)") is True
+    assert evaluate("(eq? (rep-constructor pair-rep) cons)") is True
+    assert evaluate("(eq? (rep-predicate pair-rep) pair?)") is True
+
+
+def test_dynamic_dispatch_through_rep():
+    assert evaluate("((rep-accessor pair-rep 0) (cons 7 8))") == 7
+    assert evaluate("((rep-constructor pair-rep) 1 2)") == evaluate("(cons 1 2)")
+    assert evaluate("((rep-predicate pair-rep) (cons 1 2))") is True
+
+
+# ----------------------------------------------------------------------
+# rep-of
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value,rep",
+    [
+        ("5", "fixnum"),
+        ("(cons 1 2)", "pair"),
+        ("(vector 1)", "vector"),
+        ('"s"', "string"),
+        ("'sym", "symbol"),
+        ("#\\c", "char"),
+        ("#t", "boolean"),
+        ("#f", "boolean"),
+        ("'()", "empty-list"),
+        ("car", "procedure"),
+        ("(if #f #f)", "unspecified"),
+    ],
+)
+def test_rep_of(value, rep):
+    assert evaluate(f"(rep-name (rep-of {value}))") == Symbol(rep)
+
+
+def test_rep_of_descriptor_is_meta():
+    assert (
+        evaluate("(rep-name (rep-of pair-rep))") == Symbol("representation-type")
+    )
+    assert evaluate("(rep-type? pair-rep)") is True
+    assert evaluate("(rep-type? 5)") is False
+
+
+def test_tag_of():
+    assert evaluate("(tag-of (cons 1 2))") == 1
+    assert evaluate("(tag-of 5)") == 0
+    assert evaluate("(tag-of \"s\")") == 3
+
+
+# ----------------------------------------------------------------------
+# runtime-created record types
+# ----------------------------------------------------------------------
+
+POINT = """
+(define point-rep (make-record-rep 'point '(x y)))
+(define make-point (rep-constructor point-rep))
+(define point? (rep-predicate point-rep))
+(define point-x (rep-accessor point-rep 0))
+(define point-y (rep-accessor point-rep 1))
+(define set-point-x! (rep-mutator point-rep 0))
+"""
+
+
+def test_record_type_basics():
+    assert evaluate(POINT + "(point-x (make-point 3 4))") == 3
+    assert evaluate(POINT + "(point-y (make-point 3 4))") == 4
+    assert evaluate(POINT + "(point? (make-point 1 2))") is True
+    assert evaluate(POINT + "(point? (cons 1 2))") is False
+    assert evaluate(POINT + "(point? 5)") is False
+
+
+def test_record_mutation():
+    assert (
+        evaluate(
+            POINT + "(let ((p (make-point 1 2))) (set-point-x! p 10) (point-x p))"
+        )
+        == 10
+    )
+
+
+def test_two_record_types_are_distinct():
+    source = (
+        POINT
+        + """
+        (define size-rep (make-record-rep 'size '(w h)))
+        (define make-size (rep-constructor size-rep))
+        ((rep-predicate size-rep) (make-point 1 2))
+        """
+    )
+    assert evaluate(source) is False
+
+
+def test_record_accessor_type_check():
+    with pytest.raises(SchemeError, match="type check"):
+        evaluate(POINT + "(point-x (cons 1 2))")
+    with pytest.raises(SchemeError, match="type check"):
+        evaluate(
+            POINT
+            + """(define other (make-record-rep 'other '(a b)))
+                 (point-x ((rep-constructor other) 1 2))"""
+        )
+
+
+def test_record_constructor_arity_checked():
+    with pytest.raises(SchemeError, match="arity"):
+        evaluate(POINT + "(make-point 1)")
+
+
+def test_rep_of_record_returns_its_descriptor():
+    assert (
+        evaluate(POINT + "(eq? (rep-of (make-point 1 2)) point-rep)") is True
+    )
+    assert evaluate(POINT + "(rep-name (rep-of (make-point 1 2)))") == Symbol(
+        "point"
+    )
+
+
+def test_records_print_with_type_name():
+    assert output_of(POINT + "(display (make-point 1 2))") == "#<point>"
+
+
+def test_record_field_count():
+    assert evaluate(POINT + "(rep-field-count point-rep)") == 2
+
+
+# ----------------------------------------------------------------------
+# runtime-created immediate types
+# ----------------------------------------------------------------------
+
+TEMP = """
+(define temp-rep (make-immediate-rep 'temperature))
+(define make-temp (rep-constructor temp-rep))
+(define temp? (rep-predicate temp-rep))
+(define temp-value (rep-accessor temp-rep 0))
+"""
+
+
+def test_immediate_rep_round_trip():
+    assert evaluate(TEMP + "(temp-value (make-temp 37))") == 37
+    assert evaluate(TEMP + "(temp? (make-temp 0))") is True
+    assert evaluate(TEMP + "(temp? 37)") is False
+    assert evaluate(TEMP + "(temp? #\\a)") is False
+
+
+def test_immediate_rep_values_are_immediates():
+    # Not heap-allocated: structurally eq by value.
+    assert evaluate(TEMP + "(eq? (make-temp 5) (make-temp 5))") is True
+    assert evaluate(TEMP + "(tag-of (make-temp 5))") == 6
+
+
+def test_immediate_reps_are_distinct():
+    source = TEMP + """
+        (define hue-rep (make-immediate-rep 'hue))
+        ((rep-predicate hue-rep) (make-temp 5))
+    """
+    assert evaluate(source) is False
+
+
+def test_rep_of_dynamic_immediate():
+    assert evaluate(TEMP + "(rep-name (rep-of (make-temp 1)))") == Symbol(
+        "temperature"
+    )
+
+
+# ----------------------------------------------------------------------
+# reflection works identically under full optimization
+# ----------------------------------------------------------------------
+
+
+def test_reflection_under_optimizer(any_config):
+    assert (
+        evaluate(POINT + "(point-x (make-point 30 40))", options=any_config) == 30
+    )
+    assert (
+        evaluate("(eq? (rep-accessor pair-rep 0) car)", options=any_config) is True
+    )

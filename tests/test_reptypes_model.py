@@ -1,0 +1,111 @@
+"""The Python mirror of the representation scheme must agree with what
+the Scheme library actually computes at run time."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reptypes import model
+
+from .conftest import run_unopt
+
+
+def word_of(source):
+    return run_unopt(source).value
+
+
+# ----------------------------------------------------------------------
+# pure model properties
+# ----------------------------------------------------------------------
+
+
+def test_fixnum_round_trip():
+    for value in (0, 1, -1, 41, -(2**59), 2**59):
+        assert model.fixnum_value(model.fixnum_word(value)) == value
+
+
+def test_fixnum_range_enforced():
+    with pytest.raises(ValueError):
+        model.fixnum_word(2**60)
+
+
+@given(st.integers(min_value=-(2**59), max_value=2**59))
+@settings(max_examples=50)
+def test_fixnum_words_preserve_order(value):
+    from repro.prims import signed
+
+    assert signed(model.fixnum_word(value)) == value * 8
+
+
+def test_immediate_constants():
+    assert model.FALSE_WORD == 6
+    assert model.TRUE_WORD == 14
+    assert model.NIL_WORD == 22
+    assert model.UNSPECIFIED_WORD == 30
+    assert model.EOF_WORD == 38
+    assert model.char_word(ord("a")) == (97 << 8) | 46
+
+
+def test_immediate_kind_and_payload():
+    word = model.char_word(65)
+    assert model.immediate_kind(word) == model.IMM_KIND_CHAR
+    assert model.immediate_payload(word) == 65
+
+
+def test_field_displacements():
+    assert model.field_displacement(model.TAG_PAIR, 0) == 7
+    assert model.field_displacement(model.TAG_PAIR, 1) == 15
+    assert model.field_displacement(model.TAG_VECTOR, 0) == 6
+    assert model.field_displacement(model.TAG_STRING, 0) == 5
+    assert model.field_displacement(model.TAG_RECORD, 0) == 3
+
+
+def test_classify_word():
+    assert model.classify_word(model.fixnum_word(5)) == "fixnum"
+    assert model.classify_word(model.TRUE_WORD) == "boolean"
+    assert model.classify_word(model.NIL_WORD) == "empty-list"
+    assert model.classify_word(model.char_word(65)) == "char"
+    assert model.classify_word(0x101) == "pair"
+    assert model.classify_word(0x107) == "procedure"
+
+
+def test_models_classify_instances():
+    assert model.FIXNUM.is_instance_word(model.fixnum_word(3))
+    assert model.CHAR.is_instance_word(model.char_word(3))
+    assert not model.CHAR.is_instance_word(model.TRUE_WORD)
+    assert model.PAIR.is_instance_word(0x101)
+
+
+# ----------------------------------------------------------------------
+# agreement with the live library
+# ----------------------------------------------------------------------
+
+
+def test_library_agrees_on_immediates():
+    assert word_of("#t") == model.TRUE_WORD
+    assert word_of("#f") == model.FALSE_WORD
+    assert word_of("'()") == model.NIL_WORD
+    assert word_of("(if #f #f)") == model.UNSPECIFIED_WORD
+    assert word_of("#\\A") == model.char_word(65)
+
+
+def test_library_agrees_on_fixnums():
+    assert word_of("41") == model.fixnum_word(41)
+    assert word_of("-3") == model.fixnum_word(-3)
+
+
+def test_library_agrees_on_tags():
+    assert word_of("(cons 1 2)") & 7 == model.TAG_PAIR
+    assert word_of("(make-vector 1 0)") & 7 == model.TAG_VECTOR
+    assert word_of('"s"') & 7 == model.TAG_STRING
+    assert word_of("'sym") & 7 == model.TAG_SYMBOL
+    assert word_of("pair-rep") & 7 == model.TAG_RECORD
+    assert word_of("car") & 7 == model.TAG_CLOSURE
+
+
+def test_library_agrees_on_pair_layout():
+    result = run_unopt("(cons 41 #t)")
+    word = result.value
+    heap = result.machine.heap
+    assert heap.load(word + model.PAIR_CAR_DISP) == model.fixnum_word(41)
+    assert heap.load(word + model.PAIR_CDR_DISP) == model.TRUE_WORD

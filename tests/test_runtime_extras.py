@@ -1,0 +1,233 @@
+"""Integration tests for the library-extras layer (case-lambda,
+promises, hash tables, extra list/char/string utilities)."""
+
+import pytest
+
+from repro import SchemeError
+from repro.sexpr import NIL, Char, Symbol, from_list
+
+from .conftest import evaluate
+
+
+# ----------------------------------------------------------------------
+# case-lambda
+# ----------------------------------------------------------------------
+
+CL = """
+(define sizes
+  (case-lambda
+    (() 'none)
+    ((a) a)
+    ((a b) (+ a b))
+    ((a b . rest) (+ (+ a b) (length rest)))))
+"""
+
+
+def test_case_lambda_dispatch():
+    assert evaluate(CL + "(sizes)") == Symbol("none")
+    assert evaluate(CL + "(sizes 5)") == 5
+    assert evaluate(CL + "(sizes 5 6)") == 11
+    assert evaluate(CL + "(sizes 5 6 'x 'y)") == 13
+
+
+def test_case_lambda_no_match():
+    source = "(define f (case-lambda ((a b) a)))\n(f 1)"
+    with pytest.raises(SchemeError):
+        evaluate(source)
+
+
+def test_case_lambda_is_a_procedure():
+    assert evaluate(CL + "(procedure? sizes)") is True
+
+
+# ----------------------------------------------------------------------
+# promises
+# ----------------------------------------------------------------------
+
+
+def test_delay_is_lazy():
+    source = """
+    (define evaluated #f)
+    (define p (delay (begin (set! evaluated #t) 42)))
+    (list evaluated (force p) evaluated)
+    """
+    assert evaluate(source) == from_list([False, 42, True])
+
+
+def test_force_memoizes():
+    source = """
+    (define count 0)
+    (define p (delay (begin (set! count (+ count 1)) count)))
+    (force p) (force p) (force p)
+    count
+    """
+    assert evaluate(source) == 1
+
+
+def test_force_of_non_promise_is_identity():
+    assert evaluate("(force 5)") == 5
+
+
+def test_promise_predicate():
+    assert evaluate("(promise? (delay 1))") is True
+    assert evaluate("(promise? 1)") is False
+
+
+def test_lazy_stream():
+    source = """
+    (define (ints-from n) (cons n (delay (ints-from (+ n 1)))))
+    (define (stream-ref s k)
+      (if (zero? k) (car s) (stream-ref (force (cdr s)) (- k 1))))
+    (stream-ref (ints-from 10) 5)
+    """
+    assert evaluate(source) == 15
+
+
+# ----------------------------------------------------------------------
+# list utilities
+# ----------------------------------------------------------------------
+
+
+def test_iota():
+    assert evaluate("(iota 4)") == from_list([0, 1, 2, 3])
+    assert evaluate("(iota 3 5)") == from_list([5, 6, 7])
+    assert evaluate("(iota 3 0 10)") == from_list([0, 10, 20])
+    assert evaluate("(iota 0)") is NIL
+
+
+def test_list_copy_is_fresh():
+    source = """
+    (define a (list 1 2))
+    (define b (list-copy a))
+    (set-car! b 99)
+    (list (car a) (car b))
+    """
+    assert evaluate(source) == from_list([1, 99])
+
+
+def test_take_drop_index():
+    assert evaluate("(take '(1 2 3 4) 2)") == from_list([1, 2])
+    assert evaluate("(drop '(1 2 3 4) 2)") == from_list([3, 4])
+    assert evaluate("(list-index even? '(1 3 4 5))") == 2
+    assert evaluate("(list-index even? '(1 3))") is False
+
+
+def test_delete_and_duplicates():
+    assert evaluate("(delete 2 '(1 2 3 2))") == from_list([1, 3])
+    assert evaluate("(remove-duplicates '(1 2 1 3 2))") == from_list([1, 2, 3])
+
+
+def test_any_every_count():
+    assert evaluate("(any even? '(1 2 3))") is True
+    assert evaluate("(any even? '(1 3))") is False
+    assert evaluate("(every even? '(2 4))") is True
+    assert evaluate("(every even? '(2 3))") is False
+    assert evaluate("(count odd? '(1 2 3 4 5))") == 3
+
+
+# ----------------------------------------------------------------------
+# characters and strings
+# ----------------------------------------------------------------------
+
+
+def test_char_classification():
+    assert evaluate("(char-alphabetic? #\\q)") is True
+    assert evaluate("(char-alphabetic? #\\5)") is False
+    assert evaluate("(char-numeric? #\\5)") is True
+    assert evaluate("(char-whitespace? #\\space)") is True
+    assert evaluate("(char-whitespace? #\\a)") is False
+
+
+def test_char_case():
+    assert evaluate("(char-upcase #\\a)") == Char(ord("A"))
+    assert evaluate("(char-downcase #\\A)") == Char(ord("a"))
+    assert evaluate("(char-upcase #\\5)") == Char(ord("5"))
+
+
+def test_string_case():
+    assert evaluate('(string-upcase "aBc1")') == "ABC1"
+    assert evaluate('(string-downcase "AbC1")') == "abc1"
+
+
+def test_string_search():
+    assert evaluate('(string-index "hello" #\\l)') == 2
+    assert evaluate('(string-index "hello" #\\z)') is False
+    assert evaluate('(string-contains? "hello world" "o w")') == 4
+    assert evaluate('(string-contains? "hello" "xyz")') is False
+
+
+def test_string_join_split():
+    assert evaluate('(string-join (list "a" "b" "c") ", ")') == "a, b, c"
+    assert evaluate('(string-join (list) "-")') == ""
+    assert evaluate('(string-split "a,b,,c" #\\,)') == from_list(
+        ["a", "b", "", "c"]
+    )
+    assert evaluate('(string-split "abc" #\\,)') == from_list(["abc"])
+
+
+# ----------------------------------------------------------------------
+# hash tables
+# ----------------------------------------------------------------------
+
+HT = "(define t (make-hash-table))\n"
+
+
+def test_hash_table_set_ref():
+    assert evaluate(HT + "(hash-table-set! t 'a 1) (hash-table-ref t 'a)") == 1
+    assert (
+        evaluate(HT + '(hash-table-set! t "key" 2) (hash-table-ref t "key")') == 2
+    )
+    assert evaluate(HT + "(hash-table-set! t 42 'v) (hash-table-ref t 42)") == Symbol("v")
+
+
+def test_hash_table_update_in_place():
+    source = HT + """
+    (hash-table-set! t 'k 1)
+    (hash-table-set! t 'k 2)
+    (list (hash-table-ref t 'k) (hash-table-count t))
+    """
+    assert evaluate(source) == from_list([2, 1])
+
+
+def test_hash_table_default_and_missing():
+    assert evaluate(HT + "(hash-table-ref t 'nope 'default)") == Symbol("default")
+    with pytest.raises(SchemeError):
+        evaluate(HT + "(hash-table-ref t 'nope)")
+
+
+def test_hash_table_contains_delete():
+    source = HT + """
+    (hash-table-set! t 'a 1)
+    (hash-table-set! t 'b 2)
+    (hash-table-delete! t 'a)
+    (list (hash-table-contains? t 'a) (hash-table-contains? t 'b)
+          (hash-table-count t))
+    """
+    assert evaluate(source) == from_list([False, True, 1])
+
+
+def test_hash_table_many_keys_with_collisions():
+    source = """
+    (define t (make-hash-table 4))   ; force collisions
+    (for-each1 (lambda (i) (hash-table-set! t i (* i i))) (iota 50))
+    (let loop ((i 0) (ok #t))
+      (if (= i 50)
+          (if ok (hash-table-count t) 'bad)
+          (loop (+ i 1) (if (= (hash-table-ref t i) (* i i)) ok #f))))
+    """
+    assert evaluate(source) == 50
+
+
+def test_hash_table_keys_and_alist():
+    source = HT + """
+    (hash-table-set! t 'x 1)
+    (hash-table-set! t 'y 2)
+    (length (hash-table->alist t))
+    """
+    assert evaluate(source) == 2
+
+
+def test_hash_table_predicate():
+    assert evaluate(HT + "(hash-table? t)") is True
+    assert evaluate(HT + "(hash-table? 5)") is False
+    assert evaluate(HT + "(rep-name (rep-of t))") == Symbol("hash-table")

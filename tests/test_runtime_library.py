@@ -1,0 +1,257 @@
+"""Integration tests for the library layer (lists, strings,
+higher-order procedures, printing, apply, error)."""
+
+import pytest
+
+from repro import SchemeError
+from repro.sexpr import NIL, Char, Symbol, from_list
+
+from .conftest import evaluate, output_of
+
+
+# ----------------------------------------------------------------------
+# lists
+# ----------------------------------------------------------------------
+
+
+def test_list_and_length():
+    assert evaluate("(list 1 2 3)") == from_list([1, 2, 3])
+    assert evaluate("(length '(a b c d))") == 4
+    assert evaluate("(length '())") == 0
+
+
+def test_list_predicates_and_access():
+    assert evaluate("(list? '(1 2))") is True
+    assert evaluate("(list? '(1 . 2))") is False
+    assert evaluate("(list-ref '(a b c) 1)") == Symbol("b")
+    assert evaluate("(list-tail '(a b c) 2)") == from_list([Symbol("c")])
+    assert evaluate("(cadr '(1 2 3))") == 2
+    assert evaluate("(caddr '(1 2 3))") == 3
+
+
+def test_append_and_reverse():
+    assert evaluate("(append '(1 2) '(3))") == from_list([1, 2, 3])
+    assert evaluate("(append)") == NIL
+    assert evaluate("(append '(1) '(2) '(3))") == from_list([1, 2, 3])
+    assert evaluate("(reverse '(1 2 3))") == from_list([3, 2, 1])
+
+
+def test_membership_and_assoc():
+    assert evaluate("(memq 'b '(a b c))") == from_list([Symbol("b"), Symbol("c")])
+    assert evaluate("(memq 'x '(a b))") is False
+    assert evaluate("(member '(1) '((1) (2)))") == from_list(
+        [from_list([1]), from_list([2])]
+    )
+    assert evaluate("(assq 'b '((a 1) (b 2)))") == from_list([Symbol("b"), 2])
+    assert evaluate("(assv 2 '((1 a) (2 b)))") == from_list([2, Symbol("b")])
+    assert evaluate('(assoc "k" (list (cons "k" 1)))').cdr == 1
+
+
+# ----------------------------------------------------------------------
+# higher-order
+# ----------------------------------------------------------------------
+
+
+def test_map_and_for_each():
+    assert evaluate("(map (lambda (x) (* x x)) '(1 2 3))") == from_list([1, 4, 9])
+    assert evaluate("(map + '(1 2) '(10 20))") == from_list([11, 22])
+    assert (
+        evaluate(
+            """(let ((acc 0))
+                 (for-each (lambda (x) (set! acc (+ acc x))) '(1 2 3))
+                 acc)"""
+        )
+        == 6
+    )
+
+
+def test_filter_and_folds():
+    assert evaluate("(filter even? '(1 2 3 4))") == from_list([2, 4])
+    assert evaluate("(fold-left + 0 '(1 2 3 4))") == 10
+    assert evaluate("(fold-right cons '() '(1 2))") == from_list([1, 2])
+
+
+def test_sort():
+    assert evaluate("(sort '(3 1 2) <)") == from_list([1, 2, 3])
+    assert evaluate("(sort '() <)") == NIL
+    assert evaluate("(sort '(5 4 3 2 1) <)") == from_list([1, 2, 3, 4, 5])
+    assert evaluate("(sort '(1 2 3) >)") == from_list([3, 2, 1])
+
+
+# ----------------------------------------------------------------------
+# apply and variadic procedures
+# ----------------------------------------------------------------------
+
+
+def test_apply():
+    assert evaluate("(apply + '(1 2))") == 3
+    assert evaluate("(apply + 1 '(2))") == 3
+    assert evaluate("(apply list 1 2 '(3 4))") == from_list([1, 2, 3, 4])
+    assert evaluate("(apply (lambda args (length args)) '(a b c))") == 3
+
+
+def test_variadic_lambdas():
+    assert evaluate("((lambda args args) 1 2)") == from_list([1, 2])
+    assert evaluate("((lambda (a . rest) rest) 1 2 3)") == from_list([2, 3])
+    assert evaluate("((lambda (a . rest) a) 1)") == 1
+    assert evaluate("((lambda (a . rest) rest) 1)") == NIL
+
+
+def test_arity_errors():
+    with pytest.raises(SchemeError, match="arity"):
+        evaluate("((lambda (a b) a) 1)")
+    with pytest.raises(SchemeError, match="arity"):
+        evaluate("((lambda (a . r) a))")
+
+
+# ----------------------------------------------------------------------
+# numeric utilities
+# ----------------------------------------------------------------------
+
+
+def test_numeric_library():
+    assert evaluate("(abs -5)") == 5
+    assert evaluate("(min 2 3)") == 2
+    assert evaluate("(max 2 3)") == 3
+    assert evaluate("(even? 4)") is True
+    assert evaluate("(odd? 4)") is False
+    assert evaluate("(expt 2 10)") == 1024
+    assert evaluate("(expt 3 0)") == 1
+    assert evaluate("(gcd 12 18)") == 6
+    assert evaluate("(number->string 0)") == "0"
+    assert evaluate("(number->string -370)") == "-370"
+    assert evaluate('(string->number "123")') == 123
+    assert evaluate('(string->number "-45")') == -45
+    assert evaluate('(string->number "12x")') is False
+    assert evaluate('(string->number "")') is False
+
+
+# ----------------------------------------------------------------------
+# strings (library level)
+# ----------------------------------------------------------------------
+
+
+def test_string_library():
+    assert evaluate('(string->list "ab")') == from_list(
+        [Char(ord("a")), Char(ord("b"))]
+    )
+    assert evaluate("(list->string (list #\\h #\\i))") == "hi"
+    assert evaluate("(string #\\o #\\k)") == "ok"
+    assert evaluate('(substring "hello" 1 3)') == "el"
+    assert evaluate('(string-append "foo" "bar" "!")') == "foobar!"
+    assert evaluate('(string-append)') == ""
+    assert evaluate('(string=? "abc" "abc")') is True
+    assert evaluate('(string=? "abc" "abd")') is False
+    assert evaluate('(string=? "ab" "abc")') is False
+    assert evaluate('(string<? "abc" "abd")') is True
+    assert evaluate('(string<? "ab" "abc")') is True
+    assert evaluate('(string<? "abc" "abc")') is False
+    assert evaluate('(string-copy "xy")') == "xy"
+
+
+# ----------------------------------------------------------------------
+# vectors (library level)
+# ----------------------------------------------------------------------
+
+
+def test_vector_library():
+    assert evaluate("(vector 1 2 3)") == [1, 2, 3]
+    assert evaluate("(list->vector '(1 2))") == [1, 2]
+    assert evaluate("(vector->list (vector 1 2))") == from_list([1, 2])
+    assert evaluate("(vector-map (lambda (x) (+ x 1)) (vector 1 2))") == [2, 3]
+    assert evaluate(
+        "(let ((v (make-vector 3 0))) (vector-fill! v 9) (vector->list v))"
+    ) == from_list([9, 9, 9])
+
+
+# ----------------------------------------------------------------------
+# equal?
+# ----------------------------------------------------------------------
+
+
+def test_equal():
+    assert evaluate("(equal? '(1 (2 #(3))) '(1 (2 #(3))))") is True
+    assert evaluate("(equal? '(1 2) '(1 3))") is False
+    assert evaluate('(equal? "ab" "ab")') is True
+    assert evaluate('(equal? "ab" "ac")') is False
+    assert evaluate("(equal? 5 5)") is True
+    assert evaluate("(equal? #(1 2) #(1 2))") is True
+    assert evaluate("(equal? #(1 2) #(1 2 3))") is False
+
+
+# ----------------------------------------------------------------------
+# printing
+# ----------------------------------------------------------------------
+
+
+def test_display_output():
+    assert output_of("(display 42)") == "42"
+    assert output_of("(display -7)") == "-7"
+    assert output_of('(display "hi")') == "hi"
+    assert output_of("(display '(1 2))") == "(1 2)"
+    assert output_of("(display '(1 . 2))") == "(1 . 2)"
+    assert output_of("(display #\\a)") == "a"
+    assert output_of("(display #t)(display #f)") == "#t#f"
+    assert output_of("(display '())") == "()"
+    assert output_of("(display 'sym)") == "sym"
+    assert output_of("(display #(1 (2)))") == "#(1 (2))"
+    assert output_of("(display car)") == "#<procedure>"
+
+
+def test_write_output():
+    assert output_of('(write "hi")') == '"hi"'
+    assert output_of(r'(write "a\"b")') == r'"a\"b"'
+    assert output_of("(write #\\a)") == "#\\a"
+    assert output_of("(write #\\space)") == "#\\space"
+    assert output_of("(write '(1 \"x\"))") == '(1 "x")'
+
+
+def test_newline_and_write_char():
+    assert output_of("(newline)") == "\n"
+    assert output_of("(write-char #\\Z)") == "Z"
+
+
+def test_error_displays_and_fails():
+    with pytest.raises(SchemeError, match="error signalled"):
+        evaluate('(error "boom" 1 2)')
+    # the message is printed before failing
+    import repro
+
+    try:
+        repro.run_source('(error "boom" 42)', options=None)
+    except SchemeError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# deep structures / GC pressure
+# ----------------------------------------------------------------------
+
+
+def test_long_list_construction_with_gc():
+    # allocates enough to trigger collections in a small heap
+    result = evaluate(
+        """(let loop ((i 0) (acc '()))
+             (if (= i 2000)
+                 (length acc)
+                 (loop (+ i 1) (cons i acc))))""",
+        heap_words=1 << 14,
+    )
+    assert result == 2000
+
+
+def test_gc_preserves_live_data():
+    from .conftest import run_unopt
+
+    result = run_unopt(
+        """(let ((keep (list 1 2 3)))
+             (let loop ((i 0))
+               (if (= i 3000)
+                   keep
+                   (begin (cons i i) (loop (+ i 1))))))""",
+        heap_words=1 << 13,
+    )
+    from repro import decode
+
+    assert decode(result) == from_list([1, 2, 3])
+    assert result.machine.heap.gc_count > 0

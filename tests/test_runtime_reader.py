@@ -1,0 +1,122 @@
+"""Tests for the Scheme-level reader (input ports and `read`)."""
+
+import pytest
+
+from repro import SchemeError, decode, run_source
+from repro.sexpr import EOF, NIL, Char, Symbol, cons, from_list
+
+from .conftest import UNOPT
+
+
+def read_datum(text, expr="(read)"):
+    result = run_source(expr, UNOPT, input_text=text)
+    return decode(result)
+
+
+# ----------------------------------------------------------------------
+# character input
+# ----------------------------------------------------------------------
+
+
+def test_read_char_sequence():
+    assert (
+        decode(run_source("(list (read-char) (read-char))", UNOPT, input_text="ab"))
+        == from_list([Char(ord("a")), Char(ord("b"))])
+    )
+
+
+def test_read_char_eof():
+    assert decode(run_source("(read-char)", UNOPT, input_text="")) is EOF
+    assert decode(run_source("(eof-object? (read-char))", UNOPT)) is True
+
+
+def test_peek_does_not_consume():
+    source = "(list (peek-char) (read-char))"
+    value = decode(run_source(source, UNOPT, input_text="x"))
+    assert value == from_list([Char(ord("x")), Char(ord("x"))])
+
+
+def test_read_line():
+    source = "(list (read-line) (read-line) (read-line))"
+    value = decode(run_source(source, UNOPT, input_text="one\ntwo"))
+    assert value == from_list(["one", "two", EOF])
+
+
+# ----------------------------------------------------------------------
+# datum reading
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("42", 42),
+        ("-17", -17),
+        ("#t", True),
+        ("#f", False),
+        ("sym", Symbol("sym")),
+        ("list->vector", Symbol("list->vector")),
+        ('"a string"', "a string"),
+        (r'"a\nb"', "a\nb"),
+        ("#\\a", Char(ord("a"))),
+        ("#\\space", Char(32)),
+        ("#\\newline", Char(10)),
+        ("#\\(", Char(ord("("))),
+        ("()", NIL),
+        ("(1 2 3)", from_list([1, 2, 3])),
+        ("(1 . 2)", cons(1, 2)),
+        ("(a (b) c)", from_list([Symbol("a"), from_list([Symbol("b")]), Symbol("c")])),
+        ("#(1 2)", [1, 2]),
+        ("'x", from_list([Symbol("quote"), Symbol("x")])),
+        ("`(,a)", from_list([Symbol("quasiquote"),
+                             from_list([from_list([Symbol("unquote"), Symbol("a")])])])),
+        ("  ; comment\n 5", 5),
+        ("", EOF),
+    ],
+)
+def test_read_datums(text, expected):
+    assert read_datum(text) == expected
+
+
+def test_read_splicing():
+    value = read_datum(",@xs")
+    assert value == from_list([Symbol("unquote-splicing"), Symbol("xs")])
+
+
+def test_read_multiple_datums():
+    value = read_datum("1 two (3)", expr="(read-all)")
+    assert value == from_list([1, Symbol("two"), from_list([3])])
+
+
+def test_read_symbols_intern():
+    source = "(eq? (read) 'hello)"
+    assert decode(run_source(source, UNOPT, input_text="hello")) is True
+
+
+def test_read_errors():
+    with pytest.raises(SchemeError):
+        read_datum("(1 2")
+    with pytest.raises(SchemeError):
+        read_datum(")")
+    with pytest.raises(SchemeError):
+        read_datum('"open')
+
+
+def test_read_write_round_trip():
+    source = "(write (read))"
+    text = '(1 "two" (3 . 4) #\\x #(5))'
+    result = run_source(source, UNOPT, input_text=text)
+    assert result.output == text
+
+
+def test_read_then_evaluate_style_use():
+    # read an expression tree and fold it — a tiny calculator
+    source = """
+    (define (calc e)
+      (cond ((number? e) e)
+            ((eq? (car e) '+) (+ (calc (cadr e)) (calc (caddr e))))
+            ((eq? (car e) '*) (* (calc (cadr e)) (calc (caddr e))))
+            (else (error "bad expr"))))
+    (calc (read))
+    """
+    assert decode(run_source(source, UNOPT, input_text="(+ 2 (* 4 10))")) == 42

@@ -1,0 +1,275 @@
+"""Integration tests: the library-defined data types behave like Scheme.
+
+Every operation tested here is *library code* compiled through the
+machine-primitive layer — nothing is built into the compiler or VM.
+"""
+
+import pytest
+
+from repro import SchemeError
+from repro.sexpr import NIL, UNSPECIFIED, Char, Symbol, cons, from_list
+
+from .conftest import evaluate
+
+
+# ----------------------------------------------------------------------
+# literals round-trip through the library encodings
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("42", 42),
+        ("-17", -17),
+        ("0", 0),
+        ("#t", True),
+        ("#f", False),
+        ("'()", NIL),
+        ("#\\a", Char(ord("a"))),
+        ('"hello"', "hello"),
+        ("'sym", Symbol("sym")),
+        ("'(1 2 3)", from_list([1, 2, 3])),
+        ("'(1 . 2)", cons(1, 2)),
+        ("'#(1 #t)", [1, True]),
+        ("(if #f #f)", UNSPECIFIED),
+    ],
+)
+def test_literal_values(source, expected):
+    assert evaluate(source) == expected
+
+
+def test_large_fixnums():
+    assert evaluate(str(2**59)) == 2**59
+    assert evaluate(str(-(2**59))) == -(2**59)
+
+
+# ----------------------------------------------------------------------
+# booleans, identity
+# ----------------------------------------------------------------------
+
+
+def test_boolean_ops():
+    assert evaluate("(not #f)") is True
+    assert evaluate("(not 3)") is False
+    assert evaluate("(boolean? #t)") is True
+    assert evaluate("(boolean? 0)") is False
+
+
+def test_eq_on_immediates_and_pointers():
+    assert evaluate("(eq? 5 5)") is True
+    assert evaluate("(eq? #\\a #\\a)") is True
+    assert evaluate("(eq? 'a 'a)") is True  # interning
+    assert evaluate("(let ((x (cons 1 2))) (eq? x x))") is True
+    assert evaluate("(eq? (cons 1 2) (cons 1 2))") is False
+
+
+def test_shared_quoted_literals_are_eq():
+    assert evaluate("(eq? '(1 2) '(1 2))") is True  # hoisted & shared
+
+
+# ----------------------------------------------------------------------
+# fixnum arithmetic
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("(+ 2 3)", 5),
+        ("(- 2 3)", -1),
+        ("(* 7 -6)", -42),
+        ("(quotient 17 5)", 3),
+        ("(quotient -17 5)", -3),
+        ("(remainder 17 5)", 2),
+        ("(remainder -17 5)", -2),
+        ("(modulo -17 5)", 3),
+        ("(modulo 17 -5)", -3),
+        ("(= 3 3)", True),
+        ("(< 2 3)", True),
+        ("(< 3 2)", False),
+        ("(<= 3 3)", True),
+        ("(> 3 2)", True),
+        ("(>= 2 3)", False),
+        ("(< -1 0)", True),
+        ("(zero? 0)", True),
+        ("(negative? -2)", True),
+        ("(positive? 2)", True),
+    ],
+)
+def test_arithmetic(source, expected):
+    assert evaluate(source) == expected
+
+
+def test_fixnum_type_checks_fire_in_safe_mode():
+    with pytest.raises(SchemeError, match="non-fixnum"):
+        evaluate("(+ 1 'a)")
+    with pytest.raises(SchemeError):
+        evaluate("(< #t 2)")
+
+
+def test_division_by_zero():
+    with pytest.raises(SchemeError, match="division by zero"):
+        evaluate("(quotient 1 0)")
+
+
+def test_predicates():
+    assert evaluate("(fixnum? 3)") is True
+    assert evaluate("(fixnum? 'x)") is False
+    assert evaluate("(number? 3)") is True
+
+
+# ----------------------------------------------------------------------
+# characters
+# ----------------------------------------------------------------------
+
+
+def test_char_conversions():
+    assert evaluate("(char->integer #\\A)") == 65
+    assert evaluate("(integer->char 97)") == Char(ord("a"))
+    assert evaluate("(char? #\\x)") is True
+    assert evaluate("(char? 120)") is False
+
+
+def test_char_comparisons():
+    assert evaluate("(char=? #\\a #\\a)") is True
+    assert evaluate("(char<? #\\a #\\b)") is True
+    assert evaluate("(char>? #\\b #\\a)") is True
+    assert evaluate("(char<=? #\\a #\\a)") is True
+
+
+def test_char_check_fires():
+    with pytest.raises(SchemeError, match="non-char"):
+        evaluate("(char->integer 65)")
+
+
+# ----------------------------------------------------------------------
+# pairs
+# ----------------------------------------------------------------------
+
+
+def test_cons_car_cdr():
+    assert evaluate("(car (cons 1 2))") == 1
+    assert evaluate("(cdr (cons 1 2))") == 2
+    assert evaluate("(pair? (cons 1 2))") is True
+    assert evaluate("(pair? '())") is False
+    assert evaluate("(null? '())") is True
+    assert evaluate("(null? (cons 1 2))") is False
+
+
+def test_set_car_cdr():
+    assert evaluate("(let ((p (cons 1 2))) (set-car! p 10) (car p))") == 10
+    assert evaluate("(let ((p (cons 1 2))) (set-cdr! p 20) (cdr p))") == 20
+
+
+def test_car_of_non_pair_fails_safely():
+    with pytest.raises(SchemeError, match="non-pair"):
+        evaluate("(car 5)")
+    with pytest.raises(SchemeError, match="non-pair"):
+        evaluate("(cdr '())")
+
+
+# ----------------------------------------------------------------------
+# vectors
+# ----------------------------------------------------------------------
+
+
+def test_vector_basics():
+    assert evaluate("(vector-length (make-vector 3 0))") == 3
+    assert evaluate("(let ((v (make-vector 3 7))) (vector-ref v 2))") == 7
+    assert (
+        evaluate("(let ((v (make-vector 3 0))) (vector-set! v 1 5) (vector-ref v 1))")
+        == 5
+    )
+    assert evaluate("(vector? (make-vector 1 0))") is True
+    assert evaluate("(vector? '(1))") is False
+    assert evaluate("(make-vector 0 0)") == []
+
+
+def test_vector_default_fill_is_unspecified():
+    assert evaluate("(vector-ref (make-vector 1) 0)") is UNSPECIFIED
+
+
+def test_vector_bounds_checked():
+    with pytest.raises(SchemeError, match="index out of range"):
+        evaluate("(vector-ref (make-vector 2 0) 2)")
+    with pytest.raises(SchemeError, match="index out of range"):
+        evaluate("(vector-ref (make-vector 2 0) -1)")
+    with pytest.raises(SchemeError, match="non-fixnum"):
+        evaluate("(vector-ref (make-vector 2 0) 'x)")
+    with pytest.raises(SchemeError, match="non-vector"):
+        evaluate("(vector-ref '(1 2) 0)")
+
+
+def test_negative_vector_size_rejected():
+    with pytest.raises(SchemeError):
+        evaluate("(make-vector -1 0)")
+
+
+# ----------------------------------------------------------------------
+# strings
+# ----------------------------------------------------------------------
+
+
+def test_string_basics():
+    assert evaluate('(string-length "hello")') == 5
+    assert evaluate('(string-ref "abc" 1)') == Char(ord("b"))
+    assert (
+        evaluate('(let ((s (make-string 3 #\\x))) (string-set! s 1 #\\y) s)') == "xyx"
+    )
+    assert evaluate('(string? "x")') is True
+    assert evaluate("(string? 'x)") is False
+    assert evaluate("(make-string 2 #\\z)") == "zz"
+
+
+def test_string_bounds_checked():
+    with pytest.raises(SchemeError, match="index out of range"):
+        evaluate('(string-ref "ab" 2)')
+    with pytest.raises(SchemeError, match="non-string"):
+        evaluate("(string-ref 5 0)")
+
+
+def test_string_set_requires_char():
+    with pytest.raises(SchemeError, match="non-char"):
+        evaluate('(let ((s (make-string 2 #\\a))) (string-set! s 0 65))')
+
+
+# ----------------------------------------------------------------------
+# symbols
+# ----------------------------------------------------------------------
+
+
+def test_symbols_intern():
+    assert evaluate('(eq? (string->symbol "foo") (string->symbol "foo"))') is True
+    assert evaluate("(symbol->string 'abc)") == "abc"
+    assert evaluate("(symbol? 'abc)") is True
+    assert evaluate('(symbol? "abc")') is False
+    assert evaluate("(eq? 'foo (string->symbol \"foo\"))") is True
+
+
+def test_symbol_interning_is_not_identity_on_strings():
+    assert (
+        evaluate(
+            """(let ((s "xyz"))
+                 (let ((sym (string->symbol s)))
+                   (begin (string-set! s 0 #\\q)
+                          (symbol->string sym))))"""
+        )
+        == "xyz"
+    )  # the intern table copies the name
+
+
+# ----------------------------------------------------------------------
+# procedures
+# ----------------------------------------------------------------------
+
+
+def test_procedure_predicate():
+    assert evaluate("(procedure? car)") is True
+    assert evaluate("(procedure? (lambda (x) x))") is True
+    assert evaluate("(procedure? 'car)") is False
+
+
+def test_calling_non_procedure_fails():
+    with pytest.raises(SchemeError, match="not a procedure"):
+        evaluate("(let ((f 42)) (f 1))")

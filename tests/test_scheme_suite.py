@@ -1,0 +1,137 @@
+"""A test suite written in Scheme, executed inside the VM.
+
+One compile covers dozens of semantic checks; the program reports each
+failing check by name through `display` and signals at the end, so a
+failure pinpoints the broken library behaviour.  Runs under both the
+unoptimized and fully optimized configurations.
+"""
+
+import pytest
+
+from repro import decode, run_source
+
+from .conftest import OPT, UNOPT
+
+SUITE = r"""
+(define failures '())
+(define checks 0)
+
+(define (check name ok)
+  (set! checks (+ checks 1))
+  (unless ok
+    (set! failures (cons name failures))
+    (display "FAIL: ") (display name) (newline)))
+
+;; --- arithmetic tower ---------------------------------------------------
+(check 'add (= (+ 2 3) 5))
+(check 'sub-neg (= (- 3 10) -7))
+(check 'mul (= (* -4 6) -24))
+(check 'quotient (= (quotient 17 5) 3))
+(check 'quotient-neg (= (quotient -17 5) -3))
+(check 'remainder (= (remainder -17 5) -2))
+(check 'modulo (= (modulo -17 5) 3))
+(check 'expt (= (expt 2 16) 65536))
+(check 'gcd (= (gcd 36 60) 12))
+(check 'abs (= (abs -9) 9))
+(check 'min-max (= (+ (min 1 2) (max 1 2)) 3))
+(check 'ordering (< -3 -2))
+(check 'big (= (* 30000 30000) 900000000))
+
+;; --- booleans -------------------------------------------------------------
+(check 'not-of-nil (eq? (not '()) #f))   ; () is true in Scheme
+(check 'truthiness (if 0 #t #f))          ; 0 is true too
+(check 'bool-pred (boolean? (= 1 1)))
+
+;; --- pairs and lists --------------------------------------------------------
+(check 'cons-car (= (car (cons 1 2)) 1))
+(check 'list-length (= (length '(a b c)) 3))
+(check 'append (equal? (append '(1) '(2 3)) '(1 2 3)))
+(check 'reverse (equal? (reverse '(1 2 3)) '(3 2 1)))
+(check 'nested-equal (equal? '((1 2) (3)) (list (list 1 2) (list 3))))
+(check 'assq (equal? (assq 'b '((a . 1) (b . 2))) '(b . 2)))
+(check 'map2 (equal? (map + '(1 2) '(10 20)) '(11 22)))
+(check 'filter (equal? (filter odd? '(1 2 3 4 5)) '(1 3 5)))
+(check 'fold (= (fold-left + 0 '(1 2 3 4)) 10))
+(check 'sort (equal? (sort '(3 1 2) <) '(1 2 3)))
+(check 'member (equal? (member "b" '("a" "b")) '("b")))
+(check 'list-mutation
+  (let ((p (list 1 2)))
+    (set-car! p 99)
+    (= (car p) 99)))
+
+;; --- strings and chars -------------------------------------------------------
+(check 'string-length (= (string-length "hello") 5))
+(check 'string-index (char=? (string-ref "abc" 2) #\c))
+(check 'string-eq (string=? (string-append "ab" "cd") "abcd"))
+(check 'substring (string=? (substring "abcdef" 2 4) "cd"))
+(check 'string-lt (string<? "abc" "abd"))
+(check 'num->str (string=? (number->string -105) "-105"))
+(check 'str->num (= (string->number "360") 360))
+(check 'char-arith (char=? (integer->char (+ 1 (char->integer #\a))) #\b))
+(check 'string-list-roundtrip
+  (string=? (list->string (string->list "round")) "round"))
+
+;; --- vectors -------------------------------------------------------------------
+(check 'vector-basic
+  (let ((v (make-vector 4 0)))
+    (vector-set! v 2 'x)
+    (eq? (vector-ref v 2) 'x)))
+(check 'vector-list (equal? (vector->list (vector 1 2)) '(1 2)))
+(check 'vector-map (equal? (vector-map 1+ (vector 1 2)) (vector 2 3)))
+
+;; --- closures and control --------------------------------------------------------
+(check 'closure
+  (let ((add (lambda (n) (lambda (x) (+ x n)))))
+    (= ((add 5) 10) 15)))
+(check 'counter
+  (let ((n 0))
+    (define (bump) (set! n (+ n 1)) n)
+    (bump) (bump)
+    (= (bump) 3)))
+(check 'named-let
+  (= (let loop ((i 0) (acc 0)) (if (= i 10) acc (loop (+ i 1) (+ acc i)))) 45))
+(check 'varargs (= ((lambda args (length args)) 1 2 3 4 5) 5))
+(check 'apply (= (apply max 1 '(9)) 9))
+(check 'deep-tail
+  (eq? (let loop ((n 30000)) (if (= n 0) 'ok (loop (- n 1)))) 'ok))
+(check 'mutual
+  (letrec ((even2? (lambda (n) (if (= n 0) #t (odd2? (- n 1)))))
+           (odd2? (lambda (n) (if (= n 0) #f (even2? (- n 1))))))
+    (even2? 100)))
+
+;; --- symbols and reflection ----------------------------------------------------------
+(check 'symbol-roundtrip (eq? (string->symbol "zig") 'zig))
+(check 'rep-of-pair (eq? (rep-of (cons 1 2)) pair-rep))
+(check 'rep-accessor-is-car (eq? (rep-accessor pair-rep 0) car))
+(check 'records
+  (let ((r (make-record-rep 'cell '(v))))
+    (= ((rep-accessor r 0) ((rep-constructor r) 42)) 42)))
+
+;; --- macros ---------------------------------------------------------------------------
+(define-syntax my-swap!
+  (syntax-rules ()
+    ((_ a b) (let ((tmp a)) (set! a b) (set! b tmp)))))
+(check 'macro-swap
+  (let ((p 1) (q 2))
+    (my-swap! p q)
+    (if (= p 2) (= q 1) #f)))
+
+(define-syntax my-list-of
+  (syntax-rules ()
+    ((_ e ...) (list e ...))))
+(check 'macro-ellipsis (equal? (my-list-of 1 2 3) '(1 2 3)))
+
+;; --- verdict ---------------------------------------------------------------------------
+(display "checks run: ") (display checks) (newline)
+(if (null? failures)
+    'all-passed
+    (begin (display "failures: ") (display failures) (newline)
+           (error "scheme suite failed")))
+"""
+
+
+@pytest.mark.parametrize("options", [UNOPT, OPT], ids=["unopt", "opt"])
+def test_scheme_suite(options):
+    result = run_source(SUITE, options, heap_words=1 << 18)
+    assert decode(result).name == "all-passed"
+    assert "FAIL" not in result.output

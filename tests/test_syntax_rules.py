@@ -1,0 +1,230 @@
+"""Unit tests for syntax-rules macros."""
+
+import pytest
+
+from repro.errors import ExpandError
+from repro.expand import SyntaxRules
+from repro.expand.expander import expand_program
+from repro.ir import Call, GlobalRef, If, Lambda, Let, LocalSet
+from repro.sexpr import read, read_all, to_write
+
+
+def make(rules_source):
+    return SyntaxRules.parse(read(rules_source), "m")
+
+
+def expand_use(rules_source, use_source):
+    return to_write(make(rules_source).expand(read(use_source)))
+
+
+# ----------------------------------------------------------------------
+# basic pattern matching
+# ----------------------------------------------------------------------
+
+
+def test_fixed_pattern():
+    assert expand_use("(syntax-rules () ((_ a b) (b a)))", "(m 1 2)") == "(2 1)"
+
+
+def test_wildcard_matches_anything():
+    assert expand_use("(syntax-rules () ((_ _ b) b))", "(m (x y) 3)") == "3"
+
+
+def test_keyword_position_ignored():
+    # The pattern's keyword slot matches regardless of the actual name.
+    assert expand_use("(syntax-rules () ((anything a) a))", "(m 5)") == "5"
+
+
+def test_multiple_rules_first_match_wins():
+    rules = "(syntax-rules () ((_ a) (one a)) ((_ a b) (two a b)))"
+    assert expand_use(rules, "(m 1)") == "(one 1)"
+    assert expand_use(rules, "(m 1 2)") == "(two 1 2)"
+
+
+def test_no_matching_rule_is_error():
+    with pytest.raises(ExpandError):
+        make("(syntax-rules () ((_ a) a))").expand(read("(m 1 2)"))
+
+
+def test_literal_identifiers_must_match():
+    rules = "(syntax-rules (to) ((_ a to b) (pair a b)))"
+    assert expand_use(rules, "(m 1 to 2)") == "(pair 1 2)"
+    with pytest.raises(ExpandError):
+        make(rules).expand(read("(m 1 from 2)"))
+
+
+def test_constant_patterns():
+    rules = '(syntax-rules () ((_ 1) one) ((_ "s") string) ((_ #t) true))'
+    assert expand_use(rules, "(m 1)") == "one"
+    assert expand_use(rules, '(m "s")') == "string"
+    assert expand_use(rules, "(m #t)") == "true"
+
+
+def test_dotted_pattern():
+    rules = "(syntax-rules () ((_ (a . b)) (pair a b)))"
+    assert expand_use(rules, "(m (1 2 3))") == "(pair 1 (2 3))"
+
+
+def test_nested_patterns():
+    rules = "(syntax-rules () ((_ ((a b) c)) (a b c)))"
+    assert expand_use(rules, "(m ((1 2) 3))") == "(1 2 3)"
+
+
+# ----------------------------------------------------------------------
+# ellipsis
+# ----------------------------------------------------------------------
+
+
+def test_simple_ellipsis():
+    rules = "(syntax-rules () ((_ a ...) (list a ...)))"
+    assert expand_use(rules, "(m 1 2 3)") == "(list 1 2 3)"
+    assert expand_use(rules, "(m)") == "(list)"
+
+
+def test_ellipsis_with_trailing_fixed():
+    rules = "(syntax-rules () ((_ a ... z) (z a ...)))"
+    assert expand_use(rules, "(m 1 2 3)") == "(3 1 2)"
+
+
+def test_structured_ellipsis():
+    rules = "(syntax-rules () ((_ (k v) ...) (keys (k ...) (v ...))))"
+    assert expand_use(rules, "(m (a 1) (b 2))") == "(keys (a b) (1 2))"
+
+
+def test_nested_ellipsis():
+    rules = "(syntax-rules () ((_ (a ...) ...) (flat a ... ...)))"
+    assert expand_use(rules, "(m (1 2) (3))") == "(flat 1 2 3)"
+
+
+def test_ellipsis_template_reuses_fixed_vars():
+    rules = "(syntax-rules () ((_ x (y ...)) ((x y) ...)))"
+    assert expand_use(rules, "(m 0 (1 2))") == "((0 1) (0 2))"
+
+
+def test_ellipsis_escape():
+    rules = "(syntax-rules () ((_ a) (a (... ...))))"
+    assert expand_use(rules, "(m foo)") == "(foo ...)"
+
+
+def test_mismatched_ellipsis_counts_error():
+    rules = "(syntax-rules () ((_ (a ...) (b ...)) ((a b) ...)))"
+    with pytest.raises(ExpandError):
+        make(rules).expand(read("(m (1 2) (3))"))
+
+
+def test_duplicate_pattern_variable_rejected():
+    with pytest.raises(ExpandError):
+        make("(syntax-rules () ((_ a a) a))")
+
+
+def test_wrong_depth_use_rejected():
+    rules = "(syntax-rules () ((_ a ...) a))"
+    with pytest.raises(ExpandError):
+        make(rules).expand(read("(m 1 2)"))
+
+
+# ----------------------------------------------------------------------
+# integration with the expander
+# ----------------------------------------------------------------------
+
+
+def expand_last(source):
+    program = expand_program(read_all(source))
+    return program.forms[-1]
+
+
+def test_macro_defined_and_used():
+    node = expand_last(
+        """
+        (define-syntax my-if2
+          (syntax-rules ()
+            ((_ c a b) (if c a b))))
+        (my-if2 x 1 2)
+        """
+    )
+    assert isinstance(node, If)
+
+
+def test_macro_expansion_is_recursive():
+    node = expand_last(
+        """
+        (define-syntax my-or
+          (syntax-rules ()
+            ((_) #f)
+            ((_ e) e)
+            ((_ e r ...) (let ((t e)) (if t t (my-or r ...))))))
+        (my-or a b c)
+        """
+    )
+    assert isinstance(node, Let)
+
+
+def test_let_syntax_scoping():
+    node = expand_last(
+        """
+        (let-syntax ((double (syntax-rules () ((_ x) (x x)))))
+          (double f))
+        """
+    )
+    assert isinstance(node, Call)
+    # outside the let-syntax the name is an ordinary variable again
+    node = expand_last("(define-syntax q (syntax-rules () ((_) 1))) double")
+    assert isinstance(node, GlobalRef)
+
+
+def test_macro_generating_define():
+    program = expand_program(
+        read_all(
+            """
+            (define-syntax def-two
+              (syntax-rules ()
+                ((_ a b) (begin (define a 1) (define b 2)))))
+            (def-two p q)
+            """
+        )
+    )
+    assert "p" in program.globals and "q" in program.globals
+
+
+def test_macro_generating_internal_define():
+    node = expand_last(
+        """
+        (define-syntax defx
+          (syntax-rules () ((_ v) (define v 1))))
+        (lambda () (defx x) x)
+        """
+    )
+    assert isinstance(node, Lambda)
+
+
+def test_swap_macro_produces_sets():
+    node = expand_last(
+        """
+        (define-syntax swap!
+          (syntax-rules ()
+            ((_ a b) (let ((tmp a)) (set! a b) (set! b tmp)))))
+        (lambda (p q) (swap! p q))
+        """
+    )
+    let = node.body
+    assert isinstance(let, Let)
+    sets = let.body.exprs
+    assert all(isinstance(s, LocalSet) for s in sets)
+
+
+def test_recursive_macro_termination_guard():
+    with pytest.raises(ExpandError):
+        expand_last(
+            """
+            (define-syntax loopy
+              (syntax-rules () ((_ a) (loopy a))))
+            (lambda () (loopy 1) 2)
+            """
+        )
+
+
+def test_vector_pattern_and_template():
+    rules = "(syntax-rules () ((_ #(a b)) (a b)))"
+    assert expand_use(rules, "(m #(1 2))") == "(1 2)"
+    rules = "(syntax-rules () ((_ a ...) #(a ...)))"
+    assert expand_use(rules, "(m 1 2)") == "#(1 2)"

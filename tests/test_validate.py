@@ -1,0 +1,125 @@
+"""Tests for the IR well-formedness checker, and pipeline-integrated
+validation over real programs."""
+
+import pytest
+
+from repro.ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalSet,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Prim,
+    Program,
+    Seq,
+    Var,
+)
+from repro.ir.validate import ValidationError, validate_program
+
+
+def program_of(*forms):
+    return Program(list(forms), [])
+
+
+def test_valid_program_passes():
+    x = LocalVar("x")
+    form = GlobalSet("f", Lambda([x], None, Prim("%add", [Var(x), Const(1)]), "f"))
+    validate_program(program_of(form))
+
+
+def test_unbound_variable_detected():
+    x = LocalVar("x")
+    with pytest.raises(ValidationError, match="unbound"):
+        validate_program(program_of(Var(x)))
+
+
+def test_out_of_scope_use_detected():
+    x = LocalVar("x")
+    form = Seq([Let([(x, Const(1))], Var(x)), Var(x)])  # second use escapes
+    with pytest.raises(ValidationError, match="unbound"):
+        validate_program(program_of(form))
+
+
+def test_duplicate_binding_detected():
+    x = LocalVar("x")
+    form = Seq([Let([(x, Const(1))], Var(x)), Let([(x, Const(2))], Var(x))])
+    with pytest.raises(ValidationError, match="two different sites"):
+        validate_program(program_of(form))
+
+
+def test_prim_arity_checked():
+    with pytest.raises(ValidationError, match="arity"):
+        validate_program(program_of(Prim("%add", [Const(1)])))
+
+
+def test_unknown_prim_detected():
+    with pytest.raises(ValidationError, match="unknown primitive"):
+        validate_program(program_of(Prim("%zap", [])))
+
+
+def test_letrec_rejected_when_disallowed():
+    x = LocalVar("x")
+    form = Letrec([(x, Const(1))], Var(x))
+    with pytest.raises(ValidationError, match="Letrec"):
+        validate_program(program_of(form), allow_letrec=False)
+    validate_program(program_of(form), allow_letrec=True)
+
+
+def test_localset_flag():
+    x = LocalVar("x")
+    x.assigned = True
+    form = Let([(x, Const(1))], LocalSet(x, Const(2)))
+    validate_program(program_of(form), allow_localset=True)
+    with pytest.raises(ValidationError, match="assignment conversion"):
+        validate_program(program_of(form), allow_localset=False)
+
+
+def test_set_of_unmarked_variable_detected():
+    x = LocalVar("x")  # assigned flag not set
+    form = Let([(x, Const(1))], LocalSet(x, Const(2)))
+    with pytest.raises(ValidationError, match="not marked assigned"):
+        validate_program(program_of(form))
+
+
+def test_fix_requires_lambdas():
+    f = LocalVar("f")
+    form = Fix([(f, Const(1))], Var(f))
+    with pytest.raises(ValidationError, match="non-lambda"):
+        validate_program(program_of(form))
+
+
+# ----------------------------------------------------------------------
+# full pipeline under validation: every pass output is well-formed
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)",
+        "(sort '(3 1 2) <)",
+        "(let ((n 0)) (define (bump!) (set! n (+ n 1))) (bump!) n)",
+        "(call/cc (lambda (k) (k 1)))",
+        "(map (lambda (x) (* x x)) (iota 5))",
+    ],
+)
+def test_pipeline_validates_on_real_programs(source):
+    from repro import CompileOptions, OptimizerOptions, decode, run_source
+
+    options = CompileOptions(optimizer=OptimizerOptions(validate=True))
+    result = run_source(source, options)
+    assert result.steps > 0
+
+
+def test_expanded_whole_prelude_validates():
+    from repro.expand import Expander
+    from repro.runtime import prelude_source
+    from repro.sexpr import read_all
+
+    expander = Expander()
+    program = expander.expand_program(read_all(prelude_source()))
+    validate_program(program, allow_letrec=True)

@@ -1,0 +1,102 @@
+"""Unit tests for the writer, including write/read round trips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sexpr import (
+    EOF,
+    NIL,
+    UNSPECIFIED,
+    Char,
+    Symbol,
+    cons,
+    from_list,
+    read,
+    to_display,
+    to_write,
+)
+
+
+def test_write_atoms():
+    assert to_write(42) == "42"
+    assert to_write(-3) == "-3"
+    assert to_write(True) == "#t"
+    assert to_write(False) == "#f"
+    assert to_write(NIL) == "()"
+    assert to_write(Symbol("abc")) == "abc"
+    assert to_write(EOF) == "#<eof>"
+    assert to_write(UNSPECIFIED) == "#<unspecified>"
+
+
+def test_write_chars():
+    assert to_write(Char(ord("a"))) == "#\\a"
+    assert to_write(Char(32)) == "#\\space"
+    assert to_write(Char(10)) == "#\\newline"
+    assert to_display(Char(ord("a"))) == "a"
+
+
+def test_write_strings():
+    assert to_write("hi") == '"hi"'
+    assert to_write('say "hi"') == '"say \\"hi\\""'
+    assert to_write("a\nb") == '"a\\nb"'
+    assert to_display("hi") == "hi"
+
+
+def test_write_lists():
+    assert to_write(from_list([1, 2, 3])) == "(1 2 3)"
+    assert to_write(cons(1, 2)) == "(1 . 2)"
+    assert to_write(from_list([1, 2], tail=3)) == "(1 2 . 3)"
+    assert to_write(from_list([Symbol("a"), from_list([Symbol("b")])])) == "(a (b))"
+
+
+def test_write_vectors():
+    assert to_write([1, 2]) == "#(1 2)"
+    assert to_write([]) == "#()"
+
+
+def test_write_quote_shorthand():
+    assert to_write(read("'x")) == "'x"
+    assert to_write(read("`(a ,b ,@c)")) == "`(a ,b ,@c)"
+
+
+def test_display_nested_uses_display_for_leaves():
+    assert to_display(from_list(["a", Char(ord("b"))])) == "(a b)"
+
+
+# ----------------------------------------------------------------------
+# property: write → read is the identity on printable data
+# ----------------------------------------------------------------------
+
+_scheme_atoms = st.one_of(
+    st.integers(min_value=-(2**60), max_value=2**60),
+    st.booleans(),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=12,
+    ),
+    st.sampled_from([Symbol(name) for name in ("a", "b", "foo", "set!", "x->y", "+")]),
+    st.builds(Char, st.integers(min_value=33, max_value=126)),
+    st.just(NIL),
+)
+
+
+def _scheme_data(depth=3):
+    if depth == 0:
+        return _scheme_atoms
+    sub = _scheme_data(depth - 1)
+    return st.one_of(
+        _scheme_atoms,
+        st.lists(sub, max_size=4).map(from_list),
+        st.lists(sub, max_size=3),
+    )
+
+
+@given(_scheme_data())
+def test_write_read_round_trip(datum):
+    assert read(to_write(datum)) == datum
+
+
+@given(st.lists(_scheme_atoms, min_size=1, max_size=5))
+def test_dotted_round_trip(items):
+    datum = from_list(items[:-1], tail=cons(items[-1], items[0]))
+    assert read(to_write(datum)) == datum
