@@ -1,8 +1,10 @@
 """Table 3 — cost of safety checks and of check elimination.
 
-Configurations: O unsafe, O safe, O safe without CSE (so dominating
-checks are not removed), and B safe.  Shape: checks cost something; CSE
-claws a share back; abstract-safe ≈ hand-coded-safe.
+Configurations: O unsafe, O safe, O safe without the flow-sensitive
+``absint`` pass (CSE-only check elimination), O safe without CSE (so
+dominating checks are not removed either), and B safe.  Shape: checks
+cost something; CSE claws a share back; the abstract interpreter claws
+back strictly more; abstract-safe ≈ hand-coded-safe.
 """
 
 from repro import CompileOptions, OptimizerOptions
@@ -17,12 +19,17 @@ def safe_no_cse() -> CompileOptions:
     return CompileOptions(optimizer=OptimizerOptions().without("cse"))
 
 
+def safe_no_absint() -> CompileOptions:
+    return CompileOptions(optimizer=OptimizerOptions().without("absint"))
+
+
 def test_table3_safety(benchmark):
     def build():
         rows = []
         for name, source, expected in WORKLOADS:
             unsafe = run_workload(source, config_o(safety=False), expected).steps
             safe = run_workload(source, config_o(safety=True), expected).steps
+            no_absint = run_workload(source, safe_no_absint(), expected).steps
             no_cse = run_workload(source, safe_no_cse(), expected).steps
             base_safe = run_workload(source, config_b(safety=True), expected).steps
             rows.append(
@@ -30,9 +37,11 @@ def test_table3_safety(benchmark):
                     name,
                     unsafe,
                     safe,
+                    no_absint,
                     no_cse,
                     base_safe,
                     ratio(safe, unsafe),
+                    ratio(no_absint, safe),
                     ratio(no_cse, safe),
                     ratio(safe, base_safe),
                 ]
@@ -47,16 +56,19 @@ def test_table3_safety(benchmark):
             "program",
             "unsafe",
             "safe",
+            "safe -absint",
             "safe -cse",
             "B safe",
             "safe/unsafe",
+            "-absint/safe",
             "-cse/safe",
             "safe O/B",
         ],
         rows,
     )
     for row in rows:
-        name, unsafe, safe, no_cse, base_safe = row[:5]
+        name, unsafe, safe, no_absint, no_cse, base_safe = row[:6]
         assert safe >= unsafe, name            # checks are not free
+        assert no_absint > safe, name          # absint strictly beats CSE-only
         assert no_cse >= safe, name            # CSE never hurts
-        assert float(row[7]) <= 1.3, name      # abstract ≈ hand-coded
+        assert float(row[9]) <= 1.3, name      # abstract ≈ hand-coded

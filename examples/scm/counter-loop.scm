@@ -1,0 +1,11 @@
+;; A counting loop whose index provably stays a fixnum: the abstract
+;; interpreter keeps the tag fact through `+`, so safe mode runs this
+;; with no residual tag probes in the loop body.
+(define (sum-squares n)
+  (let loop ((i 0) (acc 0))
+    (if (= i n)
+        acc
+        (loop (+ i 1) (+ acc (* i i))))))
+
+(display (sum-squares 10))
+(newline)

@@ -1,0 +1,16 @@
+;; First-class representation dispatch: pick a label by rep tag, the
+;; paper's signature move.  The inputs flow through a heterogeneous list
+;; so the tag tests are genuinely dynamic — the linter has nothing to say.
+(define (describe x)
+  (cond ((fixnum? x) 'number)
+        ((pair? x) 'pair)
+        ((vector? x) 'vector)
+        ((string? x) 'string)
+        (else 'other)))
+
+(define samples (list 42 '(1 2) (make-vector 3 0) "hey" 'sym))
+
+(display (map describe samples))
+(newline)
+(display (rep-name (rep-of (car (cdr samples)))))
+(newline)

@@ -1,0 +1,9 @@
+;; Sum the fringe of a nested list — exercises pair/tag dispatch that the
+;; checkelim pass proves safe (the `pair?` guard dominates every `car`).
+(define (tree-sum t)
+  (if (pair? t)
+      (+ (tree-sum (car t)) (tree-sum (cdr t)))
+      (if (null? t) 0 t)))
+
+(display (tree-sum '(1 (2 3) ((4) 5))))
+(newline)

@@ -1,0 +1,49 @@
+"""Flow-sensitive abstract interpretation over the core IR.
+
+The package tracks, per 64-bit word, a product of an interval, a
+low-tag set, and definedness (:mod:`repro.absint.lattice`), pushes it
+through every machine primitive (:mod:`repro.prims.abstract`), and
+refines it at branches (:mod:`repro.absint.analyze`) — including
+through the prelude's fused ``%fx-check2`` tag probes.
+
+Consumers: the ``checkelim`` optimizer pass (:mod:`repro.opt.checkelim`)
+and the ``repro lint`` diagnostics engine (:mod:`repro.lint`).
+"""
+
+from .lattice import (  # noqa: F401
+    ALL_TAGS,
+    BOOL_WORD,
+    BOTTOM,
+    INT_MAX,
+    INT_MIN,
+    TOP,
+    UNKNOWN,
+    AbstractValue,
+    const,
+    from_range,
+    from_tags,
+    join_all,
+    make,
+    stabilize,
+)
+from .analyze import Analyzer, Event, analyze_program  # noqa: F401
+
+__all__ = [
+    "ALL_TAGS",
+    "BOOL_WORD",
+    "BOTTOM",
+    "INT_MAX",
+    "INT_MIN",
+    "TOP",
+    "UNKNOWN",
+    "AbstractValue",
+    "Analyzer",
+    "Event",
+    "analyze_program",
+    "const",
+    "from_range",
+    "from_tags",
+    "join_all",
+    "make",
+    "stabilize",
+]

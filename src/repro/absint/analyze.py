@@ -1,0 +1,555 @@
+"""Flow-sensitive abstract interpretation over the core IR.
+
+One :class:`Analyzer` walks one top-level form, carrying an environment
+``LocalVar → AbstractValue``, applying the per-primitive signatures from
+:mod:`repro.prims.abstract`, and *refining* variables at every ``If``:
+inside the true arm of ``(%eq (%and x 7) 3)`` the analysis knows ``x``'s
+low tag is 3, inside the false arm that it is not — including through
+the prelude's ``%fx-check2`` idiom ``(%eq (%and (%or a b) 7) 0)``, which
+pins *both* operands to tag 0 at once.
+
+The walk records, keyed by node identity:
+
+* ``values`` — abstract result of every primitive application;
+* ``folds`` — pure primitives proven to yield a single word;
+* ``decided`` — ``If`` nodes whose test is proven true/false (either
+  because the test's value folds, or because assuming one truth value
+  contradicts the environment);
+* ``reductions`` — range-based strength reductions (``%div``/``%mod``
+  by a power of two and ``%asr`` on provably non-negative words drop to
+  ``%lsr``/``%and``);
+* ``events`` — a stream of facts (decided branches, constant
+  predicates, always-failing bodies) consumed by :mod:`repro.lint`.
+
+Soundness notes.  Assigned variables (targets of ``set!``) are always ⊤:
+their value can change under a closure's feet.  Unassigned variables are
+immutable, so facts about them — including facts captured by a lambda
+analysed at its definition site — hold forever.  ``%fail`` evaluates to
+⊥ and makes the rest of its straight-line context unreachable, which is
+the flow-sensitive generalisation of the dominating-check trick in
+:mod:`repro.opt.cse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import prims
+from ..ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    LocalSet,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    is_pure,
+)
+from ..prims.abstract import abstract_eval
+from .lattice import (
+    BOTTOM,
+    INT_MAX,
+    UNKNOWN,
+    AbstractValue,
+    const,
+    from_tags,
+    make,
+)
+
+_CLOSURE_TAG = 7  # the compiler-owned closure representation (vm/machine)
+
+Env = dict  # LocalVar -> AbstractValue
+
+
+@dataclass
+class Event:
+    """One analysis fact, for the diagnostics layer."""
+
+    kind: str  # "branch-decided" | "predicate-constant" | "always-fails"
+    node: Node
+    form: str
+    truth: bool | None = None
+    #: a predicate that is itself the decided branch test (suppresses
+    #: double reporting between rules)
+    is_branch_test: bool = False
+
+
+class Analyzer:
+    """Abstract interpretation of one top-level form."""
+
+    def __init__(self, form_label: str = "<form>"):
+        self.form_label = form_label
+        self.values: dict[int, AbstractValue] = {}
+        self.folds: dict[int, int | None] = {}
+        self.decided: dict[int, bool | None] = {}
+        self.reductions: dict[int, tuple[str, int | None] | None] = {}
+        self.events: list[Event] = []
+        #: pure definitions of in-scope unassigned locals, for
+        #: refinement through ``let``-bound tests
+        self._bound: dict[LocalVar, Node] = {}
+        self._fail_codes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def analyze_form(self, form: Node) -> AbstractValue:
+        env: Env = {}
+        result = self.eval(form, env)
+        if result.is_bottom:
+            self.events.append(
+                Event("always-fails", form, self.form_label, truth=None)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # recording helpers (identity-keyed; joins under accidental sharing)
+    # ------------------------------------------------------------------
+
+    def _record_value(self, node: Node, value: AbstractValue) -> None:
+        key = id(node)
+        seen = self.values.get(key)
+        self.values[key] = value if seen is None else seen.join(value)
+
+    def _record_fold(self, node: Node, word: int) -> None:
+        key = id(node)
+        if key in self.folds and self.folds[key] != word:
+            self.folds[key] = None  # conflicting visits: give up
+        else:
+            self.folds.setdefault(key, word)
+
+    def _record_decision(self, node: If, truth: bool) -> None:
+        key = id(node)
+        if key in self.decided and self.decided[key] != truth:
+            self.decided[key] = None
+        else:
+            self.decided.setdefault(key, truth)
+
+    def _record_reduction(self, node: Prim, op: str, second: int | None) -> None:
+        key = id(node)
+        if key in self.reductions and self.reductions[key] != (op, second):
+            self.reductions[key] = None
+        else:
+            self.reductions.setdefault(key, (op, second))
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def eval(self, node: Node, env: Env, in_test: bool = False) -> AbstractValue:
+        if isinstance(node, Const):
+            return const(node.value)
+        if isinstance(node, Var):
+            if node.var.assigned:
+                return UNKNOWN
+            return env.get(node.var, UNKNOWN)
+        if isinstance(node, GlobalRef):
+            return UNKNOWN
+        if isinstance(node, GlobalSet):
+            return self.eval(node.value, env)
+        if isinstance(node, LocalSet):
+            value = self.eval(node.value, env)
+            return BOTTOM if value.is_bottom else UNKNOWN
+        if isinstance(node, Prim):
+            return self._eval_prim(node, env, in_test)
+        if isinstance(node, If):
+            return self._eval_if(node, env)
+        if isinstance(node, Seq):
+            for expr in node.exprs[:-1]:
+                if self.eval(expr, env).is_bottom:
+                    return BOTTOM
+            return self.eval(node.exprs[-1], env, in_test)
+        if isinstance(node, Let):
+            values = [(var, self.eval(init, env), init) for var, init in node.bindings]
+            for var, value, init in values:
+                if value.is_bottom:
+                    return BOTTOM
+                if not var.assigned:
+                    env[var] = value
+                    if is_pure(init):
+                        self._bound[var] = init
+            return self.eval(node.body, env, in_test)
+        if isinstance(node, Letrec):
+            for var, _ in node.bindings:
+                if not var.assigned:
+                    # Observable before initialisation completes.
+                    env[var] = make(
+                        UNKNOWN.lo, UNKNOWN.hi, UNKNOWN.tags, defined=False
+                    )
+            for var, init in node.bindings:
+                value = self.eval(init, env)
+                if value.is_bottom:
+                    return BOTTOM
+                if not var.assigned:
+                    env[var] = value
+            return self.eval(node.body, env)
+        if isinstance(node, Fix):
+            closure = from_tags({_CLOSURE_TAG})
+            for var, _ in node.bindings:
+                if not var.assigned:
+                    env[var] = closure
+            for _, lam in node.bindings:
+                self._eval_lambda_body(lam, env)
+            return self.eval(node.body, env, in_test)
+        if isinstance(node, Lambda):
+            self._eval_lambda_body(node, env)
+            return from_tags({_CLOSURE_TAG})
+        if isinstance(node, Call):
+            if self.eval(node.fn, env).is_bottom:
+                return BOTTOM
+            for arg in node.args:
+                if self.eval(arg, env).is_bottom:
+                    return BOTTOM
+            return UNKNOWN
+        raise TypeError(f"absint: unknown node {type(node).__name__}")
+
+    def _eval_lambda_body(self, lam: Lambda, env: Env) -> None:
+        """Analyse a lambda body at its definition site.
+
+        Facts about captured *unassigned* variables stay valid for the
+        closure's whole lifetime, so the surrounding environment carries
+        over; parameters are ⊤.
+        """
+        inner = dict(env)
+        for param in lam.params:
+            inner[param] = UNKNOWN
+        if lam.rest is not None:
+            inner[lam.rest] = UNKNOWN
+        result = self.eval(lam.body, inner)
+        if result.is_bottom:
+            self.events.append(
+                Event("always-fails", lam, self.form_label, truth=None)
+            )
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    def _eval_prim(self, node: Prim, env: Env, in_test: bool) -> AbstractValue:
+        args = []
+        for arg in node.args:
+            value = self.eval(arg, env)
+            if value.is_bottom:
+                return BOTTOM
+            args.append(value)
+        spec = prims.lookup(node.op)
+        result = abstract_eval(node.op, args)
+        self._record_value(node, result)
+        if spec is not None and spec.pure:
+            word = result.as_constant()
+            if word is not None:
+                self._record_fold(node, word)
+                if spec.comparison:
+                    self.events.append(
+                        Event(
+                            "predicate-constant",
+                            node,
+                            self.form_label,
+                            truth=word != 0,
+                            is_branch_test=in_test,
+                        )
+                    )
+            else:
+                self._strength_reduce(node, args)
+        return result
+
+    def _strength_reduce(self, node: Prim, args: list) -> None:
+        """Range-based reductions of checked-shape fixnum ops."""
+        if len(args) != 2:
+            return
+        a, b = args
+        divisor = b.as_constant()
+        if node.op == "%div" and divisor is not None and a.nonneg():
+            shift = _log2(divisor)
+            if shift is not None:
+                self._record_reduction(node, "%lsr", shift)
+        elif node.op == "%mod" and divisor is not None and a.nonneg():
+            if _log2(divisor) is not None:
+                self._record_reduction(node, "%and", divisor - 1)
+        elif node.op == "%asr" and divisor is not None and a.nonneg():
+            if 0 <= divisor < 64:
+                self._record_reduction(node, "%lsr", None)
+
+    # ------------------------------------------------------------------
+    # conditionals and refinement
+    # ------------------------------------------------------------------
+
+    def _eval_if(self, node: If, env: Env) -> AbstractValue:
+        test_value = self.eval(node.test, env, in_test=True)
+        if test_value.is_bottom:
+            return BOTTOM
+        word = test_value.as_constant()
+        if word is not None:
+            truth = word != 0
+            self._decide(node, truth)
+            return self.eval(node.then if truth else node.els, env)
+        then_env = self._refine(env, node.test, True)
+        else_env = self._refine(env, node.test, False)
+        if then_env is None and else_env is None:
+            # Both arms contradictory: the test itself cannot execute.
+            return BOTTOM
+        if then_env is None:
+            self._decide(node, False)
+            return self.eval(node.els, _merge_into(env, else_env), in_test=False)
+        if else_env is None:
+            self._decide(node, True)
+            return self.eval(node.then, _merge_into(env, then_env), in_test=False)
+        then_value = self.eval(node.then, then_env)
+        else_value = self.eval(node.els, else_env)
+        if then_value.is_bottom and not else_value.is_bottom:
+            # Reaching the continuation proves the else arm ran.
+            _merge_into(env, else_env)
+        elif else_value.is_bottom and not then_value.is_bottom:
+            _merge_into(env, then_env)
+        else:
+            for var in set(then_env) | set(else_env):
+                left = then_env.get(var, UNKNOWN)
+                right = else_env.get(var, UNKNOWN)
+                env[var] = left.join(right)
+        return then_value.join(else_value)
+
+    def _decide(self, node: If, truth: bool) -> None:
+        self._record_decision(node, truth)
+        self.events.append(
+            Event("branch-decided", node, self.form_label, truth=truth)
+        )
+
+    # -- refinement ----------------------------------------------------
+
+    def _refine(self, env: Env, test: Node, truth: bool) -> Env | None:
+        out = dict(env)
+        if self._refine_into(out, test, truth, depth=0):
+            return out
+        return None
+
+    def _refine_into(self, env: Env, test: Node, truth: bool, depth: int) -> bool:
+        """Narrow ``env`` under ``test``'s truth; False on contradiction."""
+        if depth > 16:
+            return True
+        if isinstance(test, Const):
+            return (test.value != 0) == truth
+        if isinstance(test, Var) and not test.var.assigned:
+            value = env.get(test.var, UNKNOWN)
+            if truth:
+                narrowed = _exclude_zero(value)
+            else:
+                narrowed = value.meet(const(0))
+            if narrowed.is_bottom:
+                return False
+            env[test.var] = narrowed
+            defn = self._bound.get(test.var)
+            if defn is not None:
+                return self._refine_into(env, defn, truth, depth + 1)
+            return True
+        if not isinstance(test, Prim):
+            return True
+        if test.op == "%nz":
+            return self._refine_into(env, test.args[0], truth, depth + 1)
+        if test.op in ("%eq", "%neq"):
+            want_equal = (test.op == "%eq") == truth
+            return self._refine_equality(env, test.args[0], test.args[1],
+                                         want_equal, depth)
+        if test.op in ("%lt", "%le"):
+            return self._refine_order(env, test, truth)
+        spec = prims.lookup(test.op)
+        if spec is not None and spec.pure:
+            # Any other pure prim used as a test is a zero/non-zero
+            # question — e.g. CSE rewrites ``(%eq (%and x 7) 0)`` guards
+            # into bare ``(if (%and x 7) (%fail) …)`` form, so the tag
+            # fact lives behind an equality with an implicit 0.
+            return self._refine_equality(env, test, Const(0), not truth, depth + 1)
+        return True
+
+    def _refine_equality(
+        self, env: Env, left: Node, right: Node, equal: bool, depth: int
+    ) -> bool:
+        left_value = self._peek(left, env)
+        right_value = self._peek(right, env)
+        if equal:
+            met = left_value.meet(right_value)
+            if met.is_bottom:
+                return False
+            if not self._narrow_var(env, left, met):
+                return False
+            if not self._narrow_var(env, right, met):
+                return False
+            # Tag constraints through (%and subject mask) == residue.
+            for subject, mask_node, other in (
+                (left, None, right), (right, None, left)
+            ):
+                if (
+                    isinstance(subject, Prim)
+                    and subject.op == "%and"
+                    and isinstance(subject.args[1], Const)
+                ):
+                    residue = self._peek(other, env).as_constant()
+                    if residue is not None:
+                        if not self._refine_tag_mask(
+                            env, subject.args[0], subject.args[1].value,
+                            residue, depth
+                        ):
+                            return False
+            return True
+        # Disequality: drop exact-constant matches and boundary values.
+        for subject, other in ((left, right), (right, left)):
+            other_word = self._peek(other, env).as_constant()
+            if other_word is None:
+                continue
+            if isinstance(subject, Var) and not subject.var.assigned:
+                value = env.get(subject.var, UNKNOWN)
+                if value.as_constant() == other_word:
+                    return False
+                signed = other_word - (1 << 64) if other_word >> 63 else other_word
+                if value.lo == signed:
+                    value = value.clamp(lo=signed + 1)
+                elif value.hi == signed:
+                    value = value.clamp(hi=signed - 1)
+                if value.is_bottom:
+                    return False
+                env[subject.var] = value
+            if (
+                isinstance(subject, Prim)
+                and subject.op == "%and"
+                and isinstance(subject.args[1], Const)
+                and subject.args[1].value == 7
+                and isinstance(subject.args[0], Var)
+                and not subject.args[0].var.assigned
+                and 0 <= other_word < 8
+            ):
+                inner = subject.args[0].var
+                narrowed = env.get(inner, UNKNOWN).without_tag(other_word)
+                if narrowed.is_bottom:
+                    return False
+                env[inner] = narrowed
+        return True
+
+    def _refine_tag_mask(
+        self, env: Env, subject: Node, mask: int, residue: int, depth: int
+    ) -> bool:
+        """(subject & mask) == residue: push the low-3-bit part down
+        through variables and ``%or`` (the ``%fx-check2`` idiom)."""
+        if depth > 16:
+            return True
+        low_mask = mask & 7
+        low_residue = residue & 7
+        if low_residue & ~low_mask:
+            return False  # required bits outside the mask: impossible
+        if low_mask == 0:
+            return True
+        if isinstance(subject, Var) and not subject.var.assigned:
+            allowed = frozenset(
+                t for t in range(8) if (t & low_mask) == low_residue
+            )
+            narrowed = env.get(subject.var, UNKNOWN).with_tags(allowed)
+            if narrowed.is_bottom:
+                return False
+            env[subject.var] = narrowed
+            defn = self._bound.get(subject.var)
+            if defn is not None:
+                return self._refine_tag_mask(env, defn, low_mask, low_residue,
+                                             depth + 1)
+            return True
+        if (
+            isinstance(subject, Prim)
+            and subject.op == "%or"
+            and low_residue == 0
+        ):
+            # (p | q) & m == 0 (on the masked bits) ⇒ both sides are 0
+            # there.  This is how one %fx-check2 clears two operands.
+            return self._refine_tag_mask(
+                env, subject.args[0], low_mask, 0, depth + 1
+            ) and self._refine_tag_mask(
+                env, subject.args[1], low_mask, 0, depth + 1
+            )
+        return True
+
+    def _refine_order(self, env: Env, test: Prim, truth: bool) -> bool:
+        left, right = test.args
+        left_value = self._peek(left, env)
+        right_value = self._peek(right, env)
+        strict = test.op == "%lt"
+        if truth:
+            # left < right (or ≤): cap left from above, right from below.
+            upper = right_value.hi - (1 if strict else 0)
+            lower = left_value.lo + (1 if strict else 0)
+            ok = self._narrow_var(env, left, left_value.clamp(hi=upper))
+            ok = ok and self._narrow_var(env, right, right_value.clamp(lo=lower))
+            return ok
+        # ¬(left < right) ⇔ right ≤ left; ¬(left ≤ right) ⇔ right < left.
+        lower = right_value.lo + (0 if strict else 1)
+        upper = left_value.hi - (0 if strict else 1)
+        ok = self._narrow_var(env, left, left_value.clamp(lo=lower))
+        ok = ok and self._narrow_var(env, right, right_value.clamp(hi=upper))
+        return ok
+
+    def _narrow_var(self, env: Env, node: Node, value: AbstractValue) -> bool:
+        if value.is_bottom:
+            return False
+        if isinstance(node, Var) and not node.var.assigned:
+            env[node.var] = env.get(node.var, UNKNOWN).meet(value)
+            if env[node.var].is_bottom:
+                return False
+        return True
+
+    def _peek(self, node: Node, env: Env) -> AbstractValue:
+        """Re-evaluate a pure expression for refinement (no recording)."""
+        if isinstance(node, Const):
+            return const(node.value)
+        if isinstance(node, Var):
+            if node.var.assigned:
+                return UNKNOWN
+            return env.get(node.var, UNKNOWN)
+        if isinstance(node, Prim):
+            spec = prims.lookup(node.op)
+            if spec is None or not spec.pure:
+                return UNKNOWN
+            args = [self._peek(arg, env) for arg in node.args]
+            if any(arg.is_bottom for arg in args):
+                return BOTTOM
+            return abstract_eval(node.op, args)
+        return UNKNOWN
+
+
+def _exclude_zero(value: AbstractValue) -> AbstractValue:
+    if value.as_constant() == 0:
+        return BOTTOM
+    if value.lo == 0:
+        return value.clamp(lo=1)
+    if value.hi == 0:
+        return value.clamp(hi=-1)
+    return value
+
+
+def _merge_into(env: Env, refined: Env | None) -> Env:
+    if refined is not None:
+        env.update(refined)
+    return env
+
+
+def _log2(value: int) -> int | None:
+    """k when value == 2**k (1 ≤ value, k < 63), else None."""
+    if value <= 0 or value & (value - 1):
+        return None
+    shift = value.bit_length() - 1
+    return shift if shift < 63 else None
+
+
+def analyze_program(program: Program, start: int = 0) -> list[tuple[str, Analyzer]]:
+    """Analyse every top-level form from ``start``; one Analyzer each."""
+    out: list[tuple[str, Analyzer]] = []
+    for index, form in enumerate(program.forms[start:], start=start):
+        if isinstance(form, GlobalSet):
+            label = form.name
+        else:
+            label = f"<toplevel expression #{index - start + 1}>"
+        analyzer = Analyzer(label)
+        analyzer.analyze_form(form)
+        out.append((label, analyzer))
+    return out

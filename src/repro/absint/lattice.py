@@ -1,0 +1,262 @@
+"""The abstract value lattice.
+
+Every IR expression evaluates to one 64-bit machine word.  The analysis
+tracks, per word, a *product* of independent facts:
+
+* **interval** — the signed two's-complement value lies in ``[lo, hi]``;
+* **tags** — the low three bits (the representation-type tag chosen by
+  the library) lie in a subset of ``{0..7}``;
+* **defined** — the word is an initialised value (``False`` only for
+  variables observed before their ``letrec`` binding completes).
+
+``BOTTOM`` (empty interval or empty tag set) means *no value reaches
+this point*: the expression diverges or the program point is
+unreachable.  ``TOP`` is the unknown word.
+
+The components reinforce one another: a singleton interval pins the tag
+set, and a tag set tightens interval endpoints to the nearest word whose
+low bits are permitted (values with the same high bits but different
+tags differ by at most 7).
+
+The lattice is finite-height in the tag/definedness components but not
+in the interval component, so :meth:`AbstractValue.widen` provides the
+classic interval widening (unstable bounds jump to the word extremes);
+:func:`stabilize` iterates a transfer function to a post-fixpoint with
+it.  The current IR has no loop construct — loops are recursion, and the
+interpreter analyses each lambda once with ⊤ parameters — but the
+widening operator is load-bearing for the property suite and for any
+future loop-aware (e.g. self-tail-call) refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+INT_MIN = -(1 << (WORD_BITS - 1))
+INT_MAX = (1 << (WORD_BITS - 1)) - 1
+
+ALL_TAGS = frozenset(range(8))
+NO_TAGS = frozenset()
+
+#: low-tag assignment used by the default prelude (documentation only;
+#: the analysis never assumes it — facts come from the code itself)
+TAG_NAMES = {
+    0: "fixnum",
+    1: "pair",
+    2: "vector",
+    3: "string",
+    4: "symbol",
+    5: "record",
+    6: "immediate",
+    7: "closure",
+}
+
+
+def _signed(word: int) -> int:
+    word &= WORD_MASK
+    return word - (1 << WORD_BITS) if word >> (WORD_BITS - 1) else word
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One point of the product lattice.  Immutable; construct with
+    :func:`make` (which normalises) or the ready-made constants."""
+
+    lo: int
+    hi: int
+    tags: frozenset
+    defined: bool = True
+
+    # -- predicates ----------------------------------------------------
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.lo > self.hi or not self.tags
+
+    @property
+    def is_top(self) -> bool:
+        return (
+            self.lo == INT_MIN
+            and self.hi == INT_MAX
+            and self.tags == ALL_TAGS
+            and not self.defined
+        )
+
+    def as_constant(self) -> int | None:
+        """The unique word this value can be, as an unsigned word, or
+        ``None``."""
+        if self.is_bottom or self.lo != self.hi:
+            return None
+        return self.lo & WORD_MASK
+
+    def __repr__(self) -> str:
+        if self.is_bottom:
+            return "⊥"
+        if self.is_top:
+            return "⊤"
+        const = self.as_constant()
+        if const is not None:
+            return f"⟨{_signed(const)}⟩"
+        lo = "-∞" if self.lo == INT_MIN else str(self.lo)
+        hi = "+∞" if self.hi == INT_MAX else str(self.hi)
+        tags = (
+            "*" if self.tags == ALL_TAGS else "{" + ",".join(map(str, sorted(self.tags))) + "}"
+        )
+        marker = "" if self.defined else "?"
+        return f"⟨[{lo},{hi}] tags={tags}{marker}⟩"
+
+    # -- lattice operations --------------------------------------------
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return make(
+            min(self.lo, other.lo),
+            max(self.hi, other.hi),
+            self.tags | other.tags,
+            self.defined and other.defined,
+        )
+
+    def meet(self, other: "AbstractValue") -> "AbstractValue":
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return make(
+            max(self.lo, other.lo),
+            min(self.hi, other.hi),
+            self.tags & other.tags,
+            self.defined or other.defined,
+        )
+
+    def widen(self, newer: "AbstractValue") -> "AbstractValue":
+        """Standard interval widening: a bound that moved since the last
+        iterate jumps straight to the word extreme.  Tag sets and
+        definedness are finite, so plain join suffices for them."""
+        if self.is_bottom:
+            return newer
+        if newer.is_bottom:
+            return self
+        lo = self.lo if newer.lo >= self.lo else INT_MIN
+        hi = self.hi if newer.hi <= self.hi else INT_MAX
+        return make(lo, hi, self.tags | newer.tags, self.defined and newer.defined)
+
+    def leq(self, other: "AbstractValue") -> bool:
+        """Partial order: is ``self`` at least as precise as ``other``?"""
+        if self.is_bottom:
+            return True
+        if other.is_bottom:
+            return False
+        return (
+            other.lo <= self.lo
+            and self.hi <= other.hi
+            and self.tags <= other.tags
+            and (self.defined or not other.defined)
+        )
+
+    # -- derived facts -------------------------------------------------
+
+    def nonneg(self) -> bool:
+        return not self.is_bottom and self.lo >= 0
+
+    def excludes_word(self, word: int) -> bool:
+        """Provably never equal to ``word``?"""
+        if self.is_bottom:
+            return True
+        value = _signed(word)
+        if value < self.lo or value > self.hi:
+            return True
+        return (word & 7) not in self.tags
+
+    def with_tags(self, tags: frozenset) -> "AbstractValue":
+        return make(self.lo, self.hi, self.tags & tags, self.defined)
+
+    def without_tag(self, tag: int) -> "AbstractValue":
+        return make(self.lo, self.hi, self.tags - {tag & 7}, self.defined)
+
+    def clamp(self, lo: int | None = None, hi: int | None = None) -> "AbstractValue":
+        return make(
+            self.lo if lo is None else max(self.lo, lo),
+            self.hi if hi is None else min(self.hi, hi),
+            self.tags,
+            self.defined,
+        )
+
+
+def make(lo: int, hi: int, tags=ALL_TAGS, defined: bool = True) -> AbstractValue:
+    """Normalising constructor: clamps to word range, reconciles the
+    interval and tag components, and canonicalises bottom."""
+    lo = max(lo, INT_MIN)
+    hi = min(hi, INT_MAX)
+    tags = frozenset(tags)
+    if lo > hi or not tags:
+        return BOTTOM
+    # A narrow interval enumerates its tags exactly.
+    if hi - lo < 8:
+        tags = tags & frozenset((v & 7) for v in range(lo, hi + 1))
+        if not tags:
+            return BOTTOM
+    # Tags tighten endpoints to the nearest admissible word (≤ 7 steps).
+    while lo <= hi and (lo & 7) not in tags:
+        lo += 1
+    while lo <= hi and (hi & 7) not in tags:
+        hi -= 1
+    if lo > hi:
+        return BOTTOM
+    return AbstractValue(lo, hi, tags, defined)
+
+
+BOTTOM = AbstractValue(1, 0, NO_TAGS, True)
+TOP = AbstractValue(INT_MIN, INT_MAX, ALL_TAGS, False)
+#: unknown but initialised word
+UNKNOWN = AbstractValue(INT_MIN, INT_MAX, ALL_TAGS, True)
+#: raw 0/1 comparison result
+BOOL_WORD = make(0, 1, frozenset({0, 1}))
+
+
+def const(word: int) -> AbstractValue:
+    """The abstract value of one known machine word."""
+    value = _signed(word)
+    return AbstractValue(value, value, frozenset({word & 7}), True)
+
+
+def from_tags(tags) -> AbstractValue:
+    """Any initialised word whose low tag is in ``tags``."""
+    return make(INT_MIN, INT_MAX, frozenset(t & 7 for t in tags))
+
+
+def from_range(lo: int, hi: int) -> AbstractValue:
+    return make(lo, hi, ALL_TAGS)
+
+
+def join_all(values) -> AbstractValue:
+    out = BOTTOM
+    for value in values:
+        out = out.join(value)
+    return out
+
+
+def stabilize(
+    start: AbstractValue,
+    transfer: Callable[[AbstractValue], AbstractValue],
+    max_iterations: int = 64,
+) -> AbstractValue:
+    """Iterate ``v ← v ▽ transfer(v)`` to a post-fixpoint.
+
+    This is the loop-solving scaffold the property suite exercises
+    (widening must terminate on any monotone transfer) and the entry
+    point a future loop-aware analysis will call per loop header.
+    """
+    value = start
+    for _ in range(max_iterations):
+        step = transfer(value)
+        widened = value.widen(value.join(step))
+        if widened == value:
+            return value
+        value = widened
+    # Widening guarantees we never reach here for monotone transfers,
+    # but stay sound under arbitrary (non-monotone) test functions.
+    return UNKNOWN

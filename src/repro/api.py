@@ -61,10 +61,13 @@ class CompiledProgram:
         vm_program: isa.VMProgram,
         ir_program: Program,
         stages: dict[str, str] | None = None,
+        diagnostics: list | None = None,
     ):
         self.vm_program = vm_program
         self.ir_program = ir_program
         self.stages = stages or {}
+        #: lint findings (populated by ``compile_source(diagnostics=True)``)
+        self.diagnostics = diagnostics or []
 
     def run(
         self,
@@ -174,8 +177,14 @@ def compile_source(
     source: str,
     options: CompileOptions | None = None,
     explain: bool = False,
+    diagnostics: bool = False,
 ) -> CompiledProgram:
-    """Compile Scheme source (with the configured prelude) to VM code."""
+    """Compile Scheme source (with the configured prelude) to VM code.
+
+    With ``diagnostics=True`` the lint engine (:mod:`repro.lint`) also
+    runs and its findings are attached to
+    :attr:`CompiledProgram.diagnostics`.
+    """
     options = options or CompileOptions()
     prelude_forms, expander = _expander_for(options)
     user_program = expander.expand_program(read_all(source))
@@ -202,7 +211,20 @@ def compile_source(
         stages["optimized"] = pretty_program(program)
     program = convert_assignments_program(program)
     vm_program = generate_code(program)
-    compiled = CompiledProgram(vm_program, program, stages)
+    found: list = []
+    if diagnostics:
+        from .lint import LintOptions, lint_source
+
+        report = lint_source(
+            source,
+            LintOptions(
+                prelude=options.prelude,
+                safety=options.safety,
+                extra_prelude=options.extra_prelude,
+            ),
+        )
+        found = list(report.diagnostics)
+    compiled = CompiledProgram(vm_program, program, stages, found)
     if explain:
         stages["assembly"] = compiled.disassemble()
     return compiled

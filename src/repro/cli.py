@@ -6,6 +6,7 @@ Usage (after ``python setup.py develop``):
     python -m repro.cli run -e '(+ 1 2)'
     python -m repro.cli disassemble -e '(define (f x) (car x))' --name f
     python -m repro.cli stats -e '(fib 10)' --config baseline
+    python -m repro.cli lint program.scm --Werror
     python -m repro.cli repl
 """
 
@@ -109,6 +110,32 @@ def cmd_stats(namespace: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(namespace: argparse.Namespace) -> int:
+    from .lint import LintOptions, all_rules, lint_source, render_json, render_text
+
+    if namespace.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:20s} [{rule.severity:7s}] {rule.description}")
+        return 0
+    options = LintOptions(
+        disabled=frozenset(namespace.disable or ()),
+        safety=not namespace.unsafe,
+        prelude_only=namespace.prelude_only,
+    )
+    if namespace.prelude_only:
+        source = ""
+        filename = "<prelude>"
+    else:
+        source = _source(namespace)
+        filename = namespace.file or "<expression>"
+    report = lint_source(source, options)
+    if namespace.json:
+        print(render_json(report, filename))
+    else:
+        print(render_text(report, filename))
+    return report.exit_code(werror=namespace.werror)
+
+
 def cmd_repl(namespace: argparse.Namespace) -> int:
     print("repro Scheme — whole-program compiles per input; :q to quit")
     history: list[str] = []
@@ -154,6 +181,39 @@ def main(argv: list[str] | None = None) -> int:
     stats_parser = subparsers.add_parser("stats", help="run and report counters")
     _add_common(stats_parser)
     stats_parser.set_defaults(fn=cmd_stats)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="static diagnostics (tag/range analysis + style checks)"
+    )
+    lint_parser.add_argument("file", nargs="?", help="Scheme source file")
+    lint_parser.add_argument("-e", "--expression", help="inline program text")
+    lint_parser.add_argument(
+        "--Werror",
+        dest="werror",
+        action="store_true",
+        help="exit non-zero on warnings, not just errors",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint_parser.add_argument(
+        "--disable",
+        action="append",
+        metavar="RULE",
+        help="suppress one rule id (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint_parser.add_argument(
+        "--prelude-only",
+        action="store_true",
+        help="lint the runtime prelude itself instead of a program",
+    )
+    lint_parser.add_argument(
+        "--unsafe", action="store_true", help="lint the unchecked configuration"
+    )
+    lint_parser.set_defaults(fn=cmd_lint)
 
     repl_parser = subparsers.add_parser("repl", help="interactive loop")
     _add_common(repl_parser)

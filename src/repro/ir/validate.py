@@ -39,9 +39,15 @@ def validate_program(
     program: Program,
     allow_letrec: bool = False,
     allow_localset: bool = True,
+    stage: str | None = None,
 ) -> None:
-    """Raise :class:`ValidationError` on the first problem found."""
+    """Raise :class:`ValidationError` on the first problem found.
+
+    ``stage`` names the pass that produced this IR; it is threaded into
+    failure messages so a pipeline bug names its culprit.
+    """
     seen_bindings: set[int] = set()
+    prefix = f"after {stage}: " if stage else ""
     for index, form in enumerate(program.forms):
         _validate(
             form,
@@ -49,7 +55,7 @@ def validate_program(
             seen=seen_bindings,
             allow_letrec=allow_letrec,
             allow_localset=allow_localset,
-            where=f"top-level form {index}",
+            where=f"{prefix}top-level form {index}",
         )
 
 

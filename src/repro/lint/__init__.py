@@ -1,0 +1,24 @@
+"""User-facing diagnostics (`repro lint`).
+
+The engine runs the abstract interpreter of :mod:`repro.absint` plus a
+set of syntactic checks over a program and reports what it finds as
+:class:`Diagnostic` values; see docs/DIAGNOSTICS.md for the rule
+catalogue, suppression syntax, and the JSON schema.
+"""
+
+from .diagnostics import Diagnostic, LintReport  # noqa: F401
+from .engine import LintOptions, lint_source  # noqa: F401
+from .reporters import render_json, render_text  # noqa: F401
+from .rules import RULES, Rule, all_rules  # noqa: F401
+
+__all__ = [
+    "Diagnostic",
+    "LintOptions",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

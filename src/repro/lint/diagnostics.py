@@ -1,0 +1,70 @@
+"""The diagnostic model shared by every lint rule and reporter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: severity levels, in increasing order of, well, severity
+SEVERITIES = ("note", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding.
+
+    ``rule`` is the registry id (``unreachable-branch`` …), ``form`` the
+    top-level form it was found in (a global's name, or a positional
+    label for anonymous top-level expressions).  ``detail`` carries
+    rule-specific structured data for the JSON reporter.
+    """
+
+    rule: str
+    severity: str
+    form: str
+    message: str
+    detail: dict = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "form": self.form,
+            "message": self.message,
+        }
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+    def render(self) -> str:
+        return f"{self.form}: {self.severity}: {self.message} [{self.rule}]"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: rules that ran (after suppression) — lets reporters distinguish
+    #: "clean" from "switched off"
+    rules_run: tuple[str, ...] = ()
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def worst(self) -> str | None:
+        worst = None
+        for diag in self.diagnostics:
+            if worst is None or SEVERITIES.index(diag.severity) > SEVERITIES.index(worst):
+                worst = diag.severity
+        return worst
+
+    def exit_code(self, werror: bool = False) -> int:
+        """The CLI convention: 1 on any error, or on any warning under
+        ``--Werror``; 0 otherwise."""
+        if self.count("error"):
+            return 1
+        if werror and self.count("warning"):
+            return 1
+        return 0

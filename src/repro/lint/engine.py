@@ -1,0 +1,137 @@
+"""The lint engine: parse → expand → optimize (without ``absint``) →
+abstract-interpret → run the rule registry.
+
+The flow rules deliberately lint the program optimized with the
+*syntactic* pipeline only (``OptimizerOptions.without("absint")``, no
+global pruning): whatever the constant folder and CSE already removed is
+not worth reporting, and whatever only the flow analysis can decide is
+still present in the IR to be pointed at.  That makes ``repro lint``
+exactly the user-facing face of the ``absint`` optimizer pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..absint.analyze import analyze_program
+from ..errors import ReproError
+from ..ir import Program
+from ..opt import OptimizerOptions, optimize_program
+from ..sexpr import read_all
+from .diagnostics import Diagnostic, LintReport
+from .rules import RULES, LintContext, all_rules
+
+
+@dataclass
+class LintOptions:
+    """Configuration for one lint run."""
+
+    #: rule ids to skip
+    disabled: frozenset = frozenset()
+    #: prelude configuration (mirrors CompileOptions)
+    prelude: str = "reptype"
+    safety: bool = True
+    extra_prelude: str = ""
+    #: lint the prelude itself instead of a user program
+    prelude_only: bool = False
+
+
+def lint_source(source: str, options: LintOptions | None = None) -> LintReport:
+    """Lint one program; returns every diagnostic the enabled rules found."""
+    options = options or LintOptions()
+    ctx, expand_error = _build_context(source, options)
+    report = LintReport()
+    run: list[str] = []
+    for rule in all_rules():
+        if rule.id in options.disabled or rule.id == "expand-error":
+            continue  # expand-error is emitted by the engine below
+        if options.prelude_only and rule.kind != "flow":
+            # Source/syntax rules are about a user program's own forms.
+            continue
+        if expand_error is not None and rule.kind != "source":
+            # Nothing to expand or analyse; source rules still run (they
+            # usually explain *why* expansion failed).
+            continue
+        run.append(rule.id)
+        report.diagnostics.extend(rule.run(ctx))
+    if expand_error is not None and "expand-error" not in options.disabled:
+        run.append("expand-error")
+        report.diagnostics.append(
+            Diagnostic(
+                "expand-error",
+                "error",
+                "<program>",
+                f"program does not expand: {expand_error}",
+            )
+        )
+    report.rules_run = tuple(run)
+    return report
+
+
+def _build_context(
+    source: str, options: LintOptions
+) -> tuple[LintContext, Exception | None]:
+    from ..api import CompileOptions, _expander_for, _optimized_prelude
+
+    # The syntactic pipeline only, keeping every form (stable labels).
+    opt = OptimizerOptions().without("absint")
+    opt.prune_globals = False
+    compile_options = CompileOptions(
+        optimizer=opt,
+        prelude=options.prelude,
+        safety=options.safety,
+        extra_prelude=options.extra_prelude,
+    )
+    prelude_forms, expander = _expander_for(compile_options)
+    opt_prelude, _defined = _optimized_prelude(
+        compile_options, prelude_forms, expander.global_names
+    )
+
+    data = read_all(source) if not options.prelude_only else []
+    user_forms: list = []
+    expand_error: Exception | None = None
+    if data:
+        try:
+            user_forms = list(expander.expand_program(data).forms)
+        except ReproError as error:
+            expand_error = error
+    if expand_error is not None:
+        return (
+            LintContext(
+                data=list(data),
+                prelude_forms=prelude_forms,
+            ),
+            expand_error,
+        )
+
+    program = Program(
+        list(opt_prelude) + user_forms,
+        expander.global_names,
+    )
+    optimized = optimize_program(
+        program, opt, frozen_prefix=len(opt_prelude)
+    )
+    if len(optimized.forms) < len(opt_prelude):
+        raise ReproError("lint: optimizer changed the top-level form count")
+    start = 0 if options.prelude_only else len(opt_prelude)
+    analyses = analyze_program(optimized, start=start)
+
+    prelude_defined = frozenset(
+        name for name in _defined_names(prelude_forms) if not name.startswith("%")
+    )
+    return (
+        LintContext(
+            data=list(data),
+            user_forms=user_forms,
+            prelude_forms=prelude_forms,
+            prelude_defined=prelude_defined,
+            analyses=analyses,
+        ),
+        None,
+    )
+
+
+def _defined_names(forms) -> set[str]:
+    from ..ir import GlobalSet
+
+    return {form.name for form in forms if isinstance(form, GlobalSet)}

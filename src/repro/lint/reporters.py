@@ -1,0 +1,41 @@
+"""Render a :class:`~repro.lint.diagnostics.LintReport` for humans
+(text) or tools (JSON)."""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import LintReport
+
+#: bump when the JSON shape changes (documented in docs/DIAGNOSTICS.md)
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, filename: str = "<source>") -> str:
+    lines = []
+    for diag in report.diagnostics:
+        lines.append(f"{filename}:{diag.render()}")
+    errors = report.count("error")
+    warnings = report.count("warning")
+    if errors or warnings:
+        lines.append(
+            f"{filename}: {errors} error(s), {warnings} warning(s)"
+        )
+    else:
+        lines.append(f"{filename}: clean ({len(report.rules_run)} rules)")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, filename: str = "<source>") -> str:
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "file": filename,
+        "rules_run": list(report.rules_run),
+        "summary": {
+            "errors": report.count("error"),
+            "warnings": report.count("warning"),
+            "notes": report.count("note"),
+        },
+        "diagnostics": [diag.to_dict() for diag in report.diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,394 @@
+"""The lint rule registry.
+
+Rules come in three kinds, by what they inspect:
+
+* **source** rules see the parsed (pre-expansion) s-expressions;
+* **syntax** rules see the expanded but unoptimized user forms;
+* **flow** rules see the abstract-interpretation results
+  (:mod:`repro.absint`) of the user forms optimized *without* the
+  ``absint`` pass — so every check the flow analysis can decide is still
+  present in the IR to be reported, and everything reported is exactly
+  the residue the syntactic optimizer could not see.
+
+Each rule is a function from a :class:`LintContext` to an iterable of
+:class:`~repro.lint.diagnostics.Diagnostic`.  The registry is the single
+source of truth for ``repro lint --list-rules`` and per-rule
+suppression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..absint.analyze import Analyzer
+from ..ir import Const, GlobalRef, GlobalSet, If, Lambda, Node, Prim, iter_tree
+from .diagnostics import Diagnostic
+
+_FIXNUM_BITS = 61
+FIXNUM_MAX = (1 << (_FIXNUM_BITS - 1)) - 1
+FIXNUM_MIN = -(1 << (_FIXNUM_BITS - 1))
+
+
+@dataclass
+class LintContext:
+    """Everything the rules may inspect."""
+
+    #: parsed user source (list of sexpr data), pre-expansion
+    data: list = field(default_factory=list)
+    #: expanded, unoptimized user forms
+    user_forms: list = field(default_factory=list)
+    #: expanded prelude forms (for cross-checking registrations)
+    prelude_forms: list = field(default_factory=list)
+    #: names the (optimized) prelude defines
+    prelude_defined: frozenset = frozenset()
+    #: flow analysis of the optimized-without-absint program suffix
+    analyses: list = field(default_factory=list)  # [(label, Analyzer)]
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    description: str
+    severity: str
+    kind: str  # "source" | "syntax" | "flow"
+    run: Callable[[LintContext], Iterable[Diagnostic]] = field(compare=False)
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(id: str, description: str, severity: str, kind: str):
+    def install(fn):
+        RULES[id] = Rule(id, description, severity, kind, fn)
+        return fn
+
+    return install
+
+
+def all_rules() -> list[Rule]:
+    return [RULES[key] for key in sorted(RULES)]
+
+
+# ----------------------------------------------------------------------
+# flow rules
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "unreachable-branch",
+    "an `if` branch can never be taken (test decided by tag/range analysis)",
+    "warning",
+    "flow",
+)
+def _unreachable_branch(ctx: LintContext) -> Iterator[Diagnostic]:
+    for label, analyzer in ctx.analyses:
+        guards = _intentional_guards(analyzer)
+        for event in analyzer.events:
+            if event.kind != "branch-decided" or event.truth is None:
+                continue
+            if id(event.node) in guards:
+                continue
+            if isinstance(event.node, If) and _is_bool_if(event.node):
+                continue  # reported as constant-predicate instead
+            dead = "false" if event.truth else "true"
+            yield Diagnostic(
+                "unreachable-branch",
+                "warning",
+                label,
+                f"condition is always {'true' if event.truth else 'false'}; "
+                f"the {dead} arm is unreachable",
+                {"truth": event.truth},
+            )
+
+
+@rule(
+    "constant-predicate",
+    "a type predicate or comparison always yields the same answer",
+    "warning",
+    "flow",
+)
+def _constant_predicate(ctx: LintContext) -> Iterator[Diagnostic]:
+    for label, analyzer in ctx.analyses:
+        for event in analyzer.events:
+            if event.kind == "predicate-constant" and not event.is_branch_test:
+                op = event.node.op if isinstance(event.node, Prim) else "?"
+                yield Diagnostic(
+                    "constant-predicate",
+                    "warning",
+                    label,
+                    f"{op} always yields {'true' if event.truth else 'false'} "
+                    "here",
+                    {"op": op, "truth": event.truth},
+                )
+            elif (
+                event.kind == "branch-decided"
+                and event.truth is not None
+                and isinstance(event.node, If)
+                and _is_bool_if(event.node)
+            ):
+                # The residue of an inlined predicate in value position:
+                # ``(if test #t #f)`` with a decided test.
+                yield Diagnostic(
+                    "constant-predicate",
+                    "warning",
+                    label,
+                    "predicate always yields "
+                    f"{'true' if event.truth else 'false'} here",
+                    {"truth": event.truth},
+                )
+
+
+@rule(
+    "guaranteed-failure",
+    "a procedure body or top-level form provably always fails",
+    "warning",
+    "flow",
+)
+def _guaranteed_failure(ctx: LintContext) -> Iterator[Diagnostic]:
+    for label, analyzer in ctx.analyses:
+        for event in analyzer.events:
+            if event.kind != "always-fails":
+                continue
+            node = event.node
+            if isinstance(node, Lambda) and _spine_fails(node.body):
+                # A body with an unconditional `%fail` on its main spine
+                # is an intentional error helper, not a derived fact.
+                continue
+            what = "procedure body" if isinstance(node, Lambda) else "form"
+            yield Diagnostic(
+                "guaranteed-failure",
+                "warning",
+                label,
+                f"this {what} always raises a runtime failure "
+                "(a type or range check can never pass)",
+                {"lambda": isinstance(node, Lambda)},
+            )
+
+
+def _has_branch(node: Node) -> bool:
+    return any(isinstance(sub, If) for sub in iter_tree(node))
+
+
+def _spine_fails(node: Node) -> bool:
+    """Does evaluation *unconditionally* reach a ``%fail``?  Walks the
+    straight-line spine only: Seq elements, Let/Letrec/Fix inits and
+    bodies, Prim/Call argument positions — never into an If arm or a
+    nested lambda."""
+    from ..ir import Call, Fix, Let, Letrec, Seq
+
+    if isinstance(node, Prim):
+        if node.op == "%fail":
+            return True
+        return any(_spine_fails(arg) for arg in node.args)
+    if isinstance(node, Seq):
+        return any(_spine_fails(expr) for expr in node.exprs)
+    if isinstance(node, (Let, Letrec)):
+        return any(_spine_fails(init) for _v, init in node.bindings) or _spine_fails(
+            node.body
+        )
+    if isinstance(node, Fix):
+        return _spine_fails(node.body)
+    if isinstance(node, Call):
+        return _spine_fails(node.fn) or any(_spine_fails(a) for a in node.args)
+    return False
+
+
+#: the default prelude's immediate words for ``#t`` / ``#f``
+_TRUE_WORD = (1 << 3) | 6
+_FALSE_WORD = 6
+_BOOL_WORDS = {_TRUE_WORD, _FALSE_WORD}
+_BOOL_GLOBALS = {"%sx-true", "%sx-false"}
+
+
+def _is_bool_literal(node: Node) -> bool:
+    if isinstance(node, Const):
+        return node.value in _BOOL_WORDS
+    return isinstance(node, GlobalRef) and node.name in _BOOL_GLOBALS
+
+
+def _is_bool_if(node: If) -> bool:
+    """``(if test #t #f)`` (or inverted): an inlined predicate used for
+    its value rather than for control."""
+    return _is_bool_literal(node.then) and _is_bool_literal(node.els)
+
+
+def _intentional_guards(analyzer: Analyzer) -> set[int]:
+    """Decided branches whose unreachable arm is exactly a ``%fail``.
+
+    Those are prelude-inserted safety checks the analysis proved can
+    never fire — the optimizer's job, and good news, not a user-facing
+    finding.  Reporting each would bury real dead-code findings."""
+    out: set[int] = set()
+    for event in analyzer.events:
+        if event.kind != "branch-decided" or event.truth is None:
+            continue
+        node = event.node
+        if not isinstance(node, If):
+            continue
+        dead_arm = node.els if event.truth else node.then
+        if isinstance(dead_arm, Prim) and dead_arm.op == "%fail":
+            out.add(id(node))
+    return out
+
+
+# ----------------------------------------------------------------------
+# syntax rules (expanded, unoptimized user forms)
+# ----------------------------------------------------------------------
+
+
+def _user_defines(ctx: LintContext) -> list[tuple[int, str]]:
+    out = []
+    for index, form in enumerate(ctx.user_forms):
+        if isinstance(form, GlobalSet) and not form.name.startswith("%"):
+            out.append((index, form.name))
+    return out
+
+
+@rule(
+    "shadowed-define",
+    "a top-level define shadows a prelude binding or an earlier define",
+    "warning",
+    "syntax",
+)
+def _shadowed_define(ctx: LintContext) -> Iterator[Diagnostic]:
+    seen: set[str] = set()
+    for _index, name in _user_defines(ctx):
+        if name in ctx.prelude_defined:
+            yield Diagnostic(
+                "shadowed-define",
+                "warning",
+                name,
+                f"define of `{name}` shadows the prelude's binding",
+                {"name": name, "shadows": "prelude"},
+            )
+        elif name in seen:
+            yield Diagnostic(
+                "shadowed-define",
+                "warning",
+                name,
+                f"`{name}` is defined more than once; the last define wins",
+                {"name": name, "shadows": "earlier define"},
+            )
+        seen.add(name)
+
+
+@rule(
+    "unused-define",
+    "a top-level define is never referenced",
+    "warning",
+    "syntax",
+)
+def _unused_define(ctx: LintContext) -> Iterator[Diagnostic]:
+    defined = _user_defines(ctx)
+    if not defined:
+        return
+    referenced: set[str] = set()
+    for form in ctx.user_forms:
+        for node in iter_tree(form):
+            if isinstance(node, GlobalRef):
+                referenced.add(node.name)
+    for _index, name in defined:
+        if name not in referenced:
+            yield Diagnostic(
+                "unused-define",
+                "warning",
+                name,
+                f"`{name}` is defined but never used",
+                {"name": name},
+            )
+
+
+@rule(
+    "double-register",
+    "a pointer representation tag is registered twice",
+    "error",
+    "syntax",
+)
+def _double_register(ctx: LintContext) -> Iterator[Diagnostic]:
+    def registrations(forms):
+        for index, form in enumerate(forms):
+            for node in iter_tree(form):
+                if (
+                    isinstance(node, Prim)
+                    and node.op == "%register-pointer-rep"
+                    and node.args
+                    and isinstance(node.args[0], Const)
+                ):
+                    yield index, node.args[0].value
+
+    prelude_tags = {tag for _i, tag in registrations(ctx.prelude_forms)}
+    seen: set[int] = set()
+    for index, tag in registrations(ctx.user_forms):
+        label = f"<toplevel form #{index + 1}>"
+        if tag in prelude_tags:
+            yield Diagnostic(
+                "double-register",
+                "error",
+                label,
+                f"pointer tag {tag} is already registered by the prelude",
+                {"tag": tag, "conflict": "prelude"},
+            )
+        elif tag in seen:
+            yield Diagnostic(
+                "double-register",
+                "error",
+                label,
+                f"pointer tag {tag} is registered twice",
+                {"tag": tag, "conflict": "user"},
+            )
+        seen.add(tag)
+
+
+# ----------------------------------------------------------------------
+# source rules (parsed s-expressions)
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "expand-error",
+    "the program fails to macro-expand (reported by the engine)",
+    "error",
+    "source",
+)
+def _expand_error(ctx: LintContext) -> Iterator[Diagnostic]:
+    # The engine emits this one itself (it owns the expansion attempt);
+    # registering it here gives it a --list-rules entry and makes
+    # per-rule suppression uniform.
+    return iter(())
+
+
+@rule(
+    "fixnum-overflow",
+    "an integer literal exceeds the 61-bit fixnum range",
+    "error",
+    "source",
+)
+def _fixnum_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
+    from ..sexpr import Pair
+
+    def walk(datum, path):
+        if isinstance(datum, bool):
+            return
+        if isinstance(datum, int):
+            if not (FIXNUM_MIN <= datum <= FIXNUM_MAX):
+                yield datum, path
+            return
+        if isinstance(datum, Pair):
+            yield from walk(datum.car, path)
+            yield from walk(datum.cdr, path)
+        elif isinstance(datum, (list, tuple)):
+            for item in datum:
+                yield from walk(item, path)
+
+    for index, datum in enumerate(ctx.data):
+        label = f"<toplevel form #{index + 1}>"
+        for value, _path in walk(datum, label):
+            yield Diagnostic(
+                "fixnum-overflow",
+                "error",
+                label,
+                f"integer literal {value} exceeds the fixnum range "
+                f"[{FIXNUM_MIN}, {FIXNUM_MAX}]",
+                {"value": str(value)},
+            )

@@ -1,0 +1,104 @@
+"""Flow-sensitive check elimination (the ``absint`` pass).
+
+The syntactic dominating-check trick in :mod:`repro.opt.cse` removes a
+safety check only when an *identical* check expression dominates it.
+That misses flow facts: a loop counter initialised to a fixnum constant
+and bumped with ``%add i 8`` keeps tag 0 forever, so the prelude's
+``(if (%and i 7) (%fail 8) …)`` guard can never fire — but no dominating
+occurrence of ``(%and i 7)`` exists for CSE to key on.
+
+This pass runs the abstract interpreter of :mod:`repro.absint` over each
+top-level form and consumes its three result maps:
+
+* **decided branches** — an ``If`` whose test is proven true/false
+  collapses to the taken arm (keeping the test for effect when impure);
+* **folds** — a pure primitive proven to yield one word becomes that
+  constant (impure subexpressions are kept in a ``Seq``);
+* **strength reductions** — ``%div``/``%mod`` by a power of two on a
+  provably non-negative word drop to ``%lsr``/``%and``, and ``%asr`` of
+  a non-negative word drops to ``%lsr``.
+
+The pass is part of the optimizer fixpoint: earlier inlining exposes the
+prelude's check idioms, CSE canonicalises them, and whatever survives
+with a provable answer is folded here; the following DCE round sweeps
+the dead tests.
+"""
+
+from __future__ import annotations
+
+from ..absint.analyze import Analyzer
+from ..ir import (
+    Const,
+    GlobalSet,
+    If,
+    Node,
+    Prim,
+    Program,
+    is_pure,
+    make_seq,
+)
+from ..ir.transform import map_children
+
+
+def checkelim_program(program: Program, start: int = 0) -> tuple[Program, bool]:
+    """Eliminate provably-decided checks in every form from ``start``."""
+    forms: list[Node] = list(program.forms[:start])
+    changed = False
+    for form in program.forms[start:]:
+        analyzer = Analyzer(form.name if isinstance(form, GlobalSet) else "<expr>")
+        analyzer.analyze_form(form)
+        if _has_wins(analyzer):
+            rewriter = _Rewriter(analyzer)
+            forms.append(rewriter.rewrite(form))
+            changed |= rewriter.changed
+        else:
+            forms.append(form)
+    if not changed:
+        return program, False
+    return Program(forms, program.globals), True
+
+
+def _has_wins(analyzer: Analyzer) -> bool:
+    return (
+        any(truth is not None for truth in analyzer.decided.values())
+        or any(word is not None for word in analyzer.folds.values())
+        or any(red is not None for red in analyzer.reductions.values())
+    )
+
+
+class _Rewriter:
+    """Apply one form's analysis results bottom-up."""
+
+    def __init__(self, analyzer: Analyzer):
+        self.analyzer = analyzer
+        self.changed = False
+
+    def rewrite(self, node: Node) -> Node:
+        if isinstance(node, If):
+            truth = self.analyzer.decided.get(id(node))
+            if truth is not None:
+                self.changed = True
+                test = self.rewrite(node.test)
+                arm = self.rewrite(node.then if truth else node.els)
+                if is_pure(test):
+                    return arm
+                return make_seq([test, arm])
+        if isinstance(node, Prim):
+            word = self.analyzer.folds.get(id(node))
+            if word is not None:
+                self.changed = True
+                effects = [
+                    self.rewrite(arg) for arg in node.args if not is_pure(arg)
+                ]
+                return make_seq(effects + [Const(word)])
+            reduction = self.analyzer.reductions.get(id(node))
+            if reduction is not None and all(is_pure(arg) for arg in node.args):
+                op, second = reduction
+                self.changed = True
+                left = self.rewrite(node.args[0])
+                if second is None:
+                    right = self.rewrite(node.args[1])
+                else:
+                    right = Const(second)
+                return Prim(op, [left, right])
+        return map_children(node, self.rewrite)

@@ -1,9 +1,10 @@
 """The optimizer pipeline: letrec fixing, then rounds of
-simplify → CSE → DCE, then global pruning."""
+CSE → simplify → check elimination → DCE, then global pruning."""
 
 from __future__ import annotations
 
 from ..ir import Program, census_program
+from .checkelim import checkelim_program
 from .cse import cse_program
 from .dce import dce_program, prune_globals
 from .letrec import fix_letrec_program
@@ -30,7 +31,7 @@ def optimize_program(
         if options.validate:
             from ..ir.validate import validate_program
 
-            validate_program(program, allow_letrec=False)
+            validate_program(program, allow_letrec=False, stage=stage)
 
     program = _fix_suffix(program, frozen_prefix)
     check("letrec")
@@ -52,6 +53,12 @@ def optimize_program(
             program = simplifier.run(program, start=frozen_prefix)
             changed |= simplifier.changed
             check("simplify")
+        if options.absint:
+            program, absint_changed = checkelim_program(
+                program, start=frozen_prefix
+            )
+            changed |= absint_changed
+            check("checkelim")
         if options.dce:
             defined = {
                 name

@@ -61,6 +61,8 @@ class OptimizerOptions:
     algebra: bool = True
     cse: bool = True
     dce: bool = True
+    #: flow-sensitive check elimination (tag/range abstract interpretation)
+    absint: bool = True
     #: max body size (IR nodes) for multi-use inlining
     max_inline_size: int = 100
     #: max nesting of inline expansions within one walk
@@ -81,6 +83,7 @@ class OptimizerOptions:
             algebra=False,
             cse=False,
             dce=False,
+            absint=False,
             rounds=1,
             prune_globals=True,
         )

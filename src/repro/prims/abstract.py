@@ -1,0 +1,406 @@
+"""Per-primitive abstract signatures (transfer functions).
+
+Each machine primitive gets one transfer function over
+:class:`repro.absint.lattice.AbstractValue`: given abstract arguments it
+returns the abstract result the VM could produce.  Soundness contract:
+for any concrete words in the argument abstractions, the concrete result
+is in the returned abstraction.
+
+Two facts about the low three bits do most of the work:
+
+* ``&``, ``|``, ``^``, ``+``, ``-``, ``*`` and ``<< k`` all *commute
+  with truncation to the low 3 bits* — no information flows from high
+  bits into low bits — so tag sets push through arithmetic exactly.
+  This is what lets the analysis prove that ``(%add fixnum fixnum)`` is
+  still fixnum-tagged even though the 64-bit value may wrap.
+* two words with disjoint tag sets are unequal, so ``%eq`` folds from
+  tag evidence alone — the flow-sensitive generalisation of the
+  dominating-check trick in :mod:`repro.opt.cse`.
+
+Interval arithmetic is deliberately non-wrapping: when an ideal result
+could leave the signed 64-bit range the interval goes to ⊤ (the tag
+component survives, as above).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..absint.lattice import (
+    ALL_TAGS,
+    BOOL_WORD,
+    BOTTOM,
+    INT_MAX,
+    INT_MIN,
+    UNKNOWN,
+    AbstractValue,
+    const,
+    from_tags,
+    make,
+)
+from .table import all_prims
+
+Transfer = Callable[[List[AbstractValue]], AbstractValue]
+
+_SIGNATURES: Dict[str, Transfer] = {}
+
+
+def signature(name: str) -> Transfer:
+    """The transfer function for ``name`` (total over the prim table)."""
+    return _SIGNATURES[name]
+
+
+def abstract_eval(name: str, args: List[AbstractValue]) -> AbstractValue:
+    """Apply ``name``'s abstract signature; ⊥ in, ⊥ out."""
+    if any(arg.is_bottom for arg in args):
+        return BOTTOM
+    fn = _SIGNATURES.get(name)
+    if fn is None:
+        return UNKNOWN
+    return fn(args)
+
+
+def _register(name: str):
+    def install(fn: Transfer) -> Transfer:
+        _SIGNATURES[name] = fn
+        return fn
+
+    return install
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _tag_map(a: AbstractValue, b: AbstractValue, op) -> frozenset:
+    """Push a low-3-bit-preserving binary op through two tag sets."""
+    if len(a.tags) * len(b.tags) > 64:
+        return ALL_TAGS
+    return frozenset((op(ta, tb) & 7) for ta in a.tags for tb in b.tags)
+
+
+def _interval(lo: int, hi: int, tags: frozenset) -> AbstractValue:
+    """An interval result, flushing to ⊤-interval on signed overflow."""
+    if lo < INT_MIN or hi > INT_MAX:
+        return make(INT_MIN, INT_MAX, tags)
+    return make(lo, hi, tags)
+
+
+def _shift_amounts(b: AbstractValue) -> list | None:
+    """The possible hardware shift counts (low 6 bits), when few."""
+    if b.is_bottom:
+        return None
+    if b.hi - b.lo > 3:
+        return None
+    return sorted({(v & 63) for v in range(b.lo, b.hi + 1) if (v & 7) in b.tags})
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+
+
+@_register("%add")
+def _abs_add(args):
+    a, b = args
+    return _interval(a.lo + b.lo, a.hi + b.hi, _tag_map(a, b, lambda x, y: x + y))
+
+
+@_register("%sub")
+def _abs_sub(args):
+    a, b = args
+    return _interval(a.lo - b.hi, a.hi - b.lo, _tag_map(a, b, lambda x, y: x - y))
+
+
+@_register("%mul")
+def _abs_mul(args):
+    a, b = args
+    products = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+    return _interval(min(products), max(products), _tag_map(a, b, lambda x, y: x * y))
+
+
+@_register("%div")
+def _abs_div(args):
+    a, b = args
+    # Truncating signed division.  Tags do not survive division.
+    if b.lo > 0 or b.hi < 0:
+        candidates = []
+        for bound in (b.lo, b.hi, 1 if b.lo <= 1 <= b.hi else None,
+                      -1 if b.lo <= -1 <= b.hi else None):
+            if bound is None or bound == 0:
+                continue
+            for x in (a.lo, a.hi):
+                quotient = abs(x) // abs(bound)
+                if (x < 0) != (bound < 0):
+                    quotient = -quotient
+                candidates.append(quotient)
+        if candidates:
+            return _interval(min(candidates), max(candidates), ALL_TAGS)
+    return UNKNOWN
+
+
+@_register("%mod")
+def _abs_mod(args):
+    a, b = args
+    # Truncated remainder: |r| < |b| and sign follows the dividend.
+    if b.lo > 0 or b.hi < 0:
+        bound = max(abs(b.lo), abs(b.hi)) - 1
+        lo = 0 if a.lo >= 0 else -bound
+        hi = 0 if a.hi <= 0 else bound
+        return _interval(lo, hi, ALL_TAGS)
+    return UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# bit operations
+# ----------------------------------------------------------------------
+
+
+@_register("%and")
+def _abs_and(args):
+    a, b = args
+    tags = _tag_map(a, b, lambda x, y: x & y)
+    # (x & mask) for a known small non-negative mask is in [0, mask].
+    mask = b.as_constant()
+    operand = a
+    if mask is None:
+        mask = a.as_constant()
+        operand = b
+    if mask is not None and 0 <= mask <= INT_MAX:
+        if mask < 8 and len(operand.tags) < 8:
+            # Fully determined by the tag set.
+            values = sorted({t & mask for t in operand.tags})
+            return make(values[0], values[-1], tags)
+        lo = 0
+        hi = mask
+        if operand.nonneg():
+            hi = min(hi, operand.hi)
+        return make(lo, hi, tags)
+    if a.nonneg() or b.nonneg():
+        return make(0, min(a.hi if a.nonneg() else INT_MAX,
+                           b.hi if b.nonneg() else INT_MAX), tags)
+    return make(INT_MIN, INT_MAX, tags)
+
+
+@_register("%or")
+def _abs_or(args):
+    a, b = args
+    tags = _tag_map(a, b, lambda x, y: x | y)
+    if a.nonneg() and b.nonneg():
+        # x | y < 2 ** bits(max(x, y) + 1); cheap sound bound.
+        hi = a.hi | b.hi
+        bound = 1
+        while bound <= hi:
+            bound <<= 1
+        # x | y is at least max(x, y) and below the next power of two.
+        return make(max(a.lo, b.lo), bound - 1, tags)
+    return make(INT_MIN, INT_MAX, tags)
+
+
+@_register("%xor")
+def _abs_xor(args):
+    a, b = args
+    return make(INT_MIN, INT_MAX, _tag_map(a, b, lambda x, y: x ^ y))
+
+
+@_register("%not")
+def _abs_not(args):
+    (a,) = args
+    tags = frozenset((~t) & 7 for t in a.tags)
+    return _interval(-a.hi - 1, -a.lo - 1, tags)
+
+
+@_register("%lsl")
+def _abs_lsl(args):
+    a, b = args
+    shifts = _shift_amounts(b)
+    if shifts is None:
+        return UNKNOWN
+    tags = frozenset()
+    lo, hi = INT_MAX, INT_MIN
+    for k in shifts:
+        if k >= 3:
+            tags |= frozenset({0})
+        else:
+            tags |= frozenset((t << k) & 7 for t in a.tags)
+        lo = min(lo, a.lo << k)
+        hi = max(hi, a.hi << k)
+    return _interval(lo, hi, tags)
+
+
+@_register("%lsr")
+def _abs_lsr(args):
+    a, b = args
+    shifts = _shift_amounts(b)
+    if shifts is None or not a.nonneg():
+        # Negative words shift in their high bits: huge unsigned values.
+        return UNKNOWN
+    lo, hi = INT_MAX, INT_MIN
+    for k in shifts:
+        lo = min(lo, a.lo >> k)
+        hi = max(hi, a.hi >> k)
+    return make(lo, hi, ALL_TAGS)
+
+
+@_register("%asr")
+def _abs_asr(args):
+    a, b = args
+    shifts = _shift_amounts(b)
+    if shifts is None:
+        return UNKNOWN
+    lo, hi = INT_MAX, INT_MIN
+    for k in shifts:
+        lo = min(lo, a.lo >> k)
+        hi = max(hi, a.hi >> k)
+    return make(lo, hi, ALL_TAGS)
+
+
+# ----------------------------------------------------------------------
+# comparisons — fold from interval order or tag disjointness
+# ----------------------------------------------------------------------
+
+
+def _known(value: bool) -> AbstractValue:
+    return const(1 if value else 0)
+
+
+@_register("%eq")
+def _abs_eq(args):
+    a, b = args
+    ka, kb = a.as_constant(), b.as_constant()
+    if ka is not None and kb is not None:
+        return _known(ka == kb)
+    if a.hi < b.lo or b.hi < a.lo:
+        return _known(False)
+    if not (a.tags & b.tags):
+        # The tag is a function of the word: disjoint tags ⇒ unequal.
+        return _known(False)
+    return BOOL_WORD
+
+
+@_register("%neq")
+def _abs_neq(args):
+    result = _abs_eq(args)
+    known = result.as_constant()
+    if known is None:
+        return BOOL_WORD
+    return _known(known == 0)
+
+
+@_register("%lt")
+def _abs_lt(args):
+    a, b = args
+    if a.hi < b.lo:
+        return _known(True)
+    if a.lo >= b.hi:
+        return _known(False)
+    return BOOL_WORD
+
+
+@_register("%le")
+def _abs_le(args):
+    a, b = args
+    if a.hi <= b.lo:
+        return _known(True)
+    if a.lo > b.hi:
+        return _known(False)
+    return BOOL_WORD
+
+
+def _unsigned_class(v: AbstractValue) -> int | None:
+    """0 when the whole interval is ≥ 0, 1 when wholly < 0 (which is
+    unsigned-larger), else None."""
+    if v.lo >= 0:
+        return 0
+    if v.hi < 0:
+        return 1
+    return None
+
+
+@_register("%ult")
+def _abs_ult(args):
+    a, b = args
+    ca, cb = _unsigned_class(a), _unsigned_class(b)
+    if ca is None or cb is None:
+        return BOOL_WORD
+    if ca == cb:
+        # Same sign class: unsigned order coincides with signed order.
+        return _abs_lt(args)
+    return _known(ca < cb)
+
+
+@_register("%ule")
+def _abs_ule(args):
+    a, b = args
+    ca, cb = _unsigned_class(a), _unsigned_class(b)
+    if ca is None or cb is None:
+        return BOOL_WORD
+    if ca == cb:
+        return _abs_le(args)
+    return _known(ca < cb)
+
+
+@_register("%nz")
+def _abs_nz(args):
+    (a,) = args
+    if a.excludes_word(0):
+        return _known(True)
+    if a.as_constant() == 0:
+        return _known(False)
+    return BOOL_WORD
+
+
+# ----------------------------------------------------------------------
+# memory, registry, I/O, control
+# ----------------------------------------------------------------------
+
+
+@_register("%load")
+def _abs_load(args):
+    return UNKNOWN  # no heap model (yet)
+
+
+@_register("%store")
+def _abs_store(args):
+    return const(0)  # the VM's %store result is the raw word 0
+
+
+@_register("%alloc")
+def _abs_alloc(args):
+    _nwords, tag = args
+    # The substrate returns base | tag with an 8-aligned base, so the
+    # result's low bits are exactly the requested tag's.
+    return from_tags(tag.tags)
+
+
+def _abs_io(args):
+    return UNKNOWN
+
+
+for _name in ("%register-pointer-rep", "%register-pair-rep", "%register-nil",
+              "%register-false", "%putc", "%getc", "%peekc"):
+    _SIGNATURES[_name] = _abs_io
+
+
+@_register("%fail")
+def _abs_fail(args):
+    return BOTTOM  # never returns
+
+
+@_register("%apply")
+def _abs_apply(args):
+    return UNKNOWN
+
+
+@_register("%callec")
+def _abs_callec(args):
+    return UNKNOWN
+
+
+def _check_total() -> None:
+    missing = set(all_prims()) - set(_SIGNATURES)
+    assert not missing, f"primitives without abstract signatures: {missing}"
+
+
+_check_total()

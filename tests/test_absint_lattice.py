@@ -1,0 +1,289 @@
+"""Property tests for the abstract-value lattice and the per-primitive
+transfer functions, plus differential tests pinning the ``absint``
+optimizer pass to the reference IR interpreter.
+
+The lattice properties are the standard soundness kit:
+
+* join is commutative, associative (up to mutual ``leq``), and an upper
+  bound; meet is a lower bound;
+* every transfer function is monotone and *sound* against the VM's own
+  constant-fold functions (the concrete semantics oracle);
+* widening terminates — on arbitrary chains and on a loop-shaped
+  transfer via :func:`repro.absint.lattice.stabilize`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import prims
+from repro.absint.lattice import (
+    ALL_TAGS,
+    BOTTOM,
+    INT_MAX,
+    INT_MIN,
+    UNKNOWN,
+    AbstractValue,
+    const,
+    from_range,
+    from_tags,
+    make,
+    stabilize,
+)
+from repro.prims.abstract import abstract_eval
+from repro.prims.fold import FoldCannot
+
+WORD_MASK = (1 << 64) - 1
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+_ENDPOINTS = st.one_of(
+    st.integers(min_value=-40, max_value=40),
+    st.sampled_from([INT_MIN, INT_MAX, INT_MIN + 7, INT_MAX - 7, 0, 1, -1, 8, -8]),
+)
+
+_TAGS = st.frozensets(st.integers(min_value=0, max_value=7))
+
+
+@st.composite
+def abstract_values(draw):
+    lo = draw(_ENDPOINTS)
+    hi = draw(_ENDPOINTS)
+    if lo > hi and draw(st.booleans()):
+        lo, hi = hi, lo  # mostly non-bottom
+    tags = draw(_TAGS)
+    defined = draw(st.booleans())
+    return make(lo, hi, tags, defined)
+
+
+def equivalent(a: AbstractValue, b: AbstractValue) -> bool:
+    return a.leq(b) and b.leq(a)
+
+
+def concretize(value: AbstractValue, limit: int = 12) -> list[int]:
+    """Up to ``limit`` concrete unsigned words drawn from ``value``."""
+    if value.is_bottom:
+        return []
+    out = []
+    candidates = [value.lo, value.hi, 0, 1, -1, 7, -7, 8,
+                  value.lo + 8, value.hi - 8,
+                  (value.lo + value.hi) // 2]
+    for signed_word in candidates:
+        if value.lo <= signed_word <= value.hi and (signed_word & 7) in value.tags:
+            word = signed_word & WORD_MASK
+            if word not in out:
+                out.append(word)
+        if len(out) >= limit:
+            break
+    return out
+
+
+# ----------------------------------------------------------------------
+# lattice laws
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(abstract_values(), abstract_values())
+def test_join_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(abstract_values(), abstract_values(), abstract_values())
+def test_join_associative(a, b, c):
+    assert equivalent(a.join(b).join(c), a.join(b.join(c)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(abstract_values(), abstract_values())
+def test_join_is_upper_bound(a, b):
+    joined = a.join(b)
+    assert a.leq(joined) and b.leq(joined)
+
+
+@settings(max_examples=200, deadline=None)
+@given(abstract_values(), abstract_values())
+def test_meet_is_lower_bound(a, b):
+    met = a.meet(b)
+    assert met.leq(a) and met.leq(b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(abstract_values())
+def test_join_idempotent_and_bottom_unit(a):
+    assert equivalent(a.join(a), a)
+    assert a.join(BOTTOM) == a
+    assert BOTTOM.join(a) == a
+
+
+@settings(max_examples=200, deadline=None)
+@given(abstract_values(), abstract_values())
+def test_widen_is_upper_bound(a, b):
+    widened = a.widen(b)
+    assert a.leq(widened) and b.leq(widened)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(abstract_values(), min_size=1, max_size=24))
+def test_widening_chains_terminate(values):
+    """Any widening chain stabilizes quickly.  Every change strictly
+    grows at least one component, and the components have finite height
+    under widening: ≤8 tag increments, ≤1 definedness flip, and ≤2 moves
+    per interval bound — 13 changes at the absolute worst."""
+    current = BOTTOM
+    changes = 0
+    for value in values * 3:  # revisit to catch oscillation
+        widened = current.widen(current.join(value))
+        if widened != current:
+            changes += 1
+        current = widened
+    assert changes <= 13
+
+
+def test_stabilize_loop_shaped_transfer():
+    """A counting loop ``i ← i + 8`` (a fixnum counter) stabilizes to a
+    post-fixpoint containing every iterate."""
+
+    def transfer(v):
+        return abstract_eval("%add", [v, const(8)])
+
+    result = stabilize(const(0), transfer)
+    assert transfer(result).leq(result) or transfer(result).join(result).leq(result)
+    # Tag component stays exact even though the interval widens (the
+    # endpoints then tighten to the nearest tag-0 word).
+    assert result.tags == frozenset({0})
+    assert result.hi >= INT_MAX - 7
+
+
+def test_stabilize_terminates_on_hostile_transfer():
+    flip = [const(0), const(1)]
+
+    def transfer(v):
+        return flip[v.as_constant() == 0]
+
+    assert stabilize(const(0), transfer) is not None  # no hang
+
+
+# ----------------------------------------------------------------------
+# transfer functions: monotone and sound against the VM fold oracle
+# ----------------------------------------------------------------------
+
+_BINARY_OPS = ["%add", "%sub", "%mul", "%div", "%mod", "%and", "%or",
+               "%xor", "%lsl", "%lsr", "%asr", "%eq", "%neq", "%lt",
+               "%le", "%ult", "%ule"]
+_UNARY_OPS = ["%not", "%nz"]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.sampled_from(_BINARY_OPS),
+    abstract_values(),
+    abstract_values(),
+    abstract_values(),
+    abstract_values(),
+)
+def test_binary_transfer_monotone(op, a1, d_a, b1, d_b):
+    a2 = a1.join(d_a)
+    b2 = b1.join(d_b)
+    small = abstract_eval(op, [a1, b1])
+    large = abstract_eval(op, [a2, b2])
+    assert small.leq(large), (op, a1, b1, a2, b2)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.sampled_from(_BINARY_OPS), abstract_values(), abstract_values())
+def test_binary_transfer_sound(op, a, b):
+    """Concrete results always land inside the abstraction."""
+    spec = prims.lookup(op)
+    assert spec is not None and spec.fold is not None
+    result = abstract_eval(op, [a, b])
+    for x in concretize(a):
+        for y in concretize(b):
+            try:
+                word = spec.fold(x, y)
+            except FoldCannot:
+                continue
+            assert not result.excludes_word(word), (op, x, y, word, a, b, result)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.sampled_from(_UNARY_OPS), abstract_values())
+def test_unary_transfer_sound(op, a):
+    spec = prims.lookup(op)
+    assert spec is not None and spec.fold is not None
+    result = abstract_eval(op, [a])
+    for x in concretize(a):
+        try:
+            word = spec.fold(x)
+        except FoldCannot:
+            continue
+        assert not result.excludes_word(word), (op, x, word, a, result)
+
+
+def test_bottom_in_bottom_out():
+    for op in _BINARY_OPS:
+        assert abstract_eval(op, [BOTTOM, UNKNOWN]).is_bottom
+        assert abstract_eval(op, [UNKNOWN, BOTTOM]).is_bottom
+
+
+def test_every_prim_has_a_signature():
+    from repro.prims.abstract import signature
+
+    for name in prims.all_prims():
+        assert signature(name) is not None
+
+
+def test_tag_facts_flow_through_arithmetic():
+    fixnum = from_tags({0})
+    assert abstract_eval("%add", [fixnum, fixnum]).tags == frozenset({0})
+    assert abstract_eval("%sub", [fixnum, fixnum]).tags == frozenset({0})
+    assert abstract_eval("%mul", [fixnum, const(8)]).tags == frozenset({0})
+    # Disjoint tags decide %eq.
+    pair = from_tags({1})
+    assert abstract_eval("%eq", [fixnum, pair]).as_constant() == 0
+
+
+def test_interval_comparisons_fold():
+    small = from_range(0, 10)
+    large = from_range(20, 30)
+    assert abstract_eval("%lt", [small, large]).as_constant() == 1
+    assert abstract_eval("%lt", [large, small]).as_constant() == 0
+    assert abstract_eval("%le", [small, small]).as_constant() is None
+
+
+# ----------------------------------------------------------------------
+# differential: absint on/off agree with the reference interpreter
+# ----------------------------------------------------------------------
+
+from repro import CompileOptions, OptimizerOptions, compile_source
+from repro.ir.interp import Interpreter
+
+try:
+    from benchmarks.workloads import ASSOC, DERIV, FIB, SORT, TAK, VECTOR
+
+    _WORKLOADS = [FIB, TAK, SORT, VECTOR, ASSOC, DERIV]
+except ImportError:  # pragma: no cover - benchmarks not importable
+    _WORKLOADS = []
+
+
+@pytest.mark.parametrize(
+    "workload", _WORKLOADS, ids=[w[0] for w in _WORKLOADS]
+)
+def test_differential_absint_on_off(workload):
+    """Optimizing with and without the absint pass must not change what
+    the program computes — checked on the reference IR interpreter, so a
+    backend bug cannot mask an optimizer bug."""
+    _name, source, _expected = workload
+    with_pass = compile_source(source, CompileOptions())
+    without = compile_source(
+        source, CompileOptions(optimizer=OptimizerOptions().without("absint"))
+    )
+    on = Interpreter().run(with_pass.ir_program)
+    off = Interpreter().run(without.ir_program)
+    assert on.output == off.output
+    # Fixnum results decode identically (heap words are address-relative).
+    if on.value & 7 == 0 and off.value & 7 == 0:
+        assert on.value == off.value

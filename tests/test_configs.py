@@ -69,7 +69,7 @@ def test_output_identical_across_configs():
 
 
 @pytest.mark.parametrize(
-    "feature", ["inline", "fold", "algebra", "cse", "dce"]
+    "feature", ["inline", "fold", "algebra", "cse", "absint", "dce"]
 )
 def test_each_ablation_is_sound(feature):
     options = CompileOptions(optimizer=OptimizerOptions().without(feature))

@@ -1,0 +1,261 @@
+"""The `repro lint` diagnostics subsystem.
+
+Seeded fixtures are deliberately *flow-dependent*: trivially-constant
+dead code is removed by the syntactic optimizer before lint sees it, so
+each fixture needs the tag/range analysis to be decidable at all — which
+is exactly the subsystem under test.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    LintOptions,
+    all_rules,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+# ----------------------------------------------------------------------
+# seeded fixtures (acceptance criteria)
+# ----------------------------------------------------------------------
+
+#: inner (fixnum? (+ x 1)) is always true inside the fixnum? guard, so
+#: the 'impossible arm is unreachable — but only tag propagation through
+#: %add can see it (the CSE check key differs).
+UNREACHABLE_FIXTURE = """
+(define (check x)
+  (if (fixnum? x)
+      (if (fixnum? (+ x 1)) 'ok 'impossible)
+      'not-a-number))
+(display (check 5))
+"""
+
+#: (pair? (+ x 1)) in value position is always false for the same
+#: reason: (+ x 1) provably carries the fixnum tag.
+ALWAYS_FALSE_FIXTURE = """
+(define (classify x)
+  (if (fixnum? x)
+      (pair? (+ x 1))
+      #f))
+(display (classify 5))
+"""
+
+
+def rules_hit(source, options=None):
+    return {d.rule for d in lint_source(source, options).diagnostics}
+
+
+def test_seeded_unreachable_branch_flagged():
+    report = lint_source(UNREACHABLE_FIXTURE)
+    hits = [d for d in report.diagnostics if d.rule == "unreachable-branch"]
+    assert len(hits) == 1
+    assert hits[0].form == "check"
+    assert hits[0].severity == "warning"
+    assert "unreachable" in hits[0].message
+
+
+def test_seeded_always_false_predicate_flagged():
+    report = lint_source(ALWAYS_FALSE_FIXTURE)
+    hits = [d for d in report.diagnostics if d.rule == "constant-predicate"]
+    assert len(hits) == 1
+    assert hits[0].form == "classify"
+    assert "false" in hits[0].message
+
+
+def test_clean_program_is_clean():
+    report = lint_source("(display (+ 1 2))")
+    assert report.diagnostics == []
+    assert report.exit_code() == 0
+    assert report.exit_code(werror=True) == 0
+
+
+# ----------------------------------------------------------------------
+# the other rules
+# ----------------------------------------------------------------------
+
+
+def test_guaranteed_failure_at_call_site():
+    source = """
+    (define (bad x) (if (fixnum? x) (car (+ x 1)) (car x)))
+    (display (bad 5))
+    """
+    report = lint_source(source)
+    hits = [d for d in report.diagnostics if d.rule == "guaranteed-failure"]
+    assert hits, report.diagnostics
+    # The failing site is the inlined call, a top-level expression.
+    assert any(not d.detail.get("lambda") for d in hits)
+
+
+def test_intentional_error_helpers_not_flagged():
+    source = """
+    (define (my-error msg) (begin (display msg) (%fail (%raw 3))))
+    (display (if (> 1 2) (my-error "no") 'fine))
+    """
+    assert "guaranteed-failure" not in rules_hit(source)
+
+
+def test_shadowed_define_prelude_and_duplicate():
+    source = """
+    (define (car x) x)
+    (define twice 1)
+    (define twice 2)
+    (display twice)
+    """
+    report = lint_source(source)
+    shadowed = [d for d in report.diagnostics if d.rule == "shadowed-define"]
+    assert {d.detail["shadows"] for d in shadowed} == {"prelude", "earlier define"}
+
+
+def test_unused_define():
+    report = lint_source("(define helper 42) (display 1)")
+    assert any(d.rule == "unused-define" for d in report.diagnostics)
+    # referencing it clears the warning
+    report2 = lint_source("(define helper 42) (display helper)")
+    assert not any(d.rule == "unused-define" for d in report2.diagnostics)
+
+
+def test_double_register_pointer_rep():
+    report = lint_source("(%register-pointer-rep (%raw 1)) (display 1)")
+    hits = [d for d in report.diagnostics if d.rule == "double-register"]
+    assert hits and hits[0].severity == "error"
+    assert report.exit_code() == 1  # errors fail even without --Werror
+
+
+def test_fixnum_overflow_literal():
+    report = lint_source("(display 2305843009213693952)")
+    assert "fixnum-overflow" in {d.rule for d in report.diagnostics}
+    assert "expand-error" in {d.rule for d in report.diagnostics}
+    assert report.exit_code() == 1
+
+
+def test_prelude_lints_clean():
+    report = lint_source("", LintOptions(prelude_only=True))
+    assert report.diagnostics == []
+    # only flow rules run against the prelude
+    assert all(r in {"unreachable-branch", "constant-predicate",
+                     "guaranteed-failure"} for r in report.rules_run)
+
+
+# ----------------------------------------------------------------------
+# suppression
+# ----------------------------------------------------------------------
+
+
+def test_per_rule_suppression():
+    options = LintOptions(disabled=frozenset({"unreachable-branch"}))
+    report = lint_source(UNREACHABLE_FIXTURE, options)
+    assert "unreachable-branch" not in {d.rule for d in report.diagnostics}
+    assert "unreachable-branch" not in report.rules_run
+
+
+def test_suppressing_everything_silences_the_report():
+    options = LintOptions(disabled=frozenset(r.id for r in all_rules()))
+    report = lint_source(UNREACHABLE_FIXTURE, options)
+    assert report.diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+
+
+def test_text_reporter_mentions_rule_and_form():
+    text = render_text(lint_source(UNREACHABLE_FIXTURE), "fixture.scm")
+    assert "fixture.scm:check:" in text
+    assert "[unreachable-branch]" in text
+    assert "warning(s)" in text
+
+
+def test_json_reporter_schema():
+    payload = json.loads(render_json(lint_source(UNREACHABLE_FIXTURE), "f.scm"))
+    assert payload["schema"] == 1
+    assert payload["file"] == "f.scm"
+    assert payload["summary"]["warnings"] >= 1
+    assert payload["summary"]["errors"] == 0
+    diag = next(
+        d for d in payload["diagnostics"] if d["rule"] == "unreachable-branch"
+    )
+    assert diag["severity"] == "warning"
+    assert diag["form"] == "check"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_warnings_without_werror(capsys):
+    code = cli_main(["lint", "-e", UNREACHABLE_FIXTURE])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[unreachable-branch]" in out
+
+
+def test_cli_werror_exits_nonzero(capsys):
+    code = cli_main(["lint", "--Werror", "-e", UNREACHABLE_FIXTURE])
+    capsys.readouterr()
+    assert code == 1
+
+
+def test_cli_disable_restores_zero_exit(capsys):
+    code = cli_main(
+        [
+            "lint",
+            "--Werror",
+            "--disable",
+            "unreachable-branch",
+            "-e",
+            UNREACHABLE_FIXTURE,
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_cli_json_output(capsys):
+    code = cli_main(["lint", "--json", "-e", "(display (+ 1 2))"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["diagnostics"] == []
+
+
+def test_cli_list_rules(capsys):
+    code = cli_main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule in all_rules():
+        assert rule.id in out
+
+
+def test_cli_lint_file(tmp_path, capsys):
+    path = tmp_path / "prog.scm"
+    path.write_text(UNREACHABLE_FIXTURE)
+    code = cli_main(["lint", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert str(path) in out
+
+
+# ----------------------------------------------------------------------
+# api integration
+# ----------------------------------------------------------------------
+
+
+def test_compile_source_exposes_diagnostics():
+    from repro.api import compile_source
+
+    compiled = compile_source(UNREACHABLE_FIXTURE, diagnostics=True)
+    assert any(d.rule == "unreachable-branch" for d in compiled.diagnostics)
+    # and the program still runs
+    assert compiled.run().output == "ok"
+
+
+def test_compile_source_diagnostics_off_by_default():
+    from repro.api import compile_source
+
+    compiled = compile_source("(display 1)")
+    assert compiled.diagnostics == []
