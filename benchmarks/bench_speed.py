@@ -1,0 +1,211 @@
+"""Wall-clock dispatch-engine comparison — writes ``BENCH_speed.json``.
+
+Times the Table-2 workloads under four configurations:
+
+    naive       — naive engine, unfused code     (the baseline)
+    naive+fuse  — naive engine, fused code
+    threaded    — threaded engine, unfused code
+    threaded+fuse — threaded engine, fused code  (the headline)
+
+Counting is disabled (``count_instructions=False``) so what is measured
+is dispatch + execution, the quantity the engines differ in.  Reps are
+*interleaved* (every configuration is sampled in each round) and the
+per-configuration minimum is kept: the minimum is noise-free on a quiet
+machine and interleaving keeps slow drift from biasing one
+configuration.
+
+Run as a script::
+
+    python benchmarks/bench_speed.py              # full reps
+    python benchmarks/bench_speed.py --quick      # CI smoke (fewer reps)
+    python benchmarks/bench_speed.py --check      # exit 1 on regression
+
+or through pytest (excluded from tier-1 by the ``slow`` marker)::
+
+    pytest benchmarks/bench_speed.py -m slow --no-header
+
+``--check`` enforces the two acceptance gates: threaded+fused must not
+be slower than naive on any workload, and the geomean speedup must be
+at least 1.3x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # running as a script
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    from workloads import ALL_WORKLOADS
+else:
+    from .workloads import ALL_WORKLOADS
+
+from repro import CompileOptions, compile_source, decode
+from repro.vm.machine import Machine
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_speed.json")
+
+#: (key, fused?, engine); "naive" is the baseline all ratios divide by.
+CONFIGS = [
+    ("naive", False, "naive"),
+    ("naive+fuse", True, "naive"),
+    ("threaded", False, "threaded"),
+    ("threaded+fuse", True, "threaded"),
+]
+
+GEOMEAN_FLOOR = 1.3
+
+
+def _compile_workloads():
+    programs = {}
+    for name, source, expected in ALL_WORKLOADS:
+        for fused in (False, True):
+            options = CompileOptions()
+            options.fuse = fused
+            programs[(name, fused)] = compile_source(source, options)
+    return programs
+
+
+def measure(reps: int) -> dict:
+    """Interleaved min-of-``reps`` wall-clock times, as a report dict."""
+    programs = _compile_workloads()
+    best: dict = {}
+    for _ in range(reps):
+        for name, _source, expected in ALL_WORKLOADS:
+            for key, fused, engine in CONFIGS:
+                machine = Machine(
+                    programs[(name, fused)].vm_program,
+                    engine=engine,
+                    count_instructions=False,
+                )
+                start = time.perf_counter()
+                result = machine.run()
+                elapsed = time.perf_counter() - start
+                result.machine = machine  # decode reads the heap
+                value = decode(result)
+                assert value == expected, (name, key, value, expected)
+                slot = (name, key)
+                best[slot] = min(best.get(slot, math.inf), elapsed)
+
+    workloads = {}
+    ratios = []
+    for name, _source, _expected in ALL_WORKLOADS:
+        baseline = best[(name, "naive")]
+        entry = {"times_ms": {}, "speedups": {}}
+        for key, _fused, _engine in CONFIGS:
+            seconds = best[(name, key)]
+            entry["times_ms"][key] = round(seconds * 1000, 3)
+            entry["speedups"][key] = round(baseline / seconds, 3)
+        workloads[name] = entry
+        ratios.append(baseline / best[(name, "threaded+fuse")])
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    return {
+        "baseline": "naive",
+        "headline": "threaded+fuse",
+        "reps": reps,
+        "python": sys.version.split()[0],
+        "geomean_speedup": round(geomean, 3),
+        "geomean_floor": GEOMEAN_FLOOR,
+        "workloads": workloads,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """Acceptance failures (empty == pass)."""
+    failures = []
+    for name, entry in report["workloads"].items():
+        speedup = entry["speedups"]["threaded+fuse"]
+        if speedup < 1.0:
+            failures.append(
+                f"{name}: threaded+fuse is slower than naive ({speedup:.3f}x)"
+            )
+    if report["geomean_speedup"] < GEOMEAN_FLOOR:
+        failures.append(
+            f"geomean speedup {report['geomean_speedup']:.3f}x "
+            f"below the {GEOMEAN_FLOOR}x floor"
+        )
+    return failures
+
+
+def render(report: dict) -> str:
+    keys = [key for key, _fused, _engine in CONFIGS]
+    lines = [
+        f"{'workload':10s} {'naive':>9s} "
+        + " ".join(f"{k:>13s}" for k in keys[1:])
+    ]
+    for name, entry in report["workloads"].items():
+        cells = [f"{entry['times_ms']['naive']:8.1f}ms"]
+        for key in keys[1:]:
+            cells.append(f"{entry['speedups'][key]:12.2f}x")
+        lines.append(f"{name:10s} " + " ".join(cells))
+    lines.append(
+        f"geomean threaded+fuse speedup: {report['geomean_speedup']:.3f}x"
+        f" (floor {report['geomean_floor']}x)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer reps (CI smoke test)"
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None, help="interleaved rounds (default 8, quick 3)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if threaded+fuse loses to naive anywhere or the "
+        "geomean is below the floor",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help="JSON report path (default: BENCH_speed.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (3 if args.quick else 8)
+    if reps < 1:
+        parser.error(f"--reps must be at least 1 (got {reps})")
+
+    report = measure(reps)
+    print(render(report))
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(args.output)}")
+
+    if args.check:
+        failures = check(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (slow: excluded from tier-1)
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script use without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_engine_speedup(tmp_path):
+        report = measure(reps=3)
+        print(render(report))
+        failures = check(report)
+        assert not failures, failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

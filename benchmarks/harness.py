@@ -48,6 +48,7 @@ def compiled(source: str, options: CompileOptions):
         source,
         options.prelude,
         options.safety,
+        options.fuse,
         tuple(sorted(options.optimizer.__dict__.items())),
     )
     hit = _COMPILE_CACHE.get(key)

@@ -43,6 +43,10 @@ class CompileOptions:
     safety: bool = True
     #: additional library source compiled between prelude and program
     extra_prelude: str = ""
+    #: fuse hot adjacent instruction pairs into superinstructions (a
+    #: dispatch optimisation; decomposed instruction counts are
+    #: unaffected — see docs/INTERNALS.md §9)
+    fuse: bool = True
 
     @classmethod
     def unoptimized(cls, **kwargs) -> "CompileOptions":
@@ -75,6 +79,8 @@ class CompiledProgram:
         max_steps: int | None = None,
         count_instructions: bool = True,
         input_text: str = "",
+        engine: str | None = None,
+        profile: bool = False,
     ) -> RunResult:
         machine = Machine(
             self.vm_program,
@@ -82,6 +88,8 @@ class CompiledProgram:
             max_steps=max_steps,
             count_instructions=count_instructions,
             input_text=input_text,
+            engine=engine,
+            profile=profile,
         )
         result = machine.run()
         result.machine = machine  # type: ignore[attr-defined]
@@ -210,7 +218,7 @@ def compile_source(
     if explain:
         stages["optimized"] = pretty_program(program)
     program = convert_assignments_program(program)
-    vm_program = generate_code(program)
+    vm_program = generate_code(program, fuse=options.fuse)
     found: list = []
     if diagnostics:
         from .lint import LintOptions, lint_source
@@ -236,11 +244,15 @@ def run_source(
     heap_words: int = 1 << 20,
     max_steps: int | None = None,
     input_text: str = "",
+    engine: str | None = None,
 ) -> RunResult:
     """Compile and run; returns the VM's :class:`RunResult`."""
     compiled = compile_source(source, options)
     return compiled.run(
-        heap_words=heap_words, max_steps=max_steps, input_text=input_text
+        heap_words=heap_words,
+        max_steps=max_steps,
+        input_text=input_text,
+        engine=engine,
     )
 
 

@@ -102,8 +102,9 @@ _CMP_OPS = {
 class CodeGenerator:
     """Compiles a whole IR program to a :class:`VMProgram`."""
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, fuse: bool = False):
         self.program = program
+        self.fuse = fuse
         self.codes: list[isa.CodeObject] = []
         self.global_index: dict[str, int] = {}
         self._collect_globals()
@@ -267,7 +268,7 @@ class FnCompiler:
                     assert operand.position is not None, "unbound label"
                     ins[i] = operand.position
         self.code.nregs = self.next_reg
-        peephole(self.code)
+        peephole(self.code, fuse=self.gen.fuse)
 
     # ------------------------------------------------------------------
     # expressions
@@ -650,5 +651,7 @@ class FnCompiler:
         return self.gen.global_index[name]
 
 
-def generate_code(program: Program) -> isa.VMProgram:
-    return CodeGenerator(program).generate()
+def generate_code(program: Program, fuse: bool = False) -> isa.VMProgram:
+    """Generate VM code; with ``fuse`` the peephole pass also fuses
+    superinstruction pairs (see :mod:`repro.backend.peephole`)."""
+    return CodeGenerator(program, fuse=fuse).generate()

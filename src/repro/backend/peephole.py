@@ -8,6 +8,17 @@ Two rewrites, both bookkeeping-only (no representation knowledge):
 * ``JMP L`` where ``L`` is the next instruction: dropped.
 
 Branch targets are remapped after deletions.
+
+A third, optional rewrite runs last: **superinstruction fusion**
+(:func:`fuse_superinstructions`) replaces adjacent instruction pairs
+listed in ``isa.FUSION_TABLE`` with single fused opcodes.  Fusion is a
+pure dispatch optimisation — a fused instruction is defined as the
+sequential execution of its two halves, and instruction counting
+decomposes it back — so it must only be careful about control flow: a
+pair is never fused when its second instruction is a branch target
+(the branch must still be able to land between the halves), and a pair
+whose *first* instruction could transfer control never fuses (no such
+pair is in the table; the pass checks anyway).
 """
 
 from __future__ import annotations
@@ -41,6 +52,15 @@ _TARGET_INDEX = {
 }
 
 
+# Fused opcodes whose second constituent is a branch keep the target as
+# their last operand: 1 (opcode) + width(first) + target offset within
+# the second constituent's operands.
+for _pair, _fop in isa.FUSION_TABLE.items():
+    _second_target = _TARGET_INDEX.get(_pair[1])
+    if _second_target is not None:
+        _TARGET_INDEX[_fop] = isa.OPERAND_COUNT[_pair[0]] + _second_target
+
+
 def branch_target_index(op: int) -> int | None:
     return _TARGET_INDEX.get(op)
 
@@ -48,6 +68,9 @@ def branch_target_index(op: int) -> int | None:
 def dest_position(ins: list) -> int | None:
     """Operand index of the destination register, if the op writes one."""
     op = ins[0]
+    if op >= isa.FIRST_FUSED:
+        # conservative: never retarget into a fused instruction
+        return None
     if op in (
         isa.LDC, isa.MOV, isa.NOT, isa.CMPNZ, isa.LD,
         isa.ALLOC, isa.ALLOCI, isa.GLD, isa.CLOSURE,
@@ -62,6 +85,9 @@ def dest_position(ins: list) -> int | None:
 def source_registers(ins: list) -> list[int]:
     """Register numbers this instruction reads."""
     op = ins[0]
+    if op >= isa.FIRST_FUSED:
+        first, second = isa.decompose(ins)
+        return source_registers(first) + source_registers(second)
     if op in (isa.LDC, isa.ALLOCI, isa.GLD, isa.JMP, isa.GETC, isa.PEEKC):
         return []
     if op in (isa.MOV, isa.NOT, isa.CMPNZ):
@@ -105,10 +131,53 @@ def source_registers(ins: list) -> list[int]:
     raise ValueError(f"unknown opcode {op}")
 
 
-def peephole(code: isa.CodeObject) -> None:
+def peephole(code: isa.CodeObject, fuse: bool = False) -> None:
     """Apply the rewrites in place (iterates to a fixpoint)."""
     while _fuse_moves(code) or _drop_trivial_jumps(code):
         pass
+    if fuse:
+        fuse_superinstructions(code)
+
+
+def fuse_superinstructions(code: isa.CodeObject) -> int:
+    """Fuse adjacent pairs from ``isa.FUSION_TABLE``; returns the number
+    of pairs fused.
+
+    Legality: the pair must be a guaranteed fall-through (the first
+    instruction never transfers control — true of every table entry)
+    and no branch may land *between* the two halves, i.e. the second
+    instruction must not be a branch target.  Branches landing on the
+    first instruction are fine: they enter the fused pair at its start.
+    """
+    instructions = code.instructions
+    n = len(instructions)
+    targets = _branch_targets(instructions)
+    out: list[list] = []
+    index_map = [0] * (n + 1)
+    fused = 0
+    i = 0
+    while i < n:
+        index_map[i] = len(out)
+        ins = instructions[i]
+        if i + 1 < n and (i + 1) not in targets and branch_target_index(ins[0]) is None:
+            fop = isa.FUSION_TABLE.get((ins[0], instructions[i + 1][0]))
+            if fop is not None:
+                second = instructions[i + 1]
+                index_map[i + 1] = len(out)  # unreachable as a target
+                out.append([fop, *ins[1:], *second[1:]])
+                fused += 1
+                i += 2
+                continue
+        out.append(ins)
+        i += 1
+    index_map[n] = len(out)
+    if fused:
+        for ins in out:
+            index = branch_target_index(ins[0])
+            if index is not None:
+                ins[index] = index_map[ins[index]]
+        code.instructions = out
+    return fused
 
 
 def _branch_targets(instructions: list[list]) -> set[int]:

@@ -24,6 +24,7 @@ from . import (
     run_source,
 )
 from .sexpr import to_write
+from .vm.engine import ENGINES
 
 
 def _options(namespace: argparse.Namespace) -> CompileOptions:
@@ -39,6 +40,8 @@ def _options(namespace: argparse.Namespace) -> CompileOptions:
     options.safety = not namespace.unsafe
     if namespace.keep_globals:
         options.optimizer.prune_globals = False
+    if getattr(namespace, "no_fuse", False):
+        options.fuse = False
     return options
 
 
@@ -70,11 +73,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="",
         help="text made available to the program's (read-char)/(read)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="VM dispatch engine (default: $REPRO_VM_ENGINE or naive)",
+    )
+    parser.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="disable superinstruction fusion in the emitted code",
+    )
 
 
 def cmd_run(namespace: argparse.Namespace) -> int:
     result = run_source(
-        _source(namespace), _options(namespace), input_text=namespace.input
+        _source(namespace),
+        _options(namespace),
+        input_text=namespace.input,
+        engine=namespace.engine,
     )
     sys.stdout.write(result.output)
     value = decode(result)
@@ -96,7 +113,7 @@ def cmd_disassemble(namespace: argparse.Namespace) -> int:
 
 def cmd_stats(namespace: argparse.Namespace) -> int:
     compiled = compile_source(_source(namespace), _options(namespace))
-    result = compiled.run()
+    result = compiled.run(engine=namespace.engine)
     print(f"value:        {to_write(decode(result))}")
     print(f"instructions: {result.steps}")
     print(f"allocated:    {result.words_allocated} words")
@@ -134,6 +151,23 @@ def cmd_lint(namespace: argparse.Namespace) -> int:
     else:
         print(render_text(report, filename))
     return report.exit_code(werror=namespace.werror)
+
+
+def cmd_profile(namespace: argparse.Namespace) -> int:
+    from .vm.profile import profile_program, render_json, render_text
+
+    options = _options(namespace)
+    # Mine pairs over base opcodes: candidate ranking only makes sense
+    # on unfused code (run with --fused to profile the fused stream).
+    if not namespace.fused:
+        options.fuse = False
+    compiled = compile_source(_source(namespace), options)
+    report = profile_program(compiled.vm_program, input_text=namespace.input)
+    if namespace.json:
+        print(render_json(report, top=namespace.top))
+    else:
+        print(render_text(report, top=namespace.top))
+    return 0
 
 
 def cmd_repl(namespace: argparse.Namespace) -> int:
@@ -181,6 +215,24 @@ def main(argv: list[str] | None = None) -> int:
     stats_parser = subparsers.add_parser("stats", help="run and report counters")
     _add_common(stats_parser)
     stats_parser.set_defaults(fn=cmd_stats)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run with pair mining: opcode histogram + fusion candidates",
+    )
+    _add_common(profile_parser)
+    profile_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=20, help="rows per section (default 20)"
+    )
+    profile_parser.add_argument(
+        "--fused",
+        action="store_true",
+        help="profile the fused instruction stream instead of base opcodes",
+    )
+    profile_parser.set_defaults(fn=cmd_profile)
 
     lint_parser = subparsers.add_parser(
         "lint", help="static diagnostics (tag/range analysis + style checks)"

@@ -1,15 +1,23 @@
 """The virtual machine substrate."""
 
 from . import isa
+from .engine import ENGINES, create_engine, default_engine_name
 from .heap import Heap
 from .machine import FAIL_MESSAGES, Machine, RunResult
+from .profile import ProfileReport, build_report, profile_program
 from .registry import TypeRegistry
 
 __all__ = [
+    "ENGINES",
     "FAIL_MESSAGES",
     "Heap",
     "Machine",
+    "ProfileReport",
     "RunResult",
     "TypeRegistry",
+    "build_report",
+    "create_engine",
+    "default_engine_name",
     "isa",
+    "profile_program",
 ]

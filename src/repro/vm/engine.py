@@ -1,0 +1,1330 @@
+"""Pluggable VM execution engines.
+
+Two engines execute :class:`~repro.vm.isa.VMProgram` code:
+
+* :class:`NaiveEngine` — the classic switch interpreter: one big
+  if/elif chain over the opcode, executed per instruction.  Simple,
+  easy to audit, and the reference for differential testing.  It is
+  also the only engine that supports hot-pair profiling
+  (``Machine(profile=True)``).
+
+* :class:`ThreadedEngine` — (closure-)threaded dispatch: each code
+  object's instruction list is precompiled, once, into a parallel table
+  of per-instruction handler closures with their operands bound as
+  closure constants.  Dispatch is then one list index plus one call —
+  no opcode comparison chain, no per-step operand unpacking.  Handler
+  tables are built lazily per code object, so dead procedures cost
+  nothing.
+
+Both engines execute fused superinstructions (see ``isa.FUSED_PAIRS``)
+and both charge them to their *constituent* base opcodes when counting,
+including the exact step index at which a ``max_steps`` budget trips
+mid-pair.  The engines are observationally identical — same results,
+same output, same decomposed counts, same errors — which the
+cross-engine differential suite (``tests/test_engine_differential.py``)
+enforces; they differ only in wall-clock speed.
+
+Engine selection: ``Machine(engine="threaded")``, the ``--engine`` CLI
+flag, or the ``REPRO_VM_ENGINE`` environment variable (the default when
+neither is given is ``naive``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from ..errors import SchemeError, VMError
+from ..prims import WORD_MASK, signed, wrap
+from . import isa
+from .machine import FAIL_MESSAGES, _CLOSURE_TAG, _ESCAPE_CODE
+
+_STACK_LIMIT = 8000
+_STACK_OVERFLOW = "call stack overflow (deep non-tail recursion)"
+
+
+# ----------------------------------------------------------------------
+# fused-handler generation
+# ----------------------------------------------------------------------
+#
+# A fused superinstruction executed as two chained closures costs more
+# than the dispatch it saves, so fused handlers are generated *flat*: a
+# statement template per base opcode, concatenated into one closure per
+# fused pair.  The templates must mirror the naive interpreter arms
+# exactly — the differential suite holds both engines to that.
+
+_STMT = {
+    isa.LD: "regs[{0}] = heap.load((regs[{1}] + {2}) & M)",
+    isa.ST: "heap.store((regs[{0}] + {1}) & M, regs[{2}])",
+    isa.LDC: "regs[{0}] = {1}",
+    isa.MOV: "regs[{0}] = regs[{1}]",
+    isa.ADD: "regs[{0}] = (regs[{1}] + regs[{2}]) & M",
+    isa.ADDI: "regs[{0}] = (regs[{1}] + {2}) & M",
+    isa.SUB: "regs[{0}] = (regs[{1}] - regs[{2}]) & M",
+    isa.SUBI: "regs[{0}] = (regs[{1}] - {2}) & M",
+    isa.MUL: "regs[{0}] = (signed(regs[{1}]) * signed(regs[{2}])) & M",
+    isa.MULI: "regs[{0}] = (signed(regs[{1}]) * signed({2})) & M",
+    isa.AND: "regs[{0}] = regs[{1}] & regs[{2}]",
+    isa.ANDI: "regs[{0}] = regs[{1}] & {2}",
+    isa.OR: "regs[{0}] = regs[{1}] | regs[{2}]",
+    isa.ORI: "regs[{0}] = regs[{1}] | {2}",
+    isa.XOR: "regs[{0}] = regs[{1}] ^ regs[{2}]",
+    isa.XORI: "regs[{0}] = regs[{1}] ^ {2}",
+    isa.NOT: "regs[{0}] = (~regs[{1}]) & M",
+    isa.SHL: "regs[{0}] = (regs[{1}] << (regs[{2}] & 63)) & M",
+    isa.SHLI: "regs[{0}] = (regs[{1}] << ({2} & 63)) & M",
+    isa.SHR: "regs[{0}] = regs[{1}] >> (regs[{2}] & 63)",
+    isa.SHRI: "regs[{0}] = regs[{1}] >> ({2} & 63)",
+    isa.SAR: "regs[{0}] = (signed(regs[{1}]) >> (regs[{2}] & 63)) & M",
+    isa.SARI: "regs[{0}] = (signed(regs[{1}]) >> ({2} & 63)) & M",
+    isa.CMPEQ: "regs[{0}] = 1 if regs[{1}] == regs[{2}] else 0",
+    isa.CMPEQI: "regs[{0}] = 1 if regs[{1}] == {2} else 0",
+    isa.CMPNE: "regs[{0}] = 1 if regs[{1}] != regs[{2}] else 0",
+    isa.CMPNEI: "regs[{0}] = 1 if regs[{1}] != {2} else 0",
+    isa.CMPLT: "regs[{0}] = 1 if signed(regs[{1}]) < signed(regs[{2}]) else 0",
+    isa.CMPLTI: "regs[{0}] = 1 if signed(regs[{1}]) < signed({2}) else 0",
+    isa.CMPLE: "regs[{0}] = 1 if signed(regs[{1}]) <= signed(regs[{2}]) else 0",
+    isa.CMPLEI: "regs[{0}] = 1 if signed(regs[{1}]) <= signed({2}) else 0",
+    isa.CMPULT: "regs[{0}] = 1 if regs[{1}] < regs[{2}] else 0",
+    isa.CMPULE: "regs[{0}] = 1 if regs[{1}] <= regs[{2}] else 0",
+    isa.CMPNZ: "regs[{0}] = 1 if regs[{1}] != 0 else 0",
+}
+
+# Branch templates end the handler: return the target or fall through.
+_BRANCH_STMT = {
+    isa.JT: "return {1} if regs[{0}] != 0 else nxt",
+    isa.JF: "return {1} if regs[{0}] == 0 else nxt",
+    isa.JEQ: "return {2} if regs[{0}] == regs[{1}] else nxt",
+    isa.JNE: "return {2} if regs[{0}] != regs[{1}] else nxt",
+    isa.JEQI: "return {2} if regs[{0}] == {1} else nxt",
+    isa.JNEI: "return {2} if regs[{0}] != {1} else nxt",
+    isa.JLT: "return {2} if signed(regs[{0}]) < signed(regs[{1}]) else nxt",
+    isa.JGE: "return {2} if signed(regs[{0}]) >= signed(regs[{1}]) else nxt",
+    isa.JLE: "return {2} if signed(regs[{0}]) <= signed(regs[{1}]) else nxt",
+    isa.JGT: "return {2} if signed(regs[{0}]) > signed(regs[{1}]) else nxt",
+    isa.JULT: "return {2} if regs[{0}] < regs[{1}] else nxt",
+    isa.JUGE: "return {2} if regs[{0}] >= regs[{1}] else nxt",
+    isa.JULE: "return {2} if regs[{0}] <= regs[{1}] else nxt",
+    isa.JUGT: "return {2} if regs[{0}] > regs[{1}] else nxt",
+    isa.JLTI: "return {2} if signed(regs[{0}]) < signed({1}) else nxt",
+    isa.JGEI: "return {2} if signed(regs[{0}]) >= signed({1}) else nxt",
+    isa.JLEI: "return {2} if signed(regs[{0}]) <= signed({1}) else nxt",
+    isa.JGTI: "return {2} if signed(regs[{0}]) > signed({1}) else nxt",
+}
+
+
+def _fused_maker(fop: int):
+    """Compile ``make(*operands, nxt, heap) -> handler`` for one fused op.
+
+    The handler executes both halves in one flat closure and returns the
+    next pc: ``nxt`` on fall-through, the branch target when the second
+    half is a taken branch.  Callers that have no meaningful ``nxt``
+    (the naive engine) pass ``None`` and treat ``None`` as fall-through.
+    Returns ``None`` when a half has no template (e.g. DIV); callers
+    then fall back to composing single-instruction executors.
+    """
+    op1, op2 = isa.FUSED_PAIRS[fop]
+    if op1 not in _STMT or (op2 not in _STMT and op2 not in _BRANCH_STMT):
+        return None
+    p1 = [f"x{i}" for i in range(isa.OPERAND_COUNT[op1])]
+    p2 = [f"y{i}" for i in range(isa.OPERAND_COUNT[op2])]
+    body1 = _STMT[op1].format(*p1)
+    if op2 in _BRANCH_STMT:
+        body2 = _BRANCH_STMT[op2].format(*p2)
+    else:
+        body2 = _STMT[op2].format(*p2) + "\n        return nxt"
+    source = (
+        f"def make({', '.join(p1 + p2)}, nxt, heap):\n"
+        f"    def handler(regs):\n"
+        f"        {body1}\n"
+        f"        {body2}\n"
+        f"    return handler\n"
+    )
+    namespace = {"M": WORD_MASK, "signed": signed}
+    exec(source, namespace)
+    return namespace["make"]
+
+
+_FUSED_MAKERS = {fop: _fused_maker(fop) for fop in isa.FUSED_PAIRS}
+
+
+def _single_maker(op: int):
+    """Compile ``make(*operands, nxt, heap) -> handler`` for one base op.
+
+    Covers every templated value op and conditional branch — the bulk of
+    handler-table construction — so building a handler is one dict
+    lookup plus one closure, not a trip through an opcode chain.
+    """
+    ps = [f"x{i}" for i in range(isa.OPERAND_COUNT[op])]
+    if op in _BRANCH_STMT:
+        body = _BRANCH_STMT[op].format(*ps)
+    elif op in _STMT:
+        body = _STMT[op].format(*ps) + "\n        return nxt"
+    else:
+        return None
+    source = (
+        f"def make({', '.join(ps)}, nxt, heap):\n"
+        f"    def handler(regs):\n"
+        f"        {body}\n"
+        f"    return handler\n"
+    )
+    namespace = {"M": WORD_MASK, "signed": signed}
+    exec(source, namespace)
+    return namespace["make"]
+
+
+_SINGLE_MAKERS = {
+    op: maker
+    for op in isa.OPERAND_COUNT
+    if (maker := _single_maker(op)) is not None
+}
+
+
+class Engine:
+    """Base class: an engine executes one Machine to completion."""
+
+    name = "abstract"
+
+    def __init__(self, machine):
+        self.m = machine
+
+    def run(self):
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# the naive switch interpreter
+# ----------------------------------------------------------------------
+
+
+class NaiveEngine(Engine):
+    name = "naive"
+
+    def __init__(self, machine):
+        super().__init__(machine)
+        # decomposition cache for fused instructions: id(ins) -> halves
+        self._halves: dict[int, tuple[list, list]] = {}
+        # per-code tables of flat fused-pair executors, indexed by pc and
+        # filled on first execution (id(code) -> list)
+        self._fused_tables: dict[int, list] = {}
+
+    # -- fused-instruction support -------------------------------------
+
+    def _exec_base(self, ins: list, regs: list) -> int | None:
+        """Execute one fixed-width base instruction.
+
+        Returns the branch target when the instruction is a taken
+        branch, else None.  Only the fusable subset of the ISA needs to
+        be handled here (control transfer and allocation never fuse).
+        """
+        m = self.m
+        op = ins[0]
+        if op == isa.LD:
+            regs[ins[1]] = m.heap.load(wrap(regs[ins[2]] + ins[3]))
+        elif op == isa.ST:
+            m.heap.store(wrap(regs[ins[1]] + ins[2]), regs[ins[3]])
+        elif op == isa.LDC:
+            regs[ins[1]] = ins[2]
+        elif op == isa.MOV:
+            regs[ins[1]] = regs[ins[2]]
+        elif op == isa.ADD:
+            regs[ins[1]] = (regs[ins[2]] + regs[ins[3]]) & WORD_MASK
+        elif op == isa.ADDI:
+            regs[ins[1]] = (regs[ins[2]] + ins[3]) & WORD_MASK
+        elif op == isa.SUB:
+            regs[ins[1]] = (regs[ins[2]] - regs[ins[3]]) & WORD_MASK
+        elif op == isa.SUBI:
+            regs[ins[1]] = (regs[ins[2]] - ins[3]) & WORD_MASK
+        elif op == isa.MUL:
+            regs[ins[1]] = (signed(regs[ins[2]]) * signed(regs[ins[3]])) & WORD_MASK
+        elif op == isa.MULI:
+            regs[ins[1]] = (signed(regs[ins[2]]) * signed(ins[3])) & WORD_MASK
+        elif op == isa.AND:
+            regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
+        elif op == isa.ANDI:
+            regs[ins[1]] = regs[ins[2]] & ins[3]
+        elif op == isa.OR:
+            regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
+        elif op == isa.ORI:
+            regs[ins[1]] = regs[ins[2]] | ins[3]
+        elif op == isa.XOR:
+            regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
+        elif op == isa.XORI:
+            regs[ins[1]] = regs[ins[2]] ^ ins[3]
+        elif op == isa.NOT:
+            regs[ins[1]] = (~regs[ins[2]]) & WORD_MASK
+        elif op == isa.SHL:
+            regs[ins[1]] = (regs[ins[2]] << (regs[ins[3]] & 63)) & WORD_MASK
+        elif op == isa.SHLI:
+            regs[ins[1]] = (regs[ins[2]] << (ins[3] & 63)) & WORD_MASK
+        elif op == isa.SHR:
+            regs[ins[1]] = regs[ins[2]] >> (regs[ins[3]] & 63)
+        elif op == isa.SHRI:
+            regs[ins[1]] = regs[ins[2]] >> (ins[3] & 63)
+        elif op == isa.SAR:
+            regs[ins[1]] = (signed(regs[ins[2]]) >> (regs[ins[3]] & 63)) & WORD_MASK
+        elif op == isa.SARI:
+            regs[ins[1]] = (signed(regs[ins[2]]) >> (ins[3] & 63)) & WORD_MASK
+        elif op == isa.CMPEQ:
+            regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
+        elif op == isa.CMPEQI:
+            regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
+        elif op == isa.CMPNE:
+            regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
+        elif op == isa.CMPNEI:
+            regs[ins[1]] = 1 if regs[ins[2]] != ins[3] else 0
+        elif op == isa.CMPLT:
+            regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(regs[ins[3]]) else 0
+        elif op == isa.CMPLTI:
+            regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(ins[3]) else 0
+        elif op == isa.CMPLE:
+            regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(regs[ins[3]]) else 0
+        elif op == isa.CMPLEI:
+            regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(ins[3]) else 0
+        elif op == isa.CMPULT:
+            regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
+        elif op == isa.CMPULE:
+            regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
+        elif op == isa.CMPNZ:
+            regs[ins[1]] = 1 if regs[ins[2]] != 0 else 0
+        elif op == isa.JT:
+            if regs[ins[1]] != 0:
+                return ins[2]
+        elif op == isa.JF:
+            if regs[ins[1]] == 0:
+                return ins[2]
+        elif op == isa.JEQ:
+            if regs[ins[1]] == regs[ins[2]]:
+                return ins[3]
+        elif op == isa.JNE:
+            if regs[ins[1]] != regs[ins[2]]:
+                return ins[3]
+        elif op == isa.JEQI:
+            if regs[ins[1]] == ins[2]:
+                return ins[3]
+        elif op == isa.JNEI:
+            if regs[ins[1]] != ins[2]:
+                return ins[3]
+        elif op == isa.JLT:
+            if signed(regs[ins[1]]) < signed(regs[ins[2]]):
+                return ins[3]
+        elif op == isa.JGE:
+            if signed(regs[ins[1]]) >= signed(regs[ins[2]]):
+                return ins[3]
+        elif op == isa.JLE:
+            if signed(regs[ins[1]]) <= signed(regs[ins[2]]):
+                return ins[3]
+        elif op == isa.JGT:
+            if signed(regs[ins[1]]) > signed(regs[ins[2]]):
+                return ins[3]
+        elif op == isa.JULT:
+            if regs[ins[1]] < regs[ins[2]]:
+                return ins[3]
+        elif op == isa.JUGE:
+            if regs[ins[1]] >= regs[ins[2]]:
+                return ins[3]
+        elif op == isa.JULE:
+            if regs[ins[1]] <= regs[ins[2]]:
+                return ins[3]
+        elif op == isa.JUGT:
+            if regs[ins[1]] > regs[ins[2]]:
+                return ins[3]
+        elif op == isa.JLTI:
+            if signed(regs[ins[1]]) < signed(ins[2]):
+                return ins[3]
+        elif op == isa.JGEI:
+            if signed(regs[ins[1]]) >= signed(ins[2]):
+                return ins[3]
+        elif op == isa.JLEI:
+            if signed(regs[ins[1]]) <= signed(ins[2]):
+                return ins[3]
+        elif op == isa.JGTI:
+            if signed(regs[ins[1]]) > signed(ins[2]):
+                return ins[3]
+        elif op == isa.DIV:
+            regs[ins[1]] = m._div(regs[ins[2]], regs[ins[3]])
+        elif op == isa.MOD:
+            regs[ins[1]] = m._mod(regs[ins[2]], regs[ins[3]])
+        else:
+            raise VMError(f"opcode {isa.opcode_name(op)} cannot be fused")
+        return None
+
+    def _fused_table(self, code: isa.CodeObject) -> list:
+        """Per-pc slots for this code's fused-pair executors."""
+        key = id(code)
+        table = self._fused_tables.get(key)
+        if table is None:
+            table = [None] * len(code.instructions)
+            self._fused_tables[key] = table
+        return table
+
+    def _make_fused(self, ins: list):
+        """Flat executor for one fused pair: regs -> branch target | None."""
+        maker = _FUSED_MAKERS[ins[0]]
+        if maker is not None:
+            return maker(*ins[1:], None, self.m.heap)
+        first, second = isa.decompose(ins)
+
+        def handler(regs, first=first, second=second):
+            self._exec_base(first, regs)
+            return self._exec_base(second, regs)
+
+        return handler
+
+    def _exec_fused(self, ins: list, pc: int, regs: list) -> int:
+        """Counted fused execution: decompose, charging each half."""
+        m = self.m
+        halves = self._halves.get(id(ins))
+        if halves is None:
+            first, second = isa.decompose(ins)
+            halves = (first, second)
+            self._halves[id(ins)] = halves
+        first, second = halves
+        m._count_step(first[0])
+        self._exec_base(first, regs)
+        m._count_step(second[0])
+        target = self._exec_base(second, regs)
+        return pc if target is None else target
+
+    # -- the interpreter loop ------------------------------------------
+
+    def run(self):
+        m = self.m
+        main = m.codes[m.program.main_id]
+        code = main
+        regs = [0] * main.nregs
+        pc = 0
+        instructions = code.instructions
+        fused = self._fused_table(code)
+        counts = m.counts
+        counting = m.count_instructions
+        profiling = m.profile and counting
+        pair_counts = m.pair_counts
+        heap = m.heap
+        max_steps = m.max_steps
+        first_fused = isa.FIRST_FUSED
+        prev_code = None
+        prev_pc = -2
+        prev_op = -1
+
+        while True:
+            ins = instructions[pc]
+            pc += 1
+            op = ins[0]
+            if counting:
+                m.dispatches += 1
+                if profiling:
+                    if code is prev_code and pc - 2 == prev_pc:
+                        key = (prev_op, op)
+                        pair_counts[key] = pair_counts.get(key, 0) + 1
+                    prev_code = code
+                    prev_pc = pc - 1
+                    prev_op = op
+                if op < first_fused:
+                    counts[op] += 1
+                    m.steps += 1
+                    if max_steps is not None and m.steps > max_steps:
+                        raise VMError(f"execution exceeded {max_steps} steps")
+
+            if op >= first_fused:
+                if counting:
+                    pc = self._exec_fused(ins, pc, regs)
+                else:
+                    handler = fused[pc - 1]
+                    if handler is None:
+                        handler = fused[pc - 1] = self._make_fused(ins)
+                    target = handler(regs)
+                    if target is not None:
+                        pc = target
+            elif op == isa.LD:
+                address = wrap(regs[ins[2]] + ins[3])
+                regs[ins[1]] = heap.load(address)
+            elif op == isa.ST:
+                address = wrap(regs[ins[1]] + ins[2])
+                heap.store(address, regs[ins[3]])
+            elif op == isa.LDC:
+                regs[ins[1]] = ins[2]
+            elif op == isa.MOV:
+                regs[ins[1]] = regs[ins[2]]
+            elif op == isa.ADD:
+                regs[ins[1]] = (regs[ins[2]] + regs[ins[3]]) & WORD_MASK
+            elif op == isa.ADDI:
+                regs[ins[1]] = (regs[ins[2]] + ins[3]) & WORD_MASK
+            elif op == isa.SUB:
+                regs[ins[1]] = (regs[ins[2]] - regs[ins[3]]) & WORD_MASK
+            elif op == isa.SUBI:
+                regs[ins[1]] = (regs[ins[2]] - ins[3]) & WORD_MASK
+            elif op == isa.MUL:
+                regs[ins[1]] = (signed(regs[ins[2]]) * signed(regs[ins[3]])) & WORD_MASK
+            elif op == isa.MULI:
+                regs[ins[1]] = (signed(regs[ins[2]]) * signed(ins[3])) & WORD_MASK
+            elif op == isa.DIV:
+                regs[ins[1]] = m._div(regs[ins[2]], regs[ins[3]])
+            elif op == isa.MOD:
+                regs[ins[1]] = m._mod(regs[ins[2]], regs[ins[3]])
+            elif op == isa.AND:
+                regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
+            elif op == isa.ANDI:
+                regs[ins[1]] = regs[ins[2]] & ins[3]
+            elif op == isa.OR:
+                regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
+            elif op == isa.ORI:
+                regs[ins[1]] = regs[ins[2]] | ins[3]
+            elif op == isa.XOR:
+                regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
+            elif op == isa.XORI:
+                regs[ins[1]] = regs[ins[2]] ^ ins[3]
+            elif op == isa.NOT:
+                regs[ins[1]] = (~regs[ins[2]]) & WORD_MASK
+            elif op == isa.SHL:
+                regs[ins[1]] = (regs[ins[2]] << (regs[ins[3]] & 63)) & WORD_MASK
+            elif op == isa.SHLI:
+                regs[ins[1]] = (regs[ins[2]] << (ins[3] & 63)) & WORD_MASK
+            elif op == isa.SHR:
+                regs[ins[1]] = regs[ins[2]] >> (regs[ins[3]] & 63)
+            elif op == isa.SHRI:
+                regs[ins[1]] = regs[ins[2]] >> (ins[3] & 63)
+            elif op == isa.SAR:
+                regs[ins[1]] = (signed(regs[ins[2]]) >> (regs[ins[3]] & 63)) & WORD_MASK
+            elif op == isa.SARI:
+                regs[ins[1]] = (signed(regs[ins[2]]) >> (ins[3] & 63)) & WORD_MASK
+            elif op == isa.CMPEQ:
+                regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
+            elif op == isa.CMPEQI:
+                regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
+            elif op == isa.CMPNE:
+                regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
+            elif op == isa.CMPNEI:
+                regs[ins[1]] = 1 if regs[ins[2]] != ins[3] else 0
+            elif op == isa.CMPLT:
+                regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(regs[ins[3]]) else 0
+            elif op == isa.CMPLTI:
+                regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(ins[3]) else 0
+            elif op == isa.CMPLE:
+                regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(regs[ins[3]]) else 0
+            elif op == isa.CMPLEI:
+                regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(ins[3]) else 0
+            elif op == isa.CMPULT:
+                regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
+            elif op == isa.CMPULE:
+                regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
+            elif op == isa.CMPNZ:
+                regs[ins[1]] = 1 if regs[ins[2]] != 0 else 0
+            elif op == isa.JMP:
+                pc = ins[1]
+            elif op == isa.JT:
+                if regs[ins[1]] != 0:
+                    pc = ins[2]
+            elif op == isa.JF:
+                if regs[ins[1]] == 0:
+                    pc = ins[2]
+            elif op == isa.JEQ:
+                if regs[ins[1]] == regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JNE:
+                if regs[ins[1]] != regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JEQI:
+                if regs[ins[1]] == ins[2]:
+                    pc = ins[3]
+            elif op == isa.JNEI:
+                if regs[ins[1]] != ins[2]:
+                    pc = ins[3]
+            elif op == isa.JLTI:
+                if signed(regs[ins[1]]) < signed(ins[2]):
+                    pc = ins[3]
+            elif op == isa.JGEI:
+                if signed(regs[ins[1]]) >= signed(ins[2]):
+                    pc = ins[3]
+            elif op == isa.JLEI:
+                if signed(regs[ins[1]]) <= signed(ins[2]):
+                    pc = ins[3]
+            elif op == isa.JGTI:
+                if signed(regs[ins[1]]) > signed(ins[2]):
+                    pc = ins[3]
+            elif op == isa.JLT:
+                if signed(regs[ins[1]]) < signed(regs[ins[2]]):
+                    pc = ins[3]
+            elif op == isa.JGE:
+                if signed(regs[ins[1]]) >= signed(regs[ins[2]]):
+                    pc = ins[3]
+            elif op == isa.JLE:
+                if signed(regs[ins[1]]) <= signed(regs[ins[2]]):
+                    pc = ins[3]
+            elif op == isa.JGT:
+                if signed(regs[ins[1]]) > signed(regs[ins[2]]):
+                    pc = ins[3]
+            elif op == isa.JULT:
+                if regs[ins[1]] < regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JUGE:
+                if regs[ins[1]] >= regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JULE:
+                if regs[ins[1]] <= regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.JUGT:
+                if regs[ins[1]] > regs[ins[2]]:
+                    pc = ins[3]
+            elif op == isa.ALLOC:
+                m.frames.append([code, regs, pc, -1])
+                regs[ins[1]] = m._alloc(regs[ins[2]], regs[ins[3]] & 7)
+                m.frames.pop()
+            elif op == isa.ALLOCI:
+                m.frames.append([code, regs, pc, -1])
+                regs[ins[1]] = m._alloc(ins[2], ins[3])
+                m.frames.pop()
+            elif op == isa.GLD:
+                index = ins[2]
+                if not m.global_defined[index]:
+                    raise VMError(
+                        f"undefined global variable "
+                        f"{m.program.global_names[index]!r}"
+                    )
+                regs[ins[1]] = m.globals[index]
+            elif op == isa.GST:
+                index = ins[2]
+                m.globals[index] = regs[ins[1]]
+                m.global_defined[index] = 1
+            elif op == isa.CLOSURE:
+                free_regs = ins[3]
+                m.frames.append([code, regs, pc, -1])
+                pointer = m._alloc(1 + len(free_regs), _CLOSURE_TAG)
+                m.frames.pop()
+                base = pointer & ~7
+                heap.store(base + 8, ins[2])
+                for i, reg in enumerate(free_regs):
+                    heap.store(base + 16 + 8 * i, regs[reg])
+                regs[ins[1]] = pointer
+            elif op == isa.CALL or op == isa.CALLL:
+                if op == isa.CALL:
+                    closure = regs[ins[2]]
+                    code_id = m._closure_code_id(closure)
+                    if code_id == _ESCAPE_CODE:
+                        args = [regs[r] for r in ins[3]]
+                        frame = m._unwind(closure, args)
+                        code, regs, pc = frame[0], frame[1], frame[2]
+                        instructions = code.instructions
+                        fused = self._fused_table(code)
+                        continue
+                else:
+                    closure = 0
+                    code_id = ins[2]
+                args = [regs[r] for r in ins[3]]
+                callee = m.codes[code_id]
+                m.frames.append([code, regs, pc, ins[1]])
+                if len(m.frames) > _STACK_LIMIT:
+                    raise VMError(_STACK_OVERFLOW)
+                code = callee
+                m._scratch_roots = [closure]
+                regs = m._make_regs(callee, args, closure)
+                m._scratch_roots = []
+                instructions = code.instructions
+                fused = self._fused_table(code)
+                pc = 0
+            elif op == isa.TAILCALL or op == isa.TAILL:
+                if op == isa.TAILCALL:
+                    closure = regs[ins[1]]
+                    code_id = m._closure_code_id(closure)
+                    if code_id == _ESCAPE_CODE:
+                        args = [regs[r] for r in ins[2]]
+                        frame = m._unwind(closure, args)
+                        code, regs, pc = frame[0], frame[1], frame[2]
+                        instructions = code.instructions
+                        fused = self._fused_table(code)
+                        continue
+                else:
+                    closure = 0
+                    code_id = ins[1]
+                args = [regs[r] for r in ins[2]]
+                callee = m.codes[code_id]
+                code = callee
+                m._scratch_roots = [closure] + args
+                m.frames.append([code, regs, pc, -1])
+                new_regs = m._make_regs(callee, args, closure)
+                m.frames.pop()
+                m._scratch_roots = []
+                regs = new_regs
+                instructions = code.instructions
+                fused = self._fused_table(code)
+                pc = 0
+            elif op == isa.RET:
+                value = regs[ins[1]]
+                if not m.frames:
+                    return m._result(value)
+                frame = m.frames.pop()
+                code, regs, pc, dest = frame[0], frame[1], frame[2], frame[3]
+                instructions = code.instructions
+                fused = self._fused_table(code)
+                regs[dest] = value
+            elif op == isa.CALLEC:
+                closure = regs[ins[2]]
+                code_id = m._closure_code_id(closure)
+                if code_id == _ESCAPE_CODE:
+                    raise SchemeError(FAIL_MESSAGES[12], closure)
+                callee = m.codes[code_id]
+                m.frames.append([code, regs, pc, ins[1]])
+                if len(m.frames) > _STACK_LIMIT:
+                    raise VMError(_STACK_OVERFLOW)
+                depth = len(m.frames)
+                m._scratch_roots = [closure]
+                escape = m._alloc(2, _CLOSURE_TAG)
+                base = escape & ~7
+                heap.store(base + 8, _ESCAPE_CODE)
+                heap.store(base + 16, depth << 3)  # fixnum-tagged: GC-inert
+                code = callee
+                new_regs = m._make_regs(callee, [escape], closure)
+                m._scratch_roots = []
+                regs = new_regs
+                instructions = code.instructions
+                fused = self._fused_table(code)
+                pc = 0
+            elif op == isa.APPLY or op == isa.TAILAPPLY:
+                tail = op == isa.TAILAPPLY
+                freg = ins[2] if not tail else ins[1]
+                lreg = ins[3] if not tail else ins[2]
+                closure = regs[freg]
+                code_id = m._closure_code_id(closure)
+                args = m._unpack_list(regs[lreg])
+                if code_id == _ESCAPE_CODE:
+                    frame = m._unwind(closure, args)
+                    code, regs, pc = frame[0], frame[1], frame[2]
+                    instructions = code.instructions
+                    fused = self._fused_table(code)
+                    continue
+                callee = m.codes[code_id]
+                if not tail:
+                    m.frames.append([code, regs, pc, ins[1]])
+                    if len(m.frames) > _STACK_LIMIT:
+                        raise VMError(_STACK_OVERFLOW)
+                code = callee
+                m._scratch_roots = [closure] + args
+                m.frames.append([code, regs, pc, -1])
+                new_regs = m._make_regs(callee, args, closure)
+                m.frames.pop()
+                m._scratch_roots = []
+                regs = new_regs
+                instructions = code.instructions
+                fused = self._fused_table(code)
+                pc = 0
+            elif op == isa.PUTC:
+                m.output.append(chr(regs[ins[1]] & 0x10FFFF))
+            elif op == isa.GETC:
+                if m.input_pos < len(m.input_codes):
+                    regs[ins[1]] = m.input_codes[m.input_pos]
+                    m.input_pos += 1
+                else:
+                    regs[ins[1]] = WORD_MASK
+            elif op == isa.PEEKC:
+                if m.input_pos < len(m.input_codes):
+                    regs[ins[1]] = m.input_codes[m.input_pos]
+                else:
+                    regs[ins[1]] = WORD_MASK
+            elif op == isa.REGPTR:
+                heap.register_pointer_tag(regs[ins[1]])
+            elif op == isa.REGPAIR:
+                m.registry.register_pair(
+                    regs[ins[1]], signed(regs[ins[2]]), signed(regs[ins[3]])
+                )
+            elif op == isa.REGNIL:
+                m.registry.register_nil(regs[ins[1]])
+            elif op == isa.REGFALSE:
+                m.registry.register_false(regs[ins[1]])
+            elif op == isa.FAIL:
+                fail_code = regs[ins[1]]
+                message = FAIL_MESSAGES.get(fail_code, f"runtime failure {fail_code}")
+                raise SchemeError(message)
+            elif op == isa.HALT:
+                return m._result(regs[ins[1]])
+            else:
+                raise VMError(f"unknown opcode {op}")
+
+
+# ----------------------------------------------------------------------
+# threaded dispatch
+# ----------------------------------------------------------------------
+
+
+class ThreadedEngine(Engine):
+    """Closure-threaded dispatch.
+
+    Handler protocol: ``handler(regs) -> next_pc | None``.  An int is
+    the next pc *within the current code object*; ``None`` means the
+    control state changed (call, return, unwind, or halt) and the outer
+    loop must reload ``self._state`` — or finish, when
+    ``self._halted`` is set.
+
+    Frames pushed by call handlers carry the caller's handler table as
+    a fifth element so returns do not need a table lookup.
+    """
+
+    name = "threaded"
+
+    def __init__(self, machine):
+        super().__init__(machine)
+        self._tables: dict[int, list] = {}
+        self._code_of: dict[int, isa.CodeObject] = {}
+        #: pending control transfer: [handler table, regs, pc].  A slot
+        #: list (not attributes) because handlers write it on every
+        #: call/return and list stores are markedly cheaper.
+        self._state: list = [None, None, 0]
+        self._halted = False
+        self._value = 0
+
+    def run(self):
+        m = self.m
+        main = m.codes[m.program.main_id]
+        regs = [0] * main.nregs
+        handlers = self._table(main)
+        pc = 0
+        self._halted = False
+        while True:
+            try:
+                target = handlers[pc](regs)
+            except TypeError:
+                # A ``None`` slot: this instruction has never executed.
+                # Build its handler now and re-dispatch.  Exceptions are
+                # zero-cost until raised (3.11+), so lazy construction
+                # adds nothing to the hot path.
+                if handlers[pc] is not None:
+                    raise
+                code = self._code_of[id(handlers)]
+                handlers[pc] = self._make_handler(
+                    code, pc, code.instructions[pc], handlers
+                )
+                continue
+            if target is not None:
+                pc = target
+            elif self._halted:
+                return m._result(self._value)
+            else:
+                state = self._state
+                handlers = state[0]
+                regs = state[1]
+                pc = state[2]
+
+    # -- handler-table construction ------------------------------------
+
+    def _table(self, code: isa.CodeObject) -> list:
+        """The handler table for ``code`` — slots fill in on first use."""
+        key = id(code)
+        table = self._tables.get(key)
+        if table is None:
+            table = [None] * len(code.instructions)
+            self._tables[key] = table
+            self._code_of[id(table)] = code
+        return table
+
+    def _transfer(self, frame: list) -> None:
+        """Load engine state from a popped frame (RET/unwind target)."""
+        state = self._state
+        state[0] = frame[4] if len(frame) > 4 else self._table(frame[0])
+        state[1] = frame[1]
+        state[2] = frame[2]
+
+    def _make_handler(self, code, pc, ins, table):
+        executor = self._build_exec(code, pc, ins, table)
+        if not self.m.count_instructions:
+            return executor
+        m = self.m
+        op = ins[0]
+        if op < isa.FIRST_FUSED:
+
+            def counted(regs, m=m, op=op, executor=executor):
+                m.dispatches += 1
+                m._count_step(op)
+                return executor(regs)
+
+            return counted
+        first, second = isa.decompose(ins)
+        op1, op2 = first[0], second[0]
+        exec1 = self._build_exec(code, pc, first, table)
+        exec2 = self._build_exec(code, pc, second, table)
+
+        def counted_fused(regs, m=m, op1=op1, op2=op2, exec1=exec1, exec2=exec2):
+            m.dispatches += 1
+            m._count_step(op1)
+            exec1(regs)
+            m._count_step(op2)
+            return exec2(regs)
+
+        return counted_fused
+
+    def _build_exec(self, code, pc, ins, table):
+        """Build the uncounted executor closure for one instruction."""
+        m = self.m
+        heap = m.heap
+        state = self._state
+        op = ins[0]
+        nxt = pc + 1
+
+        if op >= isa.FIRST_FUSED:
+            maker = _FUSED_MAKERS[op]
+            if maker is not None:
+                return maker(*ins[1:], nxt, heap)
+            first, second = isa.decompose(ins)
+            exec1 = self._build_exec(code, pc, first, table)
+            exec2 = self._build_exec(code, pc, second, table)
+
+            def h_fused(regs, exec1=exec1, exec2=exec2):
+                exec1(regs)
+                return exec2(regs)
+
+            return h_fused
+
+        maker = _SINGLE_MAKERS.get(op)
+        if maker is not None:
+            return maker(*ins[1:], nxt, heap)
+
+        if op == isa.JMP:
+            target = ins[1]
+
+            def h_jmp(regs, target=target):
+                return target
+
+            return h_jmp
+        if op == isa.DIV:
+            d, a, b = ins[1], ins[2], ins[3]
+
+            def h_div(regs, d=d, a=a, b=b, nxt=nxt, m=m):
+                regs[d] = m._div(regs[a], regs[b])
+                return nxt
+
+            return h_div
+        if op == isa.MOD:
+            d, a, b = ins[1], ins[2], ins[3]
+
+            def h_mod(regs, d=d, a=a, b=b, nxt=nxt, m=m):
+                regs[d] = m._mod(regs[a], regs[b])
+                return nxt
+
+            return h_mod
+
+        # -- memory and globals -----------------------------------------
+        if op == isa.ALLOC:
+            d, sn, st = ins[1], ins[2], ins[3]
+
+            def h_alloc(regs, d=d, sn=sn, st=st, nxt=nxt, m=m, code=code):
+                m.frames.append([code, regs, nxt, -1])
+                regs[d] = m._alloc(regs[sn], regs[st] & 7)
+                m.frames.pop()
+                return nxt
+
+            return h_alloc
+        if op == isa.ALLOCI:
+            d, nwords, tag = ins[1], ins[2], ins[3]
+
+            def h_alloci(regs, d=d, nwords=nwords, tag=tag, nxt=nxt, m=m, code=code):
+                m.frames.append([code, regs, nxt, -1])
+                regs[d] = m._alloc(nwords, tag)
+                m.frames.pop()
+                return nxt
+
+            return h_alloci
+        if op == isa.GLD:
+            d, index = ins[1], ins[2]
+
+            def h_gld(regs, d=d, index=index, nxt=nxt, m=m):
+                if not m.global_defined[index]:
+                    raise VMError(
+                        f"undefined global variable "
+                        f"{m.program.global_names[index]!r}"
+                    )
+                regs[d] = m.globals[index]
+                return nxt
+
+            return h_gld
+        if op == isa.GST:
+            s, index = ins[1], ins[2]
+
+            def h_gst(regs, s=s, index=index, nxt=nxt, m=m):
+                m.globals[index] = regs[s]
+                m.global_defined[index] = 1
+                return nxt
+
+            return h_gst
+        if op == isa.CLOSURE:
+            d, code_id, free_regs = ins[1], ins[2], tuple(ins[3])
+
+            def h_closure(
+                regs, d=d, code_id=code_id, free_regs=free_regs,
+                nxt=nxt, m=m, code=code, heap=heap,
+            ):
+                m.frames.append([code, regs, nxt, -1])
+                pointer = m._alloc(1 + len(free_regs), _CLOSURE_TAG)
+                m.frames.pop()
+                base = pointer & ~7
+                heap.store(base + 8, code_id)
+                for i, reg in enumerate(free_regs):
+                    heap.store(base + 16 + 8 * i, regs[reg])
+                regs[d] = pointer
+                return nxt
+
+            return h_closure
+
+        # -- calls and returns -------------------------------------------
+        if op == isa.CALL:
+            dest, freg, arg_regs = ins[1], ins[2], tuple(ins[3])
+            nargs = len(arg_regs)
+
+            def h_call(
+                regs, dest=dest, freg=freg, arg_regs=arg_regs,
+                nargs=nargs, nxt=nxt, m=m, code=code, table=table,
+            ):
+                closure = regs[freg]
+                code_id = m._closure_code_id(closure)
+                args = [regs[r] for r in arg_regs]
+                if code_id == _ESCAPE_CODE:
+                    self._transfer(m._unwind(closure, args))
+                    return None
+                callee = m.codes[code_id]
+                m.frames.append([code, regs, nxt, dest, table])
+                if len(m.frames) > _STACK_LIMIT:
+                    raise VMError(_STACK_OVERFLOW)
+                if callee.has_rest or callee.nparams != nargs:
+                    # may cons a rest list (can GC): root and go general
+                    m._scratch_roots = [closure]
+                    new_regs = m._make_regs(callee, args, closure)
+                    m._scratch_roots = []
+                elif callee.nfree:
+                    args.append(closure)
+                    args.extend([0] * (callee.nregs - nargs - 1))
+                    new_regs = args
+                else:
+                    args.extend([0] * (callee.nregs - nargs))
+                    new_regs = args
+                state[0] = self._table(callee)
+                state[1] = new_regs
+                state[2] = 0
+                return None
+
+            return h_call
+        if op == isa.CALLL:
+            dest, code_id, arg_regs = ins[1], ins[2], tuple(ins[3])
+            callee = m.codes[code_id]
+            # tables are just lazily-filled slot lists, so the callee's
+            # can be resolved at build time
+            callee_table = self._table(callee)
+            if not callee.has_rest and callee.nparams == len(arg_regs):
+                # arity verified at build time; no rest list means no
+                # allocation, so no GC rooting is needed either
+                pad = callee.nregs - len(arg_regs)
+
+                def h_calll(
+                    regs, dest=dest, arg_regs=arg_regs, pad=pad, nxt=nxt,
+                    m=m, code=code, table=table, callee_table=callee_table,
+                ):
+                    new_regs = [regs[r] for r in arg_regs]
+                    if pad:
+                        new_regs.extend([0] * pad)
+                    m.frames.append([code, regs, nxt, dest, table])
+                    if len(m.frames) > _STACK_LIMIT:
+                        raise VMError(_STACK_OVERFLOW)
+                    state[0] = callee_table
+                    state[1] = new_regs
+                    state[2] = 0
+                    return None
+
+                return h_calll
+
+            def h_calll_rest(
+                regs, dest=dest, arg_regs=arg_regs, callee=callee, nxt=nxt,
+                m=m, code=code, table=table, callee_table=callee_table,
+            ):
+                args = [regs[r] for r in arg_regs]
+                m.frames.append([code, regs, nxt, dest, table])
+                if len(m.frames) > _STACK_LIMIT:
+                    raise VMError(_STACK_OVERFLOW)
+                m._scratch_roots = [0]
+                new_regs = m._make_regs(callee, args, 0)
+                m._scratch_roots = []
+                state[0] = callee_table
+                state[1] = new_regs
+                state[2] = 0
+                return None
+
+            return h_calll_rest
+        if op == isa.TAILCALL:
+            freg, arg_regs = ins[1], tuple(ins[2])
+            nargs = len(arg_regs)
+
+            def h_tailcall(
+                regs, freg=freg, arg_regs=arg_regs, nargs=nargs,
+                nxt=nxt, m=m, code=code,
+            ):
+                closure = regs[freg]
+                code_id = m._closure_code_id(closure)
+                args = [regs[r] for r in arg_regs]
+                if code_id == _ESCAPE_CODE:
+                    self._transfer(m._unwind(closure, args))
+                    return None
+                callee = m.codes[code_id]
+                if callee.has_rest or callee.nparams != nargs:
+                    m._scratch_roots = [closure] + args
+                    m.frames.append([callee, regs, nxt, -1])
+                    new_regs = m._make_regs(callee, args, closure)
+                    m.frames.pop()
+                    m._scratch_roots = []
+                elif callee.nfree:
+                    args.append(closure)
+                    args.extend([0] * (callee.nregs - nargs - 1))
+                    new_regs = args
+                else:
+                    args.extend([0] * (callee.nregs - nargs))
+                    new_regs = args
+                state[0] = self._table(callee)
+                state[1] = new_regs
+                state[2] = 0
+                return None
+
+            return h_tailcall
+        if op == isa.TAILL:
+            code_id, arg_regs = ins[1], tuple(ins[2])
+            callee = m.codes[code_id]
+            callee_table = self._table(callee)
+            if not callee.has_rest and callee.nparams == len(arg_regs):
+                pad = callee.nregs - len(arg_regs)
+
+                def h_taill(
+                    regs, arg_regs=arg_regs, pad=pad,
+                    callee_table=callee_table,
+                ):
+                    new_regs = [regs[r] for r in arg_regs]
+                    if pad:
+                        new_regs.extend([0] * pad)
+                    state[0] = callee_table
+                    state[1] = new_regs
+                    state[2] = 0
+                    return None
+
+                return h_taill
+
+            def h_taill_rest(
+                regs, arg_regs=arg_regs, callee=callee, nxt=nxt, m=m,
+                callee_table=callee_table,
+            ):
+                args = [regs[r] for r in arg_regs]
+                m._scratch_roots = [0] + args
+                m.frames.append([callee, regs, nxt, -1])
+                new_regs = m._make_regs(callee, args, 0)
+                m.frames.pop()
+                m._scratch_roots = []
+                state[0] = callee_table
+                state[1] = new_regs
+                state[2] = 0
+                return None
+
+            return h_taill_rest
+        if op == isa.RET:
+            s = ins[1]
+
+            def h_ret(regs, s=s, m=m):
+                value = regs[s]
+                if not m.frames:
+                    self._halted = True
+                    self._value = value
+                    return None
+                # call-family frames always carry the caller's table
+                frame = m.frames.pop()
+                frame[1][frame[3]] = value
+                state[0] = frame[4]
+                state[1] = frame[1]
+                state[2] = frame[2]
+                return None
+
+            return h_ret
+        if op == isa.CALLEC:
+            dest, freg = ins[1], ins[2]
+
+            def h_callec(
+                regs, dest=dest, freg=freg, nxt=nxt, m=m, code=code,
+                table=table, heap=heap,
+            ):
+                closure = regs[freg]
+                code_id = m._closure_code_id(closure)
+                if code_id == _ESCAPE_CODE:
+                    raise SchemeError(FAIL_MESSAGES[12], closure)
+                callee = m.codes[code_id]
+                m.frames.append([code, regs, nxt, dest, table])
+                if len(m.frames) > _STACK_LIMIT:
+                    raise VMError(_STACK_OVERFLOW)
+                depth = len(m.frames)
+                m._scratch_roots = [closure]
+                escape = m._alloc(2, _CLOSURE_TAG)
+                base = escape & ~7
+                heap.store(base + 8, _ESCAPE_CODE)
+                heap.store(base + 16, depth << 3)  # fixnum-tagged: GC-inert
+                new_regs = m._make_regs(callee, [escape], closure)
+                m._scratch_roots = []
+                state[0] = self._table(callee)
+                state[1] = new_regs
+                state[2] = 0
+                return None
+
+            return h_callec
+        if op in (isa.APPLY, isa.TAILAPPLY):
+            tail = op == isa.TAILAPPLY
+            if tail:
+                dest, freg, lreg = -1, ins[1], ins[2]
+            else:
+                dest, freg, lreg = ins[1], ins[2], ins[3]
+
+            def h_apply(
+                regs, tail=tail, dest=dest, freg=freg, lreg=lreg,
+                nxt=nxt, m=m, code=code, table=table,
+            ):
+                closure = regs[freg]
+                code_id = m._closure_code_id(closure)
+                args = m._unpack_list(regs[lreg])
+                if code_id == _ESCAPE_CODE:
+                    self._transfer(m._unwind(closure, args))
+                    return None
+                callee = m.codes[code_id]
+                if not tail:
+                    m.frames.append([code, regs, nxt, dest, table])
+                    if len(m.frames) > _STACK_LIMIT:
+                        raise VMError(_STACK_OVERFLOW)
+                m._scratch_roots = [closure] + args
+                m.frames.append([callee, regs, nxt, -1])
+                new_regs = m._make_regs(callee, args, closure)
+                m.frames.pop()
+                m._scratch_roots = []
+                state[0] = self._table(callee)
+                state[1] = new_regs
+                state[2] = 0
+                return None
+
+            return h_apply
+
+        # -- I/O, registry, termination ----------------------------------
+        if op == isa.PUTC:
+            s = ins[1]
+
+            def h_putc(regs, s=s, nxt=nxt, m=m):
+                m.output.append(chr(regs[s] & 0x10FFFF))
+                return nxt
+
+            return h_putc
+        if op == isa.GETC:
+            d = ins[1]
+
+            def h_getc(regs, d=d, nxt=nxt, m=m):
+                if m.input_pos < len(m.input_codes):
+                    regs[d] = m.input_codes[m.input_pos]
+                    m.input_pos += 1
+                else:
+                    regs[d] = WORD_MASK
+                return nxt
+
+            return h_getc
+        if op == isa.PEEKC:
+            d = ins[1]
+
+            def h_peekc(regs, d=d, nxt=nxt, m=m):
+                if m.input_pos < len(m.input_codes):
+                    regs[d] = m.input_codes[m.input_pos]
+                else:
+                    regs[d] = WORD_MASK
+                return nxt
+
+            return h_peekc
+        if op == isa.REGPTR:
+            s = ins[1]
+
+            def h_regptr(regs, s=s, nxt=nxt, heap=heap):
+                heap.register_pointer_tag(regs[s])
+                return nxt
+
+            return h_regptr
+        if op == isa.REGPAIR:
+            a, b, c = ins[1], ins[2], ins[3]
+
+            def h_regpair(regs, a=a, b=b, c=c, nxt=nxt, m=m):
+                m.registry.register_pair(regs[a], signed(regs[b]), signed(regs[c]))
+                return nxt
+
+            return h_regpair
+        if op == isa.REGNIL:
+            s = ins[1]
+
+            def h_regnil(regs, s=s, nxt=nxt, m=m):
+                m.registry.register_nil(regs[s])
+                return nxt
+
+            return h_regnil
+        if op == isa.REGFALSE:
+            s = ins[1]
+
+            def h_regfalse(regs, s=s, nxt=nxt, m=m):
+                m.registry.register_false(regs[s])
+                return nxt
+
+            return h_regfalse
+        if op == isa.FAIL:
+            s = ins[1]
+
+            def h_fail(regs, s=s):
+                fail_code = regs[s]
+                message = FAIL_MESSAGES.get(
+                    fail_code, f"runtime failure {fail_code}"
+                )
+                raise SchemeError(message)
+
+            return h_fail
+        if op == isa.HALT:
+            s = ins[1]
+
+            def h_halt(regs, s=s):
+                self._halted = True
+                self._value = regs[s]
+                return None
+
+            return h_halt
+
+        def h_unknown(regs, op=op):
+            raise VMError(f"unknown opcode {op}")
+
+        return h_unknown
+
+
+# ----------------------------------------------------------------------
+# engine registry
+# ----------------------------------------------------------------------
+
+ENGINES: dict[str, type[Engine]] = {
+    NaiveEngine.name: NaiveEngine,
+    ThreadedEngine.name: ThreadedEngine,
+}
+
+DEFAULT_ENGINE = NaiveEngine.name
+
+
+def default_engine_name() -> str:
+    """The engine used when none is requested (REPRO_VM_ENGINE or naive)."""
+    name = os.environ.get("REPRO_VM_ENGINE", "").strip()
+    if name and name not in ENGINES:
+        print(
+            f"warning: ignoring REPRO_VM_ENGINE={name!r} "
+            f"(available: {', '.join(sorted(ENGINES))})",
+            file=sys.stderr,
+        )
+        return DEFAULT_ENGINE
+    return name if name in ENGINES else DEFAULT_ENGINE
+
+
+def create_engine(name: str | None, machine) -> Engine:
+    """Instantiate the engine ``name`` (or the default) for ``machine``.
+
+    Hot-pair profiling hooks live in the naive loop only, so
+    ``Machine(profile=True)`` always executes on the naive engine.
+    """
+    if machine.profile:
+        return NaiveEngine(machine)
+    if name is None:
+        name = default_engine_name()
+    engine_class = ENGINES.get(name)
+    if engine_class is None:
+        raise ValueError(
+            f"unknown VM engine {name!r}; available: {', '.join(sorted(ENGINES))}"
+        )
+    return engine_class(machine)

@@ -124,8 +124,136 @@ PEEKC = _op("PEEKC")      # d              like GETC without consuming
 FAIL = _op("FAIL")        # s              raw error code
 HALT = _op("HALT")        # s
 
+# ---------------------------------------------------------------------------
+# superinstructions
+# ---------------------------------------------------------------------------
+#
+# A fused opcode is the exact concatenation of two base instructions: its
+# operand list is the first instruction's operands followed by the second's,
+# and executing it is defined as executing the two halves in order.  Fusion
+# is purely a dispatch optimisation — instruction *counting* always
+# decomposes a fused opcode back into its constituents (see
+# :func:`decompose`), so static and dynamic counts are identical whether a
+# program runs fused or not.  The pairs below are the dominant adjacent
+# pairs measured on the Table-2 workloads (``repro profile`` re-derives the
+# ranking from any workload).
+
+NUM_BASE_OPCODES = len(_NAMES)
+FIRST_FUSED = NUM_BASE_OPCODES
+
+#: operand count per fixed-width opcode (variable-width ops — CLOSURE and
+#: the call family — are absent; they are never fused).
+OPERAND_COUNT = {
+    LDC: 2, MOV: 2,
+    ADD: 3, SUB: 3, MUL: 3, DIV: 3, MOD: 3,
+    AND: 3, OR: 3, XOR: 3, NOT: 2, SHL: 3, SHR: 3, SAR: 3,
+    ADDI: 3, SUBI: 3, MULI: 3, ANDI: 3, ORI: 3, XORI: 3,
+    SHLI: 3, SHRI: 3, SARI: 3,
+    CMPEQ: 3, CMPNE: 3, CMPLT: 3, CMPLE: 3, CMPULT: 3, CMPULE: 3,
+    CMPNZ: 2, CMPEQI: 3, CMPNEI: 3, CMPLTI: 3, CMPLEI: 3,
+    JMP: 1, JT: 2, JF: 2,
+    JEQ: 3, JNE: 3, JLT: 3, JGE: 3, JLE: 3, JGT: 3,
+    JULT: 3, JUGE: 3, JULE: 3, JUGT: 3,
+    JEQI: 3, JNEI: 3, JLTI: 3, JGEI: 3, JLEI: 3, JGTI: 3,
+    LD: 3, ST: 3, ALLOC: 3, ALLOCI: 3,
+    GLD: 2, GST: 2,
+    RET: 1, REGPTR: 1, REGNIL: 1, REGFALSE: 1, REGPAIR: 3,
+    PUTC: 1, GETC: 1, PEEKC: 1, FAIL: 1, HALT: 1,
+}
+
+_CONDITIONAL_BRANCHES = {
+    JT, JF, JEQ, JNE, JLT, JGE, JLE, JGT, JULT, JUGE, JULE, JUGT,
+    JEQI, JNEI, JLTI, JGEI, JLEI, JGTI,
+}
+
+#: opcodes legal as the *first* half of a fused pair: fixed-width,
+#: guaranteed fall-through, no allocation/GC interaction.
+FUSABLE_FIRST = frozenset(
+    op
+    for op in OPERAND_COUNT
+    if op not in _CONDITIONAL_BRANCHES
+    and op not in {
+        JMP, ALLOC, ALLOCI, GLD, GST, RET, REGPTR, REGNIL, REGFALSE,
+        REGPAIR, PUTC, GETC, PEEKC, FAIL, HALT,
+    }
+)
+#: opcodes legal as the *second* half: the above plus conditional
+#: branches (the pair then branches as its final action).
+FUSABLE_SECOND = FUSABLE_FIRST | _CONDITIONAL_BRANCHES
+
+#: fused opcode -> (first constituent, second constituent)
+FUSED_PAIRS: dict[int, tuple[int, int]] = {}
+#: (first, second) -> fused opcode, for the peephole fusion pass
+FUSION_TABLE: dict[tuple[int, int], int] = {}
+
+
+def _fused(op1: int, op2: int) -> int:
+    assert op1 in FUSABLE_FIRST and op2 in FUSABLE_SECOND
+    fop = _op(f"{_NAMES[op1]}.{_NAMES[op2]}")
+    FUSED_PAIRS[fop] = (op1, op2)
+    FUSION_TABLE[(op1, op2)] = fop
+    return fop
+
+
+# Tag tests (safe-mode checks): mask then compare or branch on the tag.
+ANDI_JNEI = _fused(ANDI, JNEI)
+ANDI_JEQI = _fused(ANDI, JEQI)
+ANDI_JF = _fused(ANDI, JF)
+ANDI_CMPEQI = _fused(ANDI, CMPEQI)
+ANDI_ADDI = _fused(ANDI, ADDI)
+# Fixnum untag/retag arithmetic.
+SARI_ADD = _fused(SARI, ADD)
+ADDI_ADD = _fused(ADDI, ADD)
+OR_ANDI = _fused(OR, ANDI)
+LD_OR = _fused(LD, OR)
+SHLI_ORI = _fused(SHLI, ORI)
+# Field fetch then fetch/mask/compare/branch (list traversal, dispatch,
+# string/vector bounds checks).
+LD_LD = _fused(LD, LD)
+LD_ANDI = _fused(LD, ANDI)
+LD_CMPEQI = _fused(LD, CMPEQI)
+LD_JEQI = _fused(LD, JEQI)
+LD_JNEI = _fused(LD, JNEI)
+LD_JUGE = _fused(LD, JUGE)
+# Store/initialise sequences (object construction, field updates).
+LDC_ST = _fused(LDC, ST)
+ST_LDC = _fused(ST, LDC)
+ST_ST = _fused(ST, ST)
+ST_ADDI = _fused(ST, ADDI)
+ADD_ST = _fused(ADD, ST)
+ADD_LD = _fused(ADD, LD)
+
 OPCODE_NAMES = tuple(_NAMES)
 NUM_OPCODES = len(_NAMES)
+
+
+def is_fused(op: int) -> bool:
+    return op >= FIRST_FUSED
+
+
+def opcode_name(op: int) -> str:
+    """Canonical name for an opcode number (reporters must use these)."""
+    return OPCODE_NAMES[op]
+
+
+def instruction_width(ins: list) -> int:
+    """How many base instructions this instruction stands for."""
+    return 2 if ins[0] >= FIRST_FUSED else 1
+
+
+def decompose(ins: list) -> list[list]:
+    """Split an instruction into base instructions (identity if unfused).
+
+    The decomposition is exact: executing the returned sequence is
+    equivalent to executing ``ins``, and counting charges each
+    constituent under its own base opcode.
+    """
+    op = ins[0]
+    if op < FIRST_FUSED:
+        return [ins]
+    op1, op2 = FUSED_PAIRS[op]
+    w1 = OPERAND_COUNT[op1]
+    return [[op1, *ins[1 : 1 + w1]], [op2, *ins[1 + w1 :]]]
 
 
 class CodeObject:
@@ -160,12 +288,20 @@ class VMProgram:
         self.main_id = 0
 
     def static_instruction_count(self, name: str | None = None) -> int:
-        """Total emitted instructions (optionally for one code object)."""
+        """Total emitted instructions (optionally for one code object).
+
+        Fused superinstructions count as their constituent width, so the
+        number is invariant under superinstruction fusion and stays
+        comparable across configurations.
+        """
         if name is None:
-            return sum(len(code.instructions) for code in self.code_objects)
+            return sum(
+                sum(instruction_width(ins) for ins in code.instructions)
+                for code in self.code_objects
+            )
         for code in self.code_objects:
             if code.name == name:
-                return len(code.instructions)
+                return sum(instruction_width(ins) for ins in code.instructions)
         raise KeyError(name)
 
     def code_named(self, name: str) -> CodeObject:

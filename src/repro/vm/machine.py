@@ -1,12 +1,17 @@
 """The virtual machine: executes :class:`~repro.vm.isa.VMProgram`.
 
-A straightforward register-machine interpreter with deterministic
-instruction-count statistics — the reproduction's stand-in for the
-paper's machine-code measurements.
+A register machine with deterministic instruction-count statistics —
+the reproduction's stand-in for the paper's machine-code measurements.
+The *execution engine* (how instructions are dispatched) is pluggable:
+see :mod:`repro.vm.engine` for the naive switch interpreter and the
+threaded-dispatch engine.  All engines produce identical results,
+identical (decomposed) instruction counts, and identical errors; they
+differ only in wall-clock speed.
 """
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 
 from ..errors import SchemeError, VMError
@@ -42,7 +47,16 @@ _ESCAPE_CODE = (1 << 32) - 1
 
 @dataclass
 class RunResult:
-    """Outcome of one VM run."""
+    """Outcome of one VM run.
+
+    ``opcode_counts`` is keyed by *base* opcode names (strings from
+    :data:`~repro.vm.isa.OPCODE_NAMES`), never raw opcode numbers, and
+    fused superinstructions are charged to their constituents — so the
+    counts are identical whether the program ran fused or unfused, on
+    any engine.  ``steps`` counts base instructions (a fused pair is two
+    steps); ``dispatches`` counts actual dispatch events (a fused pair
+    is one dispatch).
+    """
 
     value: int
     output: str
@@ -52,8 +66,13 @@ class RunResult:
     words_allocated: int
     #: synthetic conses performed by the substrate for rest-args/apply
     rest_conses: int = 0
+    #: dispatch events (== steps when no superinstructions executed)
+    dispatches: int = 0
+    #: which engine produced this result
+    engine: str = "naive"
 
     def count(self, opcode_name: str) -> int:
+        """Decomposed dynamic count for one *base* opcode name."""
         return self.opcode_counts.get(opcode_name, 0)
 
 
@@ -65,6 +84,8 @@ class Machine:
         max_steps: int | None = None,
         count_instructions: bool = True,
         input_text: str = "",
+        engine: str | None = None,
+        profile: bool = False,
     ):
         self.program = program
         self.codes = program.code_objects
@@ -78,13 +99,21 @@ class Machine:
         self.input_pos = 0
         self.max_steps = max_steps
         self.count_instructions = count_instructions
-        self.counts = [0] * isa.NUM_OPCODES
+        self.counts = [0] * isa.NUM_BASE_OPCODES
         self.steps = 0
+        self.dispatches = 0
         self.rest_conses = 0
         # frame stack: entries are [code, regs, pc, dest_reg]
         self.frames: list[list] = []
         # transient roots protected across allocations inside the VM
         self._scratch_roots: list[int] = []
+        # hot-pair mining (naive engine only): (op1, op2) -> fall-through
+        # adjacency count; fed by the profiler.
+        self.profile = profile
+        self.pair_counts: dict[tuple[int, int], int] = {}
+        from .engine import create_engine
+
+        self._engine = create_engine(engine, self)
 
     # ------------------------------------------------------------------
     # GC plumbing
@@ -191,325 +220,49 @@ class Machine:
                 "escape continuation invoked after its extent ended"
             )
         del self.frames[depth:]
-        code, regs, pc, dest = self.frames.pop()
-        regs[dest] = args[0]
-        return code, regs, pc
+        frame = self.frames.pop()
+        frame[1][frame[3]] = args[0]
+        return frame
 
     # ------------------------------------------------------------------
-    # the interpreter loop
+    # execution
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        main = self.codes[self.program.main_id]
-        code = main
-        regs = [0] * main.nregs
-        pc = 0
-        instructions = code.instructions
-        counts = self.counts
-        counting = self.count_instructions
-        heap = self.heap
-        result_value = 0
+        """Execute to completion on the configured engine.
 
-        while True:
-            ins = instructions[pc]
-            pc += 1
-            op = ins[0]
-            if counting:
-                counts[op] += 1
-                self.steps += 1
-                if self.max_steps is not None and self.steps > self.max_steps:
-                    raise VMError(f"execution exceeded {self.max_steps} steps")
+        Cyclic GC is suspended for the duration: the VM's own
+        allocations are reference-counted and acyclic at steady state
+        (frames, argument lists, handler closures), but creating them
+        triggers collections that re-scan the multi-megaword heap list
+        and every handler table for cycles that cannot exist.  Suspend
+        and restore rather than tune thresholds so embedders see no
+        lasting change.
+        """
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return self._engine.run()
+        finally:
+            if was_enabled:
+                gc.enable()
 
-            if op == isa.LD:
-                address = wrap(regs[ins[2]] + ins[3])
-                regs[ins[1]] = heap.load(address)
-            elif op == isa.ST:
-                address = wrap(regs[ins[1]] + ins[2])
-                heap.store(address, regs[ins[3]])
-            elif op == isa.LDC:
-                regs[ins[1]] = ins[2]
-            elif op == isa.MOV:
-                regs[ins[1]] = regs[ins[2]]
-            elif op == isa.ADD:
-                regs[ins[1]] = (regs[ins[2]] + regs[ins[3]]) & WORD_MASK
-            elif op == isa.ADDI:
-                regs[ins[1]] = (regs[ins[2]] + ins[3]) & WORD_MASK
-            elif op == isa.SUB:
-                regs[ins[1]] = (regs[ins[2]] - regs[ins[3]]) & WORD_MASK
-            elif op == isa.SUBI:
-                regs[ins[1]] = (regs[ins[2]] - ins[3]) & WORD_MASK
-            elif op == isa.MUL:
-                regs[ins[1]] = (signed(regs[ins[2]]) * signed(regs[ins[3]])) & WORD_MASK
-            elif op == isa.MULI:
-                regs[ins[1]] = (signed(regs[ins[2]]) * signed(ins[3])) & WORD_MASK
-            elif op == isa.DIV:
-                regs[ins[1]] = self._div(regs[ins[2]], regs[ins[3]])
-            elif op == isa.MOD:
-                regs[ins[1]] = self._mod(regs[ins[2]], regs[ins[3]])
-            elif op == isa.AND:
-                regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
-            elif op == isa.ANDI:
-                regs[ins[1]] = regs[ins[2]] & ins[3]
-            elif op == isa.OR:
-                regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
-            elif op == isa.ORI:
-                regs[ins[1]] = regs[ins[2]] | ins[3]
-            elif op == isa.XOR:
-                regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
-            elif op == isa.XORI:
-                regs[ins[1]] = regs[ins[2]] ^ ins[3]
-            elif op == isa.NOT:
-                regs[ins[1]] = (~regs[ins[2]]) & WORD_MASK
-            elif op == isa.SHL:
-                regs[ins[1]] = (regs[ins[2]] << (regs[ins[3]] & 63)) & WORD_MASK
-            elif op == isa.SHLI:
-                regs[ins[1]] = (regs[ins[2]] << (ins[3] & 63)) & WORD_MASK
-            elif op == isa.SHR:
-                regs[ins[1]] = regs[ins[2]] >> (regs[ins[3]] & 63)
-            elif op == isa.SHRI:
-                regs[ins[1]] = regs[ins[2]] >> (ins[3] & 63)
-            elif op == isa.SAR:
-                regs[ins[1]] = (signed(regs[ins[2]]) >> (regs[ins[3]] & 63)) & WORD_MASK
-            elif op == isa.SARI:
-                regs[ins[1]] = (signed(regs[ins[2]]) >> (ins[3] & 63)) & WORD_MASK
-            elif op == isa.CMPEQ:
-                regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
-            elif op == isa.CMPEQI:
-                regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
-            elif op == isa.CMPNE:
-                regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
-            elif op == isa.CMPNEI:
-                regs[ins[1]] = 1 if regs[ins[2]] != ins[3] else 0
-            elif op == isa.CMPLT:
-                regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(regs[ins[3]]) else 0
-            elif op == isa.CMPLTI:
-                regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(ins[3]) else 0
-            elif op == isa.CMPLE:
-                regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(regs[ins[3]]) else 0
-            elif op == isa.CMPLEI:
-                regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(ins[3]) else 0
-            elif op == isa.CMPULT:
-                regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
-            elif op == isa.CMPULE:
-                regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
-            elif op == isa.CMPNZ:
-                regs[ins[1]] = 1 if regs[ins[2]] != 0 else 0
-            elif op == isa.JMP:
-                pc = ins[1]
-            elif op == isa.JT:
-                if regs[ins[1]] != 0:
-                    pc = ins[2]
-            elif op == isa.JF:
-                if regs[ins[1]] == 0:
-                    pc = ins[2]
-            elif op == isa.JEQ:
-                if regs[ins[1]] == regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JNE:
-                if regs[ins[1]] != regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JEQI:
-                if regs[ins[1]] == ins[2]:
-                    pc = ins[3]
-            elif op == isa.JNEI:
-                if regs[ins[1]] != ins[2]:
-                    pc = ins[3]
-            elif op == isa.JLTI:
-                if signed(regs[ins[1]]) < signed(ins[2]):
-                    pc = ins[3]
-            elif op == isa.JGEI:
-                if signed(regs[ins[1]]) >= signed(ins[2]):
-                    pc = ins[3]
-            elif op == isa.JLEI:
-                if signed(regs[ins[1]]) <= signed(ins[2]):
-                    pc = ins[3]
-            elif op == isa.JGTI:
-                if signed(regs[ins[1]]) > signed(ins[2]):
-                    pc = ins[3]
-            elif op == isa.JLT:
-                if signed(regs[ins[1]]) < signed(regs[ins[2]]):
-                    pc = ins[3]
-            elif op == isa.JGE:
-                if signed(regs[ins[1]]) >= signed(regs[ins[2]]):
-                    pc = ins[3]
-            elif op == isa.JLE:
-                if signed(regs[ins[1]]) <= signed(regs[ins[2]]):
-                    pc = ins[3]
-            elif op == isa.JGT:
-                if signed(regs[ins[1]]) > signed(regs[ins[2]]):
-                    pc = ins[3]
-            elif op == isa.JULT:
-                if regs[ins[1]] < regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JUGE:
-                if regs[ins[1]] >= regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JULE:
-                if regs[ins[1]] <= regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JUGT:
-                if regs[ins[1]] > regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.ALLOC:
-                self.frames.append([code, regs, pc, -1])
-                regs[ins[1]] = self._alloc(regs[ins[2]], regs[ins[3]] & 7)
-                self.frames.pop()
-            elif op == isa.ALLOCI:
-                self.frames.append([code, regs, pc, -1])
-                regs[ins[1]] = self._alloc(ins[2], ins[3])
-                self.frames.pop()
-            elif op == isa.GLD:
-                index = ins[2]
-                if not self.global_defined[index]:
-                    raise VMError(
-                        f"undefined global variable "
-                        f"{self.program.global_names[index]!r}"
-                    )
-                regs[ins[1]] = self.globals[index]
-            elif op == isa.GST:
-                index = ins[2]
-                self.globals[index] = regs[ins[1]]
-                self.global_defined[index] = 1
-            elif op == isa.CLOSURE:
-                free_regs = ins[3]
-                self.frames.append([code, regs, pc, -1])
-                pointer = self._alloc(1 + len(free_regs), _CLOSURE_TAG)
-                self.frames.pop()
-                base = pointer & ~7
-                heap.store(base + 8, ins[2])
-                for i, reg in enumerate(free_regs):
-                    heap.store(base + 16 + 8 * i, regs[reg])
-                regs[ins[1]] = pointer
-            elif op == isa.CALL or op == isa.CALLL:
-                if op == isa.CALL:
-                    closure = regs[ins[2]]
-                    code_id = self._closure_code_id(closure)
-                    if code_id == _ESCAPE_CODE:
-                        args = [regs[r] for r in ins[3]]
-                        code, regs, pc = self._unwind(closure, args)
-                        instructions = code.instructions
-                        continue
-                else:
-                    closure = 0
-                    code_id = ins[2]
-                args = [regs[r] for r in ins[3]]
-                callee = self.codes[code_id]
-                self.frames.append([code, regs, pc, ins[1]])
-                if len(self.frames) > 8000:
-                    raise VMError("call stack overflow (deep non-tail recursion)")
-                code = callee
-                self._scratch_roots = [closure]
-                regs = self._make_regs(callee, args, closure)
-                self._scratch_roots = []
-                instructions = code.instructions
-                pc = 0
-            elif op == isa.TAILCALL or op == isa.TAILL:
-                if op == isa.TAILCALL:
-                    closure = regs[ins[1]]
-                    code_id = self._closure_code_id(closure)
-                    if code_id == _ESCAPE_CODE:
-                        args = [regs[r] for r in ins[2]]
-                        code, regs, pc = self._unwind(closure, args)
-                        instructions = code.instructions
-                        continue
-                else:
-                    closure = 0
-                    code_id = ins[1]
-                args = [regs[r] for r in ins[2]]
-                callee = self.codes[code_id]
-                code = callee
-                self._scratch_roots = [closure] + args
-                self.frames.append([code, regs, pc, -1])
-                new_regs = self._make_regs(callee, args, closure)
-                self.frames.pop()
-                self._scratch_roots = []
-                regs = new_regs
-                instructions = code.instructions
-                pc = 0
-            elif op == isa.RET:
-                value = regs[ins[1]]
-                if not self.frames:
-                    return self._result(value)
-                code, regs, pc, dest = self.frames.pop()
-                instructions = code.instructions
-                regs[dest] = value
-            elif op == isa.CALLEC:
-                closure = regs[ins[2]]
-                code_id = self._closure_code_id(closure)
-                if code_id == _ESCAPE_CODE:
-                    raise SchemeError(FAIL_MESSAGES[12], closure)
-                callee = self.codes[code_id]
-                self.frames.append([code, regs, pc, ins[1]])
-                if len(self.frames) > 8000:
-                    raise VMError("call stack overflow (deep non-tail recursion)")
-                depth = len(self.frames)
-                self._scratch_roots = [closure]
-                escape = self._alloc(2, _CLOSURE_TAG)
-                base = escape & ~7
-                heap.store(base + 8, _ESCAPE_CODE)
-                heap.store(base + 16, depth << 3)  # fixnum-tagged: GC-inert
-                code = callee
-                new_regs = self._make_regs(callee, [escape], closure)
-                self._scratch_roots = []
-                regs = new_regs
-                instructions = code.instructions
-                pc = 0
-            elif op == isa.APPLY or op == isa.TAILAPPLY:
-                tail = op == isa.TAILAPPLY
-                freg = ins[2] if not tail else ins[1]
-                lreg = ins[3] if not tail else ins[2]
-                closure = regs[freg]
-                code_id = self._closure_code_id(closure)
-                args = self._unpack_list(regs[lreg])
-                if code_id == _ESCAPE_CODE:
-                    code, regs, pc = self._unwind(closure, args)
-                    instructions = code.instructions
-                    continue
-                callee = self.codes[code_id]
-                if not tail:
-                    self.frames.append([code, regs, pc, ins[1]])
-                    if len(self.frames) > 8000:
-                        raise VMError("call stack overflow (deep non-tail recursion)")
-                code = callee
-                self._scratch_roots = [closure] + args
-                self.frames.append([code, regs, pc, -1])
-                new_regs = self._make_regs(callee, args, closure)
-                self.frames.pop()
-                self._scratch_roots = []
-                regs = new_regs
-                instructions = code.instructions
-                pc = 0
-            elif op == isa.PUTC:
-                self.output.append(chr(regs[ins[1]] & 0x10FFFF))
-            elif op == isa.GETC:
-                if self.input_pos < len(self.input_codes):
-                    regs[ins[1]] = self.input_codes[self.input_pos]
-                    self.input_pos += 1
-                else:
-                    regs[ins[1]] = WORD_MASK
-            elif op == isa.PEEKC:
-                if self.input_pos < len(self.input_codes):
-                    regs[ins[1]] = self.input_codes[self.input_pos]
-                else:
-                    regs[ins[1]] = WORD_MASK
-            elif op == isa.REGPTR:
-                heap.register_pointer_tag(regs[ins[1]])
-            elif op == isa.REGPAIR:
-                self.registry.register_pair(
-                    regs[ins[1]], signed(regs[ins[2]]), signed(regs[ins[3]])
-                )
-            elif op == isa.REGNIL:
-                self.registry.register_nil(regs[ins[1]])
-            elif op == isa.REGFALSE:
-                self.registry.register_false(regs[ins[1]])
-            elif op == isa.FAIL:
-                fail_code = regs[ins[1]]
-                message = FAIL_MESSAGES.get(fail_code, f"runtime failure {fail_code}")
-                raise SchemeError(message)
-            elif op == isa.HALT:
-                return self._result(regs[ins[1]])
-            else:
-                raise VMError(f"unknown opcode {op}")
+    @property
+    def engine_name(self) -> str:
+        return self._engine.name
+
+    def _count_step(self, op: int) -> None:
+        """Count one base instruction and enforce the step budget.
+
+        Fused superinstructions call this once per *constituent*, in
+        order, so counting — including the step index at which a
+        ``max_steps`` budget trips — is identical to an unfused run.
+        """
+        self.counts[op] += 1
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise VMError(f"execution exceeded {self.max_steps} steps")
 
     # ------------------------------------------------------------------
 
@@ -544,4 +297,6 @@ class Machine:
             gc_count=self.heap.gc_count,
             words_allocated=self.heap.words_allocated,
             rest_conses=self.rest_conses,
+            dispatches=self.dispatches,
+            engine=self._engine.name,
         )

@@ -1,0 +1,179 @@
+"""VM execution profiler: opcode histograms and hot-pair mining.
+
+The profiler answers two questions about a real run:
+
+* *Where do the dispatches go?* — a per-opcode histogram of the
+  decomposed dynamic instruction counts (the same numbers the paper's
+  tables use).
+* *Which adjacent pairs dominate?* — fall-through adjacency counts
+  ``(op1, op2)`` mined by the naive engine when ``Machine(profile=True)``
+  is set.  Ranking the pairs that are *legal to fuse* (see
+  ``isa.FUSABLE_FIRST``/``FUSABLE_SECOND``) is exactly the evidence the
+  superinstruction table in :mod:`repro.vm.isa` was chosen from, and
+  ``repro profile`` re-derives it from any workload.
+
+Pair mining hooks live in the naive interpreter loop only, so
+profiled runs always execute on the naive engine; profile programs
+compiled with ``fuse=False`` so pairs are reported over *base* opcodes
+(mining fused code instead reports pairs of superinstructions, which is
+occasionally useful for finding three-long chains).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from . import isa
+from .machine import Machine, RunResult
+
+
+@dataclass
+class PairStat:
+    """One fall-through adjacency, ranked by dynamic frequency."""
+
+    first: str
+    second: str
+    count: int
+    #: legal for superinstruction fusion (both halves fixed-width, the
+    #: first a guaranteed fall-through)?
+    fusable: bool
+    #: already in the ISA's fusion table?
+    fused: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.first}.{self.second}"
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled run reveals."""
+
+    engine: str
+    steps: int
+    dispatches: int
+    value: int
+    #: decomposed per-opcode dynamic counts, descending
+    histogram: list[tuple[str, int]] = field(default_factory=list)
+    #: fall-through pair counts, descending
+    pairs: list[PairStat] = field(default_factory=list)
+
+    def fusion_candidates(self, top: int = 10) -> list[PairStat]:
+        """The highest-frequency fusable pairs not yet in the ISA."""
+        out = [p for p in self.pairs if p.fusable and not p.fused]
+        return out[:top]
+
+    def covered_by_table(self) -> int:
+        """Dispatches the current fusion table would eliminate."""
+        return sum(p.count for p in self.pairs if p.fused)
+
+
+def profile_program(
+    program: isa.VMProgram,
+    heap_words: int = 1 << 20,
+    max_steps: int | None = None,
+    input_text: str = "",
+) -> ProfileReport:
+    """Run ``program`` with pair mining enabled and report."""
+    machine = Machine(
+        program,
+        heap_words=heap_words,
+        max_steps=max_steps,
+        input_text=input_text,
+        profile=True,
+    )
+    result = machine.run()
+    return build_report(machine, result)
+
+
+def build_report(machine: Machine, result: RunResult) -> ProfileReport:
+    histogram = sorted(
+        result.opcode_counts.items(), key=lambda item: (-item[1], item[0])
+    )
+    pairs = []
+    for (op1, op2), count in sorted(
+        machine.pair_counts.items(), key=lambda item: -item[1]
+    ):
+        pairs.append(
+            PairStat(
+                first=isa.opcode_name(op1),
+                second=isa.opcode_name(op2),
+                count=count,
+                fusable=op1 in isa.FUSABLE_FIRST and op2 in isa.FUSABLE_SECOND,
+                fused=(op1, op2) in isa.FUSION_TABLE,
+            )
+        )
+    return ProfileReport(
+        engine=result.engine,
+        steps=result.steps,
+        dispatches=result.dispatches,
+        value=result.value,
+        histogram=histogram,
+        pairs=pairs,
+    )
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+
+def render_text(report: ProfileReport, top: int = 20) -> str:
+    lines = []
+    lines.append(
+        f"{report.steps} instructions in {report.dispatches} dispatches "
+        f"({report.engine} engine)"
+    )
+    lines.append("")
+    lines.append("opcode histogram (decomposed counts):")
+    total = max(report.steps, 1)
+    for name, count in report.histogram[:top]:
+        share = 100.0 * count / total
+        lines.append(f"  {name:12s} {count:10d}  {share:5.1f}%")
+    shown = sum(count for _, count in report.histogram[:top])
+    rest = report.steps - shown
+    if rest > 0:
+        lines.append(f"  {'(other)':12s} {rest:10d}  {100.0 * rest / total:5.1f}%")
+    if report.pairs:
+        lines.append("")
+        lines.append("hot fall-through pairs:")
+        for pair in report.pairs[:top]:
+            marker = "fused" if pair.fused else ("fusable" if pair.fusable else "-")
+            lines.append(f"  {pair.name:24s} {pair.count:10d}  [{marker}]")
+        lines.append("")
+        covered = report.covered_by_table()
+        lines.append(
+            f"current fusion table covers {covered} pair occurrences "
+            f"(would save {covered} dispatches)"
+        )
+        candidates = report.fusion_candidates()
+        if candidates:
+            lines.append("top unfused candidates:")
+            for pair in candidates:
+                lines.append(f"  {pair.name:24s} {pair.count:10d}")
+    return "\n".join(lines)
+
+
+def render_json(report: ProfileReport, top: int | None = None) -> str:
+    payload = {
+        "engine": report.engine,
+        "steps": report.steps,
+        "dispatches": report.dispatches,
+        "histogram": dict(report.histogram[:top] if top else report.histogram),
+        "pairs": [
+            {
+                "first": p.first,
+                "second": p.second,
+                "count": p.count,
+                "fusable": p.fusable,
+                "fused": p.fused,
+            }
+            for p in (report.pairs[:top] if top else report.pairs)
+        ],
+        "covered_by_table": report.covered_by_table(),
+        "candidates": [
+            {"pair": p.name, "count": p.count} for p in report.fusion_candidates()
+        ],
+    }
+    return json.dumps(payload, indent=2)

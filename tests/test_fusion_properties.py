@@ -1,0 +1,263 @@
+"""Property-based tests for superinstruction fusion.
+
+Random legal instruction sequences are compiled twice — verbatim, and
+through :func:`repro.backend.peephole.fuse_superinstructions` — and
+executed on both engines.  Fusion must preserve machine state
+register-for-register (observed through an in-program register
+checksum), must preserve the decomposed dynamic instruction counts, and
+must never fuse across a branch label: a branch landing between two
+fusable instructions makes the pair illegal, because entering at the
+second half of a fused pair is impossible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.peephole import branch_target_index, fuse_superinstructions
+from repro.vm import isa
+from repro.vm.machine import Machine
+
+NREGS = 6
+WORD = (1 << 64) - 1
+
+_REG = st.integers(min_value=0, max_value=NREGS - 1)
+_IMM = st.one_of(
+    st.integers(min_value=0, max_value=255),
+    st.sampled_from([0, 1, 7, 8, 63, 64, 65, (1 << 63), WORD, WORD - 7]),
+)
+
+#: (opcode, operand pattern) — r = register, i = immediate.  Only ops
+#: whose semantics are register/immediate-pure, so any operand draw is a
+#: legal program (no heap addresses, no calls).
+_VALUE_OPS = [
+    (isa.LDC, "ri"),
+    (isa.MOV, "rr"),
+    (isa.ADD, "rrr"),
+    (isa.ADDI, "rri"),
+    (isa.SUB, "rrr"),
+    (isa.SUBI, "rri"),
+    (isa.MULI, "rri"),
+    (isa.AND, "rrr"),
+    (isa.ANDI, "rri"),
+    (isa.OR, "rrr"),
+    (isa.ORI, "rri"),
+    (isa.XOR, "rrr"),
+    (isa.XORI, "rri"),
+    (isa.NOT, "rr"),
+    (isa.SHL, "rrr"),
+    (isa.SHLI, "rri"),
+    (isa.SHR, "rrr"),
+    (isa.SHRI, "rri"),
+    (isa.SAR, "rrr"),
+    (isa.SARI, "rri"),
+    (isa.CMPEQ, "rrr"),
+    (isa.CMPEQI, "rri"),
+    (isa.CMPNE, "rrr"),
+    (isa.CMPLT, "rrr"),
+    (isa.CMPLTI, "rri"),
+    (isa.CMPULT, "rrr"),
+    (isa.CMPNZ, "rr"),
+]
+
+#: conditional branches: operands then a forward target (filled in later)
+_BRANCH_OPS = [
+    (isa.JT, "r"),
+    (isa.JF, "r"),
+    (isa.JEQ, "rr"),
+    (isa.JNE, "rr"),
+    (isa.JEQI, "ri"),
+    (isa.JNEI, "ri"),
+    (isa.JLT, "rr"),
+    (isa.JUGE, "rr"),
+]
+
+
+_PATTERN = {op: pattern for op, pattern in _VALUE_OPS}
+_PATTERN.update({op: pattern + "t" for op, pattern in _BRANCH_OPS})
+
+#: fusion-table pairs drawable from the register-only op pool, so the
+#: generator can emit guaranteed-fusable adjacencies instead of waiting
+#: for them to happen by chance
+_DRAWABLE_PAIRS = [
+    (op1, op2)
+    for (op1, op2) in isa.FUSION_TABLE
+    if op1 in _PATTERN and op2 in _PATTERN
+]
+
+
+@st.composite
+def instruction_bodies(draw):
+    """A body with only *forward* branches (terminates), seeded with
+    known-fusable adjacent pairs about a third of the time."""
+    length = draw(st.integers(min_value=2, max_value=40))
+    body = []
+    while len(body) < length:
+        index = len(body)
+        kind = draw(st.integers(0, 5))
+        if kind <= 1 and index + 1 < length:
+            ops = draw(st.sampled_from(_DRAWABLE_PAIRS))
+        elif kind == 2:
+            ops = (draw(st.sampled_from(_BRANCH_OPS))[0],)
+        else:
+            ops = (draw(st.sampled_from(_VALUE_OPS))[0],)
+        for op in ops:
+            operands = []
+            for slot in _PATTERN[op]:
+                if slot == "r":
+                    operands.append(draw(_REG))
+                elif slot == "i":
+                    operands.append(draw(_IMM))
+                else:  # forward branch target
+                    operands.append(
+                        draw(
+                            st.integers(
+                                min_value=len(body) + 1, max_value=length
+                            )
+                        )
+                    )
+            body.append([op, *operands])
+    return body
+
+
+def _make_code(instructions):
+    code = isa.CodeObject(name="main", nparams=0, has_rest=False, nfree=0)
+    code.nregs = NREGS
+    code.instructions = [list(ins) for ins in instructions]
+    return code
+
+
+def _checksum_suffix():
+    """r0 <- fold of every register through a degenerate polynomial hash,
+    so any single-register difference changes the halt value."""
+    out = []
+    for reg in range(1, NREGS):
+        out.append([isa.MULI, 0, 0, 1_000_003])
+        out.append([isa.ADD, 0, 0, reg])
+    out.append([isa.HALT, 0])
+    return out
+
+
+def _run(code, engine):
+    program = isa.VMProgram([code], [])
+    machine = Machine(program, engine=engine)
+    result = machine.run()
+    return result
+
+
+def _build_pair(body):
+    """(unfused code, fused code, pairs fused) for one generated body.
+
+    Branch targets in the body point at body indices; the checksum
+    suffix is appended *before* fusion so the fusion pass remaps every
+    target itself.
+    """
+    full = body + _checksum_suffix()
+    unfused = _make_code(full)
+    fused = _make_code(full)
+    pairs = fuse_superinstructions(fused)
+    return unfused, fused, pairs
+
+
+@settings(max_examples=120, deadline=None)
+@given(instruction_bodies())
+def test_fusion_preserves_state_and_counts(body):
+    unfused, fused, pairs = _build_pair(body)
+    results = {}
+    for label, code in (("unfused", unfused), ("fused", fused)):
+        for engine in ("naive", "threaded"):
+            results[(label, engine)] = _run(code, engine)
+    reference = results[("unfused", "naive")]
+    for key, result in results.items():
+        assert result.value == reference.value, key
+        assert result.steps == reference.steps, key
+        assert result.opcode_counts == reference.opcode_counts, key
+    if pairs:
+        # executed fused pairs each save exactly one dispatch
+        for engine in ("naive", "threaded"):
+            fused_result = results[("fused", engine)]
+            assert fused_result.dispatches <= fused_result.steps
+
+
+@settings(max_examples=120, deadline=None)
+@given(instruction_bodies())
+def test_fusion_never_spans_branch_targets(body):
+    unfused, fused, _pairs = _build_pair(body)
+    # Every branch target in the fused code must be a real instruction
+    # index: a pair whose second half was a branch target may not fuse,
+    # so no remapped target can land "inside" a fused instruction.
+    targets = set()
+    for ins in fused.instructions:
+        for half in isa.decompose(ins):
+            position = branch_target_index(half[0])
+            if position is not None:
+                targets.add(half[position])
+    for target in targets:
+        assert 0 <= target <= len(fused.instructions), (
+            "branch target fell outside the remapped code",
+            target,
+        )
+    # static decomposed length is invariant under fusion
+    assert (
+        sum(isa.instruction_width(ins) for ins in fused.instructions)
+        == len(unfused.instructions)
+    )
+
+
+def test_branch_into_pair_blocks_fusion():
+    # JEQI branches straight at the ADDI: the (ANDI, ADDI) pair at
+    # indices 2-3 would swallow a branch target and must not fuse, while
+    # the identical pair at indices 4-5 (no label) must fuse.
+    assert (isa.ANDI, isa.ADDI) in isa.FUSION_TABLE
+    body = [
+        [isa.LDC, 0, 9],
+        [isa.JEQI, 0, 9, 3],   # target: the ADDI below
+        [isa.ANDI, 1, 0, 7],   # index 2: would-be first half
+        [isa.ADDI, 1, 1, 1],   # index 3: branch target — blocks fusion
+        [isa.ANDI, 2, 0, 7],   # index 4: identical, no label
+        [isa.ADDI, 2, 2, 1],   # index 5
+    ]
+    unfused, fused, pairs = _build_pair(body)
+    assert pairs >= 1
+    fused_ops = [ins[0] for ins in fused.instructions]
+    fused_op = isa.FUSION_TABLE[(isa.ANDI, isa.ADDI)]
+    # the labelled pair survives unfused; the unlabelled one fuses
+    assert isa.ANDI in fused_ops and isa.ADDI in fused_ops
+    assert fused_op in fused_ops
+    for engine in ("naive", "threaded"):
+        assert _run(fused, engine).value == _run(unfused, engine).value
+
+
+def test_first_instruction_of_pair_may_be_branch_target():
+    # A branch landing on the *first* half of a fused pair is legal —
+    # execution enters the pair at its start.  The loop below jumps back
+    # to the ANDI/ADDI pair three times.
+    body = [
+        [isa.LDC, 0, 0],
+        [isa.LDC, 1, 0],
+        [isa.ANDI, 2, 0, 7],    # index 2: loop head, branch target
+        [isa.ADDI, 1, 1, 5],
+        [isa.ADDI, 0, 0, 1],
+        [isa.JNEI, 0, 3, 2],    # loop until r0 == 3
+    ]
+    unfused, fused, pairs = _build_pair(body)
+    assert pairs >= 1
+    for engine in ("naive", "threaded"):
+        u = _run(unfused, engine)
+        f = _run(fused, engine)
+        assert u.value == f.value
+        assert u.opcode_counts == f.opcode_counts
+        assert f.dispatches < f.steps  # the loop executed fused pairs
+
+
+def test_decompose_roundtrip_every_table_entry():
+    for (op1, op2), fop in isa.FUSION_TABLE.items():
+        n1 = isa.OPERAND_COUNT[op1]
+        n2 = isa.OPERAND_COUNT[op2]
+        ins = [fop, *range(1, n1 + n2 + 1)]
+        first, second = isa.decompose(ins)
+        assert first == [op1, *range(1, n1 + 1)]
+        assert second == [op2, *range(n1 + 1, n1 + n2 + 1)]
+        assert isa.instruction_width(ins) == 2
+        assert isa.opcode_name(fop) == (
+            f"{isa.opcode_name(op1)}.{isa.opcode_name(op2)}"
+        )
