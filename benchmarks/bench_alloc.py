@@ -1,0 +1,330 @@
+"""Allocation-throughput comparison — writes ``BENCH_gc.json``.
+
+Times allocation-dense workloads on the threaded engine under two
+allocators:
+
+    legacy      — the pre-overhaul heap (``legacy_heap.py``): linear
+                  first-fit over an address-ordered extent list,
+                  per-word zeroing, full free-list rebuild per GC.
+                  Having no ``bump`` attribute, it also disables the
+                  engines' inline allocation fast path — exactly the
+                  pre-overhaul end-to-end configuration.
+    overhauled  — the current heap: bump-region fast path inlined in
+                  the engine, size-class bins, lazy sweep, occupancy
+                  trigger (the shipped defaults).
+
+The harness mirrors ``bench_speed.py``: counting disabled, reps
+interleaved, per-configuration minimum kept.  Each workload carries its
+own (deliberately small) heap size so every run goes through many
+collections — this measures the allocator and collector, not just the
+mutator.  The workloads are chosen to be allocation-*dense*: loop and
+arithmetic overhead is identical under both allocators, so a workload
+that spends most of its time elsewhere would only dilute the very
+difference this benchmark exists to gate on (``bench_speed.py`` already
+tracks whole-program throughput on the mixed workloads).
+
+Run as a script::
+
+    python benchmarks/bench_alloc.py              # full reps
+    python benchmarks/bench_alloc.py --quick      # CI smoke (fewer reps)
+    python benchmarks/bench_alloc.py --check      # exit 1 on regression
+
+or through pytest (excluded from tier-1 by the ``slow`` marker)::
+
+    pytest benchmarks/bench_alloc.py -m slow --no-header
+
+``--check`` enforces the acceptance gates: the overhauled allocator
+must not be slower than legacy on any workload, and the geomean
+speedup must be at least 1.4x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # running as a script
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    sys.path.insert(0, os.path.dirname(__file__))
+    from legacy_heap import LegacyHeap
+else:
+    from .legacy_heap import LegacyHeap
+
+from repro import CompileOptions, compile_source, decode
+from repro.sexpr import Symbol
+from repro.vm.machine import Machine
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_gc.json")
+
+GEOMEAN_FLOOR = 1.4
+
+# Each workload: (name, source, expected decoded value, heap_words).
+
+VECTOR_ALLOC = (
+    "vector-alloc",
+    # Raw 64-word blocks through %alloc, no initialising writes: the
+    # purest allocation measurement available from Scheme.  Stresses
+    # block zeroing (legacy zeroes word-by-word in Python) and the
+    # large-extent path (64 payload words is above the bin ceiling).
+    """
+    (let loop ((i 0))
+      (if (= i 6000) 'ok
+          (begin (%alloc (%raw 64) (%raw 2))
+                 (%alloc (%raw 64) (%raw 2))
+                 (loop (+ i 1)))))
+    """,
+    Symbol("ok"),
+    1 << 15,
+)
+
+MIXED_ALLOC = (
+    "mixed-alloc",
+    # Interleaved small/medium/large raw blocks: exercises the exact-fit
+    # bins (4 and 12 words), the sorted large list (40 words), and the
+    # legacy first-fit scan's worst case (heterogeneous extent sizes).
+    """
+    (let loop ((i 0))
+      (if (= i 4000) 'ok
+          (begin (%alloc (%raw 4) (%raw 2))
+                 (%alloc (%raw 12) (%raw 2))
+                 (%alloc (%raw 40) (%raw 2))
+                 (loop (+ i 1)))))
+    """,
+    Symbol("ok"),
+    1 << 14,
+)
+
+CONS_CHURN = (
+    "cons-churn",
+    # Unrolled pair allocation: the cons fast path (ALLOCI nwords=2) with
+    # minimal loop overhead.  All garbage, so collections are cheap and
+    # frequent — dominated by allocator, sweep, and trigger costs.
+    """
+    (let loop ((i 0))
+      (if (= i 12000) 'ok
+          (begin (cons i i) (cons i i) (cons i i) (cons i i)
+                 (cons i i) (cons i i) (cons i i) (cons i i)
+                 (loop (+ i 1)))))
+    """,
+    Symbol("ok"),
+    1 << 14,
+)
+
+FRAG_CHURN = (
+    "frag-churn",
+    # Builds a live list interleaved with garbage conses, then churns:
+    # the live blocks pepper the heap, so free space is fragmented and
+    # the allocator must work around surviving data every cycle.
+    """
+    (define (build i keep)
+      (if (= i 1200) keep
+          (begin (cons i i) (build (+ i 1) (cons i keep)))))
+    (define (churn i)
+      (if (= i 20000) 'ok (begin (cons i i) (churn (+ i 1)))))
+    (define kept (build 0 '()))
+    (churn 0)
+    """,
+    Symbol("ok"),
+    1 << 14,
+)
+
+GC_PRESSURE = (
+    "gc-pressure",
+    # 600 live conses in a tiny heap: every collection traces real data
+    # and reclaims little, so GC frequency is high and pause cost (mark
+    # bitmap vs. mark set, lazy vs. eager sweep) dominates.
+    """
+    (define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
+    (define live (build 600))
+    (let loop ((i 0))
+      (if (= i 4000) (car live)
+          (begin (cons i i) (cons i i) (cons i i) (cons i i)
+                 (loop (+ i 1)))))
+    """,
+    600,
+    1 << 13,
+)
+
+ALLOC_WORKLOADS = [VECTOR_ALLOC, MIXED_ALLOC, CONS_CHURN, FRAG_CHURN, GC_PRESSURE]
+
+#: "legacy" is the baseline all ratios divide by.
+CONFIGS = ["legacy", "overhauled"]
+
+_CLOSURE_TAG = 7
+
+
+def _make_machine(program, key, heap_words):
+    machine = Machine(
+        program.vm_program,
+        heap_words=heap_words,
+        engine="threaded",
+        count_instructions=False,
+    )
+    if key == "legacy":
+        # Swap the allocator before the engine binds any heap structure
+        # (handler tables are built lazily, during run).  No ``bump``
+        # attribute -> the engine builds slow-path-only ALLOC handlers.
+        heap = LegacyHeap(heap_words)
+        heap.register_pointer_tag(_CLOSURE_TAG)
+        machine.heap = heap
+    return machine
+
+
+def measure(reps: int) -> dict:
+    """Interleaved min-of-``reps`` wall-clock times, as a report dict."""
+    programs = {
+        name: compile_source(source, CompileOptions())
+        for name, source, _expected, _hw in ALLOC_WORKLOADS
+    }
+    best: dict = {}
+    words: dict = {}
+    gc_counts: dict = {}
+    for _ in range(reps):
+        for name, _source, expected, heap_words in ALLOC_WORKLOADS:
+            for key in CONFIGS:
+                machine = _make_machine(programs[name], key, heap_words)
+                start = time.perf_counter()
+                result = machine.run()
+                elapsed = time.perf_counter() - start
+                result.machine = machine  # decode reads the heap
+                value = decode(result)
+                assert value == expected, (name, key, value, expected)
+                slot = (name, key)
+                best[slot] = min(best.get(slot, math.inf), elapsed)
+                words[slot] = result.words_allocated
+                gc_counts[slot] = result.gc_count
+
+    workloads = {}
+    ratios = []
+    for name, _source, _expected, heap_words in ALLOC_WORKLOADS:
+        baseline = best[(name, "legacy")]
+        entry = {
+            "heap_words": heap_words,
+            "times_ms": {},
+            "speedups": {},
+            "mwords_per_s": {},
+            "gc_count": {},
+        }
+        for key in CONFIGS:
+            seconds = best[(name, key)]
+            entry["times_ms"][key] = round(seconds * 1000, 3)
+            entry["speedups"][key] = round(baseline / seconds, 3)
+            entry["mwords_per_s"][key] = round(words[(name, key)] / seconds / 1e6, 3)
+            entry["gc_count"][key] = gc_counts[(name, key)]
+        workloads[name] = entry
+        ratios.append(baseline / best[(name, "overhauled")])
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    return {
+        "baseline": "legacy",
+        "headline": "overhauled",
+        "engine": "threaded",
+        "reps": reps,
+        "python": sys.version.split()[0],
+        "geomean_speedup": round(geomean, 3),
+        "geomean_floor": GEOMEAN_FLOOR,
+        "workloads": workloads,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """Acceptance failures (empty == pass)."""
+    failures = []
+    for name, entry in report["workloads"].items():
+        speedup = entry["speedups"]["overhauled"]
+        if speedup < 1.0:
+            failures.append(
+                f"{name}: overhauled allocator is slower than legacy "
+                f"({speedup:.3f}x)"
+            )
+    if report["geomean_speedup"] < GEOMEAN_FLOOR:
+        failures.append(
+            f"geomean allocation speedup {report['geomean_speedup']:.3f}x "
+            f"below the {GEOMEAN_FLOOR}x floor"
+        )
+    return failures
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"{'workload':14s} {'heap':>6s} {'legacy':>10s} {'overhauled':>11s} "
+        f"{'speedup':>8s} {'Mwords/s':>9s}"
+    ]
+    for name, entry in report["workloads"].items():
+        lines.append(
+            f"{name:14s} {entry['heap_words']:6d} "
+            f"{entry['times_ms']['legacy']:8.1f}ms "
+            f"{entry['times_ms']['overhauled']:9.1f}ms "
+            f"{entry['speedups']['overhauled']:7.2f}x "
+            f"{entry['mwords_per_s']['overhauled']:9.2f}"
+        )
+    lines.append(
+        f"geomean allocation speedup: {report['geomean_speedup']:.3f}x"
+        f" (floor {report['geomean_floor']}x)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer reps (CI smoke test)"
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None, help="interleaved rounds (default 8, quick 3)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the overhauled allocator loses to legacy anywhere "
+        "or the geomean is below the floor",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help="JSON report path (default: BENCH_gc.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (3 if args.quick else 8)
+    if reps < 1:
+        parser.error(f"--reps must be at least 1 (got {reps})")
+
+    report = measure(reps)
+    print(render(report))
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(args.output)}")
+
+    if args.check:
+        failures = check(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (slow: excluded from tier-1)
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script use without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_allocation_speedup(tmp_path):
+        report = measure(reps=3)
+        print(render(report))
+        failures = check(report)
+        assert not failures, failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

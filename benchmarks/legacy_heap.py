@@ -1,0 +1,143 @@
+"""The pre-overhaul heap allocator, preserved verbatim as the baseline
+for ``bench_alloc.py``.
+
+This is the allocator the repo shipped before the size-class/bump-region
+overhaul of :mod:`repro.vm.heap`: linear first-fit over an address-ordered
+free-extent list, per-word zeroing, set-based marking, and a full
+free-list rebuild (sorting every live block) on each collection.  It has
+no ``bump`` attribute, which is exactly how the execution engines detect
+it and fall back to their out-of-line allocation path — so benchmarking
+against it measures the old end-to-end allocation cost, not just the old
+heap with new engine fast paths.
+
+Do not "fix" or modernise this file; its value is that it does not move.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HeapExhausted, VMError
+from repro.prims import WORD_MASK
+
+
+class LegacyHeap:
+    def __init__(self, size_words: int = 1 << 20):
+        if size_words < 16:
+            raise ValueError("heap too small")
+        self.size_words = size_words
+        self.mem = [0] * size_words
+        #: base word-index -> payload word count, for every live block
+        self.blocks: dict[int, int] = {}
+        #: free extents as (base word-index, word length), address-ordered
+        self.free: list[tuple[int, int]] = [(1, size_words - 1)]
+        # word 0 reserved so that byte address 0 is never a valid block
+        #: low tags that the library (or compiler) declared to be pointers
+        self.pointer_tags: set[int] = set()
+        self.gc_count = 0
+        self.words_allocated = 0
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+
+    def load(self, byte_address: int) -> int:
+        if byte_address & 7:
+            raise VMError(f"unaligned load at {byte_address:#x}")
+        index = byte_address >> 3
+        if not (0 <= index < self.size_words):
+            raise VMError(f"load out of heap bounds at {byte_address:#x}")
+        return self.mem[index]
+
+    def store(self, byte_address: int, value: int) -> None:
+        if byte_address & 7:
+            raise VMError(f"unaligned store at {byte_address:#x}")
+        index = byte_address >> 3
+        if not (0 <= index < self.size_words):
+            raise VMError(f"store out of heap bounds at {byte_address:#x}")
+        self.mem[index] = value & WORD_MASK
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, nwords: int, tag: int, roots) -> int:
+        if nwords < 0 or nwords > self.size_words:
+            raise VMError(f"bad allocation size {nwords}")
+        total = nwords + 1
+        base = self._take(total)
+        if base is None:
+            self.collect(roots())
+            base = self._take(total)
+            if base is None:
+                raise HeapExhausted(
+                    f"heap exhausted allocating {nwords} words "
+                    f"({len(self.blocks)} live blocks)"
+                )
+        self.mem[base] = nwords
+        for i in range(base + 1, base + total):
+            self.mem[i] = 0
+        self.blocks[base] = nwords
+        self.words_allocated += total
+        return ((base << 3) | (tag & 7)) & WORD_MASK
+
+    def _take(self, total: int) -> int | None:
+        for i, (base, length) in enumerate(self.free):
+            if length >= total:
+                if length == total:
+                    self.free.pop(i)
+                else:
+                    self.free[i] = (base + total, length - total)
+                return base
+        return None
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+
+    def collect(self, roots) -> int:
+        self.gc_count += 1
+        marked: set[int] = set()
+        stack = [word for word in roots]
+        while stack:
+            word = stack.pop()
+            base = self._block_of(word)
+            if base is None or base in marked:
+                continue
+            marked.add(base)
+            nwords = self.blocks[base]
+            stack.extend(self.mem[base + 1 : base + 1 + nwords])
+        reclaimed = 0
+        for base in list(self.blocks):
+            if base not in marked:
+                reclaimed += self.blocks[base] + 1
+                del self.blocks[base]
+        self._rebuild_free_list()
+        return reclaimed
+
+    def _block_of(self, word: int) -> int | None:
+        tag = word & 7
+        if tag not in self.pointer_tags:
+            return None
+        base = (word & WORD_MASK) >> 3
+        if base in self.blocks:
+            return base
+        return None
+
+    def _rebuild_free_list(self) -> None:
+        self.free = []
+        position = 1
+        for base in sorted(self.blocks):
+            if base > position:
+                self.free.append((position, base - position))
+            position = base + self.blocks[base] + 1
+        if position < self.size_words:
+            self.free.append((position, self.size_words - position))
+
+    # ------------------------------------------------------------------
+
+    def live_words(self) -> int:
+        return sum(n + 1 for n in self.blocks.values())
+
+    def register_pointer_tag(self, tag: int) -> None:
+        if not (0 <= tag <= 7):
+            raise VMError(f"bad pointer tag {tag}")
+        self.pointer_tags.add(tag)

@@ -28,6 +28,7 @@ from .opt import OptimizerOptions, optimize_program
 from .runtime import prelude_source
 from .sexpr import read_all
 from .vm import Machine, RunResult, isa
+from .vm.heap import DEFAULT_GC_OCCUPANCY, DEFAULT_HEAP_WORDS, default_heap_words
 
 sys.setrecursionlimit(200_000)
 
@@ -75,12 +76,13 @@ class CompiledProgram:
 
     def run(
         self,
-        heap_words: int = 1 << 20,
+        heap_words: int | None = None,
         max_steps: int | None = None,
         count_instructions: bool = True,
         input_text: str = "",
         engine: str | None = None,
         profile: bool = False,
+        gc_occupancy: float | None = DEFAULT_GC_OCCUPANCY,
     ) -> RunResult:
         machine = Machine(
             self.vm_program,
@@ -90,6 +92,7 @@ class CompiledProgram:
             input_text=input_text,
             engine=engine,
             profile=profile,
+            gc_occupancy=gc_occupancy,
         )
         result = machine.run()
         result.machine = machine  # type: ignore[attr-defined]
@@ -241,18 +244,25 @@ def compile_source(
 def run_source(
     source: str,
     options: CompileOptions | None = None,
-    heap_words: int = 1 << 20,
+    heap_words: int | None = None,
     max_steps: int | None = None,
     input_text: str = "",
     engine: str | None = None,
+    gc_occupancy: float | None = DEFAULT_GC_OCCUPANCY,
 ) -> RunResult:
-    """Compile and run; returns the VM's :class:`RunResult`."""
+    """Compile and run; returns the VM's :class:`RunResult`.
+
+    ``heap_words`` defaults to ``$REPRO_HEAP_WORDS`` (or 1M words);
+    ``gc_occupancy`` selects the collection trigger (``None`` restores
+    the legacy allocate-until-exhausted policy).
+    """
     compiled = compile_source(source, options)
     return compiled.run(
         heap_words=heap_words,
         max_steps=max_steps,
         input_text=input_text,
         engine=engine,
+        gc_occupancy=gc_occupancy,
     )
 
 

@@ -25,6 +25,7 @@ from . import (
 )
 from .sexpr import to_write
 from .vm.engine import ENGINES
+from .vm.heap import DEFAULT_GC_OCCUPANCY
 
 
 def _options(namespace: argparse.Namespace) -> CompileOptions:
@@ -43,6 +44,26 @@ def _options(namespace: argparse.Namespace) -> CompileOptions:
     if getattr(namespace, "no_fuse", False):
         options.fuse = False
     return options
+
+
+def _heap_words(namespace: argparse.Namespace) -> int | None:
+    """The --heap-words value (None defers to $REPRO_HEAP_WORDS/default)."""
+    value = getattr(namespace, "heap_words", None)
+    if value is not None and value < 16:
+        raise SystemExit(f"--heap-words must be at least 16 (got {value})")
+    return value
+
+
+def _gc_occupancy(namespace: argparse.Namespace) -> float | None:
+    """The --gc-occupancy value; 0 selects the legacy exhaustion trigger."""
+    value = getattr(namespace, "gc_occupancy", DEFAULT_GC_OCCUPANCY)
+    if value == 0:
+        return None
+    if not (0.0 < value <= 1.0):
+        raise SystemExit(
+            f"--gc-occupancy must be in (0, 1], or 0 to disable (got {value})"
+        )
+    return value
 
 
 def _source(namespace: argparse.Namespace) -> str:
@@ -84,6 +105,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable superinstruction fusion in the emitted code",
     )
+    parser.add_argument(
+        "--heap-words",
+        type=int,
+        default=None,
+        metavar="N",
+        help="heap size in 64-bit words "
+        "(default: $REPRO_HEAP_WORDS or 1048576)",
+    )
+    parser.add_argument(
+        "--gc-occupancy",
+        type=float,
+        default=DEFAULT_GC_OCCUPANCY,
+        metavar="F",
+        help="collect when heap occupancy reaches this fraction "
+        "(default 0.9; 0 = legacy collect-on-exhaustion)",
+    )
 
 
 def cmd_run(namespace: argparse.Namespace) -> int:
@@ -92,14 +129,17 @@ def cmd_run(namespace: argparse.Namespace) -> int:
         _options(namespace),
         input_text=namespace.input,
         engine=namespace.engine,
+        heap_words=_heap_words(namespace),
+        gc_occupancy=_gc_occupancy(namespace),
     )
     sys.stdout.write(result.output)
     value = decode(result)
     print(f"=> {to_write(value)}")
     if namespace.stats:
+        pause_ms = result.gc_stats.get("pause_seconds_total", 0.0) * 1000
         print(
             f";; {result.steps} instructions, {result.words_allocated} words "
-            f"allocated, {result.gc_count} GCs",
+            f"allocated, {result.gc_count} GCs ({pause_ms:.2f} ms paused)",
             file=sys.stderr,
         )
     return 0
@@ -113,11 +153,25 @@ def cmd_disassemble(namespace: argparse.Namespace) -> int:
 
 def cmd_stats(namespace: argparse.Namespace) -> int:
     compiled = compile_source(_source(namespace), _options(namespace))
-    result = compiled.run(engine=namespace.engine)
+    result = compiled.run(
+        engine=namespace.engine,
+        heap_words=_heap_words(namespace),
+        gc_occupancy=_gc_occupancy(namespace),
+    )
     print(f"value:        {to_write(decode(result))}")
     print(f"instructions: {result.steps}")
     print(f"allocated:    {result.words_allocated} words")
     print(f"collections:  {result.gc_count}")
+    gc = result.gc_stats
+    if gc and gc["collections"]:
+        triggers = ", ".join(
+            f"{k}={v}" for k, v in sorted((gc.get("triggers") or {}).items())
+        )
+        print(
+            f"gc pauses:    {gc['pause_seconds_total'] * 1000:.2f} ms total, "
+            f"{gc['pause_seconds_max'] * 1000:.2f} ms max ({triggers})"
+        )
+        print(f"reclaimed:    {gc['reclaimed_words_total']} words")
     print(f"code size:    {compiled.static_instruction_count()} instructions")
     print("by opcode:")
     for name, count in sorted(
@@ -162,7 +216,11 @@ def cmd_profile(namespace: argparse.Namespace) -> int:
     if not namespace.fused:
         options.fuse = False
     compiled = compile_source(_source(namespace), options)
-    report = profile_program(compiled.vm_program, input_text=namespace.input)
+    report = profile_program(
+        compiled.vm_program,
+        input_text=namespace.input,
+        heap_words=_heap_words(namespace),
+    )
     if namespace.json:
         print(render_json(report, top=namespace.top))
     else:

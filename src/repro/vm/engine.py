@@ -37,6 +37,7 @@ import sys
 from ..errors import SchemeError, VMError
 from ..prims import WORD_MASK, signed, wrap
 from . import isa
+from .heap import MAX_BIN_PAYLOAD, ZEROS, _NZEROS
 from .machine import FAIL_MESSAGES, _CLOSURE_TAG, _ESCAPE_CODE
 
 _STACK_LIMIT = 8000
@@ -401,6 +402,16 @@ class NaiveEngine(Engine):
         profiling = m.profile and counting
         pair_counts = m.pair_counts
         heap = m.heap
+        # Inline allocation fast path: a bump-region hit is a two-int
+        # compare-and-add plus a header write, with no calls and no GC
+        # possibility (so no frame rooting); block registration is
+        # deferred to heap.sync_allocations().  Heaps without a bump
+        # region (e.g. the legacy baseline in benchmarks) get a dummy
+        # always-full region and take the slow path every time.
+        mem = heap.mem
+        bump = getattr(heap, "bump", None)
+        if bump is None:
+            bump = [0, 0]
         max_steps = m.max_steps
         first_fused = isa.FIRST_FUSED
         prev_code = None
@@ -567,13 +578,41 @@ class NaiveEngine(Engine):
                 if regs[ins[1]] > regs[ins[2]]:
                     pc = ins[3]
             elif op == isa.ALLOC:
-                m.frames.append([code, regs, pc, -1])
-                regs[ins[1]] = m._alloc(regs[ins[2]], regs[ins[3]] & 7)
-                m.frames.pop()
+                nwords = regs[ins[2]]
+                total = nwords + 1
+                nbase = bump[0]
+                if nbase + total <= bump[1]:
+                    # Registration in heap.blocks and the allocation
+                    # counter are deferred: heap.sync_allocations()
+                    # reconstructs both from the headers in the bump
+                    # span before they are needed.
+                    bump[0] = nbase + total
+                    mem[nbase] = nwords
+                    if nwords:
+                        mem[nbase + 1 : nbase + total] = (
+                            ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+                        )
+                    regs[ins[1]] = (nbase << 3) | (regs[ins[3]] & 7)
+                else:
+                    m.frames.append([code, regs, pc, -1])
+                    regs[ins[1]] = m._alloc(regs[ins[2]], regs[ins[3]] & 7)
+                    m.frames.pop()
             elif op == isa.ALLOCI:
-                m.frames.append([code, regs, pc, -1])
-                regs[ins[1]] = m._alloc(ins[2], ins[3])
-                m.frames.pop()
+                nwords = ins[2]
+                total = nwords + 1
+                nbase = bump[0]
+                if 0 <= nwords and nbase + total <= bump[1]:
+                    bump[0] = nbase + total
+                    mem[nbase] = nwords
+                    if nwords:
+                        mem[nbase + 1 : nbase + total] = (
+                            ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+                        )
+                    regs[ins[1]] = (nbase << 3) | (ins[3] & 7)
+                else:
+                    m.frames.append([code, regs, pc, -1])
+                    regs[ins[1]] = m._alloc(ins[2], ins[3])
+                    m.frames.pop()
             elif op == isa.GLD:
                 index = ins[2]
                 if not m.global_defined[index]:
@@ -901,8 +940,43 @@ class ThreadedEngine(Engine):
             return h_mod
 
         # -- memory and globals -----------------------------------------
+        # ALLOC/ALLOCI handlers bind the heap's bump region (and, for
+        # static small sizes, the exact-fit bin) at build time: the
+        # two-slot bump list, the bin lists, `heap.mem`, and
+        # `heap.blocks` are identity-stable across collections.  A
+        # fast-path hit cannot trigger GC, so no frame rooting is
+        # needed; overflow falls back to the general allocator.
+        bump = getattr(heap, "bump", None)
         if op == isa.ALLOC:
             d, sn, st = ins[1], ins[2], ins[3]
+            if bump is not None:
+                mem = heap.mem
+
+                def h_alloc_fast(
+                    regs, d=d, sn=sn, st=st, nxt=nxt, m=m, code=code,
+                    bump=bump, mem=mem,
+                ):
+                    # Bump-span registration is deferred to
+                    # heap.sync_allocations(): the fast path only
+                    # advances the pointer and writes the header.
+                    nwords = regs[sn]
+                    total = nwords + 1
+                    base = bump[0]
+                    if base + total <= bump[1]:
+                        bump[0] = base + total
+                        mem[base] = nwords
+                        if nwords:
+                            mem[base + 1 : base + total] = (
+                                ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+                            )
+                        regs[d] = (base << 3) | (regs[st] & 7)
+                        return nxt
+                    m.frames.append([code, regs, nxt, -1])
+                    regs[d] = m._alloc(nwords, regs[st] & 7)
+                    m.frames.pop()
+                    return nxt
+
+                return h_alloc_fast
 
             def h_alloc(regs, d=d, sn=sn, st=st, nxt=nxt, m=m, code=code):
                 m.frames.append([code, regs, nxt, -1])
@@ -913,6 +987,82 @@ class ThreadedEngine(Engine):
             return h_alloc
         if op == isa.ALLOCI:
             d, nwords, tag = ins[1], ins[2], ins[3]
+            if bump is not None and 0 <= nwords:
+                total = nwords + 1
+                tagbits = tag & 7
+                mem = heap.mem
+                blocks = heap.blocks
+                bin_list = (
+                    heap.bins[nwords] if nwords <= MAX_BIN_PAYLOAD else None
+                )
+                zeros = ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+
+                if nwords == 2:
+                    # Pairs (and two-word cells) dominate allocation;
+                    # a dedicated handler with unrolled zero stores
+                    # beats the general slice-assignment path.  The
+                    # untagged base is below 2^61, so no masking.  On
+                    # the bump path, registration is deferred to
+                    # heap.sync_allocations(); a bin hit registers
+                    # eagerly (its base is outside the bump span).
+                    def h_alloci_pair(
+                        regs, d=d, tagbits=tagbits, nxt=nxt, m=m,
+                        code=code, bump=bump, mem=mem, blocks=blocks,
+                        bin_list=bin_list, heap=heap, tag=tag,
+                    ):
+                        base = bump[0]
+                        if base + 3 <= bump[1]:
+                            bump[0] = base + 3
+                            mem[base] = 2
+                            mem[base + 1] = 0
+                            mem[base + 2] = 0
+                            regs[d] = (base << 3) | tagbits
+                            return nxt
+                        if bin_list:
+                            base = bin_list.pop()
+                            mem[base] = 2
+                            mem[base + 1] = 0
+                            mem[base + 2] = 0
+                            blocks[base] = 2
+                            heap.words_allocated += 3
+                            regs[d] = (base << 3) | tagbits
+                            return nxt
+                        m.frames.append([code, regs, nxt, -1])
+                        regs[d] = m._alloc(2, tag)
+                        m.frames.pop()
+                        return nxt
+
+                    return h_alloci_pair
+
+                def h_alloci_fast(
+                    regs, d=d, nwords=nwords, total=total, tagbits=tagbits,
+                    nxt=nxt, m=m, code=code, bump=bump, mem=mem,
+                    blocks=blocks, bin_list=bin_list, zeros=zeros, heap=heap,
+                    tag=tag,
+                ):
+                    base = bump[0]
+                    if base + total <= bump[1]:
+                        bump[0] = base + total
+                        mem[base] = nwords
+                        if nwords:
+                            mem[base + 1 : base + total] = zeros
+                        regs[d] = (base << 3) | tagbits
+                        return nxt
+                    if bin_list:
+                        base = bin_list.pop()
+                        mem[base] = nwords
+                        if nwords:
+                            mem[base + 1 : base + total] = zeros
+                        blocks[base] = nwords
+                        heap.words_allocated += total
+                        regs[d] = (base << 3) | tagbits
+                        return nxt
+                    m.frames.append([code, regs, nxt, -1])
+                    regs[d] = m._alloc(nwords, tag)
+                    m.frames.pop()
+                    return nxt
+
+                return h_alloci_fast
 
             def h_alloci(regs, d=d, nwords=nwords, tag=tag, nxt=nxt, m=m, code=code):
                 m.frames.append([code, regs, nxt, -1])

@@ -14,29 +14,130 @@ live block base.  Conservatism is required because optimized code may
 hold raw untagged intermediates in registers across an allocation; a
 misidentified integer can only retain garbage, never corrupt, because
 nothing moves.
+
+The allocator (see docs/INTERNALS.md §10) is built for throughput:
+
+* **Bump region** — the common path is a two-int compare-and-add into a
+  contiguous region; the execution engines inline it directly into
+  their ALLOC/ALLOCI handlers.  ``self.bump`` is a two-slot list
+  ``[pointer, limit]`` whose *identity never changes*, so handlers can
+  bind it once.
+* **Size-class free lists** — exact-fit bins for payloads of 0–16 words
+  (pairs, cells, closures, small vectors), popped in O(1).  Bin lists
+  also keep their identity so threaded handlers can bind them.
+* **Lazy sweep** — a collection only marks (into a ``bytearray`` mark
+  bitmap) and unlinks dead blocks onto a pending queue; dead space is
+  binned incrementally, on allocation demand, instead of re-sorting the
+  whole heap into an address-ordered free list on every collection.
+* **Occupancy trigger** — with ``gc_occupancy=T`` the bump limit is
+  capped so a collection happens near ``T`` heap occupancy instead of
+  at exhaustion; ``gc_occupancy=None`` restores the legacy
+  allocate-until-exhausted policy.  The heap-exhausted fallback (and a
+  full coalescing pass as a last resort against fragmentation) is
+  preserved in both modes.
+
+Identity invariants relied on by the engines' inline fast paths:
+``self.mem``, ``self.blocks``, ``self.bump``, and each ``self.bins[i]``
+list are mutated in place, never reassigned.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from time import perf_counter
+
 from ..errors import HeapExhausted, VMError
 from ..prims import WORD_MASK
 
+DEFAULT_HEAP_WORDS = 1 << 20
+#: default occupancy fraction at which a collection is triggered
+DEFAULT_GC_OCCUPANCY = 0.9
+#: largest payload (words) served by an exact-fit bin
+MAX_BIN_PAYLOAD = 16
+_MAX_BIN_TOTAL = MAX_BIN_PAYLOAD + 1  # bins hold chunks of 1..17 words
+#: shared zero slices for the slice-assignment zeroing fast path
+ZEROS = [[0] * n for n in range(65)]
+_NZEROS = len(ZEROS)
+
+
+def default_heap_words() -> int:
+    """Heap size used when none is requested ($REPRO_HEAP_WORDS or 1M)."""
+    raw = os.environ.get("REPRO_HEAP_WORDS", "").strip()
+    if raw:
+        try:
+            value = int(raw, 0)
+        except ValueError:
+            value = -1
+        if value >= 16:
+            return value
+        print(
+            f"warning: ignoring REPRO_HEAP_WORDS={raw!r} "
+            f"(need an integer >= 16)",
+            file=sys.stderr,
+        )
+    return DEFAULT_HEAP_WORDS
+
+
+@dataclass
+class GCEvent:
+    """Telemetry for one collection."""
+
+    trigger: str  # "occupancy", "exhausted", or "explicit"
+    pause_seconds: float
+    reclaimed_words: int
+    live_words: int  # after the sweep
+    free_words: int  # after the sweep
+
 
 class Heap:
-    def __init__(self, size_words: int = 1 << 20):
+    def __init__(
+        self,
+        size_words: int = DEFAULT_HEAP_WORDS,
+        gc_occupancy: float | None = DEFAULT_GC_OCCUPANCY,
+    ):
         if size_words < 16:
             raise ValueError("heap too small")
+        if gc_occupancy is not None and not (0.0 < gc_occupancy <= 1.0):
+            raise ValueError(f"gc_occupancy must be in (0, 1], got {gc_occupancy}")
         self.size_words = size_words
+        self.gc_occupancy = gc_occupancy
         self.mem = [0] * size_words
         #: base word-index -> payload word count, for every live block
         self.blocks: dict[int, int] = {}
-        #: free extents as (base word-index, word length), address-ordered
-        self.free: list[tuple[int, int]] = [(1, size_words - 1)]
-        # word 0 reserved so that byte address 0 is never a valid block
         #: low tags that the library (or compiler) declared to be pointers
         self.pointer_tags: set[int] = set()
+        self._tag_is_ptr = bytearray(8)
         self.gc_count = 0
         self.words_allocated = 0
+        # --- allocator structures -------------------------------------
+        # word 0 reserved so that byte address 0 is never a valid block
+        #: the bump region: [pointer, limit]; identity-stable
+        self.bump: list[int] = [1, size_words]
+        #: real end of the bump region (the limit may be capped below it
+        #: to realise the occupancy trigger)
+        self._bump_end = size_words
+        #: exact-fit bins: bins[n] holds bases of free n-payload chunks
+        self.bins: list[list[int]] = [[] for _ in range(MAX_BIN_PAYLOAD + 1)]
+        #: free extents above bin size, as (length, base), length-sorted
+        self.large: list[tuple[int, int]] = []
+        #: dead blocks awaiting the lazy sweep (bases; size in header)
+        self.pending: list[int] = []
+        #: start of the bump span whose blocks are not yet registered in
+        #: ``self.blocks`` (the engines' inline fast path defers
+        #: registration; see :meth:`sync_allocations`)
+        self._sync_pos = 1
+        #: reusable mark bitmap, indexed by block base word-index
+        self._mark = bytearray(size_words)
+        #: words_allocated snapshot at the last collection (occupancy
+        #: trigger thrash guard)
+        self._words_at_gc = 0
+        self._gc_min_alloc = max(64, size_words >> 4)
+        # --- telemetry ------------------------------------------------
+        self.gc_events: list[GCEvent] = []
+        self._apply_cap()
 
     # ------------------------------------------------------------------
     # address helpers
@@ -71,58 +172,278 @@ class Heap:
         if nwords < 0 or nwords > self.size_words:
             raise VMError(f"bad allocation size {nwords}")
         total = nwords + 1
-        base = self._take(total)
-        if base is None:
-            self.collect(roots())
-            base = self._take(total)
+        bump = self.bump
+        base = bump[0]
+        if base + total <= bump[1]:
+            bump[0] = base + total
+        elif nwords <= MAX_BIN_PAYLOAD and self.bins[nwords]:
+            base = self.bins[nwords].pop()
+        else:
+            base = self._allocate_slow(total, roots)
             if base is None:
                 raise HeapExhausted(
                     f"heap exhausted allocating {nwords} words "
                     f"({len(self.blocks)} live blocks)"
                 )
-        self.mem[base] = nwords
-        for i in range(base + 1, base + total):
-            self.mem[i] = 0
+        mem = self.mem
+        mem[base] = nwords
+        if nwords:
+            mem[base + 1 : base + total] = (
+                ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+            )
         self.blocks[base] = nwords
         self.words_allocated += total
         return ((base << 3) | (tag & 7)) & WORD_MASK
 
-    def _take(self, total: int) -> int | None:
-        for i, (base, length) in enumerate(self.free):
-            if length >= total:
-                if length == total:
-                    self.free.pop(i)
-                else:
-                    self.free[i] = (base + total, length - total)
+    def sync_allocations(self) -> None:
+        """Register bump-allocated blocks the engines deferred.
+
+        The engines' inline allocation fast path only advances the bump
+        pointer and writes the header word; the ``blocks`` registry and
+        the allocation counter are reconstructed here by walking the
+        headers of the span bump-allocated since the last sync.  Every
+        consumer of complete metadata (collection, the slow allocation
+        path, end-of-run statistics) syncs first; eagerly-registered
+        blocks inside the span (from direct ``allocate`` calls) are
+        detected and not double-counted.
+        """
+        pos = self._sync_pos
+        end = self.bump[0]
+        if pos >= end:
+            return
+        mem = self.mem
+        blocks = self.blocks
+        blocks_get = blocks.get
+        extra = 0
+        while pos < end:
+            nwords = mem[pos]
+            if blocks_get(pos) is None:
+                blocks[pos] = nwords
+                extra += nwords + 1
+            pos += nwords + 1
+        self.words_allocated += extra
+        self._sync_pos = end
+
+    def _allocate_slow(self, total: int, roots) -> int | None:
+        """Everything past the bump/bin fast path.
+
+        Order: lazy-sweep the pending queue, then the large-extent list,
+        then (if the bump limit was an occupancy cap) collect or lift
+        the cap, then collect on exhaustion, then coalesce the whole
+        free space as a last resort against fragmentation.
+        """
+        self.sync_allocations()
+        base = self._sweep_pending(total)
+        if base is not None:
+            return base
+        base = self._take_large(total)
+        if base is not None:
+            return base
+        bump = self.bump
+        if bump[1] < self._bump_end:
+            # The bump pointer stopped at the occupancy trigger line,
+            # not at the end of the region.
+            if (
+                self.gc_occupancy is not None
+                and self.words_allocated - self._words_at_gc >= self._gc_min_alloc
+            ):
+                self.collect(roots(), trigger="occupancy")
+                base = self._retake(total)
+                if base is not None:
+                    return base
+            # Collection didn't help (or too little mutator progress to
+            # justify one): consume the reserve instead of thrashing.
+            bump[1] = self._bump_end
+            base = bump[0]
+            if base + total <= bump[1]:
+                bump[0] = base + total
                 return base
+        self.collect(roots(), trigger="exhausted")
+        base = self._retake(total)
+        if base is not None:
+            return base
+        self._coalesce()
+        self.bump[1] = self._bump_end  # last resort: the reserve too
+        return self._retake(total)
+
+    def _retake(self, total: int) -> int | None:
+        """Retry every free structure after a collection/coalesce."""
+        bump = self.bump
+        base = bump[0]
+        if base + total <= bump[1]:
+            bump[0] = base + total
+            return base
+        if total <= _MAX_BIN_TOTAL and self.bins[total - 1]:
+            return self.bins[total - 1].pop()
+        base = self._sweep_pending(total)
+        if base is not None:
+            return base
+        return self._take_large(total)
+
+    def _sweep_pending(self, total: int) -> int | None:
+        """Lazy sweep: bin dead blocks until one exactly fits ``total``."""
+        pending = self.pending
+        mem = self.mem
+        bins = self.bins
+        while pending:
+            base = pending.pop()
+            chunk = mem[base] + 1
+            if chunk == total:
+                return base
+            if chunk <= _MAX_BIN_TOTAL:
+                bins[chunk - 1].append(base)
+            else:
+                insort(self.large, (chunk, base))
         return None
+
+    def _take_large(self, total: int) -> int | None:
+        """Best-fit from the length-sorted large-extent list, splitting."""
+        large = self.large
+        index = bisect_left(large, (total, -1))
+        if index >= len(large):
+            return None
+        length, base = large.pop(index)
+        remainder = length - total
+        if remainder:
+            self._free_chunk(base + total, remainder)
+        return base
+
+    def _free_chunk(self, base: int, length: int) -> None:
+        if length <= 0:
+            return
+        if length <= _MAX_BIN_TOTAL:
+            self.bins[length - 1].append(base)
+        else:
+            insort(self.large, (length, base))
+
+    def _carve_bump(self) -> None:
+        """After a collection: bump from the largest known extent.
+
+        Only called with the bump span synced, so resetting
+        ``_sync_pos`` to the (possibly relocated) bump pointer is safe.
+        """
+        bump = self.bump
+        remainder = self._bump_end - bump[0]
+        if self.large and self.large[-1][0] > remainder:
+            length, base = self.large.pop()
+            self._free_chunk(bump[0], remainder)
+            bump[0] = base
+            self._bump_end = base + length
+        self._sync_pos = bump[0]
+        self._apply_cap()
+
+    def _apply_cap(self) -> None:
+        """Cap the bump limit at the occupancy trigger line."""
+        bump = self.bump
+        end = self._bump_end
+        if self.gc_occupancy is None:
+            bump[1] = end
+            return
+        reserve = int(self.size_words * (1.0 - self.gc_occupancy))
+        headroom = self.free_words() - reserve
+        if headroom < end - bump[0]:
+            bump[1] = bump[0] + max(0, headroom)
+        else:
+            bump[1] = end
+
+    def _coalesce(self) -> None:
+        """Merge every free chunk into maximal extents (defrag).
+
+        Only runs when an allocation still fails after a collection:
+        the lazy structures can fragment space that is contiguous, and
+        the pre-overhaul allocator (which rebuilt an address-ordered
+        extent list on every collection) would have merged it.
+        """
+        chunks: list[list[int]] = []
+        bump = self.bump
+        if self._bump_end > bump[0]:
+            chunks.append([bump[0], self._bump_end - bump[0]])
+        for index, bin_list in enumerate(self.bins):
+            length = index + 1
+            chunks.extend([base, length] for base in bin_list)
+            bin_list.clear()
+        mem = self.mem
+        pending = self.pending
+        while pending:
+            base = pending.pop()
+            chunks.append([base, mem[base] + 1])
+        chunks.extend([base, length] for length, base in self.large)
+        self.large.clear()
+        chunks.sort()
+        merged: list[list[int]] = []
+        for base, length in chunks:
+            if merged and merged[-1][0] + merged[-1][1] == base:
+                merged[-1][1] += length
+            else:
+                merged.append([base, length])
+        if merged:
+            largest = max(merged, key=lambda extent: extent[1])
+            bump[0] = largest[0]
+            self._bump_end = largest[0] + largest[1]
+            for extent in merged:
+                if extent is not largest:
+                    self._free_chunk(extent[0], extent[1])
+        else:
+            self._bump_end = bump[0]
+        self._sync_pos = bump[0]
+        self._apply_cap()
 
     # ------------------------------------------------------------------
     # collection
     # ------------------------------------------------------------------
 
-    def collect(self, roots) -> int:
+    def collect(self, roots, trigger: str = "explicit") -> int:
         """Mark from ``roots`` (iterable of words) and sweep.
 
-        Returns the number of words reclaimed.
+        Marking uses the reusable bitmap; the sweep unlinks dead blocks
+        from ``self.blocks`` onto the pending queue (they are binned
+        lazily, on allocation demand).  Returns the number of words
+        reclaimed.
         """
+        started = perf_counter()
+        self.sync_allocations()
         self.gc_count += 1
-        marked: set[int] = set()
-        stack = [word for word in roots]
+        mark = self._mark
+        tag_is_ptr = self._tag_is_ptr
+        mem = self.mem
+        blocks = self.blocks
+        blocks_get = blocks.get
+        stack = list(roots)
+        pop = stack.pop
+        extend = stack.extend
         while stack:
-            word = stack.pop()
-            base = self._block_of(word)
-            if base is None or base in marked:
+            word = pop()
+            if not tag_is_ptr[word & 7]:
                 continue
-            marked.add(base)
-            nwords = self.blocks[base]
-            stack.extend(self.mem[base + 1 : base + 1 + nwords])
+            base = (word & WORD_MASK) >> 3
+            nwords = blocks_get(base)
+            if nwords is None or mark[base]:
+                continue
+            mark[base] = 1
+            if nwords:
+                extend(mem[base + 1 : base + 1 + nwords])
         reclaimed = 0
-        for base in list(self.blocks):
-            if base not in marked:
-                reclaimed += self.blocks[base] + 1
-                del self.blocks[base]
-        self._rebuild_free_list()
+        dead = []
+        for base, nwords in blocks.items():
+            if mark[base]:
+                mark[base] = 0  # reset for the next collection
+            else:
+                reclaimed += nwords + 1
+                dead.append(base)
+        for base in dead:
+            del blocks[base]
+        self.pending.extend(dead)
+        self._words_at_gc = self.words_allocated
+        self._carve_bump()
+        self.gc_events.append(
+            GCEvent(
+                trigger=trigger,
+                pause_seconds=perf_counter() - started,
+                reclaimed_words=reclaimed,
+                live_words=self.live_words(),
+                free_words=self.free_words(),
+            )
+        )
         return reclaimed
 
     def _block_of(self, word: int) -> int | None:
@@ -134,22 +455,52 @@ class Heap:
             return base
         return None
 
-    def _rebuild_free_list(self) -> None:
-        self.free = []
-        position = 1
-        for base in sorted(self.blocks):
-            if base > position:
-                self.free.append((position, base - position))
-            position = base + self.blocks[base] + 1
-        if position < self.size_words:
-            self.free.append((position, self.size_words - position))
-
     # ------------------------------------------------------------------
 
     def live_words(self) -> int:
+        self.sync_allocations()
         return sum(n + 1 for n in self.blocks.values())
+
+    def free_words(self) -> int:
+        """Total free words: bump remainder + bins + pending + extents."""
+        mem = self.mem
+        total = self._bump_end - self.bump[0]
+        for index, bin_list in enumerate(self.bins):
+            total += (index + 1) * len(bin_list)
+        for base in self.pending:
+            total += mem[base] + 1
+        for length, _base in self.large:
+            total += length
+        return total
+
+    def occupancy(self) -> float:
+        return 1.0 - self.free_words() / self.size_words
 
     def register_pointer_tag(self, tag: int) -> None:
         if not (0 <= tag <= 7):
             raise VMError(f"bad pointer tag {tag}")
         self.pointer_tags.add(tag)
+        self._tag_is_ptr[tag] = 1
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def gc_telemetry(self) -> dict:
+        """Aggregated GC statistics for stats/profile reporting."""
+        events = self.gc_events
+        pauses = [event.pause_seconds for event in events]
+        triggers: dict[str, int] = {}
+        for event in events:
+            triggers[event.trigger] = triggers.get(event.trigger, 0) + 1
+        return {
+            "collections": self.gc_count,
+            "pause_seconds_total": sum(pauses),
+            "pause_seconds_max": max(pauses, default=0.0),
+            "reclaimed_words_total": sum(e.reclaimed_words for e in events),
+            "triggers": triggers,
+            "live_words": self.live_words(),
+            "free_words": self.free_words(),
+            "size_words": self.size_words,
+            "gc_occupancy": self.gc_occupancy,
+        }

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import gc
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..errors import SchemeError, VMError
 from ..prims import WORD_MASK, signed, wrap
 from . import isa
-from .heap import Heap
+from .heap import DEFAULT_GC_OCCUPANCY, Heap, default_heap_words
 from .registry import TypeRegistry
 
 # Error codes for %fail, shared by convention with the prelude sources
@@ -70,6 +71,10 @@ class RunResult:
     dispatches: int = 0
     #: which engine produced this result
     engine: str = "naive"
+    #: wall-clock duration of the run (set by :meth:`Machine.run`)
+    elapsed_seconds: float = 0.0
+    #: GC telemetry aggregates (see :meth:`repro.vm.heap.Heap.gc_telemetry`)
+    gc_stats: dict = field(default_factory=dict)
 
     def count(self, opcode_name: str) -> int:
         """Decomposed dynamic count for one *base* opcode name."""
@@ -80,16 +85,19 @@ class Machine:
     def __init__(
         self,
         program: isa.VMProgram,
-        heap_words: int = 1 << 20,
+        heap_words: int | None = None,
         max_steps: int | None = None,
         count_instructions: bool = True,
         input_text: str = "",
         engine: str | None = None,
         profile: bool = False,
+        gc_occupancy: float | None = DEFAULT_GC_OCCUPANCY,
     ):
         self.program = program
         self.codes = program.code_objects
-        self.heap = Heap(heap_words)
+        if heap_words is None:
+            heap_words = default_heap_words()
+        self.heap = Heap(heap_words, gc_occupancy=gc_occupancy)
         self.heap.register_pointer_tag(_CLOSURE_TAG)  # compiler-owned layout
         self.registry = TypeRegistry()
         self.globals = [0] * len(program.global_names)
@@ -242,11 +250,14 @@ class Machine:
         was_enabled = gc.isenabled()
         if was_enabled:
             gc.disable()
+        started = perf_counter()
         try:
-            return self._engine.run()
+            result = self._engine.run()
         finally:
             if was_enabled:
                 gc.enable()
+        result.elapsed_seconds = perf_counter() - started
+        return result
 
     @property
     def engine_name(self) -> str:
@@ -289,6 +300,12 @@ class Machine:
         for opcode, count in enumerate(self.counts):
             if count:
                 named[isa.OPCODE_NAMES[opcode]] = count
+        # The engines defer block registration on the bump-allocation
+        # fast path; settle the books before reading any statistics.
+        sync = getattr(self.heap, "sync_allocations", None)
+        if sync is not None:
+            sync()
+        telemetry = getattr(self.heap, "gc_telemetry", None)
         return RunResult(
             value=value,
             output="".join(self.output),
@@ -299,4 +316,5 @@ class Machine:
             rest_conses=self.rest_conses,
             dispatches=self.dispatches,
             engine=self._engine.name,
+            gc_stats=telemetry() if telemetry is not None else {},
         )

@@ -58,6 +58,12 @@ class ProfileReport:
     histogram: list[tuple[str, int]] = field(default_factory=list)
     #: fall-through pair counts, descending
     pairs: list[PairStat] = field(default_factory=list)
+    #: GC telemetry aggregates (heap.gc_telemetry() at end of run)
+    gc: dict = field(default_factory=dict)
+    #: wall-clock run duration (seconds)
+    elapsed_seconds: float = 0.0
+    #: words allocated over the run (headers included)
+    words_allocated: int = 0
 
     def fusion_candidates(self, top: int = 10) -> list[PairStat]:
         """The highest-frequency fusable pairs not yet in the ISA."""
@@ -71,7 +77,7 @@ class ProfileReport:
 
 def profile_program(
     program: isa.VMProgram,
-    heap_words: int = 1 << 20,
+    heap_words: int | None = None,
     max_steps: int | None = None,
     input_text: str = "",
 ) -> ProfileReport:
@@ -111,12 +117,49 @@ def build_report(machine: Machine, result: RunResult) -> ProfileReport:
         value=result.value,
         histogram=histogram,
         pairs=pairs,
+        gc=result.gc_stats,
+        elapsed_seconds=result.elapsed_seconds,
+        words_allocated=result.words_allocated,
     )
 
 
 # ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------
+
+
+def render_gc_text(report: ProfileReport) -> list[str]:
+    """The GC-telemetry section of the text report."""
+    gc = report.gc
+    if not gc:
+        return []
+    lines = ["GC telemetry:"]
+    occupancy = gc.get("gc_occupancy")
+    trigger = "legacy (exhaustion)" if occupancy is None else f"{occupancy:.0%} occupancy"
+    lines.append(
+        f"  collections  {gc['collections']:10d}  (trigger: {trigger})"
+    )
+    by_trigger = gc.get("triggers") or {}
+    if by_trigger:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(by_trigger.items()))
+        lines.append(f"  triggers     {detail:>10s}")
+    lines.append(
+        f"  pause total  {gc['pause_seconds_total'] * 1000:10.2f} ms"
+        f"  (max {gc['pause_seconds_max'] * 1000:.2f} ms)"
+    )
+    lines.append(f"  reclaimed    {gc['reclaimed_words_total']:10d} words")
+    lines.append(
+        f"  heap         {gc['live_words']:10d} live / "
+        f"{gc['size_words']} words at exit"
+    )
+    if report.elapsed_seconds > 0:
+        rate = report.words_allocated / report.elapsed_seconds
+        overhead = 100.0 * gc["pause_seconds_total"] / report.elapsed_seconds
+        lines.append(
+            f"  alloc rate   {rate / 1e6:10.2f} Mwords/s"
+            f"  (GC overhead {overhead:.1f}%)"
+        )
+    return lines
 
 
 def render_text(report: ProfileReport, top: int = 20) -> str:
@@ -152,6 +195,10 @@ def render_text(report: ProfileReport, top: int = 20) -> str:
             lines.append("top unfused candidates:")
             for pair in candidates:
                 lines.append(f"  {pair.name:24s} {pair.count:10d}")
+    gc_lines = render_gc_text(report)
+    if gc_lines:
+        lines.append("")
+        lines.extend(gc_lines)
     return "\n".join(lines)
 
 
@@ -175,5 +222,8 @@ def render_json(report: ProfileReport, top: int | None = None) -> str:
         "candidates": [
             {"pair": p.name, "count": p.count} for p in report.fusion_candidates()
         ],
+        "elapsed_seconds": report.elapsed_seconds,
+        "words_allocated": report.words_allocated,
+        "gc": report.gc,
     }
     return json.dumps(payload, indent=2)

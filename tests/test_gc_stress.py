@@ -1,5 +1,13 @@
 """GC stress and failure-injection tests: small heaps, fragmentation,
-survival of every kind of heap object, and exhaustion behaviour."""
+survival of every kind of heap object, and exhaustion behaviour.
+
+The whole module is parametrized over the execution-engine ×
+collection-trigger matrix: both engines inline the bump-pointer
+allocation fast path (the threaded engine also binds size-class bins
+at handler-build time), and the occupancy trigger collects on a
+different schedule than the legacy collect-on-exhaustion policy, so
+every combination has to keep live data alive under pressure.
+"""
 
 import pytest
 
@@ -9,11 +17,33 @@ from repro.sexpr import Symbol, from_list
 from .conftest import OPT, UNOPT
 
 
-def run_small(source, heap_words=1 << 13, options=UNOPT):
-    return run_source(source, options, heap_words=heap_words)
+@pytest.fixture(params=["naive", "threaded"])
+def engine(request):
+    return request.param
 
 
-def test_garbage_loop_in_tiny_heap():
+@pytest.fixture(
+    params=[None, 0.9], ids=["legacy-trigger", "occupancy-trigger"]
+)
+def gc_occupancy(request):
+    return request.param
+
+
+@pytest.fixture
+def run_small(engine, gc_occupancy):
+    def run(source, heap_words=1 << 13, options=UNOPT):
+        return run_source(
+            source,
+            options,
+            heap_words=heap_words,
+            engine=engine,
+            gc_occupancy=gc_occupancy,
+        )
+
+    return run
+
+
+def test_garbage_loop_in_tiny_heap(run_small):
     result = run_small(
         """(let loop ((i 0))
              (if (= i 5000) 'ok (begin (cons i i) (loop (+ i 1)))))"""
@@ -22,7 +52,7 @@ def test_garbage_loop_in_tiny_heap():
     assert result.machine.heap.gc_count >= 2
 
 
-def test_live_list_survives_many_collections():
+def test_live_list_survives_many_collections(run_small):
     result = run_small(
         """(define keep (list 'a 'b 'c))
            (let loop ((i 0))
@@ -31,7 +61,7 @@ def test_live_list_survives_many_collections():
     assert decode(result) == from_list([Symbol("a"), Symbol("b"), Symbol("c")])
 
 
-def test_every_heap_type_survives_gc():
+def test_every_heap_type_survives_gc(run_small):
     source = """
     (define the-pair (cons 1 2))
     (define the-vec (vector 1 2 3))
@@ -52,7 +82,7 @@ def test_every_heap_type_survives_gc():
     assert decode(result) == from_list([1, 3, 7, True, 42, 9])
 
 
-def test_deep_structure_survives():
+def test_deep_structure_survives(run_small):
     # a 500-deep nested list must be fully traced
     result = run_small(
         """(define (nest n) (if (= n 0) '() (list (nest (- n 1)))))
@@ -66,7 +96,7 @@ def test_deep_structure_survives():
     assert decode(result) == 500
 
 
-def test_mutated_structures_keep_new_references():
+def test_mutated_structures_keep_new_references(run_small):
     source = """
     (define holder (vector #f))
     (vector-set! holder 0 (list 1 2 3))
@@ -77,7 +107,7 @@ def test_mutated_structures_keep_new_references():
     assert decode(run_small(source, heap_words=1 << 14)) == 3
 
 
-def test_cyclic_data_is_collected_and_survives():
+def test_cyclic_data_is_collected_and_survives(run_small):
     source = """
     (define (make-cycle)
       (let ((p (list 1 2)))
@@ -91,7 +121,7 @@ def test_cyclic_data_is_collected_and_survives():
     assert decode(run_small(source, heap_words=1 << 14)) == 2
 
 
-def test_heap_exhaustion_raises_cleanly():
+def test_heap_exhaustion_raises_cleanly(run_small):
     with pytest.raises(HeapExhausted):
         run_small(
             """(let loop ((acc '()) (i 0))
@@ -100,12 +130,12 @@ def test_heap_exhaustion_raises_cleanly():
         )
 
 
-def test_allocation_stats_accumulate():
-    result = run_source("(make-vector 100 0)", UNOPT)
+def test_allocation_stats_accumulate(run_small):
+    result = run_small("(make-vector 100 0)", heap_words=1 << 16)
     assert result.words_allocated >= 101
 
 
-def test_optimized_config_same_behaviour_under_pressure():
+def test_optimized_config_same_behaviour_under_pressure(run_small):
     source = """
     (define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
     (let loop ((i 0) (keep (build 50)))
@@ -114,10 +144,11 @@ def test_optimized_config_same_behaviour_under_pressure():
           (begin (build 40) (loop (+ i 1) keep))))
     """
     for options in (UNOPT, OPT):
-        assert decode(run_source(source, options, heap_words=1 << 14)) == 50
+        result = run_small(source, heap_words=1 << 14, options=options)
+        assert decode(result) == 50
 
 
-def test_interned_symbols_survive_collection():
+def test_interned_symbols_survive_collection(run_small):
     source = """
     (define s1 (string->symbol "long-lived-name"))
     (let churn ((i 0))

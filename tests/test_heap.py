@@ -133,11 +133,18 @@ def test_heap_exhaustion_raises():
 
 
 def test_free_list_reuse_after_gc():
+    # Dead space is reused: after a collect, further allocation must
+    # recycle the reclaimed block (via the lazy sweep) once the bump
+    # region runs out, rather than exhausting the heap.
     heap = make_heap(64)
-    first = heap.allocate(8, 1, no_roots)
+    first = (heap.allocate(8, 1, no_roots) & ~7) >> 3
+    for _ in range(6):  # fill the remaining 54 words
+        heap.allocate(8, 1, no_roots)
     heap.collect([])
-    second = heap.allocate(8, 1, no_roots)
-    assert first == second  # same space reused
+    seen = set()
+    for _ in range(7):
+        seen.add((heap.allocate(8, 1, no_roots) & ~7) >> 3)
+    assert first in seen  # same space reused
 
 
 def test_bad_sizes_and_tags():
@@ -152,3 +159,143 @@ def test_allocation_stats():
     heap = make_heap()
     heap.allocate(3, 1, no_roots)
     assert heap.words_allocated == 4  # payload + header
+
+
+# ----------------------------------------------------------------------
+# allocator edge cases (size-class bins, bump region, occupancy trigger)
+# ----------------------------------------------------------------------
+
+
+def base_of(pointer):
+    return (pointer & ~7) >> 3
+
+
+def conserved(heap):
+    # Word 0 is reserved; every other word is either live or free.
+    return heap.live_words() + heap.free_words() == heap.size_words - 1
+
+
+def test_zero_word_blocks():
+    heap = make_heap(64)
+    p = heap.allocate(0, 1, no_roots)
+    assert heap.mem[base_of(p)] == 0
+    assert heap.words_allocated == 1  # header only
+    assert conserved(heap)
+    heap.collect([])
+    assert base_of(p) not in heap.blocks
+    q = heap.allocate(0, 1, no_roots)
+    assert base_of(q) in heap.blocks
+    assert conserved(heap)
+
+
+def test_fragmentation_straddling_bin_boundaries():
+    # Free a large block (above MAX_BIN_PAYLOAD) and service a bin-sized
+    # request from it: the best-fit split must leave the remainder
+    # accounted for, and a later large request must still succeed after
+    # the coalescing pass merges the fragments back together.
+    heap = make_heap(64)
+    big = heap.allocate(40, 1, no_roots)  # payload > MAX_BIN_PAYLOAD
+    filler = heap.allocate(20, 1, no_roots)
+    heap.collect([filler])  # 41-word extent dead, pending
+    small = heap.allocate(16, 1, no_roots)  # bin-max, carved out of it
+    assert base_of(small) == base_of(big)  # split the dead extent
+    assert conserved(heap)
+    heap.collect([])  # everything dead again
+    big2 = heap.allocate(40, 1, no_roots)  # needs the fragments merged
+    assert heap.mem[base_of(big2)] == 40
+    assert conserved(heap)
+
+
+def test_occupancy_trigger_fires_at_threshold():
+    heap = Heap(256, gc_occupancy=0.5)
+    heap.register_pointer_tag(1)
+    while not any(e.trigger == "occupancy" for e in heap.gc_events):
+        heap.allocate(8, 1, no_roots)
+    # The trigger fired near the threshold, well before exhaustion.
+    event = next(e for e in heap.gc_events if e.trigger == "occupancy")
+    assert event.reclaimed_words > 0
+    assert all(e.trigger != "exhausted" for e in heap.gc_events)
+    assert conserved(heap)
+
+
+def test_occupancy_zero_denied_and_legacy_none():
+    with pytest.raises(ValueError):
+        Heap(256, gc_occupancy=0.0)
+    with pytest.raises(ValueError):
+        Heap(256, gc_occupancy=1.5)
+    heap = Heap(256, gc_occupancy=None)  # legacy: collect on exhaustion
+    heap.register_pointer_tag(1)
+    for _ in range(60):
+        heap.allocate(8, 1, no_roots)
+    assert all(e.trigger == "exhausted" for e in heap.gc_events)
+
+
+def test_bump_exhaustion_with_live_scratch_roots():
+    # A cons-loop with live scratch state: when the bump region runs dry
+    # mid-sequence, the collection must keep every rooted block and the
+    # values stored in it.
+    heap = make_heap(128)
+    roots: list[int] = []
+    for i in range(4):
+        p = heap.allocate(2, 1, lambda: roots)
+        heap.store((p & ~7) + 8, (i + 1) * 8)  # fixnum payload
+        roots.append(p)
+    for _ in range(200):  # garbage churn far beyond 128 words
+        heap.allocate(4, 1, lambda: roots)
+    assert heap.gc_count >= 1
+    for i, p in enumerate(roots):
+        assert base_of(p) in heap.blocks
+        assert heap.load((p & ~7) + 8) == (i + 1) * 8
+    assert conserved(heap)
+
+
+def test_gc_telemetry_aggregates():
+    heap = make_heap(128)
+    heap.allocate(4, 1, no_roots)
+    heap.collect([])
+    stats = heap.gc_telemetry()
+    assert stats["collections"] == 1
+    assert stats["triggers"] == {"explicit": 1}
+    assert stats["reclaimed_words_total"] == 5
+    assert stats["pause_seconds_total"] >= 0.0
+    assert stats["live_words"] == 0
+    assert stats["size_words"] == 128
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+alloc_ops = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=24),  # allocate n payload words
+        st.just("collect"),
+        st.just("collect-rooted"),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=alloc_ops)
+def test_word_conservation_property(ops):
+    # After any alloc/collect sequence, every non-reserved word is
+    # either live or somewhere in the free structures (bump remainder,
+    # bins, pending queue, large extents).
+    heap = Heap(192, gc_occupancy=0.75)
+    heap.register_pointer_tag(1)
+    roots: list[int] = []
+    for op in ops:
+        if op == "collect":
+            roots.clear()
+            heap.collect(roots)
+        elif op == "collect-rooted":
+            heap.collect(roots)
+        else:
+            try:
+                p = heap.allocate(op, 1, lambda: roots)
+            except HeapExhausted:
+                roots.clear()
+                continue
+            if len(roots) < 4:
+                roots.append(p)
+        assert conserved(heap), f"after {op}: {heap.live_words()} live"
