@@ -26,23 +26,32 @@ from .api import (
     run_source,
 )
 from .errors import (
+    AllocBudgetExceeded,
+    BudgetExceeded,
     CompileError,
+    DeadlineExceeded,
     ExpandError,
     HeapExhausted,
     ReaderError,
     ReproError,
     SchemeError,
+    StepBudgetExceeded,
     VMError,
 )
 from .opt import OptimizerOptions
+from .vm import Budget, TrapInfo
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AllocBudgetExceeded",
+    "Budget",
+    "BudgetExceeded",
     "Closure",
     "CompileError",
     "CompileOptions",
     "CompiledProgram",
+    "DeadlineExceeded",
     "ExpandError",
     "HeapExhausted",
     "OptimizerOptions",
@@ -51,6 +60,8 @@ __all__ = [
     "ReproError",
     "RunResult",
     "SchemeError",
+    "StepBudgetExceeded",
+    "TrapInfo",
     "VMError",
     "compile_source",
     "decode",

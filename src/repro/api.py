@@ -83,6 +83,9 @@ class CompiledProgram:
         engine: str | None = None,
         profile: bool = False,
         gc_occupancy: float | None = DEFAULT_GC_OCCUPANCY,
+        deadline_seconds: float | None = None,
+        max_alloc_words: int | None = None,
+        budget=None,
     ) -> RunResult:
         machine = Machine(
             self.vm_program,
@@ -93,6 +96,9 @@ class CompiledProgram:
             engine=engine,
             profile=profile,
             gc_occupancy=gc_occupancy,
+            deadline_seconds=deadline_seconds,
+            max_alloc_words=max_alloc_words,
+            budget=budget,
         )
         result = machine.run()
         result.machine = machine  # type: ignore[attr-defined]
@@ -249,12 +255,18 @@ def run_source(
     input_text: str = "",
     engine: str | None = None,
     gc_occupancy: float | None = DEFAULT_GC_OCCUPANCY,
+    deadline_seconds: float | None = None,
+    max_alloc_words: int | None = None,
 ) -> RunResult:
     """Compile and run; returns the VM's :class:`RunResult`.
 
     ``heap_words`` defaults to ``$REPRO_HEAP_WORDS`` (or 1M words);
     ``gc_occupancy`` selects the collection trigger (``None`` restores
-    the legacy allocate-until-exhausted policy).
+    the legacy allocate-until-exhausted policy).  ``max_steps``,
+    ``deadline_seconds``, and ``max_alloc_words`` are the resource
+    budgets (see docs/INTERNALS.md §11); tripping one raises a
+    :class:`~repro.errors.BudgetExceeded` subclass whose ``machine``
+    can be resumed.
     """
     compiled = compile_source(source, options)
     return compiled.run(
@@ -263,6 +275,8 @@ def run_source(
         input_text=input_text,
         engine=engine,
         gc_occupancy=gc_occupancy,
+        deadline_seconds=deadline_seconds,
+        max_alloc_words=max_alloc_words,
     )
 
 

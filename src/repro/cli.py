@@ -7,7 +7,12 @@ Usage (after ``python setup.py develop``):
     python -m repro.cli disassemble -e '(define (f x) (car x))' --name f
     python -m repro.cli stats -e '(fib 10)' --config baseline
     python -m repro.cli lint program.scm --Werror
+    python -m repro.cli faultsweep examples/scm/*.scm --max-sites 64
     python -m repro.cli repl
+
+Exit codes (see docs/DIAGNOSTICS.md): 0 success, 1 other error,
+2 reader error, 3 expand/compile error, 4 lint findings under
+``--Werror``, 5 VM trap, 6 resource budget exceeded.
 """
 
 from __future__ import annotations
@@ -23,9 +28,32 @@ from . import (
     decode,
     run_source,
 )
+from .errors import BudgetExceeded, CompileError, ExpandError, ReaderError, VMError
 from .sexpr import to_write
 from .vm.engine import ENGINES
 from .vm.heap import DEFAULT_GC_OCCUPANCY
+
+# Distinct, documented exit codes per error class.
+EXIT_OK = 0
+EXIT_ERROR = 1  # any other failure
+EXIT_READER = 2
+EXIT_COMPILE = 3  # expansion or any later compiler stage
+EXIT_LINT = 4  # lint findings under --Werror (or lint errors)
+EXIT_VM = 5  # a VM trap (type error, heap exhaustion, ...)
+EXIT_BUDGET = 6  # a resource budget (steps/deadline/alloc) ran out
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Map an error to its documented CLI exit code."""
+    if isinstance(error, ReaderError):
+        return EXIT_READER
+    if isinstance(error, (ExpandError, CompileError)):
+        return EXIT_COMPILE
+    if isinstance(error, BudgetExceeded):  # before VMError: it is one
+        return EXIT_BUDGET
+    if isinstance(error, VMError):
+        return EXIT_VM
+    return EXIT_ERROR
 
 
 def _options(namespace: argparse.Namespace) -> CompileOptions:
@@ -121,6 +149,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="collect when heap occupancy reaches this fraction "
         "(default 0.9; 0 = legacy collect-on-exhaustion)",
     )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="step budget: abort (exit 6) after N instructions",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget: abort (exit 6) after this many seconds",
+    )
+    parser.add_argument(
+        "--max-alloc-words",
+        type=int,
+        default=None,
+        metavar="N",
+        help="allocation budget: abort (exit 6) after N heap words",
+    )
 
 
 def cmd_run(namespace: argparse.Namespace) -> int:
@@ -131,6 +180,9 @@ def cmd_run(namespace: argparse.Namespace) -> int:
         engine=namespace.engine,
         heap_words=_heap_words(namespace),
         gc_occupancy=_gc_occupancy(namespace),
+        max_steps=namespace.max_steps,
+        deadline_seconds=namespace.deadline,
+        max_alloc_words=namespace.max_alloc_words,
     )
     sys.stdout.write(result.output)
     value = decode(result)
@@ -157,6 +209,9 @@ def cmd_stats(namespace: argparse.Namespace) -> int:
         engine=namespace.engine,
         heap_words=_heap_words(namespace),
         gc_occupancy=_gc_occupancy(namespace),
+        max_steps=namespace.max_steps,
+        deadline_seconds=namespace.deadline,
+        max_alloc_words=namespace.max_alloc_words,
     )
     print(f"value:        {to_write(decode(result))}")
     print(f"instructions: {result.steps}")
@@ -204,7 +259,7 @@ def cmd_lint(namespace: argparse.Namespace) -> int:
         print(render_json(report, filename))
     else:
         print(render_text(report, filename))
-    return report.exit_code(werror=namespace.werror)
+    return EXIT_LINT if report.exit_code(werror=namespace.werror) else EXIT_OK
 
 
 def cmd_profile(namespace: argparse.Namespace) -> int:
@@ -226,6 +281,85 @@ def cmd_profile(namespace: argparse.Namespace) -> int:
     else:
         print(render_text(report, top=namespace.top))
     return 0
+
+
+def cmd_faultsweep(namespace: argparse.Namespace) -> int:
+    """Sweep programs through deterministic fault-injection schedules.
+
+    Exit 0 when every injected fault honoured the hardened-execution
+    contract (completed correctly or trapped with intact invariants),
+    1 when any violation was found.
+    """
+    import glob as _glob
+    import json as _json
+
+    from .vm.faultinject import sweep_source
+
+    paths = namespace.files
+    if not paths:
+        paths = sorted(_glob.glob("examples/scm/*.scm"))
+        if not paths:
+            raise SystemExit("no files given and no examples/scm/*.scm found")
+    engines = [namespace.engine] if namespace.engine else sorted(ENGINES)
+    gc_every = tuple(namespace.gc_every) if namespace.gc_every else (1, 3, 7)
+    heap_words = _heap_words(namespace) or (1 << 16)
+
+    reports = []
+    totals = {"runs": 0, "completed": 0, "trapped": 0, "violations": 0}
+    for path in paths:
+        with open(path) as handle:
+            source = handle.read()
+        for engine in engines:
+            report = sweep_source(
+                source,
+                label=path,
+                engine=engine,
+                heap_words=heap_words,
+                max_sites=namespace.max_sites,
+                gc_every=gc_every,
+                seed=namespace.seed,
+            )
+            reports.append((engine, report))
+            counts = report.counts()
+            for key in totals:
+                totals[key] += counts[key]
+            if not namespace.json:
+                print(
+                    f"{path} [{engine}]: {counts['runs']} runs over "
+                    f"{report.total_allocs} allocation sites — "
+                    f"{counts['completed']} completed, "
+                    f"{counts['trapped']} trapped, "
+                    f"{counts['violations']} violations"
+                )
+            for violation in report.violations:
+                print(f"  VIOLATION: {violation}", file=sys.stderr)
+
+    if namespace.json:
+        print(
+            _json.dumps(
+                {
+                    "totals": totals,
+                    "reports": [
+                        {
+                            "label": report.label,
+                            "engine": engine,
+                            "total_allocs": report.total_allocs,
+                            **report.counts(),
+                            "violations": report.violations,
+                        }
+                        for engine, report in reports
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"faultsweep: {totals['runs']} runs, {totals['completed']} "
+            f"completed, {totals['trapped']} trapped, "
+            f"{totals['violations']} violations"
+        )
+    return EXIT_OK if totals["violations"] == 0 else EXIT_ERROR
 
 
 def cmd_repl(namespace: argparse.Namespace) -> int:
@@ -325,6 +459,51 @@ def main(argv: list[str] | None = None) -> int:
     )
     lint_parser.set_defaults(fn=cmd_lint)
 
+    sweep_parser = subparsers.add_parser(
+        "faultsweep",
+        help="prove trap recovery under injected heap/budget faults",
+    )
+    sweep_parser.add_argument(
+        "files", nargs="*", help="Scheme sources (default: examples/scm/*.scm)"
+    )
+    sweep_parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="sweep one engine (default: all engines)",
+    )
+    sweep_parser.add_argument(
+        "--max-sites",
+        type=int,
+        default=32,
+        metavar="N",
+        help="cap on allocation-failure injection points per program",
+    )
+    sweep_parser.add_argument(
+        "--gc-every",
+        type=int,
+        action="append",
+        metavar="N",
+        help="forced-GC cadence to sweep (repeatable; default 1, 3, 7)",
+    )
+    sweep_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the injected-deadline dispatch points (default 0)",
+    )
+    sweep_parser.add_argument(
+        "--heap-words",
+        type=int,
+        default=None,
+        metavar="N",
+        help="heap size for the swept runs (default 65536)",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    sweep_parser.set_defaults(fn=cmd_faultsweep)
+
     repl_parser = subparsers.add_parser("repl", help="interactive loop")
     _add_common(repl_parser)
     repl_parser.set_defaults(fn=cmd_repl)
@@ -334,7 +513,7 @@ def main(argv: list[str] | None = None) -> int:
         return namespace.fn(namespace)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

@@ -9,7 +9,21 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro system."""
+    """Base class for all errors raised by the repro system.
+
+    Errors that unwind out of the virtual machine are annotated by the
+    execution engines and :meth:`repro.vm.machine.Machine.trap`:
+
+    * ``trap_pc`` / ``trap_opcode`` — instruction index (within the
+      trapping code object) and base-opcode name where the fault was
+      detected, when the engine knows them;
+    * ``trap`` — the :class:`repro.vm.budget.TrapInfo` snapshot taken by
+      the machine's trap-recovery path.
+    """
+
+    trap_pc: int | None = None
+    trap_opcode: str | None = None
+    trap = None  # TrapInfo, attached by Machine.trap()
 
 
 class ReaderError(ReproError):
@@ -59,3 +73,76 @@ class SchemeError(VMError):
 
 class HeapExhausted(VMError):
     """The VM heap is full even after garbage collection."""
+
+
+class BudgetExceeded(VMError):
+    """A resource budget (steps, wall-clock, or allocation) ran out.
+
+    Budget trips are *recoverable*: the machine suspends at an
+    instruction boundary with its heap and frame invariants intact, and
+    :meth:`repro.vm.machine.Machine.resume` continues the run under a
+    larger (or cleared) budget.  ``consumed``/``limit`` report the
+    tripping counter in the budget's own unit.
+    """
+
+    #: which budget tripped: "steps", "deadline", or "alloc"
+    budget = "budget"
+
+    def __init__(self, message: str, consumed=None, limit=None):
+        super().__init__(message)
+        self.consumed = consumed
+        self.limit = limit
+
+
+class StepBudgetExceeded(BudgetExceeded):
+    """The instruction-count budget (``max_steps``) ran out."""
+
+    budget = "steps"
+
+    def __init__(self, steps: int, max_steps: int):
+        # str() keeps the historical VMError message for compatibility.
+        super().__init__(
+            f"execution exceeded {max_steps} steps", steps, max_steps
+        )
+        self.steps = steps
+        self.max_steps = max_steps
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The wall-clock deadline (``deadline_seconds``) expired."""
+
+    budget = "deadline"
+
+    def __init__(
+        self,
+        elapsed_seconds: float,
+        deadline_seconds: float,
+        message: str | None = None,
+    ):
+        super().__init__(
+            message
+            or (
+                f"execution exceeded its {deadline_seconds:g} s deadline "
+                f"({elapsed_seconds:.3f} s elapsed)"
+            ),
+            elapsed_seconds,
+            deadline_seconds,
+        )
+        self.elapsed_seconds = elapsed_seconds
+        self.deadline_seconds = deadline_seconds
+
+
+class AllocBudgetExceeded(BudgetExceeded):
+    """The allocation budget (``max_alloc_words``) ran out."""
+
+    budget = "alloc"
+
+    def __init__(self, words_allocated: int, max_alloc_words: int):
+        super().__init__(
+            f"execution exceeded its allocation budget "
+            f"({words_allocated} of {max_alloc_words} words)",
+            words_allocated,
+            max_alloc_words,
+        )
+        self.words_allocated = words_allocated
+        self.max_alloc_words = max_alloc_words

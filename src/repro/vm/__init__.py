@@ -1,23 +1,39 @@
 """The virtual machine substrate."""
 
 from . import isa
+from .budget import BUDGET_CHECK_INTERVAL, Budget, TrapInfo
 from .engine import ENGINES, create_engine, default_engine_name
+from .faultinject import (
+    FaultInjectingHeap,
+    FaultSchedule,
+    SweepReport,
+    sweep_program,
+    sweep_source,
+)
 from .heap import Heap
 from .machine import FAIL_MESSAGES, Machine, RunResult
 from .profile import ProfileReport, build_report, profile_program
 from .registry import TypeRegistry
 
 __all__ = [
+    "BUDGET_CHECK_INTERVAL",
+    "Budget",
     "ENGINES",
     "FAIL_MESSAGES",
+    "FaultInjectingHeap",
+    "FaultSchedule",
     "Heap",
     "Machine",
     "ProfileReport",
     "RunResult",
+    "SweepReport",
+    "TrapInfo",
     "TypeRegistry",
     "build_report",
     "create_engine",
     "default_engine_name",
     "isa",
     "profile_program",
+    "sweep_program",
+    "sweep_source",
 ]

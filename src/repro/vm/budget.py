@@ -1,0 +1,128 @@
+"""The resource-budget subsystem and trap-recovery records.
+
+A :class:`Budget` bundles the three run limits the machine enforces:
+
+* ``max_steps`` — counted base instructions (exact: the instruction
+  that would exceed the budget is charged but not executed);
+* ``deadline_seconds`` — wall clock, measured from the start of
+  :meth:`~repro.vm.machine.Machine.run` (or of each
+  :meth:`~repro.vm.machine.Machine.resume` segment).  Checked every
+  :data:`BUDGET_CHECK_INTERVAL` steps, so resolution is the time those
+  steps take (well under a millisecond in practice);
+* ``max_alloc_words`` — cumulative heap words allocated (header
+  included), checked on the same cadence after settling the engines'
+  deferred allocation bookkeeping.
+
+All three ride the engines' *existing* step-budget fast path: the hot
+loops keep exactly one ``limit is not None and steps > limit`` compare
+per counted instruction (the historical ``max_steps`` cost), against a
+unified limit that is the minimum of ``max_steps`` and the next
+deadline/allocation checkpoint.  Overruns leave the fast path through
+:meth:`Machine._step_overrun`, which either raises a structured
+:class:`~repro.errors.BudgetExceeded` subclass or advances the
+checkpoint and returns.
+
+Budget trips suspend the machine at an instruction boundary: the engine
+records a :class:`Suspension` (registers, pc, and — when the trip lands
+on the second half of a fused superinstruction — the already-charged
+pending half), and :meth:`Machine.resume` continues the run under new
+limits.  Every VM fault, budget or not, unwinds through
+:meth:`Machine.trap`, which restores heap/registry invariants and
+snapshots a :class:`TrapInfo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: steps between deadline / allocation-budget checks (power of two so
+#: the checkpoint arithmetic stays cheap); exactness is only promised
+#: for ``max_steps``
+BUDGET_CHECK_INTERVAL = 4096
+
+
+@dataclass
+class Budget:
+    """The three run limits, bundled.  ``None`` means unlimited."""
+
+    max_steps: int | None = None
+    deadline_seconds: float | None = None
+    max_alloc_words: int | None = None
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.max_steps is None
+            and self.deadline_seconds is None
+            and self.max_alloc_words is None
+        )
+
+
+@dataclass
+class TrapInfo:
+    """Snapshot of one VM fault, taken by :meth:`Machine.trap`.
+
+    ``kind`` classifies the fault domain: ``"steps"``/``"deadline"``/
+    ``"alloc"`` (budget trips), ``"heap"`` (exhaustion after GC),
+    ``"scheme"`` (an error signalled by compiled Scheme code),
+    ``"vm"`` (any other machine fault), or ``"internal"`` (a Python
+    exception escaping an engine — a bug, but invariants are still
+    restored).  ``resumable`` is true exactly when
+    :meth:`Machine.resume` can continue the run.
+    """
+
+    error: str
+    message: str
+    kind: str
+    pc: int | None
+    opcode: str | None
+    steps: int
+    dispatches: int
+    frame_depth: int
+    engine: str
+    resumable: bool
+    gc_count: int
+    words_allocated: int
+
+
+def trap_kind(error: BaseException) -> str:
+    """Classify an exception into a :class:`TrapInfo` fault domain."""
+    from ..errors import (
+        BudgetExceeded,
+        HeapExhausted,
+        ReproError,
+        SchemeError,
+    )
+
+    if isinstance(error, BudgetExceeded):
+        return error.budget
+    if isinstance(error, HeapExhausted):
+        return "heap"
+    if isinstance(error, SchemeError):
+        return "scheme"
+    if isinstance(error, ReproError):
+        return "vm"
+    return "internal"
+
+
+@dataclass
+class Suspension:
+    """Resumable engine state saved at a budget trip.
+
+    ``rollback_op`` is the base opcode that was charged but not
+    executed (the trip instruction); resuming un-charges it (one step,
+    one dispatch) and re-dispatches at ``pc``.  When the trip lands on
+    the *second* half of a fused pair the first half has already
+    executed, so instead ``pending``/``pending_op`` carry the charged
+    second half: resuming executes it without re-charging and continues
+    at ``pc`` (the pair's fall-through) or at the half's branch target.
+    """
+
+    code: object  # the CodeObject being executed
+    table: list | None  # threaded handler table (None for naive)
+    regs: list
+    pc: int
+    rollback_op: int | None = None
+    pending_op: int | None = None
+    #: naive: the decomposed instruction; threaded: its executor closure
+    pending: object = None

@@ -34,9 +34,10 @@ from __future__ import annotations
 import os
 import sys
 
-from ..errors import SchemeError, VMError
+from ..errors import BudgetExceeded, ReproError, SchemeError, VMError
 from ..prims import WORD_MASK, signed, wrap
 from . import isa
+from .budget import Suspension
 from .heap import MAX_BIN_PAYLOAD, ZEROS, _NZEROS
 from .machine import FAIL_MESSAGES, _CLOSURE_TAG, _ESCAPE_CODE
 
@@ -192,6 +193,18 @@ class Engine:
     def run(self):
         raise NotImplementedError
 
+    def resume(self, suspension):
+        """Continue from a budget :class:`Suspension` (Machine.resume)."""
+        raise NotImplementedError
+
+    def heap_changed(self):
+        """Invalidate any cached state that bakes in heap identity.
+
+        Handler tables and fused executors close over ``heap.mem`` /
+        ``heap.bump`` at build time; after ``Machine.install_heap`` they
+        must be rebuilt against the new arrays.
+        """
+
 
 # ----------------------------------------------------------------------
 # the naive switch interpreter
@@ -208,6 +221,13 @@ class NaiveEngine(Engine):
         # per-code tables of flat fused-pair executors, indexed by pc and
         # filled on first execution (id(code) -> list)
         self._fused_tables: dict[int, list] = {}
+        # the charged-but-unexecuted second half of a fused pair whose
+        # budget tripped between the halves (see _exec_fused)
+        self._midpair: list | None = None
+
+    def heap_changed(self):
+        # fused executors built by _FUSED_MAKERS capture the heap arrays
+        self._fused_tables.clear()
 
     # -- fused-instruction support -------------------------------------
 
@@ -383,7 +403,14 @@ class NaiveEngine(Engine):
         first, second = halves
         m._count_step(first[0])
         self._exec_base(first, regs)
-        m._count_step(second[0])
+        try:
+            m._count_step(second[0])
+        except BudgetExceeded:
+            # The first half executed, the second is charged but not
+            # executed: remember it so the suspension can finish the
+            # pair on resume instead of rolling back.
+            self._midpair = second
+            raise
         target = self._exec_base(second, regs)
         return pc if target is None else target
 
@@ -392,9 +419,29 @@ class NaiveEngine(Engine):
     def run(self):
         m = self.m
         main = m.codes[m.program.main_id]
-        code = main
-        regs = [0] * main.nregs
-        pc = 0
+        return self._execute(main, [0] * main.nregs, 0)
+
+    def resume(self, suspension):
+        m = self.m
+        regs = suspension.regs
+        pc = suspension.pc
+        if suspension.rollback_op is not None:
+            # The trip instruction was charged but never executed: undo
+            # the charge (one step, one dispatch) and re-dispatch it.
+            op = suspension.rollback_op
+            m.counts[op] -= 1
+            m.steps -= 1
+            m.dispatches -= 1
+        elif suspension.pending is not None:
+            # Mid-fused-pair trip: the second half is already charged;
+            # execute it without re-charging, honouring a taken branch.
+            target = self._exec_base(suspension.pending, regs)
+            if target is not None:
+                pc = target
+        return self._execute(suspension.code, regs, pc)
+
+    def _execute(self, code, regs, pc):
+        m = self.m
         instructions = code.instructions
         fused = self._fused_table(code)
         counts = m.counts
@@ -407,376 +454,409 @@ class NaiveEngine(Engine):
         # possibility (so no frame rooting); block registration is
         # deferred to heap.sync_allocations().  Heaps without a bump
         # region (e.g. the legacy baseline in benchmarks) get a dummy
-        # always-full region and take the slow path every time.
+        # always-full region and take the slow path every time; so do
+        # fault-injecting heaps, which must see every allocation.
         mem = heap.mem
         bump = getattr(heap, "bump", None)
-        if bump is None:
+        if bump is None or getattr(heap, "fault_injection", False):
             bump = [0, 0]
-        max_steps = m.max_steps
+        # Unified budget limit: min(max_steps, next deadline/alloc
+        # checkpoint).  One compare per counted instruction; overruns
+        # leave the fast path through Machine._step_overrun, which
+        # raises or hands back the advanced checkpoint.
+        step_limit = m._step_limit
         first_fused = isa.FIRST_FUSED
         prev_code = None
         prev_pc = -2
         prev_op = -1
 
-        while True:
-            ins = instructions[pc]
-            pc += 1
-            op = ins[0]
-            if counting:
-                m.dispatches += 1
-                if profiling:
-                    if code is prev_code and pc - 2 == prev_pc:
-                        key = (prev_op, op)
-                        pair_counts[key] = pair_counts.get(key, 0) + 1
-                    prev_code = code
-                    prev_pc = pc - 1
-                    prev_op = op
-                if op < first_fused:
-                    counts[op] += 1
-                    m.steps += 1
-                    if max_steps is not None and m.steps > max_steps:
-                        raise VMError(f"execution exceeded {max_steps} steps")
-
-            if op >= first_fused:
+        try:
+            while True:
+                ins = instructions[pc]
+                pc += 1
+                op = ins[0]
                 if counting:
-                    pc = self._exec_fused(ins, pc, regs)
-                else:
-                    handler = fused[pc - 1]
-                    if handler is None:
-                        handler = fused[pc - 1] = self._make_fused(ins)
-                    target = handler(regs)
-                    if target is not None:
-                        pc = target
-            elif op == isa.LD:
-                address = wrap(regs[ins[2]] + ins[3])
-                regs[ins[1]] = heap.load(address)
-            elif op == isa.ST:
-                address = wrap(regs[ins[1]] + ins[2])
-                heap.store(address, regs[ins[3]])
-            elif op == isa.LDC:
-                regs[ins[1]] = ins[2]
-            elif op == isa.MOV:
-                regs[ins[1]] = regs[ins[2]]
-            elif op == isa.ADD:
-                regs[ins[1]] = (regs[ins[2]] + regs[ins[3]]) & WORD_MASK
-            elif op == isa.ADDI:
-                regs[ins[1]] = (regs[ins[2]] + ins[3]) & WORD_MASK
-            elif op == isa.SUB:
-                regs[ins[1]] = (regs[ins[2]] - regs[ins[3]]) & WORD_MASK
-            elif op == isa.SUBI:
-                regs[ins[1]] = (regs[ins[2]] - ins[3]) & WORD_MASK
-            elif op == isa.MUL:
-                regs[ins[1]] = (signed(regs[ins[2]]) * signed(regs[ins[3]])) & WORD_MASK
-            elif op == isa.MULI:
-                regs[ins[1]] = (signed(regs[ins[2]]) * signed(ins[3])) & WORD_MASK
-            elif op == isa.DIV:
-                regs[ins[1]] = m._div(regs[ins[2]], regs[ins[3]])
-            elif op == isa.MOD:
-                regs[ins[1]] = m._mod(regs[ins[2]], regs[ins[3]])
-            elif op == isa.AND:
-                regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
-            elif op == isa.ANDI:
-                regs[ins[1]] = regs[ins[2]] & ins[3]
-            elif op == isa.OR:
-                regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
-            elif op == isa.ORI:
-                regs[ins[1]] = regs[ins[2]] | ins[3]
-            elif op == isa.XOR:
-                regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
-            elif op == isa.XORI:
-                regs[ins[1]] = regs[ins[2]] ^ ins[3]
-            elif op == isa.NOT:
-                regs[ins[1]] = (~regs[ins[2]]) & WORD_MASK
-            elif op == isa.SHL:
-                regs[ins[1]] = (regs[ins[2]] << (regs[ins[3]] & 63)) & WORD_MASK
-            elif op == isa.SHLI:
-                regs[ins[1]] = (regs[ins[2]] << (ins[3] & 63)) & WORD_MASK
-            elif op == isa.SHR:
-                regs[ins[1]] = regs[ins[2]] >> (regs[ins[3]] & 63)
-            elif op == isa.SHRI:
-                regs[ins[1]] = regs[ins[2]] >> (ins[3] & 63)
-            elif op == isa.SAR:
-                regs[ins[1]] = (signed(regs[ins[2]]) >> (regs[ins[3]] & 63)) & WORD_MASK
-            elif op == isa.SARI:
-                regs[ins[1]] = (signed(regs[ins[2]]) >> (ins[3] & 63)) & WORD_MASK
-            elif op == isa.CMPEQ:
-                regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
-            elif op == isa.CMPEQI:
-                regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
-            elif op == isa.CMPNE:
-                regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
-            elif op == isa.CMPNEI:
-                regs[ins[1]] = 1 if regs[ins[2]] != ins[3] else 0
-            elif op == isa.CMPLT:
-                regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(regs[ins[3]]) else 0
-            elif op == isa.CMPLTI:
-                regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(ins[3]) else 0
-            elif op == isa.CMPLE:
-                regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(regs[ins[3]]) else 0
-            elif op == isa.CMPLEI:
-                regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(ins[3]) else 0
-            elif op == isa.CMPULT:
-                regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
-            elif op == isa.CMPULE:
-                regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
-            elif op == isa.CMPNZ:
-                regs[ins[1]] = 1 if regs[ins[2]] != 0 else 0
-            elif op == isa.JMP:
-                pc = ins[1]
-            elif op == isa.JT:
-                if regs[ins[1]] != 0:
-                    pc = ins[2]
-            elif op == isa.JF:
-                if regs[ins[1]] == 0:
-                    pc = ins[2]
-            elif op == isa.JEQ:
-                if regs[ins[1]] == regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JNE:
-                if regs[ins[1]] != regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JEQI:
-                if regs[ins[1]] == ins[2]:
-                    pc = ins[3]
-            elif op == isa.JNEI:
-                if regs[ins[1]] != ins[2]:
-                    pc = ins[3]
-            elif op == isa.JLTI:
-                if signed(regs[ins[1]]) < signed(ins[2]):
-                    pc = ins[3]
-            elif op == isa.JGEI:
-                if signed(regs[ins[1]]) >= signed(ins[2]):
-                    pc = ins[3]
-            elif op == isa.JLEI:
-                if signed(regs[ins[1]]) <= signed(ins[2]):
-                    pc = ins[3]
-            elif op == isa.JGTI:
-                if signed(regs[ins[1]]) > signed(ins[2]):
-                    pc = ins[3]
-            elif op == isa.JLT:
-                if signed(regs[ins[1]]) < signed(regs[ins[2]]):
-                    pc = ins[3]
-            elif op == isa.JGE:
-                if signed(regs[ins[1]]) >= signed(regs[ins[2]]):
-                    pc = ins[3]
-            elif op == isa.JLE:
-                if signed(regs[ins[1]]) <= signed(regs[ins[2]]):
-                    pc = ins[3]
-            elif op == isa.JGT:
-                if signed(regs[ins[1]]) > signed(regs[ins[2]]):
-                    pc = ins[3]
-            elif op == isa.JULT:
-                if regs[ins[1]] < regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JUGE:
-                if regs[ins[1]] >= regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JULE:
-                if regs[ins[1]] <= regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.JUGT:
-                if regs[ins[1]] > regs[ins[2]]:
-                    pc = ins[3]
-            elif op == isa.ALLOC:
-                nwords = regs[ins[2]]
-                total = nwords + 1
-                nbase = bump[0]
-                if nbase + total <= bump[1]:
-                    # Registration in heap.blocks and the allocation
-                    # counter are deferred: heap.sync_allocations()
-                    # reconstructs both from the headers in the bump
-                    # span before they are needed.
-                    bump[0] = nbase + total
-                    mem[nbase] = nwords
-                    if nwords:
-                        mem[nbase + 1 : nbase + total] = (
-                            ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+                    m.dispatches += 1
+                    if profiling:
+                        if code is prev_code and pc - 2 == prev_pc:
+                            key = (prev_op, op)
+                            pair_counts[key] = pair_counts.get(key, 0) + 1
+                        prev_code = code
+                        prev_pc = pc - 1
+                        prev_op = op
+                    if op < first_fused:
+                        counts[op] += 1
+                        m.steps += 1
+                        if step_limit is not None and m.steps > step_limit:
+                            step_limit = m._step_overrun(op)
+
+                if op >= first_fused:
+                    if counting:
+                        pc = self._exec_fused(ins, pc, regs)
+                    else:
+                        handler = fused[pc - 1]
+                        if handler is None:
+                            handler = fused[pc - 1] = self._make_fused(ins)
+                        target = handler(regs)
+                        if target is not None:
+                            pc = target
+                elif op == isa.LD:
+                    address = wrap(regs[ins[2]] + ins[3])
+                    regs[ins[1]] = heap.load(address)
+                elif op == isa.ST:
+                    address = wrap(regs[ins[1]] + ins[2])
+                    heap.store(address, regs[ins[3]])
+                elif op == isa.LDC:
+                    regs[ins[1]] = ins[2]
+                elif op == isa.MOV:
+                    regs[ins[1]] = regs[ins[2]]
+                elif op == isa.ADD:
+                    regs[ins[1]] = (regs[ins[2]] + regs[ins[3]]) & WORD_MASK
+                elif op == isa.ADDI:
+                    regs[ins[1]] = (regs[ins[2]] + ins[3]) & WORD_MASK
+                elif op == isa.SUB:
+                    regs[ins[1]] = (regs[ins[2]] - regs[ins[3]]) & WORD_MASK
+                elif op == isa.SUBI:
+                    regs[ins[1]] = (regs[ins[2]] - ins[3]) & WORD_MASK
+                elif op == isa.MUL:
+                    regs[ins[1]] = (signed(regs[ins[2]]) * signed(regs[ins[3]])) & WORD_MASK
+                elif op == isa.MULI:
+                    regs[ins[1]] = (signed(regs[ins[2]]) * signed(ins[3])) & WORD_MASK
+                elif op == isa.DIV:
+                    regs[ins[1]] = m._div(regs[ins[2]], regs[ins[3]])
+                elif op == isa.MOD:
+                    regs[ins[1]] = m._mod(regs[ins[2]], regs[ins[3]])
+                elif op == isa.AND:
+                    regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
+                elif op == isa.ANDI:
+                    regs[ins[1]] = regs[ins[2]] & ins[3]
+                elif op == isa.OR:
+                    regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
+                elif op == isa.ORI:
+                    regs[ins[1]] = regs[ins[2]] | ins[3]
+                elif op == isa.XOR:
+                    regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
+                elif op == isa.XORI:
+                    regs[ins[1]] = regs[ins[2]] ^ ins[3]
+                elif op == isa.NOT:
+                    regs[ins[1]] = (~regs[ins[2]]) & WORD_MASK
+                elif op == isa.SHL:
+                    regs[ins[1]] = (regs[ins[2]] << (regs[ins[3]] & 63)) & WORD_MASK
+                elif op == isa.SHLI:
+                    regs[ins[1]] = (regs[ins[2]] << (ins[3] & 63)) & WORD_MASK
+                elif op == isa.SHR:
+                    regs[ins[1]] = regs[ins[2]] >> (regs[ins[3]] & 63)
+                elif op == isa.SHRI:
+                    regs[ins[1]] = regs[ins[2]] >> (ins[3] & 63)
+                elif op == isa.SAR:
+                    regs[ins[1]] = (signed(regs[ins[2]]) >> (regs[ins[3]] & 63)) & WORD_MASK
+                elif op == isa.SARI:
+                    regs[ins[1]] = (signed(regs[ins[2]]) >> (ins[3] & 63)) & WORD_MASK
+                elif op == isa.CMPEQ:
+                    regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
+                elif op == isa.CMPEQI:
+                    regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
+                elif op == isa.CMPNE:
+                    regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
+                elif op == isa.CMPNEI:
+                    regs[ins[1]] = 1 if regs[ins[2]] != ins[3] else 0
+                elif op == isa.CMPLT:
+                    regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(regs[ins[3]]) else 0
+                elif op == isa.CMPLTI:
+                    regs[ins[1]] = 1 if signed(regs[ins[2]]) < signed(ins[3]) else 0
+                elif op == isa.CMPLE:
+                    regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(regs[ins[3]]) else 0
+                elif op == isa.CMPLEI:
+                    regs[ins[1]] = 1 if signed(regs[ins[2]]) <= signed(ins[3]) else 0
+                elif op == isa.CMPULT:
+                    regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
+                elif op == isa.CMPULE:
+                    regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
+                elif op == isa.CMPNZ:
+                    regs[ins[1]] = 1 if regs[ins[2]] != 0 else 0
+                elif op == isa.JMP:
+                    pc = ins[1]
+                elif op == isa.JT:
+                    if regs[ins[1]] != 0:
+                        pc = ins[2]
+                elif op == isa.JF:
+                    if regs[ins[1]] == 0:
+                        pc = ins[2]
+                elif op == isa.JEQ:
+                    if regs[ins[1]] == regs[ins[2]]:
+                        pc = ins[3]
+                elif op == isa.JNE:
+                    if regs[ins[1]] != regs[ins[2]]:
+                        pc = ins[3]
+                elif op == isa.JEQI:
+                    if regs[ins[1]] == ins[2]:
+                        pc = ins[3]
+                elif op == isa.JNEI:
+                    if regs[ins[1]] != ins[2]:
+                        pc = ins[3]
+                elif op == isa.JLTI:
+                    if signed(regs[ins[1]]) < signed(ins[2]):
+                        pc = ins[3]
+                elif op == isa.JGEI:
+                    if signed(regs[ins[1]]) >= signed(ins[2]):
+                        pc = ins[3]
+                elif op == isa.JLEI:
+                    if signed(regs[ins[1]]) <= signed(ins[2]):
+                        pc = ins[3]
+                elif op == isa.JGTI:
+                    if signed(regs[ins[1]]) > signed(ins[2]):
+                        pc = ins[3]
+                elif op == isa.JLT:
+                    if signed(regs[ins[1]]) < signed(regs[ins[2]]):
+                        pc = ins[3]
+                elif op == isa.JGE:
+                    if signed(regs[ins[1]]) >= signed(regs[ins[2]]):
+                        pc = ins[3]
+                elif op == isa.JLE:
+                    if signed(regs[ins[1]]) <= signed(regs[ins[2]]):
+                        pc = ins[3]
+                elif op == isa.JGT:
+                    if signed(regs[ins[1]]) > signed(regs[ins[2]]):
+                        pc = ins[3]
+                elif op == isa.JULT:
+                    if regs[ins[1]] < regs[ins[2]]:
+                        pc = ins[3]
+                elif op == isa.JUGE:
+                    if regs[ins[1]] >= regs[ins[2]]:
+                        pc = ins[3]
+                elif op == isa.JULE:
+                    if regs[ins[1]] <= regs[ins[2]]:
+                        pc = ins[3]
+                elif op == isa.JUGT:
+                    if regs[ins[1]] > regs[ins[2]]:
+                        pc = ins[3]
+                elif op == isa.ALLOC:
+                    nwords = regs[ins[2]]
+                    total = nwords + 1
+                    nbase = bump[0]
+                    if nbase + total <= bump[1]:
+                        # Registration in heap.blocks and the allocation
+                        # counter are deferred: heap.sync_allocations()
+                        # reconstructs both from the headers in the bump
+                        # span before they are needed.
+                        bump[0] = nbase + total
+                        mem[nbase] = nwords
+                        if nwords:
+                            mem[nbase + 1 : nbase + total] = (
+                                ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+                            )
+                        regs[ins[1]] = (nbase << 3) | (regs[ins[3]] & 7)
+                    else:
+                        m.frames.append([code, regs, pc, -1])
+                        regs[ins[1]] = m._alloc(regs[ins[2]], regs[ins[3]] & 7)
+                        m.frames.pop()
+                elif op == isa.ALLOCI:
+                    nwords = ins[2]
+                    total = nwords + 1
+                    nbase = bump[0]
+                    if 0 <= nwords and nbase + total <= bump[1]:
+                        bump[0] = nbase + total
+                        mem[nbase] = nwords
+                        if nwords:
+                            mem[nbase + 1 : nbase + total] = (
+                                ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+                            )
+                        regs[ins[1]] = (nbase << 3) | (ins[3] & 7)
+                    else:
+                        m.frames.append([code, regs, pc, -1])
+                        regs[ins[1]] = m._alloc(ins[2], ins[3])
+                        m.frames.pop()
+                elif op == isa.GLD:
+                    index = ins[2]
+                    if not m.global_defined[index]:
+                        raise VMError(
+                            f"undefined global variable "
+                            f"{m.program.global_names[index]!r}"
                         )
-                    regs[ins[1]] = (nbase << 3) | (regs[ins[3]] & 7)
-                else:
+                    regs[ins[1]] = m.globals[index]
+                elif op == isa.GST:
+                    index = ins[2]
+                    m.globals[index] = regs[ins[1]]
+                    m.global_defined[index] = 1
+                elif op == isa.CLOSURE:
+                    free_regs = ins[3]
                     m.frames.append([code, regs, pc, -1])
-                    regs[ins[1]] = m._alloc(regs[ins[2]], regs[ins[3]] & 7)
+                    pointer = m._alloc(1 + len(free_regs), _CLOSURE_TAG)
                     m.frames.pop()
-            elif op == isa.ALLOCI:
-                nwords = ins[2]
-                total = nwords + 1
-                nbase = bump[0]
-                if 0 <= nwords and nbase + total <= bump[1]:
-                    bump[0] = nbase + total
-                    mem[nbase] = nwords
-                    if nwords:
-                        mem[nbase + 1 : nbase + total] = (
-                            ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
-                        )
-                    regs[ins[1]] = (nbase << 3) | (ins[3] & 7)
-                else:
-                    m.frames.append([code, regs, pc, -1])
-                    regs[ins[1]] = m._alloc(ins[2], ins[3])
-                    m.frames.pop()
-            elif op == isa.GLD:
-                index = ins[2]
-                if not m.global_defined[index]:
-                    raise VMError(
-                        f"undefined global variable "
-                        f"{m.program.global_names[index]!r}"
-                    )
-                regs[ins[1]] = m.globals[index]
-            elif op == isa.GST:
-                index = ins[2]
-                m.globals[index] = regs[ins[1]]
-                m.global_defined[index] = 1
-            elif op == isa.CLOSURE:
-                free_regs = ins[3]
-                m.frames.append([code, regs, pc, -1])
-                pointer = m._alloc(1 + len(free_regs), _CLOSURE_TAG)
-                m.frames.pop()
-                base = pointer & ~7
-                heap.store(base + 8, ins[2])
-                for i, reg in enumerate(free_regs):
-                    heap.store(base + 16 + 8 * i, regs[reg])
-                regs[ins[1]] = pointer
-            elif op == isa.CALL or op == isa.CALLL:
-                if op == isa.CALL:
-                    closure = regs[ins[2]]
-                    code_id = m._closure_code_id(closure)
-                    if code_id == _ESCAPE_CODE:
-                        args = [regs[r] for r in ins[3]]
-                        frame = m._unwind(closure, args)
-                        code, regs, pc = frame[0], frame[1], frame[2]
-                        instructions = code.instructions
-                        fused = self._fused_table(code)
-                        continue
-                else:
-                    closure = 0
-                    code_id = ins[2]
-                args = [regs[r] for r in ins[3]]
-                callee = m.codes[code_id]
-                m.frames.append([code, regs, pc, ins[1]])
-                if len(m.frames) > _STACK_LIMIT:
-                    raise VMError(_STACK_OVERFLOW)
-                code = callee
-                m._scratch_roots = [closure]
-                regs = m._make_regs(callee, args, closure)
-                m._scratch_roots = []
-                instructions = code.instructions
-                fused = self._fused_table(code)
-                pc = 0
-            elif op == isa.TAILCALL or op == isa.TAILL:
-                if op == isa.TAILCALL:
-                    closure = regs[ins[1]]
-                    code_id = m._closure_code_id(closure)
-                    if code_id == _ESCAPE_CODE:
-                        args = [regs[r] for r in ins[2]]
-                        frame = m._unwind(closure, args)
-                        code, regs, pc = frame[0], frame[1], frame[2]
-                        instructions = code.instructions
-                        fused = self._fused_table(code)
-                        continue
-                else:
-                    closure = 0
-                    code_id = ins[1]
-                args = [regs[r] for r in ins[2]]
-                callee = m.codes[code_id]
-                code = callee
-                m._scratch_roots = [closure] + args
-                m.frames.append([code, regs, pc, -1])
-                new_regs = m._make_regs(callee, args, closure)
-                m.frames.pop()
-                m._scratch_roots = []
-                regs = new_regs
-                instructions = code.instructions
-                fused = self._fused_table(code)
-                pc = 0
-            elif op == isa.RET:
-                value = regs[ins[1]]
-                if not m.frames:
-                    return m._result(value)
-                frame = m.frames.pop()
-                code, regs, pc, dest = frame[0], frame[1], frame[2], frame[3]
-                instructions = code.instructions
-                fused = self._fused_table(code)
-                regs[dest] = value
-            elif op == isa.CALLEC:
-                closure = regs[ins[2]]
-                code_id = m._closure_code_id(closure)
-                if code_id == _ESCAPE_CODE:
-                    raise SchemeError(FAIL_MESSAGES[12], closure)
-                callee = m.codes[code_id]
-                m.frames.append([code, regs, pc, ins[1]])
-                if len(m.frames) > _STACK_LIMIT:
-                    raise VMError(_STACK_OVERFLOW)
-                depth = len(m.frames)
-                m._scratch_roots = [closure]
-                escape = m._alloc(2, _CLOSURE_TAG)
-                base = escape & ~7
-                heap.store(base + 8, _ESCAPE_CODE)
-                heap.store(base + 16, depth << 3)  # fixnum-tagged: GC-inert
-                code = callee
-                new_regs = m._make_regs(callee, [escape], closure)
-                m._scratch_roots = []
-                regs = new_regs
-                instructions = code.instructions
-                fused = self._fused_table(code)
-                pc = 0
-            elif op == isa.APPLY or op == isa.TAILAPPLY:
-                tail = op == isa.TAILAPPLY
-                freg = ins[2] if not tail else ins[1]
-                lreg = ins[3] if not tail else ins[2]
-                closure = regs[freg]
-                code_id = m._closure_code_id(closure)
-                args = m._unpack_list(regs[lreg])
-                if code_id == _ESCAPE_CODE:
-                    frame = m._unwind(closure, args)
-                    code, regs, pc = frame[0], frame[1], frame[2]
-                    instructions = code.instructions
-                    fused = self._fused_table(code)
-                    continue
-                callee = m.codes[code_id]
-                if not tail:
+                    base = pointer & ~7
+                    heap.store(base + 8, ins[2])
+                    for i, reg in enumerate(free_regs):
+                        heap.store(base + 16 + 8 * i, regs[reg])
+                    regs[ins[1]] = pointer
+                elif op == isa.CALL or op == isa.CALLL:
+                    if op == isa.CALL:
+                        closure = regs[ins[2]]
+                        code_id = m._closure_code_id(closure)
+                        if code_id == _ESCAPE_CODE:
+                            args = [regs[r] for r in ins[3]]
+                            frame = m._unwind(closure, args)
+                            code, regs, pc = frame[0], frame[1], frame[2]
+                            instructions = code.instructions
+                            fused = self._fused_table(code)
+                            continue
+                    else:
+                        closure = 0
+                        code_id = ins[2]
+                    args = [regs[r] for r in ins[3]]
+                    callee = m.codes[code_id]
                     m.frames.append([code, regs, pc, ins[1]])
                     if len(m.frames) > _STACK_LIMIT:
                         raise VMError(_STACK_OVERFLOW)
-                code = callee
-                m._scratch_roots = [closure] + args
-                m.frames.append([code, regs, pc, -1])
-                new_regs = m._make_regs(callee, args, closure)
-                m.frames.pop()
-                m._scratch_roots = []
-                regs = new_regs
-                instructions = code.instructions
-                fused = self._fused_table(code)
-                pc = 0
-            elif op == isa.PUTC:
-                m.output.append(chr(regs[ins[1]] & 0x10FFFF))
-            elif op == isa.GETC:
-                if m.input_pos < len(m.input_codes):
-                    regs[ins[1]] = m.input_codes[m.input_pos]
-                    m.input_pos += 1
+                    code = callee
+                    m._scratch_roots = [closure]
+                    regs = m._make_regs(callee, args, closure)
+                    m._scratch_roots = []
+                    instructions = code.instructions
+                    fused = self._fused_table(code)
+                    pc = 0
+                elif op == isa.TAILCALL or op == isa.TAILL:
+                    if op == isa.TAILCALL:
+                        closure = regs[ins[1]]
+                        code_id = m._closure_code_id(closure)
+                        if code_id == _ESCAPE_CODE:
+                            args = [regs[r] for r in ins[2]]
+                            frame = m._unwind(closure, args)
+                            code, regs, pc = frame[0], frame[1], frame[2]
+                            instructions = code.instructions
+                            fused = self._fused_table(code)
+                            continue
+                    else:
+                        closure = 0
+                        code_id = ins[1]
+                    args = [regs[r] for r in ins[2]]
+                    callee = m.codes[code_id]
+                    code = callee
+                    m._scratch_roots = [closure] + args
+                    m.frames.append([code, regs, pc, -1])
+                    new_regs = m._make_regs(callee, args, closure)
+                    m.frames.pop()
+                    m._scratch_roots = []
+                    regs = new_regs
+                    instructions = code.instructions
+                    fused = self._fused_table(code)
+                    pc = 0
+                elif op == isa.RET:
+                    value = regs[ins[1]]
+                    if not m.frames:
+                        return m._result(value)
+                    frame = m.frames.pop()
+                    code, regs, pc, dest = frame[0], frame[1], frame[2], frame[3]
+                    instructions = code.instructions
+                    fused = self._fused_table(code)
+                    regs[dest] = value
+                elif op == isa.CALLEC:
+                    closure = regs[ins[2]]
+                    code_id = m._closure_code_id(closure)
+                    if code_id == _ESCAPE_CODE:
+                        raise SchemeError(FAIL_MESSAGES[12], closure)
+                    callee = m.codes[code_id]
+                    m.frames.append([code, regs, pc, ins[1]])
+                    if len(m.frames) > _STACK_LIMIT:
+                        raise VMError(_STACK_OVERFLOW)
+                    depth = len(m.frames)
+                    m._scratch_roots = [closure]
+                    escape = m._alloc(2, _CLOSURE_TAG)
+                    base = escape & ~7
+                    heap.store(base + 8, _ESCAPE_CODE)
+                    heap.store(base + 16, depth << 3)  # fixnum-tagged: GC-inert
+                    code = callee
+                    new_regs = m._make_regs(callee, [escape], closure)
+                    m._scratch_roots = []
+                    regs = new_regs
+                    instructions = code.instructions
+                    fused = self._fused_table(code)
+                    pc = 0
+                elif op == isa.APPLY or op == isa.TAILAPPLY:
+                    tail = op == isa.TAILAPPLY
+                    freg = ins[2] if not tail else ins[1]
+                    lreg = ins[3] if not tail else ins[2]
+                    closure = regs[freg]
+                    code_id = m._closure_code_id(closure)
+                    args = m._unpack_list(regs[lreg])
+                    if code_id == _ESCAPE_CODE:
+                        frame = m._unwind(closure, args)
+                        code, regs, pc = frame[0], frame[1], frame[2]
+                        instructions = code.instructions
+                        fused = self._fused_table(code)
+                        continue
+                    callee = m.codes[code_id]
+                    if not tail:
+                        m.frames.append([code, regs, pc, ins[1]])
+                        if len(m.frames) > _STACK_LIMIT:
+                            raise VMError(_STACK_OVERFLOW)
+                    code = callee
+                    m._scratch_roots = [closure] + args
+                    m.frames.append([code, regs, pc, -1])
+                    new_regs = m._make_regs(callee, args, closure)
+                    m.frames.pop()
+                    m._scratch_roots = []
+                    regs = new_regs
+                    instructions = code.instructions
+                    fused = self._fused_table(code)
+                    pc = 0
+                elif op == isa.PUTC:
+                    m.output.append(chr(regs[ins[1]] & 0x10FFFF))
+                elif op == isa.GETC:
+                    if m.input_pos < len(m.input_codes):
+                        regs[ins[1]] = m.input_codes[m.input_pos]
+                        m.input_pos += 1
+                    else:
+                        regs[ins[1]] = WORD_MASK
+                elif op == isa.PEEKC:
+                    if m.input_pos < len(m.input_codes):
+                        regs[ins[1]] = m.input_codes[m.input_pos]
+                    else:
+                        regs[ins[1]] = WORD_MASK
+                elif op == isa.REGPTR:
+                    heap.register_pointer_tag(regs[ins[1]])
+                elif op == isa.REGPAIR:
+                    m.registry.register_pair(
+                        regs[ins[1]], signed(regs[ins[2]]), signed(regs[ins[3]])
+                    )
+                elif op == isa.REGNIL:
+                    m.registry.register_nil(regs[ins[1]])
+                elif op == isa.REGFALSE:
+                    m.registry.register_false(regs[ins[1]])
+                elif op == isa.FAIL:
+                    fail_code = regs[ins[1]]
+                    message = FAIL_MESSAGES.get(fail_code, f"runtime failure {fail_code}")
+                    raise SchemeError(message)
+                elif op == isa.HALT:
+                    return m._result(regs[ins[1]])
                 else:
-                    regs[ins[1]] = WORD_MASK
-            elif op == isa.PEEKC:
-                if m.input_pos < len(m.input_codes):
-                    regs[ins[1]] = m.input_codes[m.input_pos]
-                else:
-                    regs[ins[1]] = WORD_MASK
-            elif op == isa.REGPTR:
-                heap.register_pointer_tag(regs[ins[1]])
-            elif op == isa.REGPAIR:
-                m.registry.register_pair(
-                    regs[ins[1]], signed(regs[ins[2]]), signed(regs[ins[3]])
+                    raise VMError(f"unknown opcode {op}")
+        except BudgetExceeded as error:
+            # Budget trips suspend rather than abort: capture enough
+            # state for Machine.resume to continue the run exactly.
+            pending = self._midpair
+            self._midpair = None
+            rollback = m._overrun_rollback
+            m._overrun_rollback = None
+            error.trap_pc = pc - 1
+            if pending is not None:
+                error.trap_opcode = isa.OPCODE_NAMES[pending[0]]
+                m._suspension = Suspension(
+                    code=code, table=None, regs=regs, pc=pc,
+                    pending_op=pending[0], pending=pending,
                 )
-            elif op == isa.REGNIL:
-                m.registry.register_nil(regs[ins[1]])
-            elif op == isa.REGFALSE:
-                m.registry.register_false(regs[ins[1]])
-            elif op == isa.FAIL:
-                fail_code = regs[ins[1]]
-                message = FAIL_MESSAGES.get(fail_code, f"runtime failure {fail_code}")
-                raise SchemeError(message)
-            elif op == isa.HALT:
-                return m._result(regs[ins[1]])
             else:
-                raise VMError(f"unknown opcode {op}")
+                if rollback is not None:
+                    error.trap_opcode = isa.OPCODE_NAMES[rollback]
+                m._suspension = Suspension(
+                    code=code, table=None, regs=regs, pc=pc - 1,
+                    rollback_op=rollback,
+                )
+            raise
+        except ReproError as error:
+            if error.trap_pc is None:
+                error.trap_pc = pc - 1
+                error.trap_opcode = isa.opcode_name(instructions[pc - 1][0])
+            raise
 
 
 # ----------------------------------------------------------------------
@@ -809,13 +889,40 @@ class ThreadedEngine(Engine):
         self._state: list = [None, None, 0]
         self._halted = False
         self._value = 0
+        # the charged-but-unexecuted second half of a fused pair whose
+        # budget tripped between the halves: (base opcode, executor)
+        self._pending_exec: tuple | None = None
+
+    def heap_changed(self):
+        # every built handler closes over the old heap's mem/bump/bins
+        self._tables.clear()
+        self._code_of.clear()
 
     def run(self):
         m = self.m
         main = m.codes[m.program.main_id]
-        regs = [0] * main.nregs
-        handlers = self._table(main)
-        pc = 0
+        return self._loop(self._table(main), [0] * main.nregs, 0)
+
+    def resume(self, suspension):
+        m = self.m
+        regs = suspension.regs
+        pc = suspension.pc
+        if suspension.rollback_op is not None:
+            # The trip instruction was charged but never executed: undo
+            # the charge (one step, one dispatch) and re-dispatch it.
+            op = suspension.rollback_op
+            m.counts[op] -= 1
+            m.steps -= 1
+            m.dispatches -= 1
+        elif suspension.pending is not None:
+            # Mid-fused-pair trip: the second half is already charged;
+            # its executor returns the next pc (fall-through or taken
+            # branch), so running it here re-charges nothing.
+            pc = suspension.pending(regs)
+        return self._loop(suspension.table, regs, pc)
+
+    def _loop(self, handlers, regs, pc):
+        m = self.m
         self._halted = False
         while True:
             try:
@@ -832,6 +939,39 @@ class ThreadedEngine(Engine):
                     code, pc, code.instructions[pc], handlers
                 )
                 continue
+            except BudgetExceeded as error:
+                # Budget trips suspend rather than abort: capture
+                # enough state for Machine.resume to continue exactly.
+                pending = self._pending_exec
+                self._pending_exec = None
+                rollback = m._overrun_rollback
+                m._overrun_rollback = None
+                error.trap_pc = pc
+                code = self._code_of.get(id(handlers))
+                if pending is not None:
+                    pending_op, pending_exec = pending
+                    error.trap_opcode = isa.OPCODE_NAMES[pending_op]
+                    m._suspension = Suspension(
+                        code=code, table=handlers, regs=regs, pc=pc + 1,
+                        pending_op=pending_op, pending=pending_exec,
+                    )
+                else:
+                    if rollback is not None:
+                        error.trap_opcode = isa.OPCODE_NAMES[rollback]
+                    m._suspension = Suspension(
+                        code=code, table=handlers, regs=regs, pc=pc,
+                        rollback_op=rollback,
+                    )
+                raise
+            except ReproError as error:
+                if error.trap_pc is None:
+                    error.trap_pc = pc
+                    code = self._code_of.get(id(handlers))
+                    if code is not None:
+                        error.trap_opcode = isa.opcode_name(
+                            code.instructions[pc][0]
+                        )
+                raise
             if target is not None:
                 pc = target
             elif self._halted:
@@ -880,11 +1020,19 @@ class ThreadedEngine(Engine):
         exec1 = self._build_exec(code, pc, first, table)
         exec2 = self._build_exec(code, pc, second, table)
 
-        def counted_fused(regs, m=m, op1=op1, op2=op2, exec1=exec1, exec2=exec2):
+        def counted_fused(
+            regs, m=m, op1=op1, op2=op2, exec1=exec1, exec2=exec2, eng=self
+        ):
             m.dispatches += 1
             m._count_step(op1)
             exec1(regs)
-            m._count_step(op2)
+            try:
+                m._count_step(op2)
+            except BudgetExceeded:
+                # First half executed, second charged but not executed:
+                # hand its executor to the suspension (see _loop).
+                eng._pending_exec = (op2, exec2)
+                raise
             return exec2(regs)
 
         return counted_fused
@@ -946,7 +1094,11 @@ class ThreadedEngine(Engine):
         # `heap.blocks` are identity-stable across collections.  A
         # fast-path hit cannot trigger GC, so no frame rooting is
         # needed; overflow falls back to the general allocator.
+        # Fault-injecting heaps must observe every allocation, so they
+        # disable the inline bump *and* bin paths wholesale.
         bump = getattr(heap, "bump", None)
+        if bump is not None and getattr(heap, "fault_injection", False):
+            bump = None
         if op == isa.ALLOC:
             d, sn, st = ins[1], ins[2], ins[3]
             if bump is not None:

@@ -1,0 +1,347 @@
+"""Deterministic fault injection for the VM heap and budgets.
+
+The hardened execution layer promises that every VM fault — allocation
+failure, forced collection at an awkward moment, budget expiry mid
+fused-pair — either completes correctly after recovery or raises a
+structured trap that leaves the heap invariants intact and the machine
+reusable.  This module *proves* it, per program, by sweeping schedules:
+
+* **GC-every-N** — force a collection before every Nth allocation, then
+  require the run to complete with the reference value and output.
+  Exercises the collector at allocation points the occupancy trigger
+  would never pick, including mid rest-list construction.
+* **Allocation failure at the k-th site** — raise ``HeapExhausted`` at
+  exactly the k-th allocation, for k swept across the run.  Requires a
+  structured trap, an intact word-conservation invariant afterwards,
+  and a correct clean re-run on the *same* machine and heap.
+* **Deadline expiry at seeded dispatch points** — trip the deadline
+  budget at pseudo-random (seeded) step indices, then require
+  ``resume()`` to finish the run with reference results and counters.
+
+All schedules are deterministic: same program, same seed, same faults.
+
+:class:`FaultInjectingHeap` guarantees the schedule observes *every*
+allocation by keeping the bump region permanently exhausted (so the
+engines' inline compare-and-add can never hit) and by setting
+``fault_injection = True``, which makes the engines skip their inline
+ALLOC/ALLOCI fast paths wholesale — including the threaded engine's
+exact-fit bin handlers, which bypass the bump region entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import BudgetExceeded, HeapExhausted, ReproError
+from .heap import DEFAULT_GC_OCCUPANCY, Heap
+from .machine import Machine
+
+
+class FaultSchedule:
+    """One deterministic allocation-fault plan (see module docstring).
+
+    ``fail_at`` is 1-based and fires exactly once — after the injected
+    failure the counter has moved past it, so a recovery run on the
+    same machine proceeds cleanly.
+    """
+
+    def __init__(self, gc_every: int | None = None, fail_at: int | None = None):
+        self.gc_every = gc_every
+        self.fail_at = fail_at
+        self.allocs = 0
+        self.forced_gcs = 0
+        self.injected_failures = 0
+
+    def on_alloc(self, heap: Heap, roots) -> None:
+        """Called by the heap before every allocation it serves."""
+        self.allocs += 1
+        if self.fail_at is not None and self.allocs == self.fail_at:
+            self.injected_failures += 1
+            raise HeapExhausted(
+                f"injected allocation failure at allocation {self.allocs}"
+            )
+        if self.gc_every and self.allocs % self.gc_every == 0:
+            heap.collect(roots(), trigger="injected")
+            self.forced_gcs += 1
+
+
+class FaultInjectingHeap(Heap):
+    """A heap that routes every allocation through the schedule.
+
+    The bump limit is re-clamped to the bump pointer after every
+    operation that could raise it, so the engines' inline fast path
+    (which only checks the bump region) always falls through to
+    :meth:`allocate`; ``fault_injection`` disables the threaded
+    engine's bin fast paths at handler-build time.  Word conservation
+    is unaffected: free-space accounting uses the real region end, not
+    the clamped limit.
+    """
+
+    fault_injection = True
+
+    def __init__(
+        self,
+        size_words: int,
+        schedule: FaultSchedule,
+        gc_occupancy: float | None = DEFAULT_GC_OCCUPANCY,
+    ):
+        super().__init__(size_words, gc_occupancy=gc_occupancy)
+        self.schedule = schedule
+        self.bump[1] = self.bump[0]
+
+    def allocate(self, nwords: int, tag: int, roots) -> int:
+        self.schedule.on_alloc(self, roots)
+        try:
+            return super().allocate(nwords, tag, roots)
+        finally:
+            self.bump[1] = self.bump[0]
+
+    def collect(self, roots, trigger: str = "explicit") -> int:
+        try:
+            return super().collect(roots, trigger=trigger)
+        finally:
+            self.bump[1] = self.bump[0]
+
+
+@dataclass
+class FaultOutcome:
+    """What one injected-fault run did."""
+
+    schedule: str
+    engine: str
+    #: "completed" (GC-retry or fault never reached) or "trapped"
+    status: str
+    trap_kind: str | None = None
+    #: problems found; empty means the outcome honours the contract
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class SweepReport:
+    """Aggregated result of one program's fault sweep."""
+
+    label: str
+    total_allocs: int = 0
+    outcomes: list[FaultOutcome] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[str]:
+        out = []
+        for outcome in self.outcomes:
+            out.extend(
+                f"{self.label} [{outcome.engine}] {outcome.schedule}: {v}"
+                for v in outcome.violations
+            )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        completed = sum(1 for o in self.outcomes if o.status == "completed")
+        trapped = sum(1 for o in self.outcomes if o.status == "trapped")
+        return {
+            "runs": len(self.outcomes),
+            "completed": completed,
+            "trapped": trapped,
+            "violations": len(self.violations),
+        }
+
+
+def _fault_machine(
+    vm_program, schedule: FaultSchedule, heap_words: int, engine: str
+) -> Machine:
+    machine = Machine(vm_program, heap_words=heap_words, engine=engine)
+    machine.install_heap(FaultInjectingHeap(heap_words, schedule))
+    return machine
+
+
+def _decoded(machine: Machine, word: int):
+    # decode_word lives in repro.api, which imports repro.vm: import
+    # lazily to keep the package acyclic.
+    from ..api import decode_word
+
+    return decode_word(machine, word)
+
+
+def _check_trap(machine: Machine, error: ReproError, out: FaultOutcome) -> None:
+    """A structured trap must carry its snapshot and leave a sound heap."""
+    if error.trap is None or machine.last_trap is not error.trap:
+        out.violations.append("trap carried no TrapInfo snapshot")
+    try:
+        machine.heap.check_conservation()
+    except ReproError as conservation_error:
+        out.violations.append(str(conservation_error))
+
+
+def _run_reference(vm_program, heap_words: int, engine: str):
+    """Clean run on a fault heap with an empty schedule.
+
+    The empty-schedule fault heap sees (and counts) every allocation
+    while injecting nothing, so it doubles as the site census for the
+    allocation-failure sweep.
+    """
+    schedule = FaultSchedule()
+    machine = _fault_machine(vm_program, schedule, heap_words, engine)
+    result = machine.run()
+    return machine, result, schedule.allocs
+
+
+def sweep_program(
+    vm_program,
+    label: str = "<program>",
+    engine: str = "naive",
+    heap_words: int = 1 << 16,
+    max_sites: int = 32,
+    gc_every: tuple[int, ...] = (1, 3, 7),
+    seed: int = 0,
+    deadline_points: int = 3,
+) -> SweepReport:
+    """Sweep one compiled program through every fault schedule."""
+    report = SweepReport(label=label)
+    ref_machine, reference, total_allocs = _run_reference(
+        vm_program, heap_words, engine
+    )
+    report.total_allocs = total_allocs
+    ref_value = _decoded(ref_machine, reference.value)
+
+    def check_result(machine: Machine, result, out: FaultOutcome) -> None:
+        if _decoded(machine, result.value) != ref_value:
+            out.violations.append(
+                f"value diverged: {_decoded(machine, result.value)!r} "
+                f"!= {ref_value!r}"
+            )
+        if result.output != reference.output:
+            out.violations.append("output diverged")
+        try:
+            machine.heap.check_conservation()
+        except ReproError as error:
+            out.violations.append(str(error))
+
+    # -- forced collection before every Nth allocation ------------------
+    for every in gc_every:
+        out = FaultOutcome(schedule=f"gc-every-{every}", engine=engine,
+                           status="completed")
+        schedule = FaultSchedule(gc_every=every)
+        machine = _fault_machine(vm_program, schedule, heap_words, engine)
+        try:
+            result = machine.run()
+        except ReproError as error:
+            out.status = "trapped"
+            out.trap_kind = error.trap.kind if error.trap else None
+            out.violations.append(
+                f"gc-every-{every} run trapped unexpectedly: {error}"
+            )
+        else:
+            check_result(machine, result, out)
+            if result.steps != reference.steps:
+                out.violations.append(
+                    f"steps diverged: {result.steps} != {reference.steps}"
+                )
+        report.outcomes.append(out)
+
+    # -- allocation failure at the k-th site ----------------------------
+    sites = min(total_allocs, max_sites)
+    if sites == total_allocs:
+        fail_points = range(1, total_allocs + 1)
+    else:
+        # an even, deterministic spread that always includes both ends
+        fail_points = sorted(
+            {1 + (i * (total_allocs - 1)) // (sites - 1) for i in range(sites)}
+        )
+    for k in fail_points:
+        out = FaultOutcome(schedule=f"fail-at-{k}", engine=engine,
+                           status="trapped")
+        schedule = FaultSchedule(fail_at=k)
+        machine = _fault_machine(vm_program, schedule, heap_words, engine)
+        try:
+            result = machine.run()
+        except HeapExhausted as error:
+            if "injected allocation failure" not in str(error):
+                out.violations.append(f"unexpected heap trap: {error}")
+            out.trap_kind = error.trap.kind if error.trap else None
+            _check_trap(machine, error, out)
+            # the machine must complete a clean re-run on the same heap
+            try:
+                retry = machine.run()
+            except ReproError as retry_error:
+                out.violations.append(
+                    f"re-run after trap failed: {retry_error}"
+                )
+            else:
+                check_result(machine, retry, out)
+        except ReproError as error:
+            out.violations.append(f"non-heap trap for injected failure: {error}")
+        else:
+            # the schedule never fired (k past the last allocation)
+            out.status = "completed"
+            check_result(machine, result, out)
+        report.outcomes.append(out)
+
+    # -- deadline expiry at seeded dispatch points -----------------------
+    rng = random.Random(seed)
+    steps_total = reference.steps
+    for _ in range(min(deadline_points, steps_total)):
+        at_step = rng.randint(1, steps_total - 1) if steps_total > 1 else 1
+        out = FaultOutcome(schedule=f"deadline-at-{at_step}", engine=engine,
+                           status="trapped")
+        machine = Machine(vm_program, heap_words=heap_words, engine=engine)
+        machine._injected_deadline_step = at_step
+        try:
+            machine.run()
+        except BudgetExceeded as error:
+            out.trap_kind = error.trap.kind if error.trap else None
+            _check_trap(machine, error, out)
+            if not (error.trap and error.trap.resumable):
+                out.violations.append("deadline trap not resumable")
+            else:
+                try:
+                    result = machine.resume()
+                except ReproError as resume_error:
+                    out.violations.append(f"resume failed: {resume_error}")
+                else:
+                    check_result(machine, result, out)
+                    if result.steps != reference.steps:
+                        out.violations.append(
+                            f"resumed steps diverged: {result.steps} "
+                            f"!= {reference.steps}"
+                        )
+        except ReproError as error:
+            out.violations.append(f"unexpected trap: {error}")
+        else:
+            out.status = "completed"
+            out.violations.append(
+                f"injected deadline at step {at_step} never tripped"
+            )
+        report.outcomes.append(out)
+
+    return report
+
+
+def sweep_source(
+    source: str,
+    label: str = "<source>",
+    engine: str = "naive",
+    heap_words: int = 1 << 16,
+    max_sites: int = 32,
+    gc_every: tuple[int, ...] = (1, 3, 7),
+    seed: int = 0,
+    deadline_points: int = 3,
+    options=None,
+) -> SweepReport:
+    """Compile Scheme source and sweep it (see :func:`sweep_program`)."""
+    from ..api import compile_source
+
+    compiled = compile_source(source, options)
+    return sweep_program(
+        compiled.vm_program,
+        label=label,
+        engine=engine,
+        heap_words=heap_words,
+        max_sites=max_sites,
+        gc_every=gc_every,
+        seed=seed,
+        deadline_points=deadline_points,
+    )

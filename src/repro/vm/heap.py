@@ -93,6 +93,11 @@ class GCEvent:
 
 
 class Heap:
+    #: subclasses set this to route *every* allocation through
+    #: :meth:`allocate` (the engines then skip their inline bump/bin
+    #: fast paths — see repro.vm.faultinject)
+    fault_injection = False
+
     def __init__(
         self,
         size_words: int = DEFAULT_HEAP_WORDS,
@@ -475,6 +480,24 @@ class Heap:
 
     def occupancy(self) -> float:
         return 1.0 - self.free_words() / self.size_words
+
+    def check_conservation(self) -> None:
+        """Assert the word-conservation invariant.
+
+        Every word is either live, free, or the reserved word 0 —
+        always, including immediately after a trap.  Raises
+        :class:`VMError` on violation (the fault-injection sweep and
+        the heap test suite both lean on this).
+        """
+        live = self.live_words()  # syncs deferred registrations
+        free = self.free_words()
+        expected = self.size_words - 1
+        if live + free != expected:
+            raise VMError(
+                f"heap word-conservation violated: live {live} + free "
+                f"{free} != {expected} (size {self.size_words} - 1 "
+                f"reserved)"
+            )
 
     def register_pointer_tag(self, tag: int) -> None:
         if not (0 <= tag <= 7):

@@ -15,11 +15,21 @@ import gc
 from dataclasses import dataclass, field
 from time import perf_counter
 
-from ..errors import SchemeError, VMError
+from ..errors import (
+    AllocBudgetExceeded,
+    DeadlineExceeded,
+    ReproError,
+    SchemeError,
+    StepBudgetExceeded,
+    VMError,
+)
 from ..prims import WORD_MASK, signed, wrap
 from . import isa
+from .budget import BUDGET_CHECK_INTERVAL, Budget, TrapInfo, trap_kind
 from .heap import DEFAULT_GC_OCCUPANCY, Heap, default_heap_words
 from .registry import TypeRegistry
+
+_UNSET = object()  # sentinel for "keep the current budget" in resume()
 
 # Error codes for %fail, shared by convention with the prelude sources
 # (src/repro/runtime/scm/*): the library passes these raw codes.
@@ -82,6 +92,19 @@ class RunResult:
 
 
 class Machine:
+    """One VM instance: a program, a heap, and an execution engine.
+
+    **Reusable-state contract** (see docs/INTERNALS.md §11): after a run
+    completes *or traps*, the machine is left with its heap and
+    registry invariants intact.  Calling :meth:`run` again performs a
+    fresh run of the same program on the same heap (per-run state —
+    counters, output, globals, frames — is reset; the heap is not, its
+    garbage is simply unreachable and will be collected).  After a
+    *budget* trap specifically, :meth:`resume` instead continues the
+    suspended run under new limits.  :meth:`load` swaps in a different
+    program while keeping the heap.
+    """
+
     def __init__(
         self,
         program: isa.VMProgram,
@@ -92,6 +115,9 @@ class Machine:
         engine: str | None = None,
         profile: bool = False,
         gc_occupancy: float | None = DEFAULT_GC_OCCUPANCY,
+        deadline_seconds: float | None = None,
+        max_alloc_words: int | None = None,
+        budget: Budget | None = None,
     ):
         self.program = program
         self.codes = program.code_objects
@@ -105,7 +131,15 @@ class Machine:
         self.output: list[str] = []
         self.input_codes = [ord(ch) for ch in input_text]
         self.input_pos = 0
-        self.max_steps = max_steps
+        if budget is None:
+            budget = Budget(max_steps, deadline_seconds, max_alloc_words)
+        self.max_steps = budget.max_steps
+        self.deadline_seconds = budget.deadline_seconds
+        self.max_alloc_words = budget.max_alloc_words
+        # Budgets are enforced on the counted dispatch path; a budgeted
+        # run therefore always counts.
+        if not budget.unlimited:
+            count_instructions = True
         self.count_instructions = count_instructions
         self.counts = [0] * isa.NUM_BASE_OPCODES
         self.steps = 0
@@ -119,6 +153,27 @@ class Machine:
         # adjacency count; fed by the profiler.
         self.profile = profile
         self.pair_counts: dict[tuple[int, int], int] = {}
+        # --- budget / trap state --------------------------------------
+        #: unified fast-path limit: min(max_steps, next periodic check)
+        self._step_limit: int | None = None
+        #: absolute perf_counter() time at which the deadline expires
+        self._deadline_at: float | None = None
+        self._deadline_started: float = 0.0
+        #: fault injection: pretend the deadline expired past this step
+        self._injected_deadline_step: int | None = None
+        #: opcode charged-but-not-executed at the last budget overrun
+        self._overrun_rollback: int | None = None
+        #: engine state saved at the last budget trip (resumable)
+        self._suspension = None
+        #: TrapInfo for the last fault, or None
+        self.last_trap: TrapInfo | None = None
+        self._run_consumed = False
+        #: programs retired by load(); kept alive so engine caches keyed
+        #: by id(code) can never collide with recycled ids
+        self._retired_programs: list[isa.VMProgram] = []
+        # Step budgets work even for callers that drive the engine
+        # directly; deadlines arm in run()/resume().
+        self._recompute_step_limit()
         from .engine import create_engine
 
         self._engine = create_engine(engine, self)
@@ -246,34 +301,244 @@ class Machine:
         and every handler table for cycles that cannot exist.  Suspend
         and restore rather than tune thresholds so embedders see no
         lasting change.
+
+        On any fault the machine unwinds through :meth:`trap` before
+        the exception propagates, so the heap stays consistent and the
+        machine stays reusable; a later ``run()`` starts a fresh run of
+        the program on the same heap.
         """
+        if self._run_consumed:
+            self._reset_run_state()
+        self._run_consumed = True
+        self.last_trap = None
+        self._suspension = None
+        self._arm_budgets()
+        return self._drive(self._engine.run)
+
+    def resume(
+        self,
+        max_steps=_UNSET,
+        deadline_seconds=_UNSET,
+        max_alloc_words=_UNSET,
+    ) -> RunResult:
+        """Continue a run suspended by a budget trip.
+
+        Only valid when the last fault was a :class:`BudgetExceeded`
+        (``machine.last_trap.resumable``).  Passed limits *replace* the
+        corresponding budget (``None`` removes it); omitted limits are
+        kept — a kept deadline restarts its clock from now.  The
+        returned :class:`RunResult` carries cumulative counters for the
+        whole run, and ``elapsed_seconds`` for this segment only.
+        """
+        suspension = self._suspension
+        if suspension is None:
+            raise VMError(
+                "nothing to resume: the machine is not suspended at a "
+                "budget trap"
+            )
+        if max_steps is not _UNSET:
+            self.max_steps = max_steps
+        if deadline_seconds is not _UNSET:
+            self.deadline_seconds = deadline_seconds
+        if max_alloc_words is not _UNSET:
+            self.max_alloc_words = max_alloc_words
+        if self.max_steps is not None and self.steps > self.max_steps + 1:
+            raise VMError(
+                f"resume needs a larger step budget: {self.steps} steps "
+                f"already executed, max_steps={self.max_steps}"
+            )
+        self._suspension = None
+        self._injected_deadline_step = None
+        self.last_trap = None
+        self._arm_budgets()
+        return self._drive(lambda: self._engine.resume(suspension))
+
+    def _drive(self, thunk) -> RunResult:
         was_enabled = gc.isenabled()
         if was_enabled:
             gc.disable()
         started = perf_counter()
         try:
-            result = self._engine.run()
+            result = thunk()
+        except BaseException as error:
+            self.trap(error)
+            raise
         finally:
             if was_enabled:
                 gc.enable()
         result.elapsed_seconds = perf_counter() - started
         return result
 
+    # ------------------------------------------------------------------
+    # trap recovery and machine reuse
+    # ------------------------------------------------------------------
+
+    def trap(self, error: BaseException) -> TrapInfo:
+        """The single unwind path for every VM fault.
+
+        Restores the heap/registry invariants the engines' inline fast
+        paths defer (``sync_allocations``), drops transient GC roots,
+        snapshots a :class:`TrapInfo`, and — unless the fault is a
+        resumable budget trip — clears the frame stack so the machine
+        satisfies the reusable-state contract.  The info record is also
+        attached to the exception (``error.trap``) when it is a
+        :class:`ReproError`.
+        """
+        self._scratch_roots = []
+        sync = getattr(self.heap, "sync_allocations", None)
+        if sync is not None:
+            sync()
+        resumable = self._suspension is not None
+        info = TrapInfo(
+            error=type(error).__name__,
+            message=str(error),
+            kind=trap_kind(error),
+            pc=getattr(error, "trap_pc", None),
+            opcode=getattr(error, "trap_opcode", None),
+            steps=self.steps,
+            dispatches=self.dispatches,
+            frame_depth=len(self.frames),
+            engine=self._engine.name,
+            resumable=resumable,
+            gc_count=self.heap.gc_count,
+            words_allocated=self.heap.words_allocated,
+        )
+        self.last_trap = info
+        if isinstance(error, ReproError):
+            error.trap = info
+        if not resumable:
+            self.frames.clear()
+        return info
+
+    def _reset_run_state(self) -> None:
+        """Clear per-run state; the heap (and its garbage) persists."""
+        self.counts = [0] * isa.NUM_BASE_OPCODES
+        self.steps = 0
+        self.dispatches = 0
+        self.rest_conses = 0
+        self.output = []
+        self.input_pos = 0
+        self.frames.clear()
+        self._scratch_roots = []
+        self.pair_counts = {}
+        self.globals = [0] * len(self.program.global_names)
+        self.global_defined = bytearray(len(self.program.global_names))
+        self.registry = TypeRegistry()
+        self._suspension = None
+        self._overrun_rollback = None
+        self._injected_deadline_step = None
+        self.last_trap = None
+
+    def load(self, program: isa.VMProgram, input_text: str = "") -> None:
+        """Bind a different program to this machine, keeping the heap.
+
+        The previous program's code objects are retained (not just for
+        the caller's convenience: the engines cache handler tables by
+        ``id(code)``, so retiring them keeps recycled ids impossible).
+        """
+        self._retired_programs.append(self.program)
+        self.program = program
+        self.codes = program.code_objects
+        self.input_codes = [ord(ch) for ch in input_text]
+        self._reset_run_state()
+        self._run_consumed = False
+
+    def install_heap(self, heap) -> None:
+        """Replace the heap between runs (bench/fault/recovery harnesses).
+
+        Engine handler caches close over the heap's arrays, so they are
+        invalidated; any pending budget suspension references them too
+        and is dropped (a swapped heap cannot resume the old run).
+        """
+        heap.register_pointer_tag(_CLOSURE_TAG)
+        self.heap = heap
+        self._suspension = None
+        self._engine.heap_changed()
+
     @property
     def engine_name(self) -> str:
         return self._engine.name
 
+    # ------------------------------------------------------------------
+    # resource budgets
+    # ------------------------------------------------------------------
+
+    def _arm_budgets(self) -> None:
+        """(Re)start the budget clocks; recompute the fast-path limit."""
+        self._deadline_started = perf_counter()
+        if self.deadline_seconds is not None:
+            self._deadline_at = self._deadline_started + self.deadline_seconds
+        else:
+            self._deadline_at = None
+        self._recompute_step_limit()
+
+    def _recompute_step_limit(self) -> int | None:
+        """The unified fast-path limit the engines compare against."""
+        limit = self.max_steps
+        if (
+            self._deadline_at is not None
+            or self.max_alloc_words is not None
+            or self._injected_deadline_step is not None
+        ):
+            checkpoint = self.steps + BUDGET_CHECK_INTERVAL
+            if self._injected_deadline_step is not None:
+                checkpoint = min(checkpoint, self._injected_deadline_step)
+            limit = checkpoint if limit is None else min(limit, checkpoint)
+        self._step_limit = limit
+        return limit
+
+    def _step_overrun(self, op: int) -> int | None:
+        """Leave the fast path: raise a budget error or move the limit.
+
+        Called with ``steps`` already past ``_step_limit`` and the
+        tripping instruction (base opcode ``op``) charged but not yet
+        executed.  Raising records ``op`` for the resume rollback;
+        returning hands the engine the recomputed limit.
+        """
+        steps = self.steps
+        if self.max_steps is not None and steps > self.max_steps:
+            self._overrun_rollback = op
+            raise StepBudgetExceeded(steps, self.max_steps)
+        if (
+            self._injected_deadline_step is not None
+            and steps > self._injected_deadline_step
+        ):
+            self._overrun_rollback = op
+            raise DeadlineExceeded(
+                perf_counter() - self._deadline_started,
+                self.deadline_seconds or 0.0,
+                message=f"injected deadline expiry at step {steps}",
+            )
+        if self._deadline_at is not None:
+            now = perf_counter()
+            if now >= self._deadline_at:
+                self._overrun_rollback = op
+                raise DeadlineExceeded(
+                    now - self._deadline_started, self.deadline_seconds
+                )
+        if self.max_alloc_words is not None:
+            self.heap.sync_allocations()
+            if self.heap.words_allocated > self.max_alloc_words:
+                self._overrun_rollback = op
+                raise AllocBudgetExceeded(
+                    self.heap.words_allocated, self.max_alloc_words
+                )
+        return self._recompute_step_limit()
+
     def _count_step(self, op: int) -> None:
-        """Count one base instruction and enforce the step budget.
+        """Count one base instruction and enforce the budgets.
 
         Fused superinstructions call this once per *constituent*, in
         order, so counting — including the step index at which a
         ``max_steps`` budget trips — is identical to an unfused run.
+        The budget check is one compare against the unified limit; all
+        slow-path work lives in :meth:`_step_overrun`.
         """
         self.counts[op] += 1
         self.steps += 1
-        if self.max_steps is not None and self.steps > self.max_steps:
-            raise VMError(f"execution exceeded {self.max_steps} steps")
+        limit = self._step_limit
+        if limit is not None and self.steps > limit:
+            self._step_overrun(op)
 
     # ------------------------------------------------------------------
 
@@ -306,7 +571,7 @@ class Machine:
         if sync is not None:
             sync()
         telemetry = getattr(self.heap, "gc_telemetry", None)
-        return RunResult(
+        result = RunResult(
             value=value,
             output="".join(self.output),
             steps=self.steps,
@@ -318,3 +583,7 @@ class Machine:
             engine=self._engine.name,
             gc_stats=telemetry() if telemetry is not None else {},
         )
+        # Results are decodable without going back through the api layer
+        # (resume() returns from here directly).
+        result.machine = self  # type: ignore[attr-defined]
+        return result

@@ -1,0 +1,242 @@
+"""The unified resource-budget subsystem: fuel, deadlines, allocation.
+
+Budgets are enforced on the engines' counted dispatch fast path (one
+compare per counted instruction).  A trip raises a structured
+``BudgetExceeded`` subclass, leaves the machine *suspended* — not
+corrupted — and ``resume()`` continues the run under new limits with
+exact cumulative counters.
+"""
+
+import pytest
+
+from repro import CompileOptions, compile_source, decode
+from repro.errors import (
+    AllocBudgetExceeded,
+    BudgetExceeded,
+    DeadlineExceeded,
+    StepBudgetExceeded,
+    VMError,
+)
+from repro.vm import BUDGET_CHECK_INTERVAL, Budget
+from repro.vm.machine import Machine
+
+ENGINES = ["naive", "threaded"]
+
+# a loop long enough that every budget kind can trip mid-flight
+LOOP = "(let loop ((i 0)) (if (= i 2000) i (loop (+ i 1))))"
+# a loop that allocates on every iteration
+ALLOC_LOOP = (
+    "(let loop ((i 0) (acc '())) "
+    "  (if (= i 2000) (length acc) (loop (+ i 1) (cons i acc))))"
+)
+
+
+def _compile(source, fuse=True):
+    options = CompileOptions(safety=True)
+    options.fuse = fuse
+    return compile_source(source, options)
+
+
+def _machines(source, **kwargs):
+    for fuse in (False, True):
+        compiled = _compile(source, fuse)
+        for engine in ENGINES:
+            label = f"{engine}{'+fuse' if fuse else ''}"
+            yield label, Machine(
+                compiled.vm_program, engine=engine, **kwargs
+            )
+
+
+# ----------------------------------------------------------------------
+# step budget (fuel)
+# ----------------------------------------------------------------------
+
+
+def test_step_budget_error_is_structured():
+    for label, machine in _machines(LOOP, max_steps=1000):
+        with pytest.raises(StepBudgetExceeded) as excinfo:
+            machine.run()
+        error = excinfo.value
+        # historical message preserved for callers matching on str()
+        assert str(error) == "execution exceeded 1000 steps", label
+        assert error.budget == "steps"
+        assert error.steps == machine.steps == 1001, label
+        assert error.max_steps == 1000
+        # and it is still a VMError / BudgetExceeded for old handlers
+        assert isinstance(error, BudgetExceeded)
+        assert isinstance(error, VMError)
+
+
+def test_step_trap_snapshot_and_resume():
+    clean = _compile(LOOP).run()
+    for label, machine in _machines(LOOP, max_steps=1000):
+        with pytest.raises(StepBudgetExceeded) as excinfo:
+            machine.run()
+        info = machine.last_trap
+        assert info is not None and info is excinfo.value.trap, label
+        assert info.kind == "steps"
+        assert info.resumable
+        assert info.steps == 1001
+        assert info.pc is not None and info.pc >= 0
+        assert isinstance(info.opcode, str) and info.opcode
+        # resume with the budget removed: identical observables to a
+        # clean uninterrupted run, cumulative counters included
+        result = machine.resume(max_steps=None)
+        assert result.value == clean.value, label
+        assert result.steps == clean.steps, label
+        assert result.opcode_counts == clean.opcode_counts, label
+
+
+def test_resume_sweep_hits_mid_pair_boundaries():
+    # Walk the budget across a window so the trip lands on every phase
+    # of a fused pair at least once; resume must stay exact everywhere.
+    clean = _compile(LOOP).run()
+    for budget in range(500, 509):
+        for label, machine in _machines(LOOP, max_steps=budget):
+            with pytest.raises(StepBudgetExceeded):
+                machine.run()
+            assert machine.steps == budget + 1, (label, budget)
+            result = machine.resume(max_steps=None)
+            assert result.value == clean.value, (label, budget)
+            assert result.steps == clean.steps, (label, budget)
+
+
+def test_resume_in_installments():
+    # Raising the budget little by little replays the whole program.
+    clean = _compile(LOOP).run()
+    compiled = _compile(LOOP)
+    for engine in ENGINES:
+        machine = Machine(compiled.vm_program, max_steps=700, engine=engine)
+        with pytest.raises(StepBudgetExceeded):
+            machine.run()
+        budget = 700
+        result = None
+        while result is None:
+            budget += 700
+            try:
+                result = machine.resume(max_steps=budget)
+            except StepBudgetExceeded:
+                continue
+        assert result.value == clean.value, engine
+        assert result.steps == clean.steps, engine
+
+
+def test_resume_requires_suspension_and_headroom():
+    compiled = _compile(LOOP)
+    machine = Machine(compiled.vm_program, max_steps=1000)
+    with pytest.raises(VMError, match="nothing to resume"):
+        machine.resume()
+    with pytest.raises(StepBudgetExceeded):
+        machine.run()
+    # steps is now 1001; a smaller budget cannot make progress
+    with pytest.raises(VMError, match="larger step budget"):
+        machine.resume(max_steps=500)
+    # the refusal does not consume the suspension
+    assert machine.resume(max_steps=None).value == _compile(LOOP).run().value
+
+
+def test_second_run_resets_run_state():
+    compiled = _compile(LOOP)
+    for engine in ENGINES:
+        machine = Machine(compiled.vm_program, engine=engine)
+        first = machine.run()
+        second = machine.run()
+        assert second.value == first.value
+        assert second.steps == first.steps
+        assert second.opcode_counts == first.opcode_counts
+
+
+# ----------------------------------------------------------------------
+# deadline budget
+# ----------------------------------------------------------------------
+
+
+def test_deadline_trips_and_resumes():
+    clean = _compile(LOOP).run()
+    for label, machine in _machines(LOOP, deadline_seconds=0.0):
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            machine.run()
+        error = excinfo.value
+        assert error.budget == "deadline", label
+        assert error.deadline_seconds == 0.0
+        assert error.elapsed_seconds >= 0.0
+        assert machine.last_trap.kind == "deadline"
+        assert machine.last_trap.resumable
+        # deadlines are only exact to the periodic check interval
+        assert machine.steps <= clean.steps + BUDGET_CHECK_INTERVAL, label
+        result = machine.resume(deadline_seconds=None)
+        assert result.value == clean.value, label
+        assert result.steps == clean.steps, label
+
+
+def test_injected_deadline_is_exact_and_resumable():
+    clean = _compile(LOOP).run()
+    compiled = _compile(LOOP)
+    for engine in ENGINES:
+        machine = Machine(compiled.vm_program, engine=engine)
+        machine._injected_deadline_step = 4321
+        with pytest.raises(DeadlineExceeded, match="injected deadline"):
+            machine.run()
+        assert machine.steps == 4322, engine
+        result = machine.resume()
+        assert result.value == clean.value, engine
+        assert result.steps == clean.steps, engine
+
+
+# ----------------------------------------------------------------------
+# allocation budget
+# ----------------------------------------------------------------------
+
+
+def test_alloc_budget_trips_and_resumes():
+    clean = _compile(ALLOC_LOOP).run()
+    clean_value = decode(clean)
+    for label, machine in _machines(ALLOC_LOOP, max_alloc_words=2000):
+        with pytest.raises(AllocBudgetExceeded) as excinfo:
+            machine.run()
+        error = excinfo.value
+        assert error.budget == "alloc", label
+        assert error.max_alloc_words == 2000
+        assert error.words_allocated > 2000, label
+        assert machine.last_trap.kind == "alloc"
+        assert machine.last_trap.resumable
+        result = machine.resume(max_alloc_words=None)
+        assert decode(result) == clean_value, label
+        assert result.steps == clean.steps, label
+
+
+# ----------------------------------------------------------------------
+# the Budget record and API plumbing
+# ----------------------------------------------------------------------
+
+
+def test_budget_record_equivalent_to_scalars():
+    compiled = _compile(LOOP)
+    budget = Budget(max_steps=1000, deadline_seconds=None,
+                    max_alloc_words=None)
+    assert not budget.unlimited
+    assert Budget(None, None, None).unlimited
+    machine = Machine(compiled.vm_program, budget=budget)
+    with pytest.raises(StepBudgetExceeded):
+        machine.run()
+    assert machine.steps == 1001
+
+
+def test_budgets_force_instruction_counting():
+    compiled = _compile(LOOP)
+    machine = Machine(
+        compiled.vm_program, count_instructions=False, max_steps=1000
+    )
+    assert machine.count_instructions
+    with pytest.raises(StepBudgetExceeded):
+        machine.run()
+
+
+def test_api_run_accepts_budget_kwargs():
+    compiled = _compile(LOOP)
+    with pytest.raises(StepBudgetExceeded):
+        compiled.run(max_steps=1000)
+    with pytest.raises(DeadlineExceeded):
+        compiled.run(deadline_seconds=0.0)
+    result = compiled.run(max_steps=10_000_000)
+    assert decode(result) == 2000

@@ -57,9 +57,70 @@ def test_stats_reports_counters(capsys):
     assert "by opcode:" in out
 
 
-def test_error_exit_code(capsys):
-    assert main(["run", "-e", "(car 5)", "--config", "unoptimized"]) == 1
+def test_vm_trap_exit_code(capsys):
+    # A VM type trap maps to the documented exit code 5.
+    assert main(["run", "-e", "(car 5)", "--config", "unoptimized"]) == 5
     assert "error" in capsys.readouterr().err
+
+
+def test_reader_error_exit_code(capsys):
+    assert main(["run", "-e", "(car", "--config", "unoptimized"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_compile_error_exit_code(capsys):
+    assert main(["run", "-e", "(lambda)", "--config", "unoptimized"]) == 3
+    assert "error" in capsys.readouterr().err
+
+
+def test_lint_werror_exit_code(capsys):
+    code = main(["lint", "--Werror", "-e", "(define helper 42) (display 1)"])
+    capsys.readouterr()
+    assert code == 4
+
+
+def test_budget_exit_code(capsys):
+    code = main(
+        [
+            "run",
+            "-e",
+            "(let loop ((i 0)) (loop (+ i 1)))",
+            "--config",
+            "unoptimized",
+            "--max-steps",
+            "1000",
+        ]
+    )
+    assert code == 6
+    assert "exceeded 1000 steps" in capsys.readouterr().err
+
+
+def test_deadline_flag_trips(capsys):
+    code = main(
+        [
+            "run",
+            "-e",
+            "(let loop ((i 0)) (loop (+ i 1)))",
+            "--config",
+            "unoptimized",
+            "--deadline",
+            "0.05",
+        ]
+    )
+    assert code == 6
+    assert "deadline" in capsys.readouterr().err
+
+
+def test_faultsweep_clean_program(tmp_path, capsys):
+    path = tmp_path / "program.scm"
+    path.write_text("(define (double x) (* 2 x)) (display (double 21))")
+    code = main(
+        ["faultsweep", str(path), "--engine", "naive", "--max-sites", "4"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "0 violations" in captured.out
+    assert "VIOLATION" not in captured.err
 
 
 def test_missing_source_is_rejected():

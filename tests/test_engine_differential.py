@@ -325,6 +325,75 @@ def test_opcode_counts_key_base_names():
         assert sum(result.opcode_counts.values()) == result.steps
 
 
+# ----------------------------------------------------------------------
+# fault schedules: observational identity must survive a hostile heap
+# ----------------------------------------------------------------------
+
+
+def _gc_every_run(compiled, engine, every, heap_words=1 << 16):
+    from repro.vm.faultinject import FaultInjectingHeap, FaultSchedule
+
+    machine = Machine(compiled.vm_program, engine=engine)
+    machine.install_heap(
+        FaultInjectingHeap(heap_words, FaultSchedule(gc_every=every))
+    )
+    result = machine.run()
+    machine.heap.check_conservation()
+    return result
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_examples_agree_under_gc_every_alloc(filename):
+    # A forced full collection before *every* allocation moves objects at
+    # allocation points the occupancy trigger would never pick.  Every
+    # engine/shape must still produce the clean run's value, output, and
+    # decomposed counts.
+    with open(os.path.join(EXAMPLES_DIR, filename)) as handle:
+        source = handle.read()
+    both = _compile_both(source)
+    clean = both[False].run(engine="naive")
+    clean_value = _decode(clean.machine, clean.value)
+    for fuse, compiled in both.items():
+        for engine in ENGINES:
+            label = f"{engine}{'+fuse' if fuse else ''}"
+            run = _gc_every_run(compiled, engine, every=1)
+            assert _decode(run.machine, run.value) == clean_value, label
+            assert run.output == clean.output, label
+            assert run.steps == clean.steps, label
+            assert run.opcode_counts == clean.opcode_counts, label
+
+
+def test_injected_alloc_failure_trips_identically():
+    # Allocation order is an observable: with an injected failure at the
+    # k-th allocation, every engine/shape must trap at the same counted
+    # step with the same message, keep conservation, and then complete a
+    # clean re-run on the same machine and heap.
+    from repro.errors import HeapExhausted
+    from repro.vm.faultinject import FaultInjectingHeap, FaultSchedule
+
+    source = (
+        "(let loop ((i 0) (acc '())) "
+        "  (if (= i 40) (length acc) (loop (+ i 1) (cons i acc))))"
+    )
+    both = _compile_both(source)
+    for k in (1, 5, 23):
+        outcomes = set()
+        for fuse, compiled in both.items():
+            for engine in ENGINES:
+                machine = Machine(compiled.vm_program, engine=engine)
+                machine.install_heap(
+                    FaultInjectingHeap(1 << 16, FaultSchedule(fail_at=k))
+                )
+                with pytest.raises(HeapExhausted) as excinfo:
+                    machine.run()
+                machine.heap.check_conservation()
+                retry = machine.run()
+                value = _decode(machine, retry.value)
+                outcomes.add((str(excinfo.value), machine.steps, value))
+        assert len(outcomes) == 1, (k, outcomes)
+        assert next(iter(outcomes))[2] == 40
+
+
 def test_dispatches_versus_steps():
     both = _compile_both(
         "(define (f n) (if (= n 0) 0 (f (- n 1)))) (f 200)"

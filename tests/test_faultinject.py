@@ -1,0 +1,164 @@
+"""The fault-injection harness itself, plus bounded and full sweeps.
+
+Tier-1 keeps the sweeps small (a handful of injection sites on one
+example program); the exhaustive corpus sweep is marked ``faultsweep``
+and runs in its own CI job (``pytest -m faultsweep`` or the
+``repro faultsweep`` CLI).
+"""
+
+import os
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.errors import HeapExhausted
+from repro.vm.faultinject import (
+    FaultInjectingHeap,
+    FaultSchedule,
+    sweep_program,
+    sweep_source,
+)
+from repro.vm.machine import Machine
+
+ENGINES = ["naive", "threaded"]
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples", "scm"
+)
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".scm")
+)
+
+ALLOCATING = (
+    "(let loop ((i 0) (acc '())) "
+    "  (if (= i 50) (length acc) (loop (+ i 1) (cons i acc))))"
+)
+
+
+def _vm_program(source):
+    return compile_source(source, CompileOptions(safety=True)).vm_program
+
+
+# ----------------------------------------------------------------------
+# the injecting heap: schedules observe every allocation
+# ----------------------------------------------------------------------
+
+
+def test_schedule_sees_every_allocation():
+    # The same program on a plain heap and on an empty-schedule fault
+    # heap must report identical words_allocated — i.e. the clamped
+    # bump region changes observability, not behaviour.
+    program = _vm_program(ALLOCATING)
+    plain = Machine(program)
+    clean = plain.run()
+
+    schedule = FaultSchedule()
+    machine = Machine(program)
+    machine.install_heap(FaultInjectingHeap(1 << 16, schedule))
+    result = machine.run()
+
+    assert result.value == clean.value
+    assert result.steps == clean.steps
+    assert result.words_allocated == clean.words_allocated
+    assert schedule.allocs > 0
+    # every allocation paid exactly one header word plus payload; the
+    # census therefore bounds words/alloc from below
+    assert result.words_allocated >= schedule.allocs
+
+
+def test_injected_failure_fires_once():
+    program = _vm_program(ALLOCATING)
+    schedule = FaultSchedule(fail_at=3)
+    machine = Machine(program)
+    machine.install_heap(FaultInjectingHeap(1 << 16, schedule))
+    with pytest.raises(HeapExhausted, match="injected allocation failure"):
+        machine.run()
+    assert schedule.injected_failures == 1
+    machine.heap.check_conservation()
+    # the counter moved past fail_at: the re-run completes
+    retry = machine.run()
+    assert schedule.injected_failures == 1
+    assert retry.value is not None
+
+
+def test_forced_gc_schedule_counts_collections():
+    program = _vm_program(ALLOCATING)
+    schedule = FaultSchedule(gc_every=2)
+    machine = Machine(program)
+    machine.install_heap(FaultInjectingHeap(1 << 16, schedule))
+    result = machine.run()
+    assert schedule.forced_gcs == schedule.allocs // 2
+    assert result.gc_count >= schedule.forced_gcs
+    machine.heap.check_conservation()
+
+
+# ----------------------------------------------------------------------
+# bounded sweeps (tier-1)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_bounded_sweep_is_clean(engine):
+    report = sweep_program(
+        _vm_program(ALLOCATING),
+        label="alloc-loop",
+        engine=engine,
+        max_sites=6,
+        gc_every=(1, 5),
+        deadline_points=2,
+    )
+    assert report.total_allocs > 0
+    assert report.violations == []
+    counts = report.counts()
+    assert counts["runs"] == counts["completed"] + counts["trapped"]
+    assert counts["trapped"] >= 1  # the injected failures really fired
+
+
+def test_bounded_sweep_one_example():
+    with open(os.path.join(EXAMPLES_DIR, EXAMPLES[0])) as handle:
+        source = handle.read()
+    report = sweep_source(
+        source,
+        label=EXAMPLES[0],
+        engine="naive",
+        max_sites=4,
+        gc_every=(3,),
+        deadline_points=1,
+    )
+    assert report.ok, report.violations
+
+
+def test_sweep_report_flags_violations():
+    # The harness must be able to *fail*: seed a fake outcome and check
+    # the report surfaces it with its label and schedule.
+    from repro.vm.faultinject import FaultOutcome, SweepReport
+
+    report = SweepReport(label="prog.scm")
+    report.outcomes.append(
+        FaultOutcome(
+            schedule="fail-at-2",
+            engine="naive",
+            status="trapped",
+            violations=["value diverged"],
+        )
+    )
+    assert not report.ok
+    assert report.violations == ["prog.scm [naive] fail-at-2: value diverged"]
+    assert report.counts()["violations"] == 1
+
+
+# ----------------------------------------------------------------------
+# exhaustive corpus sweeps (the CI fault-sweep job)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.faultsweep
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_full_example_sweep(filename, engine):
+    with open(os.path.join(EXAMPLES_DIR, filename)) as handle:
+        source = handle.read()
+    report = sweep_source(
+        source, label=filename, engine=engine, max_sites=64
+    )
+    assert report.ok, report.violations

@@ -198,7 +198,7 @@ def test_cli_exit_zero_on_warnings_without_werror(capsys):
 def test_cli_werror_exits_nonzero(capsys):
     code = cli_main(["lint", "--Werror", "-e", UNREACHABLE_FIXTURE])
     capsys.readouterr()
-    assert code == 1
+    assert code == 4  # EXIT_LINT: findings promoted by --Werror
 
 
 def test_cli_disable_restores_zero_exit(capsys):

@@ -1,0 +1,146 @@
+"""The reusable-state contract after VM faults.
+
+Every fault — heap exhaustion, Scheme type traps, budget trips — must
+unwind through ``Machine.trap()``: invariants restored, a ``TrapInfo``
+snapshot taken, and the machine left usable for a fresh run of the same
+program, a ``load()`` of a different one, or (for budget trips) a
+``resume()``.  Parametrized over both engines and both GC trigger modes
+so recovery is proven on every dispatch/collection combination.
+"""
+
+import pytest
+
+from repro import CompileOptions, compile_source, decode
+from repro.errors import HeapExhausted, SchemeError
+from repro.vm.heap import Heap
+from repro.vm.machine import Machine
+
+ENGINES = ["naive", "threaded"]
+OCCUPANCIES = [None, 0.9]  # legacy exhaustion-only trigger vs occupancy
+
+# retains every cons, so a small heap genuinely runs out
+EXHAUSTING = (
+    "(let loop ((i 0) (acc '())) "
+    "  (if (= i 100000) (length acc) (loop (+ i 1) (cons i acc))))"
+)
+SMALL_PROGRAM = "(define (double x) (* 2 x)) (double 21)"
+
+
+def _vm_program(source):
+    return compile_source(source, CompileOptions(safety=True)).vm_program
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("gc_occupancy", OCCUPANCIES)
+def test_heap_exhaustion_leaves_machine_reusable(engine, gc_occupancy):
+    # big enough that the recovered (fragmented, non-moving) heap can
+    # still serve the follow-up program, small enough to exhaust fast
+    machine = Machine(
+        _vm_program(EXHAUSTING),
+        heap_words=1 << 14,
+        engine=engine,
+        gc_occupancy=gc_occupancy,
+    )
+    with pytest.raises(HeapExhausted) as excinfo:
+        machine.run()
+
+    info = machine.last_trap
+    assert info is not None and info is excinfo.value.trap
+    assert info.kind == "heap"
+    assert not info.resumable  # exhaustion is not a budget trip
+    assert info.engine == engine
+    assert machine.frames == []  # unwound per the reusable contract
+    machine.heap.check_conservation()
+
+    # a different program must run cleanly on the same machine and heap
+    machine.load(_vm_program(SMALL_PROGRAM))
+    clean = Machine(_vm_program(SMALL_PROGRAM), heap_words=1 << 14,
+                    engine=engine, gc_occupancy=gc_occupancy)
+    result = machine.run()
+    reference = clean.run()
+    assert result.value == reference.value
+    assert result.steps == reference.steps
+    assert result.opcode_counts == reference.opcode_counts
+    machine.heap.check_conservation()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("gc_occupancy", OCCUPANCIES)
+def test_heap_swap_after_exhaustion(engine, gc_occupancy):
+    # Recovery path two: keep the program, install a bigger heap.
+    program = _vm_program(
+        EXHAUSTING.replace("100000", "300")  # fits easily in 64K words
+    )
+    machine = Machine(program, heap_words=1024, engine=engine,
+                      gc_occupancy=gc_occupancy)
+    with pytest.raises(HeapExhausted):
+        machine.run()
+    machine.heap.check_conservation()
+
+    machine.install_heap(Heap(1 << 16, gc_occupancy=gc_occupancy))
+    result = machine.run()
+    assert result.value is not None
+    assert decode(result) == 300
+    machine.heap.check_conservation()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_scheme_trap_then_fresh_run(engine):
+    # A type trap carries its snapshot, and re-running reproduces it
+    # exactly — state from the failed run cannot leak into the next.
+    program = _vm_program("(car 5)")
+    machine = Machine(program, engine=engine)
+    messages = set()
+    for _ in range(3):
+        with pytest.raises(SchemeError) as excinfo:
+            machine.run()
+        info = machine.last_trap
+        assert info is not None and info is excinfo.value.trap
+        assert info.kind == "scheme"
+        assert not info.resumable
+        assert info.pc is not None and info.pc >= 0
+        assert isinstance(info.opcode, str)
+        messages.add((str(excinfo.value), info.pc, info.opcode, info.steps))
+        machine.heap.check_conservation()
+    assert len(messages) == 1, messages
+
+    # and the machine still runs an unrelated program afterwards
+    machine.load(_vm_program(SMALL_PROGRAM))
+    assert decode(machine.run()) == 42
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_trap_pc_points_at_faulting_instruction(engine):
+    # The snapshot's pc/opcode must name the instruction that trapped:
+    # for (car 5) that is the heap load behind car (or its safety check),
+    # never HALT or a branch somewhere else.
+    program = _vm_program("(car 5)")
+    machine = Machine(program, engine=engine)
+    with pytest.raises(SchemeError):
+        machine.run()
+    info = machine.last_trap
+    from repro.vm import isa
+
+    code = next(
+        (c for c in machine.codes
+         if 0 <= info.pc < len(c.instructions)
+         and isa.opcode_name(c.instructions[info.pc][0]) == info.opcode),
+        None,
+    )
+    assert code is not None, (info.pc, info.opcode)
+
+
+def test_trap_survives_between_engines():
+    # The TrapInfo observables that do not depend on dispatch strategy
+    # must agree across engines for the same fault.
+    program = _vm_program("(vector-ref (make-vector 2 0) 9)")
+    snapshots = []
+    for engine in ENGINES:
+        machine = Machine(program, engine=engine)
+        with pytest.raises(SchemeError):
+            machine.run()
+        info = machine.last_trap
+        snapshots.append(
+            (info.kind, info.message, info.steps, info.frame_depth)
+        )
+    assert snapshots[0] == snapshots[1]
