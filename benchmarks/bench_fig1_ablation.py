@@ -11,7 +11,7 @@ from .harness import config_o, run_workload, write_table
 from .workloads import ASSOC, DERIV, FIB, VECTOR
 
 WORKLOADS = [FIB, VECTOR, ASSOC, DERIV]
-FEATURES = ["inline", "fold", "algebra", "cse", "absint", "dce"]
+FEATURES = ["inline", "fold", "algebra", "cse", "absint", "unbox", "dce"]
 
 
 def ablated(feature: str) -> CompileOptions:

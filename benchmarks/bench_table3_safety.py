@@ -23,12 +23,17 @@ def safe_no_absint() -> CompileOptions:
     return CompileOptions(optimizer=OptimizerOptions().without("absint"))
 
 
+def safe_no_unbox() -> CompileOptions:
+    return CompileOptions(optimizer=OptimizerOptions().without("unbox"))
+
+
 def test_table3_safety(benchmark):
     def build():
         rows = []
         for name, source, expected in WORKLOADS:
             unsafe = run_workload(source, config_o(safety=False), expected).steps
             safe = run_workload(source, config_o(safety=True), expected).steps
+            no_unbox = run_workload(source, safe_no_unbox(), expected).steps
             no_absint = run_workload(source, safe_no_absint(), expected).steps
             no_cse = run_workload(source, safe_no_cse(), expected).steps
             base_safe = run_workload(source, config_b(safety=True), expected).steps
@@ -37,10 +42,12 @@ def test_table3_safety(benchmark):
                     name,
                     unsafe,
                     safe,
+                    no_unbox,
                     no_absint,
                     no_cse,
                     base_safe,
                     ratio(safe, unsafe),
+                    ratio(no_unbox, safe),
                     ratio(no_absint, safe),
                     ratio(no_cse, safe),
                     ratio(safe, base_safe),
@@ -56,19 +63,28 @@ def test_table3_safety(benchmark):
             "program",
             "unsafe",
             "safe",
+            "safe -unbox",
             "safe -absint",
             "safe -cse",
             "B safe",
             "safe/unsafe",
+            "-unbox/safe",
             "-absint/safe",
             "-cse/safe",
             "safe O/B",
         ],
         rows,
     )
+    improved = 0
     for row in rows:
-        name, unsafe, safe, no_absint, no_cse, base_safe = row[:6]
+        name, unsafe, safe, no_unbox, no_absint, no_cse, base_safe = row[:7]
         assert safe >= unsafe, name            # checks are not free
+        assert no_unbox >= safe, name          # unbox never regresses
+        if no_unbox > safe:
+            improved += 1
         assert no_absint > safe, name          # absint strictly beats CSE-only
         assert no_cse >= safe, name            # CSE never hurts
-        assert float(row[9]) <= 1.3, name      # abstract ≈ hand-coded
+        assert float(row[11]) <= 1.3, name     # abstract ≈ hand-coded
+    # The interprocedural pass strictly lowers dynamic counts on at
+    # least half the Table-3 workloads.
+    assert improved * 2 >= len(rows), f"unbox improved only {improved} rows"

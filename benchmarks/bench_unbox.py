@@ -1,0 +1,155 @@
+"""Unboxing/check-elision smoke gate — writes ``BENCH_unbox.json``.
+
+Counts dynamic VM instructions for every Table-2 workload with the
+interprocedural ``unbox`` pass on (the default) and off.  The numbers
+are deterministic instruction counts, not wall time, so a single rep is
+exact; ``--quick`` exists only for interface symmetry with the other
+perf-smoke gates.
+
+Run as a script::
+
+    python benchmarks/bench_unbox.py              # report only
+    python benchmarks/bench_unbox.py --check      # exit 1 on regression
+
+``--check`` enforces the two acceptance gates: the pass must not raise
+the dynamic count on any workload, and it must strictly lower it on at
+least half of them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # running as a script
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    from workloads import ALL_WORKLOADS
+else:
+    from .workloads import ALL_WORKLOADS
+
+from repro import CompileOptions, OptimizerOptions, compile_source, decode
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_unbox.json")
+
+
+def measure() -> dict:
+    """Dynamic instruction counts with/without ``unbox``, as a report."""
+    workloads = {}
+    improved = 0
+    for name, source, expected in ALL_WORKLOADS:
+        on = compile_source(source, CompileOptions()).run()
+        off = compile_source(
+            source, CompileOptions(optimizer=OptimizerOptions().without("unbox"))
+        ).run()
+        assert decode(on) == expected, (name, "unbox on")
+        assert decode(off) == expected, (name, "unbox off")
+        if on.steps < off.steps:
+            improved += 1
+        workloads[name] = {
+            "steps_on": on.steps,
+            "steps_off": off.steps,
+            "saved": off.steps - on.steps,
+            "ratio": round(on.steps / off.steps, 4),
+        }
+    return {
+        "pass": "unbox",
+        "python": sys.version.split()[0],
+        "improved": improved,
+        "total": len(ALL_WORKLOADS),
+        "workloads": workloads,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """Acceptance failures (empty == pass)."""
+    failures = []
+    for name, entry in report["workloads"].items():
+        if entry["steps_on"] > entry["steps_off"]:
+            failures.append(
+                f"{name}: unbox regressed "
+                f"{entry['steps_off']} -> {entry['steps_on']}"
+            )
+    if report["improved"] * 2 < report["total"]:
+        failures.append(
+            f"unbox strictly improved only {report['improved']} of "
+            f"{report['total']} workloads (need at least half)"
+        )
+    return failures
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"{'workload':10s} {'unbox on':>10s} {'unbox off':>10s} "
+        f"{'saved':>8s} {'ratio':>7s}"
+    ]
+    for name, entry in report["workloads"].items():
+        lines.append(
+            f"{name:10s} {entry['steps_on']:10d} {entry['steps_off']:10d} "
+            f"{entry['saved']:8d} {entry['ratio']:6.3f}x"
+        )
+    lines.append(
+        f"strict improvements: {report['improved']}/{report['total']}"
+        " (gate: at least half, no regressions)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="accepted for symmetry with the other smoke gates (counts "
+        "are deterministic, so there is nothing to shorten)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if unbox regresses any workload or improves fewer "
+        "than half",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help="JSON report path (default: BENCH_unbox.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure()
+    print(render(report))
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(args.output)}")
+
+    if args.check:
+        failures = check(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (slow: excluded from tier-1 — tests/test_unbox.py
+# covers the same gates inside tier-1 on the same workloads)
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script use without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_unbox_gate():
+        report = measure()
+        print(render(report))
+        failures = check(report)
+        assert not failures, failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

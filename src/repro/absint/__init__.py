@@ -6,8 +6,13 @@ through every machine primitive (:mod:`repro.prims.abstract`), and
 refines it at branches (:mod:`repro.absint.analyze`) — including
 through the prelude's fused ``%fx-check2`` tag probes.
 
-Consumers: the ``checkelim`` optimizer pass (:mod:`repro.opt.checkelim`)
-and the ``repro lint`` diagnostics engine (:mod:`repro.lint`).
+:mod:`repro.absint.summaries` lifts the per-form walk to a
+whole-program fixpoint: function summaries (call-site parameter joins,
+result joins, widening for recursion) and heap-field facts.
+
+Consumers: the ``checkelim`` optimizer pass (:mod:`repro.opt.checkelim`),
+the interprocedural ``unbox`` pass (:mod:`repro.opt.unbox`), and the
+``repro lint`` diagnostics engine (:mod:`repro.lint`).
 """
 
 from .lattice import (  # noqa: F401
@@ -26,7 +31,16 @@ from .lattice import (  # noqa: F401
     make,
     stabilize,
 )
-from .analyze import Analyzer, Event, analyze_program  # noqa: F401
+from .analyze import Analyzer, Event, EventKind, analyze_program  # noqa: F401
+from .summaries import (  # noqa: F401
+    MAX_SWEEPS,
+    WIDEN_AFTER,
+    FunctionSummary,
+    HeapContribution,
+    HeapFacts,
+    ProgramSummaries,
+    summarize_program,
+)
 
 __all__ = [
     "ALL_TAGS",
@@ -39,7 +53,15 @@ __all__ = [
     "AbstractValue",
     "Analyzer",
     "Event",
+    "EventKind",
+    "FunctionSummary",
+    "HeapContribution",
+    "HeapFacts",
+    "MAX_SWEEPS",
+    "ProgramSummaries",
+    "WIDEN_AFTER",
     "analyze_program",
+    "summarize_program",
     "const",
     "from_range",
     "from_tags",

@@ -8,6 +8,18 @@ low tag is 3, inside the false arm that it is not — including through
 the prelude's ``%fx-check2`` idiom ``(%eq (%and (%or a b) 7) 0)``, which
 pins *both* operands to tag 0 at once.
 
+An Analyzer can run in two modes:
+
+* **intraprocedural** (no ``context``): calls return ⊤, lambda
+  parameters are ⊤, ``%load`` is ⊤.  This is the PR-1 behaviour, still
+  used by the ``checkelim`` pass and the lint flow rules.
+* **interprocedural** (``context`` from
+  :mod:`repro.absint.summaries`): calls to known procedures return
+  their summarised result, lambda parameters carry the join of every
+  call site's arguments, and ``%load`` consults per-field heap facts.
+  The whole-program fixpoint driver lives in ``summaries.py``; this
+  module stays a single-form walk either way.
+
 The walk records, keyed by node identity:
 
 * ``values`` — abstract result of every primitive application;
@@ -18,8 +30,11 @@ The walk records, keyed by node identity:
 * ``reductions`` — range-based strength reductions (``%div``/``%mod``
   by a power of two and ``%asr`` on provably non-negative words drop to
   ``%lsr``/``%and``);
-* ``events`` — a stream of facts (decided branches, constant
-  predicates, always-failing bodies) consumed by :mod:`repro.lint`.
+* ``replacements`` — untag/retag cancellations and mask-identity
+  rewrites proven by the value flow (recorded only when the context
+  asks for rewrites; consumed by :mod:`repro.opt.unbox`);
+* ``events`` — a stream of :class:`Event` facts (kinds enumerated by
+  :class:`EventKind`) consumed by :mod:`repro.lint`.
 
 Soundness notes.  Assigned variables (targets of ``set!``) are always ⊤:
 their value can change under a closure's feet.  Unassigned variables are
@@ -33,6 +48,7 @@ the flow-sensitive generalisation of the dominating-check trick in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from enum import Enum
 
 from .. import prims
 from ..ir import (
@@ -59,6 +75,7 @@ from .lattice import (
     BOTTOM,
     INT_MAX,
     UNKNOWN,
+    WORD_MASK,
     AbstractValue,
     const,
     from_tags,
@@ -70,11 +87,31 @@ _CLOSURE_TAG = 7  # the compiler-owned closure representation (vm/machine)
 Env = dict  # LocalVar -> AbstractValue
 
 
+class EventKind(str, Enum):
+    """The kinds of facts an :class:`Analyzer` reports.
+
+    * ``BRANCH_DECIDED`` — an ``If`` whose test is proven true or false
+      (``Event.truth`` carries the proven value);
+    * ``PREDICATE_CONSTANT`` — a pure comparison primitive proven to
+      always yield the same raw 0/1 word;
+    * ``ALWAYS_FAILS`` — a lambda body or top-level form that provably
+      never returns (its abstract result is ⊥: a check can never pass,
+      or every path diverges).
+
+    The enum is a ``str`` subclass, so members compare equal to their
+    historical bare-string spellings.
+    """
+
+    BRANCH_DECIDED = "branch-decided"
+    PREDICATE_CONSTANT = "predicate-constant"
+    ALWAYS_FAILS = "always-fails"
+
+
 @dataclass
 class Event:
     """One analysis fact, for the diagnostics layer."""
 
-    kind: str  # "branch-decided" | "predicate-constant" | "always-fails"
+    kind: EventKind
     node: Node
     form: str
     truth: bool | None = None
@@ -83,15 +120,35 @@ class Event:
     is_branch_test: bool = False
 
 
-class Analyzer:
-    """Abstract interpretation of one top-level form."""
+#: tag sets whose members have their low ``k`` bits clear, for the
+#: retag/untag cancellation proofs (k = 1, 2, 3)
+_LOW_ZERO_TAGS = {
+    1: frozenset({0, 2, 4, 6}),
+    2: frozenset({0, 4}),
+    3: frozenset({0}),
+}
 
-    def __init__(self, form_label: str = "<form>"):
+
+class Analyzer:
+    """Abstract interpretation of one top-level form.
+
+    ``context``, when given, is an interprocedural context object from
+    :mod:`repro.absint.summaries` supplying call-result summaries,
+    per-call-site parameter joins, and heap-field facts.  When its
+    ``record_rewrites`` attribute is true the analyzer also records
+    ``replacements`` for the unbox pass.
+    """
+
+    def __init__(self, form_label: str = "<form>", context=None):
         self.form_label = form_label
+        self.context = context
         self.values: dict[int, AbstractValue] = {}
         self.folds: dict[int, int | None] = {}
         self.decided: dict[int, bool | None] = {}
         self.reductions: dict[int, tuple[str, int | None] | None] = {}
+        #: unbox rewrites: id(Prim) → ("arg", i) | ("narrow-or", keep)
+        #: | ("unshift",) — see repro.opt.unbox for the application
+        self.replacements: dict[int, tuple | None] = {}
         self.events: list[Event] = []
         #: pure definitions of in-scope unassigned locals, for
         #: refinement through ``let``-bound tests
@@ -105,7 +162,7 @@ class Analyzer:
         result = self.eval(form, env)
         if result.is_bottom:
             self.events.append(
-                Event("always-fails", form, self.form_label, truth=None)
+                Event(EventKind.ALWAYS_FAILS, form, self.form_label, truth=None)
             )
         return result
 
@@ -138,6 +195,13 @@ class Analyzer:
             self.reductions[key] = None
         else:
             self.reductions.setdefault(key, (op, second))
+
+    def _record_replacement(self, node: Prim, repl: tuple) -> None:
+        key = id(node)
+        if key in self.replacements and self.replacements[key] != repl:
+            self.replacements[key] = None
+        else:
+            self.replacements.setdefault(key, repl)
 
     # ------------------------------------------------------------------
     # evaluation
@@ -204,9 +268,14 @@ class Analyzer:
         if isinstance(node, Call):
             if self.eval(node.fn, env).is_bottom:
                 return BOTTOM
+            arg_values = []
             for arg in node.args:
-                if self.eval(arg, env).is_bottom:
+                value = self.eval(arg, env)
+                if value.is_bottom:
                     return BOTTOM
+                arg_values.append(value)
+            if self.context is not None:
+                return self.context.call(node, arg_values)
             return UNKNOWN
         raise TypeError(f"absint: unknown node {type(node).__name__}")
 
@@ -215,17 +284,32 @@ class Analyzer:
 
         Facts about captured *unassigned* variables stay valid for the
         closure's whole lifetime, so the surrounding environment carries
-        over; parameters are ⊤.
+        over; parameters are ⊤ — unless an interprocedural context
+        supplies the join of every call site's arguments.
         """
         inner = dict(env)
-        for param in lam.params:
-            inner[param] = UNKNOWN
+        params = None
+        if self.context is not None:
+            params = self.context.params_for(lam)
+        for index, param in enumerate(lam.params):
+            if params is not None and index < len(params):
+                inner[param] = params[index]
+            else:
+                inner[param] = UNKNOWN
         if lam.rest is not None:
             inner[lam.rest] = UNKNOWN
-        result = self.eval(lam.body, inner)
+        if self.context is not None:
+            self.context.enter_lambda(lam)
+            try:
+                result = self.eval(lam.body, inner)
+            finally:
+                self.context.exit_lambda(lam)
+            self.context.lambda_result(lam, result)
+        else:
+            result = self.eval(lam.body, inner)
         if result.is_bottom:
             self.events.append(
-                Event("always-fails", lam, self.form_label, truth=None)
+                Event(EventKind.ALWAYS_FAILS, lam, self.form_label, truth=None)
             )
 
     # ------------------------------------------------------------------
@@ -240,7 +324,12 @@ class Analyzer:
                 return BOTTOM
             args.append(value)
         spec = prims.lookup(node.op)
-        result = abstract_eval(node.op, args)
+        if node.op == "%load" and self.context is not None:
+            result = self.context.load(node, args)
+        else:
+            result = abstract_eval(node.op, args)
+        if node.op == "%store" and self.context is not None:
+            self.context.store(node, args)
         self._record_value(node, result)
         if spec is not None and spec.pure:
             word = result.as_constant()
@@ -249,7 +338,7 @@ class Analyzer:
                 if spec.comparison:
                     self.events.append(
                         Event(
-                            "predicate-constant",
+                            EventKind.PREDICATE_CONSTANT,
                             node,
                             self.form_label,
                             truth=word != 0,
@@ -258,6 +347,8 @@ class Analyzer:
                     )
             else:
                 self._strength_reduce(node, args)
+                if self.context is not None and self.context.record_rewrites:
+                    self._find_rewrites(node, args, env)
         return result
 
     def _strength_reduce(self, node: Prim, args: list) -> None:
@@ -276,6 +367,86 @@ class Analyzer:
         elif node.op == "%asr" and divisor is not None and a.nonneg():
             if 0 <= divisor < 64:
                 self._record_reduction(node, "%lsr", None)
+
+    # ------------------------------------------------------------------
+    # unbox rewrites
+    # ------------------------------------------------------------------
+
+    def _find_rewrites(self, node: Prim, args: list, env: Env) -> None:
+        """Untag/retag cancellations for :mod:`repro.opt.unbox`.
+
+        Each proof is phrased over the abstract values flowing into this
+        node, so it holds on every path that reaches it; conflicting
+        visits erase the recording (conflict → ``None``, like folds).
+        Only reached when the result did not fold to a constant, so
+        constant folds always take priority over structural rewrites.
+        """
+        if node.op == "%and" and len(node.args) == 2:
+            # (%and x m) where m cannot change x: the untag half of the
+            # vector-index idiom ``(%and i -8)`` once i is proven tag 0.
+            for keep, mask_idx in ((0, 1), (1, 0)):
+                mask = node.args[mask_idx]
+                if isinstance(mask, Const) and _and_is_identity(
+                    args[keep], mask.value
+                ):
+                    self._record_replacement(node, ("arg", keep))
+                    return
+            # (%and (%or a b) m) with m ≤ 7: a side proven low-3-bits
+            # zero contributes nothing to the masked bits, so the %or
+            # narrows to the other side (the %fx-check2 idiom once one
+            # operand is known fixnum).
+            inner = node.args[0]
+            mask = node.args[1]
+            if (
+                isinstance(inner, Prim)
+                and inner.op == "%or"
+                and len(inner.args) == 2
+                and isinstance(mask, Const)
+                and 0 <= (mask.value & WORD_MASK) <= 7
+            ):
+                for keep, drop in ((0, 1), (1, 0)):
+                    dropped = self._peek(inner.args[drop], env)
+                    if dropped.tags <= frozenset({0}) and is_pure(
+                        inner.args[drop]
+                    ):
+                        self._record_replacement(node, ("narrow-or", keep))
+                        return
+            return
+        if (
+            node.op in ("%asr", "%lsr")
+            and isinstance(node.args[1], Const)
+            and isinstance(node.args[0], Prim)
+            and node.args[0].op == "%lsl"
+            and len(node.args[0].args) == 2
+            and isinstance(node.args[0].args[1], Const)
+            and node.args[0].args[1].value == node.args[1].value
+        ):
+            # (%asr (%lsl x k) k) → x when the %lsl provably cannot
+            # overflow; the %lsr form additionally needs x ≥ 0.
+            k = node.args[1].value
+            if 0 < k <= 3:
+                value = self._peek(node.args[0].args[0], env)
+                limit = 1 << (63 - k)
+                low = 0 if node.op == "%lsr" else -limit
+                if value.lo >= low and value.hi <= limit - 1:
+                    self._record_replacement(node, ("unshift",))
+            return
+        if (
+            node.op == "%lsl"
+            and isinstance(node.args[1], Const)
+            and isinstance(node.args[0], Prim)
+            and node.args[0].op in ("%asr", "%lsr")
+            and len(node.args[0].args) == 2
+            and isinstance(node.args[0].args[1], Const)
+            and node.args[0].args[1].value == node.args[1].value
+        ):
+            # (%lsl (%asr x k) k) → x when x's low k bits are provably
+            # zero (the retag half of an untag/retag round trip).
+            k = node.args[1].value
+            if 0 < k <= 3:
+                value = self._peek(node.args[0].args[0], env)
+                if value.tags and value.tags <= _LOW_ZERO_TAGS[k]:
+                    self._record_replacement(node, ("unshift",))
 
     # ------------------------------------------------------------------
     # conditionals and refinement
@@ -318,7 +489,7 @@ class Analyzer:
     def _decide(self, node: If, truth: bool) -> None:
         self._record_decision(node, truth)
         self.events.append(
-            Event("branch-decided", node, self.form_label, truth=truth)
+            Event(EventKind.BRANCH_DECIDED, node, self.form_label, truth=truth)
         )
 
     # -- refinement ----------------------------------------------------
@@ -515,6 +686,29 @@ class Analyzer:
                 return BOTTOM
             return abstract_eval(node.op, args)
         return UNKNOWN
+
+
+def _and_is_identity(value: AbstractValue, mask_word: int) -> bool:
+    """``x & mask == x`` for every concrete x in ``value``.
+
+    The low three bits are covered by the tag set; above that, either
+    the mask keeps all 64 bits that can matter (``mask | 7`` is all
+    ones, which covers the tagging idiom's ``-8``), or the mask is a
+    non-negative ``2**n - 1`` and the interval fits under it.
+    """
+    m = mask_word & WORD_MASK
+    low = m & 7
+    if any((t & low) != t for t in value.tags):
+        return False
+    if (m | 7) == WORD_MASK:
+        return True
+    signed = m - (1 << 64) if m >> 63 else m
+    return (
+        signed >= 0
+        and (signed + 1) & signed == 0
+        and value.lo >= 0
+        and value.hi <= signed
+    )
 
 
 def _exclude_zero(value: AbstractValue) -> AbstractValue:

@@ -1,0 +1,158 @@
+"""Debug views of whole-program summaries (``repro absint``).
+
+:func:`summary_report` flattens a :class:`ProgramSummaries` into plain
+JSON-able data; :func:`render_summary_text` pretty-prints that data for
+the terminal.  Both are documented in docs/DIAGNOSTICS.md.
+"""
+
+from __future__ import annotations
+
+from .summaries import _FAR, ProgramSummaries
+
+#: default prelude tag names, a debug aid only (user programs may
+#: register different pointer representations)
+TAG_NAMES = {
+    0: "fixnum",
+    1: "pair",
+    2: "vector",
+    3: "string",
+    4: "symbol",
+    5: "record",
+    6: "immediate",
+    7: "closure",
+}
+
+
+def _tag_label(tag: int) -> str:
+    name = TAG_NAMES.get(tag)
+    return f"{tag} ({name})" if name else str(tag)
+
+
+def summary_report(summaries: ProgramSummaries) -> dict:
+    """Flatten ``summaries`` to JSON-able data."""
+    functions = []
+    for label in sorted(summaries.functions):
+        info = summaries.functions[label]
+        functions.append(
+            {
+                "label": label,
+                "params": [str(p) for p in info.params],
+                "result": str(info.result),
+                "call_sites": info.call_sites,
+                "escaped": info.escaped,
+                "variadic": info.variadic,
+                "global": info.is_global,
+                "analyzable": info.analyzable,
+            }
+        )
+
+    heap = summaries.heap
+    contribution = heap.contribution
+    facts = []
+    for tag, index in sorted(contribution.stores):
+        value = heap.fact(tag, index)
+        if value is not None:
+            facts.append({"tag": tag, "field": index, "value": str(value)})
+    kill_from = {
+        str(tag): index for tag, index in sorted(contribution.kill_from.items())
+        if index < _FAR
+    }
+
+    owners = None
+    if summaries.live is not None:
+        def name(key):
+            return summaries.owner_labels.get(key) or "?"
+
+        every = set(summaries.contribs)
+        owners = {
+            "live": sorted(name(k) for k in every if k in summaries.live
+                           or k is None),
+            "dead": sorted(name(k) for k in every if k not in summaries.live
+                           and k is not None),
+        }
+
+    return {
+        "schema": 1,
+        "world": "open" if summaries.open_world else "closed",
+        "stable": summaries.stable,
+        "sweeps": summaries.sweeps,
+        "functions": functions,
+        "heap": {
+            "usable": heap.usable,
+            "wild": contribution.wild,
+            "hard_killed": sorted(contribution.hard_killed),
+            "kill_from": kill_from,
+            "facts": facts,
+        },
+        "owners": owners,
+    }
+
+
+def render_summary_text(report: dict) -> str:
+    """The terminal rendering of :func:`summary_report`'s output."""
+    lines = []
+    lines.append(
+        f"== whole-program analysis: {report['world']} world, "
+        f"{'stable' if report['stable'] else 'UNSTABLE'} "
+        f"after {report['sweeps']} sweep(s)"
+    )
+    lines.append("")
+    lines.append(f"== function summaries ({len(report['functions'])})")
+    for fn in report["functions"]:
+        flags = [
+            flag
+            for flag, on in (
+                ("escaped", fn["escaped"]),
+                ("variadic", fn["variadic"]),
+                ("global", fn["global"]),
+                ("unanalyzable", not fn["analyzable"]),
+            )
+            if on
+        ]
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        params = ", ".join(fn["params"]) or "()"
+        lines.append(
+            f"  {fn['label']}: ({params}) -> {fn['result']}"
+            f"  calls={fn['call_sites']}{suffix}"
+        )
+    heap = report["heap"]
+    lines.append("")
+    state = "usable" if heap["usable"] else "not usable"
+    if heap["wild"]:
+        state += ", wild stores"
+    lines.append(f"== heap-field facts ({state})")
+    for fact in heap["facts"]:
+        lines.append(
+            f"  tag {_tag_label(fact['tag'])} field {fact['field']}: "
+            f"{fact['value']}"
+        )
+    if heap["kill_from"]:
+        horizon = ", ".join(
+            f"tag {_tag_label(int(tag))} from {index}"
+            for tag, index in heap["kill_from"].items()
+        )
+        lines.append(f"  kill horizons: {horizon}")
+    if heap["hard_killed"]:
+        killed = ", ".join(_tag_label(tag) for tag in heap["hard_killed"])
+        lines.append(f"  hard-killed tags: {killed}")
+    owners = report["owners"]
+    if owners is not None:
+        lines.append("")
+        lines.append(
+            f"== heap owners ({len(owners['live'])} live, "
+            f"{len(owners['dead'])} dead)"
+        )
+        lines.append(f"  live: {_owner_list(owners['live'])}")
+        if owners["dead"]:
+            lines.append(f"  dead: {_owner_list(owners['dead'])}")
+    return "\n".join(lines)
+
+
+def _owner_list(names: list) -> str:
+    from collections import Counter
+
+    counts = Counter(names)
+    return ", ".join(
+        name if count == 1 else f"{name} ×{count}"
+        for name, count in sorted(counts.items())
+    )

@@ -1,0 +1,911 @@
+"""Whole-program abstract interpretation: function summaries and
+heap-field facts.
+
+:mod:`repro.absint.analyze` walks one top-level form at a time; this
+module drives those walks to a *program-wide* fixpoint:
+
+* **Function summaries.**  Every ``Fix``-bound or single-``define``d
+  procedure gets an argument→result transfer record: its parameter
+  values are the join of the abstract arguments at every call site, and
+  its result is the join of its body's abstract results under those
+  parameters.  Recursion makes the two mutually dependent, so the
+  driver runs *chaotic iteration*: sweeps re-analyse every form with
+  monotone in-place joins until a full sweep changes nothing, widening
+  any component still moving after :data:`WIDEN_AFTER` sweeps so
+  termination is a lattice-height argument, not luck.
+
+* **Heap-field facts.**  Every ``%store`` the analysis can attribute to
+  a ``(tag, field)`` pair contributes its abstract value to that
+  field's invariant.  A fact is *usable* only when the whole program is
+  visible (closed world), the store set is exhaustive (no wild stores),
+  the field is below every non-constant-displacement kill horizon for
+  its tag, and every allocation of the tag initialises the field at
+  birth (so no load can observe uninitialised memory).  Tags the VM
+  itself writes behind the IR's back — closures (7) and the registered
+  pair representation, which the calling convention uses to build
+  rest-argument lists — are hard-killed.
+
+  Heap traffic is attributed to its *owner*: the innermost enclosing
+  summarised procedure (or the top level).  A store can only execute
+  if its owner's body can run, so the merged heap model includes only
+  contributions from *live* owners — those reachable through call and
+  value-position-escape edges from top-level code, which always runs.
+  This is what keeps the prelude's generic representation combinators
+  (parametric-tag constructors and mutators, dead in any program that
+  does not reach for them) from wiping out every field invariant.
+
+Open world vs closed world.  The optimized prelude is summarised
+*open-world* (``open_world=True``): any later user program may call any
+of its procedures with anything, so parameters stay ⊤ and heap facts
+are recorded but never consumed.  Result summaries computed under ⊤
+parameters remain sound for every future call, which is what makes the
+prefix cache below valid.  A user program compiled against a frozen
+prelude prefix is closed-world: its own procedures get real call-site
+joins, and its heap facts merge the cached prefix contribution with the
+suffix's own stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import (
+    Call,
+    Const,
+    Fix,
+    GlobalRef,
+    GlobalSet,
+    Lambda,
+    Let,
+    LocalVar,
+    Node,
+    Prim,
+    Program,
+    Seq,
+    Var,
+    is_pure,
+    iter_tree,
+)
+from ..prims.abstract import abstract_eval
+from .analyze import Analyzer
+from .lattice import ALL_TAGS, BOTTOM, UNKNOWN, AbstractValue
+
+#: sweeps before widening kicks in (plain joins converge fast on
+#: non-recursive code; recursion gets a few precise rounds first)
+WIDEN_AFTER = 3
+#: hard sweep bound; hitting it abandons the analysis soundly (all ⊤)
+MAX_SWEEPS = 24
+
+#: the compiler-owned closure tag: the VM allocates and mutates these
+_CLOSURE_TAG = 7
+
+_FAR = 1 << 60  # "no kill horizon" sentinel for kill_from lookups
+
+
+# ----------------------------------------------------------------------
+# summaries
+# ----------------------------------------------------------------------
+
+
+@dataclass(eq=False)  # identity semantics: summaries live in id-keyed sets
+class FunctionSummary:
+    """One procedure's argument→result transfer record."""
+
+    label: str
+    lam: Lambda
+    #: per-parameter join over every call site (⊤ when escaped/open)
+    params: list
+    #: join of the body's results under ``params``
+    result: AbstractValue = BOTTOM
+    #: used as a value (not just called): callable from anywhere
+    escaped: bool = False
+    variadic: bool = False
+    #: bound to a global name: open-world callers can reach it directly
+    is_global: bool = False
+    call_sites: int = 0
+    #: False after an arity-mismatched call or other analysis bail-out
+    analyzable: bool = True
+
+    @property
+    def tracks_params(self) -> bool:
+        return self.analyzable and not self.escaped and not self.variadic
+
+
+# ----------------------------------------------------------------------
+# heap facts
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class HeapContribution:
+    """Everything one analysed region says about the heap."""
+
+    #: (tag, field index) → join of every stored value
+    stores: dict = field(default_factory=dict)
+    #: tag → lowest field index a non-constant-displacement store may hit
+    kill_from: dict = field(default_factory=dict)
+    #: a %store the analysis could not attribute to any (tag, field)
+    wild: bool = False
+    #: tag → frozenset of field indices initialised at *every* alloc
+    #: site of that tag, or None when some alloc site resists the scan
+    alloc_inits: dict = field(default_factory=dict)
+    #: (tag, field) pairs some %load reads (for the dead-field lint)
+    loads: set = field(default_factory=set)
+    #: tags read through non-constant displacements (reads everything)
+    load_cover: set = field(default_factory=set)
+    #: tags mutated outside the IR's view (closure tag, pair-rep tags)
+    hard_killed: set = field(default_factory=set)
+
+    def record_store(self, ptr: AbstractValue, disp: AbstractValue,
+                     value: AbstractValue) -> None:
+        if ptr.is_bottom or disp.is_bottom:
+            return
+        word = disp.as_constant()
+        if word is not None:
+            signed = _signed(word)
+            for tag in ptr.tags:
+                index = _field_index(signed, tag)
+                if index is None:
+                    continue  # misaligned: this tag is impossible here
+                key = (tag, index)
+                self.stores[key] = self.stores.get(key, BOTTOM).join(value)
+            return
+        # Non-constant displacement: kill every field the displacement
+        # can reach, per possible tag (disp.lo bounds it from below).
+        # The displacement's own low-bit set gives its residues mod 8,
+        # and a tag-t field sits at a displacement ≡ -t (mod 8), so
+        # misaligned tags survive even unbounded-range kills — this is
+        # what keeps a live string initialiser (elements at 8i+13) from
+        # wiping out vector and record invariants.
+        for tag in ptr.tags & _killable_tags(disp):
+            floor = max(0, (disp.lo + tag + 7) // 8 - 1)
+            seen = self.kill_from.get(tag, _FAR)
+            self.kill_from[tag] = min(seen, floor)
+
+    def record_load(self, ptr: AbstractValue, disp: AbstractValue) -> None:
+        if ptr.is_bottom or disp.is_bottom:
+            return
+        word = disp.as_constant()
+        if word is None:
+            self.load_cover |= ptr.tags & _killable_tags(disp)
+            return
+        signed = _signed(word)
+        for tag in ptr.tags:
+            index = _field_index(signed, tag)
+            if index is not None:
+                self.loads.add((tag, index))
+
+    def record_alloc(self, tag: int, inits: frozenset | None) -> None:
+        seen = self.alloc_inits.get(tag)
+        if tag not in self.alloc_inits:
+            self.alloc_inits[tag] = inits
+        elif seen is None or inits is None:
+            self.alloc_inits[tag] = None
+        else:
+            self.alloc_inits[tag] = seen & inits
+
+    def merge(self, other: "HeapContribution") -> "HeapContribution":
+        out = HeapContribution()
+        for key in set(self.stores) | set(other.stores):
+            out.stores[key] = self.stores.get(key, BOTTOM).join(
+                other.stores.get(key, BOTTOM)
+            )
+        for tag in set(self.kill_from) | set(other.kill_from):
+            out.kill_from[tag] = min(
+                self.kill_from.get(tag, _FAR), other.kill_from.get(tag, _FAR)
+            )
+        out.wild = self.wild or other.wild
+        out.alloc_inits = dict(self.alloc_inits)
+        for tag, inits in other.alloc_inits.items():
+            out.record_alloc(tag, inits)
+        out.loads = self.loads | other.loads
+        out.load_cover = self.load_cover | other.load_cover
+        out.hard_killed = self.hard_killed | other.hard_killed
+        return out
+
+
+def _signed(word: int) -> int:
+    return word - (1 << 64) if word >> 63 else word
+
+
+def _killable_tags(disp: AbstractValue) -> frozenset:
+    """Pointer tags whose fields a displacement can address: field i of
+    a tag-t object sits at ``8*(i+1) - t``, so only tags congruent to
+    ``-disp`` mod 8 are reachable.  ``disp.tags`` is exactly the
+    abstract value's possible low-3-bit residues."""
+    residues = disp.tags if disp.tags else ALL_TAGS
+    return frozenset((-residue) % 8 for residue in residues)
+
+
+def _field_index(signed_disp: int, tag: int) -> int | None:
+    """Field index of byte displacement ``signed_disp`` off a ``tag``
+    pointer (field i lives at ``8*(i+1) - tag``), or None when the
+    displacement cannot belong to that tag."""
+    total = signed_disp + tag
+    if total <= 0 or total % 8:
+        return None
+    return total // 8 - 1
+
+
+class HeapFacts:
+    """Queryable view of a merged :class:`HeapContribution`."""
+
+    def __init__(self, contribution: HeapContribution, usable: bool):
+        self.contribution = contribution
+        self.usable = usable and not contribution.wild
+
+    def fact(self, tag: int, index: int) -> AbstractValue | None:
+        """The proven invariant for field ``index`` of ``tag``-tagged
+        objects, or None when no sound fact exists."""
+        if not self.usable:
+            return None
+        c = self.contribution
+        if tag in c.hard_killed:
+            return None
+        if index >= c.kill_from.get(tag, _FAR):
+            return None
+        inits = c.alloc_inits.get(tag)
+        if inits is None or index not in inits:
+            return None
+        stored = c.stores.get((tag, index))
+        if stored is None or stored.is_bottom:
+            return None
+        return stored
+
+
+# ----------------------------------------------------------------------
+# the interprocedural context handed to each Analyzer
+# ----------------------------------------------------------------------
+
+
+class _Context:
+    """Implements the analyzer's context protocol (``params_for``,
+    ``lambda_result``, ``call``, ``load``, ``store``).
+
+    During fixpoint sweeps it joins call-site arguments and body results
+    *in place* (monotone — nothing resets between sweeps) and records
+    heap traffic; ``frozen`` flips for the final recorded pass, which
+    reads the converged summaries, consumes heap facts, and lets the
+    analyzer record unbox rewrites.
+    """
+
+    def __init__(self, by_lambda: dict, by_name: dict, by_var: dict):
+        #: id(Lambda) → FunctionSummary
+        self.by_lambda = by_lambda
+        #: global name → FunctionSummary (single-assignment defines)
+        self.by_name = by_name
+        #: id(LocalVar) → FunctionSummary (Fix bindings)
+        self.by_var = by_var
+        self.heap = HeapFacts(HeapContribution(), usable=False)
+        #: owner key → HeapContribution during sweeps (None = top level)
+        self.recording: dict | None = None
+        #: innermost enclosing summarised procedure (heap-fact owner)
+        self.owner_stack: list = [None]
+        self.frozen = False
+        self.record_rewrites = False
+        self.changed = False
+        #: summary ids whose params/result/analyzability moved this
+        #: sweep, for the driver's dirty-form worklist
+        self.dirty: set = set()
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve(self, fn: Node) -> FunctionSummary | None:
+        if isinstance(fn, GlobalRef):
+            return self.by_name.get(fn.name)
+        if isinstance(fn, Var):
+            return self.by_var.get(id(fn.var))
+        return None
+
+    # -- owner attribution ---------------------------------------------
+
+    def enter_lambda(self, lam: Lambda) -> None:
+        info = self.by_lambda.get(id(lam))
+        # Unsummarised lambdas (anonymous, let-bound) charge their heap
+        # traffic to the enclosing owner: their closures only exist —
+        # so their bodies only run — when that owner's body ran.
+        self.owner_stack.append(
+            info if info is not None else self.owner_stack[-1]
+        )
+
+    def exit_lambda(self, lam: Lambda) -> None:
+        self.owner_stack.pop()
+
+    def _recording_contribution(self) -> HeapContribution | None:
+        if self.recording is None:
+            return None
+        top = self.owner_stack[-1]
+        key = None if top is None else id(top)
+        contribution = self.recording.get(key)
+        if contribution is None:
+            contribution = self.recording[key] = HeapContribution()
+        return contribution
+
+    # -- analyzer protocol ---------------------------------------------
+
+    def params_for(self, lam: Lambda):
+        info = self.by_lambda.get(id(lam))
+        if info is None or not info.tracks_params:
+            return None
+        return info.params
+
+    def lambda_result(self, lam: Lambda, result: AbstractValue) -> None:
+        info = self.by_lambda.get(id(lam))
+        if info is None or self.frozen:
+            return
+        joined = info.result.join(result)
+        if joined != info.result:
+            info.result = joined
+            self.changed = True
+            self.dirty.add(id(info))
+
+    def call(self, node: Call, args: list) -> AbstractValue:
+        info = self.resolve(node.fn)
+        if info is None or not info.analyzable:
+            return UNKNOWN
+        if info.variadic:
+            if len(args) < len(info.lam.params):
+                if not self.frozen and info.analyzable:
+                    info.analyzable = False
+                    self.changed = True
+                    self.dirty.add(id(info))
+                return UNKNOWN
+        elif len(args) != len(info.lam.params):
+            if not self.frozen and info.analyzable:
+                info.analyzable = False
+                self.changed = True
+                self.dirty.add(id(info))
+            return UNKNOWN
+        if not self.frozen and info.tracks_params:
+            for index, value in enumerate(args[: len(info.params)]):
+                joined = info.params[index].join(value)
+                if joined != info.params[index]:
+                    info.params[index] = joined
+                    self.changed = True
+                    self.dirty.add(id(info))
+        return info.result
+
+    def load(self, node: Prim, args: list) -> AbstractValue:
+        ptr, disp = args
+        recording = self._recording_contribution()
+        if recording is not None:
+            recording.record_load(ptr, disp)
+        if self.heap.usable:
+            word = disp.as_constant()
+            if word is not None and ptr.tags:
+                signed = _signed(word)
+                out = BOTTOM
+                for tag in ptr.tags:
+                    index = _field_index(signed, tag)
+                    if index is None:
+                        continue  # impossible tag for this displacement
+                    fact = self.heap.fact(tag, index)
+                    if fact is None:
+                        return abstract_eval("%load", args)
+                    out = out.join(fact)
+                if not out.is_bottom:
+                    return out
+        return abstract_eval("%load", args)
+
+    def store(self, node: Prim, args: list) -> None:
+        recording = self._recording_contribution()
+        if recording is not None:
+            ptr, disp, value = args
+            recording.record_store(ptr, disp, value)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ProgramSummaries:
+    """Everything :func:`summarize_program` proves."""
+
+    #: label → FunctionSummary for every procedure in the analysed region
+    functions: dict
+    #: merged heap contribution of every *live* owner (prefix + region)
+    contribution: HeapContribution
+    heap: HeapFacts
+    #: (label, Analyzer) per analysed form, from the final recorded pass
+    analyzers: list
+    sweeps: int
+    #: False when MAX_SWEEPS was hit and everything was flushed to ⊤
+    stable: bool
+    open_world: bool
+    start: int
+    #: the context, for callers that resolve call sites (lint rules)
+    context: _Context = None
+    #: owner key (id(FunctionSummary) | None) → that owner's heap
+    #: contribution, scan shapes merged with the stable sweep's stores
+    #: (prefix owners included, for the ``repro absint`` owner listing)
+    contribs: dict = field(default_factory=dict)
+    #: owner key → FunctionSummary set the owner calls or leaks
+    edges: dict = field(default_factory=dict)
+    #: live owner keys (closure from top level), or None for "all live"
+    live: set | None = None
+    #: owner key → display label, for the ``repro absint`` report
+    owner_labels: dict = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# syntactic pre-scan (over the analysed region only)
+# ----------------------------------------------------------------------
+
+
+def _scan_region(forms: list, prefix_by_name: dict | None = None):
+    """One linear pass over the region: known procedures, escapes,
+    call-site counts, call/escape edges for owner liveness, alloc-time
+    field initialisation (per owner), VM-mutated tags.
+
+    ``prefix_by_name`` splices a cached prelude prefix's summaries in
+    before reference resolution (shadowed by region definitions), so
+    region call sites resolve — and draw liveness edges — into the
+    prefix.  Prefix summaries are never mutated here: their parameters
+    are already ⊤ from the open-world prefix analysis.
+    """
+    by_lambda: dict = {}
+    by_name: dict = {}
+    by_var: dict = {}
+    order: list[FunctionSummary] = []
+    assigned_names: set[str] = set()
+    global_assigns: dict[str, int] = {}
+    #: owner key (id(FunctionSummary) | None) → HeapContribution
+    contribs: dict = {}
+    #: owner key → set of FunctionSummary the owner calls or leaks
+    edges: dict = {}
+
+    def contribution_for(key) -> HeapContribution:
+        contribution = contribs.get(key)
+        if contribution is None:
+            contribution = contribs[key] = HeapContribution()
+        return contribution
+
+    # The VM allocates and mutates closures whenever any code runs.
+    contribution_for(None).hard_killed.add(_CLOSURE_TAG)
+
+    def register(label: str, lam: Lambda) -> FunctionSummary:
+        info = by_lambda.get(id(lam))
+        if info is None:
+            info = FunctionSummary(
+                label=label,
+                lam=lam,
+                params=[BOTTOM for _ in lam.params],
+                variadic=lam.rest is not None,
+            )
+            by_lambda[id(lam)] = info
+            order.append(info)
+        return info
+
+    # Pass 1: registrations (so forward calls resolve in pass 2),
+    # assignment counts, pair-rep registrations, alloc-binding shapes.
+    alloc_lets: dict[int, tuple] = {}  # id(%alloc) → (LocalVar, Let)
+    for form in forms:
+        for node in iter_tree(form):
+            if isinstance(node, GlobalSet):
+                assigned_names.add(node.name)
+                global_assigns[node.name] = global_assigns.get(node.name, 0) + 1
+            elif isinstance(node, Fix):
+                for var, lam in node.bindings:
+                    if not var.assigned:
+                        by_var[id(var)] = register(var.name, lam)
+            elif isinstance(node, Prim):
+                if (
+                    node.op == "%register-pair-rep"
+                    and node.args
+                    and isinstance(node.args[0], Const)
+                ):
+                    # The VM conses rest-argument lists onto this tag at
+                    # every variadic call, invisibly to the IR; the
+                    # registration form runs at top level, so the kill
+                    # is unconditionally live.
+                    contribution_for(None).hard_killed.add(
+                        node.args[0].value & 7
+                    )
+            elif isinstance(node, Let):
+                for var, init in node.bindings:
+                    if isinstance(init, Prim) and init.op == "%alloc":
+                        alloc_lets[id(init)] = (var, node)
+    for form in forms:
+        for node in iter_tree(form):
+            if (
+                isinstance(node, GlobalSet)
+                and isinstance(node.value, Lambda)
+                and global_assigns.get(node.name) == 1
+            ):
+                info = register(node.name, node.value)
+                info.is_global = True
+                by_name[node.name] = info
+
+    # Splice the prefix in (region definitions and assignments shadow).
+    local_ids = {id(info) for info in order}
+    if prefix_by_name:
+        for name, info in prefix_by_name.items():
+            if name not in assigned_names and name not in by_name:
+                by_name[name] = info
+
+    # Pass 2: call sites vs value-position escapes, liveness edges, and
+    # per-owner allocation shapes — all under an owner stack mirroring
+    # the one the sweeps maintain.
+    owner_stack: list = [None]
+    #: per-form read-set: summary ids whose params/result the form's
+    #: analysis consumes (its own procedures + every resolved callee) —
+    #: the sweep worklist re-analyses a form only when one changed
+    form_deps: list = []
+    current_deps: set = set()
+
+    def owner_key():
+        top = owner_stack[-1]
+        return None if top is None else id(top)
+
+    def add_edge(target: FunctionSummary) -> None:
+        edges.setdefault(owner_key(), set()).add(target)
+
+    def walk_lambda(lam: Lambda) -> None:
+        info = by_lambda.get(id(lam))
+        if info is not None:
+            current_deps.add(id(info))
+        owner_stack.append(info if info is not None else owner_stack[-1])
+        walk(lam.body)
+        owner_stack.pop()
+
+    def walk(node: Node) -> None:
+        if isinstance(node, Lambda):
+            walk_lambda(node)
+            return
+        if isinstance(node, Call):
+            target = None
+            if isinstance(node.fn, GlobalRef):
+                target = by_name.get(node.fn.name)
+            elif isinstance(node.fn, Var):
+                target = by_var.get(id(node.fn.var))
+            if target is not None:
+                if id(target) in local_ids:
+                    target.call_sites += 1
+                add_edge(target)
+                current_deps.add(id(target))
+            else:
+                walk(node.fn)
+            for arg in node.args:
+                walk(arg)
+            return
+        if isinstance(node, GlobalSet):
+            if (
+                isinstance(node.value, Lambda)
+                and by_name.get(node.name) is not None
+                and by_name[node.name].lam is node.value
+            ):
+                # The defining assignment itself is not an escape.
+                walk_lambda(node.value)
+                return
+            walk(node.value)
+            return
+        if isinstance(node, GlobalRef):
+            info = by_name.get(node.name)
+            if info is not None:
+                if id(info) in local_ids:
+                    info.escaped = True
+                add_edge(info)
+            return
+        if isinstance(node, Var):
+            info = by_var.get(id(node.var))
+            if info is not None:
+                if id(info) in local_ids:
+                    info.escaped = True
+                add_edge(info)
+            return
+        if isinstance(node, Prim) and node.op == "%alloc":
+            # Which fields does this allocation fill before the fresh
+            # pointer can escape?  Charged to the enclosing owner.
+            tag_node = node.args[1] if len(node.args) == 2 else None
+            if not isinstance(tag_node, Const):
+                contribution_for(owner_key()).wild = True  # untrackable
+            else:
+                tag = tag_node.value & 7
+                bound = alloc_lets.get(id(node))
+                if bound is None or bound[0].assigned:
+                    contribution_for(owner_key()).record_alloc(tag, None)
+                else:
+                    var, let = bound
+                    contribution_for(owner_key()).record_alloc(
+                        tag, _init_spine_fields(let.body, var, tag)
+                    )
+            for arg in node.args:
+                walk(arg)
+            return
+        for child in node.children():
+            walk(child)
+
+    for form in forms:
+        current_deps = set()
+        walk(form)
+        form_deps.append(current_deps)
+
+    return (
+        by_lambda,
+        by_name,
+        by_var,
+        order,
+        contribs,
+        edges,
+        assigned_names,
+        form_deps,
+    )
+
+
+def _init_spine_fields(body: Node, var: LocalVar, tag: int) -> frozenset:
+    """Field indices provably stored through ``var`` by the leading
+    ``%store`` spine of ``body`` (constant displacements, pure values
+    that do not mention the fresh pointer)."""
+    exprs = body.exprs if isinstance(body, Seq) else [body]
+    fields: set[int] = set()
+    for expr in exprs:
+        if (
+            isinstance(expr, Prim)
+            and expr.op == "%store"
+            and len(expr.args) == 3
+            and isinstance(expr.args[0], Var)
+            and expr.args[0].var is var
+            and isinstance(expr.args[1], Const)
+            and is_pure(expr.args[2])
+            and not _references(expr.args[2], var)
+        ):
+            index = _field_index(_signed(expr.args[1].value), tag)
+            if index is not None:
+                fields.add(index)
+            continue
+        break
+    return frozenset(fields)
+
+
+def _references(node: Node, var: LocalVar) -> bool:
+    return any(
+        isinstance(child, Var) and child.var is var for child in iter_tree(node)
+    )
+
+
+# ----------------------------------------------------------------------
+# the fixpoint driver
+# ----------------------------------------------------------------------
+
+#: id-tuple of prefix forms → (ProgramSummaries, pinned form list).  The
+#: pinned list keeps the form objects alive so the ids cannot be reused
+#: by a different prelude; capped to a handful of configurations.
+_PREFIX_CACHE: dict = {}
+_PREFIX_CACHE_LIMIT = 8
+
+
+def _form_labels(forms: list, start: int):
+    out = []
+    for index, form in enumerate(forms, start=start):
+        if isinstance(form, GlobalSet):
+            out.append(form.name)
+        else:
+            out.append(f"<toplevel expression #{index - start + 1}>")
+    return out
+
+
+def _prefix_summaries(program: Program, start: int) -> ProgramSummaries:
+    key = tuple(id(form) for form in program.forms[:start])
+    cached = _PREFIX_CACHE.get(key)
+    if cached is None:
+        prefix = Program(list(program.forms[:start]), list(program.globals))
+        summary = summarize_program(prefix, start=0, open_world=True)
+        if len(_PREFIX_CACHE) >= _PREFIX_CACHE_LIMIT:
+            _PREFIX_CACHE.clear()
+        cached = (summary, prefix.forms)
+        _PREFIX_CACHE[key] = cached
+    return cached[0]
+
+
+def summarize_program(
+    program: Program, start: int = 0, open_world: bool = False
+) -> ProgramSummaries:
+    """Summarise ``program.forms[start:]`` to a fixpoint.
+
+    ``start > 0`` treats the first ``start`` forms as a frozen,
+    already-optimized prelude prefix: the prefix is summarised once
+    (open-world) and cached by form identity, then spliced into every
+    later compile against the same prefix.
+    """
+    prefix_by_name: dict = {}
+    prefix_contribs: dict = {}
+    prefix_edges: dict = {}
+    prefix_labels: dict = {}
+    if start > 0:
+        prefix_result = _prefix_summaries(program, start)
+        # A region assignment to a prefix name shadows (and
+        # un-summarises) the prefix definition — the api layer falls
+        # back to a whole-program analysis in that case, but the scan
+        # guards regardless.
+        prefix_by_name = prefix_result.context.by_name
+        prefix_contribs = prefix_result.contribs
+        prefix_edges = prefix_result.edges
+        for info in prefix_result.context.by_lambda.values():
+            prefix_labels[id(info)] = info.label
+
+    forms = list(program.forms[start:])
+    (
+        by_lambda,
+        by_name,
+        by_var,
+        order,
+        scan_contribs,
+        edges,
+        assigned_names,
+        form_deps,
+    ) = _scan_region(forms, prefix_by_name)
+
+    context = _Context(by_lambda, by_name, by_var)
+
+    # Escaped, variadic, uncalled, or open-world-reachable procedures
+    # get ⊤ parameters up front: their bodies are then analysed soundly
+    # for any caller (an uncalled one would otherwise read as ⊥ and
+    # emit bogus always-fails events).  Open-world callers can only
+    # reach *globals* directly, so ``Fix``-bound local procedures keep
+    # their call-site joins even in a library — an escape through a
+    # returned closure still flips them to ⊤ above.
+    for info in order:
+        if (
+            (open_world and info.is_global)
+            or info.escaped
+            or info.variadic
+            or info.call_sites == 0
+        ):
+            info.params = [UNKNOWN for _ in info.lam.params]
+
+    labels = _form_labels(forms, start)
+
+    sweeps = 0
+    stable = False
+    snapshots: dict[int, tuple] = {}
+    # The worklist: a form is re-analysed only when a summary in its
+    # read-set moved last sweep.  A skipped form's analysis — and so
+    # its heap recording, kept per form — is a deterministic function
+    # of that read-set and would come out identical.
+    pending = set(range(len(forms)))
+    form_recordings: list = [{} for _ in forms]
+    while sweeps < MAX_SWEEPS:
+        sweeps += 1
+        context.changed = False
+        context.dirty = set()
+        for index, form in enumerate(forms):
+            if index not in pending:
+                continue
+            recording: dict = {}
+            context.recording = recording
+            Analyzer(labels[index], context=context).analyze_form(form)
+            form_recordings[index] = recording
+        if not context.changed:
+            stable = True
+            break
+        if sweeps >= WIDEN_AFTER:
+            # Widen every component still moving against its snapshot
+            # from the previous sweep, so interval chains cannot creep.
+            for info in order:
+                snap = snapshots.get(id(info))
+                if snap is not None:
+                    old_params, old_result = snap
+                    for i, old in enumerate(old_params):
+                        if old != info.params[i]:
+                            info.params[i] = old.widen(info.params[i])
+                            context.dirty.add(id(info))
+                    if old_result != info.result:
+                        info.result = old_result.widen(info.result)
+                        context.dirty.add(id(info))
+                snapshots[id(info)] = (list(info.params), info.result)
+        else:
+            for info in order:
+                snapshots[id(info)] = (list(info.params), info.result)
+        dirty = context.dirty
+        pending = {
+            index
+            for index, deps in enumerate(form_deps)
+            if deps & dirty
+        }
+
+    last_recording: dict | None = None
+    if stable:
+        last_recording = {}
+        for recording in form_recordings:
+            for key, piece in recording.items():
+                seen = last_recording.get(key)
+                last_recording[key] = (
+                    piece if seen is None else seen.merge(piece)
+                )
+
+    if not stable:
+        # Abandon: flush everything to ⊤ so downstream consumers see no
+        # unsound precision, and poison the heap model.
+        for info in order:
+            info.params = [UNKNOWN for _ in info.lam.params]
+            info.result = UNKNOWN
+            info.analyzable = False
+        last_recording = None
+
+    # Per-owner totals for this region: syntactic shapes (allocations,
+    # hard kills) merged with the stable sweep's recorded stores/loads.
+    # This per-owner form is what the prefix cache hands to later
+    # suffix compiles, so *their* liveness can filter it.
+    own_contribs: dict = {}
+    for source in (scan_contribs, last_recording or {}):
+        for key, contribution in source.items():
+            seen = own_contribs.get(key)
+            own_contribs[key] = (
+                contribution if seen is None else seen.merge(contribution)
+            )
+
+    # Owner liveness: top-level code always runs; a summarised procedure
+    # runs only if live code calls it or leaks it as a value.
+    combined_edges: dict = {}
+    for source in (prefix_edges, edges):
+        for key, targets in source.items():
+            combined_edges.setdefault(key, set()).update(targets)
+    live = None if open_world else _live_owners(combined_edges)
+
+    merged = HeapContribution()
+    merged.hard_killed.add(_CLOSURE_TAG)
+    for source in (prefix_contribs, own_contribs):
+        for key, contribution in source.items():
+            if live is None or key is None or key in live:
+                merged = merged.merge(contribution)
+    if last_recording is None:
+        merged.wild = True  # unstable: the recorded store set is partial
+
+    heap = HeapFacts(merged, usable=stable and not open_world)
+
+    # Final recorded pass: converged summaries + heap facts, rewrites on.
+    context.frozen = True
+    context.heap = heap
+    context.recording = None
+    context.record_rewrites = True
+    analyzers = []
+    for label, form in zip(labels, forms):
+        analyzer = Analyzer(label, context=context)
+        analyzer.analyze_form(form)
+        analyzers.append((label, analyzer))
+    context.record_rewrites = False
+
+    functions = {}
+    for info in order:
+        functions.setdefault(info.label, info)
+
+    # The debug report lists owners across prefix and region; region
+    # entries win the (toplevel) key.  Prefixes are always summarised
+    # with start=0, so this never chains a stale prefix of a prefix.
+    all_contribs = dict(prefix_contribs)
+    all_contribs.update(own_contribs)
+    owner_labels = {None: "<toplevel>", **prefix_labels}
+    for info in order:
+        owner_labels[id(info)] = info.label
+    return ProgramSummaries(
+        functions=functions,
+        contribution=merged,
+        heap=heap,
+        analyzers=analyzers,
+        sweeps=sweeps,
+        stable=stable,
+        open_world=open_world,
+        start=start,
+        context=context,
+        contribs=all_contribs,
+        edges=edges,
+        live=live,
+        owner_labels=owner_labels,
+    )
+
+
+def _live_owners(edges: dict) -> set:
+    """Owner keys reachable from top-level code (key ``None``) through
+    call and escape edges.  Escaped procedures count as called: a leaked
+    closure can be invoked from anywhere live."""
+    live: set = {None}
+    stack: list = [None]
+    while stack:
+        for target in edges.get(stack.pop(), ()):
+            key = id(target)
+            if key not in live:
+                live.add(key)
+                stack.append(key)
+    return live

@@ -171,7 +171,9 @@ def _optimized_prelude(
         prelude_options = _Opts(**options.optimizer.__dict__)
         prelude_options.prune_globals = False  # the user may need anything
         optimized = optimize_program(
-            Program(list(raw_forms), list(global_names)), prelude_options
+            Program(list(raw_forms), list(global_names)),
+            prelude_options,
+            open_world=True,  # unseen user code may call anything
         )
         defined = {
             form.name for form in optimized.forms if isinstance(form, GlobalSet)

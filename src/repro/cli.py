@@ -29,7 +29,7 @@ from . import (
     run_source,
 )
 from .errors import BudgetExceeded, CompileError, ExpandError, ReaderError, VMError
-from .sexpr import to_write
+from .sexpr import read_all, to_write
 from .vm.engine import ENGINES
 from .vm.heap import DEFAULT_GC_OCCUPANCY
 
@@ -262,6 +262,45 @@ def cmd_lint(namespace: argparse.Namespace) -> int:
     return EXIT_LINT if report.exit_code(werror=namespace.werror) else EXIT_OK
 
 
+def cmd_absint(namespace: argparse.Namespace) -> int:
+    """Dump the whole-program analysis (summaries, heap facts, owners)."""
+    import json as json_module
+
+    from .absint import summarize_program
+    from .absint.report import render_summary_text, summary_report
+    from .api import _expander_for, _optimized_prelude
+    from .ir import Program
+    from .opt import optimize_program
+
+    options = CompileOptions()
+    # Keep every top-level form (no global pruning) so the analysed
+    # region lines up with the frozen prelude prefix.
+    options.optimizer.prune_globals = False
+    prelude_forms, expander = _expander_for(options)
+    opt_prelude, _defined = _optimized_prelude(
+        options, prelude_forms, expander.global_names
+    )
+    if namespace.prelude_only:
+        # The prelude is a library: open world, parameters stay ⊤.
+        program = Program(list(opt_prelude), expander.global_names)
+        summaries = summarize_program(program, open_world=True)
+    else:
+        user = expander.expand_program(read_all(_source(namespace)))
+        program = Program(
+            list(opt_prelude) + list(user.forms), expander.global_names
+        )
+        program = optimize_program(
+            program, options.optimizer, frozen_prefix=len(opt_prelude)
+        )
+        summaries = summarize_program(program, start=len(opt_prelude))
+    report = summary_report(summaries)
+    if namespace.json:
+        print(json_module.dumps(report, indent=2))
+    else:
+        print(render_summary_text(report))
+    return 0
+
+
 def cmd_profile(namespace: argparse.Namespace) -> int:
     from .vm.profile import profile_program, render_json, render_text
 
@@ -458,6 +497,22 @@ def main(argv: list[str] | None = None) -> int:
         "--unsafe", action="store_true", help="lint the unchecked configuration"
     )
     lint_parser.set_defaults(fn=cmd_lint)
+
+    absint_parser = subparsers.add_parser(
+        "absint",
+        help="dump the whole-program analysis (summaries, heap facts)",
+    )
+    absint_parser.add_argument("file", nargs="?", help="Scheme source file")
+    absint_parser.add_argument("-e", "--expression", help="inline program text")
+    absint_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    absint_parser.add_argument(
+        "--prelude-only",
+        action="store_true",
+        help="dump the runtime prelude's own (open-world) summaries",
+    )
+    absint_parser.set_defaults(fn=cmd_absint)
 
     sweep_parser = subparsers.add_parser(
         "faultsweep",

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..absint.analyze import analyze_program
+from ..absint.summaries import summarize_program
 from ..errors import ReproError
 from ..ir import Program
 from ..opt import OptimizerOptions, optimize_program
@@ -73,8 +74,10 @@ def _build_context(
 ) -> tuple[LintContext, Exception | None]:
     from ..api import CompileOptions, _expander_for, _optimized_prelude
 
-    # The syntactic pipeline only, keeping every form (stable labels).
-    opt = OptimizerOptions().without("absint")
+    # The syntactic pipeline only, keeping every form (stable labels):
+    # both flow passes stay off so whatever only the flow analysis can
+    # decide is still present in the IR to be pointed at.
+    opt = OptimizerOptions().without("absint").without("unbox")
     opt.prune_globals = False
     compile_options = CompileOptions(
         optimizer=opt,
@@ -115,6 +118,13 @@ def _build_context(
         raise ReproError("lint: optimizer changed the top-level form count")
     start = 0 if options.prelude_only else len(opt_prelude)
     analyses = analyze_program(optimized, start=start)
+    # Whole-program summaries for the interprocedural rules; the user
+    # suffix resolves call sites into the cached prelude prefix.  The
+    # prelude by itself is a library — lint it open-world, as any user
+    # program may call any of its procedures with anything.
+    summaries = summarize_program(
+        optimized, start=start, open_world=options.prelude_only
+    )
 
     prelude_defined = frozenset(
         name for name in _defined_names(prelude_forms) if not name.startswith("%")
@@ -126,6 +136,8 @@ def _build_context(
             prelude_forms=prelude_forms,
             prelude_defined=prelude_defined,
             analyses=analyses,
+            summaries=summaries,
+            flow_forms=list(optimized.forms[start:]),
         ),
         None,
     )

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from ..absint.analyze import Analyzer
-from ..ir import Const, GlobalRef, GlobalSet, If, Lambda, Node, Prim, iter_tree
+from ..ir import Call, Const, GlobalRef, GlobalSet, If, Lambda, Node, Prim, iter_tree
 from .diagnostics import Diagnostic
 
 _FIXNUM_BITS = 61
@@ -44,6 +44,13 @@ class LintContext:
     prelude_defined: frozenset = frozenset()
     #: flow analysis of the optimized-without-absint program suffix
     analyses: list = field(default_factory=list)  # [(label, Analyzer)]
+    #: whole-program function summaries (:mod:`repro.absint.summaries`),
+    #: or None when the program failed to expand
+    summaries: object = None
+    #: the optimized forms the summaries analysed (program suffix, or
+    #: the whole prelude under ``prelude_only``) — summary-driven rules
+    #: walk these so call sites resolve by node identity
+    flow_forms: list = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -164,6 +171,234 @@ def _guaranteed_failure(ctx: LintContext) -> Iterator[Diagnostic]:
                 "(a type or range check can never pass)",
                 {"lambda": isinstance(node, Lambda)},
             )
+
+
+def _flow_form_label(index: int, form: Node) -> str:
+    if isinstance(form, GlobalSet):
+        return form.name
+    return f"<toplevel expression #{index + 1}>"
+
+
+def _iter_resolved_calls(ctx: LintContext):
+    """Every ``Call`` in the summarised forms whose callee has a
+    function summary, as ``(label, call, summary)``."""
+    summaries = ctx.summaries
+    if summaries is None or summaries.context is None:
+        return
+    for index, form in enumerate(ctx.flow_forms):
+        label = _flow_form_label(index, form)
+        for node in iter_tree(form):
+            if not isinstance(node, Call):
+                continue
+            info = summaries.context.resolve(node.fn)
+            if info is not None:
+                yield label, node, info
+
+
+@rule(
+    "wrong-arity-call",
+    "a call passes a different number of arguments than the callee accepts",
+    "error",
+    "flow",
+)
+def _wrong_arity_call(ctx: LintContext) -> Iterator[Diagnostic]:
+    for label, call, info in _iter_resolved_calls(ctx):
+        if info.variadic:
+            continue
+        if len(call.args) != len(info.params):
+            yield Diagnostic(
+                "wrong-arity-call",
+                "error",
+                label,
+                f"call passes {len(call.args)} argument"
+                f"{'s' if len(call.args) != 1 else ''} but "
+                f"`{info.label}` takes {len(info.params)}",
+                {"callee": info.label, "got": len(call.args),
+                 "want": len(info.params)},
+            )
+
+
+@rule(
+    "never-returning-call",
+    "a call to a procedure whose summary proves it never returns normally",
+    "warning",
+    "flow",
+)
+def _never_returning_call(ctx: LintContext) -> Iterator[Diagnostic]:
+    summaries = ctx.summaries
+    if summaries is None or not summaries.stable:
+        return
+    for label, call, info in _iter_resolved_calls(ctx):
+        if not info.analyzable or info.variadic:
+            continue
+        if label == info.label:
+            continue  # a recursive self-call: report the outside callers
+        if len(call.args) != len(info.params):
+            continue  # reported by wrong-arity-call
+        if any(param.is_bottom for param in info.params):
+            # ⊥ parameters mean the body was never analysed under a
+            # feasible input (an unreached recursive function), not
+            # that it always fails.
+            continue
+        if not info.result.is_bottom:
+            continue
+        if _spine_fails(info.lam.body):
+            # An intentional error helper (unconditional `%fail` on its
+            # spine): calling it is the point, not a finding.
+            continue
+        if _intentional_failure(info.lam.body, summaries.context):
+            # The callee inherits its ⊥ result from deliberately
+            # invoking an error helper on some path; that is
+            # intentional propagation, not a derived check failure.
+            continue
+        yield Diagnostic(
+            "never-returning-call",
+            "warning",
+            label,
+            f"`{info.label}` provably never returns from this call: "
+            "every path through its body fails a check or diverges",
+            {"callee": info.label},
+        )
+
+
+@rule(
+    "dead-record-field",
+    "a record field whose accessor is never used — the field is never read",
+    "warning",
+    "syntax",
+)
+def _dead_record_field(ctx: LintContext) -> Iterator[Diagnostic]:
+    # define-record-type expands each read clause to
+    #   (define accessor (record-field-accessor type '<field>))
+    # so an accessor name with zero references means the field can
+    # never be read back.
+    accessors: list[tuple[str, str, str]] = []  # (accessor, type, field)
+    for form in ctx.user_forms:
+        if not (isinstance(form, GlobalSet) and isinstance(form.value, Call)):
+            continue
+        call = form.value
+        if not (
+            isinstance(call.fn, GlobalRef)
+            and call.fn.name == "record-field-accessor"
+            and len(call.args) == 2
+        ):
+            continue
+        type_name = (
+            call.args[0].name if isinstance(call.args[0], GlobalRef) else "?"
+        )
+        field_name = _hoisted_symbol_name(ctx, call.args[1]) or form.name
+        accessors.append((form.name, type_name, field_name))
+    if not accessors:
+        return
+    referenced: dict[str, int] = {}
+    for form in ctx.user_forms:
+        for node in iter_tree(form):
+            if isinstance(node, GlobalRef):
+                referenced[node.name] = referenced.get(node.name, 0) + 1
+    for accessor, type_name, field_name in accessors:
+        if referenced.get(accessor, 0) == 0:
+            yield Diagnostic(
+                "dead-record-field",
+                "warning",
+                accessor,
+                f"field `{field_name}` of record type `{type_name}` is "
+                f"never read (accessor `{accessor}` is unused)",
+                {"accessor": accessor, "type": type_name,
+                 "field": field_name},
+            )
+
+
+def _calls_error_helper(body: Node, context) -> bool:
+    """Does ``body`` call any summarised procedure whose own spine
+    unconditionally fails (an intentional error helper)?"""
+    for node in iter_tree(body):
+        if not isinstance(node, Call):
+            continue
+        callee = context.resolve(node.fn)
+        if callee is not None and _spine_fails(callee.lam.body):
+            return True
+    return False
+
+
+def _intentional_failure(body: Node, context) -> bool:
+    """Does ``body`` fail *on purpose* on some path?  Compiler-inserted
+    check residue is a bare ``(%fail k)`` branch arm; a deliberate error
+    path does work first (prints a message, calls an error helper)."""
+    if _calls_error_helper(body, context):
+        return True
+    for node in iter_tree(body):
+        if not isinstance(node, If):
+            continue
+        for arm in (node.then, node.els):
+            if _spine_fails(arm) and not _fails_before_work(arm):
+                return True
+    return False
+
+
+def _fails_before_work(node: Node) -> bool:
+    """Does evaluating ``node`` reach a ``%fail`` before any ``Call``?
+    Check residue fails immediately; a deliberate error path does work
+    (prints a message, builds an error value) first."""
+    return _first_spine_effect(node) == "fail"
+
+
+def _first_spine_effect(node: Node) -> str | None:
+    from ..ir import Fix, Let, Letrec, Seq
+
+    if isinstance(node, Prim):
+        for arg in node.args:
+            found = _first_spine_effect(arg)
+            if found:
+                return found
+        return "fail" if node.op == "%fail" else None
+    if isinstance(node, Seq):
+        for expr in node.exprs:
+            found = _first_spine_effect(expr)
+            if found:
+                return found
+        return None
+    if isinstance(node, (Let, Letrec)):
+        for _var, init in node.bindings:
+            found = _first_spine_effect(init)
+            if found:
+                return found
+        return _first_spine_effect(node.body)
+    if isinstance(node, Fix):
+        return _first_spine_effect(node.body)
+    if isinstance(node, Call):
+        found = _first_spine_effect(node.fn)
+        if found:
+            return found
+        for arg in node.args:
+            found = _first_spine_effect(arg)
+            if found:
+                return found
+        return "work"
+    return None
+
+
+def _hoisted_symbol_name(ctx: LintContext, node: Node) -> str | None:
+    """Decode the quoted symbol a ``%lit:`` hoist interns: its define
+    builds the name with one ``%sx-string-init!`` call per character."""
+    if not (isinstance(node, GlobalRef) and node.name.startswith("%lit:")):
+        return None
+    for form in ctx.user_forms:
+        if not (isinstance(form, GlobalSet) and form.name == node.name):
+            continue
+        chars: list[tuple[int, int]] = []
+        for sub in iter_tree(form.value):
+            if (
+                isinstance(sub, Call)
+                and isinstance(sub.fn, GlobalRef)
+                and sub.fn.name == "%sx-string-init!"
+                and len(sub.args) == 3
+                and isinstance(sub.args[1], Const)
+                and isinstance(sub.args[2], Const)
+            ):
+                chars.append((sub.args[1].value, sub.args[2].value))
+        if chars:
+            return "".join(chr(code) for _i, code in sorted(chars))
+    return None
 
 
 def _has_branch(node: Node) -> bool:

@@ -9,12 +9,14 @@ from .cse import cse_program
 from .dce import dce_program, prune_globals
 from .letrec import fix_letrec_program
 from .simplify import GlobalFacts, OptimizerOptions, Simplifier
+from .unbox import unbox_program
 
 
 def optimize_program(
     program: Program,
     options: OptimizerOptions | None = None,
     frozen_prefix: int = 0,
+    open_world: bool = False,
 ) -> Program:
     """Run the whole optimizer.  With :meth:`OptimizerOptions.none`
     this is (almost) the identity — only letrec fixing and global
@@ -24,6 +26,11 @@ def optimize_program(
     optimized (an incrementally-reused prelude): analyses still see the
     whole program, but rewriting is confined to the suffix.  The caller
     guarantees the suffix does not assign any name the prefix defines.
+
+    ``open_world`` marks the program as a library other code will later
+    link against (the prelude compiled on its own): the interprocedural
+    unbox pass then keeps every parameter ⊤ and trusts no heap fact,
+    since unseen callers can reach anything.
     """
     options = options or OptimizerOptions()
 
@@ -72,6 +79,32 @@ def optimize_program(
             check("dce")
         if not changed:
             break
+    if options.unbox and options.absint:
+        # After the main rounds: inlining has exposed the prelude's
+        # check idioms, so the whole-program summaries see them.  The
+        # pass is the interprocedural half of the abstract-interpretation
+        # framework, so disabling ``absint`` disables it too.
+        program, unbox_changed, _summaries = unbox_program(
+            program, start=frozen_prefix, open_world=open_world
+        )
+        check("unbox")
+        if unbox_changed:
+            # One syntactic cleanup round sweeps the dead tests and
+            # constants the elisions left behind.
+            census = census_program(program)
+            facts = GlobalFacts(program, census)
+            if options.fold or options.inline or options.algebra or options.dce:
+                simplifier = Simplifier(options, facts)
+                program = simplifier.run(program, start=frozen_prefix)
+                check("unbox-simplify")
+            if options.dce:
+                defined = {
+                    name
+                    for name, info in census_program(program).globals.items()
+                    if info.assignments >= 1
+                }
+                program, _ = dce_program(program, defined, start=frozen_prefix)
+                check("unbox-dce")
     if options.prune_globals:
         program = prune_globals(program)
     return program

@@ -63,6 +63,10 @@ class OptimizerOptions:
     dce: bool = True
     #: flow-sensitive check elimination (tag/range abstract interpretation)
     absint: bool = True
+    #: interprocedural unboxing: function summaries + heap-field facts
+    #: feed a final check-elision/untag-retag-cancellation pass
+    #: (part of the abstract-interpretation framework — requires absint)
+    unbox: bool = True
     #: max body size (IR nodes) for multi-use inlining
     max_inline_size: int = 100
     #: max nesting of inline expansions within one walk
@@ -84,6 +88,7 @@ class OptimizerOptions:
             cse=False,
             dce=False,
             absint=False,
+            unbox=False,
             rounds=1,
             prune_globals=True,
         )

@@ -1,0 +1,107 @@
+"""The interprocedural unboxing / check-elision pass (``unbox``).
+
+``checkelim`` spends the abstract interpreter's facts one top-level form
+at a time; this pass spends the *whole-program* facts computed by
+:mod:`repro.absint.summaries`:
+
+* **summary-decided branches** — a safety check inside a procedure whose
+  call sites all pass, say, tag-0 fixnums is decided by the parameter
+  summary and deleted, and a check downstream of a call folds when the
+  callee's result summary guarantees it;
+* **heap-fact folds** — a ``%load`` of a field proven immutable-and-
+  immediate (e.g. a vector's length word, always ``(%lsl n 3)``) carries
+  tag 0, deciding the tag probes that guard arithmetic on it;
+* **untag/retag cancellation** — ``(%asr (%lsl x 3) 3)`` round trips and
+  ``(%and i -8)`` masks recorded by the analyzer as ``replacements``
+  collapse to their operand when the value flow proves the bits cannot
+  change (scalar replacement of the boxing traffic itself).
+
+The pass reuses the decided/fold/reduction application logic of
+:mod:`repro.opt.checkelim` and adds the replacement shapes on top.  It
+runs once after the main optimizer rounds: the fixpoint is expensive
+relative to a syntactic pass, and the main rounds must first inline the
+prelude's check idioms for the summaries to see them.
+"""
+
+from __future__ import annotations
+
+from ..absint.summaries import ProgramSummaries, summarize_program
+from ..ir import Node, Prim, Program, is_pure, make_seq
+from .checkelim import _Rewriter as _CheckelimRewriter
+
+
+def unbox_program(
+    program: Program, start: int = 0, open_world: bool = False
+) -> tuple[Program, bool, ProgramSummaries]:
+    """Apply summary-driven rewrites to every form from ``start``."""
+    summaries = summarize_program(program, start=start, open_world=open_world)
+    forms: list[Node] = list(program.forms[:start])
+    changed = False
+    for (_label, analyzer), form in zip(
+        summaries.analyzers, program.forms[start:]
+    ):
+        if _has_wins(analyzer):
+            rewriter = _Rewriter(analyzer)
+            forms.append(rewriter.rewrite(form))
+            changed |= rewriter.changed
+        else:
+            forms.append(form)
+    if not changed:
+        return program, False, summaries
+    return Program(forms, program.globals), True, summaries
+
+
+def _has_wins(analyzer) -> bool:
+    return (
+        any(truth is not None for truth in analyzer.decided.values())
+        or any(word is not None for word in analyzer.folds.values())
+        or any(red is not None for red in analyzer.reductions.values())
+        or any(rep is not None for rep in analyzer.replacements.values())
+    )
+
+
+class _Rewriter(_CheckelimRewriter):
+    """checkelim's rewriter plus the unbox replacement shapes."""
+
+    def rewrite(self, node: Node) -> Node:
+        if isinstance(node, Prim):
+            replacement = self.analyzer.replacements.get(id(node))
+            if replacement is not None:
+                # folds/decisions outrank replacements, mirroring the
+                # recording side (a replacement is only recorded when
+                # the result did not fold).
+                if self.analyzer.folds.get(id(node)) is None:
+                    rewritten = self._apply_replacement(node, replacement)
+                    if rewritten is not None:
+                        self.changed = True
+                        return rewritten
+        return super().rewrite(node)
+
+    def _apply_replacement(self, node: Prim, replacement: tuple) -> Node | None:
+        kind = replacement[0]
+        if kind == "arg":
+            # (%and x m) → x; the dropped mask operand is a Const.
+            keep = replacement[1]
+            kept = self.rewrite(node.args[keep])
+            effects = [
+                self.rewrite(arg)
+                for i, arg in enumerate(node.args)
+                if i != keep and not is_pure(arg)
+            ]
+            return make_seq(effects + [kept])
+        if kind == "narrow-or":
+            # (%and (%or a b) m) → (%and kept m); the dropped side was
+            # proven pure with its masked bits all zero.
+            keep = replacement[1]
+            inner = node.args[0]
+            if not (isinstance(inner, Prim) and inner.op == "%or"):
+                return None
+            kept = self.rewrite(inner.args[keep])
+            return Prim(node.op, [kept, self.rewrite(node.args[1])])
+        if kind == "unshift":
+            # (%asr (%lsl x k) k) / (%lsl (%asr x k) k) → x.
+            inner = node.args[0]
+            if not isinstance(inner, Prim):
+                return None
+            return self.rewrite(inner.args[0])
+        return None

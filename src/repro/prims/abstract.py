@@ -358,7 +358,10 @@ def _abs_nz(args):
 
 @_register("%load")
 def _abs_load(args):
-    return UNKNOWN  # no heap model (yet)
+    # ⊤ here; the whole-program heap model lives in
+    # absint/summaries.py (HeapFacts), which the analyzer consults
+    # per load site when a summary fixpoint is available.
+    return UNKNOWN
 
 
 @_register("%store")

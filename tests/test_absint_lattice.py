@@ -223,6 +223,37 @@ def test_unary_transfer_sound(op, a):
         assert not result.excludes_word(word), (op, x, word, a, result)
 
 
+_FOLDABLE = sorted(
+    name for name in prims.all_prims() if prims.lookup(name).fold is not None
+)
+
+
+def test_fold_oracle_coverage_is_exhaustive():
+    """The hand-listed op sets above cover every foldable primitive —
+    adding a prim with a fold without extending them fails here."""
+    assert set(_FOLDABLE) == set(_BINARY_OPS) | set(_UNARY_OPS)
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.data())
+def test_every_foldable_prim_sound(data):
+    """Concrete fold results land inside abstract_eval for *every*
+    primitive with a fold, arity read off the table — the containment
+    property the summary fixpoint's soundness rests on."""
+    import itertools
+
+    op = data.draw(st.sampled_from(_FOLDABLE))
+    spec = prims.lookup(op)
+    args = [data.draw(abstract_values()) for _ in range(spec.arity)]
+    result = abstract_eval(op, args)
+    for words in itertools.product(*(concretize(a, limit=6) for a in args)):
+        try:
+            word = spec.fold(*words)
+        except FoldCannot:
+            continue
+        assert not result.excludes_word(word), (op, words, args, result)
+
+
 def test_bottom_in_bottom_out():
     for op in _BINARY_OPS:
         assert abstract_eval(op, [BOTTOM, UNKNOWN]).is_bottom

@@ -1,5 +1,14 @@
 """The incremental (frozen-prelude) compile path must be equivalent to
-whole-program optimization."""
+whole-program optimization.
+
+Equivalence is behavioural, not instruction-exact: with the
+interprocedural ``unbox`` pass enabled, whole-program optimization sees
+closed-world call-site joins for prelude globals and can rewrite
+prelude bodies, which the cached open-world prefix deliberately cannot
+(docs/INTERNALS.md §12).  So the default configuration asserts equal
+output/value and that the whole-program path is never *slower*; the
+purely syntactic pipeline (``unbox`` off) keeps the exact dynamic
+instruction-count equality of the original contract."""
 
 import pytest
 
@@ -46,7 +55,24 @@ def test_incremental_equals_full(source):
     result_a = incremental.run()
     result_b = Machine(full).run()
     assert result_a.output == result_b.output
-    # Same dynamic instruction count: the generated code is equivalent.
+    assert decode(result_a) == decode(result_b)
+    # Whole-program optimization sees closed-world summaries for the
+    # prelude; the frozen prefix cannot, so it may only be slower.
+    assert result_a.steps >= result_b.steps
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_incremental_equals_full_syntactic(source):
+    # Without the interprocedural pass the two paths must generate
+    # dynamically identical code — the original exact contract.
+    options = CompileOptions(optimizer=OptimizerOptions().without("unbox"))
+    incremental = compile_source(source, options)
+    full = full_path_compile(source, options)
+    from repro.vm import Machine
+
+    result_a = incremental.run()
+    result_b = Machine(full).run()
+    assert result_a.output == result_b.output
     assert result_a.steps == result_b.steps
 
 

@@ -137,7 +137,77 @@ def test_prelude_lints_clean():
     assert report.diagnostics == []
     # only flow rules run against the prelude
     assert all(r in {"unreachable-branch", "constant-predicate",
-                     "guaranteed-failure"} for r in report.rules_run)
+                     "guaranteed-failure", "wrong-arity-call",
+                     "never-returning-call"} for r in report.rules_run)
+
+
+# ----------------------------------------------------------------------
+# summary-driven rules (interprocedural)
+# ----------------------------------------------------------------------
+
+
+def test_wrong_arity_call():
+    report = lint_source("(define (f x y) (+ x y)) (f 1)")
+    hits = [d for d in report.diagnostics if d.rule == "wrong-arity-call"]
+    assert len(hits) == 1
+    assert hits[0].severity == "error"
+    assert hits[0].detail == {"callee": "f", "got": 1, "want": 2}
+    assert report.exit_code() == 1
+
+
+def test_wrong_arity_call_clean_when_matching():
+    assert "wrong-arity-call" not in rules_hit(
+        "(define (f x y) (+ x y)) (display (f 1 2))"
+    )
+
+
+def test_never_returning_call():
+    # The callee survives inlining (self-recursive) and every path
+    # through it either recurses or fails a vector check on a fixnum —
+    # only the interprocedural summary can see that.
+    source = """
+    (define (walk v)
+      (if (null? v) (vector-ref 17 0) (walk (cdr v))))
+    (walk '(1 2 3))
+    """
+    report = lint_source(source)
+    hits = [d for d in report.diagnostics if d.rule == "never-returning-call"]
+    assert len(hits) == 1
+    assert hits[0].detail["callee"] == "walk"
+    # the self-recursive call inside walk itself is not double-reported
+    assert hits[0].form != "walk"
+
+
+def test_never_returning_skips_intentional_error_helpers():
+    source = """
+    (define (boom msg) (begin (display msg) (%fail (%raw 3))))
+    (define (walk v) (if (null? v) (boom "empty") (walk (cdr v))))
+    (display (walk '(1 2)))
+    """
+    assert "never-returning-call" not in rules_hit(source)
+
+
+def test_dead_record_field():
+    source = """
+    (define-record-type point (make-point x y) point?
+      (x point-x) (y point-y))
+    (display (point-x (make-point 1 2)))
+    """
+    report = lint_source(source)
+    hits = [d for d in report.diagnostics if d.rule == "dead-record-field"]
+    assert len(hits) == 1
+    assert hits[0].detail["field"] == "y"
+    assert hits[0].detail["type"] == "point"
+    assert hits[0].detail["accessor"] == "point-y"
+
+
+def test_dead_record_field_clean_when_read():
+    source = """
+    (define-record-type point (make-point x y) point?
+      (x point-x) (y point-y))
+    (display (+ (point-x (make-point 1 2)) (point-y (make-point 3 4))))
+    """
+    assert "dead-record-field" not in rules_hit(source)
 
 
 # ----------------------------------------------------------------------

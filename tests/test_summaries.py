@@ -1,0 +1,200 @@
+"""The whole-program summary fixpoint (`repro.absint.summaries`).
+
+Covers the acceptance gates for the interprocedural analysis: the
+prelude fixpoint terminates inside the widening bound and the CI time
+budget, closed-world programs get real parameter/result joins, owner
+liveness keeps dead generic combinators from poisoning the heap model,
+and heap-field facts fire on IR the scan can fully attribute.
+"""
+
+import time
+
+import pytest
+
+from repro.absint import (
+    MAX_SWEEPS,
+    summarize_program,
+)
+from repro.api import CompileOptions, _expander_for, _optimized_prelude
+from repro.ir import Const, GlobalSet, Let, LocalVar, Prim, Program, Seq, Var
+from repro.opt import optimize_program
+from repro.sexpr import read_all
+
+FIB_SRC = """
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(display (fib 12))
+"""
+
+
+def _compiled_program(source):
+    """The frozen-prelude compile pipeline, keeping every form so the
+    suffix lines up with the prefix (as `repro absint` does)."""
+    options = CompileOptions()
+    options.optimizer.prune_globals = False
+    prelude_forms, expander = _expander_for(options)
+    opt_prelude, _defined = _optimized_prelude(
+        options, prelude_forms, expander.global_names
+    )
+    user = expander.expand_program(read_all(source))
+    program = Program(
+        list(opt_prelude) + list(user.forms), expander.global_names
+    )
+    program = optimize_program(
+        program, options.optimizer, frozen_prefix=len(opt_prelude)
+    )
+    return program, len(opt_prelude)
+
+
+def _prelude_program():
+    options = CompileOptions()
+    prelude_forms, expander = _expander_for(options)
+    opt_prelude, _defined = _optimized_prelude(
+        options, prelude_forms, expander.global_names
+    )
+    return Program(list(opt_prelude), expander.global_names)
+
+
+# ----------------------------------------------------------------------
+# termination and the CI time budget
+# ----------------------------------------------------------------------
+
+
+def test_prelude_fixpoint_terminates_within_widening_bound():
+    program = _prelude_program()
+    start = time.monotonic()
+    summaries = summarize_program(program, open_world=True)
+    elapsed = time.monotonic() - start
+    assert summaries.stable
+    assert summaries.sweeps <= MAX_SWEEPS
+    # The acceptance gate: the full prelude converges fast enough for
+    # every compile to afford it.
+    assert elapsed < 2.0, f"prelude fixpoint took {elapsed:.2f}s"
+
+
+def test_prefix_summaries_are_cached():
+    from repro.absint.summaries import _PREFIX_CACHE
+
+    program, start = _compiled_program(FIB_SRC)
+    summarize_program(program, start=start)
+    assert _PREFIX_CACHE
+    # A second compile against the same frozen prefix converges almost
+    # immediately: only the user suffix is re-analysed.
+    t0 = time.monotonic()
+    again = summarize_program(program, start=start)
+    assert again.stable
+    assert time.monotonic() - t0 < 0.5
+
+
+# ----------------------------------------------------------------------
+# closed-world parameter/result joins
+# ----------------------------------------------------------------------
+
+
+def test_fib_summary_facts():
+    program, start = _compiled_program(FIB_SRC)
+    summaries = summarize_program(program, start=start)
+    assert summaries.stable and not summaries.open_world
+    info = summaries.context.by_name["fib"]
+    # Every call site passes a fixnum; the result joins fixnums only.
+    assert info.params[0].tags == frozenset({0})
+    assert info.result.tags == frozenset({0})
+    assert info.call_sites == 3  # toplevel + two recursive sites
+    assert not info.escaped and not info.variadic and info.analyzable
+
+
+def test_open_world_forces_top_on_globals_only():
+    program = _prelude_program()
+    summaries = summarize_program(program, open_world=True)
+    from repro.absint import ALL_TAGS
+
+    # Globals are reachable from unseen user code: parameters stay ⊤.
+    for info in summaries.functions.values():
+        if info.is_global and info.tracks_params:
+            for param in info.params:
+                assert param.tags == ALL_TAGS, (info.label, param)
+    # Heap facts are never consumed open-world.
+    assert not summaries.heap.usable
+
+
+# ----------------------------------------------------------------------
+# owner liveness
+# ----------------------------------------------------------------------
+
+
+def test_liveness_excludes_dead_generic_combinators():
+    program, start = _compiled_program(FIB_SRC)
+    summaries = summarize_program(program, start=start)
+    assert summaries.live is not None
+    names = {
+        summaries.owner_labels.get(key, "?"): key in summaries.live
+        for key in summaries.contribs
+        if key is not None
+    }
+    # fib never reaches for the parametric representation combinators;
+    # their wild-ish contributions must not poison the merged model.
+    for combinator in ("%pointer-mutator", "%maybe-checked-mutator"):
+        assert combinator in names, names.keys()
+        assert not names[combinator], f"{combinator} should be dead"
+    assert not summaries.contribution.wild
+    assert summaries.heap.usable
+
+
+def test_toplevel_is_always_live():
+    program, start = _compiled_program("(display (+ 1 2))")
+    summaries = summarize_program(program, start=start)
+    assert summaries.live is not None
+    assert None in summaries.live
+
+
+# ----------------------------------------------------------------------
+# heap-field facts on directly constructed IR
+# ----------------------------------------------------------------------
+
+
+def _vector_alloc_form():
+    """(let ((v (%alloc 16 2))) (%store v 6 40) v) — one tag-2 object
+    whose field 0 is initialised at birth with fixnum 5 (word 40)."""
+    var = LocalVar("v")
+    alloc = Prim("%alloc", [Const(16), Const(2)])
+    store = Prim("%store", [Var(var), Const(6), Const(40)])
+    return GlobalSet("obj", Let([(var, alloc)], Seq([store, Var(var)])))
+
+
+def test_heap_fact_fires_on_fully_attributed_ir():
+    program = Program([_vector_alloc_form()], ["obj"])
+    summaries = summarize_program(program)
+    assert summaries.stable
+    fact = summaries.heap.fact(2, 0)
+    assert fact is not None
+    assert fact.as_constant() == 40
+    # No store ever hits field 1, so there is no fact to consume there
+    # (it is not alloc-initialised).
+    assert summaries.heap.fact(2, 1) is None
+
+
+def test_wild_store_poisons_the_heap_model():
+    var = LocalVar("v")
+    alloc = Prim("%alloc", [Const(16), Var(LocalVar("n"))])  # non-const tag
+    form = GlobalSet("obj", Let([(var, alloc)], Var(var)))
+    program = Program([form], ["obj"])
+    summaries = summarize_program(program)
+    assert summaries.contribution.wild
+    assert summaries.heap.fact(2, 0) is None
+
+
+def test_mutation_after_birth_joins_into_the_fact():
+    var = LocalVar("v")
+    alloc = Prim("%alloc", [Const(16), Const(2)])
+    init = Prim("%store", [Var(var), Const(6), Const(40)])
+    mutate = Prim("%store", [Var(var), Const(6), Const(48)])
+    form = GlobalSet(
+        "obj", Let([(var, alloc)], Seq([init, mutate, Var(var)]))
+    )
+    program = Program([form], ["obj"])
+    summaries = summarize_program(program)
+    fact = summaries.heap.fact(2, 0)
+    assert fact is not None
+    # Both stored words are inside the invariant; neither is "the"
+    # constant any more.
+    assert fact.as_constant() is None
+    assert not fact.excludes_word(40) and not fact.excludes_word(48)

@@ -1,0 +1,57 @@
+"""The interprocedural ``unbox`` pass: semantics preserved, dynamic
+instruction counts improved.
+
+The acceptance criteria for the pass: identical outputs and decoded
+values with ``unbox`` on and off across the Table-3 workloads, a strict
+dynamic-count improvement on at least half of them, and no workload
+regressing.
+"""
+
+import pytest
+
+from benchmarks.workloads import ALL_WORKLOADS
+from repro import CompileOptions, OptimizerOptions, compile_source, decode
+
+
+def _run(source, options):
+    compiled = compile_source(source, options)
+    result = compiled.run()
+    return result, decode(result)
+
+
+@pytest.mark.parametrize(
+    "name,source,expected",
+    ALL_WORKLOADS,
+    ids=[w[0] for w in ALL_WORKLOADS],
+)
+def test_unbox_preserves_semantics(name, source, expected):
+    on, value_on = _run(source, CompileOptions())
+    off, value_off = _run(
+        source, CompileOptions(optimizer=OptimizerOptions().without("unbox"))
+    )
+    assert value_on == expected
+    assert value_off == expected
+    assert on.output == off.output
+
+
+def test_unbox_improves_half_and_regresses_none():
+    improved = 0
+    for name, source, _expected in ALL_WORKLOADS:
+        on, _ = _run(source, CompileOptions())
+        off, _ = _run(
+            source,
+            CompileOptions(optimizer=OptimizerOptions().without("unbox")),
+        )
+        assert on.steps <= off.steps, (
+            f"{name}: unbox regressed {off.steps} -> {on.steps}"
+        )
+        if on.steps < off.steps:
+            improved += 1
+    assert improved * 2 >= len(ALL_WORKLOADS), (
+        f"unbox improved only {improved}/{len(ALL_WORKLOADS)} workloads"
+    )
+
+
+def test_unbox_off_is_default_none():
+    assert OptimizerOptions.none().unbox is False
+    assert OptimizerOptions().unbox is True
