@@ -1,0 +1,244 @@
+"""Execution-service load + chaos benchmark — writes ``BENCH_serve.json``.
+
+Two sections, both driven through the real service stack
+(:mod:`repro.serve`) via the smoke harness:
+
+    load   — ≥ 500 concurrent tenants, one job each, submitted at once;
+             measures req/s and p50/p99 latency with the compile cache
+             pre-warmed so the numbers reflect scheduling, not the
+             one-off whole-program compile of each distinct source.
+    chaos  — a smaller population with the fault-injected cohort and a
+             hostile tenant; the section's value is its audit, not its
+             throughput.
+
+Run as a script::
+
+    python benchmarks/bench_serve.py              # full (500 tenants)
+    python benchmarks/bench_serve.py --quick      # CI smoke (fewer jobs)
+    python benchmarks/bench_serve.py --check      # exit 1 on gate failure
+
+or through pytest (excluded from tier-1 by the ``slow`` marker)::
+
+    pytest benchmarks/bench_serve.py -m slow --no-header
+
+``--check`` enforces the acceptance gates: the load section must
+complete every job with zero lost/duplicated results and p99 latency
+under the ceiling, and the chaos section must pass the full service
+contract (no lost jobs, no duplicated results, no wrong answers, no
+heap-conservation violations, every fault-injected job completed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # running as a script
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.serve import ServeConfig, TenantQuota, run_smoke, smoke_ok
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_serve.json")
+
+#: the acceptance floor: the service must sustain at least this many
+#: concurrent tenants in the (full) load section
+TENANT_FLOOR = 500
+
+#: "bounded p99": every load-section job must finish within this much
+#: wall clock of its submission (round-robin means p99 ≈ makespan)
+P99_CEILING_MS = 120_000.0
+
+
+def _config(jobs: int, slice_steps: int) -> ServeConfig:
+    return ServeConfig(
+        pool_size=8,
+        heap_words=1 << 16,
+        slice_steps=slice_steps,
+        queue_limit=jobs + 64,
+        quota=TenantQuota(max_in_flight=jobs + 1),
+    )
+
+
+def _load_section(jobs: int, tenants: int) -> dict:
+    report = run_smoke(
+        jobs=jobs,
+        tenants=tenants,
+        chaos=False,
+        hostile=False,
+        config=_config(jobs, slice_steps=2000),
+        warmup=True,
+    )
+    return {
+        "tenants": tenants,
+        "jobs": jobs,
+        "completed": report["completed"],
+        "failed": report["failed"],
+        "rejected": report["rejected"],
+        "lost": report["lost"],
+        "duplicated": report["duplicated"],
+        "wrong_values": report["wrong_values"],
+        "conservation_violations": report["conservation_violations"],
+        "elapsed_seconds": report["elapsed_seconds"],
+        "req_per_sec": report["req_per_sec"],
+        "p50_ms": report["p50_ms"],
+        "p99_ms": report["p99_ms"],
+        "p99_ceiling_ms": P99_CEILING_MS,
+        "slices": report["slices"],
+        "steps_executed": report["steps_executed"],
+        "compiles": report["compiles"],
+    }
+
+
+def _chaos_section(jobs: int, tenants: int) -> dict:
+    report = run_smoke(
+        jobs=jobs,
+        tenants=tenants,
+        chaos=True,
+        hostile=True,
+        config=_config(jobs, slice_steps=500),
+        warmup=True,
+    )
+    return {
+        "tenants": tenants,
+        "jobs": jobs,
+        "hostile_jobs": report["hostile_jobs"],
+        "completed": report["completed"],
+        "failed": report["failed"],
+        "lost": report["lost"],
+        "duplicated": report["duplicated"],
+        "wrong_values": report["wrong_values"],
+        "conservation_violations": report["conservation_violations"],
+        "chaos": report["chaos"],
+        "hostile": report["hostile"],
+        "elapsed_seconds": report["elapsed_seconds"],
+        "ok": smoke_ok(report),
+    }
+
+
+def measure(quick: bool = False) -> dict:
+    load_jobs = 120 if quick else TENANT_FLOOR
+    chaos_jobs = 40 if quick else 150
+    load = _load_section(jobs=load_jobs, tenants=load_jobs)
+    chaos = _chaos_section(jobs=chaos_jobs, tenants=20)
+    return {
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "tenant_floor": TENANT_FLOOR,
+        "load": load,
+        "chaos": chaos,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """Acceptance failures (empty == pass)."""
+    failures = []
+    load = report["load"]
+    if not report["quick"] and load["tenants"] < TENANT_FLOOR:
+        failures.append(
+            f"load: only {load['tenants']} tenants (floor {TENANT_FLOOR})"
+        )
+    if load["completed"] != load["jobs"]:
+        failures.append(
+            f"load: {load['completed']}/{load['jobs']} jobs completed"
+        )
+    for key in ("lost", "duplicated", "wrong_values",
+                "conservation_violations"):
+        if load[key]:
+            failures.append(f"load: {key} = {load[key]} (must be 0)")
+    if load["p99_ms"] > P99_CEILING_MS:
+        failures.append(
+            f"load: p99 {load['p99_ms']:.0f} ms over the "
+            f"{P99_CEILING_MS:.0f} ms ceiling"
+        )
+    chaos = report["chaos"]
+    if not chaos["ok"]:
+        failures.append("chaos: service contract gate failed")
+    for key in ("lost", "duplicated", "wrong_values",
+                "conservation_violations"):
+        if chaos[key]:
+            failures.append(f"chaos: {key} = {chaos[key]} (must be 0)")
+    if chaos["chaos"]["incomplete"]:
+        failures.append(
+            f"chaos: {chaos['chaos']['incomplete']} fault-injected jobs "
+            "never completed"
+        )
+    return failures
+
+
+def render(report: dict) -> str:
+    load = report["load"]
+    chaos = report["chaos"]
+    return "\n".join([
+        f"load:  {load['jobs']} jobs / {load['tenants']} tenants in "
+        f"{load['elapsed_seconds']:.1f}s — {load['req_per_sec']:.1f} req/s, "
+        f"p50 {load['p50_ms']:.0f} ms, p99 {load['p99_ms']:.0f} ms "
+        f"(ceiling {load['p99_ceiling_ms']:.0f} ms)",
+        f"       {load['completed']} completed, {load['lost']} lost, "
+        f"{load['duplicated']} duplicated, "
+        f"{load['conservation_violations']} conservation violations",
+        f"chaos: {chaos['jobs']} jobs (+{chaos['hostile_jobs']} hostile), "
+        f"{chaos['chaos']['completed']}/{chaos['chaos']['jobs']} "
+        f"fault-injected completed ({chaos['chaos']['retries']} retries), "
+        f"breaker opened {chaos['hostile']['breaker_opened']}x",
+        f"       lost {chaos['lost']}, duplicated {chaos['duplicated']}, "
+        f"wrong {chaos['wrong_values']}, conservation violations "
+        f"{chaos['conservation_violations']} — "
+        f"{'OK' if chaos['ok'] else 'FAILED'}",
+    ])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller populations (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any load or chaos acceptance gate fails",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help="JSON report path (default: BENCH_serve.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(quick=args.quick)
+    print(render(report))
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(args.output)}")
+
+    if args.check:
+        failures = check(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (slow: excluded from tier-1)
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script use without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_serve_bench_gates():
+        report = measure(quick=True)
+        print(render(report))
+        failures = check(report)
+        assert not failures, failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,13 @@ Usage (after ``python setup.py develop``):
     python -m repro.cli stats -e '(fib 10)' --config baseline
     python -m repro.cli lint program.scm --Werror
     python -m repro.cli faultsweep examples/scm/*.scm --max-sites 64
+    python -m repro.cli serve --smoke 200 --chaos
     python -m repro.cli repl
 
 Exit codes (see docs/DIAGNOSTICS.md): 0 success, 1 other error,
 2 reader error, 3 expand/compile error, 4 lint findings under
-``--Werror``, 5 VM trap, 6 resource budget exceeded.
+``--Werror``, 5 VM trap, 6 resource budget exceeded, 7 service
+smoke/chaos gate failed.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ EXIT_COMPILE = 3  # expansion or any later compiler stage
 EXIT_LINT = 4  # lint findings under --Werror (or lint errors)
 EXIT_VM = 5  # a VM trap (type error, heap exhaustion, ...)
 EXIT_BUDGET = 6  # a resource budget (steps/deadline/alloc) ran out
+EXIT_SERVE = 7  # the service smoke/chaos gate failed
 
 
 def exit_code_for(error: ReproError) -> int:
@@ -344,7 +347,13 @@ def cmd_faultsweep(namespace: argparse.Namespace) -> int:
     heap_words = _heap_words(namespace) or (1 << 16)
 
     reports = []
-    totals = {"runs": 0, "completed": 0, "trapped": 0, "violations": 0}
+    totals = {
+        "runs": 0,
+        "completed": 0,
+        "trapped": 0,
+        "violations": 0,
+        "unexpected": 0,
+    }
     for path in paths:
         with open(path) as handle:
             source = handle.read()
@@ -385,6 +394,13 @@ def cmd_faultsweep(namespace: argparse.Namespace) -> int:
                             "total_allocs": report.total_allocs,
                             **report.counts(),
                             "violations": report.violations,
+                            # one TrapInfo.to_json() payload per outcome
+                            # that trapped (machine-readable fault log)
+                            "traps": [
+                                {"schedule": o.schedule, **o.trap}
+                                for o in report.outcomes
+                                if o.trap is not None
+                            ],
                         }
                         for engine, report in reports
                     ],
@@ -396,9 +412,121 @@ def cmd_faultsweep(namespace: argparse.Namespace) -> int:
         print(
             f"faultsweep: {totals['runs']} runs, {totals['completed']} "
             f"completed, {totals['trapped']} trapped, "
-            f"{totals['violations']} violations"
+            f"{totals['violations']} violations, "
+            f"{totals['unexpected']} unexpected exceptions"
         )
-    return EXIT_OK if totals["violations"] == 0 else EXIT_ERROR
+    # Any violation is fatal — including the "unexpected exception
+    # class" ones, so a new crash mode can never pass the sweep.
+    if totals["violations"] or totals["unexpected"]:
+        return EXIT_ERROR
+    return EXIT_OK
+
+
+def _serve_config(namespace: argparse.Namespace, jobs: int):
+    from .serve import ServeConfig, TenantQuota
+
+    return ServeConfig(
+        pool_size=namespace.pool,
+        heap_words=_heap_words(namespace) or (1 << 16),
+        engine=namespace.engine,
+        slice_steps=namespace.slice_steps,
+        queue_limit=namespace.queue_limit or jobs + 64,
+        quota=TenantQuota(max_in_flight=namespace.max_in_flight or jobs + 1),
+    )
+
+
+def _render_smoke(report: dict) -> str:
+    chaos = report["chaos"]
+    hostile = report["hostile"]
+    lines = [
+        f"serve smoke: {report['jobs']} jobs from {report['tenants']} tenants"
+        f" (+{report['hostile_jobs']} hostile) in"
+        f" {report['elapsed_seconds']:.2f}s"
+        f" ({report['req_per_sec']:.1f} req/s)",
+        f"  completed {report['completed']}, failed {report['failed']},"
+        f" rejected {report['rejected']}, lost {report['lost']},"
+        f" duplicated {report['duplicated']},"
+        f" wrong values {report['wrong_values']}",
+        f"  latency p50 {report['p50_ms']:.1f} ms,"
+        f" p99 {report['p99_ms']:.1f} ms;"
+        f" {report['slices']} slices, {report['steps_executed']} steps,"
+        f" {report['compiles']} compiles",
+        f"  chaos: {chaos['completed']}/{chaos['jobs']} completed"
+        f" ({chaos['retried']} via retry, {chaos['retries']} retries);"
+        f" hostile: {hostile['failed']} failed, {hostile['rejected']}"
+        f" rejected, breaker opened {hostile['breaker_opened']}x",
+        f"  conservation violations: {report['conservation_violations']}",
+        f"  gate: {'OK' if report['ok'] else 'FAILED'}",
+    ]
+    for detail in report.get("conservation_detail", []):
+        lines.append(f"  VIOLATION: {detail}")
+    return "\n".join(lines)
+
+
+def cmd_serve(namespace: argparse.Namespace) -> int:
+    """Run the execution service: self-driving smoke or TCP daemon.
+
+    ``--smoke N`` drives N concurrent jobs (chaos cohort included unless
+    ``--no-chaos``) through one service and audits the contract: exit 0
+    when no jobs were lost or duplicated and heap conservation held on
+    every machine, ``EXIT_SERVE`` (7) otherwise.  Without ``--smoke``
+    the service listens on ``--host``/``--port`` speaking JSON lines
+    and drains gracefully on SIGINT/SIGTERM.
+    """
+    import asyncio
+    import json as _json
+
+    from .serve import run_smoke
+
+    if namespace.smoke is not None:
+        if namespace.smoke < 1:
+            raise SystemExit(f"--smoke needs at least 1 job (got {namespace.smoke})")
+        report = run_smoke(
+            jobs=namespace.smoke,
+            tenants=namespace.tenants,
+            chaos=namespace.chaos,
+            hostile=not namespace.no_hostile,
+            seed=namespace.seed,
+            config=_serve_config(namespace, namespace.smoke),
+            timeout_seconds=namespace.timeout,
+            include_events=namespace.events is not None,
+        )
+        if namespace.events is not None:
+            with open(namespace.events, "w") as handle:
+                for event in report.pop("events", []):
+                    handle.write(_json.dumps(event) + "\n")
+        if namespace.json:
+            print(_json.dumps(report, indent=2))
+        else:
+            print(_render_smoke(report))
+        return EXIT_OK if report["ok"] else EXIT_SERVE
+
+    async def _daemon() -> None:
+        from .serve import ExecutionService, ServeServer
+
+        service = ExecutionService(_serve_config(namespace, jobs=1024))
+        server = ServeServer(
+            service, host=namespace.host, port=namespace.port
+        )
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+        except (ImportError, NotImplementedError):  # pragma: no cover
+            pass
+        print(f"repro serve: listening on {server.host}:{server.port}",
+              flush=True)
+        await stop.wait()
+        print("repro serve: draining", flush=True)
+        await server.close()
+        await service.drain()
+
+    asyncio.run(_daemon())
+    return EXIT_OK
 
 
 def cmd_repl(namespace: argparse.Namespace) -> int:
@@ -558,6 +686,101 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="machine-readable output"
     )
     sweep_parser.set_defaults(fn=cmd_faultsweep)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="multi-tenant execution service (smoke harness or TCP daemon)",
+    )
+    serve_parser.add_argument(
+        "--smoke",
+        type=int,
+        default=None,
+        metavar="N",
+        help="self-driving mode: run N concurrent jobs, audit the "
+        "service contract, exit 7 on any violation",
+    )
+    serve_parser.add_argument(
+        "--tenants",
+        type=int,
+        default=20,
+        help="distinct tenants in the smoke population (default 20)",
+    )
+    serve_parser.add_argument(
+        "--chaos",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="include the fault-injected chaos cohort (default on)",
+    )
+    serve_parser.add_argument(
+        "--no-hostile",
+        action="store_true",
+        help="omit the always-trapping hostile tenant",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="chaos schedule seed (default 0)"
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="smoke wall-clock limit; unresolved jobs count as lost",
+    )
+    serve_parser.add_argument(
+        "--pool",
+        type=int,
+        default=8,
+        metavar="N",
+        help="machine pool size (default 8)",
+    )
+    serve_parser.add_argument(
+        "--slice-steps",
+        type=int,
+        default=500,
+        metavar="N",
+        help="preemption slice in VM instructions (default 500)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission queue bound (default: jobs + 64)",
+    )
+    serve_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant in-flight quota (default: jobs + 1)",
+    )
+    serve_parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="VM dispatch engine for pooled machines",
+    )
+    serve_parser.add_argument(
+        "--heap-words",
+        type=int,
+        default=None,
+        metavar="N",
+        help="heap size per pooled machine (default 65536)",
+    )
+    serve_parser.add_argument(
+        "--events",
+        metavar="FILE",
+        help="write the service event log as JSON lines (smoke mode)",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true", help="machine-readable smoke report"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=7093, help="daemon port (default 7093)"
+    )
+    serve_parser.set_defaults(fn=cmd_serve)
 
     repl_parser = subparsers.add_parser("repl", help="interactive loop")
     _add_common(repl_parser)

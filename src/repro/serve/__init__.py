@@ -1,0 +1,49 @@
+"""`repro serve`: a fault-tolerant multi-tenant execution service.
+
+Schedules many concurrent guest programs over the VM's budget/trap
+layer: each job runs a budget slice at a time on a pooled, reusable
+:class:`~repro.vm.machine.Machine`, preempted by exact suspension
+(``StepBudgetExceeded`` → ``Suspension`` → requeue).  Admission
+control, per-tenant quotas, retry, circuit breaking, and graceful drain
+live here — around the VM primitive, not inside it.  See
+docs/SERVING.md.
+"""
+
+from .config import BreakerPolicy, RetryPolicy, ServeConfig, TenantQuota
+from .events import EventLog
+from .pool import MachinePool
+from .quotas import CircuitBreaker, QuotaLedger, TenantState
+from .server import ServeServer
+from .service import (
+    ExecutionService,
+    JobCompleted,
+    JobFailed,
+    JobRejected,
+    ServiceClient,
+    ServiceOverloaded,
+    ServiceResponse,
+)
+from .smoke import run_smoke, smoke_async, smoke_ok
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "EventLog",
+    "ExecutionService",
+    "JobCompleted",
+    "JobFailed",
+    "JobRejected",
+    "MachinePool",
+    "QuotaLedger",
+    "RetryPolicy",
+    "ServeConfig",
+    "ServeServer",
+    "ServiceClient",
+    "ServiceOverloaded",
+    "ServiceResponse",
+    "TenantQuota",
+    "TenantState",
+    "run_smoke",
+    "smoke_async",
+    "smoke_ok",
+]

@@ -1,0 +1,93 @@
+"""Service configuration: pool sizing, slicing, queues, quotas, policies.
+
+Everything the service enforces is declared here, per tenant or
+globally, so the robustness envelope — admission control, retry,
+circuit breaking — is ordinary data the embedder can tune, in the same
+spirit as the paper's thesis that representations are ordinary user
+code (the VM's budget layer is the only privileged mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TenantQuota:
+    """One tenant's resource envelope.
+
+    ``max_in_flight`` bounds queued-plus-running jobs at admission;
+    ``max_fuel``/``max_alloc_words`` are *cumulative* caps across all of
+    the tenant's jobs for the service's lifetime, charged slice by
+    slice; ``deadline_seconds`` is the default per-job wall-clock
+    deadline, enforced across slices (granularity: one slice).  ``None``
+    means unlimited.
+    """
+
+    max_in_flight: int = 16
+    max_fuel: int | None = None
+    max_alloc_words: int | None = None
+    deadline_seconds: float | None = None
+
+
+@dataclass
+class RetryPolicy:
+    """Retry-with-backoff for jobs killed by injected faults.
+
+    Only fault-injected jobs (chaos cohorts carrying a
+    :class:`~repro.vm.faultinject.FaultSchedule`) are retried: the
+    fault-injection contract proves a clean re-run on the same machine
+    and heap succeeds, so a bounded retry converges deterministically.
+    """
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.002
+    backoff_cap_seconds: float = 0.05
+
+    def backoff(self, attempt: int) -> float:
+        """Exponential backoff before attempt ``attempt + 1``."""
+        return min(
+            self.backoff_cap_seconds,
+            self.backoff_base_seconds * (2 ** max(attempt - 1, 0)),
+        )
+
+
+@dataclass
+class BreakerPolicy:
+    """Circuit breaking for tenants whose jobs repeatedly trap.
+
+    ``threshold`` consecutive trapped jobs open the breaker; after
+    ``cooldown_seconds`` it half-opens and admits a single probe job,
+    whose outcome closes or re-opens it.
+    """
+
+    threshold: int = 5
+    cooldown_seconds: float = 0.2
+
+
+@dataclass
+class ServeConfig:
+    """The service's global knobs (see docs/SERVING.md)."""
+
+    #: machines in the pool — bounds jobs simultaneously holding VM
+    #: state; queued jobs wait for a machine, preempted ones keep theirs
+    pool_size: int = 8
+    #: heap words per pooled machine
+    heap_words: int = 1 << 16
+    #: VM dispatch engine for pooled machines (None: the default engine)
+    engine: str | None = None
+    #: counted instructions per scheduling slice (the preemption quantum)
+    slice_steps: int = 2_000
+    #: bound on the global admission queue; past it submissions are shed
+    #: with a typed ``ServiceOverloaded`` rejection
+    queue_limit: int = 1_024
+    #: default quota, and per-tenant overrides by tenant name
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    tenant_quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: ring-buffer capacity of the structured event log
+    event_capacity: int = 8_192
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.tenant_quotas.get(tenant, self.quota)

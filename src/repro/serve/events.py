@@ -1,0 +1,61 @@
+"""Structured event log for the execution service.
+
+Every scheduling decision the service makes — admit, reject, slice,
+trap, retry, breaker transition, drain — is emitted as one flat JSON
+dict, so operational behavior is observable and testable without
+scraping text.  Trap events embed the machine-readable
+:meth:`~repro.vm.budget.TrapInfo.to_json` payload.
+
+The log is a bounded ring buffer (old events drop first) with an
+optional ``sink`` callable for streaming — the CLI uses it to write
+JSON lines to a file.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from time import monotonic
+
+
+class EventLog:
+    """Bounded, append-only log of service events."""
+
+    def __init__(self, capacity: int = 8_192, sink=None, clock=monotonic):
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._sink = sink
+        self._clock = clock
+        self._counts: Counter[str] = Counter()
+
+    def emit(self, kind: str, /, **fields) -> dict:
+        """Append one event; returns the event dict.
+
+        ``seq``/``t``/``kind`` are the log's own keys — callers carrying
+        a payload named like one (e.g. a rejection kind) must rename it
+        (the convention is ``reason``).
+        """
+        reserved = fields.keys() & {"seq", "t", "kind"}
+        if reserved:
+            raise ValueError(f"reserved event field(s): {sorted(reserved)}")
+        self._seq += 1
+        event = {"seq": self._seq, "t": round(self._clock(), 6), "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+        self._counts[kind] += 1
+        if self._sink is not None:
+            self._sink(event)
+        return event
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Buffered events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event["kind"] == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Events emitted per kind, over the service's whole lifetime
+        (unlike :meth:`events`, not limited by the ring capacity)."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._events)

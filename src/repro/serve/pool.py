@@ -1,0 +1,105 @@
+"""A fixed pool of reusable :class:`~repro.vm.machine.Machine`\\ s.
+
+The pool is where PR 5's reusable-state contract pays off at scale: a
+machine survives traps and budget suspensions with its heap invariants
+intact, so the same ``pool_size`` machines serve an unbounded stream of
+jobs from many tenants.  A job holds its machine from first slice to
+final response — a suspended run lives in the machine — so ``size``
+bounds true execution concurrency; everything else queues.
+
+Reuse goes through exactly two verified entry points:
+:meth:`Machine.reset` (same program: re-arm budgets, clear trap and
+suspension state) and :meth:`Machine.load` (different program, same
+heap).  Chaos jobs install a fault-injecting heap for their lifetime;
+release swaps a fresh heap back in so later tenants never execute on an
+instrumented heap.
+"""
+
+from __future__ import annotations
+
+from ..vm.budget import Budget
+from ..vm.heap import Heap
+from ..vm.machine import Machine
+
+
+class MachinePool:
+    """At most ``size`` machines; acquire returns ``None`` when empty."""
+
+    def __init__(self, size: int, heap_words: int, engine: str | None = None):
+        if size < 1:
+            raise ValueError(f"pool size must be at least 1 (got {size})")
+        self.size = size
+        self.heap_words = heap_words
+        self.engine = engine
+        self._free: list[Machine] = []
+        self.created = 0
+        self.acquires = 0
+        self.reuses = 0
+        self.heap_swaps = 0
+
+    @property
+    def available(self) -> bool:
+        return bool(self._free) or self.created < self.size
+
+    @property
+    def idle(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self, program, budget: Budget | None = None, input_text: str = ""
+    ) -> Machine | None:
+        """A machine bound to ``program``, reset and ready to run, or
+        ``None`` when every machine is held by an in-flight job."""
+        if self._free:
+            machine = self._free.pop()
+            if machine.program is not program:
+                machine.load(program, input_text=input_text)
+            machine.reset(budget=budget or Budget(), input_text=input_text)
+            self.reuses += 1
+        elif self.created < self.size:
+            machine = Machine(
+                program,
+                heap_words=self.heap_words,
+                engine=self.engine,
+                input_text=input_text,
+            )
+            if budget is not None:
+                machine.reset(budget=budget)
+            self.created += 1
+        else:
+            return None
+        self.acquires += 1
+        return machine
+
+    def release(self, machine: Machine, fresh_heap: bool = False) -> None:
+        """Return a machine to the pool.
+
+        ``fresh_heap=True`` (chaos jobs) replaces the machine's heap
+        with a clean one — dropping any fault-injection schedule and
+        accumulated garbage in one stroke.
+        """
+        if fresh_heap:
+            machine.install_heap(Heap(self.heap_words))
+            self.heap_swaps += 1
+        self._free.append(machine)
+
+    def check_conservation(self) -> list[str]:
+        """Word-conservation check over every idle machine's heap;
+        returns the violations found (empty means sound)."""
+        violations = []
+        for machine in self._free:
+            try:
+                machine.heap.check_conservation()
+            except Exception as error:  # noqa: BLE001 — reported, not fatal
+                violations.append(str(error))
+        return violations
+
+    def stats(self) -> dict:
+        return {
+            "size": self.size,
+            "created": self.created,
+            "idle": len(self._free),
+            "acquires": self.acquires,
+            "reuses": self.reuses,
+            "heap_swaps": self.heap_swaps,
+        }

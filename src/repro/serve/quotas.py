@@ -1,0 +1,165 @@
+"""Per-tenant accounting: quotas, usage ledger, circuit breaker.
+
+The ledger answers one question at admission time — "may this tenant
+submit another job right now?" — and is charged slice by slice while
+jobs run, so cumulative fuel/allocation caps bind *across* jobs and
+across preemption slices, not just within one run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .config import BreakerPolicy, ServeConfig, TenantQuota
+
+_INF = float("inf")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over consecutive trapped jobs.
+
+    ``threshold`` consecutive traps open the breaker (admissions
+    rejected with kind ``"breaker"``).  After ``cooldown_seconds`` the
+    breaker half-opens: exactly one probe job is admitted; its success
+    closes the breaker, another trap re-opens it for a fresh cooldown.
+    """
+
+    def __init__(self, policy: BreakerPolicy):
+        self.policy = policy
+        self.state = "closed"
+        self.consecutive_traps = 0
+        self.open_until = 0.0
+        self.opened_count = 0
+        self._probing = False
+
+    def allow(self, now: float) -> bool:
+        """May a job be admitted at time ``now``?  (Marks the half-open
+        probe as taken when it grants one — call only when the job will
+        actually be admitted.)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now < self.open_until:
+                return False
+            self.state = "half-open"
+            self._probing = False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def on_success(self) -> None:
+        self.consecutive_traps = 0
+        self.state = "closed"
+        self._probing = False
+
+    def on_trap(self, now: float) -> bool:
+        """Record one trapped job; returns True when this trap opened
+        (or re-opened) the breaker."""
+        self.consecutive_traps += 1
+        tripped = (
+            self.state == "half-open"
+            or self.consecutive_traps >= self.policy.threshold
+        )
+        self._probing = False
+        if tripped and self.state != "open":
+            self.state = "open"
+            self.open_until = now + self.policy.cooldown_seconds
+            self.opened_count += 1
+            return True
+        if tripped:
+            self.open_until = now + self.policy.cooldown_seconds
+        return False
+
+
+@dataclass
+class TenantState:
+    """One tenant's live accounting."""
+
+    name: str
+    quota: TenantQuota
+    breaker: CircuitBreaker
+    in_flight: int = 0
+    fuel_used: int = 0
+    alloc_used: int = 0
+    counters: Counter = field(default_factory=Counter)
+
+    def fuel_remaining(self) -> float:
+        if self.quota.max_fuel is None:
+            return _INF
+        return self.quota.max_fuel - self.fuel_used
+
+    def alloc_remaining(self) -> float:
+        if self.quota.max_alloc_words is None:
+            return _INF
+        return self.quota.max_alloc_words - self.alloc_used
+
+    def to_json(self) -> dict:
+        return {
+            "tenant": self.name,
+            "in_flight": self.in_flight,
+            "fuel_used": self.fuel_used,
+            "alloc_used": self.alloc_used,
+            "breaker": self.breaker.state,
+            "breaker_opened": self.breaker.opened_count,
+            **{k: v for k, v in sorted(self.counters.items())},
+        }
+
+
+class QuotaLedger:
+    """All tenants' states, created on first contact."""
+
+    def __init__(self, config: ServeConfig):
+        self._config = config
+        self._states: dict[str, TenantState] = {}
+
+    def state(self, tenant: str) -> TenantState:
+        state = self._states.get(tenant)
+        if state is None:
+            state = TenantState(
+                name=tenant,
+                quota=self._config.quota_for(tenant),
+                breaker=CircuitBreaker(self._config.breaker),
+            )
+            self._states[tenant] = state
+        return state
+
+    def tenants(self) -> list[TenantState]:
+        return list(self._states.values())
+
+    def denial(self, tenant: str, now: float) -> tuple[str, str] | None:
+        """The admission-control decision for one more job from
+        ``tenant``: ``None`` to admit, else ``(kind, message)``.
+
+        Checked in quota order; the breaker is consulted *last* so a
+        half-open probe slot is only consumed by a job that every other
+        check already admitted.
+        """
+        state = self.state(tenant)
+        quota = state.quota
+        if state.in_flight >= quota.max_in_flight:
+            return (
+                "quota",
+                f"tenant {tenant!r} already has {state.in_flight} jobs "
+                f"in flight (max {quota.max_in_flight})",
+            )
+        if state.fuel_remaining() <= 0:
+            return (
+                "tenant-fuel",
+                f"tenant {tenant!r} exhausted its fuel quota "
+                f"({quota.max_fuel} steps)",
+            )
+        if state.alloc_remaining() <= 0:
+            return (
+                "tenant-alloc",
+                f"tenant {tenant!r} exhausted its allocation quota "
+                f"({quota.max_alloc_words} words)",
+            )
+        if not state.breaker.allow(now):
+            return (
+                "breaker",
+                f"tenant {tenant!r} is circuit-broken after "
+                f"{state.breaker.consecutive_traps} consecutive traps",
+            )
+        return None

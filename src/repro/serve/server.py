@@ -1,0 +1,105 @@
+"""JSON-lines TCP front end for the execution service.
+
+Protocol: one JSON object per line in, one per line out, in order.
+
+Request fields: ``source`` (required), ``tenant``, ``max_steps``,
+``max_alloc_words``, ``deadline_seconds``, ``input``.  The response is
+the job's :meth:`~repro.serve.service.ServiceResponse.to_json` payload;
+malformed requests get ``{"status": "error", ...}`` without costing the
+connection.
+
+Requests on one connection are answered in submission order; requests
+across connections interleave at slice boundaries like any other jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .service import ExecutionService
+
+#: request keys forwarded to :meth:`ExecutionService.submit`
+_SUBMIT_KEYS = ("tenant", "max_steps", "max_alloc_words", "deadline_seconds")
+
+
+class ServeServer:
+    """asyncio TCP wrapper around an :class:`ExecutionService`."""
+
+    def __init__(self, service: ExecutionService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    async def start(self) -> "ServeServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when started with port 0)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # reap connection handlers here rather than leaving them for loop
+        # teardown, which logs their cancellation as an unhandled error
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        await self._server.serve_forever()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server closing mid-read: drop the connection quietly
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+
+    async def _respond(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+        except ValueError as error:
+            return {"status": "error", "message": f"bad JSON: {error}"}
+        if not isinstance(request, dict) or "source" not in request:
+            return {"status": "error",
+                    "message": 'request must be an object with a "source" key'}
+        kwargs = {key: request[key] for key in _SUBMIT_KEYS if key in request}
+        if "input" in request:
+            kwargs["input_text"] = request["input"]
+        try:
+            response = await self.service.submit(request["source"], **kwargs)
+        except Exception as error:  # noqa: BLE001 — protocol error, not a crash
+            return {"status": "error",
+                    "message": f"{type(error).__name__}: {error}"}
+        return response.to_json()

@@ -1,0 +1,643 @@
+"""The fault-tolerant multi-tenant execution service.
+
+One cooperative-preemption abstraction carries every tenant: a job runs
+on a pooled machine one budget slice at a time, suspended exactly at an
+instruction boundary by the step budget (``StepBudgetExceeded`` →
+:class:`~repro.vm.budget.Suspension`) and requeued; the asyncio
+scheduler round-robins runnable jobs so thousands of guest programs
+interleave on a handful of machines.  The robustness envelope is built
+*around* that primitive, not inside the VM:
+
+* **admission control** — per-tenant quotas and a bounded global queue;
+  past the bound, submissions are shed with a typed
+  :class:`ServiceOverloaded` response instead of degrading everyone;
+* **deadlines** — per-job wall clock enforced across slices;
+* **cumulative caps** — tenant fuel/allocation ledgers charged slice by
+  slice, binding across jobs;
+* **retry with backoff** — jobs killed by injected faults re-run on the
+  same machine (the fault-injection contract proves this safe), bounded
+  by :class:`~repro.serve.config.RetryPolicy`;
+* **circuit breaking** — tenants whose jobs repeatedly trap are
+  rejected at admission until a cooldown probe succeeds;
+* **graceful drain** — no new admissions, queued jobs get a clean
+  requeue-able rejection, in-flight jobs finish their current slice
+  (slices are atomic on the event loop) and are then evicted.
+
+Every terminal outcome is exactly one typed :class:`ServiceResponse`
+resolved on the job's future — never zero, never two — which is the
+"no lost or duplicated results" invariant the chaos benchmark gates on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter, deque
+from dataclasses import asdict, dataclass
+
+from ..errors import BudgetExceeded, HeapExhausted, ReproError
+from ..vm.budget import Budget
+from ..vm.faultinject import FaultInjectingHeap, FaultSchedule
+from .config import ServeConfig
+from .events import EventLog
+from .pool import MachinePool
+from .quotas import QuotaLedger, TenantState
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# typed responses
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServiceResponse:
+    """Base of every terminal response; exactly one per submitted job."""
+
+    job_id: int = 0
+    tenant: str = ""
+    status: str = "response"
+    #: machine-readable subcategory: rejection/failure kind
+    kind: str | None = None
+    message: str = ""
+    #: True when resubmitting the same request later is the right move
+    #: (overload, drain, breaker cooldown) — nothing about the job
+    #: itself failed
+    requeueable: bool = False
+    attempts: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        payload["status"] = self.status
+        return payload
+
+
+@dataclass
+class JobCompleted(ServiceResponse):
+    """The program ran to completion; ``value`` is its printed result."""
+
+    status: str = "ok"
+    value: str = ""
+    output: str = ""
+    steps: int = 0
+    words_allocated: int = 0
+    slices: int = 0
+    engine: str = ""
+
+
+@dataclass
+class JobFailed(ServiceResponse):
+    """The job compiled/ran and then faulted or exceeded a budget.
+
+    ``kind`` is the trap domain (``"scheme"``, ``"heap"``, ``"steps"``,
+    ``"alloc"``, ``"deadline"``, ``"tenant-fuel"``, ``"tenant-alloc"``,
+    ``"compile"``, ``"internal"``); ``trap`` embeds the
+    :meth:`~repro.vm.budget.TrapInfo.to_json` payload when the VM
+    produced one.
+    """
+
+    status: str = "failed"
+    trap: dict | None = None
+    steps: int = 0
+
+
+@dataclass
+class JobRejected(ServiceResponse):
+    """Admission control (or drain) turned the job away."""
+
+    status: str = "rejected"
+
+
+@dataclass
+class ServiceOverloaded(JobRejected):
+    """Load shed: the global admission queue is full.
+
+    Typed separately so clients can distinguish "back off and retry"
+    from a quota or correctness problem; always ``requeueable``.
+    """
+
+    kind: str | None = "overloaded"
+    queue_depth: int = 0
+
+
+# ----------------------------------------------------------------------
+# internal job record
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    job_id: int
+    tenant: str
+    source: str
+    budget: Budget  # per-job caps: max_steps = fuel, max_alloc_words
+    deadline_at: float | None
+    fault: FaultSchedule | None
+    future: asyncio.Future
+    submitted_at: float
+    input_text: str = ""
+    attempts: int = 0
+    machine: object = None
+    program: object = None
+    #: steps executed by the current attempt (== machine.steps)
+    steps_done: int = 0
+    #: heap words_allocated at the current attempt's start / last charge
+    alloc_start: int = 0
+    alloc_cursor: int = 0
+    not_before: float = 0.0
+    slices: int = 0
+
+
+class ExecutionService:
+    """The long-lived scheduler; see the module docstring.
+
+    Single-threaded by construction: ``submit`` and the scheduler both
+    run on the event loop, slices are synchronous between awaits, so no
+    locking is needed and behavior is deterministic for a fixed
+    submission order.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, events: EventLog | None = None):
+        self.config = config or ServeConfig()
+        self.events = events or EventLog(self.config.event_capacity)
+        self.ledger = QuotaLedger(self.config)
+        self.pool = MachinePool(
+            self.config.pool_size, self.config.heap_words, self.config.engine
+        )
+        self._queue: deque[_Job] = deque()
+        self._running: deque[_Job] = deque()
+        self._waiting: list[_Job] = []  # backoff before a retry attempt
+        self._task: asyncio.Task | None = None
+        self._wake = asyncio.Event()
+        self._draining = False
+        self._next_id = 0
+        self._compile_cache: dict[str, object] = {}
+        self.stats: Counter = Counter()
+        self.conservation_violations: list[str] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "ExecutionService":
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run_loop())
+            self.events.emit("start", pool=self.config.pool_size,
+                             slice_steps=self.config.slice_steps)
+        return self
+
+    async def __aenter__(self) -> "ExecutionService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Graceful shutdown (idempotent).
+
+        Admissions stop; queued and backoff jobs resolve with a clean
+        requeue-able rejection; in-flight jobs finish the slice they are
+        in (slices never span an await, so none is interrupted) and are
+        then evicted with a requeue-able rejection carrying their
+        progress.  Returns when the scheduler has exited.
+        """
+        if not self._draining:
+            self._draining = True
+            self.events.emit("drain", queued=len(self._queue),
+                             running=len(self._running),
+                             waiting=len(self._waiting))
+            while self._queue:
+                self._finish_rejected(self._queue.popleft(), "draining",
+                                      "service is draining; resubmit later")
+            for job in list(self._waiting):
+                self._release_machine(job)
+                self._finish_rejected(job, "draining",
+                                      "service is draining; resubmit later")
+            self._waiting.clear()
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # ------------------------------------------------------------------
+    # submission / admission control
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        source: str,
+        *,
+        tenant: str = "default",
+        max_steps: int | None = None,
+        max_alloc_words: int | None = None,
+        deadline_seconds: float | None = None,
+        input_text: str = "",
+        fault: FaultSchedule | None = None,
+    ) -> asyncio.Future:
+        """Submit one job; returns a future resolving to exactly one
+        :class:`ServiceResponse`.  Rejections resolve immediately."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        now = loop.time()
+        self._next_id += 1
+        job_id = self._next_id
+        state = self.ledger.state(tenant)
+        state.counters["submitted"] += 1
+        self.stats["submitted"] += 1
+
+        def reject(kind, message, requeueable=False, response=None):
+            response = response or JobRejected(
+                job_id=job_id, tenant=tenant, kind=kind, message=message,
+                requeueable=requeueable,
+            )
+            future.set_result(response)
+            state.counters["rejected"] += 1
+            self.stats["rejected"] += 1
+            self.events.emit("reject", job=job_id, tenant=tenant,
+                             reason=kind, requeueable=requeueable)
+            return future
+
+        if self._draining:
+            return reject("draining", "service is draining; resubmit later",
+                          requeueable=True)
+        if len(self._queue) >= self.config.queue_limit:
+            self.stats["shed"] += 1
+            return reject(
+                "overloaded", "admission queue is full", requeueable=True,
+                response=ServiceOverloaded(
+                    job_id=job_id, tenant=tenant, requeueable=True,
+                    message="admission queue is full",
+                    queue_depth=len(self._queue),
+                ),
+            )
+        denial = self.ledger.denial(tenant, now)
+        if denial is not None:
+            kind, message = denial
+            return reject(kind, message, requeueable=(kind == "breaker"))
+
+        deadline = deadline_seconds
+        if deadline is None:
+            deadline = state.quota.deadline_seconds
+        job = _Job(
+            job_id=job_id,
+            tenant=tenant,
+            source=source,
+            budget=Budget(max_steps, None, max_alloc_words),
+            deadline_at=(now + deadline) if deadline is not None else None,
+            fault=fault,
+            future=future,
+            submitted_at=now,
+            input_text=input_text,
+        )
+        state.in_flight += 1
+        self._queue.append(job)
+        self.events.emit("admit", job=job_id, tenant=tenant,
+                         queue_depth=len(self._queue))
+        self._wake.set()
+        return future
+
+    # ------------------------------------------------------------------
+    # the scheduler loop
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    async def _run_loop(self) -> None:
+        while True:
+            now = self._now()
+            self._promote_waiting(now)
+            self._start_queued(now)
+            if not self._running:
+                if self._draining and not self._queue and not self._waiting:
+                    break
+                timeout = None
+                if self._waiting:
+                    due = min(job.not_before for job in self._waiting)
+                    timeout = max(due - now, 0.0005)
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout)
+                except asyncio.TimeoutError:
+                    pass
+                self._wake.clear()
+                continue
+            job = self._running.popleft()
+            self._slice(job, self._now())
+            # the cooperative yield: submissions, client awaits, and the
+            # TCP front end all interleave at slice boundaries
+            await asyncio.sleep(0)
+        self.events.emit("stopped", **{k: v for k, v in self.stats.items()})
+
+    def _promote_waiting(self, now: float) -> None:
+        if not self._waiting:
+            return
+        due = [job for job in self._waiting if job.not_before <= now]
+        for job in due:
+            self._waiting.remove(job)
+            self._begin_attempt(job, now)
+            self._running.append(job)
+
+    def _start_queued(self, now: float) -> None:
+        while self._queue and self.pool.available:
+            job = self._queue.popleft()
+            if job.deadline_at is not None and now >= job.deadline_at:
+                self._finish_failed(
+                    job, "deadline", "job deadline expired while queued"
+                )
+                continue
+            try:
+                job.program = self._compiled(job.source)
+            except ReproError as error:
+                self._finish_failed(job, "compile", str(error))
+                continue
+            machine = self.pool.acquire(job.program, input_text=job.input_text)
+            if machine is None:  # raced: every machine is held
+                self._queue.appendleft(job)
+                break
+            job.machine = machine
+            if job.fault is not None:
+                machine.install_heap(
+                    FaultInjectingHeap(self.config.heap_words, job.fault)
+                )
+                self.stats["faults_armed"] += 1
+            self._begin_attempt(job, now)
+            self._running.append(job)
+
+    def _compiled(self, source: str):
+        """Content-keyed compile cache (bounded, FIFO eviction)."""
+        program = self._compile_cache.get(source)
+        if program is None:
+            from ..api import CompileOptions, compile_source
+
+            self.stats["compiles"] += 1
+            program = compile_source(source, CompileOptions()).vm_program
+            if len(self._compile_cache) >= 64:
+                self._compile_cache.pop(next(iter(self._compile_cache)))
+            self._compile_cache[source] = program
+        else:
+            self.stats["compile_hits"] += 1
+        return program
+
+    def _begin_attempt(self, job: _Job, now: float) -> None:
+        machine = job.machine
+        job.attempts += 1
+        if job.attempts > 1:
+            # retry: fresh run of the same program on the same machine
+            # and heap — exactly the recovery the fault sweeps verify
+            machine.reset(budget=Budget())
+        job.steps_done = 0
+        job.alloc_start = machine.heap.words_allocated
+        job.alloc_cursor = job.alloc_start
+        self.events.emit(
+            "attempt", job=job.job_id, tenant=job.tenant,
+            attempt=job.attempts, engine=machine.engine_name,
+        )
+
+    # ------------------------------------------------------------------
+    # one slice
+    # ------------------------------------------------------------------
+
+    def _slice(self, job: _Job, now: float) -> None:
+        state = self.ledger.state(job.tenant)
+        if job.deadline_at is not None and now >= job.deadline_at:
+            self._finish_failed(
+                job, "deadline",
+                f"job deadline expired after {job.slices} slices "
+                f"({job.steps_done} steps)",
+            )
+            return
+        job_fuel = (
+            _INF if job.budget.max_steps is None
+            else job.budget.max_steps - job.steps_done
+        )
+        bound = min(self.config.slice_steps, job_fuel,
+                    max(state.fuel_remaining(), 0))
+        if bound < 1:
+            kind = "steps" if job_fuel < 1 else "tenant-fuel"
+            self._finish_failed(
+                job, kind,
+                f"fuel exhausted after {job.steps_done} steps"
+                + ("" if kind == "steps" else f" (tenant {job.tenant!r})"),
+            )
+            return
+        machine = job.machine
+        machine.max_alloc_words = self._alloc_limit(job, state)
+        job.slices += 1
+        self.stats["slices"] += 1
+        try:
+            result = machine.run_slice(int(bound))
+        except BudgetExceeded as error:
+            self._charge(job, state)
+            trap = error.trap.to_json() if error.trap else None
+            kind = error.budget
+            if kind == "alloc" and state.alloc_remaining() <= 0:
+                kind = "tenant-alloc"
+            self._finish_failed(job, kind, str(error), trap=trap)
+        except ReproError as error:
+            self._charge(job, state)
+            self._check_conservation(job)
+            trap = error.trap.to_json() if error.trap else None
+            if self._should_retry(job, error):
+                self._schedule_retry(job, trap)
+            else:
+                kind = error.trap.kind if error.trap else "vm"
+                self._finish_failed(job, kind, str(error), trap=trap)
+        except Exception as error:  # noqa: BLE001 — an engine bug must
+            # fail the one job, never the service
+            self.stats["internal_errors"] += 1
+            self._finish_failed(
+                job, "internal", f"{type(error).__name__}: {error}"
+            )
+        else:
+            self._charge(job, state)
+            if result is None:  # suspended at the slice boundary
+                self.events.emit("slice", job=job.job_id, tenant=job.tenant,
+                                 slices=job.slices, steps=job.steps_done)
+                if self._draining:
+                    self._release_machine(job)
+                    self._finish_rejected(
+                        job, "drained",
+                        f"drained after {job.slices} slices "
+                        f"({job.steps_done} steps); resubmit to rerun",
+                    )
+                else:
+                    self._running.append(job)
+            else:
+                self._finish_ok(job, result)
+
+    def _alloc_limit(self, job: _Job, state: TenantState) -> int | None:
+        """The machine-level allocation cap for the next slice: the
+        tighter of the per-job cap and the tenant's remaining quota,
+        rebased onto the heap's cumulative words_allocated counter."""
+        heap_now = job.machine.heap.words_allocated
+        limit = _INF
+        if job.budget.max_alloc_words is not None:
+            limit = job.alloc_start + job.budget.max_alloc_words
+        tenant_remaining = state.alloc_remaining()
+        if tenant_remaining != _INF:
+            limit = min(limit, heap_now + max(tenant_remaining, 0))
+        return None if limit == _INF else int(limit)
+
+    def _charge(self, job: _Job, state: TenantState) -> None:
+        """Charge the tenant's ledgers for the slice just executed."""
+        machine = job.machine
+        step_delta = machine.steps - job.steps_done
+        job.steps_done = machine.steps
+        state.fuel_used += step_delta
+        self.stats["steps"] += step_delta
+        heap_now = machine.heap.words_allocated
+        alloc_delta = heap_now - job.alloc_cursor
+        job.alloc_cursor = heap_now
+        state.alloc_used += alloc_delta
+
+    def _should_retry(self, job: _Job, error: ReproError) -> bool:
+        return (
+            job.fault is not None
+            and isinstance(error, HeapExhausted)
+            and job.attempts < self.config.retry.max_attempts
+        )
+
+    def _schedule_retry(self, job: _Job, trap: dict | None) -> None:
+        backoff = self.config.retry.backoff(job.attempts)
+        job.not_before = self._now() + backoff
+        state = self.ledger.state(job.tenant)
+        state.counters["retries"] += 1
+        self.stats["retries"] += 1
+        self.events.emit(
+            "retry", job=job.job_id, tenant=job.tenant,
+            attempt=job.attempts, backoff_seconds=round(backoff, 6),
+            trap=trap,
+        )
+        # The machine (with its already-fired fault schedule) stays with
+        # the job through the backoff, so the retry is a clean re-run on
+        # the same heap.
+        self._waiting.append(job)
+
+    def _check_conservation(self, job: _Job) -> None:
+        try:
+            job.machine.heap.check_conservation()
+        except ReproError as error:
+            self.conservation_violations.append(
+                f"job {job.job_id} [{job.tenant}]: {error}"
+            )
+            self.events.emit("conservation-violation", job=job.job_id,
+                             error=str(error))
+
+    # ------------------------------------------------------------------
+    # terminal outcomes — every path funnels through _finish()
+    # ------------------------------------------------------------------
+
+    def _finish_ok(self, job: _Job, result) -> None:
+        machine = job.machine
+        try:
+            from ..api import decode_word
+            from ..sexpr import to_write
+
+            value = to_write(decode_word(machine, result.value))
+        except Exception:  # noqa: BLE001 — printing must not kill the job
+            value = f"#<word {result.value:#x}>"
+        response = JobCompleted(
+            job_id=job.job_id, tenant=job.tenant, attempts=job.attempts,
+            value=value, output=result.output, steps=result.steps,
+            words_allocated=machine.heap.words_allocated - job.alloc_start,
+            slices=job.slices, engine=result.engine,
+        )
+        self._finish(job, response, trapped=False)
+
+    def _finish_failed(
+        self, job: _Job, kind: str, message: str, trap: dict | None = None
+    ) -> None:
+        response = JobFailed(
+            job_id=job.job_id, tenant=job.tenant, kind=kind, message=message,
+            trap=trap, attempts=job.attempts, steps=job.steps_done,
+        )
+        self._finish(job, response, trapped=True)
+
+    def _finish_rejected(self, job: _Job, kind: str, message: str) -> None:
+        response = JobRejected(
+            job_id=job.job_id, tenant=job.tenant, kind=kind, message=message,
+            requeueable=True, attempts=job.attempts,
+        )
+        self._finish(job, response, trapped=False)
+
+    def _finish(self, job: _Job, response: ServiceResponse, trapped: bool) -> None:
+        response.elapsed_seconds = max(self._now() - job.submitted_at, 0.0)
+        if job.future.done():  # must be impossible; gated by the smoke run
+            self.stats["duplicate_responses"] += 1
+            return
+        job.future.set_result(response)
+        state = self.ledger.state(job.tenant)
+        state.in_flight -= 1
+        state.counters[response.status] += 1
+        self.stats[response.status] += 1
+        if trapped:
+            state.counters["trapped"] += 1
+            if state.breaker.on_trap(self._now()):
+                self.events.emit("breaker-open", tenant=job.tenant,
+                                 consecutive=state.breaker.consecutive_traps)
+        elif response.ok:
+            if state.breaker.state != "closed":
+                self.events.emit("breaker-close", tenant=job.tenant)
+            state.breaker.on_success()
+        self._release_machine(job)
+        self.events.emit(
+            response.status, job=job.job_id, tenant=job.tenant,
+            reason=response.kind, attempts=job.attempts,
+            elapsed_ms=round(response.elapsed_seconds * 1000, 3),
+        )
+
+    def _release_machine(self, job: _Job) -> None:
+        if job.machine is not None:
+            self.pool.release(job.machine, fresh_heap=job.fault is not None)
+            job.machine = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One JSON-ready view of the service's state (the CLI's
+        status output and the smoke harness's report both use it)."""
+        return {
+            "draining": self._draining,
+            "queued": len(self._queue),
+            "running": len(self._running),
+            "waiting": len(self._waiting),
+            "pool": self.pool.stats(),
+            "stats": dict(self.stats),
+            "tenants": [state.to_json() for state in self.ledger.tenants()],
+            "conservation_violations": list(self.conservation_violations),
+            "events": self.events.counts(),
+        }
+
+
+class ServiceClient:
+    """In-process client: submit jobs and await typed responses.
+
+    The test/benchmark entry point — same admission control and
+    responses as the TCP front end, without the sockets.
+    """
+
+    def __init__(self, service: ExecutionService):
+        self.service = service
+
+    def submit(self, source: str, **kwargs) -> asyncio.Future:
+        return self.service.submit(source, **kwargs)
+
+    async def run(self, source: str, **kwargs) -> ServiceResponse:
+        return await self.service.submit(source, **kwargs)
+
+    async def run_many(self, requests) -> list[ServiceResponse]:
+        """Submit ``(source, kwargs)`` pairs together, await all."""
+        futures = [self.service.submit(source, **kwargs)
+                   for source, kwargs in requests]
+        return list(await asyncio.gather(*futures))

@@ -1,0 +1,248 @@
+"""Load and chaos harness for the execution service.
+
+Drives one service with a mixed population — well-behaved tenants, a
+fault-injected chaos cohort (deterministic
+:class:`~repro.vm.faultinject.FaultSchedule`\\ s, seeded), and
+optionally a hostile tenant whose jobs always trap — then audits the
+outcome against the service contract:
+
+* **no lost jobs** — every submitted job's future resolved;
+* **no duplicated results** — one response per job id, and the
+  service's own double-finalize counter is zero;
+* **no wrong answers** — every completed job returned its workload's
+  reference value;
+* **no heap-conservation violations** — checked at every trap and over
+  the drained pool;
+* **chaos convergence** — every fault-injected job completed after
+  bounded retries.
+
+Used by ``repro serve --smoke`` (CI's serve-smoke job), the
+``serve_smoke`` pytest tier, and ``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from time import perf_counter
+
+from ..vm.faultinject import FaultSchedule
+from .config import ServeConfig, TenantQuota
+from .service import ExecutionService, ServiceClient
+
+#: (label, source, printed reference value) — small, allocation-diverse
+WORKLOADS = [
+    (
+        "sum",
+        "(let loop ((i 0) (acc 0)) (if (= i 150) acc (loop (+ i 1) (+ acc i))))",
+        "11175",
+    ),
+    (
+        "conses",
+        "(let loop ((i 0) (acc '())) "
+        "(if (= i 60) (length acc) (loop (+ i 1) (cons i acc))))",
+        "60",
+    ),
+    (
+        "fib",
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) "
+        "(fib 12)",
+        "144",
+    ),
+    (
+        "vec",
+        "(let ((v (make-vector 40 7))) "
+        "(let loop ((i 0) (acc 0)) "
+        "(if (= i 40) acc (loop (+ i 1) (+ acc (vector-ref v i))))))",
+        "280",
+    ),
+]
+
+#: the chaos cohort runs the allocating workload so injected allocation
+#: failures always have a site to land on
+CHAOS_WORKLOAD = WORKLOADS[1]
+
+#: always traps in safe mode (car of a fixnum)
+HOSTILE_SOURCE = "(car 0)"
+
+
+def default_config(jobs: int) -> ServeConfig:
+    return ServeConfig(
+        pool_size=8,
+        heap_words=1 << 16,
+        slice_steps=500,
+        queue_limit=jobs + 64,
+        quota=TenantQuota(max_in_flight=jobs + 1),
+    )
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(fraction * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def run_smoke(
+    jobs: int = 200,
+    tenants: int = 20,
+    chaos: bool = True,
+    hostile: bool = True,
+    seed: int = 0,
+    config: ServeConfig | None = None,
+    timeout_seconds: float = 300.0,
+    warmup: bool = False,
+    include_events: bool = False,
+) -> dict:
+    """Run the load synchronously; returns the audit report."""
+    return asyncio.run(
+        smoke_async(jobs, tenants, chaos, hostile, seed, config,
+                    timeout_seconds, warmup, include_events)
+    )
+
+
+async def smoke_async(
+    jobs: int = 200,
+    tenants: int = 20,
+    chaos: bool = True,
+    hostile: bool = True,
+    seed: int = 0,
+    config: ServeConfig | None = None,
+    timeout_seconds: float = 300.0,
+    warmup: bool = False,
+    include_events: bool = False,
+) -> dict:
+    config = config or default_config(jobs)
+    rng = random.Random(seed)
+    service = ExecutionService(config)
+    client = ServiceClient(service)
+    await service.start()
+    if warmup:
+        # Populate the service's compile cache before the clock starts,
+        # so the timed phase measures scheduling rather than the one-off
+        # whole-program compile of each distinct source.
+        await asyncio.gather(
+            *(client.submit(source, tenant="warmup")
+              for _label, source, _want in WORKLOADS)
+        )
+    started = perf_counter()
+
+    # -- submit the population -----------------------------------------
+    plans = []  # (future, expected_value, is_chaos)
+    for i in range(jobs):
+        tenant = f"t{i % max(tenants, 1)}"
+        if chaos and i % 5 == 2:
+            _, source, want = CHAOS_WORKLOAD
+            fault = FaultSchedule(fail_at=rng.randint(1, 40))
+        else:
+            _, source, want = WORKLOADS[i % len(WORKLOADS)]
+            fault = None
+        plans.append((client.submit(source, tenant=tenant, fault=fault),
+                      want, fault is not None))
+    hostile_futures = []
+    if hostile:
+        for _ in range(3 * config.breaker.threshold):
+            hostile_futures.append(
+                client.submit(HOSTILE_SOURCE, tenant="hostile")
+            )
+
+    # -- await everything (lost jobs == futures that never resolve) ----
+    futures = [plan[0] for plan in plans] + hostile_futures
+    done, pending = await asyncio.wait(futures, timeout=timeout_seconds)
+    lost = len(pending)
+    elapsed = perf_counter() - started
+    await service.drain()
+
+    # -- audit ----------------------------------------------------------
+    responses = [f.result() for f, _, _ in plans if f.done()]
+    job_ids = [r.job_id for r in responses]
+    duplicated = (len(job_ids) - len(set(job_ids))
+                  + service.stats.get("duplicate_responses", 0))
+    wrong_values = 0
+    completed = failed = rejected = 0
+    chaos_total = chaos_completed = chaos_retried = 0
+    latencies = []
+    for future, want, is_chaos in plans:
+        if not future.done():
+            continue
+        response = future.result()
+        latencies.append(response.elapsed_seconds)
+        if is_chaos:
+            chaos_total += 1
+        if response.status == "ok":
+            completed += 1
+            if response.value != want:
+                wrong_values += 1
+            if is_chaos:
+                chaos_completed += 1
+                if response.attempts > 1:
+                    chaos_retried += 1
+        elif response.status == "failed":
+            failed += 1
+        else:
+            rejected += 1
+    hostile_failed = hostile_rejected = 0
+    for future in hostile_futures:
+        if not future.done():
+            continue
+        response = future.result()
+        if response.status == "failed":
+            hostile_failed += 1
+        elif response.status == "rejected":
+            hostile_rejected += 1
+
+    conservation = list(service.conservation_violations)
+    conservation.extend(service.pool.check_conservation())
+    latencies.sort()
+    events = service.events.counts()
+
+    report = {
+        "jobs": jobs,
+        "tenants": tenants,
+        "hostile_jobs": len(hostile_futures),
+        "completed": completed,
+        "failed": failed,
+        "rejected": rejected,
+        "lost": lost,
+        "duplicated": duplicated,
+        "wrong_values": wrong_values,
+        "conservation_violations": len(conservation),
+        "conservation_detail": conservation,
+        "chaos": {
+            "jobs": chaos_total,
+            "completed": chaos_completed,
+            "incomplete": chaos_total - chaos_completed,
+            "retried": chaos_retried,
+            "faults_armed": service.stats.get("faults_armed", 0),
+            "retries": service.stats.get("retries", 0),
+        },
+        "hostile": {
+            "failed": hostile_failed,
+            "rejected": hostile_rejected,
+            "breaker_opened": events.get("breaker-open", 0),
+        },
+        "elapsed_seconds": round(elapsed, 4),
+        "req_per_sec": round((jobs + len(hostile_futures)) / elapsed, 2),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "steps_executed": service.stats.get("steps", 0),
+        "slices": service.stats.get("slices", 0),
+        "compiles": service.stats.get("compiles", 0),
+        "pool": service.pool.stats(),
+    }
+    if include_events:
+        report["events"] = service.events.events()
+    report["ok"] = smoke_ok(report)
+    return report
+
+
+def smoke_ok(report: dict) -> bool:
+    """The serve-smoke gate: the invariants, not the throughput."""
+    return (
+        report["lost"] == 0
+        and report["duplicated"] == 0
+        and report["wrong_values"] == 0
+        and report["conservation_violations"] == 0
+        and report["chaos"]["incomplete"] == 0
+        and report["completed"] > 0
+    )

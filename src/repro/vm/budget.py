@@ -33,7 +33,7 @@ snapshots a :class:`TrapInfo`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 #: steps between deadline / allocation-budget checks (power of two so
 #: the checkpoint arithmetic stays cheap); exactness is only promised
@@ -83,6 +83,23 @@ class TrapInfo:
     resumable: bool
     gc_count: int
     words_allocated: int
+    #: wall-clock seconds left on the armed deadline at the fault (negative
+    #: when the deadline itself tripped), or None when no deadline was set
+    deadline_remaining_seconds: float | None = None
+
+    def to_json(self) -> dict:
+        """Stable machine-readable payload for one fault.
+
+        Consumed by ``repro faultsweep --json`` and the execution
+        service's event log (docs/SERVING.md); every field is a JSON
+        scalar, keyed by the dataclass field names above.
+        """
+        payload = asdict(self)
+        if payload["deadline_remaining_seconds"] is not None:
+            payload["deadline_remaining_seconds"] = round(
+                payload["deadline_remaining_seconds"], 6
+            )
+        return payload
 
 
 def trap_kind(error: BaseException) -> str:

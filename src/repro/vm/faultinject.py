@@ -113,8 +113,14 @@ class FaultOutcome:
     #: "completed" (GC-retry or fault never reached) or "trapped"
     status: str
     trap_kind: str | None = None
+    #: machine-readable fault snapshot (:meth:`TrapInfo.to_json`)
+    trap: dict | None = None
     #: problems found; empty means the outcome honours the contract
     violations: list[str] = field(default_factory=list)
+    #: an exception class outside the structured-trap contract escaped
+    #: the run (always also recorded as a violation — a new crash mode
+    #: must never pass silently)
+    unexpected: bool = False
 
 
 @dataclass
@@ -147,6 +153,7 @@ class SweepReport:
             "completed": completed,
             "trapped": trapped,
             "violations": len(self.violations),
+            "unexpected": sum(1 for o in self.outcomes if o.unexpected),
         }
 
 
@@ -170,10 +177,26 @@ def _check_trap(machine: Machine, error: ReproError, out: FaultOutcome) -> None:
     """A structured trap must carry its snapshot and leave a sound heap."""
     if error.trap is None or machine.last_trap is not error.trap:
         out.violations.append("trap carried no TrapInfo snapshot")
+    else:
+        out.trap = error.trap.to_json()
     try:
         machine.heap.check_conservation()
     except ReproError as conservation_error:
         out.violations.append(str(conservation_error))
+
+
+def _record_unexpected(out: FaultOutcome, error: BaseException) -> None:
+    """An exception class outside the contract escaped a swept run.
+
+    Recorded as a violation (so sweeps — and the CI fault-sweep job —
+    exit nonzero) rather than propagated, so one new crash mode cannot
+    abort the rest of the sweep.
+    """
+    out.status = "trapped"
+    out.unexpected = True
+    out.violations.append(
+        f"unexpected exception class {type(error).__name__}: {error}"
+    )
 
 
 def _run_reference(vm_program, heap_words: int, engine: str):
@@ -231,9 +254,12 @@ def sweep_program(
         except ReproError as error:
             out.status = "trapped"
             out.trap_kind = error.trap.kind if error.trap else None
+            out.trap = error.trap.to_json() if error.trap else None
             out.violations.append(
                 f"gc-every-{every} run trapped unexpectedly: {error}"
             )
+        except Exception as error:
+            _record_unexpected(out, error)
         else:
             check_result(machine, result, out)
             if result.steps != reference.steps:
@@ -270,10 +296,14 @@ def sweep_program(
                 out.violations.append(
                     f"re-run after trap failed: {retry_error}"
                 )
+            except Exception as retry_error:
+                _record_unexpected(out, retry_error)
             else:
                 check_result(machine, retry, out)
         except ReproError as error:
             out.violations.append(f"non-heap trap for injected failure: {error}")
+        except Exception as error:
+            _record_unexpected(out, error)
         else:
             # the schedule never fired (k past the last allocation)
             out.status = "completed"
@@ -301,6 +331,8 @@ def sweep_program(
                     result = machine.resume()
                 except ReproError as resume_error:
                     out.violations.append(f"resume failed: {resume_error}")
+                except Exception as resume_error:
+                    _record_unexpected(out, resume_error)
                 else:
                     check_result(machine, result, out)
                     if result.steps != reference.steps:
@@ -310,6 +342,8 @@ def sweep_program(
                         )
         except ReproError as error:
             out.violations.append(f"unexpected trap: {error}")
+        except Exception as error:
+            _record_unexpected(out, error)
         else:
             out.status = "completed"
             out.violations.append(

@@ -389,6 +389,9 @@ class Machine:
         if sync is not None:
             sync()
         resumable = self._suspension is not None
+        deadline_remaining = None
+        if self._deadline_at is not None:
+            deadline_remaining = self._deadline_at - perf_counter()
         info = TrapInfo(
             error=type(error).__name__,
             message=str(error),
@@ -402,6 +405,7 @@ class Machine:
             resumable=resumable,
             gc_count=self.heap.gc_count,
             words_allocated=self.heap.words_allocated,
+            deadline_remaining_seconds=deadline_remaining,
         )
         self.last_trap = info
         if isinstance(error, ReproError):
@@ -429,14 +433,67 @@ class Machine:
         self._injected_deadline_step = None
         self.last_trap = None
 
+    def reset(
+        self, budget: Budget | None = None, input_text: str | None = None
+    ) -> None:
+        """Re-arm the machine for a fresh run of its program, in one call.
+
+        The pool entry point (docs/SERVING.md): clears every piece of
+        per-run state — counters, frames, globals, output, the pending
+        budget suspension including any charged fused-pair half, and
+        ``last_trap`` — and re-arms the budgets, so the next :meth:`run`
+        behaves exactly like the first run on a new machine with the
+        same heap.  ``budget`` replaces all three limits when given
+        (otherwise the configured limits are kept and their clocks
+        restart on the next run); ``input_text`` replaces the program's
+        input stream when given.
+        """
+        self._reset_run_state()
+        self._run_consumed = False
+        if budget is not None:
+            self.max_steps = budget.max_steps
+            self.deadline_seconds = budget.deadline_seconds
+            self.max_alloc_words = budget.max_alloc_words
+        if input_text is not None:
+            self.input_codes = [ord(ch) for ch in input_text]
+        self._deadline_at = None
+        self._recompute_step_limit()
+
+    def run_slice(self, max_steps: int) -> RunResult | None:
+        """Run at most ``max_steps`` more counted instructions.
+
+        The cooperative-preemption primitive the execution service
+        schedules tenants with (docs/SERVING.md): the first call starts
+        the run under a step budget, later calls resume the suspended
+        run under a cumulative budget ``steps + max_steps``.  Returns
+        the final :class:`RunResult` when the program completes within
+        the slice, or ``None`` when the slice budget tripped and the
+        machine is suspended (``last_trap`` holds the resumable
+        snapshot).  Non-step faults — deadline/allocation budgets, heap
+        exhaustion, Scheme traps — propagate to the caller unchanged.
+        """
+        if max_steps < 1:
+            raise VMError(f"run_slice needs a positive budget (got {max_steps})")
+        try:
+            if self._suspension is not None:
+                return self.resume(max_steps=self.steps + max_steps)
+            self.max_steps = max_steps
+            return self.run()
+        except StepBudgetExceeded:
+            return None
+
     def load(self, program: isa.VMProgram, input_text: str = "") -> None:
         """Bind a different program to this machine, keeping the heap.
 
         The previous program's code objects are retained (not just for
         the caller's convenience: the engines cache handler tables by
         ``id(code)``, so retiring them keeps recycled ids impossible).
+        Retention is by identity and deduplicated, so a pooled machine
+        cycling through a bounded set of cached programs (the execution
+        service) retires each at most once.
         """
-        self._retired_programs.append(self.program)
+        if not any(retired is self.program for retired in self._retired_programs):
+            self._retired_programs.append(self.program)
         self.program = program
         self.codes = program.code_objects
         self.input_codes = [ord(ch) for ch in input_text]
@@ -496,9 +553,12 @@ class Machine:
         returning hands the engine the recomputed limit.
         """
         steps = self.steps
-        if self.max_steps is not None and steps > self.max_steps:
-            self._overrun_rollback = op
-            raise StepBudgetExceeded(steps, self.max_steps)
+        # Deadline/allocation checks run before the step-budget check so
+        # a step-budget trip doubles as a checkpoint for them.  Without
+        # this, a run sliced by ``max_steps`` smaller than
+        # BUDGET_CHECK_INTERVAL (the execution service's preemption
+        # quantum) would never reach a cadence checkpoint and the other
+        # budgets would silently not bind.
         if (
             self._injected_deadline_step is not None
             and steps > self._injected_deadline_step
@@ -523,6 +583,9 @@ class Machine:
                 raise AllocBudgetExceeded(
                     self.heap.words_allocated, self.max_alloc_words
                 )
+        if self.max_steps is not None and steps > self.max_steps:
+            self._overrun_rollback = op
+            raise StepBudgetExceeded(steps, self.max_steps)
         return self._recompute_step_limit()
 
     def _count_step(self, op: int) -> None:

@@ -206,6 +206,95 @@ def test_alloc_budget_trips_and_resumes():
 
 
 # ----------------------------------------------------------------------
+# reset(): one-call re-arm for machine reuse (the pool entry point)
+# ----------------------------------------------------------------------
+
+
+def test_reset_rearms_budgets_and_clears_trap_state():
+    clean = _compile(LOOP).run()
+    compiled = _compile(LOOP)
+    for engine in ENGINES:
+        machine = Machine(compiled.vm_program, max_steps=1000, engine=engine)
+        with pytest.raises(StepBudgetExceeded):
+            machine.run()
+        assert machine.last_trap is not None
+        # one call: budgets lifted, trap + suspension state cleared
+        machine.reset(budget=Budget())
+        assert machine.last_trap is None
+        result = machine.run()
+        assert result.value == clean.value, engine
+        assert result.steps == clean.steps, engine
+        # and re-arm with a new budget: it trips again, exactly
+        machine.reset(budget=Budget(max_steps=500))
+        with pytest.raises(StepBudgetExceeded):
+            machine.run()
+        assert machine.steps == 501, engine
+
+
+def test_reset_replaces_input_text():
+    compiled = _compile("(read-char)")
+    machine = Machine(compiled.vm_program, input_text="a")
+    first = decode(machine.run())
+    machine.reset(input_text="z")
+    second = decode(machine.run())
+    assert (str(first), str(second)) == (r"#\a", r"#\z")
+
+
+def test_run_slice_chain_matches_uninterrupted_run():
+    clean = _compile(LOOP).run()
+    compiled = _compile(LOOP)
+    for engine in ENGINES:
+        machine = Machine(compiled.vm_program, engine=engine)
+        chunks = 0
+        result = machine.run_slice(700)
+        while result is None:
+            chunks += 1
+            result = machine.run_slice(700)
+        assert chunks > 1, engine
+        assert result.value == clean.value, engine
+        assert result.steps == clean.steps, engine
+        assert result.opcode_counts == clean.opcode_counts, engine
+
+
+def test_run_slice_rejects_nonpositive_budget():
+    machine = Machine(_compile(LOOP).vm_program)
+    with pytest.raises(VMError, match="positive budget"):
+        machine.run_slice(0)
+
+
+# ----------------------------------------------------------------------
+# TrapInfo.to_json: the stable machine-readable fault payload
+# ----------------------------------------------------------------------
+
+
+def test_trap_info_to_json_payload():
+    import json
+
+    for label, machine in _machines(LOOP, max_steps=1000):
+        with pytest.raises(StepBudgetExceeded):
+            machine.run()
+        payload = machine.last_trap.to_json()
+        assert payload["kind"] == "steps"
+        assert payload["steps"] == 1001
+        assert payload["resumable"] is True
+        assert payload["words_allocated"] >= 0
+        assert payload["deadline_remaining_seconds"] is None
+        assert payload["engine"]
+        json.dumps(payload)  # every field is a JSON scalar
+
+
+def test_trap_info_reports_deadline_remaining():
+    for label, machine in _machines(LOOP, deadline_seconds=0.0):
+        with pytest.raises(DeadlineExceeded):
+            machine.run()
+        payload = machine.last_trap.to_json()
+        assert payload["kind"] == "deadline"
+        # the deadline itself tripped: no time was left on the clock
+        assert payload["deadline_remaining_seconds"] is not None
+        assert payload["deadline_remaining_seconds"] <= 0.0, label
+
+
+# ----------------------------------------------------------------------
 # the Budget record and API plumbing
 # ----------------------------------------------------------------------
 

@@ -123,6 +123,53 @@ def test_faultsweep_clean_program(tmp_path, capsys):
     assert "VIOLATION" not in captured.err
 
 
+def test_faultsweep_exits_nonzero_on_unexpected_exception(
+    tmp_path, capsys, monkeypatch
+):
+    # A sweep whose runs raise outside the structured-trap contract must
+    # fail the CLI even with zero classic violations recorded.
+    from repro.vm import faultinject
+
+    report = faultinject.SweepReport(label="prog.scm")
+    outcome = faultinject.FaultOutcome(
+        schedule="fail-at-1", engine="naive", status="trapped"
+    )
+    faultinject._record_unexpected(outcome, RuntimeError("engine bug"))
+    report.outcomes.append(outcome)
+    monkeypatch.setattr(
+        faultinject, "sweep_source", lambda *args, **kwargs: report
+    )
+    path = tmp_path / "prog.scm"
+    path.write_text("(+ 1 2)")
+    code = main(["faultsweep", str(path), "--engine", "naive"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "1 unexpected exceptions" in captured.out
+    assert "unexpected exception class RuntimeError" in captured.err
+
+
+def test_serve_smoke_cli(tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    code = main(
+        [
+            "serve", "--smoke", "2", "--tenants", "2", "--no-chaos",
+            "--no-hostile", "--pool", "2", "--json",
+            "--events", str(events),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    import json
+
+    report = json.loads(captured.out)
+    assert report["ok"] is True
+    assert report["completed"] == 2
+    assert report["lost"] == 0 and report["duplicated"] == 0
+    assert events.exists()
+    first = json.loads(events.read_text().splitlines()[0])
+    assert first["kind"] == "start"
+
+
 def test_missing_source_is_rejected():
     with pytest.raises(SystemExit):
         main(["run"])

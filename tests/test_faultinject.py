@@ -147,6 +147,34 @@ def test_sweep_report_flags_violations():
     assert report.counts()["violations"] == 1
 
 
+def test_unexpected_exception_class_is_a_violation(monkeypatch):
+    # An exception outside the structured-trap contract escaping a swept
+    # run must be recorded (status trapped, unexpected, a violation) —
+    # never propagated, never silently passed.  Break resume(), which
+    # the deadline sweep relies on.
+    def boom(self, **kwargs):
+        raise RuntimeError("engine bug")
+
+    monkeypatch.setattr(Machine, "resume", boom)
+    report = sweep_program(
+        _vm_program(ALLOCATING),
+        label="alloc-loop",
+        engine="naive",
+        max_sites=2,
+        gc_every=(),
+        deadline_points=1,
+    )
+    counts = report.counts()
+    assert counts["unexpected"] >= 1
+    assert not report.ok
+    assert any(
+        "unexpected exception class RuntimeError" in violation
+        for violation in report.violations
+    )
+    # the sweep itself survived to sweep the other schedules
+    assert counts["runs"] > counts["unexpected"]
+
+
 # ----------------------------------------------------------------------
 # exhaustive corpus sweeps (the CI fault-sweep job)
 # ----------------------------------------------------------------------

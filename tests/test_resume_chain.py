@@ -1,0 +1,93 @@
+"""Property test: chained preemption is invisible to the program.
+
+The execution service's scheduling primitive is ``run_slice`` — run a
+few hundred instructions, suspend exactly at an instruction boundary,
+resume later.  The property that makes the whole service correct is
+that *any* chain of slice sizes reproduces the uninterrupted run
+exactly: same value, same cumulative step count, same per-opcode
+counts, on both dispatch engines.  Hypothesis drives random chains
+(including size-1 slices, which land on every phase of fused pairs).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import CompileOptions, compile_source  # noqa: E402
+from repro.vm.budget import Budget  # noqa: E402
+from repro.vm.machine import Machine  # noqa: E402
+
+ENGINES = ["naive", "threaded"]
+
+# enough iterations that chains of a dozen slices stay mid-run, small
+# enough that finishing the tail costs little
+SOURCE = "(let loop ((i 0) (acc 1)) (if (= i 400) acc (loop (+ i 1) (* acc 3))))"
+
+_COMPILED = None
+_CLEAN = {}
+
+
+def _program():
+    global _COMPILED
+    if _COMPILED is None:
+        _COMPILED = compile_source(SOURCE, CompileOptions(safety=True))
+    return _COMPILED.vm_program
+
+
+def _clean(engine):
+    if engine not in _CLEAN:
+        machine = Machine(_program(), engine=engine, heap_words=1 << 16)
+        _CLEAN[engine] = machine.run()
+    return _CLEAN[engine]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=3000),
+                   min_size=1, max_size=12),
+    engine=st.sampled_from(ENGINES),
+)
+def test_sliced_run_reproduces_uninterrupted_run(sizes, engine):
+    clean = _clean(engine)
+    machine = Machine(_program(), engine=engine, heap_words=1 << 16)
+    result = None
+    executed = chunks = 0
+    for size in sizes:
+        result = machine.run_slice(size)
+        if result is not None:
+            break
+        # exact suspension: each chunk executes precisely its size, plus
+        # one charged-but-unexecuted step (rolled back on resume)
+        executed += size
+        chunks += 1
+        assert machine.steps == executed + chunks, (sizes, engine)
+    while result is None:  # finish with a generous tail slice
+        result = machine.run_slice(50_000)
+    assert result.value == clean.value, (sizes, engine)
+    assert result.steps == clean.steps, (sizes, engine)
+    assert result.opcode_counts == clean.opcode_counts, (sizes, engine)
+    assert result.output == clean.output, (sizes, engine)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=2000),
+                   min_size=1, max_size=6),
+    engine=st.sampled_from(ENGINES),
+)
+def test_reset_after_partial_slices_reruns_cleanly(sizes, engine):
+    clean = _clean(engine)
+    machine = Machine(_program(), engine=engine, heap_words=1 << 16)
+    for size in sizes:
+        if machine.run_slice(size) is not None:
+            break
+    # abandon the suspended run entirely; Budget() lifts the slice's
+    # step limit (reset without a budget re-arms the existing one)
+    machine.reset(budget=Budget())
+    assert machine.last_trap is None
+    result = machine.run()
+    assert result.value == clean.value, (sizes, engine)
+    assert result.steps == clean.steps, (sizes, engine)
+    assert result.opcode_counts == clean.opcode_counts, (sizes, engine)

@@ -1,0 +1,397 @@
+"""The multi-tenant execution service: scheduling, quotas, recovery.
+
+Everything here drives the real service on a real event loop via
+``asyncio.run`` — no scheduler mocks — but with small slices and small
+programs so tier-1 stays fast.  Compiled programs are shared across
+tests through one module-level compile cache (the service's own
+content-keyed cache, pre-seeded), since whole-program compilation
+dominates and is covered elsewhere.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    BreakerPolicy,
+    ExecutionService,
+    JobCompleted,
+    JobFailed,
+    JobRejected,
+    ServeConfig,
+    ServeServer,
+    ServiceClient,
+    ServiceOverloaded,
+    TenantQuota,
+)
+from repro.vm.faultinject import FaultSchedule
+
+GOOD = "(+ 1 2)"  # completes; value "3"
+#: long enough that budget/deadline/drain tests always kill it first
+LOOP = "(let loop ((i 0)) (if (= i 100000) i (loop (+ i 1))))"
+ALLOC = (
+    "(let loop ((i 0) (acc '())) "
+    "(if (= i 60) (length acc) (loop (+ i 1) (cons i acc))))"
+)  # allocates on every iteration; value "60"
+HOSTILE = "(car 0)"  # always traps in safe mode
+
+#: one compile of each source for the whole module; every service below
+#: gets this dict as its content-keyed compile cache
+_SHARED_CACHE: dict = {}
+
+
+def _config(**overrides) -> ServeConfig:
+    defaults = dict(
+        pool_size=2,
+        heap_words=1 << 16,
+        slice_steps=300,
+        queue_limit=64,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _service(config: ServeConfig | None = None) -> ExecutionService:
+    service = ExecutionService(config or _config())
+    service._compile_cache = _SHARED_CACHE
+    return service
+
+
+# ----------------------------------------------------------------------
+# basic completion and preemption
+# ----------------------------------------------------------------------
+
+
+def test_job_completes_with_typed_response():
+    async def main():
+        async with _service() as service:
+            client = ServiceClient(service)
+            response = await client.run(GOOD, tenant="alice")
+            assert isinstance(response, JobCompleted)
+            assert response.ok and response.status == "ok"
+            assert response.value == "3"
+            # the program is far longer than one slice: it was preempted
+            # and resumed, transparently
+            assert response.slices > 1
+            assert response.steps > 0
+            assert response.attempts == 1
+            assert response.engine
+            payload = response.to_json()
+            assert payload["status"] == "ok"
+            assert payload["value"] == "3"
+            json.dumps(payload)
+
+    asyncio.run(main())
+
+
+def test_concurrent_jobs_interleave_round_robin():
+    async def main():
+        async with _service() as service:
+            client = ServiceClient(service)
+            responses = await client.run_many(
+                [(GOOD, {"tenant": "a"}), (GOOD, {"tenant": "b"})]
+            )
+            assert all(r.ok and r.value == "3" for r in responses)
+            # both jobs took slices before either finished: the first
+            # two slice events belong to two different jobs
+            slice_jobs = [e["job"] for e in service.events.events("slice")]
+            assert len(set(slice_jobs[:2])) == 2, slice_jobs[:8]
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# per-job budgets and deadlines
+# ----------------------------------------------------------------------
+
+
+def test_per_job_fuel_cap():
+    async def main():
+        async with _service() as service:
+            client = ServiceClient(service)
+            response = await client.run(LOOP, tenant="t", max_steps=1000)
+            assert isinstance(response, JobFailed)
+            assert response.kind == "steps"
+            # exact across slices: the instruction that would exceed the
+            # cap is charged but not executed (steps == cap + 1)
+            assert response.steps == 1001
+            assert not response.requeueable
+
+    asyncio.run(main())
+
+
+def test_per_job_alloc_cap_carries_trap_payload():
+    async def main():
+        async with _service() as service:
+            client = ServiceClient(service)
+            response = await client.run(ALLOC, tenant="t",
+                                        max_alloc_words=100)
+            assert isinstance(response, JobFailed)
+            assert response.kind == "alloc"
+            assert response.trap is not None
+            assert response.trap["kind"] == "alloc"
+            assert response.trap["resumable"] is True
+            json.dumps(response.trap)
+
+    asyncio.run(main())
+
+
+def test_job_deadline_enforced_across_slices():
+    async def main():
+        async with _service() as service:
+            client = ServiceClient(service)
+            # expires mid-run, at a slice boundary
+            mid = await client.run(LOOP, tenant="t", deadline_seconds=0.02)
+            assert isinstance(mid, JobFailed) and mid.kind == "deadline"
+            assert mid.steps > 0
+            # already expired when its turn comes: killed in the queue
+            queued = await client.run(LOOP, tenant="t", deadline_seconds=0.0)
+            assert isinstance(queued, JobFailed) and queued.kind == "deadline"
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# admission control: quotas, overload shedding, tenant caps
+# ----------------------------------------------------------------------
+
+
+def test_in_flight_quota_rejects_at_admission():
+    config = _config(quota=TenantQuota(max_in_flight=1))
+
+    async def main():
+        async with _service(config) as service:
+            first = service.submit(GOOD, tenant="busy")
+            second = service.submit(GOOD, tenant="busy")
+            assert second.done()  # rejected synchronously
+            rejection = second.result()
+            assert isinstance(rejection, JobRejected)
+            assert rejection.kind == "quota"
+            # an unrelated tenant is unaffected
+            other = await service.submit(GOOD, tenant="other")
+            assert other.ok
+            assert (await first).ok
+
+    asyncio.run(main())
+
+
+def test_overload_is_shed_with_typed_response():
+    config = _config(pool_size=1, queue_limit=1)
+
+    async def main():
+        async with _service(config) as service:
+            first = service.submit(GOOD, tenant="t")
+            shed = service.submit(GOOD, tenant="t")
+            assert shed.done()
+            response = shed.result()
+            assert isinstance(response, ServiceOverloaded)
+            assert response.status == "rejected"
+            assert response.kind == "overloaded"
+            assert response.requeueable
+            assert response.queue_depth == 1
+            assert service.stats["shed"] == 1
+            assert (await first).ok
+
+    asyncio.run(main())
+
+
+def test_tenant_fuel_quota_binds_across_jobs():
+    config = _config(
+        tenant_quotas={"greedy": TenantQuota(max_in_flight=8, max_fuel=2000)}
+    )
+
+    async def main():
+        async with _service(config) as service:
+            client = ServiceClient(service)
+            burned = await client.run(LOOP, tenant="greedy")
+            assert isinstance(burned, JobFailed)
+            assert burned.kind == "tenant-fuel"
+            # the cap is cumulative: the next job is denied at admission
+            denied = await client.run(GOOD, tenant="greedy")
+            assert isinstance(denied, JobRejected)
+            assert denied.kind == "tenant-fuel"
+            # everyone else still runs
+            assert (await client.run(GOOD, tenant="frugal")).ok
+
+    asyncio.run(main())
+
+
+def test_tenant_alloc_quota_binds_across_jobs():
+    config = _config(
+        tenant_quotas={
+            "hoarder": TenantQuota(max_in_flight=8, max_alloc_words=1000)
+        }
+    )
+
+    async def main():
+        async with _service(config) as service:
+            client = ServiceClient(service)
+            burst = await client.run(ALLOC, tenant="hoarder")
+            assert isinstance(burst, JobFailed)
+            assert burst.kind == "tenant-alloc"
+            denied = await client.run(ALLOC, tenant="hoarder")
+            assert isinstance(denied, JobRejected)
+            assert denied.kind == "tenant-alloc"
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# circuit breaking
+# ----------------------------------------------------------------------
+
+
+def test_breaker_opens_cools_down_and_closes_on_probe():
+    config = _config(
+        breaker=BreakerPolicy(threshold=2, cooldown_seconds=0.05)
+    )
+
+    async def main():
+        async with _service(config) as service:
+            client = ServiceClient(service)
+            for _ in range(2):
+                response = await client.run(HOSTILE, tenant="evil")
+                assert response.status == "failed"
+            # open: admissions rejected, marked requeueable (resubmit
+            # after the cooldown is legitimate)
+            broken = await client.run(GOOD, tenant="evil")
+            assert isinstance(broken, JobRejected)
+            assert broken.kind == "breaker"
+            assert broken.requeueable
+            assert service.ledger.state("evil").breaker.state == "open"
+            await asyncio.sleep(0.06)
+            # half-open: the probe job is admitted; success closes
+            probe = await client.run(GOOD, tenant="evil")
+            assert probe.ok
+            assert service.ledger.state("evil").breaker.state == "closed"
+            counts = service.events.counts()
+            assert counts.get("breaker-open", 0) >= 1
+            assert counts.get("breaker-close", 0) >= 1
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# fault retry
+# ----------------------------------------------------------------------
+
+
+def test_fault_injected_job_retries_and_converges():
+    async def main():
+        async with _service() as service:
+            client = ServiceClient(service)
+            response = await client.run(
+                ALLOC, tenant="chaos", fault=FaultSchedule(fail_at=5)
+            )
+            # the injected failure fires exactly once; the retry re-runs
+            # the same program on the same machine and heap and succeeds
+            assert response.ok, response
+            assert response.value == "60"
+            assert response.attempts == 2
+            assert service.stats["retries"] == 1
+            assert service.stats["faults_armed"] == 1
+            assert not service.conservation_violations
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+
+
+def test_drain_finishes_slices_and_rejects_requeueable():
+    config = _config(pool_size=1, slice_steps=100)
+
+    async def main():
+        service = _service(config)
+        await service.start()
+        running = service.submit(LOOP, tenant="d1")
+        queued = service.submit(LOOP, tenant="d2")  # waits for the machine
+        # let the first job take a few slices
+        for _ in range(20):
+            await asyncio.sleep(0)
+        await service.drain()
+        in_flight = await running
+        assert in_flight.status == "rejected"
+        assert in_flight.kind == "drained"
+        assert in_flight.requeueable
+        waiting = await queued
+        assert waiting.status == "rejected"
+        assert waiting.kind == "draining"
+        assert waiting.requeueable
+        # post-drain submissions are turned away immediately
+        late = service.submit(GOOD, tenant="d3")
+        assert late.done()
+        assert late.result().kind == "draining"
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# compile errors, introspection, TCP front end
+# ----------------------------------------------------------------------
+
+
+def test_compile_error_fails_the_job_not_the_service():
+    async def main():
+        async with _service() as service:
+            client = ServiceClient(service)
+            broken = await client.run("(((", tenant="x")
+            assert isinstance(broken, JobFailed)
+            assert broken.kind == "compile"
+            assert broken.message
+            # the service is unharmed
+            assert (await client.run(GOOD, tenant="x")).ok
+
+    asyncio.run(main())
+
+
+def test_snapshot_is_json_ready():
+    async def main():
+        async with _service() as service:
+            client = ServiceClient(service)
+            await client.run(GOOD, tenant="snap")
+            snapshot = service.snapshot()
+            assert snapshot["stats"]["ok"] == 1
+            assert snapshot["queued"] == 0 and snapshot["running"] == 0
+            assert any(t["tenant"] == "snap" for t in snapshot["tenants"])
+            json.dumps(snapshot)
+
+    asyncio.run(main())
+
+
+def test_tcp_server_roundtrip():
+    async def main():
+        service = _service()
+        server = ServeServer(service, port=0)
+        await server.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                       server.port)
+
+        async def ask(line: bytes) -> dict:
+            writer.write(line + b"\n")
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        response = await ask(
+            json.dumps({"source": GOOD, "tenant": "net"}).encode()
+        )
+        assert response["status"] == "ok"
+        assert response["value"] == "3"
+        bad = await ask(b"this is not json")
+        assert bad["status"] == "error" and "JSON" in bad["message"]
+        missing = await ask(json.dumps({"tenant": "net"}).encode())
+        assert missing["status"] == "error"
+        # the connection survived both protocol errors
+        again = await ask(
+            json.dumps({"source": GOOD, "max_steps": 100}).encode()
+        )
+        assert again["status"] == "failed" and again["kind"] == "steps"
+        writer.close()
+        await writer.wait_closed()
+        await server.close()
+        await service.drain()
+
+    asyncio.run(main())

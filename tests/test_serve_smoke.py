@@ -1,0 +1,40 @@
+"""The full-population service smoke: CI's serve-smoke gate.
+
+200 concurrent jobs from 20 tenants — including a fault-injected chaos
+cohort and an always-trapping hostile tenant — through one service,
+audited against the contract: zero lost jobs, zero duplicated results,
+zero wrong answers, zero heap-conservation violations, every
+fault-injected job completed within bounded retries.
+
+Excluded from tier-1 (marker ``serve_smoke``); run with
+``pytest -m serve_smoke`` or ``repro serve --smoke 200``.
+"""
+
+import pytest
+
+from repro.serve import run_smoke
+
+pytestmark = pytest.mark.serve_smoke
+
+
+def test_serve_smoke_contract_under_chaos():
+    report = run_smoke(jobs=200, tenants=20, chaos=True, hostile=True,
+                       seed=0)
+    assert report["ok"], report
+    assert report["lost"] == 0
+    assert report["duplicated"] == 0
+    assert report["wrong_values"] == 0
+    assert report["conservation_violations"] == 0, (
+        report["conservation_detail"]
+    )
+    # every main job completed — traps never leak across tenants
+    assert report["completed"] == 200
+    # the chaos cohort is real and converged entirely through retries
+    assert report["chaos"]["jobs"] == 40
+    assert report["chaos"]["incomplete"] == 0
+    assert report["chaos"]["faults_armed"] >= 40
+    # the hostile tenant tripped its breaker without hurting anyone
+    assert report["hostile"]["failed"] + report["hostile"]["rejected"] == (
+        report["hostile_jobs"]
+    )
+    assert report["hostile"]["breaker_opened"] >= 1
