@@ -213,23 +213,33 @@ def compile_source(
     opt_prelude, prelude_defined = _optimized_prelude(
         options, prelude_forms, expander.global_names
     )
+    summary_sink: list = []
     if _assigned_globals(user_program.forms) & prelude_defined:
         # The user redefines or mutates prelude names: whole-program path.
         program = Program(
             prelude_forms + user_program.forms, expander.global_names
         )
-        program = optimize_program(program, options.optimizer)
+        program = optimize_program(
+            program, options.optimizer, summary_sink=summary_sink
+        )
     else:
         program = Program(
             list(opt_prelude) + user_program.forms, expander.global_names
         )
         program = optimize_program(
-            program, options.optimizer, frozen_prefix=len(opt_prelude)
+            program,
+            options.optimizer,
+            frozen_prefix=len(opt_prelude),
+            summary_sink=summary_sink,
         )
     if explain:
         stages["optimized"] = pretty_program(program)
     program = convert_assignments_program(program)
-    vm_program = generate_code(program, fuse=options.fuse)
+    vm_program = generate_code(
+        program,
+        fuse=options.fuse,
+        summaries=summary_sink[-1] if summary_sink else None,
+    )
     found: list = []
     if diagnostics:
         from .lint import LintOptions, lint_source

@@ -651,7 +651,58 @@ class FnCompiler:
         return self.gen.global_index[name]
 
 
-def generate_code(program: Program, fuse: bool = False) -> isa.VMProgram:
+def _attach_emit_hints(generator: CodeGenerator, summaries) -> None:
+    """Compute emit-time facts for every code object (vm.codegen reads
+    them from ``CodeObject.meta["emit_hints"]``).
+
+    Interprocedural summaries seed the entry block of top-level
+    procedures the analysis fully tracked: the summary's parameter
+    lattice values map to registers 0..nparams-1 (the calling
+    convention spreads arguments there).  Everything else — nested
+    lambdas, rest-arg procedures, the main sequence — gets the purely
+    intraprocedural scan.
+    """
+    from .peephole import compute_emit_hints
+
+    by_name = {}
+    if summaries is not None and getattr(summaries, "context", None) is not None:
+        by_name = getattr(summaries.context, "by_name", {}) or {}
+    entry_for_id: dict[int, dict] = {}
+    for name, code_id in generator.direct.items():
+        info = by_name.get(name)
+        code = generator.codes[code_id]
+        if (
+            info is None
+            or not info.tracks_params
+            or code.has_rest
+            or len(info.params) != code.nparams
+        ):
+            continue
+        entry = {
+            reg: fact
+            for reg, fact in enumerate(info.params)
+            if not fact.is_top
+        }
+        if entry:
+            entry_for_id[code_id] = entry
+    for code_id, code in enumerate(generator.codes):
+        compute_emit_hints(code, entry_for_id.get(code_id))
+
+
+def generate_code(
+    program: Program, fuse: bool = False, summaries=None
+) -> isa.VMProgram:
     """Generate VM code; with ``fuse`` the peephole pass also fuses
-    superinstruction pairs (see :mod:`repro.backend.peephole`)."""
-    return CodeGenerator(program, fuse=fuse).generate()
+    superinstruction pairs (see :mod:`repro.backend.peephole`).
+
+    ``summaries`` (the optimizer's interprocedural
+    :class:`~repro.absint.summaries.ProgramSummaries`, when available)
+    sharpens the emit-time facts attached to each code object; the
+    compiled engine uses those to drop provably dead checks at emit
+    time.  Facts are advisory — every engine runs correctly without
+    them.
+    """
+    generator = CodeGenerator(program, fuse=fuse)
+    vm_program = generator.generate()
+    _attach_emit_hints(generator, summaries)
+    return vm_program

@@ -180,6 +180,129 @@ def fuse_superinstructions(code: isa.CodeObject) -> int:
     return fused
 
 
+def compute_emit_hints(code: isa.CodeObject, entry_facts: dict | None = None) -> dict:
+    """Attach sound emit-time facts to ``code.meta["emit_hints"]``.
+
+    A straight-line abstract scan over the final (post-fusion)
+    instruction stream, reusing the absint representation lattice.  The
+    analysis is deliberately join-free: facts are discarded at every
+    *leader* (any branch target), so whatever survives to a given pc
+    holds on every path that reaches it — sound by construction, no
+    fixpoint needed.  ``entry_facts`` (register -> AbstractValue, from
+    the interprocedural summaries) seeds the entry block, but only when
+    pc 0 is not itself a branch target (a back edge would smuggle the
+    entry facts around the loop).
+
+    Two hint sets come out, both consumed by :mod:`repro.vm.codegen`:
+
+    * ``div_nonzero`` — pcs of DIV/MOD whose divisor provably excludes
+      the word 0, so the emitted code skips the zero test and inlines
+      the division.
+    * ``aligned`` — pcs of LD/ST whose effective address is provably
+      8-aligned (base register has one known low tag ``t`` and
+      ``(t + displacement) % 8 == 0``), so the emitted fast path skips
+      the alignment test.  Bounds checks always remain.
+
+    Facts never survive a fused instruction boundary as hints — hint
+    pcs key base (non-fused) instructions only — but fused pairs still
+    *transfer* facts soundly via their decomposition.  The GC is
+    non-moving mark-sweep, so register facts survive collections; calls
+    therefore kill only their destination register (VM registers are
+    frame-local).
+    """
+    instructions = code.instructions
+    leaders = _branch_targets(instructions)
+    div_nonzero: set[int] = set()
+    aligned: set[int] = set()
+    facts: dict = {}
+    if entry_facts and 0 not in leaders:
+        facts = dict(entry_facts)
+    for pc, ins in enumerate(instructions):
+        if pc in leaders:
+            facts = {}
+        op = ins[0]
+        if op >= isa.FIRST_FUSED:
+            first, second = isa.decompose(ins)
+            _hint_transfer(first, facts)
+            _hint_transfer(second, facts)
+            continue
+        # hints read the pre-state: record before transferring
+        if op in (isa.DIV, isa.MOD):
+            fact = facts.get(ins[3])
+            if fact is not None and fact.excludes_word(0):
+                div_nonzero.add(pc)
+        elif op == isa.LD:
+            fact = facts.get(ins[2])
+            if fact is not None and len(fact.tags) == 1:
+                (tag,) = fact.tags
+                if (tag + ins[3]) % 8 == 0:
+                    aligned.add(pc)
+        elif op == isa.ST:
+            fact = facts.get(ins[1])
+            if fact is not None and len(fact.tags) == 1:
+                (tag,) = fact.tags
+                if (tag + ins[2]) % 8 == 0:
+                    aligned.add(pc)
+        _hint_transfer(ins, facts)
+    hints = {
+        "div_nonzero": frozenset(div_nonzero),
+        "aligned": frozenset(aligned),
+    }
+    if div_nonzero or aligned:
+        if code.meta is None:
+            code.meta = {}
+        code.meta["emit_hints"] = hints
+    return hints
+
+
+def _hint_transfer(ins: list, facts: dict) -> None:
+    """One instruction's effect on the register fact map (in place).
+
+    Absent key = unknown (⊤).  Only facts that are cheap and provably
+    stable are tracked: constants from LDC, low tags from allocation
+    and tag arithmetic.  Everything else kills its destination.
+    """
+    from ..absint.lattice import from_tags, make
+
+    op = ins[0]
+    if op == isa.LDC:
+        value = ins[2]
+        if value >= 0:
+            facts[ins[1]] = make(value, value, frozenset({value & 7}))
+        else:
+            facts.pop(ins[1], None)
+        return
+    if op == isa.ALLOCI:
+        # the allocator returns base | tag with an 8-aligned base
+        facts[ins[1]] = from_tags({ins[3] & 7})
+        return
+    if op == isa.CLOSURE:
+        facts[ins[1]] = from_tags({7})  # closures are tag-7 pointers
+        return
+    if op == isa.MOV:
+        fact = facts.get(ins[2])
+        if fact is None:
+            facts.pop(ins[1], None)
+        else:
+            facts[ins[1]] = fact
+        return
+    if op in (isa.ADDI, isa.SUBI):
+        # adding an immediate shifts a known low tag by imm mod 8
+        # (masking to the word preserves value mod 8)
+        fact = facts.get(ins[2])
+        if fact is not None and len(fact.tags) == 1:
+            (tag,) = fact.tags
+            imm = ins[3]
+            shifted = (tag + imm) & 7 if op == isa.ADDI else (tag - imm) & 7
+            facts[ins[1]] = from_tags({shifted})
+        else:
+            facts.pop(ins[1], None)
+        return
+    position = dest_position(ins)
+    if position is not None:
+        facts.pop(ins[position], None)
+
+
 def _branch_targets(instructions: list[list]) -> set[int]:
     targets = set()
     for ins in instructions:

@@ -197,7 +197,24 @@ def cmd_run(namespace: argparse.Namespace) -> int:
             f"allocated, {result.gc_count} GCs ({pause_ms:.2f} ms paused)",
             file=sys.stderr,
         )
+        print(f";; {_engine_identity(result)}", file=sys.stderr)
     return 0
+
+
+def _engine_identity(result) -> str:
+    """One line naming the engine and its cache shape for this run.
+
+    Asks the engine via ``cache_stats()`` — handler tables only exist
+    on the threaded tier and emitted functions only on the compiled
+    tier, so nothing here may assume a particular cache structure.
+    """
+    machine = getattr(result, "machine", None)
+    engine = getattr(machine, "_engine", None)
+    stats = engine.cache_stats() if engine is not None else {}
+    if not stats:
+        return f"engine: {result.engine}"
+    detail = ", ".join(f"{key}={value}" for key, value in sorted(stats.items()))
+    return f"engine: {result.engine} ({detail})"
 
 
 def cmd_disassemble(namespace: argparse.Namespace) -> int:
@@ -217,6 +234,7 @@ def cmd_stats(namespace: argparse.Namespace) -> int:
         max_alloc_words=namespace.max_alloc_words,
     )
     print(f"value:        {to_write(decode(result))}")
+    print(f"{_engine_identity(result)}")
     print(f"instructions: {result.steps}")
     print(f"allocated:    {result.words_allocated} words")
     print(f"collections:  {result.gc_count}")
@@ -317,6 +335,7 @@ def cmd_profile(namespace: argparse.Namespace) -> int:
         compiled.vm_program,
         input_text=namespace.input,
         heap_words=_heap_words(namespace),
+        engine=namespace.engine,
     )
     if namespace.json:
         print(render_json(report, top=namespace.top))

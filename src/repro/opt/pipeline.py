@@ -17,6 +17,7 @@ def optimize_program(
     options: OptimizerOptions | None = None,
     frozen_prefix: int = 0,
     open_world: bool = False,
+    summary_sink: list | None = None,
 ) -> Program:
     """Run the whole optimizer.  With :meth:`OptimizerOptions.none`
     this is (almost) the identity — only letrec fixing and global
@@ -31,6 +32,13 @@ def optimize_program(
     link against (the prelude compiled on its own): the interprocedural
     unbox pass then keeps every parameter ⊤ and trusts no heap fact,
     since unseen callers can reach anything.
+
+    ``summary_sink``, when given, receives the interprocedural
+    :class:`~repro.absint.summaries.ProgramSummaries` the unbox pass
+    computed (appended, so the last entry is freshest).  The backend
+    uses them to seed emit-time facts; they describe the program *as
+    analysed*, which is why they are handed over rather than recomputed
+    after later rewriting rounds.
     """
     options = options or OptimizerOptions()
 
@@ -87,6 +95,8 @@ def optimize_program(
         program, unbox_changed, _summaries = unbox_program(
             program, start=frozen_prefix, open_world=open_world
         )
+        if summary_sink is not None:
+            summary_sink.append(_summaries)
         check("unbox")
         if unbox_changed:
             # One syntactic cleanup round sweeps the dead tests and

@@ -1,0 +1,885 @@
+"""Compile VM code objects to real Python functions (``compiled`` engine).
+
+Where the threaded engine builds one closure per instruction, this
+module emits one Python *function per code object*: every instruction
+becomes inline statements with its operands folded in as literals, the
+heap arrays are bound as namespace constants, fused superinstruction
+pairs collapse into adjacent plain statements (no executor chaining),
+and emit-time facts (``CodeObject.meta["emit_hints"]``, produced by the
+backend from absint/unbox summaries) elide provably dead checks — the
+division-by-zero test when the divisor is known nonzero, the alignment
+test when the address tag is known.
+
+Layout of an emitted function::
+
+    def _vm_fib(regs, pc):
+        while True:
+            if pc < 4:          # binary entry tree over basic blocks
+                ...block 0...
+            ...block 1...
+
+The entry tree dispatches an arbitrary entry pc (function entry, branch
+target, return point, budget resume) to its basic block in O(log n)
+compares.  Within the ``while`` body, falling off the end of a block
+continues textually into the next one; ``pc`` is only *reassigned* by
+taken branches, which ``continue`` back to the tree.  The stale ``pc``
+during fallthrough is always smaller than every later guard's start, so
+every guard encountered stays true and control descends left — i.e.
+sequential execution — which is what makes the tree sound.
+
+Control transfers that leave the code object (calls, returns, unwinds)
+write ``engine._state`` and ``return``; the engine trampoline reloads
+and re-enters.  Faulting instructions record their pc in the engine's
+one-slot ``_fpc`` list first, so traps and budget suspensions attribute
+to the exact instruction, matching the other engines bit for bit.
+
+Two emission variants exist per code object, selected by
+:class:`CodegenOptions` (the cache key, together with the code object):
+
+* **fast** (``counted=False``): no step accounting, blocks are
+  leader-delimited spans, self-tail-calls loop in place.  Used whenever
+  the machine runs without instruction counting.
+* **counted** (``counted=True``): every instruction is its own entry
+  unit and is preceded by the exact ``dispatches``/``_count_step``
+  accounting the other engines perform, including the mid-fused-pair
+  suspension protocol (the charged second half is handed to the engine
+  as a prebuilt executor).
+
+Under fault injection (or a heap with no bump region) all heap access
+falls back to ``heap.load``/``heap.store``/``Machine._alloc`` calls so
+the injecting heap observes every operation — the compiled tier's
+equivalent of the interpreters' fast-path disable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..prims import WORD_MASK, signed
+from . import isa
+from .machine import _ESCAPE_CODE as _ESCAPE
+
+# instruction families whose emitted code can raise (or allocate, which
+# can raise): these update the engine's fault-pc slot in fast mode so
+# trap attribution matches the interpreters
+_FAULTING = {
+    isa.LD, isa.ST, isa.ALLOC, isa.ALLOCI, isa.GLD, isa.CLOSURE,
+    isa.DIV, isa.MOD, isa.CALL, isa.CALLL, isa.TAILCALL, isa.TAILL,
+    isa.CALLEC, isa.APPLY, isa.TAILAPPLY, isa.FAIL,
+    isa.REGPTR, isa.REGPAIR, isa.REGNIL, isa.REGFALSE,
+}
+
+# ---------------------------------------------------------------------------
+# branch-target operand index (local copy: importing the backend's
+# peephole table from here would cycle through repro.vm.__init__)
+# ---------------------------------------------------------------------------
+
+_TARGET_INDEX: dict[int, int] = {isa.JMP: 1, isa.JT: 2, isa.JF: 2}
+for _o in (
+    isa.JEQ, isa.JNE, isa.JLT, isa.JGE, isa.JLE, isa.JGT,
+    isa.JULT, isa.JUGE, isa.JULE, isa.JUGT,
+    isa.JEQI, isa.JNEI, isa.JLTI, isa.JGEI, isa.JLEI, isa.JGTI,
+):
+    _TARGET_INDEX[_o] = 3
+for (_f, _s), _fop in isa.FUSION_TABLE.items():
+    _ti = _TARGET_INDEX.get(_s)
+    if _ti is not None:
+        _TARGET_INDEX[_fop] = isa.OPERAND_COUNT[_f] + _ti
+
+
+def branch_target(ins: list) -> int | None:
+    """The static branch target of ``ins``, or None if it has none."""
+    index = _TARGET_INDEX.get(ins[0])
+    return None if index is None else ins[index]
+
+
+@dataclass(frozen=True)
+class CodegenOptions:
+    """The compile-options half of the function-cache key."""
+
+    counted: bool = False
+    fault_injection: bool = False
+    inline_heap: bool = True
+    hints: bool = True
+
+
+def _lit(value: int) -> str:
+    """An immediate as a Python literal, parenthesised when negative."""
+    return str(value) if value >= 0 else f"({value})"
+
+
+class _Emitter:
+    """Emit one code object as Python source and compile it."""
+
+    def __init__(self, code: isa.CodeObject, options: CodegenOptions,
+                 machine, engine):
+        self.code = code
+        self.options = options
+        self.m = machine
+        self.engine = engine
+        self.lines: list[str] = []
+        self.depth = 2  # inside `def` + `while True:`
+        heap = machine.heap
+        from .engine import _STACK_LIMIT
+        self.stack_limit = _STACK_LIMIT
+        self.inline_heap = options.inline_heap and not options.fault_injection
+        self.limitb = getattr(heap, "size_words", 0) << 3
+        hints = None
+        if options.hints:
+            meta = getattr(code, "meta", None)
+            if meta:
+                hints = meta.get("emit_hints")
+        self.div_nonzero = hints["div_nonzero"] if hints else frozenset()
+        self.aligned = hints["aligned"] if hints else frozenset()
+        self.ns: dict = {
+            "m": machine,
+            "eng": engine,
+            "ST": engine._state,
+            "F": engine._fpc,
+            "FR": machine.frames,
+            "HL": heap.load,
+            "HS": heap.store,
+            "AL": machine._alloc,
+            "M": WORD_MASK,
+            "SG": signed,
+            "CODE": code,
+            "FN": None,  # patched to the compiled function after exec
+            # indirect-call inline cache: code id -> emitted function,
+            # shared (by identity) with every variant-mate of this fn
+            "FC": engine._id_fns_for(options),
+        }
+        if self.inline_heap:
+            from .heap import ZEROS, _NZEROS
+            self.ns["MEM"] = heap.mem
+            self.ns["B"] = heap.bump
+            self.ns["ZL"] = ZEROS
+            self.nzeros = _NZEROS
+        if options.counted:
+            from ..errors import BudgetExceeded
+            self.ns["BE"] = BudgetExceeded
+
+    # -- low-level line output -----------------------------------------
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    # -- public entry ---------------------------------------------------
+
+    def build(self):
+        name = "_vm_" + "".join(
+            ch if ch.isalnum() else "_" for ch in self.code.name
+        )
+        units = self._units()
+        self.lines.append(f"def {name}(regs, pc):")
+        self.lines.append("    while True:")
+        if units:
+            self._tree(units, 0, len(units))
+            # Falling off the end of the instruction stream reproduces
+            # the interpreters' IndexError on instructions[len].
+            self.line(f"CODE.instructions[{len(self.code.instructions)}]")
+        else:
+            self.line("CODE.instructions[0]")
+        source = "\n".join(self.lines) + "\n"
+        exec(compile(source, f"<vm:{self.code.name}>", "exec"), self.ns)
+        fn = self.ns[name]
+        self.ns["FN"] = fn
+        return fn, source
+
+    # -- unit discovery -------------------------------------------------
+
+    def _units(self) -> list[tuple[int, int]]:
+        """(start, end) spans that need their own entry-tree leaf.
+
+        Counted mode must be able to resume at *any* pc, so every
+        instruction is a unit.  Fast mode only needs function entry,
+        branch targets, and post-call return points.
+        """
+        instructions = self.code.instructions
+        n = len(instructions)
+        if n == 0:
+            return []
+        if self.options.counted:
+            starts = list(range(n))
+        else:
+            leaders = {0}
+            for k, ins in enumerate(instructions):
+                target = branch_target(ins)
+                if target is not None and target < n:
+                    leaders.add(target)
+                if ins[0] in (isa.CALL, isa.CALLL, isa.CALLEC, isa.APPLY):
+                    if k + 1 < n:
+                        leaders.add(k + 1)
+            starts = sorted(leaders)
+        units = []
+        for i, start in enumerate(starts):
+            end = starts[i + 1] if i + 1 < len(starts) else n
+            units.append((start, end))
+        return units
+
+    def _tree(self, units, lo: int, hi: int) -> None:
+        if hi - lo == 1:
+            start, end = units[lo]
+            for k in range(start, end):
+                self._emit_ins(k, self.code.instructions[k])
+            return
+        mid = (lo + hi) // 2
+        self.line(f"if pc < {units[mid][0]}:")
+        self.depth += 1
+        self._tree(units, lo, mid)
+        self.depth -= 1
+        self._tree(units, mid, hi)
+
+    # -- per-instruction emission --------------------------------------
+
+    def _emit_ins(self, k: int, ins: list) -> None:
+        op = ins[0]
+        if self.options.counted:
+            self.line(f"F[0] = {k}")
+            self.line("m.dispatches += 1")
+            if op >= isa.FIRST_FUSED:
+                self._emit_fused_counted(k, ins)
+            else:
+                self.line(f"m._count_step({op})")
+                self._emit_base(k, ins)
+            return
+        if op >= isa.FIRST_FUSED:
+            first, second = isa.decompose(ins)
+            if first[0] in _FAULTING or second[0] in _FAULTING:
+                self.line(f"F[0] = {k}")
+            self._emit_base(k, first)
+            self._emit_base(k, second)
+        else:
+            if op in _FAULTING:
+                self.line(f"F[0] = {k}")
+            self._emit_base(k, ins)
+
+    def _emit_fused_counted(self, k: int, ins: list) -> None:
+        """Counted fused pair: charge/execute each half like _exec_fused.
+
+        When the budget trips between the halves the charged second half
+        is handed to the engine as a prebuilt single-instruction
+        executor (the suspension resumes by running it, then continuing
+        at its returned pc).
+        """
+        first, second = isa.decompose(ins)
+        from .engine import _SINGLE_MAKERS
+        pending_name = f"P{k}"
+        maker = _SINGLE_MAKERS[second[0]]
+        self.ns[pending_name] = (
+            second[0], maker(*second[1:], k + 1, self.m.heap)
+        )
+        self.line(f"m._count_step({first[0]})")
+        self._emit_base(k, first)
+        self.line("try:")
+        self.depth += 1
+        self.line(f"m._count_step({second[0]})")
+        self.depth -= 1
+        self.line("except BE:")
+        self.depth += 1
+        self.line(f"eng._pending = {pending_name}")
+        self.line("raise")
+        self.depth -= 1
+        self._emit_base(k, second)
+
+    # -- base instruction bodies ---------------------------------------
+
+    def _emit_base(self, k: int, ins: list) -> None:
+        op = ins[0]
+        emit = self._BASE.get(op)
+        if emit is not None:
+            emit(self, k, ins)
+            return
+        stmt = self._value_stmt(k, ins)
+        if stmt is not None:
+            self.line(stmt)
+            return
+        cond, target = self._branch_cond(ins)
+        if cond is not None:
+            self.line(f"if {cond}:")
+            self.depth += 1
+            self.line(f"pc = {target}")
+            self.line("continue")
+            self.depth -= 1
+            return
+        # unknown opcode: defer the failure to run time, like the
+        # interpreters (the instruction may be unreachable)
+        self.line(f"eng._unknown({op})")
+
+    # value-op statement (None when `ins` is not a plain value op)
+    def _value_stmt(self, k: int, ins: list) -> str | None:
+        op = ins[0]
+        r = lambda i: f"regs[{ins[i]}]"  # noqa: E731
+        if op == isa.LDC:
+            return f"{r(1)} = {_lit(ins[2])}"
+        if op == isa.MOV:
+            return f"{r(1)} = {r(2)}"
+        if op == isa.ADD:
+            return f"{r(1)} = ({r(2)} + {r(3)}) & M"
+        if op == isa.ADDI:
+            return f"{r(1)} = ({r(2)} + {_lit(ins[3])}) & M"
+        if op == isa.SUB:
+            return f"{r(1)} = ({r(2)} - {r(3)}) & M"
+        if op == isa.SUBI:
+            return f"{r(1)} = ({r(2)} - {_lit(ins[3])}) & M"
+        if op == isa.MUL:
+            return f"{r(1)} = (SG({r(2)}) * SG({r(3)})) & M"
+        if op == isa.MULI:
+            return f"{r(1)} = (SG({r(2)}) * {_lit(signed(ins[3]))}) & M"
+        if op == isa.AND:
+            return f"{r(1)} = {r(2)} & {r(3)}"
+        if op == isa.ANDI:
+            return f"{r(1)} = {r(2)} & {_lit(ins[3])}"
+        if op == isa.OR:
+            return f"{r(1)} = {r(2)} | {r(3)}"
+        if op == isa.ORI:
+            return f"{r(1)} = {r(2)} | {_lit(ins[3])}"
+        if op == isa.XOR:
+            return f"{r(1)} = {r(2)} ^ {r(3)}"
+        if op == isa.XORI:
+            return f"{r(1)} = {r(2)} ^ {_lit(ins[3])}"
+        if op == isa.NOT:
+            return f"{r(1)} = (~{r(2)}) & M"
+        if op == isa.SHL:
+            return f"{r(1)} = ({r(2)} << ({r(3)} & 63)) & M"
+        if op == isa.SHLI:
+            return f"{r(1)} = ({r(2)} << {ins[3] & 63}) & M"
+        if op == isa.SHR:
+            return f"{r(1)} = {r(2)} >> ({r(3)} & 63)"
+        if op == isa.SHRI:
+            return f"{r(1)} = {r(2)} >> {ins[3] & 63}"
+        if op == isa.SAR:
+            return f"{r(1)} = (SG({r(2)}) >> ({r(3)} & 63)) & M"
+        if op == isa.SARI:
+            return f"{r(1)} = (SG({r(2)}) >> {ins[3] & 63}) & M"
+        if op == isa.CMPEQ:
+            return f"{r(1)} = 1 if {r(2)} == {r(3)} else 0"
+        if op == isa.CMPEQI:
+            return f"{r(1)} = 1 if {r(2)} == {_lit(ins[3])} else 0"
+        if op == isa.CMPNE:
+            return f"{r(1)} = 1 if {r(2)} != {r(3)} else 0"
+        if op == isa.CMPNEI:
+            return f"{r(1)} = 1 if {r(2)} != {_lit(ins[3])} else 0"
+        if op == isa.CMPLT:
+            return f"{r(1)} = 1 if SG({r(2)}) < SG({r(3)}) else 0"
+        if op == isa.CMPLTI:
+            return f"{r(1)} = 1 if SG({r(2)}) < {_lit(signed(ins[3]))} else 0"
+        if op == isa.CMPLE:
+            return f"{r(1)} = 1 if SG({r(2)}) <= SG({r(3)}) else 0"
+        if op == isa.CMPLEI:
+            return f"{r(1)} = 1 if SG({r(2)}) <= {_lit(signed(ins[3]))} else 0"
+        if op == isa.CMPULT:
+            return f"{r(1)} = 1 if {r(2)} < {r(3)} else 0"
+        if op == isa.CMPULE:
+            return f"{r(1)} = 1 if {r(2)} <= {r(3)} else 0"
+        if op == isa.CMPNZ:
+            return f"{r(1)} = 1 if {r(2)} != 0 else 0"
+        return None
+
+    def _branch_cond(self, ins: list) -> tuple[str | None, int]:
+        op = ins[0]
+        r = lambda i: f"regs[{ins[i]}]"  # noqa: E731
+        if op == isa.JT:
+            return f"{r(1)} != 0", ins[2]
+        if op == isa.JF:
+            return f"{r(1)} == 0", ins[2]
+        if op == isa.JEQ:
+            return f"{r(1)} == {r(2)}", ins[3]
+        if op == isa.JNE:
+            return f"{r(1)} != {r(2)}", ins[3]
+        if op == isa.JEQI:
+            return f"{r(1)} == {_lit(ins[2])}", ins[3]
+        if op == isa.JNEI:
+            return f"{r(1)} != {_lit(ins[2])}", ins[3]
+        if op == isa.JLT:
+            return f"SG({r(1)}) < SG({r(2)})", ins[3]
+        if op == isa.JGE:
+            return f"SG({r(1)}) >= SG({r(2)})", ins[3]
+        if op == isa.JLE:
+            return f"SG({r(1)}) <= SG({r(2)})", ins[3]
+        if op == isa.JGT:
+            return f"SG({r(1)}) > SG({r(2)})", ins[3]
+        if op == isa.JULT:
+            return f"{r(1)} < {r(2)}", ins[3]
+        if op == isa.JUGE:
+            return f"{r(1)} >= {r(2)}", ins[3]
+        if op == isa.JULE:
+            return f"{r(1)} <= {r(2)}", ins[3]
+        if op == isa.JUGT:
+            return f"{r(1)} > {r(2)}", ins[3]
+        if op == isa.JLTI:
+            return f"SG({r(1)}) < {_lit(signed(ins[2]))}", ins[3]
+        if op == isa.JGEI:
+            return f"SG({r(1)}) >= {_lit(signed(ins[2]))}", ins[3]
+        if op == isa.JLEI:
+            return f"SG({r(1)}) <= {_lit(signed(ins[2]))}", ins[3]
+        if op == isa.JGTI:
+            return f"SG({r(1)}) > {_lit(signed(ins[2]))}", ins[3]
+        return None, -1
+
+    # -- structured emitters (memory, globals, control, runtime) --------
+
+    def _emit_jmp(self, k: int, ins: list) -> None:
+        self.line(f"pc = {ins[1]}")
+        self.line("continue")
+
+    def _emit_div(self, k: int, ins: list) -> None:
+        d, a, b = ins[1], ins[2], ins[3]
+        if k in self.div_nonzero:
+            # divisor provably nonzero: inline the exact signed
+            # truncating division Machine._div performs
+            self.line(f"x = SG(regs[{a}])")
+            self.line(f"y = SG(regs[{b}])")
+            self.line("q = abs(x) // abs(y)")
+            self.line(f"regs[{d}] = (-q if (x < 0) != (y < 0) else q) & M")
+        else:
+            self.line(f"regs[{d}] = m._div(regs[{a}], regs[{b}])")
+
+    def _emit_mod(self, k: int, ins: list) -> None:
+        d, a, b = ins[1], ins[2], ins[3]
+        if k in self.div_nonzero:
+            self.line(f"x = SG(regs[{a}])")
+            self.line(f"y = SG(regs[{b}])")
+            self.line("q = abs(x) % abs(y)")
+            self.line(f"regs[{d}] = (-q if x < 0 else q) & M")
+        else:
+            self.line(f"regs[{d}] = m._mod(regs[{a}], regs[{b}])")
+
+    def _emit_ld(self, k: int, ins: list) -> None:
+        d, s, disp = ins[1], ins[2], ins[3]
+        address = f"(regs[{s}] + {_lit(disp)}) & M"
+        if not self.inline_heap:
+            self.line(f"regs[{d}] = HL({address})")
+            return
+        self.line(f"a = {address}")
+        if k in self.aligned:
+            guard = f"a < {self.limitb}"
+        else:
+            guard = f"a < {self.limitb} and not a & 7"
+        self.line(f"regs[{d}] = MEM[a >> 3] if {guard} else HL(a)")
+
+    def _emit_st(self, k: int, ins: list) -> None:
+        s, disp, v = ins[1], ins[2], ins[3]
+        address = f"(regs[{s}] + {_lit(disp)}) & M"
+        if not self.inline_heap:
+            self.line(f"HS({address}, regs[{v}])")
+            return
+        self.line(f"a = {address}")
+        if k in self.aligned:
+            guard = f"a < {self.limitb}"
+        else:
+            guard = f"a < {self.limitb} and not a & 7"
+        self.line(f"if {guard}:")
+        self.depth += 1
+        self.line(f"MEM[a >> 3] = regs[{v}] & M")
+        self.depth -= 1
+        self.line("else:")
+        self.depth += 1
+        self.line(f"HS(a, regs[{v}])")
+        self.depth -= 1
+
+    def _slow_alloc(self, k: int, dest: int, nwords: str, tag: str) -> None:
+        self.line(f"FR.append([CODE, regs, {k + 1}, -1])")
+        self.line(f"regs[{dest}] = AL({nwords}, {tag})")
+        self.line("FR.pop()")
+
+    def _emit_alloc(self, k: int, ins: list) -> None:
+        d, sn, st = ins[1], ins[2], ins[3]
+        if not self.inline_heap:
+            self._slow_alloc(k, d, f"regs[{sn}]", f"regs[{st}] & 7")
+            return
+        self.line(f"n = regs[{sn}]")
+        self.line("t = n + 1")
+        self.line("b = B[0]")
+        self.line("if b + t <= B[1]:")
+        self.depth += 1
+        self.line("B[0] = b + t")
+        self.line("MEM[b] = n")
+        self.line("if n:")
+        self.depth += 1
+        self.line(f"MEM[b + 1 : b + t] = ZL[n] if n < {self.nzeros} else [0] * n")
+        self.depth -= 1
+        self.line(f"regs[{d}] = (b << 3) | (regs[{st}] & 7)")
+        self.depth -= 1
+        self.line("else:")
+        self.depth += 1
+        self._slow_alloc(k, d, "n", f"regs[{st}] & 7")
+        self.depth -= 1
+
+    def _emit_alloci(self, k: int, ins: list) -> None:
+        d, nwords, tag = ins[1], ins[2], ins[3]
+        if not self.inline_heap or nwords < 0:
+            self._slow_alloc(k, d, _lit(nwords), _lit(tag))
+            return
+        total = nwords + 1
+        self.line("b = B[0]")
+        self.line(f"if b + {total} <= B[1]:")
+        self.depth += 1
+        self.line(f"B[0] = b + {total}")
+        self.line(f"MEM[b] = {nwords}")
+        if 0 < nwords <= 4:
+            for i in range(1, total):
+                self.line(f"MEM[b + {i}] = 0")
+        elif nwords:
+            from .heap import ZEROS, _NZEROS
+            zname = f"Z{k}"
+            self.ns[zname] = (
+                ZEROS[nwords] if nwords < _NZEROS else [0] * nwords
+            )
+            self.line(f"MEM[b + 1 : b + {total}] = {zname}")
+        self.line(f"regs[{d}] = (b << 3) | {tag & 7}")
+        self.depth -= 1
+        self.line("else:")
+        self.depth += 1
+        self._slow_alloc(k, d, _lit(nwords), _lit(tag))
+        self.depth -= 1
+
+    def _emit_gld(self, k: int, ins: list) -> None:
+        d, index = ins[1], ins[2]
+        self.line(f"if not m.global_defined[{index}]:")
+        self.depth += 1
+        self.line(f"eng._undef({index})")
+        self.depth -= 1
+        self.line(f"regs[{d}] = m.globals[{index}]")
+
+    def _emit_gst(self, k: int, ins: list) -> None:
+        s, index = ins[1], ins[2]
+        self.line(f"m.globals[{index}] = regs[{s}]")
+        self.line(f"m.global_defined[{index}] = 1")
+
+    def _emit_closure(self, k: int, ins: list) -> None:
+        d, code_id, free_regs = ins[1], ins[2], ins[3]
+        self.line(f"FR.append([CODE, regs, {k + 1}, -1])")
+        self.line(f"p = AL({1 + len(free_regs)}, 7)")
+        self.line("FR.pop()")
+        self.line("base = p & -8")
+        self.line(f"HS(base + 8, {code_id})")
+        for i, reg in enumerate(free_regs):
+            self.line(f"HS(base + {16 + 8 * i}, regs[{reg}])")
+        self.line(f"regs[{d}] = p")
+
+    # call family ------------------------------------------------------
+
+    def _args_list(self, arg_regs: list) -> str:
+        return "[" + ", ".join(f"regs[{r}]" for r in arg_regs) + "]"
+
+    def _closure_cid(self) -> None:
+        """Emit ``cid = <code id of `closure`>`` with the fast path open.
+
+        The closure layout puts the code id one word past the 8-aligned
+        base, so the address is always aligned and only the bounds
+        guard remains; the slow paths reproduce the interpreters' exact
+        errors (SchemeError on a non-closure tag, VMError out of
+        bounds).
+        """
+        if self.inline_heap:
+            self.line("if closure & 7 == 7:")
+            self.depth += 1
+            self.line("a = (closure & -8) + 8")
+            self.line(f"cid = MEM[a >> 3] if a < {self.limitb} else HL(a)")
+            self.depth -= 1
+            self.line("else:")
+            self.depth += 1
+            self.line("cid = m._closure_code_id(closure)")
+            self.depth -= 1
+        else:
+            self.line("cid = m._closure_code_id(closure)")
+
+    def _enter_callee(self, fn_expr: str) -> None:
+        self.line(f"ST[0] = {fn_expr}")
+        self.line("ST[1] = new_regs")
+        self.line("ST[2] = 0")
+        self.line("return")
+
+    def _spread_args(self, nargs: int) -> None:
+        """Pad `args` into a fresh register file, mirroring h_call."""
+        self.line(f"if callee.has_rest or callee.nparams != {nargs}:")
+        self.depth += 1
+        self.line("m._scratch_roots = [closure]")
+        self.line("new_regs = m._make_regs(callee, args, closure)")
+        self.line("m._scratch_roots = []")
+        self.depth -= 1
+        self.line("elif callee.nfree:")
+        self.depth += 1
+        self.line("args.append(closure)")
+        self.line(f"args.extend([0] * (callee.nregs - {nargs + 1}))")
+        self.line("new_regs = args")
+        self.depth -= 1
+        self.line("else:")
+        self.depth += 1
+        self.line(f"args.extend([0] * (callee.nregs - {nargs}))")
+        self.line("new_regs = args")
+        self.depth -= 1
+
+    def _emit_call(self, k: int, ins: list) -> None:
+        dest, freg, arg_regs = ins[1], ins[2], ins[3]
+        self.line(f"closure = regs[{freg}]")
+        self._closure_cid()
+        self.line(f"args = {self._args_list(arg_regs)}")
+        self.line(f"if cid == {_ESCAPE}:")
+        self.depth += 1
+        self.line("eng._transfer(m._unwind(closure, args))")
+        self.line("return")
+        self.depth -= 1
+        self.line("callee = m.codes[cid]")
+        self.line(f"FR.append([CODE, regs, {k + 1}, {dest}, FN])")
+        self.line(f"if len(FR) > {self.stack_limit}:")
+        self.depth += 1
+        self.line("eng._overflow()")
+        self.depth -= 1
+        self._spread_args(len(arg_regs))
+        self._enter_callee("FC.get(cid) or eng._function(callee)")
+
+    def _callee_cell(self, code_id: int) -> str:
+        """Expression resolving a known callee's compiled function."""
+        callee = self.m.codes[code_id]
+        cell_name = f"C{code_id}"
+        code_name = f"K{code_id}"
+        self.ns[cell_name] = self.engine._fn_cell(callee)
+        self.ns[code_name] = callee
+        return f"({cell_name}[0] or eng._function({code_name}))"
+
+    def _emit_calll(self, k: int, ins: list) -> None:
+        dest, code_id, arg_regs = ins[1], ins[2], ins[3]
+        callee = self.m.codes[code_id]
+        fn_expr = self._callee_cell(code_id)
+        if not callee.has_rest and callee.nparams == len(arg_regs):
+            pad = callee.nregs - len(arg_regs)
+            self.line(f"new_regs = {self._args_list(arg_regs)}")
+            if pad:
+                self.line(f"new_regs.extend([0] * {pad})")
+            self.line(f"FR.append([CODE, regs, {k + 1}, {dest}, FN])")
+            self.line(f"if len(FR) > {self.stack_limit}:")
+            self.depth += 1
+            self.line("eng._overflow()")
+            self.depth -= 1
+            self._enter_callee(fn_expr)
+            return
+        code_name = f"K{code_id}"
+        self.line(f"args = {self._args_list(arg_regs)}")
+        self.line(f"FR.append([CODE, regs, {k + 1}, {dest}, FN])")
+        self.line(f"if len(FR) > {self.stack_limit}:")
+        self.depth += 1
+        self.line("eng._overflow()")
+        self.depth -= 1
+        self.line("m._scratch_roots = [0]")
+        self.line(f"new_regs = m._make_regs({code_name}, args, 0)")
+        self.line("m._scratch_roots = []")
+        self._enter_callee(fn_expr)
+
+    def _emit_tailcall(self, k: int, ins: list) -> None:
+        freg, arg_regs = ins[1], ins[2]
+        nargs = len(arg_regs)
+        self.line(f"closure = regs[{freg}]")
+        self._closure_cid()
+        self.line(f"args = {self._args_list(arg_regs)}")
+        self.line(f"if cid == {_ESCAPE}:")
+        self.depth += 1
+        self.line("eng._transfer(m._unwind(closure, args))")
+        self.line("return")
+        self.depth -= 1
+        self.line("callee = m.codes[cid]")
+        self.line(f"if callee.has_rest or callee.nparams != {nargs}:")
+        self.depth += 1
+        self.line("m._scratch_roots = [closure] + args")
+        self.line(f"FR.append([callee, regs, {k + 1}, -1])")
+        self.line("new_regs = m._make_regs(callee, args, closure)")
+        self.line("FR.pop()")
+        self.line("m._scratch_roots = []")
+        self.depth -= 1
+        self.line("elif callee.nfree:")
+        self.depth += 1
+        self.line("args.append(closure)")
+        self.line(f"args.extend([0] * (callee.nregs - {nargs + 1}))")
+        self.line("new_regs = args")
+        self.depth -= 1
+        self.line("else:")
+        self.depth += 1
+        self.line(f"args.extend([0] * (callee.nregs - {nargs}))")
+        self.line("new_regs = args")
+        self.depth -= 1
+        self._enter_callee("FC.get(cid) or eng._function(callee)")
+
+    def _emit_taill(self, k: int, ins: list) -> None:
+        code_id, arg_regs = ins[1], ins[2]
+        callee = self.m.codes[code_id]
+        if not callee.has_rest and callee.nparams == len(arg_regs):
+            pad = callee.nregs - len(arg_regs)
+            if callee is self.code and not self.options.counted:
+                # self tail call: loop in place instead of bouncing
+                # through the trampoline (fast mode only — counted mode
+                # must keep `regs` identity for suspension capture)
+                self.line(f"regs = {self._args_list(arg_regs)}")
+                if pad:
+                    self.line(f"regs.extend([0] * {pad})")
+                self.line("pc = 0")
+                self.line("continue")
+                return
+            fn_expr = self._callee_cell(code_id)
+            self.line(f"new_regs = {self._args_list(arg_regs)}")
+            if pad:
+                self.line(f"new_regs.extend([0] * {pad})")
+            self._enter_callee(fn_expr)
+            return
+        fn_expr = self._callee_cell(code_id)
+        code_name = f"K{code_id}"
+        self.line(f"args = {self._args_list(arg_regs)}")
+        self.line("m._scratch_roots = [0] + args")
+        self.line(f"FR.append([{code_name}, regs, {k + 1}, -1])")
+        self.line(f"new_regs = m._make_regs({code_name}, args, 0)")
+        self.line("FR.pop()")
+        self.line("m._scratch_roots = []")
+        self._enter_callee(fn_expr)
+
+    def _emit_ret(self, k: int, ins: list) -> None:
+        self.line(f"value = regs[{ins[1]}]")
+        self.line("if not FR:")
+        self.depth += 1
+        self.line("eng._halted = True")
+        self.line("eng._value = value")
+        self.line("return")
+        self.depth -= 1
+        self.line("f = FR.pop()")
+        self.line("f[1][f[3]] = value")
+        self.line("ST[0] = f[4]")
+        self.line("ST[1] = f[1]")
+        self.line("ST[2] = f[2]")
+        self.line("return")
+
+    def _emit_callec(self, k: int, ins: list) -> None:
+        dest, freg = ins[1], ins[2]
+        self.line(f"closure = regs[{freg}]")
+        self.line("cid = m._closure_code_id(closure)")
+        self.line(f"if cid == {_ESCAPE}:")
+        self.depth += 1
+        self.line("eng._not_proc(closure)")
+        self.depth -= 1
+        self.line("callee = m.codes[cid]")
+        self.line(f"FR.append([CODE, regs, {k + 1}, {dest}, FN])")
+        self.line(f"if len(FR) > {self.stack_limit}:")
+        self.depth += 1
+        self.line("eng._overflow()")
+        self.depth -= 1
+        self.line("depth = len(FR)")
+        self.line("m._scratch_roots = [closure]")
+        self.line("p = AL(2, 7)")
+        self.line("base = p & -8")
+        self.line(f"HS(base + 8, {_ESCAPE})")
+        self.line("HS(base + 16, depth << 3)")
+        self.line("new_regs = m._make_regs(callee, [p], closure)")
+        self.line("m._scratch_roots = []")
+        self._enter_callee("FC.get(cid) or eng._function(callee)")
+
+    def _emit_apply(self, k: int, ins: list) -> None:
+        tail = ins[0] == isa.TAILAPPLY
+        if tail:
+            dest, freg, lreg = -1, ins[1], ins[2]
+        else:
+            dest, freg, lreg = ins[1], ins[2], ins[3]
+        self.line(f"closure = regs[{freg}]")
+        self._closure_cid()
+        self.line(f"args = m._unpack_list(regs[{lreg}])")
+        self.line(f"if cid == {_ESCAPE}:")
+        self.depth += 1
+        self.line("eng._transfer(m._unwind(closure, args))")
+        self.line("return")
+        self.depth -= 1
+        self.line("callee = m.codes[cid]")
+        if not tail:
+            self.line(f"FR.append([CODE, regs, {k + 1}, {dest}, FN])")
+            self.line(f"if len(FR) > {self.stack_limit}:")
+            self.depth += 1
+            self.line("eng._overflow()")
+            self.depth -= 1
+        self.line("m._scratch_roots = [closure] + args")
+        self.line(f"FR.append([callee, regs, {k + 1}, -1])")
+        self.line("new_regs = m._make_regs(callee, args, closure)")
+        self.line("FR.pop()")
+        self.line("m._scratch_roots = []")
+        self._enter_callee("FC.get(cid) or eng._function(callee)")
+
+    # runtime registry, I/O, termination --------------------------------
+
+    def _emit_putc(self, k: int, ins: list) -> None:
+        self.line(f"m.output.append(chr(regs[{ins[1]}] & 0x10FFFF))")
+
+    def _emit_getc(self, k: int, ins: list) -> None:
+        d = ins[1]
+        self.line("if m.input_pos < len(m.input_codes):")
+        self.depth += 1
+        self.line(f"regs[{d}] = m.input_codes[m.input_pos]")
+        self.line("m.input_pos += 1")
+        self.depth -= 1
+        self.line("else:")
+        self.depth += 1
+        self.line(f"regs[{d}] = M")
+        self.depth -= 1
+
+    def _emit_peekc(self, k: int, ins: list) -> None:
+        d = ins[1]
+        self.line("if m.input_pos < len(m.input_codes):")
+        self.depth += 1
+        self.line(f"regs[{d}] = m.input_codes[m.input_pos]")
+        self.depth -= 1
+        self.line("else:")
+        self.depth += 1
+        self.line(f"regs[{d}] = M")
+        self.depth -= 1
+
+    def _emit_regptr(self, k: int, ins: list) -> None:
+        self.line(f"m.heap.register_pointer_tag(regs[{ins[1]}])")
+
+    def _emit_regpair(self, k: int, ins: list) -> None:
+        a, b, c = ins[1], ins[2], ins[3]
+        self.line(
+            f"m.registry.register_pair(regs[{a}], SG(regs[{b}]), SG(regs[{c}]))"
+        )
+
+    def _emit_regnil(self, k: int, ins: list) -> None:
+        self.line(f"m.registry.register_nil(regs[{ins[1]}])")
+
+    def _emit_regfalse(self, k: int, ins: list) -> None:
+        self.line(f"m.registry.register_false(regs[{ins[1]}])")
+
+    def _emit_fail(self, k: int, ins: list) -> None:
+        self.line(f"eng._fail(regs[{ins[1]}])")
+
+    def _emit_halt(self, k: int, ins: list) -> None:
+        self.line("eng._halted = True")
+        self.line(f"eng._value = regs[{ins[1]}]")
+        self.line("return")
+
+    _BASE = {
+        isa.JMP: _emit_jmp,
+        isa.DIV: _emit_div,
+        isa.MOD: _emit_mod,
+        isa.LD: _emit_ld,
+        isa.ST: _emit_st,
+        isa.ALLOC: _emit_alloc,
+        isa.ALLOCI: _emit_alloci,
+        isa.GLD: _emit_gld,
+        isa.GST: _emit_gst,
+        isa.CLOSURE: _emit_closure,
+        isa.CALL: _emit_call,
+        isa.CALLL: _emit_calll,
+        isa.TAILCALL: _emit_tailcall,
+        isa.TAILL: _emit_taill,
+        isa.RET: _emit_ret,
+        isa.CALLEC: _emit_callec,
+        isa.APPLY: _emit_apply,
+        isa.TAILAPPLY: _emit_apply,
+        isa.PUTC: _emit_putc,
+        isa.GETC: _emit_getc,
+        isa.PEEKC: _emit_peekc,
+        isa.REGPTR: _emit_regptr,
+        isa.REGPAIR: _emit_regpair,
+        isa.REGNIL: _emit_regnil,
+        isa.REGFALSE: _emit_regfalse,
+        isa.FAIL: _emit_fail,
+        isa.HALT: _emit_halt,
+    }
+
+
+def compile_function(code: isa.CodeObject, options: CodegenOptions,
+                     machine, engine):
+    """Emit, exec, and return ``(function, source)`` for one code object."""
+    return _Emitter(code, options, machine, engine).build()

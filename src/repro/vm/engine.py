@@ -1,6 +1,6 @@
 """Pluggable VM execution engines.
 
-Two engines execute :class:`~repro.vm.isa.VMProgram` code:
+Three engines execute :class:`~repro.vm.isa.VMProgram` code:
 
 * :class:`NaiveEngine` — the classic switch interpreter: one big
   if/elif chain over the opcode, executed per instruction.  Simple,
@@ -16,8 +16,16 @@ Two engines execute :class:`~repro.vm.isa.VMProgram` code:
   tables are built lazily per code object, so dead procedures cost
   nothing.
 
-Both engines execute fused superinstructions (see ``isa.FUSED_PAIRS``)
-and both charge them to their *constituent* base opcodes when counting,
+* :class:`CompiledEngine` — compile-to-Python: ``vm.codegen`` emits one
+  real Python function per code object (operands inlined as literals,
+  heap arrays bound as constants, fused pairs flattened to adjacent
+  statements, absint emit hints eliding dead checks) and the engine
+  trampolines between the ``exec``-compiled functions.  The fastest
+  tier; under fault injection it falls back to uninlined heap access so
+  the injecting heap observes every operation.
+
+All engines execute fused superinstructions (see ``isa.FUSED_PAIRS``)
+and all charge them to their *constituent* base opcodes when counting,
 including the exact step index at which a ``max_steps`` budget trips
 mid-pair.  The engines are observationally identical — same results,
 same output, same decomposed counts, same errors — which the
@@ -205,6 +213,15 @@ class Engine:
         must be rebuilt against the new arrays.
         """
 
+    def cache_stats(self) -> dict:
+        """Engine-specific identity counters for ``repro profile``/--stats.
+
+        Keys vary by engine (handler tables for threaded, emitted
+        functions and hit/miss counts for compiled); an empty dict means
+        the engine caches nothing worth reporting.
+        """
+        return {}
+
 
 # ----------------------------------------------------------------------
 # the naive switch interpreter
@@ -228,6 +245,17 @@ class NaiveEngine(Engine):
     def heap_changed(self):
         # fused executors built by _FUSED_MAKERS capture the heap arrays
         self._fused_tables.clear()
+
+    def cache_stats(self) -> dict:
+        return {
+            "fused_tables": len(self._fused_tables),
+            "fused_executors_built": sum(
+                1
+                for table in self._fused_tables.values()
+                for handler in table
+                if handler is not None
+            ),
+        }
 
     # -- fused-instruction support -------------------------------------
 
@@ -897,6 +925,17 @@ class ThreadedEngine(Engine):
         # every built handler closes over the old heap's mem/bump/bins
         self._tables.clear()
         self._code_of.clear()
+
+    def cache_stats(self) -> dict:
+        return {
+            "handler_tables": len(self._tables),
+            "handlers_built": sum(
+                1
+                for table in self._tables.values()
+                for handler in table
+                if handler is not None
+            ),
+        }
 
     def run(self):
         m = self.m
@@ -1590,12 +1629,259 @@ class ThreadedEngine(Engine):
 
 
 # ----------------------------------------------------------------------
+# compile-to-Python dispatch
+# ----------------------------------------------------------------------
+
+
+class CompiledEngine(Engine):
+    """Compile-to-Python execution: one emitted function per code object.
+
+    ``vm.codegen`` turns each code object into real Python source (a
+    ``while``-loop body with a binary entry tree over basic blocks and
+    every instruction inlined with literal operands), ``exec``s it, and
+    this engine trampolines between the resulting functions.  Emitted
+    functions follow one protocol: ``fn(regs, pc)`` executes until
+    control leaves the code object; it either sets ``_halted``/``_value``
+    and returns, or writes ``[next fn, next regs, next pc]`` into
+    ``self._state`` and returns.  Faulting instructions record their pc
+    in the one-slot ``self._fpc`` first, which is how traps and budget
+    suspensions are attributed exactly like the interpreters.
+
+    Functions are cached keyed on ``(id(code object), CodegenOptions)``;
+    ``CodegenOptions`` captures everything the emitted source bakes in
+    (step counting, fault injection, heap inlining, emit hints), so
+    toggling any of those compiles a fresh variant instead of reusing a
+    stale one.  ``heap_changed`` drops the whole cache — the emitted
+    code binds ``heap.mem``/``heap.bump`` and the bound ``load``/
+    ``store``/``_alloc`` methods by identity, exactly the bug class
+    handler tables have.
+    """
+
+    name = "compiled"
+
+    def __init__(self, machine):
+        super().__init__(machine)
+        # (id(code), CodegenOptions) -> emitted function / source text
+        self._fns: dict = {}
+        self._sources: dict = {}
+        # id(function) -> code object, for trap attribution
+        self._fn_code: dict = {}
+        # (id(code), CodegenOptions) -> one-slot [fn | None] cell, bound
+        # into callers at emit time for monomorphic direct calls
+        self._cells: dict = {}
+        # CodegenOptions -> {code id -> emitted function}: the indirect
+        # call inline cache, bound into emitted code as ``FC`` so hot
+        # CALL/TAILCALL sites skip the keyed-cache lookup entirely
+        self._id_fns: dict = {}
+        self._code_index: dict | None = None
+        #: pending control transfer: [function, regs, pc]
+        self._state: list = [None, None, 0]
+        #: pc of the last faulting instruction in the running function
+        self._fpc: list = [0]
+        self._halted = False
+        self._value = 0
+        # the charged-but-unexecuted second half of a fused pair whose
+        # budget tripped between the halves: (base opcode, executor)
+        self._pending: tuple | None = None
+        self._active = None  # CodegenOptions for the current run
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def heap_changed(self):
+        # emitted functions bind mem/bump and the heap's bound methods
+        self._fns.clear()
+        self._sources.clear()
+        self._fn_code.clear()
+        self._cells.clear()
+        self._id_fns.clear()
+
+    def cache_stats(self) -> dict:
+        return {
+            "functions_emitted": self.cache_misses,
+            "functions_cached": len(self._fns),
+            "cache_hits": self.cache_hits,
+            "source_lines": sum(
+                source.count("\n") for source in self._sources.values()
+            ),
+        }
+
+    # -- function cache -------------------------------------------------
+
+    def _options(self):
+        from .codegen import CodegenOptions
+
+        m = self.m
+        heap = m.heap
+        fault = bool(getattr(heap, "fault_injection", False))
+        return CodegenOptions(
+            counted=bool(m.count_instructions),
+            fault_injection=fault,
+            inline_heap=getattr(heap, "bump", None) is not None and not fault,
+        )
+
+    def _function(self, code):
+        key = (id(code), self._active)
+        fn = self._fns.get(key)
+        if fn is not None:
+            self.cache_hits += 1
+            return fn
+        from .codegen import compile_function
+
+        self.cache_misses += 1
+        fn, source = compile_function(code, self._active, self.m, self)
+        self._fns[key] = fn
+        self._sources[key] = source
+        self._fn_code[id(fn)] = code
+        self._fn_cell(code)[0] = fn
+        index = self._code_index
+        if index is None:
+            index = self._code_index = {
+                id(c): i for i, c in enumerate(self.m.codes)
+            }
+        code_id = index.get(id(code))
+        if code_id is not None:
+            self._id_fns_for(self._active)[code_id] = fn
+        return fn
+
+    def _id_fns_for(self, options) -> dict:
+        """The {code id -> function} map for one options variant.
+
+        One stable dict per variant: emitted code binds it by identity
+        (as ``FC``), so entries added by later compilations are visible
+        to every already-emitted call site.
+        """
+        table = self._id_fns.get(options)
+        if table is None:
+            table = {}
+            self._id_fns[options] = table
+        return table
+
+    def _fn_cell(self, code) -> list:
+        key = (id(code), self._active)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = [None]
+            self._cells[key] = cell
+        return cell
+
+    def compiled_source(self, code) -> str:
+        """The Python source emitted for ``code`` under current options."""
+        self._active = self._options()
+        self._function(code)
+        return self._sources[(id(code), self._active)]
+
+    # -- emitted-code helpers (called from generated source) ------------
+
+    def _transfer(self, frame: list) -> None:
+        """Load engine state from a popped frame (RET/unwind target)."""
+        state = self._state
+        state[0] = frame[4] if len(frame) > 4 else self._function(frame[0])
+        state[1] = frame[1]
+        state[2] = frame[2]
+
+    def _overflow(self):
+        raise VMError(_STACK_OVERFLOW)
+
+    def _undef(self, index: int):
+        raise VMError(
+            f"undefined global variable {self.m.program.global_names[index]!r}"
+        )
+
+    def _not_proc(self, closure: int):
+        raise SchemeError(FAIL_MESSAGES[12], closure)
+
+    def _fail(self, fail_code: int):
+        raise SchemeError(
+            FAIL_MESSAGES.get(fail_code, f"runtime failure {fail_code}")
+        )
+
+    def _unknown(self, op: int):
+        raise VMError(f"unknown opcode {op}")
+
+    # -- the trampoline -------------------------------------------------
+
+    def run(self):
+        m = self.m
+        self._active = self._options()
+        main = m.codes[m.program.main_id]
+        return self._loop(self._function(main), [0] * main.nregs, 0)
+
+    def resume(self, suspension):
+        m = self.m
+        self._active = self._options()
+        regs = suspension.regs
+        pc = suspension.pc
+        if suspension.rollback_op is not None:
+            # The trip instruction was charged but never executed: undo
+            # the charge (one step, one dispatch) and re-dispatch it.
+            op = suspension.rollback_op
+            m.counts[op] -= 1
+            m.steps -= 1
+            m.dispatches -= 1
+        elif suspension.pending is not None:
+            # Mid-fused-pair trip: the second half is already charged;
+            # its executor returns the next pc (fall-through or taken
+            # branch), so running it here re-charges nothing.
+            pc = suspension.pending(regs)
+        return self._loop(self._function(suspension.code), regs, pc)
+
+    def _loop(self, fn, regs, pc):
+        m = self.m
+        state = self._state
+        self._halted = False
+        while True:
+            try:
+                fn(regs, pc)
+            except BudgetExceeded as error:
+                # Budget trips suspend rather than abort: capture
+                # enough state for Machine.resume to continue exactly.
+                pending = self._pending
+                self._pending = None
+                rollback = m._overrun_rollback
+                m._overrun_rollback = None
+                fault_pc = self._fpc[0]
+                error.trap_pc = fault_pc
+                code = self._fn_code.get(id(fn))
+                if pending is not None:
+                    pending_op, pending_exec = pending
+                    error.trap_opcode = isa.OPCODE_NAMES[pending_op]
+                    m._suspension = Suspension(
+                        code=code, table=None, regs=regs, pc=fault_pc + 1,
+                        pending_op=pending_op, pending=pending_exec,
+                    )
+                else:
+                    if rollback is not None:
+                        error.trap_opcode = isa.OPCODE_NAMES[rollback]
+                    m._suspension = Suspension(
+                        code=code, table=None, regs=regs, pc=fault_pc,
+                        rollback_op=rollback,
+                    )
+                raise
+            except ReproError as error:
+                if error.trap_pc is None:
+                    fault_pc = self._fpc[0]
+                    error.trap_pc = fault_pc
+                    code = self._fn_code.get(id(fn))
+                    if code is not None and fault_pc < len(code.instructions):
+                        error.trap_opcode = isa.opcode_name(
+                            code.instructions[fault_pc][0]
+                        )
+                raise
+            if self._halted:
+                return m._result(self._value)
+            fn = state[0]
+            regs = state[1]
+            pc = state[2]
+
+
+# ----------------------------------------------------------------------
 # engine registry
 # ----------------------------------------------------------------------
 
 ENGINES: dict[str, type[Engine]] = {
     NaiveEngine.name: NaiveEngine,
     ThreadedEngine.name: ThreadedEngine,
+    CompiledEngine.name: CompiledEngine,
 }
 
 DEFAULT_ENGINE = NaiveEngine.name

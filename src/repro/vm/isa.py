@@ -259,7 +259,10 @@ def decompose(ins: list) -> list[list]:
 class CodeObject:
     """One compiled procedure (or the top-level main)."""
 
-    __slots__ = ("name", "nparams", "has_rest", "nfree", "nregs", "instructions")
+    __slots__ = (
+        "name", "nparams", "has_rest", "nfree", "nregs", "instructions",
+        "meta",
+    )
 
     def __init__(self, name: str, nparams: int, has_rest: bool, nfree: int):
         self.name = name
@@ -268,6 +271,9 @@ class CodeObject:
         self.nfree = nfree
         self.nregs = 0
         self.instructions: list[list] = []
+        #: backend-attached facts (e.g. ``emit_hints`` for vm.codegen);
+        #: advisory only — engines must run correctly with it None
+        self.meta: dict | None = None
 
     def __repr__(self) -> str:
         return (

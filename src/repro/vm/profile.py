@@ -12,11 +12,18 @@ The profiler answers two questions about a real run:
   superinstruction table in :mod:`repro.vm.isa` was chosen from, and
   ``repro profile`` re-derives it from any workload.
 
-Pair mining hooks live in the naive interpreter loop only, so
-profiled runs always execute on the naive engine; profile programs
-compiled with ``fuse=False`` so pairs are reported over *base* opcodes
-(mining fused code instead reports pairs of superinstructions, which is
+Pair mining hooks live in the naive interpreter loop only, so pair
+mining always executes on the naive engine; profile programs compiled
+with ``fuse=False`` so pairs are reported over *base* opcodes (mining
+fused code instead reports pairs of superinstructions, which is
 occasionally useful for finding three-long chains).
+
+Profiling a *different* engine (``profile_program(..., engine=...)``)
+runs that engine for real — no pair mining, since only the naive loop
+has the hooks — and reports its identity instead: every engine exposes
+``cache_stats()`` (handler-table sizes for threaded, emitted-function
+hit/miss counts for compiled), so the report never assumes a
+particular engine's cache structure exists.
 """
 
 from __future__ import annotations
@@ -64,6 +71,9 @@ class ProfileReport:
     elapsed_seconds: float = 0.0
     #: words allocated over the run (headers included)
     words_allocated: int = 0
+    #: engine-specific cache identity (``Engine.cache_stats()``):
+    #: handler tables for threaded, emitted functions for compiled
+    engine_cache: dict = field(default_factory=dict)
 
     def fusion_candidates(self, top: int = 10) -> list[PairStat]:
         """The highest-frequency fusable pairs not yet in the ISA."""
@@ -80,14 +90,23 @@ def profile_program(
     heap_words: int | None = None,
     max_steps: int | None = None,
     input_text: str = "",
+    engine: str | None = None,
 ) -> ProfileReport:
-    """Run ``program`` with pair mining enabled and report."""
+    """Run ``program`` under the profiler and report.
+
+    With no ``engine`` (or ``"naive"``) the run mines fall-through
+    pairs on the naive loop.  Any other engine runs for real — pair
+    mining is naive-only — and the report carries that engine's cache
+    identity instead of adjacency counts.
+    """
+    mine_pairs = engine is None or engine == "naive"
     machine = Machine(
         program,
         heap_words=heap_words,
         max_steps=max_steps,
         input_text=input_text,
-        profile=True,
+        engine=None if mine_pairs else engine,
+        profile=mine_pairs,
     )
     result = machine.run()
     return build_report(machine, result)
@@ -110,6 +129,11 @@ def build_report(machine: Machine, result: RunResult) -> ProfileReport:
                 fused=(op1, op2) in isa.FUSION_TABLE,
             )
         )
+    # every engine answers cache_stats(); never reach into an engine
+    # for handler tables (threaded) or emitted functions (compiled)
+    # directly — older engines may not have either
+    stats_fn = getattr(machine._engine, "cache_stats", None)
+    engine_cache = stats_fn() if stats_fn is not None else {}
     return ProfileReport(
         engine=result.engine,
         steps=result.steps,
@@ -120,6 +144,7 @@ def build_report(machine: Machine, result: RunResult) -> ProfileReport:
         gc=result.gc_stats,
         elapsed_seconds=result.elapsed_seconds,
         words_allocated=result.words_allocated,
+        engine_cache=engine_cache,
     )
 
 
@@ -168,6 +193,11 @@ def render_text(report: ProfileReport, top: int = 20) -> str:
         f"{report.steps} instructions in {report.dispatches} dispatches "
         f"({report.engine} engine)"
     )
+    if report.engine_cache:
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(report.engine_cache.items())
+        )
+        lines.append(f"engine cache: {detail}")
     lines.append("")
     lines.append("opcode histogram (decomposed counts):")
     total = max(report.steps, 1)
@@ -225,5 +255,6 @@ def render_json(report: ProfileReport, top: int | None = None) -> str:
         "elapsed_seconds": report.elapsed_seconds,
         "words_allocated": report.words_allocated,
         "gc": report.gc,
+        "engine_cache": report.engine_cache,
     }
     return json.dumps(payload, indent=2)

@@ -230,3 +230,128 @@ def test_static_instruction_count_api():
     assert compiled.static_instruction_count() > 2
     with pytest.raises(KeyError):
         compiled.static_instruction_count("nope")
+
+
+# ----------------------------------------------------------------------
+# emit-time hints (consumed by the compiled engine)
+# ----------------------------------------------------------------------
+
+from repro.absint.lattice import from_tags  # noqa: E402
+from repro.backend.peephole import (  # noqa: E402
+    compute_emit_hints,
+    fuse_superinstructions,
+)
+
+
+def test_hint_div_by_known_nonzero_constant():
+    code = make_code(
+        [
+            [isa.LDC, 1, 7],
+            [isa.DIV, 2, 0, 1],
+            [isa.RET, 2],
+        ]
+    )
+    hints = compute_emit_hints(code)
+    assert hints["div_nonzero"] == {1}
+    assert code.meta["emit_hints"]["div_nonzero"] == {1}
+
+
+def test_hint_div_by_unknown_register_is_not_marked():
+    code = make_code(
+        [
+            [isa.DIV, 2, 0, 1],  # divisor r1 is a parameter: unknown
+            [isa.RET, 2],
+        ],
+        nparams=2,
+    )
+    hints = compute_emit_hints(code)
+    assert hints["div_nonzero"] == frozenset()
+
+
+def test_hint_aligned_load_from_fresh_allocation():
+    code = make_code(
+        [
+            [isa.ALLOCI, 1, 2, 0],   # tag 0: r1 is 8-aligned
+            [isa.LD, 2, 1, 8],       # (0 + 8) % 8 == 0: aligned
+            [isa.LD, 3, 1, 12],      # (0 + 12) % 8 != 0: not aligned
+            [isa.ST, 1, 16, 2],      # aligned store
+            [isa.RET, 2],
+        ]
+    )
+    hints = compute_emit_hints(code)
+    assert hints["aligned"] == {1, 3}
+
+
+def test_hint_tag_arithmetic_shifts_alignment():
+    code = make_code(
+        [
+            [isa.ALLOCI, 1, 2, 1],   # tag 1 pointer
+            [isa.ADDI, 1, 1, 7],     # (1 + 7) & 7 == 0: now aligned
+            [isa.LD, 2, 1, 8],
+            [isa.RET, 2],
+        ]
+    )
+    hints = compute_emit_hints(code)
+    assert hints["aligned"] == {2}
+
+
+def test_hint_facts_die_at_branch_targets():
+    # pc 2 is a branch target: the ALLOCI fact must not survive into it
+    code = make_code(
+        [
+            [isa.ALLOCI, 1, 2, 0],
+            [isa.JT, 3, 2],
+            [isa.LD, 2, 1, 8],       # leader: r1 unknown here
+            [isa.RET, 2],
+        ],
+        nparams=4,
+    )
+    hints = compute_emit_hints(code)
+    assert hints["aligned"] == frozenset()
+
+
+def test_hint_entry_facts_seed_the_entry_block():
+    code = make_code(
+        [
+            [isa.LD, 2, 0, 8],
+            [isa.RET, 2],
+        ],
+        nparams=1,
+    )
+    hints = compute_emit_hints(code, {0: from_tags({0})})
+    assert hints["aligned"] == {0}
+    # without entry facts the same load is unknown
+    assert compute_emit_hints(make_code(code.instructions, nparams=1))[
+        "aligned"
+    ] == frozenset()
+
+
+def test_hint_entry_facts_ignored_when_pc0_is_a_loop_head():
+    # a back edge to pc 0 would carry loop state into the "entry" facts
+    code = make_code(
+        [
+            [isa.LD, 2, 0, 8],
+            [isa.JT, 2, 0],
+            [isa.RET, 2],
+        ],
+        nparams=1,
+    )
+    hints = compute_emit_hints(code, {0: from_tags({0})})
+    assert hints["aligned"] == frozenset()
+
+
+def test_hint_pcs_key_base_instructions_only():
+    code = make_code(
+        [
+            [isa.ALLOCI, 1, 2, 0],
+            [isa.LDC, 3, 7],
+            [isa.DIV, 2, 0, 3],
+            [isa.RET, 2],
+        ]
+    )
+    fused = fuse_superinstructions(code)
+    hints = compute_emit_hints(code)
+    for pc in hints["div_nonzero"] | hints["aligned"]:
+        assert code.instructions[pc][0] < isa.FIRST_FUSED
+    if fused:  # whatever got fused is transfer-only, never a hint key
+        assert any(ins[0] >= isa.FIRST_FUSED for ins in code.instructions)

@@ -20,7 +20,7 @@ from repro.errors import (
 from repro.vm import BUDGET_CHECK_INTERVAL, Budget
 from repro.vm.machine import Machine
 
-ENGINES = ["naive", "threaded"]
+ENGINES = ["naive", "threaded", "compiled"]
 
 # a loop long enough that every budget kind can trip mid-flight
 LOOP = "(let loop ((i 0)) (if (= i 2000) i (loop (+ i 1))))"

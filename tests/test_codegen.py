@@ -1,0 +1,207 @@
+"""The compile-to-Python tier's non-semantic contracts.
+
+The differential suites (test_engine_differential, test_resume_chain)
+pin *what* the compiled engine computes; this file pins *how*: the
+emitted source is deterministic and stable (golden tests), the
+function cache is keyed on (code object, CodegenOptions) so toggling
+any baked-in option compiles a fresh variant instead of reusing a
+stale one, and ``install_heap`` drops the cache — emitted functions
+bind ``heap.mem``/``heap.bump`` and the heap's bound methods by
+identity, exactly the handler-table bug class from the threaded tier.
+"""
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.vm import isa
+from repro.vm.heap import Heap
+from repro.vm.isa import CodeObject, VMProgram
+from repro.vm.machine import Machine
+
+HEAP_WORDS = 1 << 12  # the heap limit is baked into emitted guards
+
+
+def _tiny_program():
+    main = CodeObject(name="main", nparams=0, has_rest=False, nfree=0)
+    main.nregs = 2
+    main.instructions = [
+        [isa.LDC, 0, 5],
+        [isa.ADDI, 1, 0, 2],
+        [isa.HALT, 1],
+    ]
+    return VMProgram([main], [])
+
+
+def _machine(program, **kwargs):
+    kwargs.setdefault("heap_words", HEAP_WORDS)
+    return Machine(program, engine="compiled", **kwargs)
+
+
+def _source(machine, code):
+    return machine._engine.compiled_source(code)
+
+
+# ----------------------------------------------------------------------
+# golden emitted source
+# ----------------------------------------------------------------------
+
+COUNTED_GOLDEN = """\
+def _vm_main(regs, pc):
+    while True:
+        if pc < 1:
+            F[0] = 0
+            m.dispatches += 1
+            m._count_step(0)
+            regs[0] = 5
+        if pc < 2:
+            F[0] = 1
+            m.dispatches += 1
+            m._count_step(14)
+            regs[1] = (regs[0] + 2) & M
+        F[0] = 2
+        m.dispatches += 1
+        m._count_step(76)
+        eng._halted = True
+        eng._value = regs[1]
+        return
+        CODE.instructions[3]
+"""
+
+FAST_GOLDEN = """\
+def _vm_main(regs, pc):
+    while True:
+        regs[0] = 5
+        regs[1] = (regs[0] + 2) & M
+        eng._halted = True
+        eng._value = regs[1]
+        return
+        CODE.instructions[3]
+"""
+
+
+def test_counted_source_golden():
+    program = _tiny_program()
+    machine = _machine(program)
+    assert _source(machine, program.code_objects[0]) == COUNTED_GOLDEN
+
+
+def test_fast_source_golden():
+    # with counting off, no preamble survives: pure straight-line code
+    program = _tiny_program()
+    machine = _machine(program, count_instructions=False)
+    assert _source(machine, program.code_objects[0]) == FAST_GOLDEN
+
+
+def test_emitted_source_is_deterministic():
+    sources = set()
+    for _ in range(3):
+        program = _tiny_program()
+        machine = _machine(program)
+        sources.add(_source(machine, program.code_objects[0]))
+    assert len(sources) == 1
+
+
+def test_golden_run_matches_golden_source():
+    program = _tiny_program()
+    result = _machine(program).run()
+    assert result.value == 7
+    assert result.steps == 3
+
+
+# ----------------------------------------------------------------------
+# cache keying and hit/miss accounting
+# ----------------------------------------------------------------------
+
+SOURCE = "(define (f n) (if (= n 0) 1 (* n (f (- n 1))))) (f 10)"
+
+
+def _compiled_program():
+    return compile_source(SOURCE, CompileOptions(safety=True)).vm_program
+
+
+def test_repeat_runs_hit_the_function_cache():
+    machine = _machine(_compiled_program())
+    engine = machine._engine
+    first = machine.run()
+    emitted = engine.cache_misses
+    assert emitted >= 1  # at least the main code object
+    machine.reset()
+    second = machine.run()
+    assert second.value == first.value
+    # nothing recompiled; every entry came from the cache
+    assert engine.cache_misses == emitted
+    assert engine.cache_hits >= 1
+    stats = engine.cache_stats()
+    assert stats["functions_emitted"] == emitted
+    assert stats["functions_cached"] == emitted
+    assert stats["source_lines"] > 0
+
+
+def test_cache_is_keyed_on_codegen_options():
+    machine = _machine(_compiled_program())
+    engine = machine._engine
+    machine.run()
+    emitted = engine.cache_misses
+    # flipping any option baked into the source must compile a fresh
+    # variant under a different key, not reuse the counted one
+    machine.reset()
+    machine.count_instructions = False
+    machine.run()
+    assert engine.cache_misses == 2 * emitted
+    assert len(engine._fns) == 2 * emitted
+    counted = {key[1].counted for key in engine._fns}
+    assert counted == {True, False}
+
+
+def test_counted_and_fast_variants_agree():
+    counted = _machine(_compiled_program()).run()
+    machine = _machine(_compiled_program(), count_instructions=False)
+    fast = machine.run()
+    assert fast.value == counted.value
+    assert fast.output == counted.output
+
+
+def test_install_heap_invalidates_compiled_functions():
+    machine = _machine(_compiled_program())
+    engine = machine._engine
+    first = machine.run()
+    assert len(engine._fns) > 0
+    machine.install_heap(Heap(HEAP_WORDS))
+    # the cache closed over the old heap's arrays; it must be empty now
+    assert len(engine._fns) == 0
+    assert len(engine._sources) == 0
+    assert len(engine._cells) == 0
+    machine.reset()
+    second = machine.run()
+    assert second.value == first.value
+    assert second.steps == first.steps
+    assert second.opcode_counts == first.opcode_counts
+
+
+def test_fault_injection_disables_heap_inlining():
+    from repro.vm.faultinject import FaultInjectingHeap, FaultSchedule
+
+    program = _compiled_program()
+    machine = _machine(program)
+    plain = _source(machine, program.code_objects[0])
+    assert "MEM[" in plain  # fast path hits the bound mem list directly
+
+    machine2 = _machine(_compiled_program())
+    machine2.install_heap(
+        FaultInjectingHeap(HEAP_WORDS, FaultSchedule(gc_every=1))
+    )
+    guarded = _source(machine2, machine2.program.code_objects[0])
+    # under fault injection every heap access goes through the heap
+    # object so injected faults and forced GCs are observed
+    assert "MEM[" not in guarded
+
+
+def test_sources_differ_between_variants():
+    program = _compiled_program()
+    counted = _source(_machine(program), program.code_objects[0])
+    fast = _source(
+        _machine(program, count_instructions=False),
+        program.code_objects[0],
+    )
+    assert "_count_step" in counted
+    assert "_count_step" not in fast

@@ -20,7 +20,7 @@ from repro.vm.faultinject import (
 )
 from repro.vm.machine import Machine
 
-ENGINES = ["naive", "threaded"]
+ENGINES = ["naive", "threaded", "compiled"]
 
 EXAMPLES_DIR = os.path.join(
     os.path.dirname(__file__), os.pardir, "examples", "scm"

@@ -164,7 +164,7 @@ def test_fusion_preserves_state_and_counts(body):
     unfused, fused, pairs = _build_pair(body)
     results = {}
     for label, code in (("unfused", unfused), ("fused", fused)):
-        for engine in ("naive", "threaded"):
+        for engine in ("naive", "threaded", "compiled"):
             results[(label, engine)] = _run(code, engine)
     reference = results[("unfused", "naive")]
     for key, result in results.items():
@@ -173,7 +173,7 @@ def test_fusion_preserves_state_and_counts(body):
         assert result.opcode_counts == reference.opcode_counts, key
     if pairs:
         # executed fused pairs each save exactly one dispatch
-        for engine in ("naive", "threaded"):
+        for engine in ("naive", "threaded", "compiled"):
             fused_result = results[("fused", engine)]
             assert fused_result.dispatches <= fused_result.steps
 
@@ -223,7 +223,7 @@ def test_branch_into_pair_blocks_fusion():
     # the labelled pair survives unfused; the unlabelled one fuses
     assert isa.ANDI in fused_ops and isa.ADDI in fused_ops
     assert fused_op in fused_ops
-    for engine in ("naive", "threaded"):
+    for engine in ("naive", "threaded", "compiled"):
         assert _run(fused, engine).value == _run(unfused, engine).value
 
 
@@ -241,7 +241,7 @@ def test_first_instruction_of_pair_may_be_branch_target():
     ]
     unfused, fused, pairs = _build_pair(body)
     assert pairs >= 1
-    for engine in ("naive", "threaded"):
+    for engine in ("naive", "threaded", "compiled"):
         u = _run(unfused, engine)
         f = _run(fused, engine)
         assert u.value == f.value

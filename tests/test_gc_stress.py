@@ -17,7 +17,7 @@ from repro.sexpr import Symbol, from_list
 from .conftest import OPT, UNOPT
 
 
-@pytest.fixture(params=["naive", "threaded"])
+@pytest.fixture(params=["naive", "threaded", "compiled"])
 def engine(request):
     return request.param
 

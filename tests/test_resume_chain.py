@@ -5,8 +5,9 @@ few hundred instructions, suspend exactly at an instruction boundary,
 resume later.  The property that makes the whole service correct is
 that *any* chain of slice sizes reproduces the uninterrupted run
 exactly: same value, same cumulative step count, same per-opcode
-counts, on both dispatch engines.  Hypothesis drives random chains
-(including size-1 slices, which land on every phase of fused pairs).
+counts, on all three dispatch engines.  Hypothesis drives random
+chains (including size-1 slices, which land on every phase of fused
+pairs).
 """
 
 import pytest
@@ -19,7 +20,7 @@ from repro import CompileOptions, compile_source  # noqa: E402
 from repro.vm.budget import Budget  # noqa: E402
 from repro.vm.machine import Machine  # noqa: E402
 
-ENGINES = ["naive", "threaded"]
+ENGINES = ["naive", "threaded", "compiled"]
 
 # enough iterations that chains of a dozen slices stay mid-run, small
 # enough that finishing the tail costs little

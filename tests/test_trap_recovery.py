@@ -15,7 +15,7 @@ from repro.errors import HeapExhausted, SchemeError
 from repro.vm.heap import Heap
 from repro.vm.machine import Machine
 
-ENGINES = ["naive", "threaded"]
+ENGINES = ["naive", "threaded", "compiled"]
 OCCUPANCIES = [None, 0.9]  # legacy exhaustion-only trigger vs occupancy
 
 # retains every cons, so a small heap genuinely runs out
